@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: batch-size sensitivity of time-to-quality. MLPerf's
+ * metric couples throughput (bigger batches run faster per sample)
+ * with convergence (bigger global batches need more epochs past the
+ * reference point) — this sweep exposes the optimum the paper's
+ * submissions sit near, and the cliff behind NCF's batch cap.
+ */
+
+#include <cstdio>
+
+#include "models/zoo.h"
+#include "sys/machines.h"
+#include "train/trainer.h"
+
+int
+main()
+{
+    using namespace mlps;
+
+    sys::SystemConfig dss = sys::dss8440();
+    train::Trainer trainer(dss);
+
+    std::printf("Time-to-quality vs per-GPU batch (8 GPUs, %s)\n\n",
+                dss.name.c_str());
+    for (const char *name : {"MLPf_Res50_MX", "MLPf_XFMR_Py"}) {
+        auto base = *models::findWorkload(name);
+        std::printf("%s (submission batch %g):\n", name,
+                    base.per_gpu_batch);
+        for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+            wl::WorkloadSpec spec = base;
+            spec.per_gpu_batch =
+                std::max(1.0, base.per_gpu_batch * scale);
+            train::RunOptions opts;
+            opts.num_gpus = 8;
+            auto r = trainer.run(spec, opts);
+            std::printf("  batch %6g (fits as %4g): %8.1f min  "
+                        "(%5.1f ms/iter, %.1f epochs, %g "
+                        "steps/epoch)\n",
+                        spec.per_gpu_batch, r.per_gpu_batch,
+                        r.totalMinutes(), r.iter.iteration_s * 1e3,
+                        r.epochs, r.steps_per_epoch);
+        }
+        std::printf("\n");
+    }
+
+    // NCF: the global-batch cap means extra per-GPU batch is simply
+    // refused — the mechanism of its Table IV saturation.
+    auto ncf = *models::findWorkload("MLPf_NCF_Py");
+    std::printf("%s global-batch cap behaviour:\n",
+                ncf.abbrev.c_str());
+    for (int gpus : {1, 2, 4, 8}) {
+        train::RunOptions opts;
+        opts.num_gpus = gpus;
+        auto r = trainer.run(ncf, opts);
+        std::printf("  %d GPUs: per-GPU batch %8g, global %8g, "
+                    "%6.1f s total\n", gpus, r.per_gpu_batch,
+                    r.global_batch, r.total_seconds);
+    }
+    return 0;
+}

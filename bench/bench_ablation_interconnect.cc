@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Ablation: how the all-reduce model responds to fabric parameters —
+ * NVLink brick count, PCIe lane width, and the host-staging derate.
+ * Backs the DESIGN.md claim that Figure 5 is a topology/bandwidth
+ * effect rather than a hard-coded constant, and quantifies each
+ * knob's leverage on the most communication-bound workload (XFMR).
+ */
+
+#include <cstdio>
+
+#include "net/allreduce.h"
+#include "net/link.h"
+#include "net/topology.h"
+
+namespace {
+
+using namespace mlps;
+
+/** 4 GPUs fully meshed with the given NVLink bricks per pair. */
+net::Topology
+nvlinkMesh(int bricks)
+{
+    net::Topology topo;
+    auto cpu = topo.addCpu("CPU0");
+    std::vector<net::NodeId> gpus;
+    for (int i = 0; i < 4; ++i)
+        gpus.push_back(topo.addGpu("GPU" + std::to_string(i)));
+    for (int i = 0; i < 4; ++i) {
+        for (int j = i + 1; j < 4; ++j)
+            topo.connect(gpus[i], gpus[j], net::nvlink(bricks));
+        topo.connect(gpus[i], cpu, net::pcie3(16));
+    }
+    return topo;
+}
+
+/** 4 GPUs behind one switch with the given lane width per link. */
+net::Topology
+pcieSwitch(int lanes)
+{
+    net::Topology topo;
+    auto cpu = topo.addCpu("CPU0");
+    auto sw = topo.addSwitch("PLX0");
+    topo.connect(sw, cpu, net::pcie3(16));
+    for (int i = 0; i < 4; ++i) {
+        auto g = topo.addGpu("GPU" + std::to_string(i));
+        topo.connect(g, sw, net::pcie3(lanes));
+    }
+    return topo;
+}
+
+/** 2+2 GPUs on two sockets, no P2P (T640-style). */
+net::Topology
+cpuPcie()
+{
+    net::Topology topo;
+    auto c0 = topo.addCpu("CPU0");
+    auto c1 = topo.addCpu("CPU1");
+    topo.connect(c0, c1, net::upi());
+    for (int i = 0; i < 4; ++i) {
+        auto g = topo.addGpu("GPU" + std::to_string(i));
+        topo.connect(g, i < 2 ? c0 : c1, net::pcie3(16));
+    }
+    return topo;
+}
+
+void
+report(const char *label, const net::Topology &topo,
+       const net::AllReduceParams &params)
+{
+    const double bytes = 430e6; // XFMR-class fp16 gradients
+    auto gpus = topo.gpus();
+    auto r = net::ringAllReduce(topo, gpus, bytes, params);
+    std::printf("%-34s %-12s %8.2f ms  (NVL %6.0f MB, PCIe %6.0f MB, "
+                "UPI %5.0f MB)\n", label,
+                net::toString(r.fabric).c_str(), r.seconds * 1e3,
+                r.nvlink_bytes / 1e6, r.pcie_bytes / 1e6,
+                r.upi_bytes / 1e6);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: 430 MB ring all-reduce over 4 GPUs\n\n");
+    net::AllReduceParams params;
+    params.buckets = 24;
+
+    std::printf("-- NVLink brick count --\n");
+    for (int bricks : {1, 2, 4, 6}) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "NVLink mesh, %d bricks/pair",
+                      bricks);
+        report(label, nvlinkMesh(bricks), params);
+    }
+
+    std::printf("\n-- PCIe lane width behind one switch --\n");
+    for (int lanes : {4, 8, 16}) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "PCIe switch, x%d per GPU",
+                      lanes);
+        report(label, pcieSwitch(lanes), params);
+    }
+
+    std::printf("\n-- Host-staged transport efficiency --\n");
+    for (double derate : {0.25, 0.40, 0.55, 0.80}) {
+        net::AllReduceParams p = params;
+        p.staged_bw_derate = derate;
+        char label[64];
+        std::snprintf(label, sizeof(label), "CPU PCIe, staging derate %.2f",
+                      derate);
+        report(label, cpuPcie(), p);
+    }
+
+    std::printf("\n-- Bucket count (latency term) on CPU PCIe --\n");
+    for (int buckets : {1, 24, 80, 200}) {
+        net::AllReduceParams p = params;
+        p.buckets = buckets;
+        char label[64];
+        std::snprintf(label, sizeof(label), "CPU PCIe, %d buckets",
+                      buckets);
+        report(label, cpuPcie(), p);
+    }
+    return 0;
+}

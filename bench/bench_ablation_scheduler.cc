@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation: scheduling policy quality — naive (paper Figure 4a),
+ * greedy list scheduling, and the exact hierarchical optimum (Figure
+ * 4b) against the work/critical-path lower bound, with DP search
+ * effort, on the measured MLPerf job mix and on synthetic mixes of
+ * varying scaling diversity.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/suite.h"
+#include "sched/naive.h"
+#include "sched/optimal.h"
+#include "sys/machines.h"
+
+namespace {
+
+using namespace mlps;
+
+void
+compare(const char *label, const std::vector<sched::JobSpec> &jobs,
+        int gpus)
+{
+    sched::Schedule naive = sched::naiveSchedule(jobs, gpus);
+    sched::Schedule greedy = sched::greedySchedule(jobs, gpus);
+    sched::OptimalResult opt = sched::optimalSchedule(jobs, gpus);
+    double lb = sched::makespanLowerBound(jobs, gpus);
+    std::printf("%-22s G=%d  naive %7.2f h  greedy %7.2f h  optimal "
+                "%7.2f h  LB %7.2f h  util %4.1f%%  states %zu\n",
+                label, gpus, naive.makespan() / 3600.0,
+                greedy.makespan() / 3600.0, opt.makespan_s / 3600.0,
+                lb / 3600.0, 100.0 * opt.schedule.utilization(),
+                opt.states_explored);
+}
+
+/** Synthetic job with Amdahl-style scaling of given parallel frac. */
+sched::JobSpec
+syntheticJob(const std::string &name, double hours, double parallel)
+{
+    sched::JobSpec j;
+    j.name = name;
+    for (int w = 1; w <= 8; w *= 2) {
+        double speedup = 1.0 / ((1.0 - parallel) + parallel / w);
+        j.seconds_at_width[w] = hours * 3600.0 / speedup;
+    }
+    return j;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Measured MLPerf mix.
+    sys::SystemConfig dss = sys::dss8440();
+    core::Suite suite(dss);
+    const std::vector<std::string> names = {
+        "MLPf_Res50_TF", "MLPf_Res50_MX", "MLPf_SSD_Py",
+        "MLPf_MRCNN_Py", "MLPf_XFMR_Py",  "MLPf_GNMT_Py",
+        "MLPf_NCF_Py",
+    };
+    std::vector<sched::JobSpec> mlperf_jobs;
+    for (const auto &n : names) {
+        sched::JobSpec j;
+        j.name = n;
+        for (int w = 1; w <= 8; w *= 2) {
+            train::RunOptions o;
+            o.num_gpus = w;
+            o.precision = hw::Precision::Mixed;
+            j.seconds_at_width[w] = suite.run(n, o).total_seconds;
+        }
+        mlperf_jobs.push_back(std::move(j));
+    }
+
+    std::printf("Scheduler ablation\n\n-- measured MLPerf mix --\n");
+    for (int g : {2, 4, 8})
+        compare("MLPerf mix", mlperf_jobs, g);
+
+    std::printf("\n-- synthetic mixes --\n");
+    // Homogeneous, perfectly scalable: naive is already optimal.
+    std::vector<sched::JobSpec> uniform;
+    for (int i = 0; i < 6; ++i)
+        uniform.push_back(
+            syntheticJob("uniform" + std::to_string(i), 2.0, 1.0));
+    compare("uniform scalable", uniform, 4);
+
+    // Diverse scaling: large optimal-vs-naive gap.
+    std::vector<sched::JobSpec> diverse;
+    diverse.push_back(syntheticJob("scales_well_a", 4.0, 0.99));
+    diverse.push_back(syntheticJob("scales_well_b", 3.0, 0.98));
+    diverse.push_back(syntheticJob("mediocre_a", 5.0, 0.80));
+    diverse.push_back(syntheticJob("mediocre_b", 2.0, 0.75));
+    diverse.push_back(syntheticJob("poor_a", 3.0, 0.40));
+    diverse.push_back(syntheticJob("poor_b", 1.0, 0.30));
+    diverse.push_back(syntheticJob("serial", 2.0, 0.05));
+    for (int g : {2, 4, 8})
+        compare("diverse scaling", diverse, g);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * DeepBench-style per-kernel report: every GEMM / convolution / RNN
+ * configuration of the modeled deepbench workloads timed individually
+ * on the V100 at fp32 and mixed precision — the raw data behind the
+ * Deep_* aggregate rows of the paper's analysis.
+ */
+
+#include <cstdio>
+
+#include "hw/kernel_timing.h"
+#include "models/deepbench.h"
+#include "sys/machines.h"
+
+namespace {
+
+using namespace mlps;
+
+void
+reportWorkload(const hw::GpuSpec &gpu, const wl::WorkloadSpec &spec)
+{
+    std::printf("--- %s ---\n", spec.abbrev.c_str());
+    std::printf("%-14s %10s %10s %10s %10s %9s\n", "kernel",
+                "GFLOP", "fp32 ms", "fp32 TF/s", "mixed ms",
+                "speedup");
+    for (const auto &op : spec.graph.ops()) {
+        auto fwd = op.forwardProfile(1.0);
+        double t32 = hw::timeKernel(gpu, fwd,
+                                    hw::Precision::FP32).total();
+        double tmx = hw::timeKernel(gpu, fwd,
+                                    hw::Precision::Mixed).total();
+        std::printf("%-14s %10.2f %10.3f %10.1f %10.3f %8.2fx\n",
+                    op.name.c_str(), fwd.flops / 1e9, t32 * 1e3,
+                    fwd.flops / t32 / 1e12, tmx * 1e3, t32 / tmx);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    hw::GpuSpec gpu = hw::teslaV100Sxm2_16();
+    std::printf("DeepBench kernel report on %s\n\n", gpu.name.c_str());
+    reportWorkload(gpu, models::deepbenchGemm());
+    reportWorkload(gpu, models::deepbenchConv());
+    reportWorkload(gpu, models::deepbenchRnn());
+    return 0;
+}

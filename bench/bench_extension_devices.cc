@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Extension beyond the paper: the same study on adjacent GPU
+ * generations. Re-runs the single-device column of Table IV on a T4
+ * (the low-power part) and an A100 (the generation that followed the
+ * paper), holding the rest of the machine fixed — a what-if the
+ * paper's methodology enables directly.
+ */
+
+#include <cstdio>
+
+#include "models/zoo.h"
+#include "sys/machines.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace mlps;
+
+/** Swap the GPU of a C4140 (M)-style NVLink box. */
+sys::SystemConfig
+boxWith(const hw::GpuSpec &gpu)
+{
+    sys::SystemConfig s = sys::c4140M();
+    s.name = std::string("4x ") + gpu.name;
+    s.gpu = gpu;
+    if (gpu.nvlink_lanes == 0) {
+        // Rebuild without NVLink edges for PCIe-only parts.
+        sys::SystemConfig flat;
+        flat.name = s.name;
+        flat.cpu = s.cpu;
+        flat.num_cpus = 2;
+        flat.gpu = gpu;
+        flat.num_gpus = 4;
+        flat.cpu_nodes.push_back(flat.topo.addCpu("CPU0"));
+        flat.cpu_nodes.push_back(flat.topo.addCpu("CPU1"));
+        flat.topo.connect(flat.cpu_nodes[0], flat.cpu_nodes[1],
+                          net::upi());
+        for (int g = 0; g < 4; ++g) {
+            flat.gpu_nodes.push_back(
+                flat.topo.addGpu("GPU" + std::to_string(g)));
+            flat.topo.connect(flat.gpu_nodes[g],
+                              flat.cpu_nodes[g / 2], net::pcie3(16));
+        }
+        flat.validate();
+        return flat;
+    }
+    s.validate();
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    const hw::GpuSpec devices[] = {
+        hw::teslaT4(),
+        hw::teslaV100Sxm2_16(),
+        hw::a100Sxm4_40(),
+    };
+
+    std::printf("Single-GPU time to quality across GPU generations "
+                "(mixed precision, minutes)\n\n");
+    std::printf("%-15s", "workload");
+    for (const auto &d : devices)
+        std::printf(" %16s", d.name.c_str());
+    std::printf("   V100-to-A100\n");
+
+    for (const auto &spec : models::mlperfSuite()) {
+        std::printf("%-15s", spec.abbrev.c_str());
+        double v100 = 0.0, a100 = 0.0;
+        for (const auto &d : devices) {
+            sys::SystemConfig box = boxWith(d);
+            train::Trainer trainer(box);
+            train::RunOptions opts;
+            opts.num_gpus = 1;
+            double t = trainer.run(spec, opts).totalMinutes();
+            if (d.name.rfind("Tesla V100", 0) == 0)
+                v100 = t;
+            if (d.name.rfind("A100", 0) == 0)
+                a100 = t;
+            std::printf(" %16.1f", t);
+        }
+        std::printf("   %10.2fx\n", v100 / a100);
+    }
+
+    std::printf("\n4-GPU scaling on the A100 box (grows with the "
+                "device: faster compute raises the bar for the "
+                "fabric):\n");
+    sys::SystemConfig a100_box = boxWith(hw::a100Sxm4_40());
+    sys::SystemConfig v100_box = boxWith(hw::teslaV100Sxm2_16());
+    for (const char *name : {"MLPf_XFMR_Py", "MLPf_Res50_MX"}) {
+        auto spec = *models::findWorkload(name);
+        for (auto *box : {&v100_box, &a100_box}) {
+            train::Trainer trainer(*box);
+            train::RunOptions o1, o4;
+            o1.num_gpus = 1;
+            o4.num_gpus = 4;
+            double s = trainer.run(spec, o1).total_seconds /
+                       trainer.run(spec, o4).total_seconds;
+            std::printf("  %-15s on %-20s 1-to-4 speedup %.2fx\n",
+                        name, box->name.c_str(), s);
+        }
+    }
+    return 0;
+}

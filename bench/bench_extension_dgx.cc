@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Extension: the submission machines. NVIDIA's MLPerf v0.5 entries
+ * ran on the DGX-1V (hybrid cube-mesh NVLink); this bench compares
+ * 8-GPU scaling on the paper's DSS 8440 (PCIe switches) against the
+ * DGX-1V and the NVSwitch DGX-2 — quantifying how much of Table IV's
+ * sub-linearity is fabric rather than algorithm, and extending the
+ * sweep to 16 GPUs.
+ */
+
+#include <cstdio>
+
+#include "models/zoo.h"
+#include "net/allreduce.h"
+#include "sys/machines.h"
+#include "train/trainer.h"
+
+int
+main()
+{
+    using namespace mlps;
+
+    std::vector<sys::SystemConfig> machines = {
+        sys::dss8440(), sys::dgx1(), sys::dgx2(),
+    };
+
+    std::printf("8-GPU scaling by machine (mixed precision)\n\n");
+    std::printf("%-15s", "workload");
+    for (const auto &m : machines)
+        std::printf(" %18s", m.name.c_str());
+    std::printf("\n");
+    for (const char *name : {"MLPf_Res50_MX", "MLPf_XFMR_Py",
+                             "MLPf_GNMT_Py", "MLPf_NCF_Py"}) {
+        auto spec = *models::findWorkload(name);
+        std::printf("%-15s", name);
+        for (const auto &m : machines) {
+            train::Trainer trainer(m);
+            train::RunOptions o1, o8;
+            o1.num_gpus = 1;
+            o8.num_gpus = 8;
+            double s = trainer.run(spec, o1).total_seconds /
+                       trainer.run(spec, o8).total_seconds;
+            std::printf("         %8.2fx", s);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n430 MB all-reduce across 8 GPUs:\n");
+    for (const auto &m : machines) {
+        auto r = net::ringAllReduce(m.topo, m.gpuSubset(8), 430e6);
+        std::printf("  %-10s %-12s %7.2f ms\n", m.name.c_str(),
+                    net::toString(r.fabric).c_str(), r.seconds * 1e3);
+    }
+
+    std::printf("\nDGX-2: pushing past 8 GPUs (Transformer):\n");
+    sys::SystemConfig dgx2 = sys::dgx2();
+    train::Trainer trainer(dgx2);
+    auto spec = *models::findWorkload("MLPf_XFMR_Py");
+    double base = 0.0;
+    for (int n : {1, 2, 4, 8, 16}) {
+        train::RunOptions opts;
+        opts.num_gpus = n;
+        auto r = trainer.run(spec, opts);
+        if (n == 1)
+            base = r.total_seconds;
+        std::printf("  %2d GPUs: %7.1f min  (speedup %5.2fx)\n", n,
+                    r.totalMinutes(), base / r.total_seconds);
+    }
+    return 0;
+}

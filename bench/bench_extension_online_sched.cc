@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Extension beyond the paper: online scheduling of an arriving job
+ * stream. Section IV-D suggests cluster administrators should exploit
+ * scaling diversity; this bench quantifies it for a Poisson stream of
+ * MLPerf jobs on one DSS 8440 — FIFO-at-full-width (the naive policy
+ * applied online) vs width-aware FIFO vs conservative backfilling.
+ */
+
+#include <cstdio>
+
+#include "core/suite.h"
+#include "sched/online.h"
+#include "sys/machines.h"
+
+int
+main()
+{
+    using namespace mlps;
+
+    sys::SystemConfig dss = sys::dss8440();
+    core::Suite suite(dss);
+
+    // Measure the catalogue's scaling profiles once.
+    const std::vector<std::string> names = {
+        "MLPf_SSD_Py", "MLPf_XFMR_Py", "MLPf_GNMT_Py", "MLPf_NCF_Py",
+        "Dawn_Res18_Py",
+    };
+    std::vector<sched::JobSpec> catalogue;
+    for (const auto &name : names) {
+        sched::JobSpec j;
+        j.name = name;
+        for (int w = 1; w <= 8; w *= 2) {
+            train::RunOptions opts;
+            opts.num_gpus = w;
+            j.seconds_at_width[w] = suite.run(name, opts).total_seconds;
+        }
+        catalogue.push_back(std::move(j));
+    }
+
+    std::printf("Online scheduling of a Poisson job stream "
+                "(32 jobs, mean gap 20 min, %d GPUs)\n\n",
+                dss.num_gpus);
+    std::printf("%-18s %10s %12s %14s %10s %8s\n", "policy",
+                "makespan", "avg wait", "avg turnaround", "max wait",
+                "util");
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        auto jobs =
+            sched::poissonJobStream(catalogue, 32, 1200.0, seed);
+        std::printf("-- stream seed %llu --\n",
+                    static_cast<unsigned long long>(seed));
+        for (auto policy : {sched::OnlinePolicy::FifoFullWidth,
+                            sched::OnlinePolicy::FifoBestWidth,
+                            sched::OnlinePolicy::Backfill}) {
+            auto m = sched::simulateOnline(jobs, dss.num_gpus, policy);
+            std::printf("%-18s %8.2f h %10.2f h %12.2f h %8.2f h %7.1f%%\n",
+                        sched::toString(policy).c_str(),
+                        m.makespan_s / 3600.0, m.avg_wait_s / 3600.0,
+                        m.avg_turnaround_s / 3600.0,
+                        m.max_wait_s / 3600.0,
+                        100.0 * m.utilization);
+        }
+    }
+    std::printf("\nWidth-aware policies turn the Table IV scaling "
+                "diversity into shorter queues without new hardware "
+                "— the operational form of Figure 4's saving.\n");
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduces Figure 1: PCA of the eight workload characteristics
+ * (PCIe util, GPU util, CPU util, DDR footprint, HBM2 footprint, FLOP
+ * throughput, memory throughput, epochs) over all fifteen workloads,
+ * projected onto PC1-PC2 (Figure 1a) and PC3-PC4 (Figure 1b).
+ *
+ * Paper claims to reproduce: MLPerf separates from DAWNBench and
+ * DeepBench along PC1 (dominated by GPU memory footprint); MLPerf
+ * spans less of PC2 (stable FLOP throughput); PC1..PC4 cover ~88% of
+ * variance; no two MLPerf benchmarks sit close together.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/characterize.h"
+#include "prof/csv.h"
+#include "stats/cluster.h"
+#include "sys/machines.h"
+
+int
+main()
+{
+    using namespace mlps;
+
+    sys::SystemConfig sys = sys::c4140K();
+    core::CharacterizationReport rep = core::characterize(sys, 1);
+
+    std::printf("Figure 1: PCA of 8 workload characteristics "
+                "(measured on %s)\n\n", sys.name.c_str());
+
+    std::printf("Explained variance: ");
+    for (std::size_t i = 0; i < rep.pca.explained_variance.size(); ++i)
+        std::printf("PC%zu=%.1f%% ", i + 1,
+                    100.0 * rep.pca.explained_variance[i]);
+    std::printf("\nCumulative through PC4: %.1f%% (paper: 88%%)\n\n",
+                100.0 * rep.pca.cumulativeVariance(4));
+
+    const auto &names = prof::metricNames();
+    for (int pc = 0; pc < 4; ++pc) {
+        int dom = rep.pca.dominantMetric(pc);
+        std::printf("PC%d dominant metric: %s (loading %.3f)\n", pc + 1,
+                    names[dom].c_str(),
+                    rep.pca.components.at(dom, pc));
+    }
+
+    std::printf("\n%-15s %-10s %9s %9s %9s %9s\n", "Workload", "Suite",
+                "PC1", "PC2", "PC3", "PC4");
+    for (std::size_t i = 0; i < rep.workloads.size(); ++i) {
+        int r = static_cast<int>(i);
+        std::printf("%-15s %-10s %9.3f %9.3f %9.3f %9.3f\n",
+                    rep.workloads[i].c_str(),
+                    wl::toString(rep.suites[i]).c_str(),
+                    rep.pca.scores.at(r, 0), rep.pca.scores.at(r, 1),
+                    rep.pca.scores.at(r, 2), rep.pca.scores.at(r, 3));
+    }
+
+    double sep_deep = core::suiteSeparation(rep, 0, wl::SuiteTag::MLPerf,
+                                            wl::SuiteTag::DeepBench);
+    double sep_dawn = core::suiteSeparation(rep, 0, wl::SuiteTag::MLPerf,
+                                            wl::SuiteTag::DawnBench);
+    std::printf("\nPC1 suite separation: MLPerf-DeepBench %.2f, "
+                "MLPerf-DAWNBench %.2f (isolated clusters)\n",
+                sep_deep, sep_dawn);
+
+    // Export the scores in dstat's interchange format.
+    prof::CsvWriter csv({"workload", "suite", "pc1", "pc2", "pc3",
+                         "pc4"});
+    for (std::size_t i = 0; i < rep.workloads.size(); ++i) {
+        int r = static_cast<int>(i);
+        char f[4][32];
+        for (int c = 0; c < 4; ++c)
+            std::snprintf(f[c], sizeof(f[c]), "%.4f",
+                          rep.pca.scores.at(r, c));
+        csv.addRow({rep.workloads[i], wl::toString(rep.suites[i]),
+                    f[0], f[1], f[2], f[3]});
+    }
+    if (csv.writeFile("fig1_pca_scores.csv"))
+        std::printf("Scores written to fig1_pca_scores.csv\n");
+
+    // Companion view: which characteristics move together.
+    stats::Matrix samples(prof::toMatrix(rep.metrics));
+    stats::Matrix corr = stats::correlationMatrix(samples);
+    std::printf("\nMetric correlation matrix:\n%14s", "");
+    for (int c = 0; c < prof::kNumMetrics; ++c)
+        std::printf(" %6.6s", names[c].c_str());
+    std::printf("\n");
+    for (int r = 0; r < prof::kNumMetrics; ++r) {
+        std::printf("%14s", names[r].c_str());
+        for (int c = 0; c < prof::kNumMetrics; ++c)
+            std::printf(" %6.2f", corr.at(r, c));
+        std::printf("\n");
+    }
+
+    // Companion view: hierarchical clustering of the standardised
+    // characteristics. Cutting at three clusters recovers the suite
+    // structure the PCA plot shows.
+    stats::Dendrogram dendro =
+        stats::agglomerate(stats::standardize(samples));
+    auto clusters = dendro.cut(3);
+    std::printf("\nHierarchical clustering (average linkage, k=3):\n");
+    for (std::size_t i = 0; i < rep.workloads.size(); ++i) {
+        std::printf("  cluster %d: %-15s (%s)\n", clusters[i],
+                    rep.workloads[i].c_str(),
+                    wl::toString(rep.suites[i]).c_str());
+    }
+    std::printf("\nDendrogram:\n%s",
+                stats::renderDendrogram(dendro, rep.workloads).c_str());
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Figure 2: the Tesla V100 roofline — empirical ceilings
+ * for double, single and half precision (Empirical Roofline Toolkit
+ * analog sweeps) with the profiled workload points placed on the
+ * plot. Runs on T640 with one GPU, as in the paper.
+ *
+ * Paper claims to reproduce: ceilings ordered half > single > double;
+ * every ML workload is memory-bound (left of the ridge, below the
+ * flat roof); arithmetic intensity ordered DAWNBench > MLPerf >
+ * DeepBench kernels (data reuse from end-to-end optimisation).
+ */
+
+#include <cstdio>
+
+#include "core/characterize.h"
+#include "stats/roofline.h"
+#include "sys/machines.h"
+
+int
+main()
+{
+    using namespace mlps;
+
+    sys::SystemConfig t640 = sys::t640();
+    const hw::GpuSpec &gpu = t640.gpu;
+
+    std::printf("Figure 2: %s roofline model\n\n", gpu.name.c_str());
+
+    struct Ceiling {
+        const char *label;
+        hw::Precision p;
+        bool tc;
+    };
+    const Ceiling ceilings[] = {
+        {"double (fp64)", hw::Precision::FP64, false},
+        {"single (fp32)", hw::Precision::FP32, false},
+        {"half+TC (fp16)", hw::Precision::Mixed, true},
+    };
+    for (const auto &c : ceilings) {
+        stats::RooflineModel roof =
+            stats::deviceRoofline(gpu, c.p, c.tc);
+        auto sweep = stats::empiricalRooflineSweep(gpu, c.p, c.tc, 3);
+        double empirical_peak = 0.0;
+        for (const auto &pt : sweep)
+            empirical_peak = std::max(empirical_peak, pt.flops);
+        std::printf("%-15s ridge at %7.2f FLOP/B, theoretical peak "
+                    "%7.2f TFLOP/s, empirical %7.2f TFLOP/s\n",
+                    c.label, roof.ridgeIntensity(),
+                    roof.peak_flops / 1e12, empirical_peak / 1e12);
+        std::printf("    sweep:");
+        for (std::size_t i = 0; i < sweep.size(); i += 4)
+            std::printf(" (%.3g, %.3g)", sweep[i].intensity,
+                        sweep[i].flops / 1e12);
+        std::printf("  [FLOP/B, TFLOP/s]\n");
+    }
+
+    std::printf("\nWorkload placements (1-GPU runs, kernel profiles):\n");
+    std::printf("%-15s %-10s %10s %12s %s\n", "Workload", "Suite",
+                "FLOP/B", "TFLOP/s", "bound");
+    core::CharacterizationReport rep = core::characterize(t640, 1);
+    stats::RooflineModel half =
+        stats::deviceRoofline(gpu, hw::Precision::Mixed, true);
+    for (std::size_t i = 0; i < rep.roofline_points.size(); ++i) {
+        const auto &pt = rep.roofline_points[i];
+        std::printf("%-15s %-10s %10.2f %12.3f %s\n", pt.label.c_str(),
+                    wl::toString(rep.suites[i]).c_str(), pt.intensity,
+                    pt.flops / 1e12,
+                    half.memoryBound(pt.intensity) ? "memory"
+                                                   : "compute");
+    }
+    return 0;
+}

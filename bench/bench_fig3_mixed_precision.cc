@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Figure 3: speedup of mixed-precision training (tensor
+ * cores) over single precision for the MLPerf workloads on the
+ * DSS 8440 with 8 GPUs.
+ *
+ * Paper values: speedups span 1.5x (MRCNN_Py) to 3.3x (Res50_TF);
+ * NCF_Py's times are in seconds rather than minutes.
+ */
+
+#include <cstdio>
+
+#include "core/suite.h"
+#include "sys/machines.h"
+
+int
+main()
+{
+    using namespace mlps;
+
+    sys::SystemConfig dss = sys::dss8440();
+    core::Suite suite(dss);
+    const int gpus = 8;
+
+    const std::vector<std::string> workloads = {
+        "MLPf_Res50_TF", "MLPf_Res50_MX", "MLPf_SSD_Py",
+        "MLPf_MRCNN_Py", "MLPf_XFMR_Py",  "MLPf_GNMT_Py",
+        "MLPf_NCF_Py",
+    };
+
+    std::printf("Figure 3: Mixed precision training speedup over "
+                "single precision (%s, %d GPUs)\n\n", dss.name.c_str(),
+                gpus);
+    std::printf("%-15s %14s %14s %9s\n", "Workload", "fp32", "mixed",
+                "speedup");
+    for (const auto &w : workloads) {
+        train::RunOptions opts;
+        opts.num_gpus = gpus;
+        opts.precision = hw::Precision::FP32;
+        double fp32 = suite.run(w, opts).total_seconds;
+        opts.precision = hw::Precision::Mixed;
+        double mixed = suite.run(w, opts).total_seconds;
+
+        bool seconds = w == "MLPf_NCF_Py"; // as noted in the paper
+        std::printf("%-15s %11.1f %s %11.1f %s %8.2fx\n", w.c_str(),
+                    seconds ? fp32 : fp32 / 60.0,
+                    seconds ? "s  " : "min",
+                    seconds ? mixed : mixed / 60.0,
+                    seconds ? "s  " : "min", fp32 / mixed);
+    }
+    std::printf("\n(Paper: range 1.5x MRCNN_Py to 3.3x Res50_TF.)\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Figure 5: training time on the five 4-GPU platforms,
+ * whose only meaningful difference is the GPU interconnect topology
+ * (Table III).
+ *
+ * Paper claims: NVLink systems (C4140 M/K) fastest; the PCIe-switch
+ * C4140 (B) next (GPUDirect P2P over the switch); the CPU-PCIe T640
+ * and R940xa slowest. NVLink-over-worst improvement: ~42% XFMR, ~17%
+ * GNMT, ~30% MRCNN, ~11% image classification. NCF_Py reported in
+ * seconds.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/suite.h"
+#include "sys/machines.h"
+
+int
+main()
+{
+    using namespace mlps;
+
+    const std::vector<std::string> workloads = {
+        "MLPf_Res50_TF", "MLPf_Res50_MX", "MLPf_SSD_Py",
+        "MLPf_MRCNN_Py", "MLPf_XFMR_Py",  "MLPf_GNMT_Py",
+        "MLPf_NCF_Py",
+    };
+    std::vector<sys::SystemConfig> systems = sys::figure5Systems();
+
+    std::printf("Figure 5: Training time on 4-GPU systems "
+                "(minutes; NCF_Py in seconds)\n\n");
+    std::printf("%-15s", "Workload");
+    for (const auto &s : systems)
+        std::printf(" %11s", s.name.c_str());
+    std::printf("  %s\n", "NVLink-vs-worst");
+
+    for (const auto &w : workloads) {
+        std::printf("%-15s", w.c_str());
+        double best = 1e300, worst = 0.0;
+        bool seconds = w == "MLPf_NCF_Py";
+        for (const auto &s : systems) {
+            core::Suite suite(s);
+            train::RunOptions opts;
+            opts.num_gpus = 4;
+            opts.precision = hw::Precision::Mixed;
+            double t = suite.run(w, opts).total_seconds;
+            best = std::min(best, t);
+            worst = std::max(worst, t);
+            std::printf(" %11.1f", seconds ? t : t / 60.0);
+        }
+        std::printf("  %13.0f%%\n", 100.0 * (worst - best) / worst);
+    }
+
+    std::printf("\nCollective fabric at 4 GPUs:\n");
+    for (const auto &s : systems)
+        std::printf("  %-11s %s\n", s.name.c_str(),
+                    net::toString(s.fabricFor(4)).c_str());
+    return 0;
+}

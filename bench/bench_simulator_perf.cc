@@ -1,0 +1,120 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator's own hot paths:
+ * event queue churn, flow-level fair sharing, ring all-reduce
+ * evaluation, a full training-run model, PCA, and the exact
+ * scheduler. Useful when extending the simulator — these paths run
+ * thousands of times inside the table/figure benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/suite.h"
+#include "models/zoo.h"
+#include "net/allreduce.h"
+#include "net/transfer.h"
+#include "sched/optimal.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "stats/pca.h"
+#include "sys/machines.h"
+
+namespace {
+
+using namespace mlps;
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Simulation simu;
+        long counter = 0;
+        for (int i = 0; i < n; ++i) {
+            simu.schedule((i * 37) % 1000 * sim::kMicrosecond,
+                          [&counter] { ++counter; });
+        }
+        simu.run();
+        benchmark::DoNotOptimize(counter);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000);
+
+void
+BM_FlowSimulator(benchmark::State &state)
+{
+    sys::SystemConfig dss = sys::dss8440();
+    for (auto _ : state) {
+        net::FlowSimulator fsim(dss.topo);
+        for (int g = 0; g < 8; ++g)
+            fsim.addFlow(dss.cpu_nodes[g / 4], dss.gpu_nodes[g], 64e6);
+        benchmark::DoNotOptimize(fsim.run());
+    }
+}
+BENCHMARK(BM_FlowSimulator);
+
+void
+BM_RingAllReduce(benchmark::State &state)
+{
+    sys::SystemConfig dss = sys::dss8440();
+    auto gpus = dss.gpuSubset(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto r = net::ringAllReduce(dss.topo, gpus, 430e6);
+        benchmark::DoNotOptimize(r.seconds);
+    }
+}
+BENCHMARK(BM_RingAllReduce)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_TrainerRun(benchmark::State &state)
+{
+    sys::SystemConfig dss = sys::dss8440();
+    train::Trainer trainer(dss);
+    auto spec = *models::findWorkload("MLPf_Res50_MX");
+    train::RunOptions opts;
+    opts.num_gpus = 8;
+    for (auto _ : state) {
+        auto r = trainer.run(spec, opts);
+        benchmark::DoNotOptimize(r.total_seconds);
+    }
+}
+BENCHMARK(BM_TrainerRun);
+
+void
+BM_Pca(benchmark::State &state)
+{
+    sim::Rng rng(7);
+    stats::Matrix samples(15, 8);
+    for (int r = 0; r < 15; ++r)
+        for (int c = 0; c < 8; ++c)
+            samples.at(r, c) = rng.uniform(0.0, 100.0);
+    for (auto _ : state) {
+        auto res = stats::pca(samples);
+        benchmark::DoNotOptimize(res.eigenvalues[0]);
+    }
+}
+BENCHMARK(BM_Pca);
+
+void
+BM_OptimalSchedule(benchmark::State &state)
+{
+    std::vector<sched::JobSpec> jobs;
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+        sched::JobSpec j;
+        j.name = "job" + std::to_string(i);
+        double base = 3600.0 * (1 + i % 5);
+        for (int w = 1; w <= 8; w *= 2)
+            j.seconds_at_width[w] = base / (0.3 * w + 0.7);
+        jobs.push_back(std::move(j));
+    }
+    for (auto _ : state) {
+        auto r = sched::optimalSchedule(jobs, 8);
+        benchmark::DoNotOptimize(r.makespan_s);
+    }
+}
+BENCHMARK(BM_OptimalSchedule)->Arg(7)->Arg(10);
+
+} // namespace
+
+BENCHMARK_MAIN();

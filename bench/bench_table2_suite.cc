@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Table II: the benchmark population of the study —
+ * MLPerf v0.5 (top), DAWNBench (middle) and DeepBench (bottom), with
+ * domain, model, framework, submitter, dataset and quality target,
+ * plus the modeled per-sample statistics of each workload.
+ */
+
+#include <cstdio>
+
+#include "core/registry.h"
+
+namespace {
+
+void
+printSuite(const mlps::core::Registry &reg, mlps::wl::SuiteTag tag)
+{
+    std::printf("--- %s ---\n", mlps::wl::toString(tag).c_str());
+    std::printf("%-15s %-32s %-30s %-11s %-12s %-22s %s\n",
+                "Abbreviation", "Domain", "Model", "Framework",
+                "Submitter", "Dataset", "Quality Target");
+    for (const auto *b : reg.bySuite(tag))
+        std::printf("%s\n", b->tableRow().c_str());
+    std::printf("\nModel statistics:\n");
+    for (const auto *b : reg.bySuite(tag))
+        std::printf("%s\n", b->statsRow().c_str());
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table II: Summary of benchmarks in MLPerf (top), "
+                "DAWNBench (middle), and DeepBench (bottom)\n\n");
+    mlps::core::Registry reg;
+    printSuite(reg, mlps::wl::SuiteTag::MLPerf);
+    printSuite(reg, mlps::wl::SuiteTag::DawnBench);
+    printSuite(reg, mlps::wl::SuiteTag::DeepBench);
+    std::printf("(Reinforcement Learning is excluded: MLPerf v0.5 had "
+                "no GPU submission for it, as in the paper.)\n");
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reproduces Table III: hardware specifications and interconnect
+ * topologies of the six experimental platforms, plus the fabric each
+ * GPU-set size would use for collectives (the property behind
+ * Figure 5).
+ */
+
+#include <cstdio>
+
+#include "sys/machines.h"
+
+int
+main()
+{
+    std::printf("Table III: Hardware specifications of systems for "
+                "experimentation\n\n");
+    for (const auto &s : mlps::sys::allMachines()) {
+        std::printf("%s", s.describe().c_str());
+        std::printf("  Collective fabric by GPU count:");
+        for (int n = 2; n <= s.num_gpus; n *= 2) {
+            std::printf("  %d-GPU: %s", n,
+                        mlps::net::toString(s.fabricFor(n)).c_str());
+        }
+        std::printf("\n  GPUDirect P2P (GPU0, GPU%d): %s\n\n",
+                    s.num_gpus - 1,
+                    s.topo.canPeerToPeer(s.gpu_nodes[0],
+                                         s.gpu_nodes[s.num_gpus - 1])
+                        ? "yes"
+                        : "no");
+    }
+    std::printf("Reference machine:\n%s\n",
+                mlps::sys::mlperfReference().describe().c_str());
+    return 0;
+}

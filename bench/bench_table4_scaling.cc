@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces Table IV: "Scaling efficiency" — training time on the
+ * MLPerf reference machine (1x P100, v0.5 reference code) and on one
+ * V100 of the DSS 8440 (tuned submissions, mixed precision), plus the
+ * speedup of 2/4/8-GPU runs over 1 GPU on the DSS 8440.
+ *
+ * Paper values for comparison (Table IV):
+ *   Res50_TF  8831.3 / 1016.9 min, 8.68x, 1.92/3.84/7.04
+ *   Res50_MX  8831.1 /  957.0 min, 9.23x, 1.92/3.76/5.92
+ *   SSD_Py     827.7 /  206.1 min, 4.02x, 1.94/3.72/7.28
+ *   MRCNN_Py  4999.5 / 1840.4 min, 2.72x, 1.76/2.64/5.60
+ *   XFMR_Py   1869.8 /  636.0 min, 2.94x, 1.42/2.92/5.60
+ *   NCF_Py      46.7 /    2.2 min, 21.23x, 1.88/2.16/2.32
+ */
+
+#include <cstdio>
+
+#include "core/suite.h"
+#include "sys/machines.h"
+
+int
+main()
+{
+    mlps::sys::SystemConfig dss = mlps::sys::dss8440();
+    mlps::core::Suite suite(dss);
+
+    // Table IV covers every MLPerf benchmark except GNMT_Py.
+    const std::vector<std::string> workloads = {
+        "MLPf_Res50_TF", "MLPf_Res50_MX", "MLPf_SSD_Py",
+        "MLPf_MRCNN_Py", "MLPf_XFMR_Py",  "MLPf_NCF_Py",
+    };
+
+    auto rows = suite.scalingStudy(workloads, {1, 2, 4, 8});
+
+    std::printf("Table IV: Scaling efficiency (system: %s)\n\n",
+                dss.name.c_str());
+    std::printf("%-15s %12s %12s %8s %8s %8s %8s\n", "Benchmark",
+                "1xP100(min)", "1xV100(min)", "P-to-V", "1-to-2",
+                "1-to-4", "1-to-8");
+    for (const auto &row : rows) {
+        std::printf("%-15s %12.1f %12.1f %7.2fx %7.2fx %7.2fx %7.2fx\n",
+                    row.workload.c_str(), row.p100_minutes,
+                    row.v100_minutes, row.p_to_v, row.scaling.at(2),
+                    row.scaling.at(4), row.scaling.at(8));
+    }
+    return 0;
+}

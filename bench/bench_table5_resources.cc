@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces Table V: system resource usage statistics on C4140 (K) —
+ * CPU/GPU utilization, DRAM/HBM footprints and PCIe/NVLink bus
+ * throughput, measured by the dstat/dmon-analog monitors while each
+ * workload runs on 1, 2 and 4 GPUs.
+ *
+ * Paper trends to reproduce: CPU utilization roughly doubles with GPU
+ * count; Res50_TF has the highest CPU use and NCF the lowest among
+ * MLPerf; DRAM and HBM footprints grow with GPU count; NVLink traffic
+ * grows super-linearly; Deep_Red_Cu and NCF push NVLink hardest;
+ * DrQA pairs the highest CPU with the lowest GPU utilization.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "models/zoo.h"
+#include "prof/device_monitor.h"
+#include "prof/sys_monitor.h"
+#include "sys/machines.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace mlps;
+
+void
+reportRow(const train::Trainer &trainer, const wl::WorkloadSpec &spec,
+          int num_gpus)
+{
+    train::RunOptions opts;
+    opts.num_gpus = num_gpus;
+    opts.precision = hw::Precision::Mixed;
+    train::TrainResult r = trainer.run(spec, opts);
+
+    // Sample the run with the dstat/dmon analogs, as the paper did.
+    prof::SysMonitor dstat(/*seed=*/17 + num_gpus);
+    prof::DeviceMonitor dmon(/*seed=*/29 + num_gpus);
+    dstat.observe(r);
+    dmon.observe(r);
+
+    std::printf("%-15s %3d %8.2f %8.2f %10.0f %10.0f %9.0f %9.0f\n",
+                spec.abbrev.c_str(), num_gpus, dstat.avgCpuUtil(),
+                dmon.sumGpuUtil(), dstat.avgDramMb(), dmon.sumHbmMb(),
+                dmon.sumPcieMbps(), dmon.sumNvlinkMbps());
+}
+
+} // namespace
+
+int
+main()
+{
+    sys::SystemConfig c4140k = sys::c4140K();
+    train::Trainer trainer(c4140k);
+
+    std::printf("Table V: System resource usage statistics on %s\n\n",
+                c4140k.name.c_str());
+    std::printf("%-15s %3s %8s %8s %10s %10s %9s %9s\n", "Workload",
+                "#G", "CPU%", "GPU%", "DRAM(MB)", "HBM(MB)",
+                "PCIe Mbps", "NVL Mbps");
+
+    // MLPerf workloads at 1/2/4 GPUs.
+    for (const auto &w : models::mlperfSuite()) {
+        for (int n : {1, 2, 4})
+            reportRow(trainer, w, n);
+    }
+    // DAWNBench entries: single-GPU (DrQA has no multi-GPU path) plus
+    // the scalable ResNet-18 at 2 and 4.
+    for (const auto &w : models::dawnBenchSuite()) {
+        reportRow(trainer, w, 1);
+        if (w.abbrev == "Dawn_Res18_Py") {
+            reportRow(trainer, w, 2);
+            reportRow(trainer, w, 4);
+        }
+    }
+    // DeepBench: math kernels on one GPU, the all-reduce at 2 and 4.
+    for (const auto &w : models::deepBenchSuite()) {
+        if (w.mode == wl::RunMode::CollectiveLoop) {
+            reportRow(trainer, w, 2);
+            reportRow(trainer, w, 4);
+        } else {
+            reportRow(trainer, w, 1);
+        }
+    }
+    return 0;
+}

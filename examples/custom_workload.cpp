@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Custom workload: define a brand-new model with the op-graph DSL,
+ * attach a dataset and convergence target, and put it through the
+ * same characterization the paper applied to MLPerf — scaling sweep,
+ * mixed-precision sensitivity, and topology sensitivity.
+ *
+ * The example models a ViT-Small-style image classifier, a
+ * architecture MLPerf v0.5 did not cover.
+ */
+
+#include <cstdio>
+
+#include "models/builders.h"
+#include "sys/machines.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace mlps;
+
+/** ViT-Small/16 on 224x224 images: 12 layers, width 384. */
+wl::WorkloadSpec
+vitSmall()
+{
+    constexpr int kPatches = 197; // 14x14 + class token
+    constexpr int kWidth = 384;
+    constexpr int kFf = 1536;
+    constexpr int kLayers = 12;
+
+    wl::OpGraph g("ViT-Small/16");
+    // Patch embedding: 16x16 conv, 3 -> width.
+    g.add(wl::conv2d("patch_embed", 224, 224, 3, kWidth, 16, 16));
+    for (int l = 0; l < kLayers; ++l) {
+        models::transformerEncoderLayer(g, "blk" + std::to_string(l),
+                                        kPatches, kWidth, kFf);
+    }
+    g.add(wl::norm("head.ln", static_cast<double>(kPatches) * kWidth));
+    g.add(wl::gemm("head.fc", 1, kWidth, 1000));
+    g.add(wl::softmax("softmax", 1000));
+
+    wl::WorkloadSpec w;
+    w.abbrev = "Cust_ViTS_Py";
+    w.domain = "Image Classification";
+    w.model_name = "ViT-Small/16";
+    w.framework = "PyTorch";
+    w.submitter = "you";
+    w.suite = wl::SuiteTag::MLPerf; // treat as a suite extension
+    w.graph = g;
+    w.dataset = wl::imagenet();
+
+    w.convergence.quality_target = "Top-1: 0.75";
+    w.convergence.base_epochs = 90.0;
+    w.convergence.reference_global_batch = 1024.0;
+    w.convergence.penalty_exponent = 0.1;
+
+    w.host.cpu_core_us_per_sample = 2200.0;
+    w.host.dataset_residency = 0.03;
+    w.per_gpu_batch = 256;
+    w.comm_overlap = 0.6;
+    w.iteration_overhead_us = 1800.0;
+    w.validate();
+    return w;
+}
+
+} // namespace
+
+int
+main()
+{
+    wl::WorkloadSpec vit = vitSmall();
+    wl::GraphTotals t = vit.graph.totals();
+    std::printf("Workload: %s\n", vit.model_name.c_str());
+    std::printf("  %.1f M params, %.2f GFLOP/sample fwd, %zu ops, "
+                "TC-eligible %.1f%%\n\n",
+                vit.graph.paramCount() / 1e6, t.fwd_flops / 1e9,
+                vit.graph.size(),
+                100.0 * vit.graph.tensorEligibleFlopFraction());
+
+    // Scaling sweep on the 8-GPU box.
+    sys::SystemConfig dss = sys::dss8440();
+    train::Trainer trainer(dss);
+    std::printf("Scaling on %s:\n", dss.name.c_str());
+    double base = 0.0;
+    for (int n : {1, 2, 4, 8}) {
+        train::RunOptions opts;
+        opts.num_gpus = n;
+        auto r = trainer.run(vit, opts);
+        if (n == 1)
+            base = r.total_seconds;
+        std::printf("  %d GPU(s): %7.1f min  (speedup %.2fx, fabric "
+                    "%s)\n", n, r.totalMinutes(),
+                    base / r.total_seconds,
+                    net::toString(r.fabric).c_str());
+    }
+
+    // Mixed-precision sensitivity.
+    train::RunOptions opts;
+    opts.num_gpus = 8;
+    opts.precision = hw::Precision::FP32;
+    double fp32 = trainer.run(vit, opts).total_seconds;
+    opts.precision = hw::Precision::Mixed;
+    double mixed = trainer.run(vit, opts).total_seconds;
+    std::printf("\nMixed-precision speedup at 8 GPUs: %.2fx\n",
+                fp32 / mixed);
+
+    // Topology sensitivity across the paper's 4-GPU platforms.
+    std::printf("\nTopology sensitivity (4 GPUs):\n");
+    for (const auto &machine : sys::figure5Systems()) {
+        train::Trainer tr(machine);
+        train::RunOptions o;
+        o.num_gpus = 4;
+        std::printf("  %-11s %7.1f min\n", machine.name.c_str(),
+                    tr.run(vit, o).totalMinutes());
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Profiling tour: the nvprof / dstat / nvidia-smi dmon analog
+ * toolchain applied to one run — kernel-level hotspots, host-level
+ * time series, per-device counters, and CSV export for further
+ * analysis (the measurement workflow of the paper's Section III-C).
+ */
+
+#include <cstdio>
+
+#include "models/zoo.h"
+#include "prof/csv.h"
+#include "prof/device_monitor.h"
+#include "prof/kernel_profiler.h"
+#include "prof/sys_monitor.h"
+#include "sys/machines.h"
+#include "train/trainer.h"
+
+int
+main()
+{
+    using namespace mlps;
+
+    sys::SystemConfig machine = sys::c4140K();
+    train::Trainer trainer(machine);
+    auto spec = *models::findWorkload("MLPf_GNMT_Py");
+
+    // --- nvprof analog: per-kernel statistics over the run ---
+    prof::KernelProfiler nvprof;
+    train::RunOptions opts;
+    opts.num_gpus = 2;
+    train::TrainResult result = trainer.run(spec, opts, &nvprof);
+
+    std::printf("=== nvprof analog: %s on %s (2 GPUs) ===\n\n%s\n",
+                spec.abbrev.c_str(), machine.name.c_str(),
+                nvprof.summary(10).c_str());
+    std::printf("ROI totals: %.2f TFLOP/s sustained, %.1f FLOP/byte\n\n",
+                nvprof.aggregateFlopsPerSec() / 1e12,
+                nvprof.aggregateIntensity());
+
+    // --- dstat analog: whole-host 1 Hz samples ---
+    prof::SysMonitor dstat(/*seed=*/7);
+    dstat.observe(result, 30.0);
+    std::printf("=== dstat analog (30 s window) ===\n");
+    std::printf("  t(s)  cpu%%   dram(MB)  disk(MB/s)\n");
+    for (std::size_t i = 0; i < dstat.samples().size(); i += 6) {
+        const auto &s = dstat.samples()[i];
+        std::printf("  %4.0f  %5.2f  %9.0f  %8.1f\n", s.t_s,
+                    s.cpu_util_pct, s.dram_used_mb, s.disk_read_mbps);
+    }
+    std::printf("  avg: cpu %.2f%%, dram %.0f MB\n\n",
+                dstat.avgCpuUtil(), dstat.avgDramMb());
+
+    // --- dmon analog: per-GPU counters ---
+    prof::DeviceMonitor dmon(/*seed=*/9);
+    dmon.observe(result, 30.0);
+    std::printf("=== nvidia-smi dmon analog ===\n");
+    std::printf("  gpu  sm%%    fb(MB)   pcie(Mbps)  nvlink(Mbps)\n");
+    for (std::size_t i = 0; i < dmon.samples().size() && i < 8; ++i) {
+        const auto &s = dmon.samples()[i];
+        std::printf("  %3d  %5.1f  %8.0f  %10.0f  %12.0f\n", s.gpu,
+                    s.sm_util_pct, s.hbm_used_mb, s.pcie_mbps,
+                    s.nvlink_mbps);
+    }
+    std::printf("  sums: gpu %.1f%%, hbm %.0f MB, nvlink %.0f Mbps\n\n",
+                dmon.sumGpuUtil(), dmon.sumHbmMb(),
+                dmon.sumNvlinkMbps());
+
+    // --- CSV export, dstat --output style ---
+    prof::CsvWriter csv({"t_s", "cpu_pct", "dram_mb", "disk_mbps"});
+    for (const auto &s : dstat.samples())
+        csv.addNumericRow({s.t_s, s.cpu_util_pct, s.dram_used_mb,
+                           s.disk_read_mbps});
+    const char *path = "profiling_tour_dstat.csv";
+    if (csv.writeFile(path))
+        std::printf("dstat samples exported to %s (%zu rows)\n", path,
+                    csv.rowCount());
+    return 0;
+}

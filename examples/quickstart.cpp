@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: run one MLPerf benchmark on one machine and read the
+ * results — the five-minute tour of the public API.
+ *
+ * Usage: quickstart [workload] [gpus]
+ *   workload defaults to MLPf_Res50_MX, gpus to 4.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/suite.h"
+#include "sys/machines.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mlps;
+
+    std::string workload = argc > 1 ? argv[1] : "MLPf_Res50_MX";
+    int gpus = argc > 2 ? std::atoi(argv[2]) : 4;
+
+    // 1. Pick a machine from the Table III catalogue (or build your
+    //    own sys::SystemConfig).
+    sys::SystemConfig machine = sys::c4140K();
+    std::printf("Machine:\n%s\n", machine.describe().c_str());
+
+    // 2. Bind a Suite to it. The Suite owns the benchmark registry.
+    core::Suite suite(machine);
+    const core::Benchmark *bench = suite.registry().find(workload);
+    if (!bench) {
+        std::fprintf(stderr, "unknown workload '%s'; try one of:\n",
+                     workload.c_str());
+        for (const auto &b : suite.registry().all())
+            std::fprintf(stderr, "  %s\n", b.abbrev().c_str());
+        return 1;
+    }
+    std::printf("Benchmark: %s\n\n", bench->statsRow().c_str());
+
+    // 3. Run it.
+    train::RunOptions opts;
+    opts.num_gpus = gpus;
+    opts.precision = hw::Precision::Mixed;
+    train::TrainResult r = suite.run(workload, opts);
+
+    // 4. Read the results.
+    std::printf("Run: %d x %s, %s precision\n", r.num_gpus,
+                machine.gpu.name.c_str(),
+                hw::toString(r.precision).c_str());
+    std::printf("  per-GPU batch      %g (global %g)\n",
+                r.per_gpu_batch, r.global_batch);
+    std::printf("  epochs to target   %.1f x %g steps\n", r.epochs,
+                r.steps_per_epoch);
+    std::printf("  iteration          %.1f ms (fwd %.1f, bwd %.1f, "
+                "exposed comm %.1f, host %.1f)\n",
+                r.iter.iteration_s * 1e3, r.iter.fwd_s * 1e3,
+                r.iter.bwd_s * 1e3, r.iter.exposed_comm_s * 1e3,
+                r.iter.host_s * 1e3);
+    std::printf("  collective fabric  %s\n",
+                net::toString(r.fabric).c_str());
+    std::printf("  GPU util (sum)     %.1f %%\n",
+                r.usage.gpu_util_pct_sum);
+    std::printf("  CPU util           %.1f %%\n", r.usage.cpu_util_pct);
+    std::printf("  HBM footprint      %.0f MB\n",
+                r.usage.hbm_footprint_mb);
+    std::printf("  time to quality    %.1f min\n", r.totalMinutes());
+    return 0;
+}

@@ -1,0 +1,46 @@
+#include "core/benchmark.h"
+
+#include <cstdio>
+
+namespace mlps::core {
+
+Benchmark::Benchmark(wl::WorkloadSpec spec) : spec_(std::move(spec))
+{
+    spec_.validate();
+}
+
+double
+Benchmark::fwdGflopsPerSample() const
+{
+    return spec_.graph.totals().fwd_flops / 1e9;
+}
+
+std::string
+Benchmark::tableRow() const
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%-15s %-32s %-30s %-11s %-12s %-22s %s",
+                  spec_.abbrev.c_str(), spec_.domain.c_str(),
+                  spec_.model_name.c_str(), spec_.framework.c_str(),
+                  spec_.submitter.c_str(), spec_.dataset.name.c_str(),
+                  spec_.convergence.quality_target.c_str());
+    return buf;
+}
+
+std::string
+Benchmark::statsRow() const
+{
+    wl::GraphTotals t = spec_.graph.totals();
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%-15s %8.2f GFLOP/sample fwd, %7.1f M params, "
+                  "%3d ops, TC-eligible %4.1f%%",
+                  spec_.abbrev.c_str(), t.fwd_flops / 1e9,
+                  t.param_bytes / 4e6,
+                  t.op_count,
+                  100.0 * spec_.graph.tensorEligibleFlopFraction());
+    return buf;
+}
+
+} // namespace mlps::core

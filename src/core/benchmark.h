@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Benchmark: the public, suite-level view of one workload — its
+ * Table II identity plus formatting helpers.
+ */
+
+#ifndef MLPSIM_CORE_BENCHMARK_H
+#define MLPSIM_CORE_BENCHMARK_H
+
+#include <string>
+
+#include "wl/workload.h"
+
+namespace mlps::core {
+
+/** One suite entry. */
+class Benchmark
+{
+  public:
+    explicit Benchmark(wl::WorkloadSpec spec);
+
+    const wl::WorkloadSpec &spec() const { return spec_; }
+    const std::string &abbrev() const { return spec_.abbrev; }
+    wl::SuiteTag suite() const { return spec_.suite; }
+
+    /** Trainable parameter count. */
+    double paramCount() const { return spec_.graph.paramCount(); }
+
+    /** Forward GFLOPs per sample. */
+    double fwdGflopsPerSample() const;
+
+    /** Table II style row: abbrev | domain | model | framework | ... */
+    std::string tableRow() const;
+
+    /** Short one-line summary with model statistics. */
+    std::string statsRow() const;
+
+  private:
+    wl::WorkloadSpec spec_;
+};
+
+} // namespace mlps::core
+
+#endif // MLPSIM_CORE_BENCHMARK_H

@@ -1,0 +1,73 @@
+#include "core/characterize.h"
+
+#include <cmath>
+
+#include "prof/kernel_profiler.h"
+#include "sim/logger.h"
+#include "train/trainer.h"
+
+namespace mlps::core {
+
+CharacterizationReport
+characterize(const sys::SystemConfig &system, int num_gpus)
+{
+    Registry registry;
+    train::Trainer trainer(system);
+
+    CharacterizationReport report;
+    for (const Benchmark &b : registry.all()) {
+        train::RunOptions opts;
+        // DeepBench's collective benchmark is meaningless on one GPU;
+        // everything else runs at the requested count (collectives
+        // need at least two).
+        opts.num_gpus = num_gpus;
+        if (b.spec().mode == wl::RunMode::CollectiveLoop &&
+            num_gpus < 2) {
+            opts.num_gpus = std::min(2, system.num_gpus);
+        }
+        opts.precision = hw::Precision::Mixed;
+
+        prof::KernelProfiler profiler;
+        train::TrainResult result =
+            trainer.run(b.spec(), opts, &profiler);
+
+        report.workloads.push_back(b.abbrev());
+        report.suites.push_back(b.suite());
+        report.metrics.push_back(prof::extractMetrics(result));
+
+        stats::RooflinePoint pt;
+        pt.label = b.abbrev();
+        pt.intensity = profiler.aggregateIntensity();
+        pt.flops = profiler.aggregateFlopsPerSec();
+        report.roofline_points.push_back(pt);
+    }
+
+    stats::Matrix samples(prof::toMatrix(report.metrics));
+    report.pca = stats::pca(samples, true);
+    return report;
+}
+
+double
+suiteSeparation(const CharacterizationReport &report, int pc,
+                wl::SuiteTag a, wl::SuiteTag b)
+{
+    if (pc < 0 || pc >= report.pca.scores.cols())
+        sim::fatal("suiteSeparation: bad PC index %d", pc);
+    double sum_a = 0.0, sum_b = 0.0;
+    int n_a = 0, n_b = 0;
+    for (std::size_t i = 0; i < report.suites.size(); ++i) {
+        double score = report.pca.scores.at(static_cast<int>(i), pc);
+        if (report.suites[i] == a) {
+            sum_a += score;
+            ++n_a;
+        } else if (report.suites[i] == b) {
+            sum_b += score;
+            ++n_b;
+        }
+    }
+    if (n_a == 0 || n_b == 0)
+        sim::fatal("suiteSeparation: a suite has no members");
+    return std::fabs(sum_a / n_a - sum_b / n_b);
+}
+
+} // namespace mlps::core

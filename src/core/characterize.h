@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The characterization pipeline: runs the whole benchmark population
+ * under the paper's measurement setup (C4140 (K), one GPU, profilers
+ * attached), extracts the eight workload characteristics, and feeds
+ * the similarity (PCA, Figure 1) and roofline (Figure 2) analyses.
+ */
+
+#ifndef MLPSIM_CORE_CHARACTERIZE_H
+#define MLPSIM_CORE_CHARACTERIZE_H
+
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "prof/metric_set.h"
+#include "stats/pca.h"
+#include "stats/roofline.h"
+#include "sys/system_config.h"
+
+namespace mlps::core {
+
+/** Output of the full characterization pipeline. */
+struct CharacterizationReport {
+    /** Workload abbreviations, row order of the matrices below. */
+    std::vector<std::string> workloads;
+    /** Suite tag per workload. */
+    std::vector<wl::SuiteTag> suites;
+    /** The eight characteristics per workload. */
+    std::vector<prof::MetricSet> metrics;
+    /** PCA over the standardised characteristics. */
+    stats::PcaResult pca;
+    /** Roofline placement (achieved FLOP/s vs intensity) per workload. */
+    std::vector<stats::RooflinePoint> roofline_points;
+};
+
+/**
+ * Run the characterization study.
+ *
+ * @param system   machine to measure on (the paper used C4140 (K)).
+ * @param num_gpus GPU count of the measurement runs.
+ */
+CharacterizationReport characterize(const sys::SystemConfig &system,
+                                    int num_gpus = 1);
+
+/**
+ * Mean PC-score separation between two suites on one component —
+ * the quantity behind the "MLPerf is disjoint from the others on PC1"
+ * claim.
+ */
+double suiteSeparation(const CharacterizationReport &report, int pc,
+                       wl::SuiteTag a, wl::SuiteTag b);
+
+} // namespace mlps::core
+
+#endif // MLPSIM_CORE_CHARACTERIZE_H

@@ -1,0 +1,45 @@
+#include "core/registry.h"
+
+#include "models/zoo.h"
+
+namespace mlps::core {
+
+Registry::Registry()
+{
+    for (auto &spec : models::allWorkloads())
+        benchmarks_.emplace_back(std::move(spec));
+}
+
+std::vector<const Benchmark *>
+Registry::bySuite(wl::SuiteTag tag) const
+{
+    std::vector<const Benchmark *> out;
+    for (const auto &b : benchmarks_) {
+        if (b.suite() == tag)
+            out.push_back(&b);
+    }
+    return out;
+}
+
+const Benchmark *
+Registry::find(const std::string &abbrev) const
+{
+    for (const auto &b : benchmarks_) {
+        if (b.abbrev() == abbrev)
+            return &b;
+    }
+    return nullptr;
+}
+
+std::vector<const Benchmark *>
+Registry::mlperfTrainable() const
+{
+    std::vector<const Benchmark *> out;
+    for (const Benchmark *b : bySuite(wl::SuiteTag::MLPerf)) {
+        if (b->spec().mode == wl::RunMode::Training)
+            out.push_back(b);
+    }
+    return out;
+}
+
+} // namespace mlps::core

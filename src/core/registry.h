@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Benchmark registry: name-indexed access to every workload of the
+ * study (Table II), grouped by suite.
+ */
+
+#ifndef MLPSIM_CORE_REGISTRY_H
+#define MLPSIM_CORE_REGISTRY_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/benchmark.h"
+
+namespace mlps::core {
+
+/** Immutable registry of the fifteen study workloads. */
+class Registry
+{
+  public:
+    /** Build the default registry (the full Table II population). */
+    Registry();
+
+    /** All benchmarks, MLPerf first. */
+    const std::vector<Benchmark> &all() const { return benchmarks_; }
+
+    /** Benchmarks belonging to one suite. */
+    std::vector<const Benchmark *> bySuite(wl::SuiteTag tag) const;
+
+    /** Lookup by abbreviation; nullptr when absent. */
+    const Benchmark *find(const std::string &abbrev) const;
+
+    /**
+     * The MLPerf workloads that train end-to-end (excludes nothing
+     * here; the RL benchmark is excluded at zoo level, as in the
+     * paper).
+     */
+    std::vector<const Benchmark *> mlperfTrainable() const;
+
+    /** Number of registered benchmarks. */
+    std::size_t size() const { return benchmarks_.size(); }
+
+  private:
+    std::vector<Benchmark> benchmarks_;
+};
+
+} // namespace mlps::core
+
+#endif // MLPSIM_CORE_REGISTRY_H

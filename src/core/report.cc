@@ -1,0 +1,186 @@
+#include "core/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/characterize.h"
+#include "core/suite.h"
+#include "sched/naive.h"
+#include "sched/optimal.h"
+#include "sys/machines.h"
+
+namespace mlps::core {
+
+namespace {
+
+const std::vector<std::string> &
+mlperfNames()
+{
+    static const std::vector<std::string> names = {
+        "MLPf_Res50_TF", "MLPf_Res50_MX", "MLPf_SSD_Py",
+        "MLPf_MRCNN_Py", "MLPf_XFMR_Py",  "MLPf_GNMT_Py",
+        "MLPf_NCF_Py",
+    };
+    return names;
+}
+
+void
+appendScaling(std::ostringstream &os, Suite &suite)
+{
+    os << "## Scaling efficiency (Table IV)\n\n"
+       << "| Benchmark | 1x P100 (min) | 1x V100 (min) | P-to-V | "
+          "1-to-2 | 1-to-4 | 1-to-8 |\n"
+       << "|---|---|---|---|---|---|---|\n";
+    std::vector<std::string> names = mlperfNames();
+    names.erase(names.begin() + 5); // GNMT is absent from Table IV
+    auto rows = suite.scalingStudy(names, {1, 2, 4, 8});
+    char line[256];
+    for (const auto &r : rows) {
+        std::snprintf(line, sizeof(line),
+                      "| %s | %.1f | %.1f | %.2fx | %.2fx | %.2fx | "
+                      "%.2fx |\n",
+                      r.workload.c_str(), r.p100_minutes,
+                      r.v100_minutes, r.p_to_v, r.scaling.at(2),
+                      r.scaling.at(4), r.scaling.at(8));
+        os << line;
+    }
+    os << "\n";
+}
+
+void
+appendMixedPrecision(std::ostringstream &os, Suite &suite)
+{
+    os << "## Mixed precision speedups (Figure 3, 8 GPUs)\n\n"
+       << "| Benchmark | speedup |\n|---|---|\n";
+    auto speedups = suite.mixedPrecisionStudy(mlperfNames(), 8);
+    char line[128];
+    for (const auto &name : mlperfNames()) {
+        std::snprintf(line, sizeof(line), "| %s | %.2fx |\n",
+                      name.c_str(), speedups.at(name));
+        os << line;
+    }
+    os << "\n";
+}
+
+void
+appendTopology(std::ostringstream &os)
+{
+    os << "## Topology impact (Figure 5, 4 GPUs, minutes)\n\n"
+       << "| Benchmark |";
+    auto systems = sys::figure5Systems();
+    for (const auto &s : systems)
+        os << " " << s.name << " |";
+    os << "\n|---|";
+    for (std::size_t i = 0; i < systems.size(); ++i)
+        os << "---|";
+    os << "\n";
+    char cell[64];
+    for (const auto &name : mlperfNames()) {
+        os << "| " << name << " |";
+        for (const auto &s : systems) {
+            Suite suite(s);
+            train::RunOptions opts;
+            opts.num_gpus = 4;
+            std::snprintf(cell, sizeof(cell), " %.1f |",
+                          suite.run(name, opts).totalMinutes());
+            os << cell;
+        }
+        os << "\n";
+    }
+    os << "\n";
+}
+
+void
+appendScheduling(std::ostringstream &os, Suite &suite)
+{
+    os << "## Optimal vs naive scheduling (Figure 4)\n\n"
+       << "| GPUs | naive (h) | optimal (h) | saved (h) |\n"
+       << "|---|---|---|---|\n";
+    std::vector<sched::JobSpec> jobs;
+    for (const auto &name : mlperfNames()) {
+        sched::JobSpec j;
+        j.name = name;
+        for (int w = 1; w <= 8; w *= 2) {
+            train::RunOptions opts;
+            opts.num_gpus = w;
+            j.seconds_at_width[w] = suite.run(name, opts).total_seconds;
+        }
+        jobs.push_back(std::move(j));
+    }
+    char line[128];
+    for (int g : {2, 4, 8}) {
+        double naive = sched::naiveSchedule(jobs, g).makespan();
+        double opt = sched::optimalSchedule(jobs, g).makespan_s;
+        std::snprintf(line, sizeof(line),
+                      "| %d | %.2f | %.2f | %.1f |\n", g,
+                      naive / 3600.0, opt / 3600.0,
+                      (naive - opt) / 3600.0);
+        os << line;
+    }
+    os << "\n";
+}
+
+void
+appendCharacterization(std::ostringstream &os)
+{
+    sys::SystemConfig k = sys::c4140K();
+    auto rep = characterize(k, 1);
+    os << "## Workload characterization (Figures 1-2, on "
+       << k.name << ")\n\n"
+       << "| Workload | Suite | PC1 | PC2 | FLOP/B | TFLOP/s |\n"
+       << "|---|---|---|---|---|---|\n";
+    char line[192];
+    for (std::size_t i = 0; i < rep.workloads.size(); ++i) {
+        int r = static_cast<int>(i);
+        std::snprintf(line, sizeof(line),
+                      "| %s | %s | %.2f | %.2f | %.1f | %.2f |\n",
+                      rep.workloads[i].c_str(),
+                      wl::toString(rep.suites[i]).c_str(),
+                      rep.pca.scores.at(r, 0), rep.pca.scores.at(r, 1),
+                      rep.roofline_points[i].intensity,
+                      rep.roofline_points[i].flops / 1e12);
+        os << line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "\nPC1-PC4 explained variance: %.1f%%\n\n",
+                  100.0 * rep.pca.cumulativeVariance(4));
+    os << line;
+}
+
+} // namespace
+
+std::string
+generateStudyReport(const ReportOptions &opts)
+{
+    std::ostringstream os;
+    sys::SystemConfig dss = sys::dss8440();
+    Suite suite(dss);
+
+    os << "# mlpsim study report\n\n"
+       << "Reproduction of 'Demystifying the MLPerf Training "
+          "Benchmark Suite' (ISPASS 2020); all numbers modeled.\n\n";
+    if (opts.include_scaling)
+        appendScaling(os, suite);
+    if (opts.include_mixed_precision)
+        appendMixedPrecision(os, suite);
+    if (opts.include_topology)
+        appendTopology(os);
+    if (opts.include_scheduling)
+        appendScheduling(os, suite);
+    if (opts.include_characterization)
+        appendCharacterization(os);
+    return os.str();
+}
+
+bool
+writeStudyReport(const std::string &path, const ReportOptions &opts)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << generateStudyReport(opts);
+    return static_cast<bool>(out);
+}
+
+} // namespace mlps::core

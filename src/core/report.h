@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Study report generator: runs the full reproduction (all tables and
+ * figures) and renders one self-contained markdown document — the
+ * artifact a user hands around after running the suite on a machine
+ * catalogue.
+ */
+
+#ifndef MLPSIM_CORE_REPORT_H
+#define MLPSIM_CORE_REPORT_H
+
+#include <string>
+
+namespace mlps::core {
+
+/** Options of the report run. */
+struct ReportOptions {
+    /** GPU counts of the scaling study. */
+    bool include_scaling = true;
+    bool include_mixed_precision = true;
+    bool include_topology = true;
+    bool include_scheduling = true;
+    bool include_characterization = true;
+};
+
+/**
+ * Run the study and render the report.
+ *
+ * @return the markdown text.
+ */
+std::string generateStudyReport(const ReportOptions &opts = {});
+
+/** Run the study and write the report to a file. */
+bool writeStudyReport(const std::string &path,
+                      const ReportOptions &opts = {});
+
+} // namespace mlps::core
+
+#endif // MLPSIM_CORE_REPORT_H

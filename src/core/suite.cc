@@ -1,0 +1,93 @@
+#include "core/suite.h"
+
+#include "sim/logger.h"
+#include "sys/machines.h"
+
+namespace mlps::core {
+
+Suite::Suite(const sys::SystemConfig &system)
+    : system_(system), trainer_(system_),
+      reference_(sys::mlperfReference())
+{
+}
+
+train::TrainResult
+Suite::run(const std::string &abbrev, const train::RunOptions &opts,
+           prof::KernelProfiler *profiler) const
+{
+    const Benchmark *b = registry_.find(abbrev);
+    if (!b)
+        sim::fatal("Suite: unknown benchmark '%s'", abbrev.c_str());
+    return trainer_.run(b->spec(), opts, profiler);
+}
+
+std::vector<train::TrainResult>
+Suite::runSuite(wl::SuiteTag tag, const train::RunOptions &opts) const
+{
+    std::vector<train::TrainResult> out;
+    for (const Benchmark *b : registry_.bySuite(tag))
+        out.push_back(trainer_.run(b->spec(), opts, nullptr));
+    return out;
+}
+
+std::vector<ScalingRow>
+Suite::scalingStudy(const std::vector<std::string> &abbrevs,
+                    const std::vector<int> &gpu_counts) const
+{
+    train::Trainer ref_trainer(reference_);
+    std::vector<ScalingRow> rows;
+    for (const auto &abbrev : abbrevs) {
+        const Benchmark *b = registry_.find(abbrev);
+        if (!b)
+            sim::fatal("Suite: unknown benchmark '%s'", abbrev.c_str());
+        ScalingRow row;
+        row.workload = abbrev;
+
+        // P100 column: the v0.5 reference code, fp32, one GPU.
+        train::RunOptions ref_opts;
+        ref_opts.num_gpus = 1;
+        ref_opts.precision = hw::Precision::FP32;
+        ref_opts.reference_code = true;
+        row.p100_minutes =
+            ref_trainer.run(b->spec(), ref_opts).totalMinutes();
+
+        // V100 columns: the tuned submission, mixed precision.
+        train::RunOptions opts;
+        opts.precision = hw::Precision::Mixed;
+        opts.num_gpus = 1;
+        double base = trainer_.run(b->spec(), opts).total_seconds;
+        row.v100_minutes = base / 60.0;
+        row.p_to_v = row.p100_minutes / row.v100_minutes;
+        for (int n : gpu_counts) {
+            if (n == 1)
+                continue;
+            opts.num_gpus = n;
+            double t = trainer_.run(b->spec(), opts).total_seconds;
+            row.scaling[n] = base / t;
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::map<std::string, double>
+Suite::mixedPrecisionStudy(const std::vector<std::string> &abbrevs,
+                           int num_gpus) const
+{
+    std::map<std::string, double> speedups;
+    for (const auto &abbrev : abbrevs) {
+        const Benchmark *b = registry_.find(abbrev);
+        if (!b)
+            sim::fatal("Suite: unknown benchmark '%s'", abbrev.c_str());
+        train::RunOptions opts;
+        opts.num_gpus = num_gpus;
+        opts.precision = hw::Precision::FP32;
+        double fp32 = trainer_.run(b->spec(), opts).total_seconds;
+        opts.precision = hw::Precision::Mixed;
+        double mixed = trainer_.run(b->spec(), opts).total_seconds;
+        speedups[abbrev] = fp32 / mixed;
+    }
+    return speedups;
+}
+
+} // namespace mlps::core

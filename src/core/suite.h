@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Suite: the top-level experiment driver. Binds a Registry to a
+ * system configuration and exposes the studies of the paper as
+ * methods: single runs, GPU-count scaling sweeps, precision
+ * comparisons, and cross-system comparisons.
+ */
+
+#ifndef MLPSIM_CORE_SUITE_H
+#define MLPSIM_CORE_SUITE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "sys/system_config.h"
+#include "train/trainer.h"
+
+namespace mlps::core {
+
+/** One scaling-study row (Table IV). */
+struct ScalingRow {
+    std::string workload;
+    double p100_minutes = 0.0;
+    double v100_minutes = 0.0;
+    /** speedup of 1x V100 submission over 1x P100 reference. */
+    double p_to_v = 0.0;
+    /** speedup of n GPUs over 1, keyed by n. */
+    std::map<int, double> scaling;
+};
+
+/** Experiment driver bound to one machine. */
+class Suite
+{
+  public:
+    /** Binds to a copy of the configuration (safe with temporaries). */
+    explicit Suite(const sys::SystemConfig &system);
+
+    const sys::SystemConfig &system() const { return system_; }
+    const Registry &registry() const { return registry_; }
+
+    /** Run one benchmark by abbreviation. */
+    train::TrainResult run(const std::string &abbrev,
+                           const train::RunOptions &opts,
+                           prof::KernelProfiler *profiler = nullptr) const;
+
+    /** Run every benchmark of a suite with the same options. */
+    std::vector<train::TrainResult>
+    runSuite(wl::SuiteTag tag, const train::RunOptions &opts) const;
+
+    /**
+     * Table IV scaling study: per workload, time on the P100
+     * reference, on one V100 of this system, and speedups at the
+     * given GPU counts.
+     */
+    std::vector<ScalingRow>
+    scalingStudy(const std::vector<std::string> &abbrevs,
+                 const std::vector<int> &gpu_counts) const;
+
+    /**
+     * Figure 3 mixed-precision study: fp32 vs mixed total time at the
+     * given GPU count. @return map abbrev -> speedup.
+     */
+    std::map<std::string, double>
+    mixedPrecisionStudy(const std::vector<std::string> &abbrevs,
+                        int num_gpus) const;
+
+  private:
+    sys::SystemConfig system_;
+    Registry registry_;
+    train::Trainer trainer_;
+    sys::SystemConfig reference_; ///< 1x P100 machine
+};
+
+} // namespace mlps::core
+
+#endif // MLPSIM_CORE_SUITE_H

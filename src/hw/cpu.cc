@@ -1,0 +1,40 @@
+#include "hw/cpu.h"
+
+#include "sim/logger.h"
+
+namespace mlps::hw {
+
+double
+CpuSpec::powerWatts(double util_frac) const
+{
+    if (util_frac < 0.0 || util_frac > 1.0)
+        sim::fatal("CpuSpec::powerWatts: utilization %g out of [0,1]",
+                   util_frac);
+    return idle_watts + (tdp_watts - idle_watts) * util_frac;
+}
+
+CpuSpec
+xeonGold6148()
+{
+    CpuSpec c;
+    c.name = "Intel Xeon Gold 6148";
+    c.cores = 20;
+    c.base_ghz = 2.4;
+    c.pcie_lanes = 48;
+    c.dram = DramSpec{};
+    return c;
+}
+
+CpuSpec
+xeonGold6142()
+{
+    CpuSpec c;
+    c.name = "Intel Xeon Gold 6142";
+    c.cores = 16;
+    c.base_ghz = 2.6;
+    c.pcie_lanes = 48;
+    c.dram = DramSpec{};
+    return c;
+}
+
+} // namespace mlps::hw

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Host CPU and DRAM model.
+ *
+ * The host side matters to the paper in three ways: CPU utilization
+ * scales with GPU count (Table V), the input pipeline (decode/augment)
+ * can bottleneck training, and DRAM/UPI bandwidth bounds staged
+ * GPU-to-GPU transfers on systems without P2P (Figure 5).
+ */
+
+#ifndef MLPSIM_HW_CPU_H
+#define MLPSIM_HW_CPU_H
+
+#include <string>
+
+namespace mlps::hw {
+
+/** DDR4 memory subsystem attached to one socket. */
+struct DramSpec {
+    /** Number of populated DIMMs on this socket. */
+    int dimms = 6;
+    /** Capacity per DIMM, GiB. */
+    double dimm_gib = 16.0;
+    /** Channels used (Skylake-SP: up to 6). */
+    int channels = 6;
+    /** Per-channel unidirectional bandwidth, GB/s (DDR4-2666 ~ 21.3). */
+    double channel_gbps = 21.3;
+
+    /** Total capacity in GiB. */
+    double capacityGib() const { return dimms * dimm_gib; }
+
+    /** Aggregate bandwidth in GB/s. */
+    double bandwidthGbps() const { return channels * channel_gbps; }
+};
+
+/** One CPU socket (Intel Xeon Gold class in all Table III systems). */
+struct CpuSpec {
+    std::string name;
+    int cores = 20;
+    double base_ghz = 2.4;
+    /** PCIe 3.0 lanes provided by this socket. */
+    int pcie_lanes = 48;
+    /** Idle package power, watts. */
+    double idle_watts = 45.0;
+    /** Package power limit (TDP), watts. */
+    double tdp_watts = 150.0;
+    DramSpec dram;
+
+    /** Package power at a utilization fraction (linear model). */
+    double powerWatts(double util_frac) const;
+
+    /**
+     * Scalar preprocessing throughput proxy: core-GHz available on the
+     * socket. The input pipeline model divides per-sample CPU cost by
+     * this to get wall time.
+     */
+    double coreGhzTotal() const { return cores * base_ghz; }
+};
+
+/** Intel Xeon Gold 6148: 20 cores @ 2.4 GHz (most Table III systems). */
+CpuSpec xeonGold6148();
+
+/** Intel Xeon Gold 6142: 16 cores @ 2.6 GHz (DSS 8440). */
+CpuSpec xeonGold6142();
+
+} // namespace mlps::hw
+
+#endif // MLPSIM_HW_CPU_H

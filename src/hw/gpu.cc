@@ -1,0 +1,142 @@
+#include "hw/gpu.h"
+
+#include "sim/logger.h"
+
+namespace mlps::hw {
+
+double
+GpuSpec::powerWatts(double util_frac) const
+{
+    if (util_frac < 0.0 || util_frac > 1.0)
+        sim::fatal("GpuSpec::powerWatts: utilization %g out of [0,1]",
+                   util_frac);
+    return idle_watts + (tdp_watts - idle_watts) * util_frac;
+}
+
+double
+GpuSpec::peakFlops(Precision p, bool tensor_eligible) const
+{
+    switch (p) {
+      case Precision::FP64:
+        return fp64_tflops * 1e12;
+      case Precision::FP32:
+        return fp32_tflops * 1e12;
+      case Precision::FP16:
+        return fp16_tflops * 1e12;
+      case Precision::Mixed:
+        if (tensor_eligible && hasTensorCores())
+            return tensor_tflops * 1e12;
+        // Non-eligible ops still run in fp16 vector units under AMP.
+        return fp16_tflops * 1e12;
+    }
+    sim::panic("GpuSpec::peakFlops: bad precision");
+}
+
+GpuSpec
+teslaV100Sxm2_16()
+{
+    GpuSpec g;
+    g.name = "Tesla V100-SXM2-16GB";
+    g.fp64_tflops = 7.8;
+    g.fp32_tflops = 15.7;
+    g.fp16_tflops = 31.4;
+    g.tensor_tflops = 125.0;
+    g.hbm_gbps = 900.0;
+    g.hbm_gib = 16.0;
+    g.form = FormFactor::SXM2;
+    g.nvlink_lanes = 6;
+    g.nvlink_lane_gbps = 25.0;
+    g.tdp_watts = 300.0;
+    return g;
+}
+
+GpuSpec
+teslaV100Sxm2_32()
+{
+    GpuSpec g = teslaV100Sxm2_16();
+    g.name = "Tesla V100-SXM2-32GB";
+    g.hbm_gib = 32.0;
+    return g;
+}
+
+GpuSpec
+teslaV100Pcie_16()
+{
+    GpuSpec g;
+    g.name = "Tesla V100-PCIE-16GB";
+    g.fp64_tflops = 7.0;
+    g.fp32_tflops = 14.0;
+    g.fp16_tflops = 28.0;
+    g.tensor_tflops = 112.0;
+    g.hbm_gbps = 900.0;
+    g.hbm_gib = 16.0;
+    g.form = FormFactor::PCIe;
+    g.nvlink_lanes = 0;
+    g.tdp_watts = 250.0;
+    return g;
+}
+
+GpuSpec
+teslaV100Pcie_32()
+{
+    GpuSpec g = teslaV100Pcie_16();
+    g.name = "Tesla V100-PCIE-32GB";
+    g.hbm_gib = 32.0;
+    return g;
+}
+
+GpuSpec
+teslaP100Pcie_16()
+{
+    GpuSpec g;
+    g.name = "Tesla P100-PCIE-16GB";
+    g.fp64_tflops = 4.7;
+    g.fp32_tflops = 9.3;
+    g.fp16_tflops = 18.7;
+    g.tensor_tflops = 0.0;
+    g.hbm_gbps = 732.0;
+    g.hbm_gib = 16.0;
+    g.form = FormFactor::PCIe;
+    g.nvlink_lanes = 0;
+    g.tdp_watts = 250.0;
+    return g;
+}
+
+GpuSpec
+teslaT4()
+{
+    GpuSpec g;
+    g.name = "Tesla T4";
+    g.fp64_tflops = 0.25;
+    g.fp32_tflops = 8.1;
+    g.fp16_tflops = 16.2;
+    g.tensor_tflops = 65.0;
+    g.hbm_gbps = 320.0; // GDDR6
+    g.hbm_gib = 16.0;
+    g.form = FormFactor::PCIe;
+    g.nvlink_lanes = 0;
+    g.idle_watts = 10.0;
+    g.tdp_watts = 70.0;
+    return g;
+}
+
+GpuSpec
+a100Sxm4_40()
+{
+    GpuSpec g;
+    g.name = "A100-SXM4-40GB";
+    g.fp64_tflops = 9.7;
+    g.fp32_tflops = 19.5;
+    g.fp16_tflops = 78.0;
+    g.tensor_tflops = 312.0; // TF32/FP16 tensor cores
+    g.hbm_gbps = 1555.0;
+    g.hbm_gib = 40.0;
+    g.form = FormFactor::SXM2; // SXM-class socket
+    g.nvlink_lanes = 12;
+    g.nvlink_lane_gbps = 25.0;
+    g.idle_watts = 50.0;
+    g.tdp_watts = 400.0;
+    return g;
+}
+
+} // namespace mlps::hw

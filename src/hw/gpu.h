@@ -1,0 +1,111 @@
+/**
+ * @file
+ * GPU hardware model.
+ *
+ * GpuSpec captures the datasheet-level capabilities that drive the
+ * roofline timing model: per-precision peak FLOP rates, tensor-core
+ * rate, HBM2 bandwidth and capacity, form factor and NVLink lane count.
+ * Factory functions provide the devices used in the paper (Tesla V100
+ * in SXM2 and PCIe form factors, Tesla P100 as the MLPerf v0.5
+ * reference machine).
+ */
+
+#ifndef MLPSIM_HW_GPU_H
+#define MLPSIM_HW_GPU_H
+
+#include <cstdint>
+#include <string>
+
+#include "hw/precision.h"
+
+namespace mlps::hw {
+
+/** GPU physical packaging; decides which fabrics it can attach to. */
+enum class FormFactor {
+    PCIe,
+    SXM2,
+};
+
+/** Datasheet-level GPU capability description. */
+struct GpuSpec {
+    std::string name;
+
+    /** Peak double-precision rate, TFLOP/s. */
+    double fp64_tflops = 0.0;
+    /** Peak single-precision rate, TFLOP/s. */
+    double fp32_tflops = 0.0;
+    /** Peak half-precision (non-tensor-core) rate, TFLOP/s. */
+    double fp16_tflops = 0.0;
+    /** Peak tensor-core rate, TFLOP/s; 0 when absent (e.g. P100). */
+    double tensor_tflops = 0.0;
+
+    /** HBM2 aggregate bandwidth, GB/s. */
+    double hbm_gbps = 0.0;
+    /** HBM2 capacity, GiB. */
+    double hbm_gib = 0.0;
+
+    FormFactor form = FormFactor::PCIe;
+
+    /** Number of NVLink bricks (0 for PCIe-only parts). */
+    int nvlink_lanes = 0;
+    /** Unidirectional bandwidth per NVLink brick, GB/s. */
+    double nvlink_lane_gbps = 25.0;
+
+    /** Per-kernel launch + sync overhead, microseconds. */
+    double launch_overhead_us = 6.0;
+
+    /** Idle board power, watts. */
+    double idle_watts = 40.0;
+    /** Board power limit (TDP), watts. */
+    double tdp_watts = 300.0;
+
+    /**
+     * Board power at a given SM utilization (linear interpolation
+     * between idle and TDP — the first-order model used by cluster
+     * power studies).
+     */
+    double powerWatts(double util_frac) const;
+
+    /** True when the part has tensor cores. */
+    bool hasTensorCores() const { return tensor_tflops > 0.0; }
+
+    /**
+     * Peak rate in FLOP/s for the given precision.
+     * @param tensor_eligible whether the kernel can map to tensor cores
+     *        (dense GEMM/conv contractions); only matters for Mixed.
+     */
+    double peakFlops(Precision p, bool tensor_eligible) const;
+
+    /** HBM bandwidth in bytes/s. */
+    double hbmBytesPerSec() const { return hbm_gbps * 1e9; }
+
+    /** HBM capacity in bytes. */
+    double hbmCapacityBytes() const {
+        return hbm_gib * 1024.0 * 1024.0 * 1024.0;
+    }
+};
+
+/** Tesla V100 SXM2, 16 GiB (C4140 K/M). */
+GpuSpec teslaV100Sxm2_16();
+
+/** Tesla V100 SXM2, 32 GiB. */
+GpuSpec teslaV100Sxm2_32();
+
+/** Tesla V100 PCIe, 16 GiB (C4140 B, DSS 8440). */
+GpuSpec teslaV100Pcie_16();
+
+/** Tesla V100 PCIe, 32 GiB (T640, R940xa). */
+GpuSpec teslaV100Pcie_32();
+
+/** Tesla P100 PCIe, 16 GiB: the MLPerf v0.5 reference machine's GPU. */
+GpuSpec teslaP100Pcie_16();
+
+/** Tesla T4: the low-power inference/lightweight-training part. */
+GpuSpec teslaT4();
+
+/** A100 SXM4 40 GiB: the generation after the paper's study. */
+GpuSpec a100Sxm4_40();
+
+} // namespace mlps::hw
+
+#endif // MLPSIM_HW_GPU_H

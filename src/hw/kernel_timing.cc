@@ -1,0 +1,57 @@
+#include "hw/kernel_timing.h"
+
+#include <algorithm>
+
+#include "sim/logger.h"
+
+namespace mlps::hw {
+
+KernelTiming
+timeKernel(const GpuSpec &gpu, const KernelProfile &k, Precision p)
+{
+    if (k.flops < 0.0 || k.bytes < 0.0)
+        sim::fatal("timeKernel: negative work (flops=%g bytes=%g)",
+                   k.flops, k.bytes);
+    if (k.compute_eff <= 0.0 || k.compute_eff > 1.0)
+        sim::fatal("timeKernel: compute_eff %g out of (0,1]",
+                   k.compute_eff);
+    if (k.memory_eff <= 0.0 || k.memory_eff > 1.0)
+        sim::fatal("timeKernel: memory_eff %g out of (0,1]", k.memory_eff);
+
+    KernelTiming t;
+
+    double peak = gpu.peakFlops(p, k.tensor_eligible);
+    double eff = k.compute_eff;
+    bool on_tensor_cores = p == Precision::Mixed && k.tensor_eligible &&
+                           gpu.hasTensorCores();
+    if (on_tensor_cores)
+        eff *= k.tensor_eff_scale;
+    t.compute_s = (peak > 0.0) ? k.flops / (peak * eff) : 0.0;
+
+    double traffic = k.bytes * trafficScaleVsFp32(p);
+    t.memory_s = traffic / (gpu.hbmBytesPerSec() * k.memory_eff);
+
+    t.overhead_s = gpu.launch_overhead_us * 1e-6;
+    return t;
+}
+
+double
+arithmeticIntensity(const KernelProfile &k, Precision p)
+{
+    double traffic = k.bytes * trafficScaleVsFp32(p);
+    if (traffic <= 0.0)
+        return 0.0;
+    return k.flops / traffic;
+}
+
+double
+achievedFlops(const GpuSpec &gpu, const KernelProfile &k, Precision p)
+{
+    KernelTiming t = timeKernel(gpu, k, p);
+    double total = t.total();
+    if (total <= 0.0)
+        return 0.0;
+    return k.flops / total;
+}
+
+} // namespace mlps::hw

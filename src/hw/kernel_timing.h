@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Roofline-style kernel timing model.
+ *
+ * A kernel is summarised by its floating-point work and its memory
+ * traffic (both at fp32 storage baseline); its runtime on a GPU is the
+ * max of the compute-limited and the bandwidth-limited time, plus a
+ * fixed launch overhead. This is exactly the model behind the paper's
+ * Figure 2 roofline and is accurate enough to reproduce the relative
+ * behaviour of the training workloads.
+ */
+
+#ifndef MLPSIM_HW_KERNEL_TIMING_H
+#define MLPSIM_HW_KERNEL_TIMING_H
+
+#include "hw/gpu.h"
+#include "hw/precision.h"
+
+namespace mlps::hw {
+
+/** Work/traffic summary of one kernel instance. */
+struct KernelProfile {
+    /** Floating point operations (multiply-adds count as 2). */
+    double flops = 0.0;
+    /** Bytes moved to/from HBM at fp32 storage. */
+    double bytes = 0.0;
+    /** True for dense contractions that can map onto tensor cores. */
+    bool tensor_eligible = false;
+    /** Fraction of peak FLOPs this kernel class achieves (0..1]. */
+    double compute_eff = 0.6;
+    /** Fraction of peak bandwidth this kernel class achieves (0..1]. */
+    double memory_eff = 0.75;
+    /**
+     * Additional derating applied when running on tensor cores: TC peak
+     * is hard to sustain outside large, well-shaped GEMMs.
+     */
+    double tensor_eff_scale = 0.55;
+};
+
+/** Detailed timing breakdown of one kernel execution. */
+struct KernelTiming {
+    double compute_s = 0.0;   ///< compute-limited time
+    double memory_s = 0.0;    ///< bandwidth-limited time
+    double overhead_s = 0.0;  ///< launch/sync overhead
+    /** Total modeled duration. */
+    double total() const { return std::max(compute_s, memory_s)
+                                  + overhead_s; }
+    /** True when memory_s dominates compute_s. */
+    bool memoryBound() const { return memory_s > compute_s; }
+};
+
+/**
+ * Model the execution of one kernel on a GPU.
+ *
+ * @param gpu     the device.
+ * @param k       kernel work/traffic summary (fp32-baseline bytes).
+ * @param p       precision regime of the run.
+ * @return timing breakdown; total() is the modeled duration in seconds.
+ */
+KernelTiming timeKernel(const GpuSpec &gpu, const KernelProfile &k,
+                        Precision p);
+
+/** Arithmetic intensity (FLOPs/byte) at the given precision's traffic. */
+double arithmeticIntensity(const KernelProfile &k, Precision p);
+
+/** Achieved FLOP/s of a kernel execution (flops / total time). */
+double achievedFlops(const GpuSpec &gpu, const KernelProfile &k,
+                     Precision p);
+
+} // namespace mlps::hw
+
+#endif // MLPSIM_HW_KERNEL_TIMING_H

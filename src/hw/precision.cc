@@ -1,0 +1,37 @@
+#include "hw/precision.h"
+
+#include "sim/logger.h"
+
+namespace mlps::hw {
+
+std::string
+toString(Precision p)
+{
+    switch (p) {
+      case Precision::FP64: return "fp64";
+      case Precision::FP32: return "fp32";
+      case Precision::FP16: return "fp16";
+      case Precision::Mixed: return "mixed";
+    }
+    sim::panic("toString: bad Precision %d", static_cast<int>(p));
+}
+
+int
+bytesPerElement(Precision p)
+{
+    switch (p) {
+      case Precision::FP64: return 8;
+      case Precision::FP32: return 4;
+      case Precision::FP16: return 2;
+      case Precision::Mixed: return 2; // activations live in fp16
+    }
+    sim::panic("bytesPerElement: bad Precision %d", static_cast<int>(p));
+}
+
+double
+trafficScaleVsFp32(Precision p)
+{
+    return static_cast<double>(bytesPerElement(p)) / 4.0;
+}
+
+} // namespace mlps::hw

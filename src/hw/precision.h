@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Numeric precision modes used by the training engine.
+ */
+
+#ifndef MLPSIM_HW_PRECISION_H
+#define MLPSIM_HW_PRECISION_H
+
+#include <string>
+
+namespace mlps::hw {
+
+/**
+ * Arithmetic precision of a kernel or of a training run.
+ *
+ * Mixed is the AMP-style regime of the paper's Figure 3: fp16 storage and
+ * tensor-core math for eligible ops, fp32 master weights and reductions.
+ */
+enum class Precision {
+    FP64,
+    FP32,
+    FP16,
+    Mixed,
+};
+
+/** Human-readable name ("fp32", "mixed", ...). */
+std::string toString(Precision p);
+
+/** Bytes per element for storage in the given precision. */
+int bytesPerElement(Precision p);
+
+/**
+ * Storage scale factor relative to fp32 for activations/weights moved
+ * by a kernel running in the given precision. Mixed stores activations
+ * in fp16 (0.5) like FP16; FP64 doubles traffic.
+ */
+double trafficScaleVsFp32(Precision p);
+
+} // namespace mlps::hw
+
+#endif // MLPSIM_HW_PRECISION_H

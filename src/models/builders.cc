@@ -1,0 +1,161 @@
+#include "models/builders.h"
+
+#include <algorithm>
+
+#include "sim/logger.h"
+
+namespace mlps::models {
+
+using wl::attention;
+using wl::conv2d;
+using wl::elementwise;
+using wl::gemm;
+using wl::norm;
+using wl::pool;
+using wl::rnn;
+
+namespace {
+
+double
+pixels(const SpatialState &s)
+{
+    return static_cast<double>(s.h) * s.w * s.c;
+}
+
+} // namespace
+
+void
+bottleneckBlock(wl::OpGraph &g, const std::string &prefix,
+                SpatialState &state, int c_mid, int stride)
+{
+    int c_in = state.c;
+    int c_out = 4 * c_mid;
+
+    g.add(conv2d(prefix + ".conv1", state.h, state.w, c_in, c_mid, 1));
+    SpatialState mid{state.h, state.w, c_mid};
+    g.add(norm(prefix + ".bn1", pixels(mid)));
+
+    g.add(conv2d(prefix + ".conv2", state.h, state.w, c_mid, c_mid, 3,
+                 stride));
+    mid.h = (state.h + stride - 1) / stride;
+    mid.w = (state.w + stride - 1) / stride;
+    g.add(norm(prefix + ".bn2", pixels(mid)));
+
+    g.add(conv2d(prefix + ".conv3", mid.h, mid.w, c_mid, c_out, 1));
+    SpatialState out{mid.h, mid.w, c_out};
+    g.add(norm(prefix + ".bn3", pixels(out)));
+
+    if (stride != 1 || c_in != c_out)
+        g.add(conv2d(prefix + ".proj", state.h, state.w, c_in, c_out, 1,
+                     stride));
+    g.add(elementwise(prefix + ".add_relu", pixels(out), 2.0));
+
+    state = out;
+}
+
+void
+basicBlock(wl::OpGraph &g, const std::string &prefix, SpatialState &state,
+           int c_out, int stride)
+{
+    int c_in = state.c;
+    g.add(conv2d(prefix + ".conv1", state.h, state.w, c_in, c_out, 3,
+                 stride));
+    SpatialState out{(state.h + stride - 1) / stride,
+                     (state.w + stride - 1) / stride, c_out};
+    g.add(norm(prefix + ".bn1", pixels(out)));
+    g.add(conv2d(prefix + ".conv2", out.h, out.w, c_out, c_out, 3));
+    g.add(norm(prefix + ".bn2", pixels(out)));
+    if (stride != 1 || c_in != c_out)
+        g.add(conv2d(prefix + ".proj", state.h, state.w, c_in, c_out, 1,
+                     stride));
+    g.add(elementwise(prefix + ".add_relu", pixels(out), 2.0));
+    state = out;
+}
+
+void
+resnetStem(wl::OpGraph &g, SpatialState &state, int c_out)
+{
+    g.add(conv2d("stem.conv", state.h, state.w, state.c, c_out, 7, 2));
+    state.h = (state.h + 1) / 2;
+    state.w = (state.w + 1) / 2;
+    state.c = c_out;
+    g.add(norm("stem.bn", pixels(state)));
+    state.h = (state.h + 1) / 2;
+    state.w = (state.w + 1) / 2;
+    g.add(pool("stem.maxpool", pixels(state)));
+}
+
+void
+transformerEncoderLayer(wl::OpGraph &g, const std::string &prefix, int seq,
+                        int d_model, int d_ff)
+{
+    // QKV + output projections: 4 GEMMs of [seq x d_model x d_model].
+    g.add(gemm(prefix + ".qkv_proj", seq, d_model, 3 * d_model));
+    g.add(attention(prefix + ".self_attn", seq, d_model));
+    g.add(gemm(prefix + ".out_proj", seq, d_model, d_model));
+    g.add(norm(prefix + ".ln1", static_cast<double>(seq) * d_model));
+    g.add(gemm(prefix + ".ffn1", seq, d_model, d_ff));
+    g.add(elementwise(prefix + ".relu",
+                      static_cast<double>(seq) * d_ff, 1.0));
+    g.add(gemm(prefix + ".ffn2", seq, d_ff, d_model));
+    g.add(norm(prefix + ".ln2", static_cast<double>(seq) * d_model));
+}
+
+void
+transformerDecoderLayer(wl::OpGraph &g, const std::string &prefix,
+                        int seq_tgt, int seq_src, int d_model, int d_ff)
+{
+    g.add(gemm(prefix + ".self_qkv", seq_tgt, d_model, 3 * d_model));
+    g.add(attention(prefix + ".self_attn", seq_tgt, d_model));
+    g.add(gemm(prefix + ".self_out", seq_tgt, d_model, d_model));
+    g.add(norm(prefix + ".ln1", static_cast<double>(seq_tgt) * d_model));
+
+    // Cross attention: queries from target, keys/values from source.
+    g.add(gemm(prefix + ".cross_q", seq_tgt, d_model, d_model));
+    g.add(gemm(prefix + ".cross_kv", seq_src, d_model, 2 * d_model));
+    g.add(attention(prefix + ".cross_attn",
+                    std::max(seq_tgt, seq_src), d_model));
+    g.add(gemm(prefix + ".cross_out", seq_tgt, d_model, d_model));
+    g.add(norm(prefix + ".ln2", static_cast<double>(seq_tgt) * d_model));
+
+    g.add(gemm(prefix + ".ffn1", seq_tgt, d_model, d_ff));
+    g.add(elementwise(prefix + ".relu",
+                      static_cast<double>(seq_tgt) * d_ff, 1.0));
+    g.add(gemm(prefix + ".ffn2", seq_tgt, d_ff, d_model));
+    g.add(norm(prefix + ".ln3", static_cast<double>(seq_tgt) * d_model));
+}
+
+void
+lstmStack(wl::OpGraph &g, const std::string &prefix, int input, int hidden,
+          int layers, int steps, bool bidirectional)
+{
+    if (layers <= 0)
+        sim::fatal("lstmStack '%s': non-positive layer count",
+                   prefix.c_str());
+    for (int l = 0; l < layers; ++l) {
+        int in_width = (l == 0) ? input
+                                : (bidirectional && l == 1 ? 2 * hidden
+                                                           : hidden);
+        std::string name = prefix + ".lstm" + std::to_string(l);
+        g.add(rnn(name, 4, in_width, hidden, steps));
+        if (l == 0 && bidirectional)
+            g.add(rnn(name + ".rev", 4, in_width, hidden, steps));
+    }
+}
+
+void
+mlpTower(wl::OpGraph &g, const std::string &prefix,
+         const std::vector<int> &widths)
+{
+    if (widths.size() < 2)
+        sim::fatal("mlpTower '%s': need at least two widths",
+                   prefix.c_str());
+    for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+        std::string name = prefix + ".fc" + std::to_string(i);
+        g.add(gemm(name, 1, widths[i], widths[i + 1]));
+        if (i + 2 < widths.size())
+            g.add(elementwise(name + ".relu", widths[i + 1], 1.0));
+    }
+}
+
+} // namespace mlps::models

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reusable network-fragment builders shared by the model zoo:
+ * residual blocks, transformer layers, LSTM stacks and MLP towers.
+ * Each builder appends ops to an OpGraph and returns updated spatial
+ * state where relevant.
+ */
+
+#ifndef MLPSIM_MODELS_BUILDERS_H
+#define MLPSIM_MODELS_BUILDERS_H
+
+#include <string>
+#include <vector>
+
+#include "wl/op_graph.h"
+
+namespace mlps::models {
+
+/** Spatial tensor state threaded through convolutional builders. */
+struct SpatialState {
+    int h = 224;
+    int w = 224;
+    int c = 3;
+};
+
+/**
+ * ResNet bottleneck block (1x1 reduce, 3x3, 1x1 expand, BN+ReLU each,
+ * optional projection shortcut). Mutates state.
+ *
+ * @param c_mid  bottleneck width; output channels are 4*c_mid.
+ * @param stride stride of the 3x3 (and the projection).
+ */
+void bottleneckBlock(wl::OpGraph &g, const std::string &prefix,
+                     SpatialState &state, int c_mid, int stride);
+
+/** ResNet basic block (two 3x3 convs). Output channels = c_out. */
+void basicBlock(wl::OpGraph &g, const std::string &prefix,
+                SpatialState &state, int c_out, int stride);
+
+/** ResNet stem: 7x7/2 conv + BN/ReLU + 3x3/2 maxpool. */
+void resnetStem(wl::OpGraph &g, SpatialState &state, int c_out = 64);
+
+/**
+ * Transformer encoder layer: self-attention (QKV + output projections
+ * + score/context GEMMs) and position-wise FFN, with layer norms.
+ *
+ * @param seq     tokens per sample.
+ * @param d_model model width.
+ * @param d_ff    feed-forward width.
+ */
+void transformerEncoderLayer(wl::OpGraph &g, const std::string &prefix,
+                             int seq, int d_model, int d_ff);
+
+/** Transformer decoder layer: self-attn + cross-attn + FFN. */
+void transformerDecoderLayer(wl::OpGraph &g, const std::string &prefix,
+                             int seq_tgt, int seq_src, int d_model,
+                             int d_ff);
+
+/**
+ * Stack of LSTM layers.
+ *
+ * @param input  input width of the first layer.
+ * @param hidden hidden width of every layer.
+ * @param layers layer count.
+ * @param steps  timesteps.
+ * @param bidirectional first layer doubled when true.
+ */
+void lstmStack(wl::OpGraph &g, const std::string &prefix, int input,
+               int hidden, int layers, int steps, bool bidirectional);
+
+/** MLP tower of dense layers with ReLU between. */
+void mlpTower(wl::OpGraph &g, const std::string &prefix,
+              const std::vector<int> &widths);
+
+} // namespace mlps::models
+
+#endif // MLPSIM_MODELS_BUILDERS_H

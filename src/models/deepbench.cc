@@ -1,0 +1,133 @@
+#include "models/deepbench.h"
+
+#include "wl/op.h"
+
+namespace mlps::models {
+
+namespace {
+
+/** Shared identity fields of the DeepBench entries. */
+wl::WorkloadSpec
+deepbenchBase(const std::string &abbrev, const std::string &operation)
+{
+    wl::WorkloadSpec w;
+    w.abbrev = abbrev;
+    w.domain = operation;
+    w.model_name = operation;
+    w.framework = "CUDA";
+    w.submitter = "Baidu";
+    w.suite = wl::SuiteTag::DeepBench;
+    w.mode = wl::RunMode::KernelLoop;
+    w.per_gpu_batch = 1;
+    w.comm_overlap = 0.0;
+    w.iteration_overhead_us = 20.0;
+    // Bare CUDA loops: negligible host work, tiny footprints.
+    w.host.cpu_core_us_per_sample = 2.0;
+    w.host.framework_dram_bytes = 0.3e9;
+    w.host.per_gpu_dram_bytes = 0.2e9;
+    return w;
+}
+
+} // namespace
+
+wl::WorkloadSpec
+deepbenchGemm()
+{
+    wl::WorkloadSpec w = deepbenchBase("Deep_GEMM_Cu",
+                                       "Dense Matrix Multiply");
+    // Training GEMM sizes from the DeepBench repository (M, N, K).
+    struct Shape { double m, n, k; };
+    const Shape shapes[] = {
+        {1760, 16, 1760},   {1760, 32, 1760},  {1760, 64, 1760},
+        {1760, 128, 1760},  {2048, 16, 2048},  {2048, 32, 2048},
+        {2048, 64, 2048},   {2048, 128, 2048}, {2560, 64, 2560},
+        {2560, 128, 2560},  {4096, 16, 4096},  {4096, 128, 4096},
+        {35, 8457, 2560},
+    };
+    wl::OpGraph g("gemm_bench");
+    int i = 0;
+    for (const Shape &s : shapes) {
+        g.add(wl::gemm("gemm" + std::to_string(i++), s.m, s.k, s.n));
+    }
+    w.graph = g;
+    w.dataset = wl::syntheticKernelData(700e6);
+    w.kernel_iterations = 300;
+    w.validate();
+    return w;
+}
+
+wl::WorkloadSpec
+deepbenchConv()
+{
+    wl::WorkloadSpec w = deepbenchBase("Deep_Conv_Cu", "Convolution");
+    // Representative conv_bench training shapes (W,H,C,K,R=S,stride).
+    struct Shape { int wdt, hgt, c, k, r, stride; };
+    const Shape shapes[] = {
+        {700, 161, 1, 32, 5, 2},   // DeepSpeech front-end
+        {341, 79, 32, 32, 5, 2},
+        {112, 112, 64, 128, 3, 1}, // VGG-class
+        {56, 56, 128, 256, 3, 1},
+        {28, 28, 256, 512, 3, 1},
+        {14, 14, 512, 512, 3, 1},
+        {7, 7, 512, 512, 3, 1},
+        {224, 224, 3, 64, 7, 2},   // ResNet stem
+    };
+    wl::OpGraph g("conv_bench");
+    int i = 0;
+    for (const Shape &s : shapes) {
+        g.add(wl::conv2d("conv" + std::to_string(i++), s.hgt, s.wdt,
+                         s.c, s.k, s.r, s.stride));
+    }
+    w.graph = g;
+    w.dataset = wl::syntheticKernelData(900e6);
+    w.kernel_iterations = 300;
+    w.validate();
+    return w;
+}
+
+wl::WorkloadSpec
+deepbenchRnn()
+{
+    wl::WorkloadSpec w = deepbenchBase("Deep_RNN_Cu", "Recurrent");
+    // The six rnn_bench configurations listed in Table II.
+    wl::OpGraph g("rnn_bench");
+    // Vanilla, units=1760, batch 16, t=50 (DeepSpeech)
+    g.add(wl::rnn("vanilla_1760", 1, 1760, 1760, 50));
+    // GRU, units=2816, batch 32 (DeepSpeech)
+    g.add(wl::rnn("gru_2816", 3, 2816, 2816, 50));
+    // GRU, units=1024, batch 32 (Speaker ID)
+    g.add(wl::rnn("gru_1024", 3, 1024, 1024, 50));
+    // LSTM, input=512 (Machine Translation)
+    g.add(wl::rnn("lstm_512", 4, 512, 512, 25));
+    // LSTM, input=4096 (Language Modeling)
+    g.add(wl::rnn("lstm_4096", 4, 4096, 4096, 25));
+    // LSTM, input=256 (Character Language Modeling)
+    g.add(wl::rnn("lstm_256", 4, 256, 256, 150));
+    w.graph = g;
+    w.dataset = wl::syntheticKernelData(2.3e9);
+    w.kernel_iterations = 60;
+    w.validate();
+    return w;
+}
+
+wl::WorkloadSpec
+deepbenchAllReduce()
+{
+    wl::WorkloadSpec w = deepbenchBase("Deep_Red_Cu",
+                                       "Communication (AllReduce)");
+    w.mode = wl::RunMode::CollectiveLoop;
+    // The kernel side is a trivial reduction; the interesting work is
+    // the collective itself.
+    wl::OpGraph g("nccl_single_all_reduce");
+    g.add(wl::elementwise("reduce_kernel", 16e6, 1.0));
+    w.graph = g;
+    w.dataset = wl::syntheticKernelData(0.5e9);
+    // 64 MB payloads, the large end of the DeepBench sweep where
+    // bandwidth (not latency) dominates.
+    w.collective_bytes = 64e6;
+    w.collective_iterations = 2000;
+    w.validate();
+    return w;
+}
+
+} // namespace mlps::models

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * DeepBench micro-benchmarks (Baidu): raw GEMM, convolution, recurrent
+ * and all-reduce kernels, below any framework. Four workloads mirror
+ * the paper's selection: gemm_bench, conv_bench, rnn_bench (the six
+ * configurations of Table II) and nccl_single_all_reduce.
+ */
+
+#ifndef MLPSIM_MODELS_DEEPBENCH_H
+#define MLPSIM_MODELS_DEEPBENCH_H
+
+#include "wl/workload.h"
+
+namespace mlps::models {
+
+/** Deep_GEMM_Cu: dense matrix-multiply kernel sweep. */
+wl::WorkloadSpec deepbenchGemm();
+
+/** Deep_Conv_Cu: convolution kernel sweep. */
+wl::WorkloadSpec deepbenchConv();
+
+/** Deep_RNN_Cu: the six recurrent configurations of Table II. */
+wl::WorkloadSpec deepbenchRnn();
+
+/** Deep_Red_Cu: NCCL single-node all-reduce. */
+wl::WorkloadSpec deepbenchAllReduce();
+
+} // namespace mlps::models
+
+#endif // MLPSIM_MODELS_DEEPBENCH_H

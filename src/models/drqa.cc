@@ -1,0 +1,74 @@
+#include "models/drqa.h"
+
+#include "models/builders.h"
+
+namespace mlps::models {
+
+namespace {
+
+constexpr int kGlove = 300;     // GloVe embedding width
+constexpr int kHidden = 128;    // BiLSTM hidden width
+constexpr int kParaLen = 400;   // paragraph tokens
+constexpr int kQLen = 30;       // question tokens
+constexpr double kVocab = 91'187.0;
+
+} // namespace
+
+wl::OpGraph
+drqaGraph()
+{
+    wl::OpGraph g("DrQA");
+    g.add(wl::embedding("embed.para", kVocab, kGlove, kParaLen));
+    g.add(wl::embedding("embed.q", kVocab, kGlove, kQLen));
+
+    // Document encoder: 3-layer BiLSTM over the paragraph.
+    lstmStack(g, "doc", kGlove + 20, kHidden, 3, kParaLen, true);
+    // Question encoder: 3-layer BiLSTM over the question.
+    lstmStack(g, "q", kGlove, kHidden, 3, kQLen, true);
+
+    // Aligned question attention + bilinear start/end span scores.
+    g.add(wl::attention("align", kParaLen, 2 * kHidden));
+    g.add(wl::gemm("span.start", kParaLen, 2 * kHidden, 2 * kHidden));
+    g.add(wl::gemm("span.end", kParaLen, 2 * kHidden, 2 * kHidden));
+    g.add(wl::softmax("span.softmax", 2.0 * kParaLen));
+    return g;
+}
+
+wl::WorkloadSpec
+dawnDrqa()
+{
+    wl::WorkloadSpec w;
+    w.abbrev = "Dawn_DrQA_Py";
+    w.domain = "Question Answering";
+    w.model_name = "DrQA";
+    w.framework = "PyTorch";
+    w.submitter = "Yang et al.";
+    w.suite = wl::SuiteTag::DawnBench;
+    w.graph = drqaGraph();
+    w.dataset = wl::squad();
+
+    w.convergence.quality_target = "F1 score: 0.75";
+    w.convergence.base_epochs = 18.0;
+    w.convergence.reference_global_batch = 32.0;
+    w.convergence.penalty_exponent = 0.2;
+    w.convergence.eval_overhead = 0.10;
+
+    // The bulk of DrQA's pipeline (tokenisation, feature extraction,
+    // exact-match features, span decoding) runs on the CPU — the paper
+    // measures ~49% host utilization against ~20% GPU.
+    w.graph.scaleWork(2.0);
+    w.host.cpu_core_us_per_sample = 31'000.0;
+    w.host.serial_cpu_us_per_sample = 1'600.0;
+    w.host.framework_dram_bytes = 5.5e9;
+    w.host.per_gpu_dram_bytes = 1.2e9;
+    w.host.dataset_residency = 1.0;
+
+    w.per_gpu_batch = 32;
+    w.comm_overlap = 0.5;
+    w.iteration_overhead_us = 5000.0;
+    w.reference_code_derate = 1.0;
+    w.validate();
+    return w;
+}
+
+} // namespace mlps::models

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Dawn_DrQA_Py: DAWNBench question answering (DrQA document reader on
+ * SQuAD, submitted by Yang et al.). Notable in the paper for its CPU-
+ * heavy profile: ~49% host CPU and only ~20% GPU utilization.
+ */
+
+#ifndef MLPSIM_MODELS_DRQA_H
+#define MLPSIM_MODELS_DRQA_H
+
+#include "wl/workload.h"
+
+namespace mlps::models {
+
+/** Bare DrQA document-reader op graph. */
+wl::OpGraph drqaGraph();
+
+/** Dawn_DrQA_Py workload. */
+wl::WorkloadSpec dawnDrqa();
+
+} // namespace mlps::models
+
+#endif // MLPSIM_MODELS_DRQA_H

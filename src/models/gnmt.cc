@@ -1,0 +1,80 @@
+#include "models/gnmt.h"
+
+#include "models/builders.h"
+
+namespace mlps::models {
+
+namespace {
+
+constexpr int kHidden = 1024;
+constexpr int kVocab = 32'000;
+constexpr int kSeq = 25; // average tokens per side after BPE
+
+} // namespace
+
+wl::OpGraph
+gnmtGraph()
+{
+    wl::OpGraph g("GNMT");
+    g.add(wl::embedding("src_embed", kVocab, kHidden, kSeq));
+    g.add(wl::embedding("tgt_embed", kVocab, kHidden, kSeq));
+
+    // Encoder: 4 LSTM layers, first bidirectional.
+    lstmStack(g, "enc", kHidden, kHidden, 4, kSeq, true);
+
+    // Decoder: 4 LSTM layers with additive attention to the encoder.
+    lstmStack(g, "dec", kHidden, kHidden, 4, kSeq, false);
+    g.add(wl::attention("dec.attention", kSeq, kHidden));
+    g.add(wl::gemm("dec.attn_proj", kSeq, 2 * kHidden, kHidden));
+
+    // Output classifier over the vocabulary.
+    g.add(wl::gemm("classifier", kSeq, kHidden, kVocab));
+    g.add(wl::softmax("softmax", static_cast<double>(kSeq) * kVocab));
+    return g;
+}
+
+wl::WorkloadSpec
+mlperfGnmt()
+{
+    wl::WorkloadSpec w;
+    w.abbrev = "MLPf_GNMT_Py";
+    w.domain = "Translation (recurrent)";
+    w.model_name = "RNN GNMT";
+    w.framework = "PyTorch";
+    w.submitter = "NVIDIA";
+    w.suite = wl::SuiteTag::MLPerf;
+    w.graph = gnmtGraph();
+    // Variable sequence lengths trim padded timesteps.
+    w.graph.scaleWork(0.70);
+    w.dataset = wl::wmt17();
+
+    w.convergence.quality_target = "Sacre BLEU score (uncased): 21.80";
+    w.convergence.base_epochs = 5.0;
+    w.convergence.reference_global_batch = 1024.0;
+    w.convergence.penalty_exponent = 0.15;
+    w.convergence.eval_overhead = 0.05;
+
+    w.host.cpu_core_us_per_sample = 110.0;
+    w.host.framework_dram_bytes = 5.0e9;
+    w.host.per_gpu_dram_bytes = 1.6e9;
+    w.host.dataset_residency = 1.0;
+
+    w.per_gpu_batch = 128;
+    // Sequential LSTM steps leave bubbles to hide communication in,
+    // but the 160M-parameter gradients are still substantial: GNMT is
+    // the second most topology-sensitive model (Figure 5: 17%).
+    w.comm_overlap = 0.75;
+    // LSTM backward emits per-timestep gradients throughout the pass,
+    // so overlap survives even on staged fabrics (Figure 5: GNMT loses
+    // only ~17% on CPU-PCIe systems against XFMR's 42%).
+    w.staged_overlap_retention = 0.95;
+    // Short per-step GEMMs keep cuDNN's persistent-RNN kernels off the
+    // peak tensor-core path.
+    w.tc_efficiency = 0.55;
+    w.iteration_overhead_us = 4000.0; // per-timestep launches add up
+    w.reference_code_derate = 1.14;
+    w.validate();
+    return w;
+}
+
+} // namespace mlps::models

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * MLPf_GNMT_Py: recurrent neural machine translation (GNMT) on WMT17
+ * (NVIDIA's PyTorch submission).
+ */
+
+#ifndef MLPSIM_MODELS_GNMT_H
+#define MLPSIM_MODELS_GNMT_H
+
+#include "wl/workload.h"
+
+namespace mlps::models {
+
+/** Bare GNMT (4+4 LSTM layers, 1024 hidden) op graph. */
+wl::OpGraph gnmtGraph();
+
+/** MLPf_GNMT_Py workload. */
+wl::WorkloadSpec mlperfGnmt();
+
+} // namespace mlps::models
+
+#endif // MLPSIM_MODELS_GNMT_H

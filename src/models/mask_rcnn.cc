@@ -1,0 +1,107 @@
+#include "models/mask_rcnn.h"
+
+#include "models/builders.h"
+#include "models/resnet.h"
+
+namespace mlps::models {
+
+wl::OpGraph
+maskRcnnGraph()
+{
+    wl::OpGraph g("MaskRCNN-R50FPN");
+
+    // Backbone: ResNet-50 at the 800x1333-class detection resolution
+    // (rounded to 800x1216 to keep stride-32 alignment).
+    wl::OpGraph backbone = resnet50Graph(800, 1216, 1000);
+    // Drop the classification tail (avgpool/fc/softmax): last 3 ops.
+    const auto &ops = backbone.ops();
+    for (std::size_t i = 0; i + 3 < ops.size(); ++i)
+        g.add(ops[i]);
+
+    // FPN lateral + output convs on C2..C5 pyramid levels.
+    struct Level { int h; int w; int c; };
+    const Level levels[4] = {
+        {200, 304, 256}, {100, 152, 512}, {50, 76, 1024}, {25, 38, 2048},
+    };
+    for (int i = 0; i < 4; ++i) {
+        std::string name = "fpn.p" + std::to_string(i + 2);
+        g.add(wl::conv2d(name + ".lateral", levels[i].h, levels[i].w,
+                         levels[i].c, 256, 1));
+        g.add(wl::conv2d(name + ".out", levels[i].h, levels[i].w, 256,
+                         256, 3));
+    }
+
+    // RPN: shared 3x3 conv + objectness/box heads over the pyramid
+    // (dominated by the P2 level).
+    g.add(wl::conv2d("rpn.conv", 200, 304, 256, 256, 3));
+    g.add(wl::conv2d("rpn.logits", 200, 304, 256, 3, 1));
+    g.add(wl::conv2d("rpn.bbox", 200, 304, 256, 12, 1));
+
+    // RoI heads over 512 proposals: 7x7x256 features -> two 1024 FCs,
+    // class/box outputs; mask head: 4 convs + deconv on 14x14x256.
+    const double rois = 512.0;
+    g.add(wl::pool("roi_align", rois * 7 * 7 * 256));
+    g.add(wl::gemm("box_head.fc1", rois, 7 * 7 * 256, 1024));
+    g.add(wl::gemm("box_head.fc2", rois, 1024, 1024));
+    g.add(wl::gemm("box_head.cls", rois, 1024, 81));
+    g.add(wl::gemm("box_head.reg", rois, 1024, 81 * 4));
+    for (int i = 0; i < 4; ++i) {
+        // Mask-head convs over all RoIs: fold RoI count into the
+        // spatial extent (14 x 14*rois).
+        g.add(wl::conv2d("mask_head.conv" + std::to_string(i), 14,
+                         static_cast<int>(14 * rois), 256, 256, 3));
+    }
+    g.add(wl::conv2d("mask_head.deconv", 28,
+                     static_cast<int>(28 * rois), 256, 256, 2));
+    g.add(wl::conv2d("mask_head.pred", 28,
+                     static_cast<int>(28 * rois), 256, 81, 1));
+    g.add(wl::softmax("loss.total", rois * 81 * 28 * 28));
+    return g;
+}
+
+wl::WorkloadSpec
+mlperfMaskRcnn()
+{
+    wl::WorkloadSpec w;
+    w.abbrev = "MLPf_MRCNN_Py";
+    w.domain = "Object Detection (heavy-weight)";
+    w.model_name = "Mask RCNN";
+    w.framework = "PyTorch";
+    w.submitter = "NVIDIA";
+    w.suite = wl::SuiteTag::MLPerf;
+    w.graph = maskRcnnGraph();
+    // The modeled graph assumes every image at the max resolution;
+    // real batches mix aspect ratios and skip padded work.
+    w.graph.scaleWork(0.2556);
+    w.dataset = wl::coco();
+    // Detection-resolution inputs: ~800x1216x3 uint8.
+    w.dataset.input_bytes_per_sample = 800.0 * 1216.0 * 3.0;
+
+    w.convergence.quality_target = "Box mAP: 0.377, Mask mAP: 0.339";
+    w.convergence.base_epochs = 13.0;
+    w.convergence.reference_global_batch = 32.0;
+    w.convergence.penalty_exponent = 0.18;
+    w.convergence.eval_overhead = 0.08;
+
+    w.host.cpu_core_us_per_sample = 9000.0; // large-image decode/resize
+    w.host.framework_dram_bytes = 4.5e9;
+    w.host.per_gpu_dram_bytes = 2.2e9;
+    w.host.dataset_residency = 1.0;
+
+    // Tiny per-GPU batch: the 800px activations fill the 16 GiB card.
+    w.per_gpu_batch = 4;
+    // Irregular per-step graph (proposal-dependent) overlaps poorly,
+    // carries heavy python/launch overhead, under-utilises tensor
+    // cores (tiny dynamic shapes), and synchronises badly at scale.
+    w.comm_overlap = 0.45;
+    w.staged_iteration_penalty = 0.18;
+    w.sync_penalty_base = 0.136;
+    w.sync_penalty_log = 0.18;
+    w.tc_efficiency = 0.36;
+    w.iteration_overhead_us = 9000.0;
+    w.reference_code_derate = 1.21;
+    w.validate();
+    return w;
+}
+
+} // namespace mlps::models

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * MLPf_MRCNN_Py: heavy-weight object detection / instance segmentation
+ * (Mask R-CNN with ResNet-50-FPN backbone, NVIDIA's PyTorch
+ * submission) on COCO.
+ */
+
+#ifndef MLPSIM_MODELS_MASK_RCNN_H
+#define MLPSIM_MODELS_MASK_RCNN_H
+
+#include "wl/workload.h"
+
+namespace mlps::models {
+
+/** Bare Mask R-CNN (ResNet-50-FPN, 800px) op graph. */
+wl::OpGraph maskRcnnGraph();
+
+/** MLPf_MRCNN_Py workload. */
+wl::WorkloadSpec mlperfMaskRcnn();
+
+} // namespace mlps::models
+
+#endif // MLPSIM_MODELS_MASK_RCNN_H

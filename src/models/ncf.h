@@ -1,0 +1,22 @@
+/**
+ * @file
+ * MLPf_NCF_Py: recommendation with Neural Collaborative Filtering
+ * (NeuMF) on MovieLens-20M (NVIDIA's PyTorch submission).
+ */
+
+#ifndef MLPSIM_MODELS_NCF_H
+#define MLPSIM_MODELS_NCF_H
+
+#include "wl/workload.h"
+
+namespace mlps::models {
+
+/** Bare NeuMF op graph (per interaction sample). */
+wl::OpGraph ncfGraph();
+
+/** MLPf_NCF_Py workload. */
+wl::WorkloadSpec mlperfNcf();
+
+} // namespace mlps::models
+
+#endif // MLPSIM_MODELS_NCF_H

@@ -1,0 +1,194 @@
+#include "models/resnet.h"
+
+#include "models/builders.h"
+
+namespace mlps::models {
+
+wl::OpGraph
+resnet50Graph(int h, int w, int classes)
+{
+    wl::OpGraph g("ResNet-50");
+    SpatialState s{h, w, 3};
+    resnetStem(g, s);
+
+    const int stage_blocks[4] = {3, 4, 6, 3};
+    const int stage_width[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int block = 0; block < stage_blocks[stage]; ++block) {
+            int stride = (block == 0 && stage > 0) ? 2 : 1;
+            std::string name = "res" + std::to_string(stage + 2) + "." +
+                               std::to_string(block);
+            bottleneckBlock(g, name, s, stage_width[stage], stride);
+        }
+    }
+    g.add(wl::pool("avgpool", static_cast<double>(s.c)));
+    g.add(wl::gemm("fc", 1, s.c, classes));
+    g.add(wl::softmax("softmax", classes));
+    return g;
+}
+
+wl::OpGraph
+resnet34Graph(int h, int w, int classes)
+{
+    wl::OpGraph g("ResNet-34");
+    SpatialState s{h, w, 3};
+    resnetStem(g, s);
+
+    const int stage_blocks[4] = {3, 4, 6, 3};
+    const int stage_width[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int block = 0; block < stage_blocks[stage]; ++block) {
+            int stride = (block == 0 && stage > 0) ? 2 : 1;
+            std::string name = "res" + std::to_string(stage + 2) + "." +
+                               std::to_string(block);
+            basicBlock(g, name, s, stage_width[stage], stride);
+        }
+    }
+    g.add(wl::pool("avgpool", static_cast<double>(s.c)));
+    g.add(wl::gemm("fc", 1, s.c, classes));
+    g.add(wl::softmax("softmax", classes));
+    return g;
+}
+
+wl::OpGraph
+resnet18CifarGraph()
+{
+    wl::OpGraph g("ResNet-18-CIFAR");
+    SpatialState s{32, 32, 3};
+    // CIFAR stem: single 3x3 conv, no downsampling.
+    g.add(wl::conv2d("stem.conv", s.h, s.w, 3, 64, 3));
+    s.c = 64;
+    g.add(wl::norm("stem.bn",
+                   static_cast<double>(s.h) * s.w * s.c));
+
+    const int stage_blocks[4] = {2, 2, 2, 2};
+    const int stage_width[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int block = 0; block < stage_blocks[stage]; ++block) {
+            int stride = (block == 0 && stage > 0) ? 2 : 1;
+            std::string name = "res" + std::to_string(stage + 2) + "." +
+                               std::to_string(block);
+            basicBlock(g, name, s, stage_width[stage], stride);
+        }
+    }
+    g.add(wl::pool("avgpool", static_cast<double>(s.c)));
+    g.add(wl::gemm("fc", 1, s.c, 10));
+    g.add(wl::softmax("softmax", 10));
+    return g;
+}
+
+namespace {
+
+/** Shared skeleton of the two ResNet-50 submissions. */
+wl::WorkloadSpec
+resnet50Base()
+{
+    wl::WorkloadSpec w;
+    w.domain = "Image Classification";
+    w.model_name = "ResNet-50";
+    w.suite = wl::SuiteTag::MLPerf;
+    w.graph = resnet50Graph(224, 224);
+    w.dataset = wl::imagenet();
+
+    w.convergence.quality_target = "Accuracy: 0.749";
+    w.convergence.base_epochs = 53.0;
+    w.convergence.reference_global_batch = 4096.0;
+    w.convergence.penalty_exponent = 0.12;
+    w.convergence.eval_overhead = 0.03;
+
+    // Data-parallel sync cost (BN sync, stragglers) observed on the
+    // DSS 8440 scaling runs.
+    w.sync_penalty_base = 0.042;
+
+    // JPEG decode + crop/flip augmentation is the heaviest host
+    // pipeline in the suite (Section V-A).
+    w.host.cpu_core_us_per_sample = 2200.0;
+    w.host.framework_dram_bytes = 9.0e9;
+    w.host.per_gpu_dram_bytes = 1.4e9;
+    w.host.dataset_residency = 0.03; // windows of the 300 GB dataset
+
+    w.per_gpu_batch = 208;
+    w.comm_overlap = 0.85;
+    w.iteration_overhead_us = 1200.0;
+    w.reference_code_derate = 1.55;
+    return w;
+}
+
+} // namespace
+
+wl::WorkloadSpec
+mlperfResnet50TF()
+{
+    wl::WorkloadSpec w = resnet50Base();
+    w.abbrev = "MLPf_Res50_TF";
+    w.framework = "TensorFlow";
+    w.submitter = "Google";
+    // XLA fuses slightly more work away, at marginally lower
+    // tensor-core utilisation than MXNet+cuDNN heuristics.
+    w.graph.scaleWork(0.935);
+    w.tc_efficiency = 0.88;
+    w.reference_code_derate = 1.66;
+    // The TF submission drives the host harder (tf.data pipeline) and
+    // carries slightly more graph-runtime overhead per step.
+    w.host.cpu_core_us_per_sample = 3500.0;
+    w.iteration_overhead_us = 1500.0;
+    w.validate();
+    return w;
+}
+
+wl::WorkloadSpec
+mlperfResnet50MX()
+{
+    wl::WorkloadSpec w = resnet50Base();
+    w.abbrev = "MLPf_Res50_MX";
+    w.framework = "MXNet";
+    w.submitter = "NVIDIA";
+    w.per_gpu_batch = 192;
+    w.host.cpu_core_us_per_sample = 2100.0; // DALI pipeline
+    w.iteration_overhead_us = 900.0;
+    // The MXNet submission converged in fewer epochs at its reference
+    // batch but pays a visible large-batch penalty at 8 GPUs, and its
+    // horovod-style sync degrades slightly with scale.
+    w.convergence.base_epochs = 50.5;
+    w.convergence.reference_global_batch = 800.0;
+    w.convergence.penalty_exponent = 0.30;
+    w.sync_penalty_log = 0.022;
+    w.reference_code_derate = 1.64;
+    w.validate();
+    return w;
+}
+
+wl::WorkloadSpec
+dawnResnet18()
+{
+    wl::WorkloadSpec w;
+    w.abbrev = "Dawn_Res18_Py";
+    w.domain = "Image Classification";
+    w.model_name = "ResNet-18 (modified)";
+    w.framework = "PyTorch";
+    w.submitter = "bkj";
+    w.suite = wl::SuiteTag::DawnBench;
+    w.graph = resnet18CifarGraph();
+    w.dataset = wl::cifar10();
+
+    w.convergence.quality_target = "Test accuracy: 94%";
+    w.convergence.base_epochs = 24.0;
+    w.convergence.reference_global_batch = 512.0;
+    w.convergence.penalty_exponent = 0.15;
+    w.convergence.eval_overhead = 0.05;
+
+    // CIFAR10 fits in memory; host work is trivial tensor slicing.
+    w.host.cpu_core_us_per_sample = 12.0;
+    w.host.framework_dram_bytes = 3.0e9;
+    w.host.per_gpu_dram_bytes = 0.8e9;
+    w.host.dataset_residency = 1.0;
+
+    w.per_gpu_batch = 512;
+    w.comm_overlap = 0.6;
+    w.iteration_overhead_us = 1500.0;
+    w.reference_code_derate = 1.0;
+    w.validate();
+    return w;
+}
+
+} // namespace mlps::models

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Residual networks: the MLPerf image-classification benchmark
+ * (ResNet-50 v1.5 on ImageNet, TensorFlow and MXNet submissions) and
+ * the DAWNBench CIFAR10 entry (bkj's modified ResNet-18).
+ */
+
+#ifndef MLPSIM_MODELS_RESNET_H
+#define MLPSIM_MODELS_RESNET_H
+
+#include "wl/workload.h"
+
+namespace mlps::models {
+
+/** Bare ResNet-50 op graph at the given input resolution. */
+wl::OpGraph resnet50Graph(int h, int w, int classes = 1000);
+
+/** Bare ResNet-34 op graph (SSD backbone) at the given resolution. */
+wl::OpGraph resnet34Graph(int h, int w, int classes = 1000);
+
+/** Bare CIFAR-style ResNet-18 op graph (32x32 stem, no 7x7). */
+wl::OpGraph resnet18CifarGraph();
+
+/** MLPf_Res50_TF: Google's TensorFlow ResNet-50 submission. */
+wl::WorkloadSpec mlperfResnet50TF();
+
+/** MLPf_Res50_MX: NVIDIA's MXNet ResNet-50 submission. */
+wl::WorkloadSpec mlperfResnet50MX();
+
+/** Dawn_Res18_Py: DAWNBench CIFAR10 ResNet-18 (bkj). */
+wl::WorkloadSpec dawnResnet18();
+
+} // namespace mlps::models
+
+#endif // MLPSIM_MODELS_RESNET_H

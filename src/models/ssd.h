@@ -1,0 +1,22 @@
+/**
+ * @file
+ * MLPf_SSD_Py: single-shot detection (SSD300 with a ResNet-34
+ * backbone, NVIDIA's PyTorch submission) on COCO.
+ */
+
+#ifndef MLPSIM_MODELS_SSD_H
+#define MLPSIM_MODELS_SSD_H
+
+#include "wl/workload.h"
+
+namespace mlps::models {
+
+/** Bare SSD300-ResNet34 op graph. */
+wl::OpGraph ssdGraph();
+
+/** MLPf_SSD_Py workload. */
+wl::WorkloadSpec mlperfSsd();
+
+} // namespace mlps::models
+
+#endif // MLPSIM_MODELS_SSD_H

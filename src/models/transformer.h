@@ -1,0 +1,22 @@
+/**
+ * @file
+ * MLPf_XFMR_Py: neural machine translation with the Transformer (big)
+ * model on WMT17 (NVIDIA's PyTorch submission).
+ */
+
+#ifndef MLPSIM_MODELS_TRANSFORMER_H
+#define MLPSIM_MODELS_TRANSFORMER_H
+
+#include "wl/workload.h"
+
+namespace mlps::models {
+
+/** Bare Transformer-big op graph (per sentence pair). */
+wl::OpGraph transformerGraph();
+
+/** MLPf_XFMR_Py workload. */
+wl::WorkloadSpec mlperfTransformer();
+
+} // namespace mlps::models
+
+#endif // MLPSIM_MODELS_TRANSFORMER_H

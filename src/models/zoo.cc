@@ -1,0 +1,58 @@
+#include "models/zoo.h"
+
+#include "models/deepbench.h"
+#include "models/drqa.h"
+#include "models/gnmt.h"
+#include "models/mask_rcnn.h"
+#include "models/ncf.h"
+#include "models/resnet.h"
+#include "models/ssd.h"
+#include "models/transformer.h"
+
+namespace mlps::models {
+
+std::vector<wl::WorkloadSpec>
+mlperfSuite()
+{
+    return {
+        mlperfResnet50TF(), mlperfResnet50MX(), mlperfSsd(),
+        mlperfMaskRcnn(),   mlperfTransformer(), mlperfGnmt(),
+        mlperfNcf(),
+    };
+}
+
+std::vector<wl::WorkloadSpec>
+dawnBenchSuite()
+{
+    return {dawnResnet18(), dawnDrqa()};
+}
+
+std::vector<wl::WorkloadSpec>
+deepBenchSuite()
+{
+    return {deepbenchGemm(), deepbenchConv(), deepbenchRnn(),
+            deepbenchAllReduce()};
+}
+
+std::vector<wl::WorkloadSpec>
+allWorkloads()
+{
+    std::vector<wl::WorkloadSpec> all = mlperfSuite();
+    for (auto &w : dawnBenchSuite())
+        all.push_back(std::move(w));
+    for (auto &w : deepBenchSuite())
+        all.push_back(std::move(w));
+    return all;
+}
+
+std::optional<wl::WorkloadSpec>
+findWorkload(const std::string &abbrev)
+{
+    for (auto &w : allWorkloads()) {
+        if (w.abbrev == abbrev)
+            return w;
+    }
+    return std::nullopt;
+}
+
+} // namespace mlps::models

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The model zoo: every workload of the paper's Table II in one place.
+ */
+
+#ifndef MLPSIM_MODELS_ZOO_H
+#define MLPSIM_MODELS_ZOO_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wl/workload.h"
+
+namespace mlps::models {
+
+/** The six MLPerf training workloads studied (RL is excluded, as in
+ *  the paper: no GPU submission existed for it). Order matches
+ *  Table II. Includes both ResNet-50 submissions, so seven specs. */
+std::vector<wl::WorkloadSpec> mlperfSuite();
+
+/** The two DAWNBench entries. */
+std::vector<wl::WorkloadSpec> dawnBenchSuite();
+
+/** The four DeepBench kernels. */
+std::vector<wl::WorkloadSpec> deepBenchSuite();
+
+/** All fifteen workloads, MLPerf first. */
+std::vector<wl::WorkloadSpec> allWorkloads();
+
+/** Find a workload by its abbreviation (e.g. "MLPf_NCF_Py"). */
+std::optional<wl::WorkloadSpec> findWorkload(const std::string &abbrev);
+
+} // namespace mlps::models
+
+#endif // MLPSIM_MODELS_ZOO_H

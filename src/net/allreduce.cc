@@ -1,0 +1,135 @@
+#include "net/allreduce.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "net/transfer.h"
+#include "sim/logger.h"
+
+namespace mlps::net {
+
+AllReduceResult
+ringAllReduce(const Topology &topo, const std::vector<NodeId> &gpus,
+              double bytes, const AllReduceParams &params)
+{
+    AllReduceResult res;
+    if (gpus.empty())
+        sim::fatal("ringAllReduce: empty GPU set");
+    for (NodeId g : gpus) {
+        if (topo.kind(g) != NodeKind::Gpu)
+            sim::fatal("ringAllReduce: node %d is not a GPU", g);
+    }
+    int n = static_cast<int>(gpus.size());
+    if (n == 1 || bytes <= 0.0) {
+        res.fabric = topo.collectiveFabric(gpus);
+        return res;
+    }
+
+    res.fabric = topo.collectiveFabric(gpus);
+    double chunk = bytes / n;
+    int steps = 2 * (n - 1);
+    int buckets = std::max(params.buckets, 1);
+
+    bool staged = res.fabric == CollectiveFabric::HostStaged;
+    double derate = staged ? params.staged_bw_derate : 1.0;
+    double per_step_lat_us =
+        staged ? params.staged_step_overhead_us : params.step_overhead_us;
+
+    // Every step has identical flow structure (each GPU sends one chunk
+    // to its successor), so simulate one step and multiply. Bucketing
+    // does not change the bandwidth term (same total bytes) but pays
+    // the per-step latency once per bucket.
+    FlowSimulator fsim(topo);
+    for (int i = 0; i < n; ++i)
+        fsim.addFlow(gpus[i], gpus[(i + 1) % n], chunk);
+    double step_s = fsim.run() / derate;
+
+    res.seconds = steps * step_s +
+                  static_cast<double>(buckets) * steps *
+                      per_step_lat_us * 1e-6;
+    res.nvlink_bytes = steps * fsim.bytesOnKind(LinkKind::NvLink);
+    res.pcie_bytes = steps * fsim.bytesOnKind(LinkKind::Pcie3);
+    res.upi_bytes = steps * fsim.bytesOnKind(LinkKind::Upi);
+    return res;
+}
+
+AllReduceResult
+treeAllReduce(const Topology &topo, const std::vector<NodeId> &gpus,
+              double bytes, const AllReduceParams &params)
+{
+    AllReduceResult res;
+    if (gpus.empty())
+        sim::fatal("treeAllReduce: empty GPU set");
+    for (NodeId g : gpus) {
+        if (topo.kind(g) != NodeKind::Gpu)
+            sim::fatal("treeAllReduce: node %d is not a GPU", g);
+    }
+    int n = static_cast<int>(gpus.size());
+    res.fabric = topo.collectiveFabric(gpus);
+    if (n == 1 || bytes <= 0.0)
+        return res;
+
+    bool staged = res.fabric == CollectiveFabric::HostStaged;
+    double derate = staged ? params.staged_bw_derate : 1.0;
+    double per_round_lat_us =
+        staged ? params.staged_step_overhead_us : params.step_overhead_us;
+    int buckets = std::max(params.buckets, 1);
+
+    // Reduce phase: in round r, nodes at odd multiples of 2^r send
+    // their full partial sum to the even partner. Broadcast mirrors
+    // it. Simulate each distinct round's flow set; total time doubles
+    // for the mirror phase.
+    double reduce_s = 0.0;
+    int rounds = 0;
+    for (int stride = 1; stride < n; stride *= 2, ++rounds) {
+        FlowSimulator fsim(topo);
+        bool any = false;
+        for (int i = 0; i + stride < n; i += 2 * stride) {
+            fsim.addFlow(gpus[i + stride], gpus[i], bytes);
+            any = true;
+        }
+        if (any)
+            reduce_s += fsim.run() / derate;
+        res.nvlink_bytes += 2.0 * fsim.bytesOnKind(LinkKind::NvLink);
+        res.pcie_bytes += 2.0 * fsim.bytesOnKind(LinkKind::Pcie3);
+        res.upi_bytes += 2.0 * fsim.bytesOnKind(LinkKind::Upi);
+    }
+    res.seconds = 2.0 * reduce_s +
+                  static_cast<double>(buckets) * 2.0 * rounds *
+                      per_round_lat_us * 1e-6;
+    return res;
+}
+
+AllReduceResult
+autoAllReduce(const Topology &topo, const std::vector<NodeId> &gpus,
+              double bytes, const AllReduceParams &params)
+{
+    AllReduceResult ring = ringAllReduce(topo, gpus, bytes, params);
+    AllReduceResult tree = treeAllReduce(topo, gpus, bytes, params);
+    return ring.seconds <= tree.seconds ? ring : tree;
+}
+
+double
+analyticRingSeconds(const Topology &topo, const std::vector<NodeId> &gpus,
+                    double bytes, const AllReduceParams &params)
+{
+    int n = static_cast<int>(gpus.size());
+    if (n <= 1 || bytes <= 0.0)
+        return 0.0;
+
+    // Bottleneck neighbour-hop bandwidth around the ring.
+    double bw = std::numeric_limits<double>::infinity();
+    double lat = 0.0;
+    for (int i = 0; i < n; ++i) {
+        auto path = topo.route(gpus[i], gpus[(i + 1) % n]);
+        if (!path)
+            sim::fatal("analyticRingSeconds: ring hop disconnected");
+        bw = std::min(bw, topo.pathBandwidth(*path));
+        lat = std::max(lat, topo.pathLatency(*path));
+    }
+    int steps = 2 * (n - 1);
+    double chunk = bytes / n;
+    return steps * (chunk / bw + lat + params.step_overhead_us * 1e-6);
+}
+
+} // namespace mlps::net

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Gradient all-reduce cost model.
+ *
+ * Data-parallel training synchronises gradients every iteration with an
+ * all-reduce. We model NCCL's ring algorithm: each of the 2*(N-1) steps
+ * moves bytes/N per GPU to its ring neighbour. Steps are simulated at
+ * flow level over the machine topology, so the fabric choice (NVLink,
+ * PCIe P2P, or staged through host DRAM/UPI) and its contention fall
+ * out of the graph rather than being hard-coded — this is what drives
+ * the paper's Figure 5 and the NVLink columns of Table V.
+ */
+
+#ifndef MLPSIM_NET_ALLREDUCE_H
+#define MLPSIM_NET_ALLREDUCE_H
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace mlps::net {
+
+/** Outcome of one modeled all-reduce. */
+struct AllReduceResult {
+    /** Wall time of the collective, seconds. */
+    double seconds = 0.0;
+    /** Fabric the collective ran over. */
+    CollectiveFabric fabric = CollectiveFabric::HostStaged;
+    /** Bytes that crossed NVLink links, summed over links. */
+    double nvlink_bytes = 0.0;
+    /** Bytes that crossed PCIe links, summed over links. */
+    double pcie_bytes = 0.0;
+    /** Bytes that crossed UPI links, summed over links. */
+    double upi_bytes = 0.0;
+};
+
+/** Tunables of the collective model. */
+struct AllReduceParams {
+    /**
+     * Gradient bucket count: frameworks all-reduce gradients in
+     * buckets as the backward pass produces them, so every ring step
+     * is paid per bucket. Latency-bound workloads (many layers, small
+     * tensors) are dominated by this term.
+     */
+    int buckets = 1;
+    /** Per-bucket-step software overhead on P2P-capable fabrics, us. */
+    double step_overhead_us = 12.0;
+    /**
+     * Per-bucket-step overhead when staging through host memory:
+     * bounce-buffer management and CPU involvement per transfer.
+     */
+    double staged_step_overhead_us = 80.0;
+    /**
+     * Effective-bandwidth derating of host-staged transfers: without
+     * GPUDirect P2P, NCCL falls back to device-to-host-to-device
+     * copies that reach only a fraction of the PCIe link rate.
+     */
+    double staged_bw_derate = 0.55;
+};
+
+/**
+ * Ring all-reduce of 'bytes' per GPU across the given GPU set.
+ *
+ * @param topo  machine topology.
+ * @param gpus  participating GPU node ids (ring order = given order).
+ * @param bytes gradient payload per GPU, bytes.
+ * @param params model tunables.
+ */
+AllReduceResult ringAllReduce(const Topology &topo,
+                              const std::vector<NodeId> &gpus,
+                              double bytes,
+                              const AllReduceParams &params = {});
+
+/**
+ * Binary-tree all-reduce (reduce then broadcast): 2*ceil(log2 N)
+ * rounds each moving the full payload. Latency-optimal — fewer
+ * rounds than the ring's 2*(N-1) steps — but not bandwidth-optimal,
+ * so it wins only for small payloads or heavy bucketing, which is
+ * exactly when NCCL selects its tree algorithm.
+ */
+AllReduceResult treeAllReduce(const Topology &topo,
+                              const std::vector<NodeId> &gpus,
+                              double bytes,
+                              const AllReduceParams &params = {});
+
+/**
+ * NCCL-style automatic algorithm choice: evaluates both ring and
+ * tree and returns the faster (the result's timing reflects the
+ * winner).
+ */
+AllReduceResult autoAllReduce(const Topology &topo,
+                              const std::vector<NodeId> &gpus,
+                              double bytes,
+                              const AllReduceParams &params = {});
+
+/**
+ * Closed-form estimate 2*(N-1)/N * bytes / ring_bw + step latencies,
+ * using the bottleneck neighbour-link bandwidth. Used as a sanity
+ * cross-check of the flow-level model (they agree on contention-free
+ * rings).
+ */
+double analyticRingSeconds(const Topology &topo,
+                           const std::vector<NodeId> &gpus,
+                           double bytes,
+                           const AllReduceParams &params = {});
+
+} // namespace mlps::net
+
+#endif // MLPSIM_NET_ALLREDUCE_H

@@ -1,0 +1,55 @@
+#include "net/link.h"
+
+#include "sim/logger.h"
+
+namespace mlps::net {
+
+std::string
+toString(LinkKind kind)
+{
+    switch (kind) {
+      case LinkKind::Pcie3: return "PCIe3";
+      case LinkKind::NvLink: return "NVLink";
+      case LinkKind::Upi: return "UPI";
+    }
+    sim::panic("toString: bad LinkKind %d", static_cast<int>(kind));
+}
+
+LinkSpec
+pcie3(int lanes)
+{
+    if (lanes <= 0)
+        sim::fatal("pcie3: lane count must be positive, got %d", lanes);
+    LinkSpec l;
+    l.kind = LinkKind::Pcie3;
+    l.gbps = 0.9846 * lanes; // 984.6 MB/s per PCIe 3.0 lane
+    l.latency_us = 1.3;
+    l.efficiency = 0.8;
+    return l;
+}
+
+LinkSpec
+nvlink(int bricks)
+{
+    if (bricks <= 0)
+        sim::fatal("nvlink: brick count must be positive, got %d", bricks);
+    LinkSpec l;
+    l.kind = LinkKind::NvLink;
+    l.gbps = 25.0 * bricks;
+    l.latency_us = 0.7;
+    l.efficiency = 0.9;
+    return l;
+}
+
+LinkSpec
+upi()
+{
+    LinkSpec l;
+    l.kind = LinkKind::Upi;
+    l.gbps = 20.8;
+    l.latency_us = 0.6;
+    l.efficiency = 0.85;
+    return l;
+}
+
+} // namespace mlps::net

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Link types for the host/GPU interconnect fabric.
+ *
+ * The paper's Figure 5 and Table V hinge on three fabrics: PCI Express
+ * 3.0 (CPU-GPU and, behind a switch, GPU-GPU), NVIDIA NVLink (GPU-GPU),
+ * and Intel UPI (CPU-CPU). LinkSpec captures their datasheet bandwidth
+ * plus a protocol efficiency derating observed in practice.
+ */
+
+#ifndef MLPSIM_NET_LINK_H
+#define MLPSIM_NET_LINK_H
+
+#include <string>
+
+namespace mlps::net {
+
+/** Fabric family of a link. */
+enum class LinkKind {
+    Pcie3,   ///< PCI Express 3.0, width given by lanes
+    NvLink,  ///< NVLink bricks between two GPUs
+    Upi,     ///< Intel Ultra Path Interconnect between sockets
+};
+
+/** Human-readable name of a link kind. */
+std::string toString(LinkKind kind);
+
+/** One physical link between two topology nodes. */
+struct LinkSpec {
+    LinkKind kind = LinkKind::Pcie3;
+    /** Theoretical unidirectional bandwidth, GB/s. */
+    double gbps = 15.8;
+    /** One-way latency, microseconds. */
+    double latency_us = 1.3;
+    /** Achievable fraction of theoretical bandwidth. */
+    double efficiency = 0.8;
+
+    /** Effective unidirectional bandwidth in bytes/s. */
+    double effectiveBytesPerSec() const { return gbps * 1e9 * efficiency; }
+};
+
+/** PCIe 3.0 link of the given lane count (15.8 GB/s at x16). */
+LinkSpec pcie3(int lanes);
+
+/** NVLink connection of the given brick count (25 GB/s per brick). */
+LinkSpec nvlink(int bricks);
+
+/** UPI socket-to-socket link (Skylake-SP: 20.8 GB/s unidirectional). */
+LinkSpec upi();
+
+} // namespace mlps::net
+
+#endif // MLPSIM_NET_LINK_H

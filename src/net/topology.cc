@@ -1,0 +1,288 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <sstream>
+
+#include "sim/logger.h"
+
+namespace mlps::net {
+
+std::string
+toString(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::Cpu: return "CPU";
+      case NodeKind::Gpu: return "GPU";
+      case NodeKind::PcieSwitch: return "PCIeSwitch";
+    }
+    sim::panic("toString: bad NodeKind %d", static_cast<int>(kind));
+}
+
+std::string
+toString(CollectiveFabric fabric)
+{
+    switch (fabric) {
+      case CollectiveFabric::NvLink: return "NVLink";
+      case CollectiveFabric::PcieP2p: return "PCIe-P2P";
+      case CollectiveFabric::HostStaged: return "Host-staged";
+    }
+    sim::panic("toString: bad CollectiveFabric %d",
+               static_cast<int>(fabric));
+}
+
+NodeId
+Topology::addNode(NodeKind kind, const std::string &name)
+{
+    nodes_.push_back(Node{kind, name, {}});
+    return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+NodeId
+Topology::addCpu(const std::string &name)
+{
+    return addNode(NodeKind::Cpu, name);
+}
+
+NodeId
+Topology::addGpu(const std::string &name)
+{
+    return addNode(NodeKind::Gpu, name);
+}
+
+NodeId
+Topology::addSwitch(const std::string &name)
+{
+    return addNode(NodeKind::PcieSwitch, name);
+}
+
+void
+Topology::checkNode(NodeId n) const
+{
+    if (n < 0 || n >= nodeCount())
+        sim::fatal("Topology: node id %d out of range [0,%d)", n,
+                   nodeCount());
+}
+
+int
+Topology::connect(NodeId a, NodeId b, const LinkSpec &link)
+{
+    checkNode(a);
+    checkNode(b);
+    if (a == b)
+        sim::fatal("Topology::connect: self-loop on node %d", a);
+    edges_.push_back(Edge{a, b, link});
+    int id = static_cast<int>(edges_.size()) - 1;
+    nodes_[a].edges.push_back(id);
+    nodes_[b].edges.push_back(id);
+    return id;
+}
+
+NodeKind
+Topology::kind(NodeId n) const
+{
+    checkNode(n);
+    return nodes_[n].kind;
+}
+
+const std::string &
+Topology::name(NodeId n) const
+{
+    checkNode(n);
+    return nodes_[n].name;
+}
+
+const LinkSpec &
+Topology::link(int edge) const
+{
+    if (edge < 0 || edge >= edgeCount())
+        sim::fatal("Topology: edge id %d out of range", edge);
+    return edges_[edge].link;
+}
+
+std::pair<NodeId, NodeId>
+Topology::endpoints(int edge) const
+{
+    if (edge < 0 || edge >= edgeCount())
+        sim::fatal("Topology: edge id %d out of range", edge);
+    return {edges_[edge].a, edges_[edge].b};
+}
+
+std::vector<NodeId>
+Topology::nodesOfKind(NodeKind k) const
+{
+    std::vector<NodeId> out;
+    for (NodeId n = 0; n < nodeCount(); ++n) {
+        if (nodes_[n].kind == k)
+            out.push_back(n);
+    }
+    return out;
+}
+
+std::optional<Path>
+Topology::bfs(NodeId from, NodeId to,
+              const std::function<bool(int)> *allowed) const
+{
+    checkNode(from);
+    checkNode(to);
+    if (from == to)
+        return Path{{from}, {}};
+
+    // BFS with NVLink preference: explore NVLink edges before others at
+    // each node so equal-hop NVLink routes win ties deterministically.
+    std::vector<int> prev_edge(nodes_.size(), -1);
+    std::vector<NodeId> prev_node(nodes_.size(), -1);
+    std::vector<bool> seen(nodes_.size(), false);
+    std::deque<NodeId> frontier;
+    frontier.push_back(from);
+    seen[from] = true;
+
+    while (!frontier.empty()) {
+        NodeId n = frontier.front();
+        frontier.pop_front();
+        std::vector<int> order = nodes_[n].edges;
+        std::stable_sort(order.begin(), order.end(), [&](int e1, int e2) {
+            return (edges_[e1].link.kind == LinkKind::NvLink) >
+                   (edges_[e2].link.kind == LinkKind::NvLink);
+        });
+        for (int e : order) {
+            if (allowed && !(*allowed)(e))
+                continue;
+            NodeId other = edges_[e].a == n ? edges_[e].b : edges_[e].a;
+            if (seen[other])
+                continue;
+            seen[other] = true;
+            prev_edge[other] = e;
+            prev_node[other] = n;
+            if (other == to) {
+                Path p;
+                NodeId cur = to;
+                while (cur != from) {
+                    p.nodes.push_back(cur);
+                    p.edges.push_back(prev_edge[cur]);
+                    cur = prev_node[cur];
+                }
+                p.nodes.push_back(from);
+                std::reverse(p.nodes.begin(), p.nodes.end());
+                std::reverse(p.edges.begin(), p.edges.end());
+                return p;
+            }
+            frontier.push_back(other);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<Path>
+Topology::route(NodeId from, NodeId to) const
+{
+    return bfs(from, to, nullptr);
+}
+
+double
+Topology::pathBandwidth(const Path &p) const
+{
+    if (p.edges.empty())
+        return 0.0;
+    double bw = std::numeric_limits<double>::infinity();
+    for (int e : p.edges)
+        bw = std::min(bw, link(e).effectiveBytesPerSec());
+    return bw;
+}
+
+double
+Topology::pathLatency(const Path &p) const
+{
+    double lat = 0.0;
+    for (int e : p.edges)
+        lat += link(e).latency_us * 1e-6;
+    return lat;
+}
+
+bool
+Topology::canPeerToPeer(NodeId gpu_a, NodeId gpu_b) const
+{
+    if (kind(gpu_a) != NodeKind::Gpu || kind(gpu_b) != NodeKind::Gpu)
+        sim::fatal("canPeerToPeer: both endpoints must be GPUs");
+    if (gpu_a == gpu_b)
+        return true;
+    // A P2P-legal path avoids CPU root complexes and UPI links.
+    std::function<bool(int)> allowed = [&](int e) {
+        if (edges_[e].link.kind == LinkKind::Upi)
+            return false;
+        NodeId a = edges_[e].a;
+        NodeId b = edges_[e].b;
+        // Edges incident to a CPU are usable only if neither endpoint
+        // of the *search* would pass through the CPU; simplest rule:
+        // forbid any edge touching a CPU node.
+        return nodes_[a].kind != NodeKind::Cpu &&
+               nodes_[b].kind != NodeKind::Cpu;
+    };
+    return bfs(gpu_a, gpu_b, &allowed).has_value();
+}
+
+bool
+Topology::nvlinkConnected(NodeId gpu_a, NodeId gpu_b) const
+{
+    if (gpu_a == gpu_b)
+        return true;
+    std::function<bool(int)> allowed = [&](int e) {
+        return edges_[e].link.kind == LinkKind::NvLink;
+    };
+    return bfs(gpu_a, gpu_b, &allowed).has_value();
+}
+
+CollectiveFabric
+Topology::collectiveFabric(const std::vector<NodeId> &gpus) const
+{
+    if (gpus.empty())
+        sim::fatal("collectiveFabric: empty GPU set");
+    bool all_nvlink = true;
+    bool all_p2p = true;
+    for (std::size_t i = 0; i < gpus.size(); ++i) {
+        for (std::size_t j = i + 1; j < gpus.size(); ++j) {
+            if (!nvlinkConnected(gpus[i], gpus[j]))
+                all_nvlink = false;
+            if (!canPeerToPeer(gpus[i], gpus[j]))
+                all_p2p = false;
+        }
+    }
+    if (all_nvlink)
+        return CollectiveFabric::NvLink;
+    if (all_p2p)
+        return CollectiveFabric::PcieP2p;
+    return CollectiveFabric::HostStaged;
+}
+
+std::optional<NodeId>
+Topology::hostCpu(NodeId gpu) const
+{
+    if (kind(gpu) != NodeKind::Gpu)
+        sim::fatal("hostCpu: node %d is not a GPU", gpu);
+    std::optional<NodeId> best;
+    int best_hops = std::numeric_limits<int>::max();
+    for (NodeId cpu : nodesOfKind(NodeKind::Cpu)) {
+        auto p = route(gpu, cpu);
+        if (p && p->hops() < best_hops) {
+            best_hops = p->hops();
+            best = cpu;
+        }
+    }
+    return best;
+}
+
+std::string
+Topology::describe() const
+{
+    std::ostringstream os;
+    for (int e = 0; e < edgeCount(); ++e) {
+        const Edge &edge = edges_[e];
+        os << nodes_[edge.a].name << " <-> " << nodes_[edge.b].name
+           << "  [" << toString(edge.link.kind) << " "
+           << edge.link.gbps << " GB/s]\n";
+    }
+    return os.str();
+}
+
+} // namespace mlps::net

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Interconnect topology graph.
+ *
+ * Nodes are CPU sockets, GPUs, and PCIe switches; edges carry LinkSpecs.
+ * The graph answers the routing questions the training model needs:
+ * what path does a host-to-device copy take, can two GPUs do GPUDirect
+ * peer-to-peer (no CPU root complex on the path), and what fabric is
+ * available for a collective over a GPU set.
+ */
+
+#ifndef MLPSIM_NET_TOPOLOGY_H
+#define MLPSIM_NET_TOPOLOGY_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/link.h"
+
+namespace mlps::net {
+
+/** Node index within a Topology. */
+using NodeId = int;
+
+/** Role of a topology node. */
+enum class NodeKind {
+    Cpu,
+    Gpu,
+    PcieSwitch,
+};
+
+/** Human-readable name of a node kind. */
+std::string toString(NodeKind kind);
+
+/** Fabric selected for a collective over a set of GPUs. */
+enum class CollectiveFabric {
+    NvLink,     ///< all ring hops run over NVLink
+    PcieP2p,    ///< GPUDirect P2P over a shared PCIe complex
+    HostStaged, ///< bounced through CPU DRAM (and possibly UPI)
+};
+
+/** Human-readable name of a collective fabric. */
+std::string toString(CollectiveFabric fabric);
+
+/** A path through the graph: node sequence plus edge indices. */
+struct Path {
+    std::vector<NodeId> nodes;
+    std::vector<int> edges; ///< edge ids, parallel to hops
+
+    int hops() const { return static_cast<int>(edges.size()); }
+};
+
+/**
+ * Undirected multigraph of the machine's interconnect.
+ */
+class Topology
+{
+  public:
+    Topology() = default;
+
+    /** Add a CPU socket node. @return its id. */
+    NodeId addCpu(const std::string &name);
+
+    /** Add a GPU node. @return its id. */
+    NodeId addGpu(const std::string &name);
+
+    /** Add a PCIe switch node. @return its id. */
+    NodeId addSwitch(const std::string &name);
+
+    /** Connect two nodes with a link. @return the edge id. */
+    int connect(NodeId a, NodeId b, const LinkSpec &link);
+
+    int nodeCount() const { return static_cast<int>(nodes_.size()); }
+    int edgeCount() const { return static_cast<int>(edges_.size()); }
+
+    NodeKind kind(NodeId n) const;
+    const std::string &name(NodeId n) const;
+    const LinkSpec &link(int edge) const;
+
+    /** Endpoints of an edge. */
+    std::pair<NodeId, NodeId> endpoints(int edge) const;
+
+    /** All node ids of the given kind, in insertion order. */
+    std::vector<NodeId> nodesOfKind(NodeKind kind) const;
+
+    /** All GPU node ids, in insertion order. */
+    std::vector<NodeId> gpus() const { return nodesOfKind(NodeKind::Gpu); }
+
+    /**
+     * Minimum-hop path between two nodes (BFS; NVLink edges preferred
+     * on ties so GPU pairs use the fast fabric when both exist).
+     * @return nullopt when disconnected.
+     */
+    std::optional<Path> route(NodeId from, NodeId to) const;
+
+    /** Bottleneck effective bandwidth along a path, bytes/s. */
+    double pathBandwidth(const Path &p) const;
+
+    /** Sum of link latencies along a path, seconds. */
+    double pathLatency(const Path &p) const;
+
+    /**
+     * True when two GPUs can perform GPUDirect P2P: some path between
+     * them traverses neither a CPU node nor a UPI link (i.e. they sit
+     * behind one root complex or share NVLink).
+     */
+    bool canPeerToPeer(NodeId gpu_a, NodeId gpu_b) const;
+
+    /** True when the two GPUs share a direct NVLink edge. */
+    bool nvlinkConnected(NodeId gpu_a, NodeId gpu_b) const;
+
+    /**
+     * Fabric available for a collective spanning the GPU set: NvLink if
+     * the set is connected via NVLink edges only, PcieP2p if every pair
+     * can P2P, else HostStaged.
+     */
+    CollectiveFabric collectiveFabric(const std::vector<NodeId> &gpus) const;
+
+    /** The CPU whose root complex hosts this GPU (min-hop CPU). */
+    std::optional<NodeId> hostCpu(NodeId gpu) const;
+
+    /** Render an adjacency summary (for Table III dumps). */
+    std::string describe() const;
+
+  private:
+    struct Node {
+        NodeKind kind;
+        std::string name;
+        std::vector<int> edges;
+    };
+
+    struct Edge {
+        NodeId a;
+        NodeId b;
+        LinkSpec link;
+    };
+
+    NodeId addNode(NodeKind kind, const std::string &name);
+    void checkNode(NodeId n) const;
+
+    /**
+     * BFS from 'from' to 'to'. When 'allowed' is non-null, an edge is
+     * usable only if allowed(edge_id) is true.
+     */
+    std::optional<Path> bfs(NodeId from, NodeId to,
+                            const std::function<bool(int)> *allowed) const;
+
+    std::vector<Node> nodes_;
+    std::vector<Edge> edges_;
+};
+
+} // namespace mlps::net
+
+#endif // MLPSIM_NET_TOPOLOGY_H

@@ -1,0 +1,253 @@
+#include "net/transfer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logger.h"
+
+namespace mlps::net {
+
+FlowSimulator::FlowSimulator(const Topology &topo)
+    : topo_(topo), edge_bytes_(topo.edgeCount(), 0.0)
+{
+}
+
+FlowId
+FlowSimulator::addFlow(NodeId from, NodeId to, double bytes, double start_s)
+{
+    if (ran_)
+        sim::fatal("FlowSimulator: addFlow after run()");
+    if (bytes < 0.0)
+        sim::fatal("FlowSimulator: negative flow size %g", bytes);
+    if (start_s < 0.0)
+        sim::fatal("FlowSimulator: negative start time %g", start_s);
+    auto path = topo_.route(from, to);
+    if (!path)
+        sim::fatal("FlowSimulator: no route %s -> %s",
+                   topo_.name(from).c_str(), topo_.name(to).c_str());
+    Flow f;
+    f.path = *path;
+    f.bytes = bytes;
+    f.remaining = bytes;
+    f.start_s = start_s;
+    f.latency_s = topo_.pathLatency(*path);
+    flows_.push_back(std::move(f));
+    return static_cast<FlowId>(flows_.size()) - 1;
+}
+
+std::vector<int>
+FlowSimulator::directedEdges(const Path &path) const
+{
+    // Encode each traversal as edge*2 + direction so that full-duplex
+    // links expose independent capacity per direction.
+    std::vector<int> out;
+    out.reserve(path.edges.size());
+    for (std::size_t i = 0; i < path.edges.size(); ++i) {
+        int e = path.edges[i];
+        auto [a, b] = topo_.endpoints(e);
+        int dir = (path.nodes[i] == a && path.nodes[i + 1] == b) ? 0 : 1;
+        out.push_back(e * 2 + dir);
+    }
+    return out;
+}
+
+std::vector<double>
+FlowSimulator::fairShare(const std::vector<int> &active) const
+{
+    // Progressive-filling max-min fairness over directed link
+    // capacities: repeatedly find the most constrained (link,
+    // direction), freeze its flows at the equal share, remove the
+    // capacity they consume, repeat. Links are full duplex, so each
+    // direction has independent capacity.
+    std::vector<double> rate(flows_.size(), 0.0);
+    int slots = topo_.edgeCount() * 2;
+    std::vector<double> cap(slots);
+    for (int e = 0; e < topo_.edgeCount(); ++e) {
+        cap[e * 2] = topo_.link(e).effectiveBytesPerSec();
+        cap[e * 2 + 1] = cap[e * 2];
+    }
+
+    std::vector<std::vector<int>> fedges(flows_.size());
+    for (int fi : active)
+        fedges[fi] = directedEdges(flows_[fi].path);
+
+    std::vector<int> unfrozen = active;
+    while (!unfrozen.empty()) {
+        // Count unfrozen flows per directed link.
+        std::vector<int> users(slots, 0);
+        for (int fi : unfrozen) {
+            for (int de : fedges[fi])
+                ++users[de];
+        }
+        // Most constrained slot = min cap/users over used slots.
+        double best_share = std::numeric_limits<double>::infinity();
+        int best_slot = -1;
+        for (int s = 0; s < slots; ++s) {
+            if (users[s] == 0)
+                continue;
+            double share = cap[s] / users[s];
+            if (share < best_share) {
+                best_share = share;
+                best_slot = s;
+            }
+        }
+        if (best_slot < 0) {
+            // Active flows with zero-hop paths (same node): infinite
+            // rate — treat as instantaneous via a huge rate.
+            for (int fi : unfrozen)
+                rate[fi] = 1e18;
+            break;
+        }
+        // Freeze flows crossing the bottleneck at the fair share.
+        std::vector<int> still;
+        for (int fi : unfrozen) {
+            const auto &des = fedges[fi];
+            bool crosses = std::find(des.begin(), des.end(),
+                                     best_slot) != des.end();
+            if (crosses) {
+                rate[fi] = best_share;
+                for (int de : des)
+                    cap[de] -= best_share;
+            } else {
+                still.push_back(fi);
+            }
+        }
+        // Numerical guard: capacities may underflow slightly.
+        for (double &c : cap)
+            c = std::max(c, 0.0);
+        unfrozen = std::move(still);
+    }
+    return rate;
+}
+
+double
+FlowSimulator::run()
+{
+    if (ran_)
+        sim::fatal("FlowSimulator: run() called twice");
+    ran_ = true;
+    reports_.assign(flows_.size(), FlowReport{});
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+        reports_[i].id = static_cast<FlowId>(i);
+        reports_[i].bytes = flows_[i].bytes;
+        reports_[i].start_s = flows_[i].start_s;
+    }
+    if (flows_.empty())
+        return 0.0;
+
+    double now = 0.0;
+    for (;;) {
+        // Active = started, not done. Pending = not yet started.
+        std::vector<int> active;
+        double next_start = std::numeric_limits<double>::infinity();
+        bool any_pending = false;
+        for (std::size_t i = 0; i < flows_.size(); ++i) {
+            Flow &f = flows_[i];
+            if (f.done)
+                continue;
+            double effective_start = f.start_s + f.latency_s;
+            if (now + 1e-15 >= effective_start) {
+                f.started = true;
+                active.push_back(static_cast<int>(i));
+            } else {
+                any_pending = true;
+                next_start = std::min(next_start, effective_start);
+            }
+        }
+        if (active.empty()) {
+            if (!any_pending)
+                break;
+            now = next_start;
+            continue;
+        }
+
+        // Zero-byte flows complete immediately.
+        bool completed_zero = false;
+        for (int fi : active) {
+            Flow &f = flows_[fi];
+            if (f.remaining <= 0.0) {
+                f.done = true;
+                f.finish_s = now;
+                reports_[fi].finish_s = now;
+                completed_zero = true;
+            }
+        }
+        if (completed_zero)
+            continue;
+
+        std::vector<double> rate = fairShare(active);
+
+        // Time to next completion among active flows.
+        double dt = std::numeric_limits<double>::infinity();
+        for (int fi : active) {
+            if (rate[fi] > 0.0)
+                dt = std::min(dt, flows_[fi].remaining / rate[fi]);
+        }
+        if (any_pending)
+            dt = std::min(dt, next_start - now);
+        if (!std::isfinite(dt))
+            sim::panic("FlowSimulator: stalled with active flows");
+
+        // Advance.
+        for (int fi : active) {
+            Flow &f = flows_[fi];
+            double moved = rate[fi] * dt;
+            double used = std::min(moved, f.remaining);
+            f.remaining -= used;
+            for (int e : f.path.edges)
+                edge_bytes_[e] += used;
+            if (f.remaining <= 1e-9) {
+                f.remaining = 0.0;
+                f.done = true;
+                f.finish_s = now + dt;
+                reports_[fi].finish_s = now + dt;
+            }
+        }
+        now += dt;
+    }
+    double makespan = 0.0;
+    for (const auto &r : reports_)
+        makespan = std::max(makespan, r.finish_s);
+    return makespan;
+}
+
+std::vector<LinkTraffic>
+FlowSimulator::linkTraffic() const
+{
+    std::vector<LinkTraffic> out;
+    for (int e = 0; e < topo_.edgeCount(); ++e) {
+        if (edge_bytes_[e] > 0.0)
+            out.push_back({e, topo_.link(e).kind, edge_bytes_[e]});
+    }
+    return out;
+}
+
+double
+FlowSimulator::bytesOnKind(LinkKind kind) const
+{
+    double total = 0.0;
+    for (int e = 0; e < topo_.edgeCount(); ++e) {
+        if (topo_.link(e).kind == kind)
+            total += edge_bytes_[e];
+    }
+    return total;
+}
+
+double
+soloTransferSeconds(const Topology &topo, NodeId from, NodeId to,
+                    double bytes)
+{
+    if (from == to)
+        return 0.0;
+    auto path = topo.route(from, to);
+    if (!path)
+        return std::numeric_limits<double>::infinity();
+    double bw = topo.pathBandwidth(*path);
+    double lat = topo.pathLatency(*path);
+    if (bw <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return lat + bytes / bw;
+}
+
+} // namespace mlps::net

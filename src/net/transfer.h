@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Flow-level transfer simulation over a Topology.
+ *
+ * FlowSimulator models a set of concurrent byte streams, each following
+ * a routed path, sharing link capacity max-min fairly. It advances an
+ * internal clock from flow-completion event to flow-completion event,
+ * re-solving the bandwidth allocation at each event — the standard
+ * flow-level network simulation used when packet detail is unnecessary.
+ *
+ * The training model uses it for host-to-device input staging and for
+ * the per-step flows of the ring all-reduce, where shared-bottleneck
+ * contention (e.g. two staged flows crossing one UPI link) matters.
+ */
+
+#ifndef MLPSIM_NET_TRANSFER_H
+#define MLPSIM_NET_TRANSFER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace mlps::net {
+
+/** Identifier of a flow within a FlowSimulator. */
+using FlowId = int;
+
+/** Final report for one completed flow. */
+struct FlowReport {
+    FlowId id = -1;
+    double bytes = 0.0;
+    double start_s = 0.0;
+    double finish_s = 0.0;
+    /** Average throughput, bytes/s. */
+    double throughput() const {
+        double d = finish_s - start_s;
+        return d > 0.0 ? bytes / d : 0.0;
+    }
+};
+
+/** Per-link traffic accounting after a simulation completes. */
+struct LinkTraffic {
+    int edge = -1;
+    LinkKind kind = LinkKind::Pcie3;
+    double bytes = 0.0;
+};
+
+/**
+ * Max-min fair flow-level simulator.
+ *
+ * Usage: addFlow() any number of times, then run(). The simulator is
+ * single-shot; construct a fresh one per episode.
+ */
+class FlowSimulator
+{
+  public:
+    explicit FlowSimulator(const Topology &topo);
+
+    /**
+     * Add a flow of 'bytes' from node 'from' to node 'to', departing at
+     * time 'start_s' (seconds). The route is fixed at add time.
+     * @return the flow id.
+     */
+    FlowId addFlow(NodeId from, NodeId to, double bytes,
+                   double start_s = 0.0);
+
+    /**
+     * Run to completion of all flows.
+     * @return the makespan in seconds (time the last flow finishes).
+     */
+    double run();
+
+    /** Reports for all flows, indexed by FlowId. Valid after run(). */
+    const std::vector<FlowReport> &reports() const { return reports_; }
+
+    /** Per-link byte totals. Valid after run(). */
+    std::vector<LinkTraffic> linkTraffic() const;
+
+    /** Total bytes that traversed links of the given kind. */
+    double bytesOnKind(LinkKind kind) const;
+
+  private:
+    struct Flow {
+        Path path;
+        double bytes;
+        double remaining;
+        double start_s;
+        double finish_s = -1.0;
+        double latency_s = 0.0;
+        bool started = false;
+        bool done = false;
+    };
+
+    /** Directed (edge, direction) slots a path traverses. */
+    std::vector<int> directedEdges(const Path &path) const;
+
+    /** Recompute max-min fair rates for all active flows. */
+    std::vector<double> fairShare(const std::vector<int> &active) const;
+
+    const Topology &topo_;
+    std::vector<Flow> flows_;
+    std::vector<FlowReport> reports_;
+    std::vector<double> edge_bytes_;
+    bool ran_ = false;
+};
+
+/**
+ * Convenience: time to move 'bytes' alone over the route between two
+ * nodes (bandwidth-bottleneck plus per-hop latency).
+ * @return seconds; +inf when disconnected.
+ */
+double soloTransferSeconds(const Topology &topo, NodeId from, NodeId to,
+                           double bytes);
+
+} // namespace mlps::net
+
+#endif // MLPSIM_NET_TRANSFER_H

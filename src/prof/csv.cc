@@ -1,0 +1,81 @@
+#include "prof/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logger.h"
+
+namespace mlps::prof {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty())
+        sim::fatal("CsvWriter: empty header");
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &row)
+{
+    if (row.size() != header_.size())
+        sim::fatal("CsvWriter: row width %zu != header width %zu",
+                   row.size(), header_.size());
+    rows_.push_back(row);
+}
+
+void
+CsvWriter::addNumericRow(const std::vector<double> &row)
+{
+    std::vector<std::string> fields;
+    fields.reserve(row.size());
+    char buf[64];
+    for (double v : row) {
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        fields.emplace_back(buf);
+    }
+    addRow(fields);
+}
+
+std::string
+csvEscape(const std::string &field)
+{
+    bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvWriter::str() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        os << (i ? "," : "") << csvEscape(header_[i]);
+    os << "\n";
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            os << (i ? "," : "") << csvEscape(row[i]);
+        os << "\n";
+    }
+    return os.str();
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << str();
+    return static_cast<bool>(out);
+}
+
+} // namespace mlps::prof

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * CSV export, matching the workflow of the paper's tooling (dstat's
+ * --output and nvprof's --csv were the interchange formats).
+ */
+
+#ifndef MLPSIM_PROF_CSV_H
+#define MLPSIM_PROF_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace mlps::prof {
+
+/** A rectangular CSV document under construction. */
+class CsvWriter
+{
+  public:
+    /** @param header column names. */
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(const std::vector<std::string> &row);
+
+    /** Append a row of numbers (formatted %.6g). */
+    void addNumericRow(const std::vector<double> &row);
+
+    /** Render the document. Fields with commas/quotes are quoted. */
+    std::string str() const;
+
+    /** Write to a file. @return false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+    std::size_t columnCount() const { return header_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Escape one CSV field (RFC 4180 quoting). */
+std::string csvEscape(const std::string &field);
+
+} // namespace mlps::prof
+
+#endif // MLPSIM_PROF_CSV_H

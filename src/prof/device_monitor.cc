@@ -1,0 +1,102 @@
+#include "prof/device_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logger.h"
+
+namespace mlps::prof {
+
+DeviceMonitor::DeviceMonitor(std::uint64_t seed, double cadence_s)
+    : rng_(seed), cadence_s_(cadence_s)
+{
+    if (cadence_s <= 0.0)
+        sim::fatal("DeviceMonitor: non-positive cadence %g", cadence_s);
+}
+
+void
+DeviceMonitor::observe(const train::TrainResult &result, double window_s)
+{
+    if (window_s <= 0.0)
+        window_s = std::min(result.total_seconds, 120.0);
+    window_s = std::max(window_s, cadence_s_);
+
+    gpus_ = result.num_gpus;
+    sm_.assign(gpus_, sim::Sampler("sm", false));
+    hbm_.assign(gpus_, sim::Sampler("hbm", false));
+    pcie_.assign(gpus_, sim::Sampler("pcie", false));
+    nvlink_.assign(gpus_, sim::Sampler("nvlink", false));
+
+    double per_gpu_util = result.usage.gpu_util_pct_sum / gpus_;
+    double per_gpu_hbm = result.usage.hbm_footprint_mb / gpus_;
+    double per_gpu_pcie = result.usage.pcie_mbps / gpus_;
+    double per_gpu_nvlink = result.usage.nvlink_mbps / gpus_;
+
+    for (double t = 0.0; t < window_s; t += cadence_s_) {
+        for (int g = 0; g < gpus_; ++g) {
+            DeviceSample s;
+            s.t_s = t;
+            s.gpu = g;
+            s.sm_util_pct = std::clamp(
+                per_gpu_util * rng_.lognormalNoise(0.04), 0.0, 100.0);
+            s.hbm_used_mb = per_gpu_hbm * rng_.lognormalNoise(0.004);
+            s.pcie_mbps = per_gpu_pcie * rng_.lognormalNoise(0.12);
+            s.nvlink_mbps = per_gpu_nvlink * rng_.lognormalNoise(0.12);
+            samples_.push_back(s);
+            sm_[g].record(s.sm_util_pct);
+            hbm_[g].record(s.hbm_used_mb);
+            pcie_[g].record(s.pcie_mbps);
+            nvlink_[g].record(s.nvlink_mbps);
+        }
+    }
+}
+
+namespace {
+
+double
+sumMeans(const std::vector<sim::Sampler> &v)
+{
+    double s = 0.0;
+    for (const auto &x : v)
+        s += x.mean();
+    return s;
+}
+
+} // namespace
+
+double
+DeviceMonitor::sumGpuUtil() const
+{
+    return sumMeans(sm_);
+}
+
+double
+DeviceMonitor::sumHbmMb() const
+{
+    return sumMeans(hbm_);
+}
+
+double
+DeviceMonitor::sumPcieMbps() const
+{
+    return sumMeans(pcie_);
+}
+
+double
+DeviceMonitor::sumNvlinkMbps() const
+{
+    return sumMeans(nvlink_);
+}
+
+void
+DeviceMonitor::reset()
+{
+    samples_.clear();
+    sm_.clear();
+    hbm_.clear();
+    pcie_.clear();
+    nvlink_.clear();
+    gpus_ = 0;
+}
+
+} // namespace mlps::prof

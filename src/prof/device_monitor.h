@@ -1,0 +1,64 @@
+/**
+ * @file
+ * nvidia-smi dmon analog.
+ *
+ * Samples per-GPU streaming-multiprocessor utilization, HBM footprint,
+ * and PCIe/NVLink bus throughput at a fixed cadence, mirroring the
+ * hardware-counter-based collection the paper used for Table V.
+ */
+
+#ifndef MLPSIM_PROF_DEVICE_MONITOR_H
+#define MLPSIM_PROF_DEVICE_MONITOR_H
+
+#include <vector>
+
+#include "sim/counters.h"
+#include "sim/rng.h"
+#include "train/training_job.h"
+
+namespace mlps::prof {
+
+/** One dmon-style per-GPU sample. */
+struct DeviceSample {
+    double t_s = 0.0;
+    int gpu = 0;
+    double sm_util_pct = 0.0;
+    double hbm_used_mb = 0.0;
+    double pcie_mbps = 0.0;
+    double nvlink_mbps = 0.0;
+};
+
+/** Per-device statistics sampler. */
+class DeviceMonitor
+{
+  public:
+    explicit DeviceMonitor(std::uint64_t seed = 2, double cadence_s = 1.0);
+
+    /** Sample a run for a window of simulated seconds. */
+    void observe(const train::TrainResult &result, double window_s = 0.0);
+
+    const std::vector<DeviceSample> &samples() const { return samples_; }
+
+    /** Summed average SM utilization across GPUs, percent. */
+    double sumGpuUtil() const;
+    /** Summed average HBM footprint across GPUs, MB. */
+    double sumHbmMb() const;
+    /** Summed average PCIe throughput, Mbit/s. */
+    double sumPcieMbps() const;
+    /** Summed average NVLink throughput, Mbit/s. */
+    double sumNvlinkMbps() const;
+
+    /** Clear collected samples. */
+    void reset();
+
+  private:
+    sim::Rng rng_;
+    double cadence_s_;
+    int gpus_ = 0;
+    std::vector<DeviceSample> samples_;
+    std::vector<sim::Sampler> sm_, hbm_, pcie_, nvlink_;
+};
+
+} // namespace mlps::prof
+
+#endif // MLPSIM_PROF_DEVICE_MONITOR_H

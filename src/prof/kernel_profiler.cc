@@ -1,0 +1,132 @@
+#include "prof/kernel_profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logger.h"
+
+namespace mlps::prof {
+
+std::string
+toString(Pass pass)
+{
+    switch (pass) {
+      case Pass::Forward: return "fwd";
+      case Pass::Backward: return "bwd";
+      case Pass::Optimizer: return "opt";
+      case Pass::Collective: return "nccl";
+    }
+    sim::panic("toString: bad Pass %d", static_cast<int>(pass));
+}
+
+void
+KernelProfiler::record(const std::string &name, wl::OpKind kind, Pass pass,
+                       std::uint64_t invocations, double seconds,
+                       double flops, double bytes)
+{
+    if (seconds < 0.0 || flops < 0.0 || bytes < 0.0)
+        sim::fatal("KernelProfiler: negative stats for '%s'",
+                   name.c_str());
+    std::string key = name + "#" + toString(pass);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        KernelRecord r;
+        r.name = name;
+        r.kind = kind;
+        r.pass = pass;
+        records_.push_back(r);
+        it = index_.emplace(key, records_.size() - 1).first;
+    }
+    KernelRecord &r = records_[it->second];
+    r.invocations += invocations;
+    r.total_seconds += seconds;
+    r.total_flops += flops;
+    r.total_bytes += bytes;
+}
+
+void
+KernelProfiler::clear()
+{
+    records_.clear();
+    index_.clear();
+}
+
+double
+KernelProfiler::totalSeconds() const
+{
+    double t = 0.0;
+    for (const auto &r : records_)
+        t += r.total_seconds;
+    return t;
+}
+
+double
+KernelProfiler::totalFlops() const
+{
+    double t = 0.0;
+    for (const auto &r : records_)
+        t += r.total_flops;
+    return t;
+}
+
+double
+KernelProfiler::totalBytes() const
+{
+    double t = 0.0;
+    for (const auto &r : records_)
+        t += r.total_bytes;
+    return t;
+}
+
+double
+KernelProfiler::aggregateFlopsPerSec() const
+{
+    double s = totalSeconds();
+    return s > 0.0 ? totalFlops() / s : 0.0;
+}
+
+double
+KernelProfiler::aggregateIntensity() const
+{
+    double b = totalBytes();
+    return b > 0.0 ? totalFlops() / b : 0.0;
+}
+
+std::vector<KernelRecord>
+KernelProfiler::topByTime(std::size_t n) const
+{
+    std::vector<KernelRecord> sorted = records_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const KernelRecord &a, const KernelRecord &b) {
+                  return a.total_seconds > b.total_seconds;
+              });
+    if (sorted.size() > n)
+        sorted.resize(n);
+    return sorted;
+}
+
+std::string
+KernelProfiler::summary(std::size_t top_n) const
+{
+    std::ostringstream os;
+    double total = totalSeconds();
+    os << "Kernel profile (" << records_.size() << " kernel classes, "
+       << total << " s total)\n";
+    char line[256];
+    std::snprintf(line, sizeof(line), "%8s %12s %10s %10s  %s\n",
+                  "time%", "calls", "GFLOP/s", "FLOP/B", "name");
+    os << line;
+    for (const auto &r : topByTime(top_n)) {
+        std::snprintf(line, sizeof(line),
+                      "%7.2f%% %12llu %10.1f %10.2f  %s [%s]\n",
+                      total > 0.0 ? 100.0 * r.total_seconds / total : 0.0,
+                      static_cast<unsigned long long>(r.invocations),
+                      r.flopsPerSec() / 1e9, r.intensity(),
+                      r.name.c_str(), toString(r.pass).c_str());
+        os << line;
+    }
+    return os.str();
+}
+
+} // namespace mlps::prof

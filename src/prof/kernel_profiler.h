@@ -1,0 +1,103 @@
+/**
+ * @file
+ * nvprof-analog kernel profiler.
+ *
+ * The trainer reports every kernel execution class (op x pass) it
+ * models; the profiler aggregates invocation counts, durations, FLOP
+ * counts and memory transactions — the exact quantities the paper
+ * collected with nvprof to place workloads on the roofline (Figure 2).
+ */
+
+#ifndef MLPSIM_PROF_KERNEL_PROFILER_H
+#define MLPSIM_PROF_KERNEL_PROFILER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wl/op.h"
+
+namespace mlps::prof {
+
+/** Which half of training a kernel belongs to. */
+enum class Pass {
+    Forward,
+    Backward,
+    Optimizer,
+    Collective,
+};
+
+/** Human-readable pass name. */
+std::string toString(Pass pass);
+
+/** Aggregated statistics of one kernel class. */
+struct KernelRecord {
+    std::string name;
+    wl::OpKind kind = wl::OpKind::Elementwise;
+    Pass pass = Pass::Forward;
+    std::uint64_t invocations = 0;
+    double total_seconds = 0.0;
+    double total_flops = 0.0;
+    double total_bytes = 0.0;
+
+    /** Mean duration per invocation, seconds. */
+    double meanSeconds() const {
+        return invocations ? total_seconds / invocations : 0.0;
+    }
+    /** Achieved FLOP rate of this kernel class. */
+    double flopsPerSec() const {
+        return total_seconds > 0.0 ? total_flops / total_seconds : 0.0;
+    }
+    /** Arithmetic intensity, FLOPs/byte. */
+    double intensity() const {
+        return total_bytes > 0.0 ? total_flops / total_bytes : 0.0;
+    }
+};
+
+/** Region-of-interest kernel statistics collector. */
+class KernelProfiler
+{
+  public:
+    KernelProfiler() = default;
+
+    /**
+     * Record invocations of one kernel class.
+     * @param seconds, flops, bytes are totals over all invocations.
+     */
+    void record(const std::string &name, wl::OpKind kind, Pass pass,
+                std::uint64_t invocations, double seconds, double flops,
+                double bytes);
+
+    /** Drop all records. */
+    void clear();
+
+    /** All records, in first-seen order. */
+    const std::vector<KernelRecord> &records() const { return records_; }
+
+    /** Sum of kernel time, seconds. */
+    double totalSeconds() const;
+    /** Sum of FLOPs. */
+    double totalFlops() const;
+    /** Sum of memory transactions, bytes. */
+    double totalBytes() const;
+
+    /** Whole-ROI achieved FLOP/s. */
+    double aggregateFlopsPerSec() const;
+    /** Whole-ROI arithmetic intensity. */
+    double aggregateIntensity() const;
+
+    /** Records sorted by descending total time (nvprof summary order). */
+    std::vector<KernelRecord> topByTime(std::size_t n) const;
+
+    /** nvprof-style text summary. */
+    std::string summary(std::size_t top_n = 15) const;
+
+  private:
+    std::vector<KernelRecord> records_;
+    std::map<std::string, std::size_t> index_;
+};
+
+} // namespace mlps::prof
+
+#endif // MLPSIM_PROF_KERNEL_PROFILER_H

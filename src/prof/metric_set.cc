@@ -1,0 +1,44 @@
+#include "prof/metric_set.h"
+
+namespace mlps::prof {
+
+const std::array<std::string, kNumMetrics> &
+metricNames()
+{
+    static const std::array<std::string, kNumMetrics> names = {
+        "pcie_util",      "gpu_util",       "cpu_util",
+        "ddr_footprint",  "hbm2_footprint", "flop_throughput",
+        "mem_throughput", "epochs",
+    };
+    return names;
+}
+
+MetricSet
+extractMetrics(const train::TrainResult &result)
+{
+    MetricSet m;
+    m.workload = result.workload;
+    m.values = {
+        result.usage.pcie_mbps,
+        result.usage.gpu_util_pct_sum,
+        result.usage.cpu_util_pct,
+        result.usage.dram_footprint_mb,
+        result.usage.hbm_footprint_mb,
+        result.achieved_flops,
+        result.achieved_bytes_per_sec,
+        result.epochs,
+    };
+    return m;
+}
+
+std::vector<std::vector<double>>
+toMatrix(const std::vector<MetricSet> &sets)
+{
+    std::vector<std::vector<double>> rows;
+    rows.reserve(sets.size());
+    for (const auto &s : sets)
+        rows.emplace_back(s.values.begin(), s.values.end());
+    return rows;
+}
+
+} // namespace mlps::prof

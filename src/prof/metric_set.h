@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The eight workload characteristics of the paper's PCA study
+ * (Section IV-A): PCIe utilization, GPU utilization, CPU utilization,
+ * DDR memory footprint, HBM2 footprint, FLOP throughput, memory
+ * throughput, and number of epochs.
+ */
+
+#ifndef MLPSIM_PROF_METRIC_SET_H
+#define MLPSIM_PROF_METRIC_SET_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "train/training_job.h"
+
+namespace mlps::prof {
+
+/** Number of characteristics in the PCA feature vector. */
+inline constexpr int kNumMetrics = 8;
+
+/** Names of the eight characteristics, in feature-vector order. */
+const std::array<std::string, kNumMetrics> &metricNames();
+
+/** Feature vector of one workload run. */
+struct MetricSet {
+    std::string workload;
+    /** [pcie_mbps, gpu_util, cpu_util, dram_mb, hbm_mb,
+     *   flops, mem_bytes_per_s, epochs] */
+    std::array<double, kNumMetrics> values{};
+};
+
+/** Extract the eight characteristics from a run result. */
+MetricSet extractMetrics(const train::TrainResult &result);
+
+/** Stack metric sets into a row-major sample matrix. */
+std::vector<std::vector<double>>
+toMatrix(const std::vector<MetricSet> &sets);
+
+} // namespace mlps::prof
+
+#endif // MLPSIM_PROF_METRIC_SET_H

@@ -1,0 +1,95 @@
+#include "prof/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/logger.h"
+
+namespace mlps::prof {
+
+void
+TraceBuilder::add(const std::string &track, const std::string &name,
+                  double start_us, double duration_us)
+{
+    if (duration_us < 0.0 || start_us < 0.0)
+        sim::fatal("TraceBuilder: negative span for '%s'",
+                   name.c_str());
+    events_.push_back({name, track, start_us, duration_us});
+}
+
+void
+TraceBuilder::addIterations(const train::TrainResult &result,
+                            int iterations)
+{
+    if (iterations < 1)
+        sim::fatal("TraceBuilder: need at least one iteration");
+    const auto &it = result.iter;
+    double iter_us = it.iteration_s * 1e6;
+    for (int i = 0; i < iterations; ++i) {
+        double base = i * iter_us;
+        // Host preprocesses batch i+1 while the GPUs run batch i.
+        add("Host", "preprocess", base, it.host_s * 1e6);
+        add("H2D", "input copy", base + it.host_s * 1e6 * 0.1,
+            it.h2d_s * 1e6);
+        for (int g = 0; g < result.num_gpus; ++g) {
+            std::string track = "GPU" + std::to_string(g);
+            double t = base;
+            add(track, "forward", t, it.fwd_s * 1e6);
+            t += it.fwd_s * 1e6;
+            add(track, "backward", t, it.bwd_s * 1e6);
+            t += it.bwd_s * 1e6;
+            if (it.exposed_comm_s > 0.0) {
+                add(track, "allreduce (exposed)", t,
+                    it.exposed_comm_s * 1e6);
+                t += it.exposed_comm_s * 1e6;
+            }
+            add(track, "optimizer", t, it.optimizer_s * 1e6);
+        }
+    }
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+TraceBuilder::toJson() const
+{
+    std::ostringstream os;
+    os << "[\n";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const TraceEvent &e = events_[i];
+        os << "  {\"name\": \"" << jsonEscape(e.name)
+           << "\", \"cat\": \"model\", \"ph\": \"X\", \"ts\": "
+           << e.start_us << ", \"dur\": " << e.duration_us
+           << ", \"pid\": 1, \"tid\": \"" << jsonEscape(e.track)
+           << "\"}";
+        os << (i + 1 < events_.size() ? ",\n" : "\n");
+    }
+    os << "]\n";
+    return os.str();
+}
+
+bool
+TraceBuilder::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJson();
+    return static_cast<bool>(out);
+}
+
+} // namespace mlps::prof

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Chrome-trace (chrome://tracing / Perfetto) export of a modeled
+ * training iteration: per-GPU forward/backward/optimizer/collective
+ * spans plus host pipeline and H2D rows — the timeline view
+ * profilers like Nsight present, reconstructed from the model.
+ */
+
+#ifndef MLPSIM_PROF_TRACE_H
+#define MLPSIM_PROF_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "train/training_job.h"
+
+namespace mlps::prof {
+
+/** One complete-event ("X") span in the trace. */
+struct TraceEvent {
+    std::string name;
+    std::string track;   ///< e.g. "GPU0", "Host", "H2D"
+    double start_us = 0.0;
+    double duration_us = 0.0;
+};
+
+/** Timeline builder for modeled runs. */
+class TraceBuilder
+{
+  public:
+    TraceBuilder() = default;
+
+    /** Add one span. */
+    void add(const std::string &track, const std::string &name,
+             double start_us, double duration_us);
+
+    /**
+     * Append `iterations` steady-state iterations of a run: host,
+     * H2D, and per-GPU fwd/bwd/exposed-collective/optimizer spans,
+     * pipelined one iteration deep.
+     */
+    void addIterations(const train::TrainResult &result,
+                       int iterations);
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Serialise to the Chrome trace-event JSON array format. */
+    std::string toJson() const;
+
+    /** Write the JSON to a file. @return false on I/O error. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace mlps::prof
+
+#endif // MLPSIM_PROF_TRACE_H

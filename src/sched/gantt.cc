@@ -1,0 +1,87 @@
+#include "sched/gantt.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logger.h"
+
+namespace mlps::sched {
+
+std::string
+renderGantt(const Schedule &schedule, int columns)
+{
+    if (columns < 10)
+        sim::fatal("renderGantt: need at least 10 columns");
+    double span = schedule.makespan();
+    std::ostringstream os;
+    if (span <= 0.0) {
+        os << "(empty schedule)\n";
+        return os.str();
+    }
+
+    // Assign each job a letter.
+    std::vector<std::string> job_names;
+    for (const auto &p : schedule.placements) {
+        if (std::find(job_names.begin(), job_names.end(), p.job) ==
+            job_names.end())
+            job_names.push_back(p.job);
+    }
+    auto letter = [&](const std::string &job) {
+        auto it = std::find(job_names.begin(), job_names.end(), job);
+        std::size_t i = it - job_names.begin();
+        return static_cast<char>(i < 26 ? 'A' + i : 'a' + (i - 26));
+    };
+
+    for (int g = 0; g < schedule.num_gpus; ++g) {
+        std::string line(columns, '.');
+        for (const auto &p : schedule.placements) {
+            if (std::find(p.gpus.begin(), p.gpus.end(), g) ==
+                p.gpus.end())
+                continue;
+            int c0 = static_cast<int>(p.start_s / span * columns);
+            int c1 = static_cast<int>(p.end_s / span * columns);
+            c1 = std::max(c1, c0 + 1);
+            for (int c = c0; c < c1 && c < columns; ++c)
+                line[c] = letter(p.job);
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "GPU%-2d |", g);
+        os << buf << line << "|\n";
+    }
+    os << "legend:";
+    for (const auto &name : job_names)
+        os << " " << letter(name) << "=" << name;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\nmakespan: %.2f h\n",
+                  span / 3600.0);
+    os << buf;
+    return os.str();
+}
+
+std::string
+describeSchedule(const Schedule &schedule)
+{
+    std::vector<Placement> sorted = schedule.placements;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Placement &a, const Placement &b) {
+                  if (a.start_s != b.start_s)
+                      return a.start_s < b.start_s;
+                  return a.job < b.job;
+              });
+    std::ostringstream os;
+    char buf[160];
+    for (const auto &p : sorted) {
+        std::string gpus;
+        for (int g : p.gpus)
+            gpus += (gpus.empty() ? "" : ",") + std::to_string(g);
+        std::snprintf(buf, sizeof(buf),
+                      "  %-16s gpus[%s]  %7.2f h -> %7.2f h\n",
+                      p.job.c_str(), gpus.c_str(), p.start_s / 3600.0,
+                      p.end_s / 3600.0);
+        os << buf;
+    }
+    return os.str();
+}
+
+} // namespace mlps::sched

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * ASCII Gantt rendering of schedules, mirroring the timeline plots of
+ * the paper's Figure 4.
+ */
+
+#ifndef MLPSIM_SCHED_GANTT_H
+#define MLPSIM_SCHED_GANTT_H
+
+#include <string>
+
+#include "sched/schedule.h"
+
+namespace mlps::sched {
+
+/**
+ * Render a schedule as per-GPU timelines.
+ *
+ * @param schedule the schedule.
+ * @param columns  character width of the time axis.
+ */
+std::string renderGantt(const Schedule &schedule, int columns = 72);
+
+/** One-line-per-placement textual listing, sorted by start time. */
+std::string describeSchedule(const Schedule &schedule);
+
+} // namespace mlps::sched
+
+#endif // MLPSIM_SCHED_GANTT_H

@@ -1,0 +1,243 @@
+#include "sched/online.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+#include "sim/logger.h"
+
+namespace mlps::sched {
+
+std::string
+toString(OnlinePolicy policy)
+{
+    switch (policy) {
+      case OnlinePolicy::FifoFullWidth: return "fifo-full-width";
+      case OnlinePolicy::FifoBestWidth: return "fifo-best-width";
+      case OnlinePolicy::Backfill: return "backfill";
+    }
+    sim::panic("toString: bad OnlinePolicy %d",
+               static_cast<int>(policy));
+}
+
+namespace {
+
+/** Widest width keeping parallel efficiency >= 0.75. */
+int
+bestWidth(const JobSpec &job, int gpus)
+{
+    int best = 1;
+    for (int w = 2; w <= gpus; w *= 2) {
+        if (job.speedupAt(w) / w >= 0.75)
+            best = w;
+    }
+    return best;
+}
+
+struct MachineState {
+    std::vector<double> free_at; ///< per-GPU availability time
+
+    explicit MachineState(int gpus) : free_at(gpus, 0.0) {}
+
+    /** Indices of GPUs free at time t, earliest-free first. */
+    std::vector<int>
+    freeGpus(double t) const
+    {
+        std::vector<int> idx;
+        for (int g = 0; g < static_cast<int>(free_at.size()); ++g) {
+            if (free_at[g] <= t + 1e-12)
+                idx.push_back(g);
+        }
+        return idx;
+    }
+
+    /** Time at which at least `width` GPUs are simultaneously free. */
+    double
+    availableAt(int width) const
+    {
+        std::vector<double> sorted = free_at;
+        std::sort(sorted.begin(), sorted.end());
+        return sorted[width - 1];
+    }
+};
+
+struct PendingJob {
+    const OnlineJob *job;
+    int index;
+};
+
+} // namespace
+
+OnlineMetrics
+simulateOnline(const std::vector<OnlineJob> &jobs, int gpus,
+               OnlinePolicy policy)
+{
+    if (jobs.empty())
+        sim::fatal("simulateOnline: no jobs");
+    if (gpus < 1 || (gpus & (gpus - 1)) != 0)
+        sim::fatal("simulateOnline: GPU count %d must be a power of 2",
+                   gpus);
+    for (const auto &j : jobs) {
+        if (j.arrival_s < 0.0)
+            sim::fatal("simulateOnline: negative arrival for '%s'",
+                       j.profile.name.c_str());
+        for (int w = 1; w <= gpus; w *= 2) {
+            if (!j.profile.supportsWidth(w))
+                sim::fatal("simulateOnline: '%s' missing width %d",
+                           j.profile.name.c_str(), w);
+        }
+    }
+
+    // Arrival order (stable for ties).
+    std::vector<int> order(jobs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return jobs[a].arrival_s < jobs[b].arrival_s;
+    });
+
+    MachineState machine(gpus);
+    std::deque<int> queue; // indices into jobs
+    std::size_t next_arrival = 0;
+    double now = 0.0;
+
+    OnlineMetrics res;
+    res.schedule.num_gpus = gpus;
+    std::vector<double> start_time(jobs.size(), -1.0);
+    std::vector<double> end_time(jobs.size(), -1.0);
+
+    auto place = [&](int ji, int width, double t) {
+        auto free = machine.freeGpus(t);
+        std::vector<int> chosen(free.begin(), free.begin() + width);
+        Placement p;
+        p.job = jobs[ji].profile.name + "#" + std::to_string(ji);
+        p.gpus = chosen;
+        p.start_s = t;
+        p.end_s = t + jobs[ji].profile.timeAt(width);
+        for (int g : chosen)
+            machine.free_at[g] = p.end_s;
+        start_time[ji] = t;
+        end_time[ji] = p.end_s;
+        res.schedule.placements.push_back(std::move(p));
+    };
+
+    auto desiredWidth = [&](int ji) {
+        return policy == OnlinePolicy::FifoFullWidth
+                   ? gpus
+                   : bestWidth(jobs[ji].profile, gpus);
+    };
+
+    // Event loop: advance `now` to the next arrival or GPU release,
+    // then dispatch whatever the policy allows.
+    std::size_t done = 0;
+    while (done < jobs.size()) {
+        // Admit arrivals up to now.
+        while (next_arrival < order.size() &&
+               jobs[order[next_arrival]].arrival_s <= now + 1e-12) {
+            queue.push_back(order[next_arrival]);
+            ++next_arrival;
+        }
+
+        // Dispatch loop at the current instant.
+        bool dispatched = true;
+        while (dispatched && !queue.empty()) {
+            dispatched = false;
+            int head = queue.front();
+            int head_width = desiredWidth(head);
+            auto free = machine.freeGpus(now);
+            if (static_cast<int>(free.size()) >= head_width) {
+                queue.pop_front();
+                place(head, head_width, now);
+                ++done;
+                dispatched = true;
+                continue;
+            }
+            if (policy == OnlinePolicy::Backfill && !free.empty()) {
+                // Head reserves `head_width` GPUs at the earliest
+                // time they co-exist; a later job may use currently
+                // free GPUs if it finishes by then.
+                double reservation = machine.availableAt(head_width);
+                // Largest power-of-two width the free set can host.
+                int free_pow2 = 1;
+                while (free_pow2 * 2 <=
+                       static_cast<int>(free.size()))
+                    free_pow2 *= 2;
+                for (std::size_t qi = 1; qi < queue.size(); ++qi) {
+                    int cand = queue[qi];
+                    int w = std::min(desiredWidth(cand), free_pow2);
+                    if (now + jobs[cand].profile.timeAt(w) <=
+                        reservation + 1e-9) {
+                        queue.erase(queue.begin() + qi);
+                        place(cand, w, now);
+                        ++done;
+                        dispatched = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if (done == jobs.size())
+            break;
+
+        // Advance to the next interesting instant.
+        double next_t = std::numeric_limits<double>::infinity();
+        if (next_arrival < order.size())
+            next_t = jobs[order[next_arrival]].arrival_s;
+        if (!queue.empty()) {
+            for (double t : machine.free_at) {
+                if (t > now + 1e-12)
+                    next_t = std::min(next_t, t);
+            }
+        }
+        if (!std::isfinite(next_t))
+            sim::panic("simulateOnline: stalled with %zu jobs queued",
+                       queue.size());
+        now = next_t;
+    }
+
+    // Metrics.
+    double wait_sum = 0.0, turn_sum = 0.0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        double wait = start_time[i] - jobs[i].arrival_s;
+        wait_sum += wait;
+        res.max_wait_s = std::max(res.max_wait_s, wait);
+        turn_sum += end_time[i] - jobs[i].arrival_s;
+        res.makespan_s = std::max(res.makespan_s, end_time[i]);
+    }
+    res.avg_wait_s = wait_sum / jobs.size();
+    res.avg_turnaround_s = turn_sum / jobs.size();
+    double busy = 0.0;
+    for (const auto &p : res.schedule.placements)
+        busy += p.duration() * p.width();
+    res.utilization =
+        res.makespan_s > 0.0 ? busy / (res.makespan_s * gpus) : 0.0;
+    return res;
+}
+
+std::vector<OnlineJob>
+poissonJobStream(const std::vector<JobSpec> &catalogue, int count,
+                 double mean_interarrival_s, std::uint64_t seed)
+{
+    if (catalogue.empty())
+        sim::fatal("poissonJobStream: empty catalogue");
+    if (count < 1 || mean_interarrival_s <= 0.0)
+        sim::fatal("poissonJobStream: bad stream parameters");
+    sim::Rng rng(seed);
+    std::vector<OnlineJob> jobs;
+    double t = 0.0;
+    for (int i = 0; i < count; ++i) {
+        OnlineJob j;
+        j.profile = catalogue[rng.below(catalogue.size())];
+        j.profile.name += "_a" + std::to_string(i);
+        j.arrival_s = t;
+        jobs.push_back(std::move(j));
+        // Exponential inter-arrival.
+        double u = std::max(rng.uniform(), 1e-12);
+        t += -mean_interarrival_s * std::log(u);
+    }
+    return jobs;
+}
+
+} // namespace mlps::sched

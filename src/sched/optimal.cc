@@ -1,0 +1,182 @@
+#include "sched/optimal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "sim/logger.h"
+
+namespace mlps::sched {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+/** DP key: job mask in the low bits, width index in the high bits. */
+std::uint64_t
+dpKey(Mask mask, int width)
+{
+    return (static_cast<std::uint64_t>(width) << 32) | mask;
+}
+
+struct Decision {
+    Mask full_width = 0; ///< jobs run at this width, sequentially
+    Mask left = 0;       ///< jobs sent to the first half
+    // right half = rest
+};
+
+struct Solver {
+    const std::vector<JobSpec> &jobs;
+    std::unordered_map<std::uint64_t, double> memo;
+    std::unordered_map<std::uint64_t, Decision> choice;
+    std::size_t states = 0;
+
+    double
+    solve(Mask mask, int width)
+    {
+        if (mask == 0)
+            return 0.0;
+        std::uint64_t key = dpKey(mask, width);
+        auto it = memo.find(key);
+        if (it != memo.end())
+            return it->second;
+        ++states;
+
+        double best = std::numeric_limits<double>::infinity();
+        Decision best_dec;
+
+        if (width == 1) {
+            // Base: everything runs sequentially on the single GPU.
+            best = 0.0;
+            for (std::size_t j = 0; j < jobs.size(); ++j) {
+                if (mask & (Mask(1) << j))
+                    best += jobs[j].timeAt(1);
+            }
+            best_dec.full_width = mask;
+        } else {
+            // Choose the subset F run at full width (sequentially),
+            // then split the rest across the two halves.
+            for (Mask f = mask;; f = (f - 1) & mask) {
+                double head = 0.0;
+                for (std::size_t j = 0; j < jobs.size(); ++j) {
+                    if (f & (Mask(1) << j))
+                        head += jobs[j].timeAt(width);
+                }
+                Mask rest = mask & ~f;
+                double tail = 0.0;
+                Mask best_left = 0;
+                if (rest != 0) {
+                    tail = std::numeric_limits<double>::infinity();
+                    // Partition rest into (a, rest\a); to halve the
+                    // symmetric double-count, pin the lowest set bit
+                    // of rest to the left side.
+                    Mask pin = rest & (~rest + 1);
+                    Mask vary = rest & ~pin;
+                    for (Mask a = vary;; a = (a - 1) & vary) {
+                        Mask left = a | pin;
+                        Mask right = rest & ~left;
+                        double cand =
+                            std::max(solve(left, width / 2),
+                                     solve(right, width / 2));
+                        if (cand < tail) {
+                            tail = cand;
+                            best_left = left;
+                        }
+                        if (a == 0)
+                            break;
+                    }
+                }
+                if (head + tail < best) {
+                    best = head + tail;
+                    best_dec.full_width = f;
+                    best_dec.left = best_left;
+                }
+                if (f == 0)
+                    break;
+            }
+        }
+
+        memo.emplace(key, best);
+        choice.emplace(key, best_dec);
+        return best;
+    }
+
+    /** Rebuild placements from the memoised decisions. */
+    void
+    reconstruct(Mask mask, int width, const std::vector<int> &gpu_set,
+                double start, Schedule &out)
+    {
+        if (mask == 0)
+            return;
+        const Decision &dec = choice.at(dpKey(mask, width));
+        double t = start;
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            if (dec.full_width & (Mask(1) << j)) {
+                Placement p;
+                p.job = jobs[j].name;
+                p.gpus = gpu_set;
+                p.start_s = t;
+                p.end_s = t + jobs[j].timeAt(width);
+                t = p.end_s;
+                out.placements.push_back(std::move(p));
+            }
+        }
+        Mask rest = mask & ~dec.full_width;
+        if (rest == 0)
+            return;
+        std::vector<int> half_a(gpu_set.begin(),
+                                gpu_set.begin() + gpu_set.size() / 2);
+        std::vector<int> half_b(gpu_set.begin() + gpu_set.size() / 2,
+                                gpu_set.end());
+        reconstruct(dec.left, width / 2, half_a, t, out);
+        reconstruct(rest & ~dec.left, width / 2, half_b, t, out);
+    }
+};
+
+} // namespace
+
+OptimalResult
+optimalSchedule(const std::vector<JobSpec> &jobs, int gpus)
+{
+    validateJobs(jobs, gpus);
+    Solver solver{jobs, {}, {}, 0};
+    Mask all = (Mask(1) << jobs.size()) - 1;
+    double makespan = solver.solve(all, gpus);
+
+    OptimalResult res;
+    res.makespan_s = makespan;
+    res.states_explored = solver.states;
+    res.schedule.num_gpus = gpus;
+    std::vector<int> gpu_set(gpus);
+    std::iota(gpu_set.begin(), gpu_set.end(), 0);
+    solver.reconstruct(all, gpus, gpu_set, 0.0, res.schedule);
+    res.schedule.validate(jobs);
+
+    if (std::fabs(res.schedule.makespan() - makespan) > 1e-6 * makespan)
+        sim::panic("optimalSchedule: reconstruction mismatch (%g vs %g)",
+                   res.schedule.makespan(), makespan);
+    return res;
+}
+
+double
+makespanLowerBound(const std::vector<JobSpec> &jobs, int gpus)
+{
+    validateJobs(jobs, gpus);
+    double total_work = 0.0; // GPU-seconds at ideal width
+    double critical = 0.0;
+    for (const auto &j : jobs) {
+        double best_time = std::numeric_limits<double>::infinity();
+        double best_work = std::numeric_limits<double>::infinity();
+        for (int w = 1; w <= gpus; w *= 2) {
+            best_time = std::min(best_time, j.timeAt(w));
+            best_work = std::min(best_work, j.timeAt(w) * w);
+        }
+        critical = std::max(critical, best_time);
+        total_work += best_work;
+    }
+    return std::max(critical, total_work / gpus);
+}
+
+} // namespace mlps::sched

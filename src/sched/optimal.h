@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Exact optimal scheduling over the hierarchical schedule class
+ * (Figure 4b).
+ *
+ * A hierarchical schedule on g GPUs runs some subset of jobs
+ * distributed across all g GPUs back-to-back, then splits the machine
+ * into two g/2 halves and recurses on a partition of the remaining
+ * jobs. This class contains the paper's optimal schedules (e.g.
+ * "XFMR and SSD on all 4, then MRCNN on 2 while the two ResNets get
+ * one GPU each") and admits exact search by memoised dynamic
+ * programming over (job bitmask, width) — exponential only in the job
+ * count, which is 7 here.
+ */
+
+#ifndef MLPSIM_SCHED_OPTIMAL_H
+#define MLPSIM_SCHED_OPTIMAL_H
+
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace mlps::sched {
+
+/** Result of the exact search. */
+struct OptimalResult {
+    Schedule schedule;
+    double makespan_s = 0.0;
+    /** States visited by the DP (for ablation reporting). */
+    std::size_t states_explored = 0;
+};
+
+/**
+ * Exact minimum-makespan hierarchical schedule.
+ *
+ * @param jobs job list (<= 24 jobs; 7 in the paper's study).
+ * @param gpus power-of-two GPU count.
+ */
+OptimalResult optimalSchedule(const std::vector<JobSpec> &jobs, int gpus);
+
+/**
+ * Lower bound on any schedule's makespan: max(critical job at its
+ * best width, total-work / G). Used by tests to sanity-check the DP
+ * and by the ablation bench.
+ */
+double makespanLowerBound(const std::vector<JobSpec> &jobs, int gpus);
+
+} // namespace mlps::sched
+
+#endif // MLPSIM_SCHED_OPTIMAL_H

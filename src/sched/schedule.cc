@@ -1,0 +1,81 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/logger.h"
+
+namespace mlps::sched {
+
+double
+Schedule::makespan() const
+{
+    double m = 0.0;
+    for (const auto &p : placements)
+        m = std::max(m, p.end_s);
+    return m;
+}
+
+double
+Schedule::utilization() const
+{
+    double span = makespan();
+    if (span <= 0.0 || num_gpus <= 0)
+        return 0.0;
+    double busy = 0.0;
+    for (const auto &p : placements)
+        busy += p.duration() * p.width();
+    return busy / (span * num_gpus);
+}
+
+void
+Schedule::validate(const std::vector<JobSpec> &jobs) const
+{
+    std::map<std::string, int> seen;
+    for (const auto &p : placements) {
+        if (p.end_s < p.start_s)
+            sim::fatal("Schedule: placement '%s' ends before it starts",
+                       p.job.c_str());
+        if (p.gpus.empty())
+            sim::fatal("Schedule: placement '%s' uses no GPUs",
+                       p.job.c_str());
+        for (int g : p.gpus) {
+            if (g < 0 || g >= num_gpus)
+                sim::fatal("Schedule: placement '%s' uses GPU %d of %d",
+                           p.job.c_str(), g, num_gpus);
+        }
+        ++seen[p.job];
+    }
+    for (const auto &j : jobs) {
+        auto it = seen.find(j.name);
+        if (it == seen.end() || it->second != 1)
+            sim::fatal("Schedule: job '%s' scheduled %d times",
+                       j.name.c_str(),
+                       it == seen.end() ? 0 : it->second);
+    }
+    // Pairwise overlap check per GPU.
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+        for (std::size_t j = i + 1; j < placements.size(); ++j) {
+            const auto &a = placements[i];
+            const auto &b = placements[j];
+            bool share_gpu = false;
+            for (int g : a.gpus) {
+                if (std::find(b.gpus.begin(), b.gpus.end(), g) !=
+                    b.gpus.end()) {
+                    share_gpu = true;
+                    break;
+                }
+            }
+            if (!share_gpu)
+                continue;
+            bool disjoint_time =
+                a.end_s <= b.start_s + 1e-9 ||
+                b.end_s <= a.start_s + 1e-9;
+            if (!disjoint_time)
+                sim::fatal("Schedule: '%s' and '%s' overlap on a GPU",
+                           a.job.c_str(), b.job.c_str());
+        }
+    }
+}
+
+} // namespace mlps::sched

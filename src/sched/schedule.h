@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Schedule representation: a set of placements (job, GPU set, time
+ * interval) plus validation and makespan computation.
+ */
+
+#ifndef MLPSIM_SCHED_SCHEDULE_H
+#define MLPSIM_SCHED_SCHEDULE_H
+
+#include <string>
+#include <vector>
+
+#include "sched/job_spec.h"
+
+namespace mlps::sched {
+
+/** One job execution within a schedule. */
+struct Placement {
+    std::string job;
+    std::vector<int> gpus; ///< GPU indices occupied
+    double start_s = 0.0;
+    double end_s = 0.0;
+
+    double duration() const { return end_s - start_s; }
+    int width() const { return static_cast<int>(gpus.size()); }
+};
+
+/** A complete schedule of a job set on a machine. */
+struct Schedule {
+    int num_gpus = 0;
+    std::vector<Placement> placements;
+
+    /** Latest end time. */
+    double makespan() const;
+
+    /** Machine-time utilisation: busy GPU-seconds / (G * makespan). */
+    double utilization() const;
+
+    /**
+     * Check structural validity: every GPU index in range, no two
+     * placements overlap on a GPU, every job appears exactly once.
+     * fatal() on violation.
+     */
+    void validate(const std::vector<JobSpec> &jobs) const;
+};
+
+} // namespace mlps::sched
+
+#endif // MLPSIM_SCHED_SCHEDULE_H

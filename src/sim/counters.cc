@@ -1,0 +1,94 @@
+#include "sim/counters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logger.h"
+
+namespace mlps::sim {
+
+void
+Sampler::record(double v)
+{
+    ++n_;
+    sum_ += v;
+    if (n_ == 1) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    double delta = v - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - mean_);
+    if (keep_samples_)
+        samples_.push_back(v);
+}
+
+void
+Sampler::reset()
+{
+    n_ = 0;
+    mean_ = m2_ = min_ = max_ = sum_ = 0.0;
+    samples_.clear();
+}
+
+double
+Sampler::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+Sampler::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Sampler::percentile(double p) const
+{
+    if (!keep_samples_)
+        fatal("Sampler '%s': percentile needs retained samples",
+              name_.c_str());
+    if (samples_.empty())
+        fatal("Sampler '%s': percentile of empty sampler", name_.c_str());
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double clamped = std::clamp(p, 0.0, 100.0);
+    double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void
+TimeWeightedAverage::set(SimTime t, double value)
+{
+    if (!started_) {
+        started_ = true;
+        first_ = last_ = t;
+        value_ = value;
+        return;
+    }
+    if (t < last_)
+        fatal("TimeWeightedAverage '%s': time went backwards",
+              name_.c_str());
+    integral_ += value_ * toSeconds(t - last_);
+    last_ = t;
+    value_ = value;
+}
+
+double
+TimeWeightedAverage::average(SimTime t_end) const
+{
+    if (!started_ || t_end <= first_)
+        return 0.0;
+    double tail = (t_end > last_) ? value_ * toSeconds(t_end - last_) : 0.0;
+    return (integral_ + tail) / toSeconds(t_end - first_);
+}
+
+} // namespace mlps::sim

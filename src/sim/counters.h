@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Statistic counters and samplers, in the spirit of gem5's stats package.
+ *
+ * Counter accumulates monotone totals (bytes moved, flops executed);
+ * Sampler accumulates a stream of observations and reports mean /
+ * min / max / stddev / percentiles; TimeWeightedAverage integrates a
+ * piecewise-constant signal over simulated time (e.g. utilization).
+ */
+
+#ifndef MLPSIM_SIM_COUNTERS_H
+#define MLPSIM_SIM_COUNTERS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mlps::sim {
+
+/** Monotone accumulator with a name, for bookkeeping totals. */
+class Counter
+{
+  public:
+    explicit Counter(std::string name = "") : name_(std::move(name)) {}
+
+    void add(double v) { total_ += v; ++events_; }
+    void reset() { total_ = 0.0; events_ = 0; }
+
+    double total() const { return total_; }
+    std::uint64_t events() const { return events_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    double total_ = 0.0;
+    std::uint64_t events_ = 0;
+};
+
+/** Streaming sample statistics (Welford) plus retained samples. */
+class Sampler
+{
+  public:
+    explicit Sampler(std::string name = "", bool keep_samples = true)
+        : name_(std::move(name)), keep_samples_(keep_samples) {}
+
+    /** Record one observation. */
+    void record(double v);
+
+    /** Remove all observations. */
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /**
+     * p-th percentile (0..100) by linear interpolation over the sorted
+     * retained samples. Requires keep_samples and at least one sample.
+     */
+    double percentile(double p) const;
+
+    const std::string &name() const { return name_; }
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::string name_;
+    bool keep_samples_;
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+    std::vector<double> samples_;
+};
+
+/**
+ * Integrates a piecewise-constant signal over simulated time.
+ *
+ * set(t, v) declares that the signal takes value v from time t onward;
+ * average(t_end) returns the time-weighted mean over [t_first, t_end].
+ */
+class TimeWeightedAverage
+{
+  public:
+    explicit TimeWeightedAverage(std::string name = "")
+        : name_(std::move(name)) {}
+
+    /** Declare the signal value from time t onward. t must not decrease. */
+    void set(SimTime t, double value);
+
+    /** Time-weighted average over the observed window ending at t_end. */
+    double average(SimTime t_end) const;
+
+    /** Most recently set value. */
+    double current() const { return value_; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    bool started_ = false;
+    SimTime first_ = 0;
+    SimTime last_ = 0;
+    double value_ = 0.0;
+    double integral_ = 0.0;
+};
+
+} // namespace mlps::sim
+
+#endif // MLPSIM_SIM_COUNTERS_H

@@ -1,0 +1,125 @@
+#include "sim/event_queue.h"
+
+#include <memory>
+#include <unordered_set>
+
+#include "sim/logger.h"
+
+namespace mlps::sim {
+
+EventId
+EventQueue::schedule(SimTime when, EventFn fn)
+{
+    if (when < 0)
+        fatal("EventQueue::schedule: negative time %lld",
+              static_cast<long long>(when));
+    auto entry = std::make_unique<Entry>();
+    entry->when = when;
+    entry->seq = next_seq_++;
+    entry->id = next_id_++;
+    entry->fn = std::move(fn);
+    heap_.push(entry.get());
+    storage_.push_back(std::move(entry));
+    ++live_;
+    return storage_.back()->id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // Linear scan over the storage pool; cancellation is rare in our
+    // models (only used for pipeline aborts), so simplicity wins.
+    for (auto &entry : storage_) {
+        if (entry->id == id && !entry->cancelled && entry->fn) {
+            entry->cancelled = true;
+            --live_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+EventQueue::skipCancelled() const
+{
+    while (!heap_.empty() && heap_.top()->cancelled)
+        heap_.pop();
+}
+
+bool
+EventQueue::empty() const
+{
+    skipCancelled();
+    return heap_.empty();
+}
+
+SimTime
+EventQueue::nextTime() const
+{
+    skipCancelled();
+    return heap_.empty() ? -1 : heap_.top()->when;
+}
+
+bool
+EventQueue::runOne(SimTime &now_out)
+{
+    skipCancelled();
+    if (heap_.empty())
+        return false;
+    Entry *e = heap_.top();
+    heap_.pop();
+    now_out = e->when;
+    EventFn fn = std::move(e->fn);
+    e->fn = nullptr;
+    --live_;
+    fn();
+    return true;
+}
+
+EventId
+Simulation::schedule(SimTime delay, EventFn fn)
+{
+    if (delay < 0)
+        fatal("Simulation::schedule: negative delay %lld",
+              static_cast<long long>(delay));
+    return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId
+Simulation::scheduleAt(SimTime when, EventFn fn)
+{
+    if (when < now_)
+        fatal("Simulation::scheduleAt: time %lld is in the past (now %lld)",
+              static_cast<long long>(when), static_cast<long long>(now_));
+    return queue_.schedule(when, std::move(fn));
+}
+
+SimTime
+Simulation::run()
+{
+    // Advance the clock before dispatching so handlers observe now()
+    // as their own timestamp.
+    while (!queue_.empty()) {
+        now_ = queue_.nextTime();
+        SimTime t = now_;
+        queue_.runOne(t);
+        ++events_run_;
+    }
+    return now_;
+}
+
+SimTime
+Simulation::runUntil(SimTime deadline)
+{
+    while (!queue_.empty() && queue_.nextTime() <= deadline) {
+        now_ = queue_.nextTime();
+        SimTime t = now_;
+        queue_.runOne(t);
+        ++events_run_;
+    }
+    if (now_ < deadline)
+        now_ = deadline;
+    return now_;
+}
+
+} // namespace mlps::sim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * EventQueue keeps a time-ordered set of callbacks; Simulation owns a
+ * queue plus the current clock and provides run-to-completion /
+ * run-until semantics. Events scheduled at the same tick fire in
+ * insertion order (FIFO within a tick), which keeps component
+ * interactions deterministic.
+ */
+
+#ifndef MLPSIM_SIM_EVENT_QUEUE_H
+#define MLPSIM_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mlps::sim {
+
+/** Callback invoked when an event fires. */
+using EventFn = std::function<void()>;
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/**
+ * Time-ordered event queue with stable FIFO ordering within a tick.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /**
+     * Schedule fn at absolute time when.
+     * @return handle usable with cancel().
+     */
+    EventId schedule(SimTime when, EventFn fn);
+
+    /** Cancel a pending event. Returns false if already fired/cancelled. */
+    bool cancel(EventId id);
+
+    /** True if no live events remain. */
+    bool empty() const;
+
+    /** Number of live (non-cancelled, unfired) events. */
+    std::size_t size() const { return live_; }
+
+    /** Time of the earliest live event; undefined when empty(). */
+    SimTime nextTime() const;
+
+    /**
+     * Pop and run the earliest event.
+     * @param now_out receives the event's timestamp.
+     * @return false when the queue is empty.
+     */
+    bool runOne(SimTime &now_out);
+
+  private:
+    struct Entry {
+        SimTime when;
+        std::uint64_t seq;
+        EventId id;
+        EventFn fn;
+        bool cancelled = false;
+    };
+
+    struct Later {
+        bool operator()(const Entry *a, const Entry *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    void skipCancelled() const;
+
+    // Heap of raw pointers into storage_; storage_ is a deque-like pool
+    // so pointers stay valid.
+    mutable std::priority_queue<Entry *, std::vector<Entry *>, Later> heap_;
+    std::vector<std::unique_ptr<Entry>> storage_;
+    std::uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+    std::size_t live_ = 0;
+};
+
+/**
+ * A clock plus an event queue: the top-level driver for event-based
+ * sub-simulations (e.g. the link-level all-reduce model).
+ */
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule fn after a non-negative delay from now. */
+    EventId schedule(SimTime delay, EventFn fn);
+
+    /** Schedule fn at an absolute time >= now. */
+    EventId scheduleAt(SimTime when, EventFn fn);
+
+    /** Cancel a pending event. */
+    bool cancel(EventId id) { return queue_.cancel(id); }
+
+    /** Run until the queue drains. Returns the final time. */
+    SimTime run();
+
+    /**
+     * Run until the queue drains or the clock passes deadline.
+     * Events strictly after deadline stay queued.
+     */
+    SimTime runUntil(SimTime deadline);
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsRun() const { return events_run_; }
+
+    /** True if no events are pending. */
+    bool idle() const { return queue_.empty(); }
+
+  private:
+    EventQueue queue_;
+    SimTime now_ = 0;
+    std::uint64_t events_run_ = 0;
+};
+
+} // namespace mlps::sim
+
+#endif // MLPSIM_SIM_EVENT_QUEUE_H

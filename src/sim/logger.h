@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Lightweight leveled logging for simulator components.
+ *
+ * Modeled on gem5's inform/warn/fatal family: informational messages go
+ * to stderr behind a global verbosity gate, fatal() raises a FatalError
+ * (user error: bad configuration), and panic() aborts (simulator bug).
+ */
+
+#ifndef MLPSIM_SIM_LOGGER_H
+#define MLPSIM_SIM_LOGGER_H
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace mlps::sim {
+
+/** Verbosity levels, lowest first. */
+enum class LogLevel {
+    Silent = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+};
+
+/** Error thrown by fatal(): invalid user input or configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what) {}
+};
+
+/** Get the process-wide log level (default Warn). */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+/** printf-style informational message, shown at Info and above. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style warning, shown at Warn and above. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style debug message, shown at Debug and above. */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad config, invalid argument) by
+ * throwing FatalError. Callers can catch it at the tool boundary.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation (a simulator bug) and abort.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace mlps::sim
+
+#endif // MLPSIM_SIM_LOGGER_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * mlpsim never uses std::random_device or global random state: every
+ * stochastic component owns an Rng seeded from its parent so whole-suite
+ * runs are bit-reproducible. The generator is xoshiro256**, seeded through
+ * splitmix64, which is the conventional pairing recommended by the
+ * xoshiro authors.
+ */
+
+#ifndef MLPSIM_SIM_RNG_H
+#define MLPSIM_SIM_RNG_H
+
+#include <cstdint>
+
+namespace mlps::sim {
+
+/**
+ * xoshiro256** PRNG with convenience distributions.
+ *
+ * Not thread-safe; give each thread/component its own instance via fork().
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). Requires lo <= hi. */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal deviate (Box-Muller, no caching). */
+    double gaussian();
+
+    /** Normal deviate with given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * Log-normal multiplicative noise with median 1.0 and the given
+     * sigma of the underlying normal. Used to jitter model timings.
+     */
+    double lognormalNoise(double sigma);
+
+    /** Bernoulli trial with probability p of true. */
+    bool chance(double p);
+
+    /**
+     * Derive an independent child generator. The child stream is
+     * decorrelated from the parent by re-seeding through splitmix64.
+     */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace mlps::sim
+
+#endif // MLPSIM_SIM_RNG_H

@@ -1,0 +1,210 @@
+#include "stats/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "sim/logger.h"
+
+namespace mlps::stats {
+
+Matrix
+pairwiseDistances(const Matrix &samples)
+{
+    int n = samples.rows();
+    Matrix d(n, n);
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            double acc = 0.0;
+            for (int c = 0; c < samples.cols(); ++c) {
+                double diff = samples.at(i, c) - samples.at(j, c);
+                acc += diff * diff;
+            }
+            double dist = std::sqrt(acc);
+            d.at(i, j) = dist;
+            d.at(j, i) = dist;
+        }
+    }
+    return d;
+}
+
+Dendrogram
+agglomerate(const Matrix &samples, Linkage linkage)
+{
+    int n = samples.rows();
+    if (n < 2)
+        sim::fatal("agglomerate: need at least 2 observations");
+    Matrix dist = pairwiseDistances(samples);
+
+    Dendrogram out;
+    out.num_leaves = n;
+
+    // active[i]: node id (leaf < n, else n + merge index) or -1.
+    // members[i]: leaf indices under active cluster i.
+    std::vector<int> node_id(n);
+    std::vector<std::vector<int>> members(n);
+    std::vector<bool> alive(n, true);
+    for (int i = 0; i < n; ++i) {
+        node_id[i] = i;
+        members[i] = {i};
+    }
+
+    auto cluster_distance = [&](int a, int b) {
+        double best = linkage == Linkage::Complete
+                          ? 0.0
+                          : std::numeric_limits<double>::infinity();
+        double sum = 0.0;
+        int count = 0;
+        for (int x : members[a]) {
+            for (int y : members[b]) {
+                double d = dist.at(x, y);
+                switch (linkage) {
+                  case Linkage::Single:
+                    best = std::min(best, d);
+                    break;
+                  case Linkage::Complete:
+                    best = std::max(best, d);
+                    break;
+                  case Linkage::Average:
+                    sum += d;
+                    ++count;
+                    break;
+                }
+            }
+        }
+        return linkage == Linkage::Average ? sum / count : best;
+    };
+
+    for (int step = 0; step < n - 1; ++step) {
+        // Find the closest live pair. O(n^3) overall: fine for the
+        // workload-population sizes this is used on.
+        double best = std::numeric_limits<double>::infinity();
+        int bi = -1, bj = -1;
+        for (int i = 0; i < n; ++i) {
+            if (!alive[i])
+                continue;
+            for (int j = i + 1; j < n; ++j) {
+                if (!alive[j])
+                    continue;
+                double d = cluster_distance(i, j);
+                if (d < best) {
+                    best = d;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        Merge m;
+        m.left = node_id[bi];
+        m.right = node_id[bj];
+        m.distance = best;
+        m.size = static_cast<int>(members[bi].size() +
+                                  members[bj].size());
+        out.merges.push_back(m);
+
+        // Merge bj into bi.
+        members[bi].insert(members[bi].end(), members[bj].begin(),
+                           members[bj].end());
+        node_id[bi] = n + step;
+        alive[bj] = false;
+    }
+    return out;
+}
+
+std::vector<int>
+Dendrogram::cut(int k) const
+{
+    int n = num_leaves;
+    if (k < 1 || k > n)
+        sim::fatal("Dendrogram::cut: k=%d out of [1,%d]", k, n);
+    // Apply the first n-k merges with a union-find, then label the
+    // remaining components.
+    std::vector<int> parent(n);
+    for (int i = 0; i < n; ++i)
+        parent[i] = i;
+    std::function<int(int)> find = [&](int x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    // merge node id -> a representative leaf.
+    std::vector<int> rep(n + merges.size(), -1);
+    for (int i = 0; i < n; ++i)
+        rep[i] = i;
+    for (int s = 0; s < n - k; ++s) {
+        const Merge &m = merges[s];
+        int a = find(rep[m.left]);
+        int b = find(rep[m.right]);
+        parent[b] = a;
+        rep[n + s] = a;
+    }
+    // Representatives still matter for uncut merge nodes; fill them
+    // so later cuts (not taken) don't break.
+    for (std::size_t s = n - k; s < merges.size(); ++s)
+        rep[n + s] = find(rep[merges[s].left]);
+
+    std::vector<int> labels(n);
+    std::vector<int> roots;
+    for (int i = 0; i < n; ++i) {
+        int r = find(i);
+        auto it = std::find(roots.begin(), roots.end(), r);
+        if (it == roots.end()) {
+            roots.push_back(r);
+            labels[i] = static_cast<int>(roots.size()) - 1;
+        } else {
+            labels[i] = static_cast<int>(it - roots.begin());
+        }
+    }
+    return labels;
+}
+
+double
+Dendrogram::height() const
+{
+    return merges.empty() ? 0.0 : merges.back().distance;
+}
+
+namespace {
+
+void
+renderNode(const Dendrogram &dendro,
+           const std::vector<std::string> &labels, int node, int depth,
+           std::ostringstream &os)
+{
+    std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+    if (node < dendro.num_leaves) {
+        os << indent << "- " << labels[node] << "\n";
+        return;
+    }
+    const Merge &m = dendro.merges[node - dendro.num_leaves];
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "+ d=%.3f (%d leaves)\n",
+                  m.distance, m.size);
+    os << indent << buf;
+    renderNode(dendro, labels, m.left, depth + 1, os);
+    renderNode(dendro, labels, m.right, depth + 1, os);
+}
+
+} // namespace
+
+std::string
+renderDendrogram(const Dendrogram &dendro,
+                 const std::vector<std::string> &labels)
+{
+    if (static_cast<int>(labels.size()) != dendro.num_leaves)
+        sim::fatal("renderDendrogram: %zu labels for %d leaves",
+                   labels.size(), dendro.num_leaves);
+    std::ostringstream os;
+    renderNode(dendro, labels,
+               dendro.num_leaves +
+                   static_cast<int>(dendro.merges.size()) - 1,
+               0, os);
+    return os.str();
+}
+
+} // namespace mlps::stats

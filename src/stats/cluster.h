@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Agglomerative hierarchical clustering over workload feature
+ * vectors — the classical companion to PCA in workload
+ * characterization studies. Complements Figure 1: where PCA shows
+ * the suites as separated clouds, the dendrogram shows which
+ * workloads merge first and at what distance.
+ */
+
+#ifndef MLPSIM_STATS_CLUSTER_H
+#define MLPSIM_STATS_CLUSTER_H
+
+#include <string>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace mlps::stats {
+
+/** Inter-cluster distance definition. */
+enum class Linkage {
+    Single,   ///< min pairwise distance
+    Complete, ///< max pairwise distance
+    Average,  ///< mean pairwise distance (UPGMA)
+};
+
+/** One merge step of the dendrogram. */
+struct Merge {
+    /** Children: indices < n are leaves, >= n refer to merge n-i. */
+    int left = -1;
+    int right = -1;
+    /** Linkage distance at which the merge happened. */
+    double distance = 0.0;
+    /** Leaves under this node. */
+    int size = 0;
+};
+
+/** Dendrogram: n-1 merges over n observations. */
+struct Dendrogram {
+    int num_leaves = 0;
+    std::vector<Merge> merges;
+
+    /**
+     * Cut the tree into k clusters.
+     * @return cluster label per leaf, labels in [0, k).
+     */
+    std::vector<int> cut(int k) const;
+
+    /** Distance of the final merge (tree height). */
+    double height() const;
+};
+
+/**
+ * Cluster row-observations bottom-up with Euclidean distances.
+ *
+ * @param samples one observation per row.
+ * @param linkage inter-cluster distance rule.
+ */
+Dendrogram agglomerate(const Matrix &samples,
+                       Linkage linkage = Linkage::Average);
+
+/** Euclidean distance matrix of row-observations. */
+Matrix pairwiseDistances(const Matrix &samples);
+
+/**
+ * Render the dendrogram as indented text with leaf labels.
+ */
+std::string renderDendrogram(const Dendrogram &dendro,
+                             const std::vector<std::string> &labels);
+
+} // namespace mlps::stats
+
+#endif // MLPSIM_STATS_CLUSTER_H

@@ -1,0 +1,95 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logger.h"
+
+namespace mlps::stats {
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+stddev(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    double m = mean(v);
+    double acc = 0.0;
+    for (double x : v)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v) {
+        if (x <= 0.0)
+            sim::fatal("geomean: non-positive value %g", x);
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+double
+median(std::vector<double> v)
+{
+    if (v.empty())
+        sim::fatal("median: empty input");
+    std::sort(v.begin(), v.end());
+    std::size_t n = v.size();
+    if (n % 2 == 1)
+        return v[n / 2];
+    return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size() || x.size() < 2)
+        sim::fatal("pearson: need equal-length series of >= 2");
+    double mx = mean(x);
+    double my = mean(y);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        double dx = x[i] - mx;
+        double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+minOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        sim::fatal("minOf: empty input");
+    return *std::min_element(v.begin(), v.end());
+}
+
+double
+maxOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        sim::fatal("maxOf: empty input");
+    return *std::max_element(v.begin(), v.end());
+}
+
+} // namespace mlps::stats

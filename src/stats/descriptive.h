@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Small descriptive-statistics helpers shared by benches and tests.
+ */
+
+#ifndef MLPSIM_STATS_DESCRIPTIVE_H
+#define MLPSIM_STATS_DESCRIPTIVE_H
+
+#include <vector>
+
+namespace mlps::stats {
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &v);
+
+/** Sample standard deviation (n-1); 0 for fewer than 2 values. */
+double stddev(const std::vector<double> &v);
+
+/** Geometric mean; requires strictly positive values. */
+double geomean(const std::vector<double> &v);
+
+/** Median (linear interpolation). Requires non-empty input. */
+double median(std::vector<double> v);
+
+/** Pearson correlation of two equal-length series. */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/** Min/max over a non-empty vector. */
+double minOf(const std::vector<double> &v);
+double maxOf(const std::vector<double> &v);
+
+} // namespace mlps::stats
+
+#endif // MLPSIM_STATS_DESCRIPTIVE_H

@@ -1,0 +1,98 @@
+#include "stats/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/logger.h"
+
+namespace mlps::stats {
+
+namespace {
+
+/** Sum of squared off-diagonal entries. */
+double
+offDiagonalNorm(const Matrix &a)
+{
+    double s = 0.0;
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j)
+            if (i != j)
+                s += a.at(i, j) * a.at(i, j);
+    return s;
+}
+
+} // namespace
+
+EigenResult
+jacobiEigen(const Matrix &a_in, double tol, int max_sweeps)
+{
+    if (!a_in.isSymmetric(1e-8))
+        sim::fatal("jacobiEigen: matrix is not symmetric");
+    int n = a_in.rows();
+    Matrix a = a_in;
+    Matrix q = Matrix::identity(n);
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (offDiagonalNorm(a) < tol)
+            break;
+        for (int p = 0; p < n - 1; ++p) {
+            for (int r = p + 1; r < n; ++r) {
+                double apr = a.at(p, r);
+                if (std::fabs(apr) < 1e-300)
+                    continue;
+                double app = a.at(p, p);
+                double arr = a.at(r, r);
+                double theta = (arr - app) / (2.0 * apr);
+                double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                           (std::fabs(theta) +
+                            std::sqrt(theta * theta + 1.0));
+                double c = 1.0 / std::sqrt(t * t + 1.0);
+                double s = t * c;
+
+                // Apply the rotation to A on both sides.
+                for (int k = 0; k < n; ++k) {
+                    double akp = a.at(k, p);
+                    double akr = a.at(k, r);
+                    a.at(k, p) = c * akp - s * akr;
+                    a.at(k, r) = s * akp + c * akr;
+                }
+                for (int k = 0; k < n; ++k) {
+                    double apk = a.at(p, k);
+                    double ark = a.at(r, k);
+                    a.at(p, k) = c * apk - s * ark;
+                    a.at(r, k) = s * apk + c * ark;
+                }
+                // Accumulate the eigenvector rotation.
+                for (int k = 0; k < n; ++k) {
+                    double qkp = q.at(k, p);
+                    double qkr = q.at(k, r);
+                    q.at(k, p) = c * qkp - s * qkr;
+                    q.at(k, r) = s * qkp + c * qkr;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<double> diag(n);
+    for (int i = 0; i < n; ++i)
+        diag[i] = a.at(i, i);
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+        return diag[x] > diag[y];
+    });
+
+    EigenResult res;
+    res.values.resize(n);
+    res.vectors = Matrix(n, n);
+    for (int i = 0; i < n; ++i) {
+        res.values[i] = diag[order[i]];
+        for (int k = 0; k < n; ++k)
+            res.vectors.at(k, i) = q.at(k, order[i]);
+    }
+    return res;
+}
+
+} // namespace mlps::stats

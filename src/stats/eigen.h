@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Symmetric eigendecomposition via the cyclic Jacobi rotation method —
+ * exact enough for PCA over covariance matrices and free of external
+ * dependencies.
+ */
+
+#ifndef MLPSIM_STATS_EIGEN_H
+#define MLPSIM_STATS_EIGEN_H
+
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace mlps::stats {
+
+/** Result of a symmetric eigendecomposition. */
+struct EigenResult {
+    /** Eigenvalues, descending. */
+    std::vector<double> values;
+    /** Eigenvectors as matrix columns, ordered to match values. */
+    Matrix vectors;
+};
+
+/**
+ * Decompose a symmetric matrix A into Q diag(values) Q^T.
+ *
+ * @param a symmetric matrix.
+ * @param tol off-diagonal Frobenius tolerance for convergence.
+ * @param max_sweeps safety bound on Jacobi sweeps.
+ */
+EigenResult jacobiEigen(const Matrix &a, double tol = 1e-12,
+                        int max_sweeps = 100);
+
+} // namespace mlps::stats
+
+#endif // MLPSIM_STATS_EIGEN_H

@@ -1,0 +1,272 @@
+#include "stats/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logger.h"
+
+namespace mlps::stats {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, 0.0)
+{
+    if (rows < 0 || cols < 0)
+        sim::fatal("Matrix: negative dimensions %d x %d", rows, cols);
+}
+
+Matrix::Matrix(const std::vector<std::vector<double>> &rows)
+{
+    rows_ = static_cast<int>(rows.size());
+    cols_ = rows.empty() ? 0 : static_cast<int>(rows[0].size());
+    data_.reserve(static_cast<std::size_t>(rows_) * cols_);
+    for (const auto &r : rows) {
+        if (static_cast<int>(r.size()) != cols_)
+            sim::fatal("Matrix: ragged rows (%zu vs %d)", r.size(),
+                       cols_);
+        data_.insert(data_.end(), r.begin(), r.end());
+    }
+}
+
+Matrix
+Matrix::identity(int n)
+{
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+void
+Matrix::check(int r, int c) const
+{
+    if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+        sim::fatal("Matrix: index (%d,%d) out of %d x %d", r, c, rows_,
+                   cols_);
+}
+
+double &
+Matrix::at(int r, int c)
+{
+    check(r, c);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+double
+Matrix::at(int r, int c) const
+{
+    check(r, c);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (int r = 0; r < rows_; ++r)
+        for (int c = 0; c < cols_; ++c)
+            t.at(c, r) = at(r, c);
+    return t;
+}
+
+Matrix
+Matrix::operator*(const Matrix &rhs) const
+{
+    if (cols_ != rhs.rows_)
+        sim::fatal("Matrix multiply: %d x %d times %d x %d", rows_,
+                   cols_, rhs.rows_, rhs.cols_);
+    Matrix out(rows_, rhs.cols_);
+    for (int r = 0; r < rows_; ++r) {
+        for (int k = 0; k < cols_; ++k) {
+            double a = at(r, k);
+            if (a == 0.0)
+                continue;
+            for (int c = 0; c < rhs.cols_; ++c)
+                out.at(r, c) += a * rhs.at(k, c);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator+(const Matrix &rhs) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        sim::fatal("Matrix add: shape mismatch");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] += rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix &rhs) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        sim::fatal("Matrix subtract: shape mismatch");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] -= rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::scaled(double s) const
+{
+    Matrix out = *this;
+    for (double &v : out.data_)
+        v *= s;
+    return out;
+}
+
+std::vector<double>
+Matrix::row(int r) const
+{
+    check(r, 0);
+    return {data_.begin() + static_cast<std::size_t>(r) * cols_,
+            data_.begin() + static_cast<std::size_t>(r + 1) * cols_};
+}
+
+std::vector<double>
+Matrix::col(int c) const
+{
+    check(0, c);
+    std::vector<double> out(rows_);
+    for (int r = 0; r < rows_; ++r)
+        out[r] = at(r, c);
+    return out;
+}
+
+std::vector<double>
+Matrix::columnMeans() const
+{
+    std::vector<double> means(cols_, 0.0);
+    if (rows_ == 0)
+        return means;
+    for (int r = 0; r < rows_; ++r)
+        for (int c = 0; c < cols_; ++c)
+            means[c] += at(r, c);
+    for (double &m : means)
+        m /= rows_;
+    return means;
+}
+
+std::vector<double>
+Matrix::columnStddevs() const
+{
+    std::vector<double> sd(cols_, 0.0);
+    if (rows_ < 2)
+        return sd;
+    std::vector<double> means = columnMeans();
+    for (int r = 0; r < rows_; ++r) {
+        for (int c = 0; c < cols_; ++c) {
+            double d = at(r, c) - means[c];
+            sd[c] += d * d;
+        }
+    }
+    for (double &v : sd)
+        v = std::sqrt(v / (rows_ - 1));
+    return sd;
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &rhs) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        sim::fatal("Matrix maxAbsDiff: shape mismatch");
+    double m = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::fabs(data_[i] - rhs.data_[i]));
+    return m;
+}
+
+bool
+Matrix::isSymmetric(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    for (int r = 0; r < rows_; ++r)
+        for (int c = r + 1; c < cols_; ++c)
+            if (std::fabs(at(r, c) - at(c, r)) > tol)
+                return false;
+    return true;
+}
+
+std::string
+Matrix::str() const
+{
+    std::ostringstream os;
+    char buf[32];
+    for (int r = 0; r < rows_; ++r) {
+        for (int c = 0; c < cols_; ++c) {
+            std::snprintf(buf, sizeof(buf), "%10.4g ", at(r, c));
+            os << buf;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+Matrix
+covariance(const Matrix &samples)
+{
+    int n = samples.rows();
+    int d = samples.cols();
+    if (n < 2)
+        sim::fatal("covariance: need at least 2 observations, got %d", n);
+    std::vector<double> means = samples.columnMeans();
+    Matrix cov(d, d);
+    for (int i = 0; i < d; ++i) {
+        for (int j = i; j < d; ++j) {
+            double acc = 0.0;
+            for (int r = 0; r < n; ++r) {
+                acc += (samples.at(r, i) - means[i]) *
+                       (samples.at(r, j) - means[j]);
+            }
+            acc /= (n - 1);
+            cov.at(i, j) = acc;
+            cov.at(j, i) = acc;
+        }
+    }
+    return cov;
+}
+
+Matrix
+correlationMatrix(const Matrix &samples)
+{
+    Matrix cov = covariance(samples);
+    int d = cov.rows();
+    Matrix corr(d, d);
+    for (int i = 0; i < d; ++i) {
+        for (int j = 0; j < d; ++j) {
+            double denom =
+                std::sqrt(cov.at(i, i)) * std::sqrt(cov.at(j, j));
+            if (i == j)
+                corr.at(i, j) = 1.0;
+            else
+                corr.at(i, j) =
+                    denom > 1e-300 ? cov.at(i, j) / denom : 0.0;
+        }
+    }
+    return corr;
+}
+
+Matrix
+standardize(const Matrix &samples)
+{
+    std::vector<double> means = samples.columnMeans();
+    std::vector<double> sd = samples.columnStddevs();
+    Matrix out(samples.rows(), samples.cols());
+    for (int r = 0; r < samples.rows(); ++r) {
+        for (int c = 0; c < samples.cols(); ++c) {
+            double denom = sd[c] > 1e-300 ? sd[c] : 0.0;
+            out.at(r, c) = denom > 0.0
+                               ? (samples.at(r, c) - means[c]) / denom
+                               : 0.0;
+        }
+    }
+    return out;
+}
+
+} // namespace mlps::stats

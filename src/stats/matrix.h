@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Small dense matrix type for the statistics toolchain (PCA needs
+ * covariance matrices and eigen decomposition over at most a few
+ * dozen dimensions, so a straightforward row-major double matrix is
+ * the right tool).
+ */
+
+#ifndef MLPSIM_STATS_MATRIX_H
+#define MLPSIM_STATS_MATRIX_H
+
+#include <string>
+#include <vector>
+
+namespace mlps::stats {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols zero matrix. */
+    Matrix(int rows, int cols);
+
+    /** Build from nested vectors (must be rectangular). */
+    explicit Matrix(const std::vector<std::vector<double>> &rows);
+
+    /** n x n identity. */
+    static Matrix identity(int n);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    double &at(int r, int c);
+    double at(int r, int c) const;
+
+    /** Transpose. */
+    Matrix transposed() const;
+
+    /** Matrix product; dimension-checked. */
+    Matrix operator*(const Matrix &rhs) const;
+
+    Matrix operator+(const Matrix &rhs) const;
+    Matrix operator-(const Matrix &rhs) const;
+
+    /** Scale all entries. */
+    Matrix scaled(double s) const;
+
+    /** One row as a vector. */
+    std::vector<double> row(int r) const;
+
+    /** One column as a vector. */
+    std::vector<double> col(int c) const;
+
+    /** Column means. */
+    std::vector<double> columnMeans() const;
+
+    /** Column sample standard deviations (n-1). */
+    std::vector<double> columnStddevs() const;
+
+    /** Max |a_ij - b_ij|; matrices must be the same shape. */
+    double maxAbsDiff(const Matrix &rhs) const;
+
+    /** True if symmetric within tolerance. */
+    bool isSymmetric(double tol = 1e-9) const;
+
+    /** Printable rendering (debugging aid). */
+    std::string str() const;
+
+  private:
+    void check(int r, int c) const;
+
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Sample covariance matrix of row-observations (n-1 denominator).
+ * @param samples matrix with one observation per row.
+ */
+Matrix covariance(const Matrix &samples);
+
+/**
+ * Z-score standardisation: subtract column means, divide by column
+ * stddevs. Columns with zero variance become all-zero.
+ */
+Matrix standardize(const Matrix &samples);
+
+/**
+ * Pearson correlation matrix of the columns of row-observations.
+ * Zero-variance columns correlate 0 with everything (1 with self).
+ */
+Matrix correlationMatrix(const Matrix &samples);
+
+} // namespace mlps::stats
+
+#endif // MLPSIM_STATS_MATRIX_H

@@ -1,0 +1,62 @@
+#include "stats/pca.h"
+
+#include <cmath>
+
+#include "sim/logger.h"
+
+namespace mlps::stats {
+
+double
+PcaResult::cumulativeVariance(int k) const
+{
+    if (k < 0 || k > static_cast<int>(explained_variance.size()))
+        sim::fatal("PcaResult: bad component count %d", k);
+    double s = 0.0;
+    for (int i = 0; i < k; ++i)
+        s += explained_variance[i];
+    return s;
+}
+
+int
+PcaResult::dominantMetric(int pc) const
+{
+    if (pc < 0 || pc >= components.cols())
+        sim::fatal("PcaResult: bad PC index %d", pc);
+    int best = 0;
+    double best_mag = -1.0;
+    for (int m = 0; m < components.rows(); ++m) {
+        double mag = std::fabs(components.at(m, pc));
+        if (mag > best_mag) {
+            best_mag = mag;
+            best = m;
+        }
+    }
+    return best;
+}
+
+PcaResult
+pca(const Matrix &samples, bool standardize_inputs)
+{
+    if (samples.rows() < 2)
+        sim::fatal("pca: need at least 2 observations");
+    Matrix data = standardize_inputs ? standardize(samples) : samples;
+    Matrix cov = covariance(data);
+    EigenResult eig = jacobiEigen(cov);
+
+    PcaResult res;
+    res.eigenvalues = eig.values;
+    res.components = eig.vectors;
+    res.scores = data * eig.vectors;
+
+    double total = 0.0;
+    for (double v : eig.values)
+        total += std::max(v, 0.0);
+    res.explained_variance.resize(eig.values.size());
+    for (std::size_t i = 0; i < eig.values.size(); ++i) {
+        res.explained_variance[i] =
+            total > 0.0 ? std::max(eig.values[i], 0.0) / total : 0.0;
+    }
+    return res;
+}
+
+} // namespace mlps::stats

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Principal component analysis over workload characteristics,
+ * reproducing the paper's Figure 1 methodology: standardise the eight
+ * metrics, eigendecompose the correlation matrix, project workloads
+ * onto the dominant components, and identify each PC's dominant
+ * metric (greatest |loading|).
+ */
+
+#ifndef MLPSIM_STATS_PCA_H
+#define MLPSIM_STATS_PCA_H
+
+#include <string>
+#include <vector>
+
+#include "stats/eigen.h"
+#include "stats/matrix.h"
+
+namespace mlps::stats {
+
+/** Result of a PCA. */
+struct PcaResult {
+    /** Eigenvalues of the correlation matrix, descending. */
+    std::vector<double> eigenvalues;
+    /** Loadings: column i is the i-th principal axis. */
+    Matrix components;
+    /** Sample projections: row = observation, col = PC score. */
+    Matrix scores;
+    /** Fraction of variance per PC. */
+    std::vector<double> explained_variance;
+
+    /** Cumulative explained variance through PC k (1-based count). */
+    double cumulativeVariance(int k) const;
+
+    /** Index of the metric with the largest |loading| on PC i. */
+    int dominantMetric(int pc) const;
+};
+
+/**
+ * Run PCA on row-observations.
+ *
+ * @param samples one observation per row, one metric per column.
+ * @param standardize_inputs z-score columns first (the paper's metrics
+ *        have wildly different units, so this defaults on).
+ */
+PcaResult pca(const Matrix &samples, bool standardize_inputs = true);
+
+} // namespace mlps::stats
+
+#endif // MLPSIM_STATS_PCA_H

@@ -1,0 +1,81 @@
+#include "stats/roofline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "hw/kernel_timing.h"
+#include "sim/logger.h"
+
+namespace mlps::stats {
+
+double
+RooflineModel::attainable(double intensity) const
+{
+    if (intensity <= 0.0)
+        return 0.0;
+    return std::min(peak_flops, peak_bandwidth * intensity);
+}
+
+double
+RooflineModel::ridgeIntensity() const
+{
+    if (peak_bandwidth <= 0.0)
+        sim::fatal("RooflineModel: zero bandwidth");
+    return peak_flops / peak_bandwidth;
+}
+
+RooflineModel
+deviceRoofline(const hw::GpuSpec &gpu, hw::Precision p, bool tensor_cores)
+{
+    RooflineModel m;
+    m.peak_flops = gpu.peakFlops(p, tensor_cores);
+    m.peak_bandwidth = gpu.hbmBytesPerSec();
+    return m;
+}
+
+std::vector<RooflinePoint>
+empiricalRooflineSweep(const hw::GpuSpec &gpu, hw::Precision p,
+                       bool tensor_cores, int points_per_decade)
+{
+    if (points_per_decade < 1)
+        sim::fatal("empiricalRooflineSweep: bad density %d",
+                   points_per_decade);
+    std::vector<RooflinePoint> out;
+    // Intensities from 1/16 to 1024 FLOPs/byte, log-spaced. The
+    // micro-kernel streams a fixed 256 MiB working set and performs
+    // intensity*bytes flops on it — exactly ERT's strategy.
+    const double ws_bytes = 256.0 * 1024.0 * 1024.0;
+    const double lo = std::log2(1.0 / 16.0);
+    const double hi = std::log2(1024.0);
+    int steps = static_cast<int>((hi - lo) * points_per_decade /
+                                 std::log2(10.0) * std::log2(10.0));
+    steps = std::max(steps, 8);
+    for (int i = 0; i <= steps; ++i) {
+        double li = lo + (hi - lo) * i / steps;
+        double intensity = std::pow(2.0, li);
+        hw::KernelProfile k;
+        // The traffic scale re-applied inside timeKernel expects fp32
+        // baseline bytes; feed it bytes such that the *actual* traffic
+        // equals the working set at precision p.
+        k.bytes = ws_bytes / hw::trafficScaleVsFp32(p);
+        k.flops = intensity * ws_bytes;
+        k.tensor_eligible = tensor_cores;
+        // ERT micro-kernels are hand-tuned: near-ideal efficiency.
+        k.compute_eff = 0.93;
+        k.memory_eff = 0.92;
+        k.tensor_eff_scale = 0.85;
+        double t = hw::timeKernel(gpu, k, p).total();
+        RooflinePoint pt;
+        char label[64];
+        std::snprintf(label, sizeof(label), "ert_%s_%gfpb",
+                      hw::toString(p).c_str(), intensity);
+        pt.label = label;
+        pt.intensity = intensity;
+        pt.flops = t > 0.0 ? k.flops / t : 0.0;
+        out.push_back(pt);
+    }
+    return out;
+}
+
+} // namespace mlps::stats

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Roofline model (Williams et al.) plus an Empirical Roofline Toolkit
+ * analog: sweep micro-kernels of varying arithmetic intensity against
+ * the simulated GPU to trace the empirical double/single/half ceilings
+ * of the paper's Figure 2, and place profiled workloads on the plot.
+ */
+
+#ifndef MLPSIM_STATS_ROOFLINE_H
+#define MLPSIM_STATS_ROOFLINE_H
+
+#include <string>
+#include <vector>
+
+#include "hw/gpu.h"
+#include "hw/precision.h"
+
+namespace mlps::stats {
+
+/** One point of a roofline ceiling or one workload placement. */
+struct RooflinePoint {
+    std::string label;
+    double intensity = 0.0; ///< FLOPs/byte
+    double flops = 0.0;     ///< achieved FLOP/s
+};
+
+/** Analytic roofline of a device for one precision. */
+struct RooflineModel {
+    double peak_flops = 0.0;     ///< compute ceiling, FLOP/s
+    double peak_bandwidth = 0.0; ///< memory ceiling, bytes/s
+
+    /** Attainable FLOP/s at an arithmetic intensity. */
+    double attainable(double intensity) const;
+
+    /** Ridge point: intensity where the roof turns flat. */
+    double ridgeIntensity() const;
+
+    /** True when a point at (intensity) is memory-bound. */
+    bool memoryBound(double intensity) const {
+        return intensity < ridgeIntensity();
+    }
+};
+
+/** Analytic roofline of a GPU at the given precision. */
+RooflineModel deviceRoofline(const hw::GpuSpec &gpu, hw::Precision p,
+                             bool tensor_cores = false);
+
+/**
+ * ERT-analog empirical sweep: run modeled micro-kernels (streaming
+ * triads with increasing flops-per-byte) and report achieved FLOP/s
+ * per intensity. Empirical ceilings sit below the analytic peaks by
+ * the kernel-class efficiencies, as in real ERT runs.
+ *
+ * @param points_per_decade sampling density of the intensity axis.
+ */
+std::vector<RooflinePoint>
+empiricalRooflineSweep(const hw::GpuSpec &gpu, hw::Precision p,
+                       bool tensor_cores = false,
+                       int points_per_decade = 4);
+
+} // namespace mlps::stats
+
+#endif // MLPSIM_STATS_ROOFLINE_H

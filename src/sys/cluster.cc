@@ -1,0 +1,51 @@
+#include "sys/cluster.h"
+
+#include "sim/logger.h"
+#include "sys/machines.h"
+
+namespace mlps::sys {
+
+NicSpec
+ethernet25()
+{
+    return {"25GbE", 3.125, 10.0, 0.80};
+}
+
+NicSpec
+ethernet100()
+{
+    return {"100GbE", 12.5, 6.0, 0.85};
+}
+
+NicSpec
+infinibandEdr()
+{
+    return {"IB-EDR", 12.5, 1.5, 0.92};
+}
+
+void
+ClusterConfig::validate() const
+{
+    node.validate();
+    if (num_nodes < 1)
+        sim::fatal("ClusterConfig '%s': need at least one node",
+                   name.c_str());
+    if (nic.gbps <= 0.0 || nic.efficiency <= 0.0 ||
+        nic.efficiency > 1.0)
+        sim::fatal("ClusterConfig '%s': bad NIC spec", name.c_str());
+}
+
+ClusterConfig
+dss8440Cluster(int nodes, const NicSpec &nic)
+{
+    ClusterConfig c;
+    c.node = dss8440();
+    c.num_nodes = nodes;
+    c.nic = nic;
+    c.name = std::to_string(nodes) + "x " + c.node.name + " over " +
+             nic.name;
+    c.validate();
+    return c;
+}
+
+} // namespace mlps::sys

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Multi-node cluster configuration — the scale-out dimension the
+ * paper explicitly left out (it omitted DeepBench's MPI all-reduce
+ * because the study was single-machine). A cluster is a set of
+ * identical Table III-style nodes joined by a non-blocking switch
+ * through per-node NICs.
+ */
+
+#ifndef MLPSIM_SYS_CLUSTER_H
+#define MLPSIM_SYS_CLUSTER_H
+
+#include <string>
+
+#include "sys/system_config.h"
+
+namespace mlps::sys {
+
+/** Network interface of one node. */
+struct NicSpec {
+    std::string name;
+    /** Unidirectional bandwidth, GB/s. */
+    double gbps = 12.5;
+    /** One-way latency, microseconds. */
+    double latency_us = 5.0;
+    /** Achievable fraction of line rate (protocol + congestion). */
+    double efficiency = 0.85;
+
+    double effectiveBytesPerSec() const { return gbps * 1e9 * efficiency; }
+};
+
+/** 25 GbE (RoCE) NIC. */
+NicSpec ethernet25();
+
+/** 100 GbE (RoCE) NIC. */
+NicSpec ethernet100();
+
+/** InfiniBand EDR (100 Gb/s, lower latency, RDMA). */
+NicSpec infinibandEdr();
+
+/** A homogeneous cluster of identical nodes. */
+struct ClusterConfig {
+    std::string name;
+    /** Per-node hardware (one of the Table III machines). */
+    SystemConfig node;
+    int num_nodes = 1;
+    NicSpec nic;
+
+    /** Total GPU count across the cluster. */
+    int totalGpus() const { return num_nodes * node.num_gpus; }
+
+    /** Validate invariants; fatal() on inconsistency. */
+    void validate() const;
+};
+
+/** Convenience: N DSS 8440 nodes on the given fabric. */
+ClusterConfig dss8440Cluster(int nodes, const NicSpec &nic);
+
+} // namespace mlps::sys
+
+#endif // MLPSIM_SYS_CLUSTER_H

@@ -1,0 +1,296 @@
+#include "sys/machines.h"
+
+#include "net/link.h"
+
+namespace mlps::sys {
+
+namespace {
+
+using net::NodeId;
+
+/** Add a dual-socket CPU pair joined by UPI. */
+std::vector<NodeId>
+addSockets(net::Topology &topo, int count)
+{
+    std::vector<NodeId> cpus;
+    for (int i = 0; i < count; ++i)
+        cpus.push_back(topo.addCpu("CPU" + std::to_string(i)));
+    // Sockets are joined in a chain (2 sockets) or ring (4 sockets),
+    // which matches the UPI wiring of the Dell platforms.
+    for (int i = 0; i + 1 < count; ++i)
+        topo.connect(cpus[i], cpus[i + 1], net::upi());
+    if (count > 2)
+        topo.connect(cpus[count - 1], cpus[0], net::upi());
+    return cpus;
+}
+
+/** Add n GPUs named GPU0..GPUn-1. */
+std::vector<NodeId>
+addGpus(net::Topology &topo, int count)
+{
+    std::vector<NodeId> gpus;
+    for (int i = 0; i < count; ++i)
+        gpus.push_back(topo.addGpu("GPU" + std::to_string(i)));
+    return gpus;
+}
+
+/**
+ * Fully connect a 4-GPU SXM2 board with NVLink. V100 has six bricks;
+ * in the quad layout every pair gets two bricks (50 GB/s/dir).
+ */
+void
+nvlinkMesh4(net::Topology &topo, const std::vector<NodeId> &gpus)
+{
+    for (std::size_t i = 0; i < gpus.size(); ++i)
+        for (std::size_t j = i + 1; j < gpus.size(); ++j)
+            topo.connect(gpus[i], gpus[j], net::nvlink(2));
+}
+
+} // namespace
+
+SystemConfig
+t640()
+{
+    SystemConfig s;
+    s.name = "T640";
+    s.cpu = hw::xeonGold6148();
+    s.cpu.dram.dimms = 6; // 12 DIMMs across 2 sockets
+    s.num_cpus = 2;
+    s.gpu = hw::teslaV100Pcie_32();
+    s.num_gpus = 4;
+
+    s.cpu_nodes = addSockets(s.topo, 2);
+    s.gpu_nodes = addGpus(s.topo, 4);
+    // Two GPUs per socket, each on CPU PCIe x16: P2P impossible, and
+    // cross-socket GPU pairs must cross UPI.
+    for (int g = 0; g < 4; ++g)
+        s.topo.connect(s.gpu_nodes[g], s.cpu_nodes[g / 2], net::pcie3(16));
+    s.validate();
+    return s;
+}
+
+SystemConfig
+c4140B()
+{
+    SystemConfig s;
+    s.name = "C4140 (B)";
+    s.cpu = hw::xeonGold6148();
+    s.cpu.dram.dimms = 6;
+    s.num_cpus = 2;
+    s.gpu = hw::teslaV100Pcie_16();
+    s.num_gpus = 4;
+
+    s.cpu_nodes = addSockets(s.topo, 2);
+    s.gpu_nodes = addGpus(s.topo, 4);
+    NodeId sw = s.topo.addSwitch("PLX0");
+    s.switch_nodes.push_back(sw);
+    // 96-lane switch: x16 to each GPU, x16 uplink to CPU0. All four
+    // GPUs share one root complex -> GPUDirect P2P over the switch.
+    s.topo.connect(sw, s.cpu_nodes[0], net::pcie3(16));
+    for (int g = 0; g < 4; ++g)
+        s.topo.connect(s.gpu_nodes[g], sw, net::pcie3(16));
+    s.validate();
+    return s;
+}
+
+SystemConfig
+c4140K()
+{
+    SystemConfig s;
+    s.name = "C4140 (K)";
+    s.cpu = hw::xeonGold6148();
+    s.cpu.dram.dimms = 6;
+    s.num_cpus = 2;
+    s.gpu = hw::teslaV100Sxm2_16();
+    s.num_gpus = 4;
+
+    s.cpu_nodes = addSockets(s.topo, 2);
+    s.gpu_nodes = addGpus(s.topo, 4);
+    nvlinkMesh4(s.topo, s.gpu_nodes);
+    // Host connectivity aggregated by a PCIe switch on CPU0.
+    NodeId sw = s.topo.addSwitch("PLX0");
+    s.switch_nodes.push_back(sw);
+    s.topo.connect(sw, s.cpu_nodes[0], net::pcie3(16));
+    for (int g = 0; g < 4; ++g)
+        s.topo.connect(s.gpu_nodes[g], sw, net::pcie3(16));
+    s.validate();
+    return s;
+}
+
+SystemConfig
+c4140M()
+{
+    SystemConfig s;
+    s.name = "C4140 (M)";
+    s.cpu = hw::xeonGold6148();
+    s.cpu.dram.dimms = 12; // 24 DIMMs across 2 sockets
+    s.num_cpus = 2;
+    s.gpu = hw::teslaV100Sxm2_16();
+    s.num_gpus = 4;
+
+    s.cpu_nodes = addSockets(s.topo, 2);
+    s.gpu_nodes = addGpus(s.topo, 4);
+    nvlinkMesh4(s.topo, s.gpu_nodes);
+    // Host links straight to the CPUs, two GPUs per socket.
+    for (int g = 0; g < 4; ++g)
+        s.topo.connect(s.gpu_nodes[g], s.cpu_nodes[g / 2], net::pcie3(16));
+    s.validate();
+    return s;
+}
+
+SystemConfig
+r940xa()
+{
+    SystemConfig s;
+    s.name = "R940xa";
+    s.cpu = hw::xeonGold6148();
+    s.cpu.dram.dimms = 6; // 24 DIMMs across 4 sockets
+    s.num_cpus = 4;
+    s.gpu = hw::teslaV100Pcie_32();
+    s.num_gpus = 4;
+
+    s.cpu_nodes = addSockets(s.topo, 4);
+    s.gpu_nodes = addGpus(s.topo, 4);
+    // One GPU per socket: every GPU pair crosses at least one UPI hop.
+    for (int g = 0; g < 4; ++g)
+        s.topo.connect(s.gpu_nodes[g], s.cpu_nodes[g], net::pcie3(16));
+    s.validate();
+    return s;
+}
+
+SystemConfig
+dss8440()
+{
+    SystemConfig s;
+    s.name = "DSS 8440";
+    s.cpu = hw::xeonGold6142();
+    s.cpu.dram.dimms = 6;
+    s.cpu.dram.dimm_gib = 32.0;
+    s.num_cpus = 2;
+    s.gpu = hw::teslaV100Pcie_16();
+    s.num_gpus = 8;
+
+    s.cpu_nodes = addSockets(s.topo, 2);
+    s.gpu_nodes = addGpus(s.topo, 8);
+    // Four GPUs behind each of two PCIe switches, one per socket. The
+    // switches are also linked to each other, so GPUDirect P2P works
+    // across the whole GPU complex without touching a root complex.
+    for (int sw_i = 0; sw_i < 2; ++sw_i) {
+        NodeId sw = s.topo.addSwitch("PLX" + std::to_string(sw_i));
+        s.switch_nodes.push_back(sw);
+        s.topo.connect(sw, s.cpu_nodes[sw_i], net::pcie3(16));
+        for (int g = 0; g < 4; ++g)
+            s.topo.connect(s.gpu_nodes[sw_i * 4 + g], sw, net::pcie3(16));
+    }
+    s.topo.connect(s.switch_nodes[0], s.switch_nodes[1], net::pcie3(16));
+    s.validate();
+    return s;
+}
+
+SystemConfig
+mlperfReference()
+{
+    SystemConfig s;
+    s.name = "MLPerf reference (P100)";
+    s.cpu = hw::xeonGold6148();
+    s.num_cpus = 1;
+    s.gpu = hw::teslaP100Pcie_16();
+    s.num_gpus = 1;
+
+    s.cpu_nodes.push_back(s.topo.addCpu("CPU0"));
+    s.gpu_nodes.push_back(s.topo.addGpu("GPU0"));
+    s.topo.connect(s.gpu_nodes[0], s.cpu_nodes[0], net::pcie3(16));
+    s.validate();
+    return s;
+}
+
+SystemConfig
+dgx1()
+{
+    SystemConfig s;
+    s.name = "DGX-1V";
+    s.cpu = hw::xeonGold6148();
+    s.cpu.dram.dimms = 8;
+    s.cpu.dram.dimm_gib = 32.0;
+    s.num_cpus = 2;
+    s.gpu = hw::teslaV100Sxm2_16();
+    s.num_gpus = 8;
+
+    s.cpu_nodes = addSockets(s.topo, 2);
+    s.gpu_nodes = addGpus(s.topo, 8);
+    // Hybrid cube mesh: two quads {0..3} and {4..7}. Within a quad,
+    // ring edges get two bricks and one diagonal a single brick;
+    // each GPU also has one vertical brick to its cube partner.
+    // That spends exactly the six V100 NVLink bricks per GPU.
+    for (int q = 0; q < 2; ++q) {
+        int base = q * 4;
+        const auto &g = s.gpu_nodes;
+        s.topo.connect(g[base + 0], g[base + 1], net::nvlink(2));
+        s.topo.connect(g[base + 1], g[base + 2], net::nvlink(2));
+        s.topo.connect(g[base + 2], g[base + 3], net::nvlink(2));
+        s.topo.connect(g[base + 3], g[base + 0], net::nvlink(2));
+        s.topo.connect(g[base + 0], g[base + 2], net::nvlink(1));
+        s.topo.connect(g[base + 1], g[base + 3], net::nvlink(1));
+    }
+    for (int i = 0; i < 4; ++i)
+        s.topo.connect(s.gpu_nodes[i], s.gpu_nodes[i + 4],
+                       net::nvlink(1));
+    // Host connectivity: four PCIe switches, two GPUs each.
+    for (int sw_i = 0; sw_i < 4; ++sw_i) {
+        NodeId sw = s.topo.addSwitch("PLX" + std::to_string(sw_i));
+        s.switch_nodes.push_back(sw);
+        s.topo.connect(sw, s.cpu_nodes[sw_i / 2], net::pcie3(16));
+        s.topo.connect(s.gpu_nodes[sw_i * 2], sw, net::pcie3(16));
+        s.topo.connect(s.gpu_nodes[sw_i * 2 + 1], sw, net::pcie3(16));
+    }
+    s.validate();
+    return s;
+}
+
+SystemConfig
+dgx2()
+{
+    SystemConfig s;
+    s.name = "DGX-2";
+    s.cpu = hw::xeonGold6148();
+    s.cpu.dram.dimms = 12;
+    s.cpu.dram.dimm_gib = 64.0;
+    s.num_cpus = 2;
+    s.gpu = hw::teslaV100Sxm2_32();
+    s.num_gpus = 16;
+
+    s.cpu_nodes = addSockets(s.topo, 2);
+    s.gpu_nodes = addGpus(s.topo, 16);
+    // NVSwitch plane: every GPU reaches every other at full NVLink
+    // bandwidth through the switch fabric (modeled as one node with
+    // six bricks per GPU).
+    NodeId nvswitch = s.topo.addSwitch("NVSwitch");
+    s.switch_nodes.push_back(nvswitch);
+    for (int g = 0; g < 16; ++g)
+        s.topo.connect(s.gpu_nodes[g], nvswitch, net::nvlink(6));
+    // Host connectivity via PCIe switches, four GPUs each.
+    for (int sw_i = 0; sw_i < 4; ++sw_i) {
+        NodeId sw = s.topo.addSwitch("PLX" + std::to_string(sw_i));
+        s.switch_nodes.push_back(sw);
+        s.topo.connect(sw, s.cpu_nodes[sw_i / 2], net::pcie3(16));
+        for (int g = 0; g < 4; ++g)
+            s.topo.connect(s.gpu_nodes[sw_i * 4 + g], sw,
+                           net::pcie3(16));
+    }
+    s.validate();
+    return s;
+}
+
+std::vector<SystemConfig>
+figure5Systems()
+{
+    return {c4140M(), c4140K(), c4140B(), t640(), r940xa()};
+}
+
+std::vector<SystemConfig>
+allMachines()
+{
+    return {t640(), c4140B(), c4140K(), c4140M(), r940xa(), dss8440()};
+}
+
+} // namespace mlps::sys

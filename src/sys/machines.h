@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The experimental platforms of the paper's Table III, plus the MLPerf
+ * v0.5 reference machine.
+ *
+ * Topology highlights (driving Figure 5 / Table V behaviour):
+ *  - T640:      2 sockets; 2 GPUs per socket on CPU PCIe; cross-socket
+ *               GPU traffic crosses UPI; no GPUDirect P2P.
+ *  - C4140 (B): 4 GPUs behind one 96-lane PCIe switch; P2P over the
+ *               switch, single root complex.
+ *  - C4140 (K): 4 SXM2 GPUs in an NVLink mesh; host links aggregated
+ *               by a PCIe switch.
+ *  - C4140 (M): 4 SXM2 GPUs in an NVLink mesh; host links direct to
+ *               the CPUs' PCIe ports.
+ *  - R940xa:    4 sockets; one GPU per socket on CPU PCIe; no P2P.
+ *  - DSS 8440:  2 sockets; 8 GPUs, 4 behind each of two PCIe switches.
+ */
+
+#ifndef MLPSIM_SYS_MACHINES_H
+#define MLPSIM_SYS_MACHINES_H
+
+#include <vector>
+
+#include "sys/system_config.h"
+
+namespace mlps::sys {
+
+/** Dell PowerEdge T640: 4x V100-PCIe-32GB on CPU PCIe + UPI. */
+SystemConfig t640();
+
+/** Dell PowerEdge C4140 config B: 4x V100-PCIe-16GB on a PCIe switch. */
+SystemConfig c4140B();
+
+/** Dell PowerEdge C4140 config K: 4x V100-SXM2-16GB, NVLink + switch. */
+SystemConfig c4140K();
+
+/** Dell PowerEdge C4140 config M: 4x V100-SXM2-16GB, NVLink, CPU PCIe. */
+SystemConfig c4140M();
+
+/** Dell PowerEdge R940xa: 4 sockets, 4x V100-PCIe-32GB, one per CPU. */
+SystemConfig r940xa();
+
+/** Dell DSS 8440: 8x V100-PCIe-16GB behind two PCIe switches. */
+SystemConfig dss8440();
+
+/** MLPerf v0.5 reference machine: one Tesla P100. */
+SystemConfig mlperfReference();
+
+/**
+ * NVIDIA DGX-1V: 8x V100-SXM2 in the hybrid cube-mesh NVLink
+ * topology — the machine NVIDIA's v0.5 submissions actually ran on.
+ */
+SystemConfig dgx1();
+
+/** NVIDIA DGX-2: 16x V100-SXM3 through NVSwitch (all-to-all). */
+SystemConfig dgx2();
+
+/** All five 4-GPU platforms of the Figure 5 study, NVLink systems first. */
+std::vector<SystemConfig> figure5Systems();
+
+/** Every Table III machine. */
+std::vector<SystemConfig> allMachines();
+
+} // namespace mlps::sys
+
+#endif // MLPSIM_SYS_MACHINES_H

@@ -1,0 +1,92 @@
+#include "sys/system_config.h"
+
+#include <sstream>
+
+#include "sim/logger.h"
+
+namespace mlps::sys {
+
+double
+SystemConfig::dramCapacityGib() const
+{
+    return num_cpus * cpu.dram.capacityGib();
+}
+
+double
+SystemConfig::dramBandwidthGbps() const
+{
+    return num_cpus * cpu.dram.bandwidthGbps();
+}
+
+double
+SystemConfig::hostCoreGhz() const
+{
+    return num_cpus * cpu.coreGhzTotal();
+}
+
+double
+SystemConfig::hbmCapacityGib() const
+{
+    return num_gpus * gpu.hbm_gib;
+}
+
+std::vector<net::NodeId>
+SystemConfig::gpuSubset(int n) const
+{
+    if (n < 1 || n > num_gpus)
+        sim::fatal("SystemConfig '%s': GPU count %d out of range [1,%d]",
+                   name.c_str(), n, num_gpus);
+    return {gpu_nodes.begin(), gpu_nodes.begin() + n};
+}
+
+net::CollectiveFabric
+SystemConfig::fabricFor(int n) const
+{
+    return topo.collectiveFabric(gpuSubset(n));
+}
+
+std::string
+SystemConfig::describe() const
+{
+    std::ostringstream os;
+    os << name << "\n"
+       << "  CPUs: " << num_cpus << " x " << cpu.name << " ("
+       << cpu.cores << " cores @ " << cpu.base_ghz << " GHz)\n"
+       << "  DRAM: " << dramCapacityGib() << " GiB, "
+       << dramBandwidthGbps() << " GB/s aggregate\n"
+       << "  GPUs: " << num_gpus << " x " << gpu.name << " ("
+       << gpu.hbm_gib << " GiB HBM2 @ " << gpu.hbm_gbps << " GB/s)\n"
+       << "  Links:\n";
+    std::istringstream links(topo.describe());
+    std::string line;
+    while (std::getline(links, line))
+        os << "    " << line << "\n";
+    return os.str();
+}
+
+void
+SystemConfig::validate() const
+{
+    if (static_cast<int>(cpu_nodes.size()) != num_cpus)
+        sim::fatal("SystemConfig '%s': cpu_nodes size %zu != num_cpus %d",
+                   name.c_str(), cpu_nodes.size(), num_cpus);
+    if (static_cast<int>(gpu_nodes.size()) != num_gpus)
+        sim::fatal("SystemConfig '%s': gpu_nodes size %zu != num_gpus %d",
+                   name.c_str(), gpu_nodes.size(), num_gpus);
+    for (net::NodeId n : cpu_nodes) {
+        if (topo.kind(n) != net::NodeKind::Cpu)
+            sim::fatal("SystemConfig '%s': node %d not a CPU",
+                       name.c_str(), n);
+    }
+    for (net::NodeId n : gpu_nodes) {
+        if (topo.kind(n) != net::NodeKind::Gpu)
+            sim::fatal("SystemConfig '%s': node %d not a GPU",
+                       name.c_str(), n);
+        // Every GPU must be reachable from some CPU (for H2D staging).
+        if (!topo.hostCpu(n))
+            sim::fatal("SystemConfig '%s': GPU %d unreachable from CPUs",
+                       name.c_str(), n);
+    }
+}
+
+} // namespace mlps::sys

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A complete machine: CPU sockets, GPUs, DRAM and the interconnect
+ * topology tying them together. Instances for the paper's Table III
+ * systems live in sys/machines.h.
+ */
+
+#ifndef MLPSIM_SYS_SYSTEM_CONFIG_H
+#define MLPSIM_SYS_SYSTEM_CONFIG_H
+
+#include <string>
+#include <vector>
+
+#include "hw/cpu.h"
+#include "hw/gpu.h"
+#include "net/topology.h"
+
+namespace mlps::sys {
+
+/**
+ * Hardware configuration of one server.
+ *
+ * The topology node lists are parallel to the spec fields: cpu_nodes[i]
+ * is socket i, gpu_nodes[j] is GPU j. All GPUs in a system share one
+ * GpuSpec (true for every Table III machine).
+ */
+struct SystemConfig {
+    std::string name;
+
+    hw::CpuSpec cpu;
+    int num_cpus = 1;
+
+    hw::GpuSpec gpu;
+    int num_gpus = 1;
+
+    net::Topology topo;
+    std::vector<net::NodeId> cpu_nodes;
+    std::vector<net::NodeId> gpu_nodes;
+    std::vector<net::NodeId> switch_nodes;
+
+    /** Total host DRAM capacity, GiB. */
+    double dramCapacityGib() const;
+
+    /** Aggregate host DRAM bandwidth, GB/s. */
+    double dramBandwidthGbps() const;
+
+    /** Total host core-GHz (preprocessing capacity proxy). */
+    double hostCoreGhz() const;
+
+    /** Total GPU HBM capacity across all GPUs, GiB. */
+    double hbmCapacityGib() const;
+
+    /** The first n GPU nodes (the set used for an n-GPU run). */
+    std::vector<net::NodeId> gpuSubset(int n) const;
+
+    /** Fabric a collective over the first n GPUs would use. */
+    net::CollectiveFabric fabricFor(int n) const;
+
+    /** Multi-line human-readable summary (Table III dump). */
+    std::string describe() const;
+
+    /** Validate invariants; fatal() on inconsistency. */
+    void validate() const;
+};
+
+} // namespace mlps::sys
+
+#endif // MLPSIM_SYS_SYSTEM_CONFIG_H

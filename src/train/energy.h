@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Energy-to-train estimation — an efficiency lens the paper's
+ * time-to-quality metric invites but does not take. Combines the
+ * modeled utilizations with first-order device power models to give
+ * energy and average power for a run; mixed precision and faster
+ * interconnects shorten runs and therefore cut energy nearly
+ * proportionally.
+ */
+
+#ifndef MLPSIM_TRAIN_ENERGY_H
+#define MLPSIM_TRAIN_ENERGY_H
+
+#include "sys/system_config.h"
+#include "train/training_job.h"
+
+namespace mlps::train {
+
+/** Energy breakdown of one run. */
+struct EnergyReport {
+    double gpu_kwh = 0.0;  ///< all GPUs, including idle floor
+    double cpu_kwh = 0.0;  ///< all sockets
+    double rest_kwh = 0.0; ///< DRAM, fans, PSU losses (fixed overhead)
+    double avg_watts = 0.0;
+
+    double totalKwh() const { return gpu_kwh + cpu_kwh + rest_kwh; }
+};
+
+/** Tunables of the platform power model. */
+struct PowerModelParams {
+    /** Non-CPU/GPU platform draw (DRAM, fans, NICs, PSU), watts. */
+    double platform_overhead_watts = 180.0;
+    /**
+     * Idle power of GPUs present in the chassis but unused by the
+     * run still counts toward the bill.
+     */
+    bool charge_idle_gpus = true;
+};
+
+/**
+ * Estimate the energy of a modeled run on its system.
+ *
+ * @param system  the machine the result was produced on.
+ * @param result  the run.
+ * @param params  platform power tunables.
+ */
+EnergyReport estimateEnergy(const sys::SystemConfig &system,
+                            const TrainResult &result,
+                            const PowerModelParams &params = {});
+
+} // namespace mlps::train
+
+#endif // MLPSIM_TRAIN_ENERGY_H

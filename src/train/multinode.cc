@@ -1,0 +1,94 @@
+#include "train/multinode.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logger.h"
+
+namespace mlps::train {
+
+double
+interNodeRingSeconds(const sys::NicSpec &nic, int nodes, double bytes,
+                     int buckets)
+{
+    if (nodes < 1)
+        sim::fatal("interNodeRingSeconds: bad node count %d", nodes);
+    if (nodes == 1 || bytes <= 0.0)
+        return 0.0;
+    int steps = 2 * (nodes - 1);
+    double chunk = bytes / nodes;
+    double bw = nic.effectiveBytesPerSec();
+    return steps * (chunk / bw + nic.latency_us * 1e-6) +
+           std::max(buckets, 1) * steps * 10e-6; // NCCL proxy overhead
+}
+
+MultiNodeResult
+runMultiNode(const sys::ClusterConfig &cluster,
+             const wl::WorkloadSpec &spec, int nodes,
+             hw::Precision precision)
+{
+    cluster.validate();
+    spec.validate();
+    if (nodes < 1 || nodes > cluster.num_nodes)
+        sim::fatal("runMultiNode: %d nodes requested of %d", nodes,
+                   cluster.num_nodes);
+    if (spec.mode != wl::RunMode::Training)
+        sim::fatal("runMultiNode: '%s' is not a training workload",
+                   spec.abbrev.c_str());
+
+    int gpn = cluster.node.num_gpus;
+    int replicas = gpn * nodes;
+
+    // Cluster-wide batch rule: the global-batch cap now divides over
+    // every replica in the cluster.
+    wl::WorkloadSpec local = spec;
+    double cap = spec.convergence.global_batch_cap;
+    if (cap > 0.0 && spec.per_gpu_batch * replicas > cap) {
+        local.per_gpu_batch = std::max(1.0, cap / replicas);
+        local.convergence.global_batch_cap = 0.0; // applied above
+    }
+
+    // Single-node breakdown at the cluster's per-GPU batch.
+    Trainer trainer(cluster.node);
+    RunOptions opts;
+    opts.num_gpus = gpn;
+    opts.precision = precision;
+    TrainResult node_run = trainer.run(local, opts);
+
+    MultiNodeResult res;
+    res.workload = spec.abbrev;
+    res.cluster = cluster.name;
+    res.num_nodes = nodes;
+    res.gpus_per_node = gpn;
+    res.per_gpu_batch = node_run.per_gpu_batch;
+    res.global_batch =
+        std::min(node_run.per_gpu_batch * replicas,
+                 cap > 0.0 ? cap : 1e300);
+    res.steps_per_epoch = spec.dataset.stepsPerEpoch(res.global_batch);
+    res.epochs = spec.convergence.epochsAt(res.global_batch);
+    res.intra_comm_s = node_run.iter.comm_s;
+
+    // Hierarchical collective: intra-node reduce + inter-node ring of
+    // the full gradient + intra-node broadcast. The intra part is
+    // already inside node_run's iteration; add the exposed share of
+    // the inter-node ring on top.
+    double params = spec.graph.totals().param_bytes / 4.0;
+    PrecisionPolicy policy;
+    policy.precision = precision;
+    double grad_bytes = spec.fp32_gradients
+                            ? params * 4.0
+                            : params * policy.gradientBytesPerParam();
+    res.inter_comm_s = interNodeRingSeconds(
+        cluster.nic, nodes, grad_bytes, spec.gradientBuckets());
+    double exposed_inter =
+        res.inter_comm_s * (1.0 - 0.5 * spec.comm_overlap);
+
+    res.iteration_s = node_run.iter.iteration_s + exposed_inter;
+    double iterations =
+        std::ceil(res.steps_per_epoch * res.epochs);
+    res.total_seconds = iterations * res.iteration_s *
+                        (1.0 + spec.convergence.eval_overhead);
+    return res;
+}
+
+} // namespace mlps::train

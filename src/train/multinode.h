@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Multi-node data-parallel training: extends the single-machine
+ * Trainer with a hierarchical all-reduce (intra-node ring over the
+ * machine fabric, inter-node ring over the NICs) and cluster-wide
+ * batch rules. Answers the question the paper's Section IV-D raises
+ * for data centers: how far does each workload's scaling carry past
+ * one chassis?
+ */
+
+#ifndef MLPSIM_TRAIN_MULTINODE_H
+#define MLPSIM_TRAIN_MULTINODE_H
+
+#include "sys/cluster.h"
+#include "train/trainer.h"
+
+namespace mlps::train {
+
+/** Result of one multi-node run. */
+struct MultiNodeResult {
+    std::string workload;
+    std::string cluster;
+    int num_nodes = 1;
+    int gpus_per_node = 1;
+    double per_gpu_batch = 0.0;
+    double global_batch = 0.0;
+    double epochs = 0.0;
+    double steps_per_epoch = 0.0;
+
+    /** Steady-state iteration, seconds. */
+    double iteration_s = 0.0;
+    /** Intra-node all-reduce portion, seconds. */
+    double intra_comm_s = 0.0;
+    /** Inter-node (NIC) all-reduce portion, seconds. */
+    double inter_comm_s = 0.0;
+    /** End-to-end time to quality, seconds. */
+    double total_seconds = 0.0;
+
+    double totalMinutes() const { return total_seconds / 60.0; }
+};
+
+/**
+ * Model a data-parallel run across a cluster.
+ *
+ * @param cluster homogeneous cluster description.
+ * @param spec    workload.
+ * @param nodes   nodes to use (<= cluster.num_nodes).
+ * @param precision numeric regime.
+ */
+MultiNodeResult runMultiNode(const sys::ClusterConfig &cluster,
+                             const wl::WorkloadSpec &spec, int nodes,
+                             hw::Precision precision =
+                                 hw::Precision::Mixed);
+
+/**
+ * Inter-node ring all-reduce time over the NICs: each node exchanges
+ * 2*(M-1)/M of the payload through its NIC, bucketed like the
+ * intra-node collective.
+ */
+double interNodeRingSeconds(const sys::NicSpec &nic, int nodes,
+                            double bytes, int buckets);
+
+} // namespace mlps::train
+
+#endif // MLPSIM_TRAIN_MULTINODE_H

@@ -1,0 +1,51 @@
+#include "train/precision_policy.h"
+
+namespace mlps::train {
+
+double
+PrecisionPolicy::gradientBytesPerParam() const
+{
+    switch (precision) {
+      case hw::Precision::FP64: return 8.0;
+      case hw::Precision::FP32: return 4.0;
+      case hw::Precision::FP16:
+      case hw::Precision::Mixed: return 2.0;
+    }
+    return 4.0;
+}
+
+double
+PrecisionPolicy::stateBytesPerParam() const
+{
+    switch (precision) {
+      case hw::Precision::FP64:
+        return 8.0 + 8.0 + 8.0;        // weights + momentum + grads
+      case hw::Precision::FP32:
+        return 4.0 + 4.0 + 4.0;
+      case hw::Precision::FP16:
+        return 2.0 + 2.0 + 2.0;
+      case hw::Precision::Mixed:
+        return 2.0 + 4.0 + 4.0 + 2.0;  // fp16 w + master + momentum + g
+    }
+    return 12.0;
+}
+
+double
+PrecisionPolicy::activationBytesPerElement() const
+{
+    return hw::bytesPerElement(precision);
+}
+
+PrecisionPolicy
+fp32Policy()
+{
+    return PrecisionPolicy{hw::Precision::FP32};
+}
+
+PrecisionPolicy
+mixedPolicy()
+{
+    return PrecisionPolicy{hw::Precision::Mixed};
+}
+
+} // namespace mlps::train

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Precision policy: how a training run's numeric regime affects
+ * gradient exchange volume and on-device memory.
+ *
+ * Mixed precision (paper Figure 3) keeps fp16 working weights and
+ * activations plus fp32 master weights; gradients are exchanged in
+ * fp16, halving the all-reduce payload.
+ */
+
+#ifndef MLPSIM_TRAIN_PRECISION_POLICY_H
+#define MLPSIM_TRAIN_PRECISION_POLICY_H
+
+#include "hw/precision.h"
+
+namespace mlps::train {
+
+/** Numeric regime of a training run. */
+struct PrecisionPolicy {
+    hw::Precision precision = hw::Precision::FP32;
+
+    /** Bytes per parameter exchanged in the gradient all-reduce. */
+    double gradientBytesPerParam() const;
+
+    /**
+     * Bytes per parameter resident on each GPU: working weights,
+     * master copy (mixed), SGD momentum, and gradient buffer.
+     */
+    double stateBytesPerParam() const;
+
+    /** Bytes per activation element saved for the backward pass. */
+    double activationBytesPerElement() const;
+};
+
+/** The fp32 baseline regime. */
+PrecisionPolicy fp32Policy();
+
+/** The AMP/tensor-core mixed regime. */
+PrecisionPolicy mixedPolicy();
+
+} // namespace mlps::train
+
+#endif // MLPSIM_TRAIN_PRECISION_POLICY_H

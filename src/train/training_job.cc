@@ -1,0 +1,4 @@
+#include "train/training_job.h"
+
+// RunOptions/TrainResult are plain aggregates; this TU anchors the
+// header in the build so include hygiene is checked.

@@ -1,0 +1,37 @@
+#include "wl/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logger.h"
+
+namespace mlps::wl {
+
+double
+ConvergenceModel::epochsAt(double global_batch) const
+{
+    if (global_batch <= 0)
+        sim::fatal("ConvergenceModel: non-positive global batch");
+    if (base_epochs <= 0)
+        sim::fatal("ConvergenceModel: non-positive base epochs");
+    double epochs = base_epochs;
+    if (penalty_exponent > 0.0 && global_batch > reference_global_batch) {
+        epochs *= std::pow(global_batch / reference_global_batch,
+                           penalty_exponent);
+    }
+    return epochs;
+}
+
+double
+ConvergenceModel::usableGlobalBatch(double per_gpu_batch,
+                                    int replicas) const
+{
+    if (per_gpu_batch <= 0 || replicas <= 0)
+        sim::fatal("ConvergenceModel: bad batch/replicas");
+    double gb = per_gpu_batch * replicas;
+    if (global_batch_cap > 0.0)
+        gb = std::min(gb, global_batch_cap);
+    return gb;
+}
+
+} // namespace mlps::wl

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Epochs-to-quality convergence model.
+ *
+ * MLPerf's metric is time-to-quality, so the epoch count matters as
+ * much as iteration speed. Each workload converges in a base number of
+ * epochs at its reference global batch; growing the global batch past
+ * the reference inflates the epoch count (large-batch generalisation
+ * penalty), and past a hard cap extra batch stops helping at all —
+ * the mechanism behind NCF's poor scaling in Table IV.
+ */
+
+#ifndef MLPSIM_WL_CONVERGENCE_H
+#define MLPSIM_WL_CONVERGENCE_H
+
+#include <string>
+
+namespace mlps::wl {
+
+/** Quality-target convergence behaviour of one workload. */
+struct ConvergenceModel {
+    /** MLPerf quality target, for reporting (e.g. "Accuracy: 0.749"). */
+    std::string quality_target;
+    /** Epochs to reach target at the reference global batch. */
+    double base_epochs = 1.0;
+    /** Reference global batch the base epoch count was measured at. */
+    double reference_global_batch = 256.0;
+    /**
+     * Exponent of the epoch penalty for global batches above the
+     * reference: epochs *= (gb/ref)^penalty_exponent. 0 disables.
+     */
+    double penalty_exponent = 0.0;
+    /**
+     * Global batch beyond which convergence degrades sharply; the
+     * trainer refuses to scale the batch past this cap and instead
+     * shrinks the per-GPU batch. <=0 means uncapped.
+     */
+    double global_batch_cap = 0.0;
+    /**
+     * Fraction of training time spent on per-epoch evaluation against
+     * the quality target.
+     */
+    double eval_overhead = 0.03;
+
+    /** Epochs to quality at the given global batch. */
+    double epochsAt(double global_batch) const;
+
+    /** The usable global batch for n data-parallel replicas. */
+    double usableGlobalBatch(double per_gpu_batch, int replicas) const;
+};
+
+} // namespace mlps::wl
+
+#endif // MLPSIM_WL_CONVERGENCE_H

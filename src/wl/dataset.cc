@@ -1,0 +1,99 @@
+#include "wl/dataset.h"
+
+#include <cmath>
+
+#include "sim/logger.h"
+
+namespace mlps::wl {
+
+double
+DatasetSpec::stepsPerEpoch(double global_batch) const
+{
+    if (global_batch <= 0)
+        sim::fatal("DatasetSpec '%s': non-positive global batch",
+                   name.c_str());
+    return std::max(1.0, std::ceil(num_samples / global_batch));
+}
+
+DatasetSpec
+imagenet()
+{
+    DatasetSpec d;
+    d.name = "ImageNet";
+    d.num_samples = 1'281'167;
+    // ~300 GB in the TFRecord packaging the paper cites.
+    d.raw_bytes_per_sample = 234e3;
+    // 224x224x3 uint8 tensor after decode/augment.
+    d.input_bytes_per_sample = 224.0 * 224.0 * 3.0;
+    return d;
+}
+
+DatasetSpec
+coco()
+{
+    DatasetSpec d;
+    d.name = "COCO-2017";
+    d.num_samples = 118'287;
+    d.raw_bytes_per_sample = 160e3; // ~19 GB of images
+    // Detection inputs are larger: ~800x800x3 uint8 for Mask R-CNN,
+    // 300x300 for SSD; use the SSD size here and let Mask R-CNN scale.
+    d.input_bytes_per_sample = 300.0 * 300.0 * 3.0;
+    return d;
+}
+
+DatasetSpec
+wmt17()
+{
+    DatasetSpec d;
+    d.name = "WMT17 En-De";
+    d.num_samples = 4'500'000; // sentence pairs
+    d.raw_bytes_per_sample = 220.0; // tokenised text
+    d.input_bytes_per_sample = 4.0 * 2.0 * 33.0; // ~33 tokens/side, int32
+    return d;
+}
+
+DatasetSpec
+movielens20m()
+{
+    DatasetSpec d;
+    d.name = "MovieLens-20M";
+    d.num_samples = 19'861'770; // training ratings after split
+    d.raw_bytes_per_sample = 12.0; // (user, item, rating) triple
+    d.input_bytes_per_sample = 12.0;
+    return d;
+}
+
+DatasetSpec
+cifar10()
+{
+    DatasetSpec d;
+    d.name = "CIFAR10";
+    d.num_samples = 50'000;
+    d.raw_bytes_per_sample = 3'073.0; // 32x32x3 + label
+    d.input_bytes_per_sample = 32.0 * 32.0 * 3.0;
+    return d;
+}
+
+DatasetSpec
+squad()
+{
+    DatasetSpec d;
+    d.name = "SQuAD";
+    d.num_samples = 87'599;
+    d.raw_bytes_per_sample = 800.0;
+    d.input_bytes_per_sample = 4.0 * 400.0; // token ids of para+question
+    return d;
+}
+
+DatasetSpec
+syntheticKernelData(double working_set_bytes)
+{
+    DatasetSpec d;
+    d.name = "synthetic";
+    d.num_samples = 1;
+    d.raw_bytes_per_sample = working_set_bytes;
+    d.input_bytes_per_sample = 0.0; // resident on the GPU
+    return d;
+}
+
+} // namespace mlps::wl

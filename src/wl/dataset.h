@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Dataset descriptions (Table II, right columns).
+ *
+ * The dataset drives three effects in the paper: host DRAM staging
+ * footprint (Table V), CPU preprocessing load (Section V-A), and — for
+ * small datasets like MovieLens — the cap on useful global batch size
+ * that throttles multi-GPU scaling (Section IV-D).
+ */
+
+#ifndef MLPSIM_WL_DATASET_H
+#define MLPSIM_WL_DATASET_H
+
+#include <cstdint>
+#include <string>
+
+namespace mlps::wl {
+
+/** One training dataset. */
+struct DatasetSpec {
+    std::string name;
+    /** Training examples per epoch. */
+    double num_samples = 0;
+    /** On-disk bytes per sample (compressed/raw form staged in DRAM). */
+    double raw_bytes_per_sample = 0;
+    /** Bytes per sample shipped over PCIe to the GPU after preprocessing. */
+    double input_bytes_per_sample = 0;
+
+    /** Full dataset size on disk/DRAM, bytes. */
+    double totalBytes() const { return num_samples * raw_bytes_per_sample; }
+
+    /** Steps per epoch at the given global batch. */
+    double stepsPerEpoch(double global_batch) const;
+};
+
+/** ImageNet (ILSVRC2012) as packaged for MLPerf (~300 GB TFRecords). */
+DatasetSpec imagenet();
+
+/** Microsoft COCO 2017 detection training set. */
+DatasetSpec coco();
+
+/** WMT17 English-German parallel corpus (token-bucketed batches). */
+DatasetSpec wmt17();
+
+/** MovieLens 20M ratings. */
+DatasetSpec movielens20m();
+
+/** CIFAR-10 training split. */
+DatasetSpec cifar10();
+
+/** SQuAD v1.1 question answering training set. */
+DatasetSpec squad();
+
+/** Synthetic in-memory buffers for DeepBench kernels. */
+DatasetSpec syntheticKernelData(double working_set_bytes);
+
+} // namespace mlps::wl
+
+#endif // MLPSIM_WL_DATASET_H

@@ -1,0 +1,4 @@
+#include "wl/host_pipeline.h"
+
+// HostPipelineSpec is a plain aggregate; this TU anchors the header in
+// the build so include hygiene is checked.

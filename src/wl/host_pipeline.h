@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Host-side input pipeline model.
+ *
+ * The CPU decodes/augments samples, stages them in DRAM, and feeds the
+ * GPUs over PCIe. Section V-A of the paper ties CPU utilization to GPU
+ * count and identifies image classification as the most host-hungry
+ * workload; this model captures per-sample CPU cost, DRAM footprint
+ * components, and a residual CPU fraction of purely host-resident work
+ * (DrQA's CPU-bound evaluation being the extreme case).
+ */
+
+#ifndef MLPSIM_WL_HOST_PIPELINE_H
+#define MLPSIM_WL_HOST_PIPELINE_H
+
+namespace mlps::wl {
+
+/** Host-side behaviour of one workload. */
+struct HostPipelineSpec {
+    /**
+     * Core-microseconds of CPU work per training sample (decode,
+     * augmentation, collation, dispatch).
+     */
+    double cpu_core_us_per_sample = 50.0;
+
+    /**
+     * Fraction of total computation that only runs on the CPU and does
+     * not shrink with more GPUs (Python driver, loss bookkeeping,
+     * DrQA-style host-side layers). Expressed as core-us per sample.
+     */
+    double serial_cpu_us_per_sample = 0.0;
+
+    /** Framework base DRAM footprint (CUDA context, libraries), bytes. */
+    double framework_dram_bytes = 3.0e9;
+
+    /** Additional DRAM per worker process/GPU (buffers, caches), bytes. */
+    double per_gpu_dram_bytes = 1.0e9;
+
+    /**
+     * Fraction of the dataset held staged in page cache / staging
+     * buffers during training (0..1). Large datasets stage a window;
+     * small ones stage fully.
+     */
+    double dataset_residency = 1.0;
+
+    /** Baseline OS + driver CPU utilization, percent of one system. */
+    double os_baseline_cpu_pct = 0.5;
+};
+
+} // namespace mlps::wl
+
+#endif // MLPSIM_WL_HOST_PIPELINE_H

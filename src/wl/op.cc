@@ -1,0 +1,289 @@
+#include "wl/op.h"
+
+#include "sim/logger.h"
+
+namespace mlps::wl {
+
+namespace {
+
+constexpr double kFloat = 4.0; // bytes per fp32 element
+
+} // namespace
+
+std::string
+toString(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Conv2d: return "conv2d";
+      case OpKind::Gemm: return "gemm";
+      case OpKind::RnnCell: return "rnn";
+      case OpKind::Attention: return "attention";
+      case OpKind::Embedding: return "embedding";
+      case OpKind::Elementwise: return "elementwise";
+      case OpKind::Norm: return "norm";
+      case OpKind::Pool: return "pool";
+      case OpKind::Softmax: return "softmax";
+      case OpKind::Optimizer: return "optimizer";
+    }
+    sim::panic("toString: bad OpKind %d", static_cast<int>(kind));
+}
+
+bool
+tensorEligible(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Conv2d:
+      case OpKind::Gemm:
+      case OpKind::RnnCell:
+      case OpKind::Attention:
+        return true;
+      default:
+        return false;
+    }
+}
+
+double
+computeEfficiency(OpKind kind)
+{
+    // Fractions of device peak typical of cuDNN/cuBLAS kernels of each
+    // class at training-size shapes.
+    switch (kind) {
+      case OpKind::Conv2d: return 0.60;
+      case OpKind::Gemm: return 0.70;
+      case OpKind::RnnCell: return 0.50;
+      case OpKind::Attention: return 0.45;
+      case OpKind::Embedding: return 0.05;
+      case OpKind::Elementwise: return 0.08;
+      case OpKind::Norm: return 0.06;
+      case OpKind::Pool: return 0.06;
+      case OpKind::Softmax: return 0.06;
+      case OpKind::Optimizer: return 0.08;
+    }
+    sim::panic("computeEfficiency: bad OpKind");
+}
+
+double
+memoryEfficiency(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Conv2d: return 0.70;
+      case OpKind::Gemm: return 0.75;
+      case OpKind::RnnCell: return 0.65;
+      case OpKind::Attention: return 0.65;
+      case OpKind::Embedding: return 0.25; // random gathers
+      case OpKind::Elementwise: return 0.85;
+      case OpKind::Norm: return 0.75;
+      case OpKind::Pool: return 0.80;
+      case OpKind::Softmax: return 0.70;
+      case OpKind::Optimizer: return 0.85;
+    }
+    sim::panic("memoryEfficiency: bad OpKind");
+}
+
+double
+backwardFlopScale(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Conv2d:
+      case OpKind::Gemm:
+      case OpKind::RnnCell:
+      case OpKind::Attention:
+        return 2.0; // dgrad + wgrad
+      case OpKind::Embedding:
+        return 1.0; // scatter-add of gradients
+      default:
+        return 1.0;
+    }
+}
+
+double
+measuredTrafficExpansion(const Op &op)
+{
+    // V100 L2 capacity: weights that fit stay resident across
+    // timesteps/tiles; larger working sets are re-streamed.
+    constexpr double l2_bytes = 6.0 * 1024 * 1024;
+    switch (op.kind) {
+      case OpKind::Conv2d:
+        return 3.6; // im2col/tile re-reads
+      case OpKind::Gemm:
+        return 3.6; // operand tile re-reads
+      case OpKind::Attention:
+        return 3.3;
+      case OpKind::RnnCell:
+        // Persistent kernels keep small weight sets on chip;
+        // otherwise every timestep re-streams the weight matrices.
+        return op.param_bytes > l2_bytes ? 9.0 : 1.5;
+      case OpKind::Embedding:
+        return 1.5; // cache-line over-fetch on gathers
+      default:
+        return 1.0; // streaming kernels are already minimal
+    }
+}
+
+hw::KernelProfile
+Op::forwardProfile(double batch) const
+{
+    hw::KernelProfile k;
+    k.flops = flops * batch;
+    k.bytes = bytes * batch + param_bytes; // weights read once
+    k.tensor_eligible = tensorEligible(kind);
+    k.compute_eff = computeEfficiency(kind);
+    k.memory_eff = memoryEfficiency(kind);
+    return k;
+}
+
+hw::KernelProfile
+Op::backwardProfile(double batch) const
+{
+    hw::KernelProfile k = forwardProfile(batch);
+    double scale = backwardFlopScale(kind);
+    k.flops = flops * scale * batch;
+    // Backward re-reads activations and writes gradients: per-sample
+    // traffic scales with the flop scale; weights are re-read and the
+    // parameter gradients written once per kernel.
+    k.bytes = bytes * scale * batch + 2.0 * param_bytes;
+    return k;
+}
+
+Op
+conv2d(const std::string &name, int h, int w, int c_in, int c_out, int k,
+       int stride, int groups)
+{
+    if (h <= 0 || w <= 0 || c_in <= 0 || c_out <= 0 || k <= 0 ||
+        stride <= 0 || groups <= 0)
+        sim::fatal("conv2d '%s': non-positive shape", name.c_str());
+    if (c_in % groups != 0 || c_out % groups != 0)
+        sim::fatal("conv2d '%s': groups must divide channels",
+                   name.c_str());
+    Op op;
+    op.name = name;
+    op.kind = OpKind::Conv2d;
+    double h_out = (h + stride - 1) / stride;
+    double w_out = (w + stride - 1) / stride;
+    double kk = static_cast<double>(k) * k;
+    double macs = kk * (c_in / groups) * c_out * h_out * w_out;
+    op.flops = 2.0 * macs;
+    op.param_bytes = kk * (c_in / groups) * c_out * kFloat;
+    double in_bytes = static_cast<double>(h) * w * c_in * kFloat;
+    double out_bytes = h_out * w_out * c_out * kFloat;
+    op.activation_bytes = out_bytes;
+    // Per-sample traffic: read input, write output. Weight reads are
+    // batch-independent and charged by the kernel profile.
+    op.bytes = in_bytes + out_bytes;
+    return op;
+}
+
+Op
+gemm(const std::string &name, double m, double k, double n)
+{
+    if (m <= 0 || k <= 0 || n <= 0)
+        sim::fatal("gemm '%s': non-positive shape", name.c_str());
+    Op op;
+    op.name = name;
+    op.kind = OpKind::Gemm;
+    op.flops = 2.0 * m * k * n;
+    op.param_bytes = k * n * kFloat;
+    op.activation_bytes = m * n * kFloat;
+    op.bytes = (m * k + m * n) * kFloat;
+    return op;
+}
+
+Op
+rnn(const std::string &name, int gates, int input, int hidden, int steps)
+{
+    if (gates <= 0 || input <= 0 || hidden <= 0 || steps <= 0)
+        sim::fatal("rnn '%s': non-positive shape", name.c_str());
+    Op op;
+    op.name = name;
+    op.kind = OpKind::RnnCell;
+    // Per timestep: gates * (input+hidden) x hidden GEMM per sample.
+    double macs_per_step =
+        static_cast<double>(gates) * (input + hidden) * hidden;
+    op.flops = 2.0 * macs_per_step * steps;
+    op.param_bytes =
+        static_cast<double>(gates) * (input + hidden + 1) * hidden * kFloat;
+    op.activation_bytes = static_cast<double>(hidden) * steps * kFloat;
+    // Hidden state + gate activations move every step; weight reads
+    // are cached across the batch and charged by the kernel profile.
+    op.bytes = (static_cast<double>(input) + 2.0 * hidden +
+                gates * hidden) * steps * kFloat;
+    return op;
+}
+
+Op
+attention(const std::string &name, int seq, int d_model)
+{
+    if (seq <= 0 || d_model <= 0)
+        sim::fatal("attention '%s': non-positive shape", name.c_str());
+    Op op;
+    op.name = name;
+    op.kind = OpKind::Attention;
+    // QK^T and PV: two [seq x d_model] x [d_model x seq]-class GEMMs
+    // => 4 * seq^2 * d_model FLOPs per sample.
+    double s = seq;
+    op.flops = 4.0 * s * s * d_model;
+    op.param_bytes = 0.0; // projections are separate Gemm ops
+    op.activation_bytes = s * s * kFloat;
+    op.bytes = (2.0 * s * d_model + 2.0 * s * s) * kFloat;
+    return op;
+}
+
+Op
+embedding(const std::string &name, double rows, int dim, double lookups)
+{
+    if (rows <= 0 || dim <= 0 || lookups <= 0)
+        sim::fatal("embedding '%s': non-positive shape", name.c_str());
+    Op op;
+    op.name = name;
+    op.kind = OpKind::Embedding;
+    op.flops = lookups * dim; // address math + copy, nominal
+    op.param_bytes = rows * dim * kFloat;
+    op.activation_bytes = lookups * dim * kFloat;
+    op.bytes = 2.0 * lookups * dim * kFloat;
+    return op;
+}
+
+namespace {
+
+Op
+simpleOp(const std::string &name, OpKind kind, double elements,
+         double flops_per_elem)
+{
+    if (elements <= 0)
+        sim::fatal("op '%s': non-positive element count", name.c_str());
+    Op op;
+    op.name = name;
+    op.kind = kind;
+    op.flops = elements * flops_per_elem;
+    op.activation_bytes = elements * kFloat;
+    op.bytes = 2.0 * elements * kFloat; // read + write
+    return op;
+}
+
+} // namespace
+
+Op
+elementwise(const std::string &name, double elements, double f)
+{
+    return simpleOp(name, OpKind::Elementwise, elements, f);
+}
+
+Op
+norm(const std::string &name, double elements)
+{
+    return simpleOp(name, OpKind::Norm, elements, 4.0);
+}
+
+Op
+pool(const std::string &name, double elements)
+{
+    return simpleOp(name, OpKind::Pool, elements, 2.0);
+}
+
+Op
+softmax(const std::string &name, double elements)
+{
+    return simpleOp(name, OpKind::Softmax, elements, 5.0);
+}
+
+} // namespace mlps::wl

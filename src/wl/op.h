@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Operator taxonomy with analytic FLOP/byte accounting.
+ *
+ * Each Op summarises one layer-level kernel of a model: its per-sample
+ * floating point work, its per-sample HBM traffic (fp32 storage
+ * baseline), its parameter footprint, and its kernel class — which
+ * decides achievable efficiency and tensor-core eligibility. Factory
+ * functions derive these numbers from layer shapes using the standard
+ * formulas (e.g. conv FLOPs = 2*K*K*Cin*Cout*Hout*Wout).
+ */
+
+#ifndef MLPSIM_WL_OP_H
+#define MLPSIM_WL_OP_H
+
+#include <string>
+
+#include "hw/kernel_timing.h"
+
+namespace mlps::wl {
+
+/** Kernel class of an operator. */
+enum class OpKind {
+    Conv2d,      ///< dense convolution (tensor-core eligible)
+    Gemm,        ///< dense matrix multiply (tensor-core eligible)
+    RnnCell,     ///< recurrent cell steps (fused GEMMs, TC eligible)
+    Attention,   ///< attention score/context GEMMs (TC eligible)
+    Embedding,   ///< table gather/scatter (bandwidth bound)
+    Elementwise, ///< activations, bias, residual adds
+    Norm,        ///< batch/layer norm (bandwidth bound)
+    Pool,        ///< pooling / interpolation
+    Softmax,     ///< softmax / loss kernels
+    Optimizer,   ///< weight update (bandwidth bound over params)
+};
+
+/** Human-readable kind name. */
+std::string toString(OpKind kind);
+
+/** True for kinds whose math maps onto tensor cores under AMP. */
+bool tensorEligible(OpKind kind);
+
+/** Fraction of peak FLOPs kernels of this kind achieve. */
+double computeEfficiency(OpKind kind);
+
+/** Fraction of peak HBM bandwidth kernels of this kind achieve. */
+double memoryEfficiency(OpKind kind);
+
+/**
+ * Multiplier on forward FLOPs for the backward pass of this kind
+ * (dense layers compute both input and weight gradients: ~2x).
+ */
+double backwardFlopScale(OpKind kind);
+
+struct Op;
+
+/**
+ * DRAM-traffic expansion a profiler observes over the algorithmic
+ * minimum: tiled GEMM/conv kernels re-read operand tiles, and
+ * recurrent kernels whose weights exceed the L2 cache re-stream them
+ * every timestep. The timing model works with effective bandwidth
+ * deratings instead; this factor only affects reported (nvprof-style)
+ * memory transactions, i.e. the roofline placement of Figure 2.
+ */
+double measuredTrafficExpansion(const Op &op);
+
+/** One layer-level operator of a workload. */
+struct Op {
+    std::string name;
+    OpKind kind = OpKind::Elementwise;
+    /** Forward FLOPs per sample. */
+    double flops = 0.0;
+    /** Forward HBM bytes per sample at fp32 storage. */
+    double bytes = 0.0;
+    /** Trainable parameter bytes at fp32 (0 for stateless ops). */
+    double param_bytes = 0.0;
+    /** Activation output bytes per sample at fp32 (for footprint). */
+    double activation_bytes = 0.0;
+
+    /**
+     * Forward-pass kernel profile at a batch size: per-sample work and
+     * traffic scale with the batch, the weight read is charged once.
+     */
+    hw::KernelProfile forwardProfile(double batch = 1.0) const;
+
+    /**
+     * Backward-pass kernel profile at a batch size: dgrad+wgrad work
+     * scales with the batch, weight read + gradient write are charged
+     * once per kernel.
+     */
+    hw::KernelProfile backwardProfile(double batch = 1.0) const;
+};
+
+/**
+ * 2-D convolution. Computes output spatial dims internally.
+ *
+ * @param name   layer name.
+ * @param h,w    input spatial size.
+ * @param c_in   input channels.
+ * @param c_out  output channels.
+ * @param k      kernel size (k x k).
+ * @param stride stride.
+ * @param groups grouped-conv divisor (1 = dense).
+ */
+Op conv2d(const std::string &name, int h, int w, int c_in, int c_out,
+          int k, int stride = 1, int groups = 1);
+
+/** Dense GEMM: per-sample [m x k] * [k x n]. Weights are k*n. */
+Op gemm(const std::string &name, double m, double k, double n);
+
+/**
+ * Recurrent layer over a sequence.
+ *
+ * @param gates gate count: 1 vanilla, 3 GRU, 4 LSTM.
+ * @param input input feature size.
+ * @param hidden hidden size.
+ * @param steps  timesteps per sample.
+ */
+Op rnn(const std::string &name, int gates, int input, int hidden,
+       int steps);
+
+/**
+ * Multi-head attention score+context GEMMs for one layer.
+ *
+ * @param seq     sequence length.
+ * @param d_model model width.
+ */
+Op attention(const std::string &name, int seq, int d_model);
+
+/**
+ * Embedding gather: lookups per sample from a table.
+ *
+ * @param rows table rows, @param dim embedding width,
+ * @param lookups gathers per sample.
+ */
+Op embedding(const std::string &name, double rows, int dim, double lookups);
+
+/** Elementwise op over n elements with f flops each. */
+Op elementwise(const std::string &name, double elements, double f = 1.0);
+
+/** Normalisation over n elements. */
+Op norm(const std::string &name, double elements);
+
+/** Pooling / interpolation over n output elements. */
+Op pool(const std::string &name, double elements);
+
+/** Softmax / loss over n elements. */
+Op softmax(const std::string &name, double elements);
+
+} // namespace mlps::wl
+
+#endif // MLPSIM_WL_OP_H

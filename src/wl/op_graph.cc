@@ -1,0 +1,81 @@
+#include "wl/op_graph.h"
+
+#include <sstream>
+
+namespace mlps::wl {
+
+OpGraph &
+OpGraph::add(Op op)
+{
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+OpGraph &
+OpGraph::append(const OpGraph &other)
+{
+    ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+    return *this;
+}
+
+GraphTotals
+OpGraph::totals() const
+{
+    GraphTotals t;
+    for (const Op &op : ops_) {
+        t.fwd_flops += op.flops;
+        t.bwd_flops += op.flops * backwardFlopScale(op.kind);
+        t.fwd_bytes += op.bytes;
+        t.bwd_bytes += op.bytes * backwardFlopScale(op.kind);
+        t.param_bytes += op.param_bytes;
+        t.activation_bytes += op.activation_bytes;
+        ++t.op_count;
+    }
+    return t;
+}
+
+double
+OpGraph::paramCount() const
+{
+    return totals().param_bytes / 4.0;
+}
+
+double
+OpGraph::tensorEligibleFlopFraction() const
+{
+    double eligible = 0.0;
+    double total = 0.0;
+    for (const Op &op : ops_) {
+        double train = op.flops * (1.0 + backwardFlopScale(op.kind));
+        total += train;
+        if (tensorEligible(op.kind))
+            eligible += train;
+    }
+    return total > 0.0 ? eligible / total : 0.0;
+}
+
+void
+OpGraph::scaleWork(double factor)
+{
+    for (Op &op : ops_) {
+        op.flops *= factor;
+        op.bytes *= factor;
+        op.activation_bytes *= factor;
+    }
+}
+
+std::string
+OpGraph::describe() const
+{
+    std::ostringstream os;
+    os << name_ << " (" << ops_.size() << " ops)\n";
+    for (const Op &op : ops_) {
+        os << "  " << op.name << " [" << toString(op.kind) << "] "
+           << op.flops / 1e6 << " MFLOP/sample, "
+           << op.bytes / 1e6 << " MB/sample, "
+           << op.param_bytes / 1e6 << " MB params\n";
+    }
+    return os.str();
+}
+
+} // namespace mlps::wl

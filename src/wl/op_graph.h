@@ -1,0 +1,82 @@
+/**
+ * @file
+ * OpGraph: the per-sample operator list of a workload, with aggregate
+ * work/traffic/footprint queries used by the trainer and the profilers.
+ *
+ * The graph is a sequence (models here are trained layer-by-layer; true
+ * dataflow parallelism inside one GPU is folded into per-op efficiency),
+ * but ops carry enough information to reconstruct per-kernel profiles.
+ */
+
+#ifndef MLPSIM_WL_OP_GRAPH_H
+#define MLPSIM_WL_OP_GRAPH_H
+
+#include <string>
+#include <vector>
+
+#include "wl/op.h"
+
+namespace mlps::wl {
+
+/** Aggregate work summary of a graph (per sample unless noted). */
+struct GraphTotals {
+    double fwd_flops = 0.0;
+    double bwd_flops = 0.0;
+    double fwd_bytes = 0.0;
+    double bwd_bytes = 0.0;
+    double param_bytes = 0.0;      ///< absolute, not per sample
+    double activation_bytes = 0.0; ///< per-sample live activations
+    int op_count = 0;
+
+    double trainFlops() const { return fwd_flops + bwd_flops; }
+    double trainBytes() const { return fwd_bytes + bwd_bytes; }
+};
+
+/** Operator list of one model. */
+class OpGraph
+{
+  public:
+    OpGraph() = default;
+    explicit OpGraph(std::string name) : name_(std::move(name)) {}
+
+    /** Append an op. @return *this for chaining. */
+    OpGraph &add(Op op);
+
+    /** Append all ops of another graph (e.g. a backbone). */
+    OpGraph &append(const OpGraph &other);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Op> &ops() const { return ops_; }
+    bool empty() const { return ops_.empty(); }
+    std::size_t size() const { return ops_.size(); }
+
+    /** Aggregate totals over all ops. */
+    GraphTotals totals() const;
+
+    /** Total trainable parameter count (fp32 elements). */
+    double paramCount() const;
+
+    /**
+     * Fraction of training FLOPs in tensor-core-eligible ops; the
+     * Amdahl limit of mixed-precision speedup (paper Figure 3).
+     */
+    double tensorEligibleFlopFraction() const;
+
+    /**
+     * Scale the flops/bytes of every op by a factor — used to express
+     * input resolutions or sequence-length re-scaling without
+     * rebuilding the graph.
+     */
+    void scaleWork(double factor);
+
+    /** Multi-line summary of the graph's ops (debugging aid). */
+    std::string describe() const;
+
+  private:
+    std::string name_;
+    std::vector<Op> ops_;
+};
+
+} // namespace mlps::wl
+
+#endif // MLPSIM_WL_OP_GRAPH_H

@@ -1,0 +1,68 @@
+#include "wl/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logger.h"
+
+namespace mlps::wl {
+
+std::string
+toString(SuiteTag tag)
+{
+    switch (tag) {
+      case SuiteTag::MLPerf: return "MLPerf";
+      case SuiteTag::DawnBench: return "DAWNBench";
+      case SuiteTag::DeepBench: return "DeepBench";
+    }
+    sim::panic("toString: bad SuiteTag %d", static_cast<int>(tag));
+}
+
+int
+WorkloadSpec::gradientBuckets() const
+{
+    int param_ops = 0;
+    for (const Op &op : graph.ops()) {
+        if (op.param_bytes > 0.0)
+            ++param_ops;
+    }
+    return std::max(1, param_ops / 3);
+}
+
+double
+WorkloadSpec::syncPenalty(int num_gpus) const
+{
+    if (num_gpus <= 1)
+        return 1.0;
+    double log2n = std::log2(static_cast<double>(num_gpus));
+    return 1.0 + sync_penalty_base +
+           sync_penalty_log * std::max(0.0, log2n - 1.0);
+}
+
+void
+WorkloadSpec::validate() const
+{
+    if (abbrev.empty())
+        sim::fatal("WorkloadSpec: empty abbrev");
+    if (graph.empty())
+        sim::fatal("WorkloadSpec '%s': empty op graph", abbrev.c_str());
+    if (per_gpu_batch <= 0)
+        sim::fatal("WorkloadSpec '%s': non-positive batch",
+                   abbrev.c_str());
+    if (comm_overlap < 0.0 || comm_overlap > 1.0)
+        sim::fatal("WorkloadSpec '%s': comm_overlap %g out of [0,1]",
+                   abbrev.c_str(), comm_overlap);
+    if (mode == RunMode::Training) {
+        if (dataset.num_samples <= 0)
+            sim::fatal("WorkloadSpec '%s': training needs a dataset",
+                       abbrev.c_str());
+        if (convergence.base_epochs <= 0)
+            sim::fatal("WorkloadSpec '%s': training needs epochs",
+                       abbrev.c_str());
+    }
+    if (mode == RunMode::CollectiveLoop && collective_bytes <= 0)
+        sim::fatal("WorkloadSpec '%s': collective loop needs bytes",
+                   abbrev.c_str());
+}
+
+} // namespace mlps::wl

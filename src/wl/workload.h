@@ -1,0 +1,131 @@
+/**
+ * @file
+ * WorkloadSpec: everything the trainer and profilers need to know
+ * about one benchmark — identity (Table II row), operator graph,
+ * dataset, convergence behaviour, host pipeline, and the execution
+ * calibration knobs.
+ */
+
+#ifndef MLPSIM_WL_WORKLOAD_H
+#define MLPSIM_WL_WORKLOAD_H
+
+#include <string>
+
+#include "wl/convergence.h"
+#include "wl/dataset.h"
+#include "wl/host_pipeline.h"
+#include "wl/op_graph.h"
+
+namespace mlps::wl {
+
+/** Benchmark suite a workload belongs to. */
+enum class SuiteTag {
+    MLPerf,
+    DawnBench,
+    DeepBench,
+};
+
+/** Human-readable suite name. */
+std::string toString(SuiteTag tag);
+
+/** Execution style of a workload. */
+enum class RunMode {
+    /** End-to-end training to a quality target (MLPerf, DAWNBench). */
+    Training,
+    /** Repeated kernel invocations, no convergence (DeepBench math). */
+    KernelLoop,
+    /** Repeated all-reduce collectives (DeepBench nccl_all_reduce). */
+    CollectiveLoop,
+};
+
+/** Complete description of one benchmark workload. */
+struct WorkloadSpec {
+    // -- identity (Table II) --
+    std::string abbrev;     ///< e.g. "MLPf_Res50_TF"
+    std::string domain;     ///< e.g. "Image Classification"
+    std::string model_name; ///< e.g. "ResNet-50"
+    std::string framework;  ///< e.g. "TensorFlow"
+    std::string submitter;  ///< e.g. "Google"
+    SuiteTag suite = SuiteTag::MLPerf;
+    RunMode mode = RunMode::Training;
+
+    // -- structure --
+    OpGraph graph;
+    DatasetSpec dataset;
+    ConvergenceModel convergence;
+    HostPipelineSpec host;
+
+    // -- execution calibration --
+    /** Per-GPU minibatch on a 16 GiB V100 (submission batch size). */
+    double per_gpu_batch = 32;
+    /** Fraction of the all-reduce hideable under the backward pass. */
+    double comm_overlap = 0.7;
+    /**
+     * Multi-GPU synchronisation penalty: per-iteration GPU-time
+     * inflation when running data-parallel (stragglers, BN sync,
+     * gradient copy-in/out). Applied as
+     * 1 + base + log_coeff * (log2(N) - 1) for N > 1.
+     */
+    double sync_penalty_base = 0.0;
+    double sync_penalty_log = 0.0;
+    /**
+     * Achievable fraction of nominal tensor-core efficiency for this
+     * workload's kernels (irregular shapes and tiny batches keep e.g.
+     * Mask R-CNN far from GEMM-class utilisation).
+     */
+    double tc_efficiency = 1.0;
+    /**
+     * Exchange gradients in fp32 even under mixed precision (true for
+     * embedding-table models like NCF, whose tables stay fp32).
+     */
+    bool fp32_gradients = false;
+    /**
+     * Fraction of the nominal comm/compute overlap that survives when
+     * the collective is staged through host memory. Models with deep
+     * backward passes that emit gradients early (RNNs) retain most of
+     * it; models with late, lumpy gradients retain little.
+     */
+    double staged_overlap_retention = 0.35;
+    /**
+     * Fractional iteration inflation on host-staged fabrics beyond
+     * the collective itself: CPU-involved copies serialise against
+     * kernel launches (irregular graphs like Mask R-CNN suffer most).
+     */
+    double staged_iteration_penalty = 0.0;
+    /** Serial framework overhead per iteration, microseconds. */
+    double iteration_overhead_us = 3000.0;
+    /**
+     * Efficiency derate of the unoptimised v0.5 reference code used on
+     * the P100 reference machine (Table IV's left column), relative to
+     * the tuned vendor submissions. 1.0 = no derate.
+     */
+    double reference_code_derate = 1.0;
+
+    // -- KernelLoop / CollectiveLoop parameters --
+    /** Kernel invocations per timed run (KernelLoop). */
+    double kernel_iterations = 1000.0;
+    /** Payload per all-reduce, bytes (CollectiveLoop). */
+    double collective_bytes = 0.0;
+    /** Collectives per timed run (CollectiveLoop). */
+    double collective_iterations = 1000.0;
+
+    /** Gradient bytes exchanged per iteration at fp32. */
+    double gradientBytes() const { return graph.totals().param_bytes; }
+
+    /**
+     * Gradient bucket count for the all-reduce: frameworks fuse a few
+     * parameter tensors per bucket; model one bucket per ~3 parameter
+     * ops.
+     */
+    int gradientBuckets() const;
+
+    /** The sync-penalty multiplier at a replica count. */
+    double syncPenalty(int num_gpus) const;
+
+    /** Sanity-check invariants; fatal() when malformed. */
+    void validate() const;
+};
+
+} // namespace mlps::wl
+
+#endif // MLPSIM_WL_WORKLOAD_H

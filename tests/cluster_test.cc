@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the hierarchical clustering module.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/logger.h"
+#include "sim/rng.h"
+#include "stats/cluster.h"
+
+namespace {
+
+using namespace mlps::stats;
+using mlps::sim::FatalError;
+
+Matrix
+twoBlobs(int per_blob, double separation, std::uint64_t seed)
+{
+    mlps::sim::Rng rng(seed);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < per_blob; ++i)
+        rows.push_back({rng.gaussian(0.0, 0.1),
+                        rng.gaussian(0.0, 0.1)});
+    for (int i = 0; i < per_blob; ++i)
+        rows.push_back({rng.gaussian(separation, 0.1),
+                        rng.gaussian(separation, 0.1)});
+    return Matrix(rows);
+}
+
+TEST(Distances, KnownValues)
+{
+    Matrix pts({{0, 0}, {3, 4}, {0, 1}});
+    Matrix d = pairwiseDistances(pts);
+    EXPECT_DOUBLE_EQ(d.at(0, 1), 5.0);
+    EXPECT_DOUBLE_EQ(d.at(0, 2), 1.0);
+    EXPECT_DOUBLE_EQ(d.at(1, 0), 5.0);
+    EXPECT_DOUBLE_EQ(d.at(0, 0), 0.0);
+    EXPECT_TRUE(d.isSymmetric());
+}
+
+TEST(Agglomerate, MergeCountAndSizes)
+{
+    Matrix pts = twoBlobs(4, 10.0, 1);
+    Dendrogram d = agglomerate(pts);
+    EXPECT_EQ(d.num_leaves, 8);
+    EXPECT_EQ(d.merges.size(), 7u);
+    EXPECT_EQ(d.merges.back().size, 8);
+    EXPECT_GT(d.height(), 0.0);
+}
+
+TEST(Agglomerate, MergeDistancesNondecreasingForCompleteLinkage)
+{
+    Matrix pts = twoBlobs(6, 5.0, 2);
+    Dendrogram d = agglomerate(pts, Linkage::Complete);
+    for (std::size_t i = 1; i < d.merges.size(); ++i)
+        EXPECT_GE(d.merges[i].distance,
+                  d.merges[i - 1].distance - 1e-12);
+}
+
+TEST(Agglomerate, TwoBlobsSeparateAtKTwo)
+{
+    for (Linkage linkage : {Linkage::Single, Linkage::Complete,
+                            Linkage::Average}) {
+        Matrix pts = twoBlobs(5, 20.0, 3);
+        Dendrogram d = agglomerate(pts, linkage);
+        auto labels = d.cut(2);
+        // First five leaves one label, last five the other.
+        for (int i = 1; i < 5; ++i)
+            EXPECT_EQ(labels[i], labels[0]);
+        for (int i = 6; i < 10; ++i)
+            EXPECT_EQ(labels[i], labels[5]);
+        EXPECT_NE(labels[0], labels[5]);
+    }
+}
+
+TEST(Agglomerate, LastMergeBridgesTheBlobs)
+{
+    Matrix pts = twoBlobs(5, 20.0, 4);
+    Dendrogram d = agglomerate(pts, Linkage::Average);
+    // The final merge distance is on the order of the separation,
+    // far above the intra-blob merges.
+    EXPECT_GT(d.merges.back().distance,
+              10.0 * d.merges.front().distance);
+}
+
+TEST(Cut, ExtremesAndErrors)
+{
+    Matrix pts = twoBlobs(3, 5.0, 5);
+    Dendrogram d = agglomerate(pts);
+    auto all_one = d.cut(1);
+    std::set<int> labels_one(all_one.begin(), all_one.end());
+    EXPECT_EQ(labels_one.size(), 1u);
+    auto all_own = d.cut(6);
+    std::set<int> labels_own(all_own.begin(), all_own.end());
+    EXPECT_EQ(labels_own.size(), 6u);
+    EXPECT_THROW(d.cut(0), FatalError);
+    EXPECT_THROW(d.cut(7), FatalError);
+}
+
+TEST(Cut, LabelsAreCompact)
+{
+    Matrix pts = twoBlobs(4, 8.0, 6);
+    Dendrogram d = agglomerate(pts);
+    for (int k = 1; k <= 8; ++k) {
+        auto labels = d.cut(k);
+        std::set<int> uniq(labels.begin(), labels.end());
+        EXPECT_EQ(static_cast<int>(uniq.size()), k);
+        EXPECT_EQ(*uniq.begin(), 0);
+        EXPECT_EQ(*uniq.rbegin(), k - 1);
+    }
+}
+
+TEST(Render, ContainsAllLabels)
+{
+    Matrix pts({{0, 0}, {0.1, 0}, {5, 5}});
+    Dendrogram d = agglomerate(pts);
+    std::string text = renderDendrogram(d, {"alpha", "beta", "gamma"});
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("beta"), std::string::npos);
+    EXPECT_NE(text.find("gamma"), std::string::npos);
+    EXPECT_THROW(renderDendrogram(d, {"too", "few"}), FatalError);
+}
+
+TEST(Agglomerate, TooFewObservationsFatal)
+{
+    EXPECT_THROW(agglomerate(Matrix(1, 2)), FatalError);
+}
+
+/** Property: cutting at k then k+1 only splits one cluster. */
+class CutRefinementTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CutRefinementTest, CutsAreNested)
+{
+    Matrix pts = twoBlobs(5, 6.0, 10 + GetParam());
+    Dendrogram d = agglomerate(pts, Linkage::Average);
+    for (int k = 1; k < 9; ++k) {
+        auto coarse = d.cut(k);
+        auto fine = d.cut(k + 1);
+        // Nested: two leaves together at k+1 are together at k.
+        for (int i = 0; i < 10; ++i) {
+            for (int j = i + 1; j < 10; ++j) {
+                if (fine[i] == fine[j]) {
+                    EXPECT_EQ(coarse[i], coarse[j]);
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CutRefinementTest,
+                         ::testing::Range(0, 5));
+
+} // namespace

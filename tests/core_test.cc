@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the top-level API: registry, benchmark views, the suite
+ * runner and the characterization pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/characterize.h"
+#include "core/registry.h"
+#include "core/suite.h"
+#include "sim/logger.h"
+#include "sys/machines.h"
+
+namespace {
+
+using namespace mlps;
+using mlps::sim::FatalError;
+
+// --------------------------------------------------------------- registry
+
+TEST(Registry, ContainsAllThirteenWorkloads)
+{
+    core::Registry reg;
+    EXPECT_EQ(reg.size(), 13u);
+    EXPECT_EQ(reg.bySuite(wl::SuiteTag::MLPerf).size(), 7u);
+    EXPECT_EQ(reg.bySuite(wl::SuiteTag::DawnBench).size(), 2u);
+    EXPECT_EQ(reg.bySuite(wl::SuiteTag::DeepBench).size(), 4u);
+}
+
+TEST(Registry, FindByName)
+{
+    core::Registry reg;
+    const core::Benchmark *b = reg.find("MLPf_XFMR_Py");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->spec().model_name, "Transformer");
+    EXPECT_EQ(reg.find("unknown"), nullptr);
+}
+
+TEST(Registry, MlperfTrainableExcludesNothingHere)
+{
+    core::Registry reg;
+    EXPECT_EQ(reg.mlperfTrainable().size(), 7u);
+}
+
+TEST(Benchmark, TableRowContainsIdentity)
+{
+    core::Registry reg;
+    const core::Benchmark *b = reg.find("MLPf_NCF_Py");
+    ASSERT_NE(b, nullptr);
+    std::string row = b->tableRow();
+    EXPECT_NE(row.find("MLPf_NCF_Py"), std::string::npos);
+    EXPECT_NE(row.find("Recommendation"), std::string::npos);
+    EXPECT_NE(row.find("MovieLens-20M"), std::string::npos);
+    EXPECT_NE(row.find("0.635"), std::string::npos);
+}
+
+TEST(Benchmark, StatsRowReportsParams)
+{
+    core::Registry reg;
+    const core::Benchmark *b = reg.find("MLPf_Res50_MX");
+    ASSERT_NE(b, nullptr);
+    EXPECT_NEAR(b->paramCount() / 1e6, 25.5, 1.5);
+    EXPECT_GT(b->fwdGflopsPerSample(), 5.0);
+    EXPECT_NE(b->statsRow().find("params"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- suite
+
+TEST(Suite, RunByName)
+{
+    sys::SystemConfig dss = sys::dss8440();
+    core::Suite suite(dss);
+    train::RunOptions opts;
+    opts.num_gpus = 2;
+    auto r = suite.run("MLPf_SSD_Py", opts);
+    EXPECT_EQ(r.workload, "MLPf_SSD_Py");
+    EXPECT_EQ(r.num_gpus, 2);
+    EXPECT_GT(r.total_seconds, 0.0);
+    EXPECT_THROW(suite.run("nope", opts), FatalError);
+}
+
+TEST(Suite, RunSuiteCoversEveryMember)
+{
+    sys::SystemConfig k = sys::c4140K();
+    core::Suite suite(k);
+    train::RunOptions opts;
+    opts.num_gpus = 1;
+    auto results = suite.runSuite(wl::SuiteTag::DawnBench, opts);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].workload, "Dawn_Res18_Py");
+    EXPECT_EQ(results[1].workload, "Dawn_DrQA_Py");
+}
+
+TEST(Suite, ScalingStudyShape)
+{
+    sys::SystemConfig dss = sys::dss8440();
+    core::Suite suite(dss);
+    auto rows = suite.scalingStudy({"MLPf_NCF_Py"}, {1, 2, 4});
+    ASSERT_EQ(rows.size(), 1u);
+    const auto &r = rows[0];
+    EXPECT_GT(r.p100_minutes, r.v100_minutes);
+    EXPECT_GT(r.p_to_v, 1.0);
+    EXPECT_EQ(r.scaling.size(), 2u);
+    EXPECT_GT(r.scaling.at(2), 1.0);
+    EXPECT_GT(r.scaling.at(4), r.scaling.at(2) * 0.9);
+}
+
+TEST(Suite, MixedPrecisionStudyAllAboveOne)
+{
+    sys::SystemConfig dss = sys::dss8440();
+    core::Suite suite(dss);
+    auto sp = suite.mixedPrecisionStudy(
+        {"MLPf_Res50_MX", "MLPf_GNMT_Py"}, 4);
+    for (const auto &[name, speedup] : sp) {
+        EXPECT_GT(speedup, 1.0) << name;
+        EXPECT_LT(speedup, 5.0) << name;
+    }
+}
+
+// --------------------------------------------------------- characterize
+
+TEST(Characterize, ReportShape)
+{
+    sys::SystemConfig k = sys::c4140K();
+    auto rep = core::characterize(k, 1);
+    EXPECT_EQ(rep.workloads.size(), 13u);
+    EXPECT_EQ(rep.suites.size(), 13u);
+    EXPECT_EQ(rep.metrics.size(), 13u);
+    EXPECT_EQ(rep.roofline_points.size(), 13u);
+    EXPECT_EQ(rep.pca.scores.rows(), 13);
+    EXPECT_EQ(rep.pca.scores.cols(), prof::kNumMetrics);
+}
+
+TEST(Characterize, PcaVarianceOrderingHolds)
+{
+    sys::SystemConfig k = sys::c4140K();
+    auto rep = core::characterize(k, 1);
+    for (std::size_t i = 1; i < rep.pca.explained_variance.size(); ++i)
+        EXPECT_GE(rep.pca.explained_variance[i - 1],
+                  rep.pca.explained_variance[i]);
+    EXPECT_NEAR(rep.pca.cumulativeVariance(prof::kNumMetrics), 1.0,
+                1e-9);
+}
+
+TEST(Characterize, SuiteSeparationPositive)
+{
+    sys::SystemConfig k = sys::c4140K();
+    auto rep = core::characterize(k, 1);
+    EXPECT_GT(core::suiteSeparation(rep, 0, wl::SuiteTag::MLPerf,
+                                    wl::SuiteTag::DeepBench),
+              0.0);
+    EXPECT_THROW(core::suiteSeparation(rep, 99, wl::SuiteTag::MLPerf,
+                                       wl::SuiteTag::DeepBench),
+                 FatalError);
+}
+
+TEST(Characterize, DeterministicAcrossCalls)
+{
+    sys::SystemConfig k = sys::c4140K();
+    auto a = core::characterize(k, 1);
+    auto b = core::characterize(k, 1);
+    EXPECT_DOUBLE_EQ(a.pca.scores.at(0, 0), b.pca.scores.at(0, 0));
+    EXPECT_DOUBLE_EQ(a.roofline_points[3].flops,
+                     b.roofline_points[3].flops);
+}
+
+} // namespace

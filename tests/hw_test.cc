@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit tests for the hardware models: precision helpers, GPU/CPU
+ * specs, and the roofline kernel-timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hw/cpu.h"
+#include "hw/gpu.h"
+#include "hw/kernel_timing.h"
+#include "hw/precision.h"
+#include "sim/logger.h"
+
+namespace {
+
+using namespace mlps::hw;
+using mlps::sim::FatalError;
+
+// ----------------------------------------------------------- precision
+
+TEST(Precision, Names)
+{
+    EXPECT_EQ(toString(Precision::FP64), "fp64");
+    EXPECT_EQ(toString(Precision::FP32), "fp32");
+    EXPECT_EQ(toString(Precision::FP16), "fp16");
+    EXPECT_EQ(toString(Precision::Mixed), "mixed");
+}
+
+TEST(Precision, BytesPerElement)
+{
+    EXPECT_EQ(bytesPerElement(Precision::FP64), 8);
+    EXPECT_EQ(bytesPerElement(Precision::FP32), 4);
+    EXPECT_EQ(bytesPerElement(Precision::FP16), 2);
+    EXPECT_EQ(bytesPerElement(Precision::Mixed), 2);
+}
+
+TEST(Precision, TrafficScale)
+{
+    EXPECT_DOUBLE_EQ(trafficScaleVsFp32(Precision::FP64), 2.0);
+    EXPECT_DOUBLE_EQ(trafficScaleVsFp32(Precision::FP32), 1.0);
+    EXPECT_DOUBLE_EQ(trafficScaleVsFp32(Precision::Mixed), 0.5);
+}
+
+// ----------------------------------------------------------------- gpu
+
+TEST(GpuSpec, V100Sxm2Datasheet)
+{
+    GpuSpec g = teslaV100Sxm2_16();
+    EXPECT_DOUBLE_EQ(g.fp64_tflops, 7.8);
+    EXPECT_DOUBLE_EQ(g.fp32_tflops, 15.7);
+    EXPECT_DOUBLE_EQ(g.tensor_tflops, 125.0);
+    EXPECT_DOUBLE_EQ(g.hbm_gbps, 900.0);
+    EXPECT_EQ(g.form, FormFactor::SXM2);
+    EXPECT_EQ(g.nvlink_lanes, 6);
+    EXPECT_TRUE(g.hasTensorCores());
+}
+
+TEST(GpuSpec, V100PcieSlowerThanSxm2)
+{
+    GpuSpec pcie = teslaV100Pcie_16();
+    GpuSpec sxm2 = teslaV100Sxm2_16();
+    EXPECT_LT(pcie.fp32_tflops, sxm2.fp32_tflops);
+    EXPECT_LT(pcie.tensor_tflops, sxm2.tensor_tflops);
+    EXPECT_EQ(pcie.nvlink_lanes, 0);
+}
+
+TEST(GpuSpec, P100HasNoTensorCores)
+{
+    GpuSpec p100 = teslaP100Pcie_16();
+    EXPECT_FALSE(p100.hasTensorCores());
+    EXPECT_LT(p100.hbm_gbps, teslaV100Pcie_16().hbm_gbps);
+}
+
+TEST(GpuSpec, NewerGenerations)
+{
+    GpuSpec t4 = teslaT4();
+    GpuSpec a100 = a100Sxm4_40();
+    GpuSpec v100 = teslaV100Sxm2_16();
+    EXPECT_LT(t4.tensor_tflops, v100.tensor_tflops);
+    EXPECT_GT(a100.tensor_tflops, 2.0 * v100.tensor_tflops);
+    EXPECT_GT(a100.hbm_gbps, v100.hbm_gbps);
+    EXPECT_LT(t4.tdp_watts, 100.0);
+    EXPECT_TRUE(t4.hasTensorCores());
+    EXPECT_TRUE(a100.hasTensorCores());
+    EXPECT_EQ(t4.nvlink_lanes, 0);
+    EXPECT_GT(a100.nvlink_lanes, v100.nvlink_lanes);
+}
+
+TEST(GpuSpec, MemoryVariants)
+{
+    EXPECT_DOUBLE_EQ(teslaV100Sxm2_32().hbm_gib, 32.0);
+    EXPECT_DOUBLE_EQ(teslaV100Pcie_32().hbm_gib, 32.0);
+    EXPECT_DOUBLE_EQ(teslaV100Sxm2_16().hbmCapacityBytes(),
+                     16.0 * 1024 * 1024 * 1024);
+}
+
+TEST(GpuSpec, PeakFlopsSelectsPrecision)
+{
+    GpuSpec g = teslaV100Sxm2_16();
+    EXPECT_DOUBLE_EQ(g.peakFlops(Precision::FP64, false), 7.8e12);
+    EXPECT_DOUBLE_EQ(g.peakFlops(Precision::FP32, false), 15.7e12);
+    EXPECT_DOUBLE_EQ(g.peakFlops(Precision::FP16, false), 31.4e12);
+    // Mixed: tensor cores only for eligible kernels.
+    EXPECT_DOUBLE_EQ(g.peakFlops(Precision::Mixed, true), 125e12);
+    EXPECT_DOUBLE_EQ(g.peakFlops(Precision::Mixed, false), 31.4e12);
+}
+
+TEST(GpuSpec, MixedOnP100FallsBackToFp16)
+{
+    GpuSpec p100 = teslaP100Pcie_16();
+    EXPECT_DOUBLE_EQ(p100.peakFlops(Precision::Mixed, true), 18.7e12);
+}
+
+// ----------------------------------------------------------------- cpu
+
+TEST(CpuSpec, XeonGold6148)
+{
+    CpuSpec c = xeonGold6148();
+    EXPECT_EQ(c.cores, 20);
+    EXPECT_DOUBLE_EQ(c.base_ghz, 2.4);
+    EXPECT_EQ(c.pcie_lanes, 48);
+    EXPECT_DOUBLE_EQ(c.coreGhzTotal(), 48.0);
+}
+
+TEST(CpuSpec, XeonGold6142)
+{
+    CpuSpec c = xeonGold6142();
+    EXPECT_EQ(c.cores, 16);
+    EXPECT_DOUBLE_EQ(c.base_ghz, 2.6);
+}
+
+TEST(DramSpec, CapacityAndBandwidth)
+{
+    DramSpec d;
+    d.dimms = 6;
+    d.dimm_gib = 16.0;
+    d.channels = 6;
+    d.channel_gbps = 21.3;
+    EXPECT_DOUBLE_EQ(d.capacityGib(), 96.0);
+    EXPECT_NEAR(d.bandwidthGbps(), 127.8, 1e-9);
+}
+
+// -------------------------------------------------------- kernel timing
+
+TEST(KernelTiming, ComputeBoundKernel)
+{
+    GpuSpec g = teslaV100Sxm2_16();
+    KernelProfile k;
+    k.flops = 1e12;       // 1 TFLOP
+    k.bytes = 1e6;        // trivial traffic
+    k.compute_eff = 1.0;
+    k.memory_eff = 1.0;
+    KernelTiming t = timeKernel(g, k, Precision::FP32);
+    EXPECT_FALSE(t.memoryBound());
+    EXPECT_NEAR(t.compute_s, 1e12 / 15.7e12, 1e-6);
+}
+
+TEST(KernelTiming, MemoryBoundKernel)
+{
+    GpuSpec g = teslaV100Sxm2_16();
+    KernelProfile k;
+    k.flops = 1e6;
+    k.bytes = 9e9; // 9 GB over a 900 GB/s part -> 10 ms at eff 1
+    k.compute_eff = 1.0;
+    k.memory_eff = 1.0;
+    KernelTiming t = timeKernel(g, k, Precision::FP32);
+    EXPECT_TRUE(t.memoryBound());
+    EXPECT_NEAR(t.memory_s, 0.01, 1e-6);
+}
+
+TEST(KernelTiming, TotalIsMaxPlusOverhead)
+{
+    GpuSpec g = teslaV100Sxm2_16();
+    g.launch_overhead_us = 10.0;
+    KernelProfile k;
+    k.flops = 1e9;
+    k.bytes = 1e6;
+    KernelTiming t = timeKernel(g, k, Precision::FP32);
+    EXPECT_DOUBLE_EQ(t.total(),
+                     std::max(t.compute_s, t.memory_s) + 10e-6);
+}
+
+TEST(KernelTiming, TensorCoresAccelerateEligibleKernels)
+{
+    GpuSpec g = teslaV100Sxm2_16();
+    KernelProfile k;
+    k.flops = 1e12;
+    k.bytes = 1.0;
+    k.tensor_eligible = true;
+    double fp32 = timeKernel(g, k, Precision::FP32).total();
+    double mixed = timeKernel(g, k, Precision::Mixed).total();
+    EXPECT_LT(mixed, fp32);
+    // TC peak 125 vs fp32 15.7, derated by tensor_eff_scale 0.55.
+    EXPECT_NEAR(fp32 / mixed, 125.0 / 15.7 * 0.55, 0.1);
+}
+
+TEST(KernelTiming, IneligibleKernelsUseVectorFp16)
+{
+    GpuSpec g = teslaV100Sxm2_16();
+    KernelProfile k;
+    k.flops = 1e12;
+    k.bytes = 1.0;
+    k.tensor_eligible = false;
+    double fp32 = timeKernel(g, k, Precision::FP32).total();
+    double mixed = timeKernel(g, k, Precision::Mixed).total();
+    EXPECT_NEAR(fp32 / mixed, 2.0, 0.05); // 31.4 / 15.7
+}
+
+TEST(KernelTiming, HalfPrecisionHalvesTraffic)
+{
+    GpuSpec g = teslaV100Sxm2_16();
+    KernelProfile k;
+    k.flops = 1.0;
+    k.bytes = 1e9;
+    double fp32 = timeKernel(g, k, Precision::FP32).memory_s;
+    double fp16 = timeKernel(g, k, Precision::FP16).memory_s;
+    double fp64 = timeKernel(g, k, Precision::FP64).memory_s;
+    EXPECT_NEAR(fp32 / fp16, 2.0, 1e-9);
+    EXPECT_NEAR(fp64 / fp32, 2.0, 1e-9);
+}
+
+TEST(KernelTiming, EfficiencyDerates)
+{
+    GpuSpec g = teslaV100Sxm2_16();
+    KernelProfile fast, slow;
+    fast.flops = slow.flops = 1e12;
+    fast.bytes = slow.bytes = 1.0;
+    fast.compute_eff = 1.0;
+    slow.compute_eff = 0.5;
+    EXPECT_NEAR(timeKernel(g, slow, Precision::FP32).compute_s /
+                    timeKernel(g, fast, Precision::FP32).compute_s,
+                2.0, 1e-9);
+}
+
+TEST(KernelTiming, InvalidInputsAreFatal)
+{
+    GpuSpec g = teslaV100Sxm2_16();
+    KernelProfile k;
+    k.flops = -1.0;
+    EXPECT_THROW(timeKernel(g, k, Precision::FP32), FatalError);
+    k.flops = 1.0;
+    k.compute_eff = 0.0;
+    EXPECT_THROW(timeKernel(g, k, Precision::FP32), FatalError);
+    k.compute_eff = 0.5;
+    k.memory_eff = 1.5;
+    EXPECT_THROW(timeKernel(g, k, Precision::FP32), FatalError);
+}
+
+TEST(KernelTiming, ArithmeticIntensity)
+{
+    KernelProfile k;
+    k.flops = 100.0;
+    k.bytes = 50.0;
+    EXPECT_DOUBLE_EQ(arithmeticIntensity(k, Precision::FP32), 2.0);
+    // fp16 halves the traffic, doubling the intensity.
+    EXPECT_DOUBLE_EQ(arithmeticIntensity(k, Precision::FP16), 4.0);
+    k.bytes = 0.0;
+    EXPECT_DOUBLE_EQ(arithmeticIntensity(k, Precision::FP32), 0.0);
+}
+
+TEST(KernelTiming, AchievedFlopsBelowPeak)
+{
+    GpuSpec g = teslaV100Sxm2_16();
+    KernelProfile k;
+    k.flops = 1e12;
+    k.bytes = 1e9;
+    double achieved = achievedFlops(g, k, Precision::FP32);
+    EXPECT_GT(achieved, 0.0);
+    EXPECT_LE(achieved, g.peakFlops(Precision::FP32, false));
+}
+
+/** Across every precision the timing must be positive and finite. */
+class PrecisionSweepTest : public ::testing::TestWithParam<Precision>
+{
+};
+
+TEST_P(PrecisionSweepTest, TimingIsPositiveFinite)
+{
+    GpuSpec g = teslaV100Sxm2_16();
+    KernelProfile k;
+    k.flops = 1e10;
+    k.bytes = 1e8;
+    k.tensor_eligible = true;
+    KernelTiming t = timeKernel(g, k, GetParam());
+    EXPECT_GT(t.total(), 0.0);
+    EXPECT_TRUE(std::isfinite(t.total()));
+}
+
+TEST_P(PrecisionSweepTest, MoreWorkNeverFaster)
+{
+    GpuSpec g = teslaV100Pcie_16();
+    KernelProfile small, big;
+    small.flops = 1e9;
+    small.bytes = 1e7;
+    big.flops = 2e9;
+    big.bytes = 2e7;
+    EXPECT_LE(timeKernel(g, small, GetParam()).total(),
+              timeKernel(g, big, GetParam()).total());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, PrecisionSweepTest,
+                         ::testing::Values(Precision::FP64,
+                                           Precision::FP32,
+                                           Precision::FP16,
+                                           Precision::Mixed));
+
+} // namespace

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Cross-module integration tests: whole-suite runs on every Table III
+ * machine, monitor/trainer consistency, and the end-to-end analysis
+ * pipelines used by the benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/characterize.h"
+#include "core/suite.h"
+#include "models/zoo.h"
+#include "prof/csv.h"
+#include "prof/device_monitor.h"
+#include "prof/kernel_profiler.h"
+#include "prof/sys_monitor.h"
+#include "sched/naive.h"
+#include "sched/optimal.h"
+#include "stats/roofline.h"
+#include "sys/machines.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace mlps;
+
+TEST(Integration, EveryWorkloadRunsOnEveryMachine)
+{
+    for (const auto &machine : sys::allMachines()) {
+        SCOPED_TRACE(machine.name);
+        train::Trainer trainer(machine);
+        for (const auto &spec : models::allWorkloads()) {
+            SCOPED_TRACE(spec.abbrev);
+            train::RunOptions opts;
+            opts.num_gpus =
+                spec.mode == wl::RunMode::CollectiveLoop ? 2 : 1;
+            auto r = trainer.run(spec, opts);
+            EXPECT_GT(r.total_seconds, 0.0);
+            EXPECT_TRUE(std::isfinite(r.total_seconds));
+            EXPECT_GT(r.iter.iteration_s, 0.0);
+        }
+    }
+}
+
+TEST(Integration, FullGpuSweepOnDss8440)
+{
+    sys::SystemConfig dss = sys::dss8440();
+    train::Trainer trainer(dss);
+    for (const auto &spec : models::mlperfSuite()) {
+        SCOPED_TRACE(spec.abbrev);
+        double prev = 1e300;
+        for (int n : {1, 2, 4, 8}) {
+            train::RunOptions opts;
+            opts.num_gpus = n;
+            double t = trainer.run(spec, opts).total_seconds;
+            EXPECT_LT(t, prev);
+            prev = t;
+        }
+    }
+}
+
+TEST(Integration, MonitorsAgreeWithTrainer)
+{
+    sys::SystemConfig k = sys::c4140K();
+    train::Trainer trainer(k);
+    auto spec = *models::findWorkload("MLPf_Res50_MX");
+    train::RunOptions opts;
+    opts.num_gpus = 4;
+    auto result = trainer.run(spec, opts);
+
+    prof::SysMonitor dstat(1);
+    prof::DeviceMonitor dmon(2);
+    dstat.observe(result, 300.0);
+    dmon.observe(result, 300.0);
+
+    EXPECT_NEAR(dstat.avgCpuUtil(), result.usage.cpu_util_pct,
+                result.usage.cpu_util_pct * 0.05);
+    EXPECT_NEAR(dmon.sumGpuUtil(), result.usage.gpu_util_pct_sum,
+                result.usage.gpu_util_pct_sum * 0.05);
+    EXPECT_NEAR(dmon.sumPcieMbps(), result.usage.pcie_mbps,
+                result.usage.pcie_mbps * 0.1);
+}
+
+TEST(Integration, ProfilerKernelTimeBoundsGpuBusyTime)
+{
+    sys::SystemConfig dss = sys::dss8440();
+    train::Trainer trainer(dss);
+    auto spec = *models::findWorkload("MLPf_SSD_Py");
+    train::RunOptions opts;
+    opts.num_gpus = 1;
+    prof::KernelProfiler profiler;
+    auto r = trainer.run(spec, opts, &profiler);
+
+    double iters = std::ceil(r.steps_per_epoch * r.epochs);
+    double kernel_time_per_iter = profiler.totalSeconds() / iters;
+    EXPECT_NEAR(kernel_time_per_iter,
+                r.iter.fwd_s + r.iter.bwd_s + r.iter.optimizer_s,
+                1e-6);
+}
+
+TEST(Integration, SchedulingPipelineFromTrainerMeasurements)
+{
+    sys::SystemConfig dss = sys::dss8440();
+    core::Suite suite(dss);
+    std::vector<sched::JobSpec> jobs;
+    for (const char *name : {"MLPf_SSD_Py", "MLPf_NCF_Py",
+                             "MLPf_GNMT_Py"}) {
+        sched::JobSpec j;
+        j.name = name;
+        for (int w = 1; w <= 4; w *= 2) {
+            train::RunOptions opts;
+            opts.num_gpus = w;
+            j.seconds_at_width[w] =
+                suite.run(name, opts).total_seconds;
+        }
+        jobs.push_back(std::move(j));
+    }
+    auto naive = sched::naiveSchedule(jobs, 4);
+    auto opt = sched::optimalSchedule(jobs, 4);
+    EXPECT_LE(opt.makespan_s, naive.makespan() + 1e-6);
+    EXPECT_NO_THROW(opt.schedule.validate(jobs));
+}
+
+TEST(Integration, CharacterizationFeedsRooflineConsistently)
+{
+    sys::SystemConfig t640 = sys::t640();
+    auto rep = core::characterize(t640, 1);
+    auto roof = stats::deviceRoofline(t640.gpu, hw::Precision::Mixed,
+                                      true);
+    for (std::size_t i = 0; i < rep.roofline_points.size(); ++i) {
+        const auto &pt = rep.roofline_points[i];
+        if (pt.flops <= 0.0)
+            continue; // the pure-communication kernel
+        SCOPED_TRACE(pt.label);
+        // No point exceeds what the roofline permits at its intensity.
+        EXPECT_LE(pt.flops, roof.attainable(pt.intensity) * 1.05);
+    }
+}
+
+TEST(Integration, Table5CsvExportRoundTrips)
+{
+    sys::SystemConfig k = sys::c4140K();
+    train::Trainer trainer(k);
+    prof::CsvWriter csv({"workload", "gpus", "cpu", "gpu", "dram",
+                         "hbm", "pcie", "nvlink"});
+    for (const auto &spec : models::mlperfSuite()) {
+        for (int n : {1, 2}) {
+            train::RunOptions opts;
+            opts.num_gpus = n;
+            auto r = trainer.run(spec, opts);
+            csv.addRow({spec.abbrev, std::to_string(n),
+                        std::to_string(r.usage.cpu_util_pct),
+                        std::to_string(r.usage.gpu_util_pct_sum),
+                        std::to_string(r.usage.dram_footprint_mb),
+                        std::to_string(r.usage.hbm_footprint_mb),
+                        std::to_string(r.usage.pcie_mbps),
+                        std::to_string(r.usage.nvlink_mbps)});
+        }
+    }
+    EXPECT_EQ(csv.rowCount(), 14u);
+    std::string text = csv.str();
+    EXPECT_NE(text.find("MLPf_NCF_Py"), std::string::npos);
+}
+
+TEST(Integration, ReferenceMachineMatchesTableIvUnits)
+{
+    // The P100 reference runs land in the same order of magnitude as
+    // Table IV's left column (minutes to days).
+    sys::SystemConfig ref = sys::mlperfReference();
+    train::Trainer trainer(ref);
+    for (const auto &spec : models::mlperfSuite()) {
+        if (spec.mode != wl::RunMode::Training)
+            continue;
+        SCOPED_TRACE(spec.abbrev);
+        train::RunOptions opts;
+        opts.num_gpus = 1;
+        opts.precision = hw::Precision::FP32;
+        opts.reference_code = true;
+        double minutes = trainer.run(spec, opts).totalMinutes();
+        EXPECT_GT(minutes, 10.0);
+        EXPECT_LT(minutes, 30'000.0);
+    }
+}
+
+/** Fabric sanity across all machines x GPU counts: the collective
+ *  fabric reported by the trainer matches the topology's verdict. */
+class FabricConsistencyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(FabricConsistencyTest, TrainerReportsTopologyFabric)
+{
+    auto [machine_idx, gpus] = GetParam();
+    auto machines = sys::allMachines();
+    const auto &machine = machines[machine_idx];
+    if (gpus > machine.num_gpus)
+        GTEST_SKIP() << machine.name << " has too few GPUs";
+    train::Trainer trainer(machine);
+    auto spec = *models::findWorkload("MLPf_GNMT_Py");
+    train::RunOptions opts;
+    opts.num_gpus = gpus;
+    auto r = trainer.run(spec, opts);
+    EXPECT_EQ(r.fabric, machine.fabricFor(gpus));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachinesAndCounts, FabricConsistencyTest,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(2, 4)));
+
+} // namespace

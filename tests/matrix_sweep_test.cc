@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Broad invariant sweep: every (machine x workload x precision x GPU
+ * count) combination must produce a physically sane result. This is
+ * the safety net under model refactors — ~700 runs checked for
+ * finiteness, bounds, and internal consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/zoo.h"
+#include "sys/machines.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace mlps;
+
+struct Combo {
+    int machine;
+    hw::Precision precision;
+};
+
+class MatrixSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(MatrixSweepTest, EveryRunIsSane)
+{
+    auto [machine_idx, prec_idx] = GetParam();
+    const hw::Precision precisions[] = {
+        hw::Precision::FP32, hw::Precision::Mixed,
+        hw::Precision::FP16};
+    auto machines = sys::allMachines();
+    const auto &machine = machines[machine_idx];
+    hw::Precision precision = precisions[prec_idx];
+    train::Trainer trainer(machine);
+
+    for (const auto &spec : models::allWorkloads()) {
+        SCOPED_TRACE(machine.name + " / " + spec.abbrev + " / " +
+                     hw::toString(precision));
+        for (int n = 1; n <= machine.num_gpus; n *= 2) {
+            if (spec.mode == wl::RunMode::CollectiveLoop && n < 2)
+                continue;
+            train::RunOptions opts;
+            opts.num_gpus = n;
+            opts.precision = precision;
+            auto r = trainer.run(spec, opts);
+
+            // Finite, positive end-to-end time.
+            ASSERT_TRUE(std::isfinite(r.total_seconds));
+            ASSERT_GT(r.total_seconds, 0.0);
+            // Iteration parts are non-negative and the iteration
+            // dominates its pipeline stages.
+            ASSERT_GE(r.iter.fwd_s, 0.0);
+            ASSERT_GE(r.iter.bwd_s, 0.0);
+            ASSERT_GE(r.iter.exposed_comm_s, 0.0);
+            ASSERT_LE(r.iter.exposed_comm_s, r.iter.comm_s + 1e-12);
+            ASSERT_GE(r.iter.iteration_s + 1e-12, r.iter.host_s);
+            ASSERT_GE(r.iter.iteration_s + 1e-12, r.iter.h2d_s);
+            // Utilizations bounded.
+            ASSERT_GE(r.usage.cpu_util_pct, 0.0);
+            ASSERT_LE(r.usage.cpu_util_pct, 100.0);
+            ASSERT_GE(r.usage.gpu_util_pct_sum, 0.0);
+            ASSERT_LE(r.usage.gpu_util_pct_sum, 100.0 * n + 1e-9);
+            // Footprints positive and HBM within the cards.
+            ASSERT_GT(r.usage.hbm_footprint_mb, 0.0);
+            ASSERT_LE(r.usage.hbm_footprint_mb,
+                      n * machine.gpu.hbmCapacityBytes() / 1e6 * 1.001);
+            // Batch rules.
+            ASSERT_GE(r.per_gpu_batch, 1.0);
+            ASSERT_LE(r.global_batch, r.per_gpu_batch * n + 1e-9);
+            // Fabric matches the topology.
+            ASSERT_EQ(r.fabric, machine.fabricFor(n));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachinesAndPrecisions, MatrixSweepTest,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 3)));
+
+} // namespace

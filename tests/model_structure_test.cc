@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Golden structure tests for the model zoo: stage-level shape checks
+ * against the published architectures, beyond the aggregate counts
+ * covered in models_test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "models/resnet.h"
+#include "models/ssd.h"
+#include "models/transformer.h"
+#include "models/gnmt.h"
+#include "models/ncf.h"
+#include "models/zoo.h"
+
+namespace {
+
+using namespace mlps;
+using namespace mlps::models;
+
+int
+countOpsWithPrefix(const wl::OpGraph &g, const std::string &prefix)
+{
+    int n = 0;
+    for (const auto &op : g.ops())
+        n += op.name.rfind(prefix, 0) == 0;
+    return n;
+}
+
+int
+countKind(const wl::OpGraph &g, wl::OpKind kind)
+{
+    int n = 0;
+    for (const auto &op : g.ops())
+        n += op.kind == kind;
+    return n;
+}
+
+TEST(ModelStructure, Resnet50StageBlockCounts)
+{
+    wl::OpGraph g = resnet50Graph(224, 224);
+    // Stages res2..res5 have 3/4/6/3 bottleneck blocks.
+    EXPECT_EQ(countOpsWithPrefix(g, "res2.2."), 7); // last of 3
+    EXPECT_EQ(countOpsWithPrefix(g, "res2.3."), 0);
+    EXPECT_EQ(countOpsWithPrefix(g, "res3.3."), 7); // last of 4
+    EXPECT_EQ(countOpsWithPrefix(g, "res4.5."), 7); // last of 6
+    EXPECT_EQ(countOpsWithPrefix(g, "res5.2."), 7); // last of 3
+    EXPECT_EQ(countOpsWithPrefix(g, "res5.3."), 0);
+}
+
+TEST(ModelStructure, Resnet50ConvCount)
+{
+    wl::OpGraph g = resnet50Graph(224, 224);
+    // 1 stem + 16 blocks x 3 + 4 projections = 53 convolutions.
+    EXPECT_EQ(countKind(g, wl::OpKind::Conv2d), 53);
+    // Exactly one classifier GEMM.
+    EXPECT_EQ(countKind(g, wl::OpKind::Gemm), 1);
+}
+
+TEST(ModelStructure, Resnet50DownsamplingFlopProfile)
+{
+    // Each stage transition halves spatial dims and doubles width:
+    // per-stage FLOPs should be the same order (balanced design).
+    wl::OpGraph g = resnet50Graph(224, 224);
+    std::map<char, double> stage_flops;
+    for (const auto &op : g.ops()) {
+        if (op.name.rfind("res", 0) == 0)
+            stage_flops[op.name[3]] += op.flops;
+    }
+    double lo = 1e300, hi = 0.0;
+    for (const auto &[stage, flops] : stage_flops) {
+        lo = std::min(lo, flops);
+        hi = std::max(hi, flops);
+    }
+    EXPECT_LT(hi / lo, 2.5);
+}
+
+TEST(ModelStructure, Resnet18CifarKeepsResolutionInStem)
+{
+    wl::OpGraph g = resnet18CifarGraph();
+    // CIFAR stem uses a 3x3 stride-1 conv: output elements = 32*32*64.
+    const wl::Op &stem = g.ops().front();
+    EXPECT_EQ(stem.kind, wl::OpKind::Conv2d);
+    EXPECT_DOUBLE_EQ(stem.activation_bytes, 32.0 * 32 * 64 * 4);
+}
+
+TEST(ModelStructure, SsdHasExtrasAndHeads)
+{
+    wl::OpGraph g = ssdGraph();
+    EXPECT_EQ(countOpsWithPrefix(g, "extra"), 8); // 4 extras x 2 convs
+    EXPECT_EQ(countOpsWithPrefix(g, "head."), 4);
+    EXPECT_GE(countOpsWithPrefix(g, "bb."), 30); // ResNet-34 trunk
+}
+
+TEST(ModelStructure, TransformerLayerCounts)
+{
+    wl::OpGraph g = transformerGraph();
+    for (int l = 0; l < 6; ++l) {
+        EXPECT_EQ(countOpsWithPrefix(g, "enc" + std::to_string(l) +
+                                            "."), 8)
+            << "encoder layer " << l;
+        EXPECT_EQ(countOpsWithPrefix(g, "dec" + std::to_string(l) +
+                                            "."), 13)
+            << "decoder layer " << l;
+    }
+    EXPECT_EQ(countOpsWithPrefix(g, "enc6"), 0);
+    // Two embedding tables, shared output projection carries no
+    // duplicate parameters.
+    EXPECT_EQ(countKind(g, wl::OpKind::Embedding), 2);
+    for (const auto &op : g.ops()) {
+        if (op.name == "out_proj") {
+            EXPECT_DOUBLE_EQ(op.param_bytes, 0.0);
+        }
+    }
+}
+
+TEST(ModelStructure, GnmtBidirectionalEncoder)
+{
+    wl::OpGraph g = gnmtGraph();
+    // Encoder: 4 layers + 1 reverse direction of layer 0 = 5 cells.
+    EXPECT_EQ(countOpsWithPrefix(g, "enc.lstm"), 5);
+    EXPECT_EQ(countOpsWithPrefix(g, "dec.lstm"), 4);
+    EXPECT_EQ(countKind(g, wl::OpKind::Attention), 1);
+}
+
+TEST(ModelStructure, NcfTwoTowerEmbeddings)
+{
+    wl::OpGraph g = ncfGraph();
+    EXPECT_EQ(countKind(g, wl::OpKind::Embedding), 4);
+    // GMF dims 64, MLP dims 128: user tables dominate parameters.
+    double user_params = 0.0, item_params = 0.0;
+    for (const auto &op : g.ops()) {
+        if (op.name.find("user") != std::string::npos)
+            user_params += op.param_bytes;
+        if (op.name.find("item") != std::string::npos)
+            item_params += op.param_bytes;
+    }
+    EXPECT_GT(user_params, 4.0 * item_params); // 138k users vs 27k items
+}
+
+TEST(ModelStructure, BackwardFlopsDoubleForwardForDenseModels)
+{
+    for (const char *name : {"MLPf_Res50_MX", "MLPf_XFMR_Py",
+                             "MLPf_GNMT_Py"}) {
+        auto spec = *findWorkload(name);
+        auto t = spec.graph.totals();
+        EXPECT_NEAR(t.bwd_flops / t.fwd_flops, 2.0, 0.1) << name;
+    }
+}
+
+TEST(ModelStructure, TrafficDominatedByConvActivationsInResnet)
+{
+    wl::OpGraph g = resnet50Graph(224, 224);
+    double conv_bytes = 0.0, total = 0.0;
+    for (const auto &op : g.ops()) {
+        total += op.bytes;
+        if (op.kind == wl::OpKind::Conv2d)
+            conv_bytes += op.bytes;
+    }
+    EXPECT_GT(conv_bytes / total, 0.4);
+}
+
+} // namespace

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the model zoo: every Table II workload validates, has
+ * parameter counts and FLOP budgets in the published ranges, and the
+ * zoo/registry plumbing behaves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/builders.h"
+#include "sim/logger.h"
+#include "models/deepbench.h"
+#include "models/drqa.h"
+#include "models/gnmt.h"
+#include "models/mask_rcnn.h"
+#include "models/ncf.h"
+#include "models/resnet.h"
+#include "models/ssd.h"
+#include "models/transformer.h"
+#include "models/zoo.h"
+
+namespace {
+
+using namespace mlps;
+using namespace mlps::models;
+
+// ------------------------------------------------------------- builders
+
+TEST(Builders, BottleneckBlockUpdatesState)
+{
+    wl::OpGraph g;
+    SpatialState s{56, 56, 64};
+    bottleneckBlock(g, "blk", s, 64, 1);
+    EXPECT_EQ(s.c, 256);
+    EXPECT_EQ(s.h, 56);
+    EXPECT_GT(g.size(), 5u);
+}
+
+TEST(Builders, BottleneckStrideDownsamples)
+{
+    wl::OpGraph g;
+    SpatialState s{56, 56, 256};
+    bottleneckBlock(g, "blk", s, 128, 2);
+    EXPECT_EQ(s.h, 28);
+    EXPECT_EQ(s.w, 28);
+    EXPECT_EQ(s.c, 512);
+}
+
+TEST(Builders, BasicBlockKeepsChannels)
+{
+    wl::OpGraph g;
+    SpatialState s{32, 32, 64};
+    basicBlock(g, "blk", s, 64, 1);
+    EXPECT_EQ(s.c, 64);
+    // No projection needed: conv1, bn1, conv2, bn2, add = 5 ops.
+    EXPECT_EQ(g.size(), 5u);
+}
+
+TEST(Builders, ResnetStemQuartersResolution)
+{
+    wl::OpGraph g;
+    SpatialState s{224, 224, 3};
+    resnetStem(g, s);
+    EXPECT_EQ(s.h, 56);
+    EXPECT_EQ(s.w, 56);
+    EXPECT_EQ(s.c, 64);
+}
+
+TEST(Builders, TransformerLayerParamCount)
+{
+    wl::OpGraph g;
+    transformerEncoderLayer(g, "enc", 32, 512, 2048);
+    // qkv (512*1536) + out (512*512) + ffn (512*2048 + 2048*512)
+    double expect = 512.0 * 1536 + 512.0 * 512 + 2.0 * 512 * 2048;
+    EXPECT_DOUBLE_EQ(g.paramCount(), expect);
+}
+
+TEST(Builders, LstmStackBidirectionalDoublesFirstLayer)
+{
+    wl::OpGraph uni, bi;
+    lstmStack(uni, "u", 256, 256, 2, 10, false);
+    lstmStack(bi, "b", 256, 256, 2, 10, true);
+    EXPECT_EQ(bi.size(), uni.size() + 1);
+}
+
+TEST(Builders, MlpTowerLayerCount)
+{
+    wl::OpGraph g;
+    mlpTower(g, "mlp", {64, 32, 16});
+    // fc0, relu, fc1.
+    EXPECT_EQ(g.size(), 3u);
+    EXPECT_THROW(mlpTower(g, "bad", {64}), mlps::sim::FatalError);
+}
+
+// ----------------------------------------------------------- the models
+
+TEST(Models, Resnet50ParamsAndFlops)
+{
+    wl::OpGraph g = resnet50Graph(224, 224);
+    // Published: 25.5M params, ~4.1 GMACs = 8.2 GFLOPs forward.
+    EXPECT_NEAR(g.paramCount() / 1e6, 25.5, 1.5);
+    EXPECT_NEAR(g.totals().fwd_flops / 1e9, 8.2, 1.0);
+}
+
+TEST(Models, Resnet34SmallerThan50)
+{
+    wl::OpGraph r34 = resnet34Graph(224, 224);
+    wl::OpGraph r50 = resnet50Graph(224, 224);
+    EXPECT_LT(r34.paramCount(), r50.paramCount());
+    EXPECT_NEAR(r34.paramCount() / 1e6, 21.8, 1.5);
+}
+
+TEST(Models, Resnet18CifarParams)
+{
+    wl::OpGraph g = resnet18CifarGraph();
+    EXPECT_NEAR(g.paramCount() / 1e6, 11.2, 0.8);
+    // CIFAR inputs: far fewer FLOPs than ImageNet ResNets.
+    EXPECT_LT(g.totals().fwd_flops, 2e9);
+}
+
+TEST(Models, SsdWorkload)
+{
+    wl::WorkloadSpec w = mlperfSsd();
+    EXPECT_NO_THROW(w.validate());
+    EXPECT_NEAR(w.graph.paramCount() / 1e6, 15.0, 6.0);
+    EXPECT_EQ(w.dataset.name, "COCO-2017");
+}
+
+TEST(Models, MaskRcnnIsHeaviest)
+{
+    wl::WorkloadSpec mrcnn = mlperfMaskRcnn();
+    EXPECT_NO_THROW(mrcnn.validate());
+    EXPECT_NEAR(mrcnn.graph.paramCount() / 1e6, 44.0, 6.0);
+    // Heavy-weight detection: far more work per sample than anyone.
+    for (const auto &other : mlperfSuite()) {
+        if (other.abbrev == mrcnn.abbrev)
+            continue;
+        EXPECT_GT(mrcnn.graph.totals().fwd_flops,
+                  other.graph.totals().fwd_flops)
+            << other.abbrev;
+    }
+    // Tiny per-GPU batch (large activations).
+    EXPECT_LE(mrcnn.per_gpu_batch, 8);
+}
+
+TEST(Models, TransformerParams)
+{
+    wl::WorkloadSpec w = mlperfTransformer();
+    // Transformer big: ~210M (plus separate src/tgt tables here).
+    EXPECT_NEAR(w.graph.paramCount() / 1e6, 230.0, 40.0);
+    EXPECT_GT(w.graph.paramCount(), mlperfGnmt().graph.paramCount());
+}
+
+TEST(Models, GnmtParams)
+{
+    wl::WorkloadSpec w = mlperfGnmt();
+    EXPECT_NEAR(w.graph.paramCount() / 1e6, 175.0, 40.0);
+    EXPECT_NO_THROW(w.validate());
+}
+
+TEST(Models, NcfShape)
+{
+    wl::WorkloadSpec w = mlperfNcf();
+    // NeuMF on ml-20m: ~31.8M params, almost all embeddings.
+    EXPECT_NEAR(w.graph.paramCount() / 1e6, 31.8, 3.0);
+    // Tiny compute per sample.
+    EXPECT_LT(w.graph.totals().fwd_flops, 1e7);
+    EXPECT_TRUE(w.fp32_gradients);
+    EXPECT_GT(w.convergence.global_batch_cap, 0.0);
+}
+
+TEST(Models, DrqaIsCpuHeavy)
+{
+    wl::WorkloadSpec w = dawnDrqa();
+    EXPECT_GT(w.host.cpu_core_us_per_sample, 10'000.0);
+    EXPECT_GT(w.host.serial_cpu_us_per_sample, 0.0);
+}
+
+TEST(Models, Resnet50FlavorsDiffer)
+{
+    wl::WorkloadSpec tf = mlperfResnet50TF();
+    wl::WorkloadSpec mx = mlperfResnet50MX();
+    EXPECT_EQ(tf.framework, "TensorFlow");
+    EXPECT_EQ(mx.framework, "MXNet");
+    EXPECT_NE(tf.per_gpu_batch, mx.per_gpu_batch);
+    // TF drives the host hardest (Section V-A).
+    EXPECT_GT(tf.host.cpu_core_us_per_sample,
+              mx.host.cpu_core_us_per_sample);
+}
+
+TEST(Models, DeepbenchKernelLoops)
+{
+    for (const auto &w : {deepbenchGemm(), deepbenchConv(),
+                          deepbenchRnn()}) {
+        SCOPED_TRACE(w.abbrev);
+        EXPECT_EQ(w.mode, wl::RunMode::KernelLoop);
+        EXPECT_GT(w.kernel_iterations, 0.0);
+        EXPECT_NO_THROW(w.validate());
+    }
+}
+
+TEST(Models, DeepbenchRnnHasSixConfigs)
+{
+    wl::WorkloadSpec w = deepbenchRnn();
+    EXPECT_EQ(w.graph.size(), 6u);
+}
+
+TEST(Models, DeepbenchAllReduce)
+{
+    wl::WorkloadSpec w = deepbenchAllReduce();
+    EXPECT_EQ(w.mode, wl::RunMode::CollectiveLoop);
+    EXPECT_GT(w.collective_bytes, 0.0);
+}
+
+// ------------------------------------------------------------------ zoo
+
+TEST(Zoo, SuiteSizes)
+{
+    EXPECT_EQ(mlperfSuite().size(), 7u);
+    EXPECT_EQ(dawnBenchSuite().size(), 2u);
+    EXPECT_EQ(deepBenchSuite().size(), 4u);
+    EXPECT_EQ(allWorkloads().size(), 13u);
+}
+
+TEST(Zoo, AllWorkloadsValidate)
+{
+    for (const auto &w : allWorkloads()) {
+        SCOPED_TRACE(w.abbrev);
+        EXPECT_NO_THROW(w.validate());
+    }
+}
+
+TEST(Zoo, AbbreviationsAreUnique)
+{
+    auto all = allWorkloads();
+    for (std::size_t i = 0; i < all.size(); ++i)
+        for (std::size_t j = i + 1; j < all.size(); ++j)
+            EXPECT_NE(all[i].abbrev, all[j].abbrev);
+}
+
+TEST(Zoo, FindByAbbrev)
+{
+    auto found = findWorkload("MLPf_NCF_Py");
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->model_name, "Neural Collaborative Filtering");
+    EXPECT_FALSE(findWorkload("nope").has_value());
+}
+
+TEST(Zoo, SuitesTaggedCorrectly)
+{
+    for (const auto &w : mlperfSuite())
+        EXPECT_EQ(w.suite, wl::SuiteTag::MLPerf);
+    for (const auto &w : dawnBenchSuite())
+        EXPECT_EQ(w.suite, wl::SuiteTag::DawnBench);
+    for (const auto &w : deepBenchSuite())
+        EXPECT_EQ(w.suite, wl::SuiteTag::DeepBench);
+}
+
+/** Every training workload has sane calibration knobs. */
+class WorkloadKnobTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WorkloadKnobTest, KnobsInRange)
+{
+    auto all = allWorkloads();
+    const auto &w = all[GetParam()];
+    SCOPED_TRACE(w.abbrev);
+    EXPECT_GE(w.comm_overlap, 0.0);
+    EXPECT_LE(w.comm_overlap, 1.0);
+    EXPECT_GT(w.tc_efficiency, 0.0);
+    EXPECT_LE(w.tc_efficiency, 1.0);
+    EXPECT_GE(w.sync_penalty_base, 0.0);
+    EXPECT_GE(w.sync_penalty_log, 0.0);
+    EXPECT_GT(w.reference_code_derate, 0.0);
+    EXPECT_GE(w.staged_overlap_retention, 0.0);
+    EXPECT_LE(w.staged_overlap_retention, 1.0);
+    EXPECT_GT(w.iteration_overhead_us, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadKnobTest,
+                         ::testing::Range(0, 13));
+
+} // namespace

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the scale-out extension: cluster configs, the tree
+ * all-reduce algorithm, and multi-node training runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "models/zoo.h"
+#include "net/allreduce.h"
+#include "sim/logger.h"
+#include "sys/cluster.h"
+#include "sys/machines.h"
+#include "train/multinode.h"
+
+namespace {
+
+using namespace mlps;
+using mlps::sim::FatalError;
+
+// --------------------------------------------------------- tree allreduce
+
+net::Topology
+nvlinkMesh(int n)
+{
+    net::Topology topo;
+    std::vector<net::NodeId> gpus;
+    for (int i = 0; i < n; ++i)
+        gpus.push_back(topo.addGpu("G" + std::to_string(i)));
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            topo.connect(gpus[i], gpus[j], net::nvlink(2));
+    return topo;
+}
+
+TEST(TreeAllReduce, TrivialCases)
+{
+    net::Topology topo = nvlinkMesh(4);
+    EXPECT_DOUBLE_EQ(
+        net::treeAllReduce(topo, {topo.gpus()[0]}, 1e8).seconds, 0.0);
+    EXPECT_DOUBLE_EQ(net::treeAllReduce(topo, topo.gpus(), 0.0).seconds,
+                     0.0);
+}
+
+TEST(TreeAllReduce, MonotoneInBytes)
+{
+    net::Topology topo = nvlinkMesh(8);
+    double t1 = net::treeAllReduce(topo, topo.gpus(), 1e8).seconds;
+    double t2 = net::treeAllReduce(topo, topo.gpus(), 2e8).seconds;
+    EXPECT_LT(t1, t2);
+}
+
+TEST(TreeAllReduce, RingWinsForLargePayloads)
+{
+    // Ring is bandwidth-optimal: 2(N-1)/N*B vs tree's 2*log2(N)*B.
+    net::Topology topo = nvlinkMesh(8);
+    double bytes = 500e6;
+    double ring = net::ringAllReduce(topo, topo.gpus(), bytes).seconds;
+    double tree = net::treeAllReduce(topo, topo.gpus(), bytes).seconds;
+    EXPECT_LT(ring, tree);
+}
+
+TEST(TreeAllReduce, TreeWinsForTinyBucketedPayloads)
+{
+    // With many buckets the ring pays 2(N-1) latencies per bucket,
+    // the tree only 2*log2(N).
+    net::Topology topo = nvlinkMesh(8);
+    net::AllReduceParams params;
+    params.buckets = 200;
+    double bytes = 1e5;
+    double ring =
+        net::ringAllReduce(topo, topo.gpus(), bytes, params).seconds;
+    double tree =
+        net::treeAllReduce(topo, topo.gpus(), bytes, params).seconds;
+    EXPECT_LT(tree, ring);
+}
+
+TEST(TreeAllReduce, AutoPicksTheWinner)
+{
+    net::Topology topo = nvlinkMesh(8);
+    for (double bytes : {1e4, 1e6, 1e8, 1e9}) {
+        net::AllReduceParams params;
+        params.buckets = 50;
+        double ring =
+            net::ringAllReduce(topo, topo.gpus(), bytes, params)
+                .seconds;
+        double tree =
+            net::treeAllReduce(topo, topo.gpus(), bytes, params)
+                .seconds;
+        double chosen =
+            net::autoAllReduce(topo, topo.gpus(), bytes, params)
+                .seconds;
+        EXPECT_DOUBLE_EQ(chosen, std::min(ring, tree)) << bytes;
+    }
+}
+
+TEST(TreeAllReduce, AccountsTraffic)
+{
+    net::Topology topo = nvlinkMesh(4);
+    auto r = net::treeAllReduce(topo, topo.gpus(), 1e8);
+    // Reduce phase: 2 + 1 transfers of the payload; doubled for the
+    // broadcast: 6 * bytes over NVLink.
+    EXPECT_NEAR(r.nvlink_bytes, 6e8, 1e3);
+    EXPECT_DOUBLE_EQ(r.pcie_bytes, 0.0);
+}
+
+TEST(TreeAllReduce, NonGpuIsFatal)
+{
+    net::Topology topo = nvlinkMesh(2);
+    net::NodeId cpu = topo.addCpu("CPU0");
+    topo.connect(cpu, topo.gpus()[0], net::pcie3(16));
+    EXPECT_THROW(net::treeAllReduce(topo, {cpu}, 1e6), FatalError);
+    EXPECT_THROW(net::treeAllReduce(topo, {}, 1e6), FatalError);
+}
+
+// ---------------------------------------------------------------- cluster
+
+TEST(Cluster, NicSpecs)
+{
+    EXPECT_LT(sys::ethernet25().effectiveBytesPerSec(),
+              sys::ethernet100().effectiveBytesPerSec());
+    EXPECT_LT(sys::infinibandEdr().latency_us,
+              sys::ethernet100().latency_us);
+}
+
+TEST(Cluster, BuilderAndValidation)
+{
+    sys::ClusterConfig c = sys::dss8440Cluster(4, sys::ethernet100());
+    EXPECT_EQ(c.num_nodes, 4);
+    EXPECT_EQ(c.totalGpus(), 32);
+    EXPECT_NO_THROW(c.validate());
+    c.num_nodes = 0;
+    EXPECT_THROW(c.validate(), FatalError);
+    c.num_nodes = 2;
+    c.nic.efficiency = 1.5;
+    EXPECT_THROW(c.validate(), FatalError);
+}
+
+// -------------------------------------------------------- inter-node ring
+
+TEST(InterNodeRing, SingleNodeIsFree)
+{
+    EXPECT_DOUBLE_EQ(
+        train::interNodeRingSeconds(sys::ethernet100(), 1, 1e9, 10),
+        0.0);
+}
+
+TEST(InterNodeRing, FasterNicIsFaster)
+{
+    double slow =
+        train::interNodeRingSeconds(sys::ethernet25(), 4, 4e8, 20);
+    double fast =
+        train::interNodeRingSeconds(sys::ethernet100(), 4, 4e8, 20);
+    EXPECT_LT(fast, slow);
+}
+
+TEST(InterNodeRing, ApproachesBandwidthBound)
+{
+    sys::NicSpec nic = sys::infinibandEdr();
+    int nodes = 8;
+    double bytes = 8e9;
+    double t = train::interNodeRingSeconds(nic, nodes, bytes, 1);
+    double ideal = 2.0 * (nodes - 1) / nodes * bytes /
+                   nic.effectiveBytesPerSec();
+    EXPECT_NEAR(t, ideal, ideal * 0.05);
+}
+
+// -------------------------------------------------------------- multinode
+
+TEST(MultiNode, SingleNodeMatchesTrainerPlusNoInterComm)
+{
+    sys::ClusterConfig c = sys::dss8440Cluster(2, sys::ethernet100());
+    auto spec = *models::findWorkload("MLPf_SSD_Py");
+    auto r = train::runMultiNode(c, spec, 1);
+    EXPECT_DOUBLE_EQ(r.inter_comm_s, 0.0);
+    train::Trainer trainer(c.node);
+    train::RunOptions opts;
+    opts.num_gpus = c.node.num_gpus;
+    auto single = trainer.run(spec, opts);
+    EXPECT_NEAR(r.total_seconds, single.total_seconds,
+                single.total_seconds * 0.01);
+}
+
+TEST(MultiNode, ScalableWorkloadKeepsScaling)
+{
+    sys::ClusterConfig c = sys::dss8440Cluster(8, sys::infinibandEdr());
+    auto spec = *models::findWorkload("MLPf_Res50_TF");
+    double t1 = train::runMultiNode(c, spec, 1).total_seconds;
+    double t4 = train::runMultiNode(c, spec, 4).total_seconds;
+    EXPECT_GT(t1 / t4, 2.0);
+}
+
+TEST(MultiNode, NcfSaturatesAcrossNodes)
+{
+    sys::ClusterConfig c = sys::dss8440Cluster(8, sys::infinibandEdr());
+    auto spec = *models::findWorkload("MLPf_NCF_Py");
+    double t1 = train::runMultiNode(c, spec, 1).total_seconds;
+    double t8 = train::runMultiNode(c, spec, 8).total_seconds;
+    // The batch cap + inter-node overhead leave no speedup.
+    EXPECT_GT(t8, 0.75 * t1);
+}
+
+TEST(MultiNode, SlowNicHurtsCommHeavyWorkloads)
+{
+    auto spec = *models::findWorkload("MLPf_XFMR_Py");
+    sys::ClusterConfig slow = sys::dss8440Cluster(4, sys::ethernet25());
+    sys::ClusterConfig fast =
+        sys::dss8440Cluster(4, sys::infinibandEdr());
+    double t_slow = train::runMultiNode(slow, spec, 4).total_seconds;
+    double t_fast = train::runMultiNode(fast, spec, 4).total_seconds;
+    EXPECT_GT(t_slow, 1.3 * t_fast);
+}
+
+TEST(MultiNode, GlobalBatchCapDividesAcrossCluster)
+{
+    sys::ClusterConfig c = sys::dss8440Cluster(4, sys::ethernet100());
+    auto spec = *models::findWorkload("MLPf_NCF_Py");
+    auto r = train::runMultiNode(c, spec, 4);
+    EXPECT_NEAR(r.global_batch, spec.convergence.global_batch_cap,
+                spec.convergence.global_batch_cap * 0.01);
+    EXPECT_NEAR(r.per_gpu_batch,
+                spec.convergence.global_batch_cap / 32.0, 1.0);
+}
+
+TEST(MultiNode, ErrorsOnMisuse)
+{
+    sys::ClusterConfig c = sys::dss8440Cluster(2, sys::ethernet100());
+    auto training = *models::findWorkload("MLPf_SSD_Py");
+    EXPECT_THROW(train::runMultiNode(c, training, 3), FatalError);
+    EXPECT_THROW(train::runMultiNode(c, training, 0), FatalError);
+    auto kernel = *models::findWorkload("Deep_GEMM_Cu");
+    EXPECT_THROW(train::runMultiNode(c, kernel, 1), FatalError);
+}
+
+/** Node-count sweep: total time decreases (or saturates) monotonely
+ *  for the bandwidth-friendly workloads. */
+class MultiNodeSweepTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MultiNodeSweepTest, IterationFiniteAndPositive)
+{
+    sys::ClusterConfig c = sys::dss8440Cluster(8, sys::ethernet100());
+    auto spec = *models::findWorkload("MLPf_GNMT_Py");
+    auto r = train::runMultiNode(c, spec, GetParam());
+    EXPECT_GT(r.iteration_s, 0.0);
+    EXPECT_TRUE(std::isfinite(r.total_seconds));
+    EXPECT_EQ(r.num_nodes, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, MultiNodeSweepTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+} // namespace

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Randomized property tests for the interconnect layer: routing
+ * invariants on random connected topologies, flow-simulator byte
+ * conservation and rate bounds, and all-reduce consistency across
+ * algorithms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/allreduce.h"
+#include "net/topology.h"
+#include "net/transfer.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace mlps::net;
+
+/** Random connected machine graph: CPUs, switches, GPUs. */
+Topology
+randomTopology(mlps::sim::Rng &rng, int &gpu_count)
+{
+    Topology topo;
+    int cpus = 1 + static_cast<int>(rng.below(3));
+    int switches = static_cast<int>(rng.below(3));
+    gpu_count = 2 + static_cast<int>(rng.below(6));
+
+    std::vector<NodeId> attach; // nodes a GPU/switch can hang off
+    for (int i = 0; i < cpus; ++i) {
+        NodeId c = topo.addCpu("CPU" + std::to_string(i));
+        if (i > 0)
+            topo.connect(c, attach[i - 1], upi());
+        attach.push_back(c);
+    }
+    for (int i = 0; i < switches; ++i) {
+        NodeId s = topo.addSwitch("SW" + std::to_string(i));
+        topo.connect(s, attach[rng.below(attach.size())], pcie3(16));
+        attach.push_back(s);
+    }
+    for (int i = 0; i < gpu_count; ++i) {
+        NodeId g = topo.addGpu("GPU" + std::to_string(i));
+        topo.connect(g, attach[rng.below(attach.size())],
+                     pcie3(8 + 8 * static_cast<int>(rng.below(2))));
+        // Sometimes add NVLink pairs between recent GPUs.
+        if (i > 0 && rng.chance(0.3)) {
+            topo.connect(g, topo.gpus()[rng.below(i)],
+                         nvlink(1 + static_cast<int>(rng.below(2))));
+        }
+    }
+    return topo;
+}
+
+class RandomTopologyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomTopologyTest, RoutesAreValidPaths)
+{
+    mlps::sim::Rng rng(1000 + GetParam());
+    int gpus = 0;
+    Topology topo = randomTopology(rng, gpus);
+    for (int a = 0; a < topo.nodeCount(); ++a) {
+        for (int b = 0; b < topo.nodeCount(); ++b) {
+            auto path = topo.route(a, b);
+            ASSERT_TRUE(path.has_value()); // construction is connected
+            ASSERT_EQ(path->nodes.front(), a);
+            ASSERT_EQ(path->nodes.back(), b);
+            ASSERT_EQ(path->nodes.size(), path->edges.size() + 1);
+            // Each edge joins consecutive nodes.
+            for (std::size_t i = 0; i < path->edges.size(); ++i) {
+                auto [x, y] = topo.endpoints(path->edges[i]);
+                bool forward = x == path->nodes[i] &&
+                               y == path->nodes[i + 1];
+                bool backward = y == path->nodes[i] &&
+                                x == path->nodes[i + 1];
+                ASSERT_TRUE(forward || backward);
+            }
+        }
+    }
+}
+
+TEST_P(RandomTopologyTest, RouteHopCountSymmetric)
+{
+    mlps::sim::Rng rng(2000 + GetParam());
+    int gpus = 0;
+    Topology topo = randomTopology(rng, gpus);
+    for (int a = 0; a < topo.nodeCount(); ++a) {
+        for (int b = a + 1; b < topo.nodeCount(); ++b) {
+            auto ab = topo.route(a, b);
+            auto ba = topo.route(b, a);
+            ASSERT_TRUE(ab && ba);
+            EXPECT_EQ(ab->hops(), ba->hops());
+        }
+    }
+}
+
+TEST_P(RandomTopologyTest, FlowBytesConserved)
+{
+    mlps::sim::Rng rng(3000 + GetParam());
+    int gpus = 0;
+    Topology topo = randomTopology(rng, gpus);
+    auto gpu_nodes = topo.gpus();
+
+    FlowSimulator fsim(topo);
+    double expected_total = 0.0;
+    std::vector<double> path_hops;
+    int flows = 3 + static_cast<int>(rng.below(5));
+    for (int i = 0; i < flows; ++i) {
+        NodeId from = gpu_nodes[rng.below(gpu_nodes.size())];
+        NodeId to = gpu_nodes[rng.below(gpu_nodes.size())];
+        if (from == to)
+            continue;
+        double bytes = rng.uniform(1e6, 5e8);
+        fsim.addFlow(from, to, bytes);
+        expected_total += bytes * topo.route(from, to)->hops();
+    }
+    fsim.run();
+    double link_total = 0.0;
+    for (const auto &lt : fsim.linkTraffic())
+        link_total += lt.bytes;
+    EXPECT_NEAR(link_total, expected_total,
+                std::max(1.0, expected_total * 1e-6));
+}
+
+TEST_P(RandomTopologyTest, FlowsFinishAndRespectLinkRates)
+{
+    mlps::sim::Rng rng(4000 + GetParam());
+    int gpus = 0;
+    Topology topo = randomTopology(rng, gpus);
+    auto gpu_nodes = topo.gpus();
+
+    FlowSimulator fsim(topo);
+    int added = 0;
+    for (int i = 0; i < 6; ++i) {
+        NodeId from = gpu_nodes[rng.below(gpu_nodes.size())];
+        NodeId to = gpu_nodes[rng.below(gpu_nodes.size())];
+        if (from == to)
+            continue;
+        fsim.addFlow(from, to, rng.uniform(1e6, 1e8),
+                     rng.uniform(0.0, 0.01));
+        ++added;
+    }
+    if (added == 0)
+        GTEST_SKIP();
+    double makespan = fsim.run();
+    EXPECT_GT(makespan, 0.0);
+    for (const auto &rep : fsim.reports()) {
+        EXPECT_GE(rep.finish_s, rep.start_s);
+        // No flow beats its own bottleneck-bandwidth lower bound.
+        EXPECT_LE(rep.throughput(),
+                  pcie3(16).effectiveBytesPerSec() * 10.0);
+    }
+}
+
+TEST_P(RandomTopologyTest, AllReduceAlgorithmsAgreeOnFabric)
+{
+    mlps::sim::Rng rng(5000 + GetParam());
+    int gpus = 0;
+    Topology topo = randomTopology(rng, gpus);
+    auto gpu_nodes = topo.gpus();
+    double bytes = rng.uniform(1e6, 3e8);
+    auto ring = ringAllReduce(topo, gpu_nodes, bytes);
+    auto tree = treeAllReduce(topo, gpu_nodes, bytes);
+    EXPECT_EQ(ring.fabric, tree.fabric);
+    EXPECT_GT(ring.seconds, 0.0);
+    EXPECT_GT(tree.seconds, 0.0);
+    auto chosen = autoAllReduce(topo, gpu_nodes, bytes);
+    EXPECT_LE(chosen.seconds,
+              std::min(ring.seconds, tree.seconds) + 1e-12);
+}
+
+TEST_P(RandomTopologyTest, AllReduceScalesWithPayload)
+{
+    mlps::sim::Rng rng(6000 + GetParam());
+    int gpus = 0;
+    Topology topo = randomTopology(rng, gpus);
+    auto gpu_nodes = topo.gpus();
+    double t1 = ringAllReduce(topo, gpu_nodes, 1e7).seconds;
+    double t10 = ringAllReduce(topo, gpu_nodes, 1e8).seconds;
+    EXPECT_GT(t10, t1);
+    // Bandwidth term dominates at 10x payload: at most ~10x slower.
+    EXPECT_LT(t10, 10.5 * t1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologyTest,
+                         ::testing::Range(0, 10));
+
+} // namespace

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the online scheduling simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sched/online.h"
+#include "sim/logger.h"
+
+namespace {
+
+using namespace mlps::sched;
+using mlps::sim::FatalError;
+
+JobSpec
+amdahlJob(const std::string &name, double hours, double parallel)
+{
+    JobSpec j;
+    j.name = name;
+    for (int w = 1; w <= 8; w *= 2) {
+        j.seconds_at_width[w] =
+            hours * 3600.0 * ((1.0 - parallel) + parallel / w);
+    }
+    return j;
+}
+
+std::vector<OnlineJob>
+simpleStream()
+{
+    std::vector<OnlineJob> jobs;
+    jobs.push_back({amdahlJob("a", 1.0, 1.0), 0.0});
+    jobs.push_back({amdahlJob("b", 1.0, 0.1), 0.0});
+    jobs.push_back({amdahlJob("c", 0.5, 0.9), 600.0});
+    jobs.push_back({amdahlJob("d", 2.0, 0.5), 1200.0});
+    return jobs;
+}
+
+void
+checkNoOverlap(const Schedule &s)
+{
+    for (std::size_t i = 0; i < s.placements.size(); ++i) {
+        for (std::size_t j = i + 1; j < s.placements.size(); ++j) {
+            const auto &a = s.placements[i];
+            const auto &b = s.placements[j];
+            bool share = false;
+            for (int g : a.gpus)
+                share |= std::find(b.gpus.begin(), b.gpus.end(), g) !=
+                         b.gpus.end();
+            if (!share)
+                continue;
+            bool disjoint = a.end_s <= b.start_s + 1e-9 ||
+                            b.end_s <= a.start_s + 1e-9;
+            EXPECT_TRUE(disjoint) << a.job << " vs " << b.job;
+        }
+    }
+}
+
+TEST(OnlineSched, AllPoliciesRunEveryJobOnce)
+{
+    auto jobs = simpleStream();
+    for (auto policy : {OnlinePolicy::FifoFullWidth,
+                        OnlinePolicy::FifoBestWidth,
+                        OnlinePolicy::Backfill}) {
+        SCOPED_TRACE(toString(policy));
+        auto m = simulateOnline(jobs, 4, policy);
+        EXPECT_EQ(m.schedule.placements.size(), jobs.size());
+        std::set<std::string> names;
+        for (const auto &p : m.schedule.placements)
+            names.insert(p.job);
+        EXPECT_EQ(names.size(), jobs.size());
+        checkNoOverlap(m.schedule);
+    }
+}
+
+TEST(OnlineSched, NoJobStartsBeforeArrival)
+{
+    auto jobs = simpleStream();
+    for (auto policy : {OnlinePolicy::FifoFullWidth,
+                        OnlinePolicy::FifoBestWidth,
+                        OnlinePolicy::Backfill}) {
+        auto m = simulateOnline(jobs, 4, policy);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            // Placement names carry the submission index suffix.
+            for (const auto &p : m.schedule.placements) {
+                if (p.job ==
+                    jobs[i].profile.name + "#" + std::to_string(i)) {
+                    EXPECT_GE(p.start_s, jobs[i].arrival_s - 1e-9);
+                }
+            }
+        }
+    }
+}
+
+TEST(OnlineSched, FullWidthRunsEverythingAtFullWidth)
+{
+    auto m = simulateOnline(simpleStream(), 4,
+                            OnlinePolicy::FifoFullWidth);
+    for (const auto &p : m.schedule.placements)
+        EXPECT_EQ(p.width(), 4);
+}
+
+TEST(OnlineSched, BestWidthNarrowsSerialJobs)
+{
+    auto m = simulateOnline(simpleStream(), 4,
+                            OnlinePolicy::FifoBestWidth);
+    // Job "b" (parallel fraction 0.1) must run on a single GPU.
+    for (const auto &p : m.schedule.placements) {
+        if (p.job.rfind("b#", 0) == 0) {
+            EXPECT_EQ(p.width(), 1);
+        }
+        if (p.job.rfind("a#", 0) == 0) {
+            EXPECT_EQ(p.width(), 4);
+        }
+    }
+}
+
+TEST(OnlineSched, BestWidthBeatsFullWidthOnSerialHeavyBatch)
+{
+    // Serial jobs waste a full-width machine; running them side by
+    // side at width 1 wins on both makespan and turnaround.
+    std::vector<OnlineJob> jobs;
+    jobs.push_back({amdahlJob("serial1", 1.0, 0.05), 0.0});
+    jobs.push_back({amdahlJob("serial2", 1.0, 0.05), 0.0});
+    jobs.push_back({amdahlJob("serial3", 1.0, 0.05), 0.0});
+    jobs.push_back({amdahlJob("scaler", 1.0, 1.0), 0.0});
+    auto full =
+        simulateOnline(jobs, 4, OnlinePolicy::FifoFullWidth);
+    auto best =
+        simulateOnline(jobs, 4, OnlinePolicy::FifoBestWidth);
+    EXPECT_LT(best.makespan_s, full.makespan_s);
+    EXPECT_LT(best.avg_turnaround_s, full.avg_turnaround_s);
+}
+
+TEST(OnlineSched, BackfillNeverIncreasesMaxWaitMuch)
+{
+    // Conservative backfill fills idle GPUs without delaying the
+    // head's reservation, so average wait should not regress.
+    auto jobs = poissonJobStream(
+        {amdahlJob("big", 3.0, 0.95), amdahlJob("small", 0.2, 0.2),
+         amdahlJob("mid", 1.0, 0.6)},
+        24, 900.0, 11);
+    auto fifo = simulateOnline(jobs, 8, OnlinePolicy::FifoBestWidth);
+    auto back = simulateOnline(jobs, 8, OnlinePolicy::Backfill);
+    EXPECT_LE(back.avg_wait_s, fifo.avg_wait_s + 1e-6);
+    checkNoOverlap(back.schedule);
+}
+
+TEST(OnlineSched, MetricsAreConsistent)
+{
+    auto m = simulateOnline(simpleStream(), 4,
+                            OnlinePolicy::FifoBestWidth);
+    EXPECT_GT(m.makespan_s, 0.0);
+    EXPECT_GE(m.avg_turnaround_s, m.avg_wait_s);
+    EXPECT_GE(m.max_wait_s, m.avg_wait_s);
+    EXPECT_GT(m.utilization, 0.0);
+    EXPECT_LE(m.utilization, 1.0);
+}
+
+TEST(OnlineSched, IdleMachineRunsJobImmediately)
+{
+    std::vector<OnlineJob> jobs{{amdahlJob("solo", 1.0, 0.9), 5.0}};
+    auto m = simulateOnline(jobs, 4, OnlinePolicy::FifoBestWidth);
+    EXPECT_DOUBLE_EQ(m.avg_wait_s, 0.0);
+    EXPECT_DOUBLE_EQ(m.schedule.placements[0].start_s, 5.0);
+}
+
+TEST(OnlineSched, ErrorsOnMisuse)
+{
+    EXPECT_THROW(simulateOnline({}, 4, OnlinePolicy::Backfill),
+                 FatalError);
+    std::vector<OnlineJob> jobs{{amdahlJob("a", 1.0, 1.0), -1.0}};
+    EXPECT_THROW(simulateOnline(jobs, 4, OnlinePolicy::Backfill),
+                 FatalError);
+    jobs[0].arrival_s = 0.0;
+    EXPECT_THROW(simulateOnline(jobs, 3, OnlinePolicy::Backfill),
+                 FatalError);
+}
+
+TEST(OnlineSched, PoissonStreamProperties)
+{
+    auto catalogue = std::vector<JobSpec>{amdahlJob("x", 1.0, 0.5)};
+    auto jobs = poissonJobStream(catalogue, 50, 100.0, 3);
+    ASSERT_EQ(jobs.size(), 50u);
+    double prev = -1.0;
+    double sum_gap = 0.0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_GE(jobs[i].arrival_s, prev);
+        if (i > 0)
+            sum_gap += jobs[i].arrival_s - jobs[i - 1].arrival_s;
+        prev = jobs[i].arrival_s;
+    }
+    // Mean gap within 3 sigma of the target for 49 samples.
+    EXPECT_NEAR(sum_gap / 49.0, 100.0, 45.0);
+    // Deterministic by seed.
+    auto again = poissonJobStream(catalogue, 50, 100.0, 3);
+    EXPECT_DOUBLE_EQ(again.back().arrival_s, jobs.back().arrival_s);
+    EXPECT_THROW(poissonJobStream({}, 5, 1.0, 1), FatalError);
+}
+
+/** Property sweep: with random streams, every policy yields a valid
+ *  non-overlapping schedule and sane metrics. */
+class OnlinePropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OnlinePropertyTest, ValidScheduleUnderRandomLoad)
+{
+    auto catalogue = std::vector<JobSpec>{
+        amdahlJob("big", 4.0, 0.98), amdahlJob("small", 0.3, 0.3),
+        amdahlJob("mid", 1.5, 0.7), amdahlJob("serial", 0.8, 0.05)};
+    auto jobs =
+        poissonJobStream(catalogue, 20, 1800.0, 100 + GetParam());
+    for (auto policy : {OnlinePolicy::FifoFullWidth,
+                        OnlinePolicy::FifoBestWidth,
+                        OnlinePolicy::Backfill}) {
+        auto m = simulateOnline(jobs, 8, policy);
+        EXPECT_EQ(m.schedule.placements.size(), jobs.size());
+        checkNoOverlap(m.schedule);
+        EXPECT_GT(m.utilization, 0.0);
+        EXPECT_LE(m.utilization, 1.0 + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlinePropertyTest,
+                         ::testing::Range(0, 6));
+
+} // namespace

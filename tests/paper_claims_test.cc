@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Golden-shape tests: the paper's Table I insights asserted as
+ * invariants of the reproduction. Each test names the observation it
+ * encodes; if a model change breaks one of these, the reproduction no
+ * longer tells the paper's story.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <map>
+
+#include "core/characterize.h"
+#include "core/suite.h"
+#include "models/zoo.h"
+#include "sched/naive.h"
+#include "sched/optimal.h"
+#include "stats/descriptive.h"
+#include "stats/roofline.h"
+#include "sys/machines.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace mlps;
+
+/** Caches the expensive whole-study runs shared by the claims. */
+class PaperClaims : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        dss_ = new sys::SystemConfig(sys::dss8440());
+        suite_ = new core::Suite(*dss_);
+        c4140k_ = new sys::SystemConfig(sys::c4140K());
+        report_ = new core::CharacterizationReport(
+            core::characterize(*c4140k_, 1));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete report_;
+        delete c4140k_;
+        delete suite_;
+        delete dss_;
+    }
+
+    static std::vector<std::string>
+    mlperfNames()
+    {
+        return {"MLPf_Res50_TF", "MLPf_Res50_MX", "MLPf_SSD_Py",
+                "MLPf_MRCNN_Py", "MLPf_XFMR_Py",  "MLPf_GNMT_Py",
+                "MLPf_NCF_Py"};
+    }
+
+    static sys::SystemConfig *dss_;
+    static core::Suite *suite_;
+    static sys::SystemConfig *c4140k_;
+    static core::CharacterizationReport *report_;
+};
+
+sys::SystemConfig *PaperClaims::dss_ = nullptr;
+core::Suite *PaperClaims::suite_ = nullptr;
+sys::SystemConfig *PaperClaims::c4140k_ = nullptr;
+core::CharacterizationReport *PaperClaims::report_ = nullptr;
+
+// Table I row 1/2: "MLPerf has a disjoint envelope from DAWNBench and
+// DeepBench" — PC1 separates the suites.
+TEST_F(PaperClaims, Fig1MlperfSeparatesOnPc1)
+{
+    double sep_deep = core::suiteSeparation(
+        *report_, 0, wl::SuiteTag::MLPerf, wl::SuiteTag::DeepBench);
+    double sep_dawn = core::suiteSeparation(
+        *report_, 0, wl::SuiteTag::MLPerf, wl::SuiteTag::DawnBench);
+    EXPECT_GT(sep_deep, 1.5);
+    EXPECT_GT(sep_dawn, 1.0);
+}
+
+// Figure 1: PC1-PC4 cover ~88% of the variance.
+TEST_F(PaperClaims, Fig1FourComponentsCoverMostVariance)
+{
+    EXPECT_GE(report_->pca.cumulativeVariance(4), 0.80);
+}
+
+// Figure 1 text: "no two MLPerf benchmarks are very close to each
+// other" in the PC1-PC4 space.
+TEST_F(PaperClaims, Fig1MlperfIntraSuiteDiversity)
+{
+    const auto &pca = report_->pca;
+    for (std::size_t i = 0; i < report_->workloads.size(); ++i) {
+        if (report_->suites[i] != wl::SuiteTag::MLPerf)
+            continue;
+        for (std::size_t j = i + 1; j < report_->workloads.size();
+             ++j) {
+            if (report_->suites[j] != wl::SuiteTag::MLPerf)
+                continue;
+            double d2 = 0.0;
+            for (int c = 0; c < 4; ++c) {
+                double d = pca.scores.at(static_cast<int>(i), c) -
+                           pca.scores.at(static_cast<int>(j), c);
+                d2 += d * d;
+            }
+            EXPECT_GT(std::sqrt(d2), 0.3)
+                << report_->workloads[i] << " vs "
+                << report_->workloads[j];
+        }
+    }
+}
+
+// Figure 2: every studied workload is memory-bound — left of the
+// half-precision ridge, under the roof.
+TEST_F(PaperClaims, Fig2AllWorkloadsMemoryBound)
+{
+    sys::SystemConfig t640 = sys::t640();
+    auto roof = stats::deviceRoofline(t640.gpu, hw::Precision::Mixed,
+                                      true);
+    for (const auto &pt : report_->roofline_points) {
+        SCOPED_TRACE(pt.label);
+        EXPECT_LT(pt.intensity, roof.ridgeIntensity());
+        EXPECT_LT(pt.flops, roof.peak_flops);
+    }
+}
+
+// Figure 2: arithmetic intensity ordering — MLPerf (end-to-end
+// optimised) above DeepBench kernels; the DAWNBench ResNet higher
+// still.
+TEST_F(PaperClaims, Fig2IntensityOrdering)
+{
+    std::map<wl::SuiteTag, std::vector<double>> ai;
+    double dawn_res18 = 0.0;
+    for (std::size_t i = 0; i < report_->roofline_points.size(); ++i) {
+        const auto &pt = report_->roofline_points[i];
+        if (pt.intensity > 0.0)
+            ai[report_->suites[i]].push_back(pt.intensity);
+        if (pt.label == "Dawn_Res18_Py")
+            dawn_res18 = pt.intensity;
+    }
+    double mlperf = stats::geomean(ai[wl::SuiteTag::MLPerf]);
+    double deep = stats::geomean(ai[wl::SuiteTag::DeepBench]);
+    EXPECT_GT(mlperf, deep);
+    EXPECT_GT(dawn_res18, mlperf);
+}
+
+// Figure 3: mixed precision speedups range ~1.5x..3.3x; Res50_TF is
+// the largest, MRCNN the smallest.
+TEST_F(PaperClaims, Fig3MixedPrecisionEnvelope)
+{
+    auto speedups = suite_->mixedPrecisionStudy(mlperfNames(), 8);
+    for (const auto &[name, s] : speedups) {
+        EXPECT_GT(s, 1.3) << name;
+        EXPECT_LT(s, 3.6) << name;
+    }
+    for (const auto &[name, s] : speedups) {
+        if (name != "MLPf_Res50_TF") {
+            EXPECT_LT(s, speedups.at("MLPf_Res50_TF") + 1e-9) << name;
+        }
+        if (name != "MLPf_MRCNN_Py" && name != "MLPf_NCF_Py") {
+            EXPECT_GT(s, speedups.at("MLPf_MRCNN_Py") - 1e-9) << name;
+        }
+    }
+}
+
+// Table IV: scaling diversity — Res50/SSD near-linear at 8 GPUs, NCF
+// saturates below 3x.
+TEST_F(PaperClaims, Table4ScalingDiversity)
+{
+    auto rows = suite_->scalingStudy(
+        {"MLPf_Res50_TF", "MLPf_SSD_Py", "MLPf_NCF_Py"}, {1, 2, 4, 8});
+    std::map<std::string, core::ScalingRow> by_name;
+    for (auto &r : rows)
+        by_name[r.workload] = r;
+
+    EXPECT_GT(by_name["MLPf_Res50_TF"].scaling.at(8), 6.5);
+    EXPECT_GT(by_name["MLPf_SSD_Py"].scaling.at(8), 6.5);
+    EXPECT_LT(by_name["MLPf_NCF_Py"].scaling.at(8), 3.0);
+    EXPECT_LT(by_name["MLPf_NCF_Py"].scaling.at(4), 2.6);
+}
+
+// Table IV: the P100-reference to V100-submission gap spans from ~3x
+// to >15x, largest for NCF.
+TEST_F(PaperClaims, Table4PToVSpread)
+{
+    auto rows = suite_->scalingStudy(mlperfNames(), {1});
+    double ncf = 0.0, max_other = 0.0;
+    for (const auto &r : rows) {
+        EXPECT_GT(r.p_to_v, 2.0) << r.workload;
+        if (r.workload == "MLPf_NCF_Py")
+            ncf = r.p_to_v;
+        else
+            max_other = std::max(max_other, r.p_to_v);
+    }
+    EXPECT_GT(ncf, 15.0);
+    EXPECT_GT(ncf, max_other);
+}
+
+// Figure 4: optimal scheduling saves hours against naive on 2 and 4
+// GPUs, less on 8 (the paper: 4.1 h / 3.0 h / 0.4 h).
+TEST_F(PaperClaims, Fig4OptimalSchedulingSavesHours)
+{
+    std::vector<sched::JobSpec> jobs;
+    for (const auto &name : mlperfNames()) {
+        sched::JobSpec j;
+        j.name = name;
+        for (int w = 1; w <= 8; w *= 2) {
+            train::RunOptions opts;
+            opts.num_gpus = w;
+            j.seconds_at_width[w] =
+                suite_->run(name, opts).total_seconds;
+        }
+        jobs.push_back(std::move(j));
+    }
+    std::map<int, double> saved_h;
+    for (int g : {2, 4, 8}) {
+        double naive = sched::naiveSchedule(jobs, g).makespan();
+        double opt = sched::optimalSchedule(jobs, g).makespan_s;
+        saved_h[g] = (naive - opt) / 3600.0;
+        EXPECT_GE(saved_h[g], 0.0);
+    }
+    EXPECT_GT(saved_h[2], 2.0);
+    EXPECT_GT(saved_h[4], 1.5);
+    EXPECT_GT(saved_h[2], saved_h[8]);
+    EXPECT_GT(saved_h[4], saved_h[8]);
+}
+
+// Figure 5 / Table I: training time NVLink system < PCIe-switch
+// system < CPU-PCIe system, for every MLPerf workload.
+TEST_F(PaperClaims, Fig5TopologyOrdering)
+{
+    sys::SystemConfig nvlink = sys::c4140M();
+    sys::SystemConfig p2p = sys::c4140B();
+    sys::SystemConfig cpu_pcie = sys::t640();
+    train::Trainer t_nv(nvlink), t_p2p(p2p), t_cpu(cpu_pcie);
+    for (const auto &spec : models::mlperfSuite()) {
+        SCOPED_TRACE(spec.abbrev);
+        train::RunOptions opts;
+        opts.num_gpus = 4;
+        double nv = t_nv.run(spec, opts).total_seconds;
+        double sw = t_p2p.run(spec, opts).total_seconds;
+        double cp = t_cpu.run(spec, opts).total_seconds;
+        EXPECT_LT(nv, sw);
+        EXPECT_LT(sw, cp);
+    }
+}
+
+// Figure 5 detail: the translation workloads gain most from NVLink,
+// image classification least.
+TEST_F(PaperClaims, Fig5ImprovementOrdering)
+{
+    sys::SystemConfig nvlink = sys::c4140M();
+    sys::SystemConfig cpu_pcie = sys::t640();
+    train::Trainer t_nv(nvlink), t_cpu(cpu_pcie);
+    auto improvement = [&](const char *name) {
+        auto spec = *models::findWorkload(name);
+        train::RunOptions opts;
+        opts.num_gpus = 4;
+        double nv = t_nv.run(spec, opts).total_seconds;
+        double cp = t_cpu.run(spec, opts).total_seconds;
+        return (cp - nv) / cp;
+    };
+    double xfmr = improvement("MLPf_XFMR_Py");
+    double mrcnn = improvement("MLPf_MRCNN_Py");
+    double res50 = improvement("MLPf_Res50_TF");
+    EXPECT_GT(xfmr, mrcnn);
+    EXPECT_GT(mrcnn, res50);
+    EXPECT_GT(xfmr, 0.30); // paper: ~42%
+    EXPECT_LT(res50, 0.20); // paper: ~11%
+}
+
+// Table V: CPU utilization roughly doubles with the GPU count.
+TEST_F(PaperClaims, Table5CpuUtilDoublesWithGpus)
+{
+    train::Trainer trainer(*c4140k_);
+    for (const char *name : {"MLPf_Res50_TF", "MLPf_SSD_Py"}) {
+        SCOPED_TRACE(name);
+        auto spec = *models::findWorkload(name);
+        std::map<int, double> cpu;
+        for (int n : {1, 2, 4}) {
+            train::RunOptions opts;
+            opts.num_gpus = n;
+            cpu[n] = trainer.run(spec, opts).usage.cpu_util_pct;
+        }
+        EXPECT_GT(cpu[2] / cpu[1], 1.4);
+        EXPECT_LT(cpu[2] / cpu[1], 2.6);
+        EXPECT_GT(cpu[4] / cpu[2], 1.4);
+        EXPECT_LT(cpu[4] / cpu[2], 2.6);
+    }
+}
+
+// Table V: Res50_TF has the highest CPU utilization among MLPerf;
+// NCF the lowest.
+TEST_F(PaperClaims, Table5CpuUtilExtremes)
+{
+    train::Trainer trainer(*c4140k_);
+    std::map<std::string, double> cpu;
+    for (const auto &spec : models::mlperfSuite()) {
+        train::RunOptions opts;
+        opts.num_gpus = 1;
+        cpu[spec.abbrev] = trainer.run(spec, opts).usage.cpu_util_pct;
+    }
+    for (const auto &[name, util] : cpu) {
+        if (name != "MLPf_Res50_TF") {
+            EXPECT_LT(util, cpu["MLPf_Res50_TF"]) << name;
+        }
+        if (name != "MLPf_NCF_Py") {
+            EXPECT_GT(util, cpu["MLPf_NCF_Py"]) << name;
+        }
+    }
+}
+
+// Table V / Section V-A: DrQA couples the highest CPU usage of all
+// workloads with the lowest GPU utilization (~20%).
+TEST_F(PaperClaims, Table5DrqaIsCpuBound)
+{
+    train::Trainer trainer(*c4140k_);
+    double drqa_cpu = 0.0, drqa_gpu = 0.0, max_cpu = 0.0;
+    for (const auto &spec : models::allWorkloads()) {
+        train::RunOptions opts;
+        opts.num_gpus =
+            spec.mode == wl::RunMode::CollectiveLoop ? 2 : 1;
+        auto r = trainer.run(spec, opts);
+        max_cpu = std::max(max_cpu, r.usage.cpu_util_pct);
+        if (spec.abbrev == "Dawn_DrQA_Py") {
+            drqa_cpu = r.usage.cpu_util_pct;
+            drqa_gpu = r.usage.gpu_util_pct_sum;
+        }
+    }
+    EXPECT_DOUBLE_EQ(drqa_cpu, max_cpu);
+    EXPECT_LT(drqa_gpu, 30.0);
+    EXPECT_GT(drqa_gpu, 10.0);
+}
+
+// Table V: NVLink traffic grows super-linearly with GPU count.
+TEST_F(PaperClaims, Table5NvlinkGrowsSuperLinearly)
+{
+    train::Trainer trainer(*c4140k_);
+    for (const char *name : {"MLPf_GNMT_Py", "MLPf_NCF_Py"}) {
+        SCOPED_TRACE(name);
+        auto spec = *models::findWorkload(name);
+        train::RunOptions o2, o4;
+        o2.num_gpus = 2;
+        o4.num_gpus = 4;
+        double n2 = trainer.run(spec, o2).usage.nvlink_mbps;
+        double n4 = trainer.run(spec, o4).usage.nvlink_mbps;
+        EXPECT_GT(n4, 2.0 * n2);
+    }
+}
+
+// Section V-D: Deep_Red_Cu pushes the most NVLink bandwidth of all
+// workloads; NCF leads the dense-model group.
+TEST_F(PaperClaims, Table5NvlinkChampions)
+{
+    train::Trainer trainer(*c4140k_);
+    std::map<std::string, double> nvlink;
+    for (const auto &spec : models::allWorkloads()) {
+        train::RunOptions opts;
+        opts.num_gpus =
+            spec.mode == wl::RunMode::Training ||
+                    spec.mode == wl::RunMode::CollectiveLoop
+                ? 4
+                : 1;
+        nvlink[spec.abbrev] =
+            trainer.run(spec, opts).usage.nvlink_mbps;
+    }
+    for (const auto &[name, mbps] : nvlink) {
+        if (name != "Deep_Red_Cu") {
+            EXPECT_LT(mbps, nvlink["Deep_Red_Cu"]) << name;
+        }
+    }
+    EXPECT_GT(nvlink["MLPf_NCF_Py"], nvlink["MLPf_Res50_TF"]);
+    EXPECT_GT(nvlink["MLPf_NCF_Py"], nvlink["MLPf_SSD_Py"]);
+    EXPECT_GT(nvlink["MLPf_NCF_Py"], nvlink["MLPf_MRCNN_Py"]);
+}
+
+// Table V: memory footprints (host and HBM) grow with GPU count.
+TEST_F(PaperClaims, Table5FootprintsGrowWithGpus)
+{
+    train::Trainer trainer(*c4140k_);
+    for (const auto &spec : models::mlperfSuite()) {
+        SCOPED_TRACE(spec.abbrev);
+        train::RunOptions o1, o4;
+        o1.num_gpus = 1;
+        o4.num_gpus = 4;
+        auto u1 = trainer.run(spec, o1).usage;
+        auto u4 = trainer.run(spec, o4).usage;
+        EXPECT_GT(u4.dram_footprint_mb, u1.dram_footprint_mb);
+        EXPECT_GT(u4.hbm_footprint_mb, u1.hbm_footprint_mb);
+    }
+}
+
+} // namespace

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the measurement toolchain: kernel profiler, dstat/dmon
+ * analog monitors, metric extraction and CSV export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "models/zoo.h"
+#include "prof/csv.h"
+#include "prof/device_monitor.h"
+#include "prof/kernel_profiler.h"
+#include "prof/metric_set.h"
+#include "prof/sys_monitor.h"
+#include "sim/logger.h"
+#include "sys/machines.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace mlps;
+using namespace mlps::prof;
+using mlps::sim::FatalError;
+
+// ------------------------------------------------------- kernel profiler
+
+TEST(KernelProfiler, AggregatesByNameAndPass)
+{
+    KernelProfiler p;
+    p.record("conv1", wl::OpKind::Conv2d, Pass::Forward, 10, 1.0, 1e9,
+             1e6);
+    p.record("conv1", wl::OpKind::Conv2d, Pass::Forward, 5, 0.5, 5e8,
+             5e5);
+    p.record("conv1", wl::OpKind::Conv2d, Pass::Backward, 10, 2.0, 2e9,
+             2e6);
+    ASSERT_EQ(p.records().size(), 2u);
+    const KernelRecord &fwd = p.records()[0];
+    EXPECT_EQ(fwd.invocations, 15u);
+    EXPECT_DOUBLE_EQ(fwd.total_seconds, 1.5);
+    EXPECT_DOUBLE_EQ(fwd.total_flops, 1.5e9);
+}
+
+TEST(KernelProfiler, DerivedRates)
+{
+    KernelProfiler p;
+    p.record("k", wl::OpKind::Gemm, Pass::Forward, 4, 2.0, 8e9, 4e9);
+    const KernelRecord &r = p.records()[0];
+    EXPECT_DOUBLE_EQ(r.meanSeconds(), 0.5);
+    EXPECT_DOUBLE_EQ(r.flopsPerSec(), 4e9);
+    EXPECT_DOUBLE_EQ(r.intensity(), 2.0);
+}
+
+TEST(KernelProfiler, Totals)
+{
+    KernelProfiler p;
+    p.record("a", wl::OpKind::Gemm, Pass::Forward, 1, 1.0, 2e9, 1e9);
+    p.record("b", wl::OpKind::Gemm, Pass::Forward, 1, 3.0, 6e9, 1e9);
+    EXPECT_DOUBLE_EQ(p.totalSeconds(), 4.0);
+    EXPECT_DOUBLE_EQ(p.totalFlops(), 8e9);
+    EXPECT_DOUBLE_EQ(p.totalBytes(), 2e9);
+    EXPECT_DOUBLE_EQ(p.aggregateFlopsPerSec(), 2e9);
+    EXPECT_DOUBLE_EQ(p.aggregateIntensity(), 4.0);
+}
+
+TEST(KernelProfiler, TopByTimeSorts)
+{
+    KernelProfiler p;
+    p.record("small", wl::OpKind::Gemm, Pass::Forward, 1, 0.1, 1, 1);
+    p.record("big", wl::OpKind::Gemm, Pass::Forward, 1, 5.0, 1, 1);
+    p.record("mid", wl::OpKind::Gemm, Pass::Forward, 1, 1.0, 1, 1);
+    auto top = p.topByTime(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].name, "big");
+    EXPECT_EQ(top[1].name, "mid");
+}
+
+TEST(KernelProfiler, SummaryAndClear)
+{
+    KernelProfiler p;
+    p.record("conv1", wl::OpKind::Conv2d, Pass::Forward, 2, 1.0, 1e9,
+             1e6);
+    std::string s = p.summary();
+    EXPECT_NE(s.find("conv1"), std::string::npos);
+    p.clear();
+    EXPECT_TRUE(p.records().empty());
+    EXPECT_DOUBLE_EQ(p.totalSeconds(), 0.0);
+}
+
+TEST(KernelProfiler, NegativeStatsFatal)
+{
+    KernelProfiler p;
+    EXPECT_THROW(p.record("x", wl::OpKind::Gemm, Pass::Forward, 1,
+                          -1.0, 0, 0),
+                 FatalError);
+}
+
+TEST(KernelProfiler, PassNames)
+{
+    EXPECT_EQ(toString(Pass::Forward), "fwd");
+    EXPECT_EQ(toString(Pass::Backward), "bwd");
+    EXPECT_EQ(toString(Pass::Optimizer), "opt");
+    EXPECT_EQ(toString(Pass::Collective), "nccl");
+}
+
+// --------------------------------------------------------------- monitors
+
+class MonitorTest : public ::testing::Test
+{
+  protected:
+    MonitorTest() : sys_(sys::c4140K()), trainer_(sys_)
+    {
+        auto spec = models::findWorkload("MLPf_SSD_Py");
+        train::RunOptions opts;
+        opts.num_gpus = 2;
+        result_ = trainer_.run(*spec, opts);
+    }
+
+    sys::SystemConfig sys_;
+    train::Trainer trainer_;
+    train::TrainResult result_;
+};
+
+TEST_F(MonitorTest, SysMonitorMeansTrackModel)
+{
+    SysMonitor mon(11);
+    mon.observe(result_, 200.0);
+    EXPECT_NEAR(mon.avgCpuUtil(), result_.usage.cpu_util_pct,
+                result_.usage.cpu_util_pct * 0.05);
+    EXPECT_NEAR(mon.avgDramMb(), result_.usage.dram_footprint_mb,
+                result_.usage.dram_footprint_mb * 0.02);
+    EXPECT_EQ(mon.samples().size(), 200u);
+}
+
+TEST_F(MonitorTest, SysMonitorDeterministicBySeed)
+{
+    SysMonitor a(5), b(5), c(6);
+    a.observe(result_, 50.0);
+    b.observe(result_, 50.0);
+    c.observe(result_, 50.0);
+    EXPECT_DOUBLE_EQ(a.avgCpuUtil(), b.avgCpuUtil());
+    EXPECT_NE(a.avgCpuUtil(), c.avgCpuUtil());
+}
+
+TEST_F(MonitorTest, SysMonitorReset)
+{
+    SysMonitor mon;
+    mon.observe(result_, 10.0);
+    mon.reset();
+    EXPECT_TRUE(mon.samples().empty());
+}
+
+TEST_F(MonitorTest, DeviceMonitorSumsTrackModel)
+{
+    DeviceMonitor mon(13);
+    mon.observe(result_, 200.0);
+    EXPECT_NEAR(mon.sumGpuUtil(), result_.usage.gpu_util_pct_sum,
+                result_.usage.gpu_util_pct_sum * 0.05);
+    EXPECT_NEAR(mon.sumHbmMb(), result_.usage.hbm_footprint_mb,
+                result_.usage.hbm_footprint_mb * 0.02);
+    EXPECT_NEAR(mon.sumNvlinkMbps(), result_.usage.nvlink_mbps,
+                result_.usage.nvlink_mbps * 0.1 + 1.0);
+    // Two GPUs, 200 samples each.
+    EXPECT_EQ(mon.samples().size(), 400u);
+}
+
+TEST_F(MonitorTest, DeviceSamplesPerGpu)
+{
+    DeviceMonitor mon(17);
+    mon.observe(result_, 10.0);
+    int gpu0 = 0, gpu1 = 0;
+    for (const auto &s : mon.samples()) {
+        gpu0 += s.gpu == 0;
+        gpu1 += s.gpu == 1;
+    }
+    EXPECT_EQ(gpu0, gpu1);
+    EXPECT_GT(gpu0, 0);
+}
+
+TEST(Monitor, BadCadenceFatal)
+{
+    EXPECT_THROW(SysMonitor(1, 0.0), FatalError);
+    EXPECT_THROW(DeviceMonitor(1, -1.0), FatalError);
+}
+
+// ------------------------------------------------------------ metric set
+
+TEST(MetricSet, ExtractionMapsFields)
+{
+    train::TrainResult r;
+    r.workload = "X";
+    r.usage.pcie_mbps = 1.0;
+    r.usage.gpu_util_pct_sum = 2.0;
+    r.usage.cpu_util_pct = 3.0;
+    r.usage.dram_footprint_mb = 4.0;
+    r.usage.hbm_footprint_mb = 5.0;
+    r.achieved_flops = 6.0;
+    r.achieved_bytes_per_sec = 7.0;
+    r.epochs = 8.0;
+    MetricSet m = extractMetrics(r);
+    EXPECT_EQ(m.workload, "X");
+    for (int i = 0; i < kNumMetrics; ++i)
+        EXPECT_DOUBLE_EQ(m.values[i], i + 1.0);
+}
+
+TEST(MetricSet, NamesAndMatrix)
+{
+    EXPECT_EQ(metricNames().size(),
+              static_cast<std::size_t>(kNumMetrics));
+    EXPECT_EQ(metricNames()[0], "pcie_util");
+    EXPECT_EQ(metricNames()[7], "epochs");
+
+    MetricSet a, b;
+    a.values = {1, 2, 3, 4, 5, 6, 7, 8};
+    b.values = {8, 7, 6, 5, 4, 3, 2, 1};
+    auto rows = toMatrix({a, b});
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_DOUBLE_EQ(rows[0][0], 1.0);
+    EXPECT_DOUBLE_EQ(rows[1][0], 8.0);
+}
+
+// ----------------------------------------------------------------- csv
+
+TEST(Csv, RendersHeaderAndRows)
+{
+    CsvWriter csv({"a", "b"});
+    csv.addRow({"1", "2"});
+    csv.addNumericRow({3.5, 4.25});
+    EXPECT_EQ(csv.str(), "a,b\n1,2\n3.5,4.25\n");
+    EXPECT_EQ(csv.rowCount(), 2u);
+    EXPECT_EQ(csv.columnCount(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RowWidthChecked)
+{
+    CsvWriter csv({"a", "b"});
+    EXPECT_THROW(csv.addRow({"1"}), FatalError);
+    EXPECT_THROW(CsvWriter({}), FatalError);
+}
+
+TEST(Csv, WritesFile)
+{
+    CsvWriter csv({"x"});
+    csv.addRow({"1"});
+    std::string path = ::testing::TempDir() + "/mlpsim_csv_test.csv";
+    ASSERT_TRUE(csv.writeFile(path));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x");
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the study report generator and the correlation matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/report.h"
+#include "sim/rng.h"
+#include "stats/matrix.h"
+
+namespace {
+
+using namespace mlps;
+
+TEST(Correlation, PerfectAndInverse)
+{
+    stats::Matrix samples({{1.0, 2.0, -1.0},
+                           {2.0, 4.0, -2.0},
+                           {3.0, 6.0, -3.0}});
+    stats::Matrix corr = stats::correlationMatrix(samples);
+    EXPECT_DOUBLE_EQ(corr.at(0, 0), 1.0);
+    EXPECT_NEAR(corr.at(0, 1), 1.0, 1e-12);
+    EXPECT_NEAR(corr.at(0, 2), -1.0, 1e-12);
+    EXPECT_TRUE(corr.isSymmetric(1e-12));
+}
+
+TEST(Correlation, BoundedInMinusOneOne)
+{
+    sim::Rng rng(77);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 40; ++i)
+        rows.push_back({rng.gaussian(), rng.gaussian(),
+                        rng.gaussian() + rng.uniform()});
+    stats::Matrix corr = stats::correlationMatrix(stats::Matrix(rows));
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            EXPECT_GE(corr.at(i, j), -1.0 - 1e-12);
+            EXPECT_LE(corr.at(i, j), 1.0 + 1e-12);
+        }
+    }
+}
+
+TEST(Correlation, ConstantColumnZeroCorrelation)
+{
+    stats::Matrix samples({{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}});
+    stats::Matrix corr = stats::correlationMatrix(samples);
+    EXPECT_DOUBLE_EQ(corr.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(corr.at(0, 1), 0.0);
+}
+
+TEST(Report, ContainsEverySection)
+{
+    std::string md = core::generateStudyReport();
+    EXPECT_NE(md.find("# mlpsim study report"), std::string::npos);
+    EXPECT_NE(md.find("Scaling efficiency"), std::string::npos);
+    EXPECT_NE(md.find("Mixed precision"), std::string::npos);
+    EXPECT_NE(md.find("Topology impact"), std::string::npos);
+    EXPECT_NE(md.find("scheduling"), std::string::npos);
+    EXPECT_NE(md.find("characterization"), std::string::npos);
+    EXPECT_NE(md.find("MLPf_NCF_Py"), std::string::npos);
+    EXPECT_NE(md.find("C4140 (K)"), std::string::npos);
+}
+
+TEST(Report, OptionsDisableSections)
+{
+    core::ReportOptions opts;
+    opts.include_topology = false;
+    opts.include_characterization = false;
+    std::string md = core::generateStudyReport(opts);
+    EXPECT_EQ(md.find("Topology impact"), std::string::npos);
+    EXPECT_EQ(md.find("characterization"), std::string::npos);
+    EXPECT_NE(md.find("Scaling efficiency"), std::string::npos);
+}
+
+TEST(Report, WritesFile)
+{
+    std::string path = ::testing::TempDir() + "/mlpsim_report_test.md";
+    core::ReportOptions light;
+    light.include_scaling = false;
+    light.include_topology = false;
+    light.include_scheduling = false;
+    light.include_characterization = false;
+    ASSERT_TRUE(core::writeStudyReport(path, light));
+    std::ifstream in(path);
+    std::string first;
+    std::getline(in, first);
+    EXPECT_EQ(first, "# mlpsim study report");
+    std::remove(path.c_str());
+}
+
+} // namespace

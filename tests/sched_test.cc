@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Tests for the scheduling module: job specs, schedule validation,
+ * the naive/greedy policies, and the exact hierarchical optimum —
+ * including property checks against brute force on small instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sched/gantt.h"
+#include "sched/job_spec.h"
+#include "sched/naive.h"
+#include "sched/optimal.h"
+#include "sched/schedule.h"
+#include "sim/logger.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace mlps::sched;
+using mlps::sim::FatalError;
+
+/** Amdahl-style job: time(w) = hours * ((1-p) + p/w) in seconds. */
+JobSpec
+job(const std::string &name, double hours, double parallel_frac)
+{
+    JobSpec j;
+    j.name = name;
+    for (int w = 1; w <= 8; w *= 2) {
+        j.seconds_at_width[w] =
+            hours * 3600.0 * ((1.0 - parallel_frac) +
+                              parallel_frac / w);
+    }
+    return j;
+}
+
+// -------------------------------------------------------------- job spec
+
+TEST(JobSpec, TimeLookup)
+{
+    JobSpec j = job("a", 2.0, 1.0);
+    EXPECT_DOUBLE_EQ(j.timeAt(1), 7200.0);
+    EXPECT_DOUBLE_EQ(j.timeAt(4), 1800.0);
+    EXPECT_DOUBLE_EQ(j.speedupAt(4), 4.0);
+    EXPECT_TRUE(j.supportsWidth(8));
+    EXPECT_FALSE(j.supportsWidth(3));
+    EXPECT_THROW(j.timeAt(3), FatalError);
+}
+
+TEST(JobSpec, ValidationCatchesProblems)
+{
+    std::vector<JobSpec> jobs{job("a", 1.0, 0.5)};
+    EXPECT_NO_THROW(validateJobs(jobs, 4));
+    EXPECT_THROW(validateJobs({}, 4), FatalError);
+    EXPECT_THROW(validateJobs(jobs, 3), FatalError); // not a power of 2
+    JobSpec missing;
+    missing.name = "m";
+    missing.seconds_at_width[1] = 10.0;
+    EXPECT_THROW(validateJobs({missing}, 2), FatalError);
+    JobSpec nonpos = job("n", 1.0, 0.5);
+    nonpos.seconds_at_width[2] = 0.0;
+    EXPECT_THROW(validateJobs({nonpos}, 2), FatalError);
+}
+
+// -------------------------------------------------------------- schedule
+
+TEST(Schedule, MakespanAndUtilization)
+{
+    Schedule s;
+    s.num_gpus = 2;
+    s.placements.push_back({"a", {0}, 0.0, 10.0});
+    s.placements.push_back({"b", {1}, 0.0, 5.0});
+    EXPECT_DOUBLE_EQ(s.makespan(), 10.0);
+    EXPECT_DOUBLE_EQ(s.utilization(), 15.0 / 20.0);
+}
+
+TEST(Schedule, ValidateCatchesOverlap)
+{
+    std::vector<JobSpec> jobs{job("a", 1.0, 1.0), job("b", 1.0, 1.0)};
+    Schedule s;
+    s.num_gpus = 1;
+    s.placements.push_back({"a", {0}, 0.0, 10.0});
+    s.placements.push_back({"b", {0}, 5.0, 15.0});
+    EXPECT_THROW(s.validate(jobs), FatalError);
+}
+
+TEST(Schedule, ValidateCatchesMissingJob)
+{
+    std::vector<JobSpec> jobs{job("a", 1.0, 1.0), job("b", 1.0, 1.0)};
+    Schedule s;
+    s.num_gpus = 1;
+    s.placements.push_back({"a", {0}, 0.0, 10.0});
+    EXPECT_THROW(s.validate(jobs), FatalError);
+}
+
+TEST(Schedule, ValidateCatchesBadGpuIndex)
+{
+    std::vector<JobSpec> jobs{job("a", 1.0, 1.0)};
+    Schedule s;
+    s.num_gpus = 2;
+    s.placements.push_back({"a", {5}, 0.0, 1.0});
+    EXPECT_THROW(s.validate(jobs), FatalError);
+}
+
+// ----------------------------------------------------------------- naive
+
+TEST(Naive, SequentialFullWidth)
+{
+    std::vector<JobSpec> jobs{job("a", 4.0, 1.0), job("b", 2.0, 1.0)};
+    Schedule s = naiveSchedule(jobs, 4);
+    EXPECT_EQ(s.placements.size(), 2u);
+    // Each at width 4: 1h + 0.5h.
+    EXPECT_DOUBLE_EQ(s.makespan(), 1.5 * 3600.0);
+    EXPECT_DOUBLE_EQ(s.utilization(), 1.0);
+    for (const auto &p : s.placements)
+        EXPECT_EQ(p.width(), 4);
+}
+
+TEST(Naive, PreservesJobOrder)
+{
+    std::vector<JobSpec> jobs{job("first", 1.0, 1.0),
+                              job("second", 1.0, 1.0)};
+    Schedule s = naiveSchedule(jobs, 2);
+    EXPECT_EQ(s.placements[0].job, "first");
+    EXPECT_LT(s.placements[0].start_s, s.placements[1].start_s);
+}
+
+TEST(Greedy, ProducesValidSchedule)
+{
+    std::vector<JobSpec> jobs{job("a", 4.0, 0.99), job("b", 2.0, 0.5),
+                              job("c", 1.0, 0.1), job("d", 3.0, 0.9)};
+    Schedule s = greedySchedule(jobs, 4);
+    EXPECT_NO_THROW(s.validate(jobs));
+    EXPECT_GT(s.makespan(), 0.0);
+}
+
+TEST(Greedy, PoorScalersGetNarrowWidths)
+{
+    std::vector<JobSpec> jobs{job("serial", 2.0, 0.05)};
+    Schedule s = greedySchedule(jobs, 8);
+    EXPECT_EQ(s.placements[0].width(), 1);
+}
+
+// --------------------------------------------------------------- optimal
+
+TEST(Optimal, SingleJobUsesBestWidth)
+{
+    std::vector<JobSpec> jobs{job("a", 4.0, 1.0)};
+    OptimalResult r = optimalSchedule(jobs, 4);
+    EXPECT_DOUBLE_EQ(r.makespan_s, 3600.0);
+    EXPECT_EQ(r.schedule.placements[0].width(), 4);
+}
+
+TEST(Optimal, SerialJobStaysNarrowWithCompany)
+{
+    // One serial job + one scalable: run them side by side.
+    std::vector<JobSpec> jobs{job("serial", 1.0, 0.0),
+                              job("scalable", 1.0, 1.0)};
+    OptimalResult r = optimalSchedule(jobs, 2);
+    // Either both at width 1 in parallel (1 h) vs naive 1.5 h.
+    EXPECT_LE(r.makespan_s, 3600.0 + 1.0);
+}
+
+TEST(Optimal, NeverWorseThanNaiveOrGreedy)
+{
+    mlps::sim::Rng rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<JobSpec> jobs;
+        int n = 3 + static_cast<int>(rng.below(5));
+        for (int i = 0; i < n; ++i) {
+            jobs.push_back(job("j" + std::to_string(i),
+                               rng.uniform(0.5, 6.0),
+                               rng.uniform(0.0, 1.0)));
+        }
+        for (int gpus : {2, 4, 8}) {
+            OptimalResult opt = optimalSchedule(jobs, gpus);
+            double naive = naiveSchedule(jobs, gpus).makespan();
+            double greedy = greedySchedule(jobs, gpus).makespan();
+            EXPECT_LE(opt.makespan_s, naive + 1e-6);
+            EXPECT_LE(opt.makespan_s, greedy + 1e-6);
+            EXPECT_GE(opt.makespan_s,
+                      makespanLowerBound(jobs, gpus) - 1e-6);
+        }
+    }
+}
+
+TEST(Optimal, MatchesBruteForceOnTwoJobs)
+{
+    // With two jobs on 2 GPUs the optimum is min of: both full-width
+    // sequential, or side-by-side at width 1.
+    std::vector<JobSpec> jobs{job("a", 3.0, 0.6), job("b", 2.0, 0.9)};
+    double full = jobs[0].timeAt(2) + jobs[1].timeAt(2);
+    double split = std::max(jobs[0].timeAt(1), jobs[1].timeAt(1));
+    double mixed_a = jobs[0].timeAt(2) + jobs[1].timeAt(1); // invalid mix
+    (void)mixed_a;
+    double brute = std::min(full, split);
+    // One more legal shape: one job full width then the other at 1
+    // leaves a GPU idle but is never better than 'full'; covered.
+    OptimalResult r = optimalSchedule(jobs, 2);
+    EXPECT_NEAR(r.makespan_s, brute, 1e-9);
+}
+
+TEST(Optimal, MatchesExhaustiveThreeJobsTwoGpus)
+{
+    // Exhaustive over the hierarchical class for 3 jobs, 2 GPUs:
+    // choose subset F run at width 2, partition rest over the GPUs.
+    std::vector<JobSpec> jobs{job("a", 2.0, 0.3), job("b", 1.5, 0.95),
+                              job("c", 1.0, 0.7)};
+    double best = 1e300;
+    for (int f = 0; f < 8; ++f) {
+        double head = 0.0;
+        for (int j = 0; j < 3; ++j)
+            if (f & (1 << j))
+                head += jobs[j].timeAt(2);
+        // Partition the rest into two width-1 sequences.
+        int rest[3], nrest = 0;
+        for (int j = 0; j < 3; ++j)
+            if (!(f & (1 << j)))
+                rest[nrest++] = j;
+        double best_tail = 1e300;
+        for (int mask = 0; mask < (1 << nrest); ++mask) {
+            double left = 0.0, right = 0.0;
+            for (int k = 0; k < nrest; ++k) {
+                if (mask & (1 << k))
+                    left += jobs[rest[k]].timeAt(1);
+                else
+                    right += jobs[rest[k]].timeAt(1);
+            }
+            best_tail = std::min(best_tail, std::max(left, right));
+        }
+        if (nrest == 0)
+            best_tail = 0.0;
+        best = std::min(best, head + best_tail);
+    }
+    OptimalResult r = optimalSchedule(jobs, 2);
+    EXPECT_NEAR(r.makespan_s, best, 1e-9);
+}
+
+TEST(Optimal, ReconstructionIsValid)
+{
+    mlps::sim::Rng rng(9);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<JobSpec> jobs;
+        for (int i = 0; i < 6; ++i) {
+            jobs.push_back(job("j" + std::to_string(i),
+                               rng.uniform(0.5, 4.0),
+                               rng.uniform(0.0, 1.0)));
+        }
+        OptimalResult r = optimalSchedule(jobs, 4);
+        EXPECT_NO_THROW(r.schedule.validate(jobs));
+        EXPECT_NEAR(r.schedule.makespan(), r.makespan_s,
+                    r.makespan_s * 1e-9);
+    }
+}
+
+TEST(Optimal, DiverseMixBeatsNaiveSubstantially)
+{
+    // The Figure 4 situation: mixed scaling efficiency leaves a big
+    // gap between naive and optimal.
+    std::vector<JobSpec> jobs{
+        job("scales1", 4.0, 0.99), job("scales2", 3.0, 0.98),
+        job("mid", 5.0, 0.8),      job("poor1", 3.0, 0.3),
+        job("poor2", 2.0, 0.2),
+    };
+    OptimalResult r = optimalSchedule(jobs, 4);
+    double naive = naiveSchedule(jobs, 4).makespan();
+    EXPECT_LT(r.makespan_s, 0.9 * naive);
+}
+
+TEST(LowerBound, NeverExceedsNaive)
+{
+    std::vector<JobSpec> jobs{job("a", 2.0, 0.5), job("b", 1.0, 0.9)};
+    for (int g : {1, 2, 4, 8}) {
+        EXPECT_LE(makespanLowerBound(jobs, g),
+                  naiveSchedule(jobs, g).makespan() + 1e-9);
+    }
+}
+
+// ------------------------------------------------------------------ gantt
+
+TEST(Gantt, RendersEveryGpuRow)
+{
+    std::vector<JobSpec> jobs{job("alpha", 2.0, 1.0),
+                              job("beta", 1.0, 0.2)};
+    Schedule s = naiveSchedule(jobs, 4);
+    std::string g = renderGantt(s);
+    EXPECT_NE(g.find("GPU0"), std::string::npos);
+    EXPECT_NE(g.find("GPU3"), std::string::npos);
+    EXPECT_NE(g.find("alpha"), std::string::npos);
+    EXPECT_NE(g.find("makespan"), std::string::npos);
+    EXPECT_THROW(renderGantt(s, 3), FatalError);
+}
+
+TEST(Gantt, DescribeSortsByStart)
+{
+    std::vector<JobSpec> jobs{job("late", 1.0, 1.0),
+                              job("early", 1.0, 1.0)};
+    Schedule s;
+    s.num_gpus = 1;
+    s.placements.push_back({"late", {0}, 10.0, 20.0});
+    s.placements.push_back({"early", {0}, 0.0, 10.0});
+    std::string d = describeSchedule(s);
+    EXPECT_LT(d.find("early"), d.find("late"));
+}
+
+/** Property sweep over GPU counts: the DP's makespan is achievable by
+ *  its own reconstruction and bounded by naive. */
+class OptimalSweepTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OptimalSweepTest, ConsistentAtEveryWidth)
+{
+    int gpus = GetParam();
+    std::vector<JobSpec> jobs{
+        job("a", 3.0, 0.95), job("b", 2.0, 0.6), job("c", 1.0, 0.2),
+        job("d", 4.0, 0.85), job("e", 0.5, 0.05),
+    };
+    OptimalResult r = optimalSchedule(jobs, gpus);
+    EXPECT_NO_THROW(r.schedule.validate(jobs));
+    EXPECT_LE(r.makespan_s, naiveSchedule(jobs, gpus).makespan() + 1e-9);
+    EXPECT_GE(r.makespan_s, makespanLowerBound(jobs, gpus) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, OptimalSweepTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+} // namespace

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Tests for the analysis library: matrix algebra, Jacobi
+ * eigendecomposition, PCA, roofline models and descriptive stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/gpu.h"
+#include "sim/logger.h"
+#include "sim/rng.h"
+#include "stats/descriptive.h"
+#include "stats/eigen.h"
+#include "stats/matrix.h"
+#include "stats/pca.h"
+#include "stats/roofline.h"
+
+namespace {
+
+using namespace mlps::stats;
+using mlps::sim::FatalError;
+
+// --------------------------------------------------------------- matrix
+
+TEST(Matrix, ConstructionAndAccess)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2);
+    EXPECT_EQ(m.cols(), 3);
+    m.at(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+    EXPECT_THROW(m.at(2, 0), FatalError);
+    EXPECT_THROW(m.at(0, 3), FatalError);
+}
+
+TEST(Matrix, FromNestedVectors)
+{
+    Matrix m({{1, 2}, {3, 4}});
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+    EXPECT_THROW(Matrix({{1, 2}, {3}}), FatalError);
+}
+
+TEST(Matrix, IdentityMultiplication)
+{
+    Matrix a({{1, 2}, {3, 4}});
+    Matrix i = Matrix::identity(2);
+    EXPECT_DOUBLE_EQ((a * i).maxAbsDiff(a), 0.0);
+    EXPECT_DOUBLE_EQ((i * a).maxAbsDiff(a), 0.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    Matrix a({{1, 2}, {3, 4}});
+    Matrix b({{5, 6}, {7, 8}});
+    Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+    Matrix bad(3, 3);
+    EXPECT_THROW(a * bad, FatalError);
+}
+
+TEST(Matrix, TransposeAndArithmetic)
+{
+    Matrix a({{1, 2, 3}, {4, 5, 6}});
+    Matrix t = a.transposed();
+    EXPECT_EQ(t.rows(), 3);
+    EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+    Matrix sum = a + a;
+    EXPECT_DOUBLE_EQ(sum.at(1, 2), 12.0);
+    Matrix diff = sum - a;
+    EXPECT_DOUBLE_EQ(diff.maxAbsDiff(a), 0.0);
+    EXPECT_DOUBLE_EQ(a.scaled(2.0).at(0, 0), 2.0);
+}
+
+TEST(Matrix, RowColExtraction)
+{
+    Matrix a({{1, 2}, {3, 4}});
+    EXPECT_EQ(a.row(1), (std::vector<double>{3, 4}));
+    EXPECT_EQ(a.col(0), (std::vector<double>{1, 3}));
+}
+
+TEST(Matrix, ColumnStatistics)
+{
+    Matrix a({{1, 10}, {3, 30}});
+    auto means = a.columnMeans();
+    EXPECT_DOUBLE_EQ(means[0], 2.0);
+    EXPECT_DOUBLE_EQ(means[1], 20.0);
+    auto sd = a.columnStddevs();
+    EXPECT_NEAR(sd[0], std::sqrt(2.0), 1e-12);
+}
+
+TEST(Matrix, SymmetryCheck)
+{
+    Matrix sym({{1, 2}, {2, 1}});
+    Matrix asym({{1, 2}, {3, 1}});
+    EXPECT_TRUE(sym.isSymmetric());
+    EXPECT_FALSE(asym.isSymmetric());
+    EXPECT_FALSE(Matrix(2, 3).isSymmetric());
+}
+
+TEST(Matrix, CovarianceKnownValues)
+{
+    // Perfectly correlated columns.
+    Matrix samples({{1, 2}, {2, 4}, {3, 6}});
+    Matrix cov = covariance(samples);
+    EXPECT_DOUBLE_EQ(cov.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(cov.at(1, 1), 4.0);
+    EXPECT_DOUBLE_EQ(cov.at(0, 1), 2.0);
+    EXPECT_TRUE(cov.isSymmetric());
+    EXPECT_THROW(covariance(Matrix(1, 2)), FatalError);
+}
+
+TEST(Matrix, StandardizeZeroMeanUnitVar)
+{
+    Matrix samples({{1, 100}, {2, 200}, {3, 300}});
+    Matrix z = standardize(samples);
+    auto means = z.columnMeans();
+    auto sd = z.columnStddevs();
+    for (int c = 0; c < 2; ++c) {
+        EXPECT_NEAR(means[c], 0.0, 1e-12);
+        EXPECT_NEAR(sd[c], 1.0, 1e-12);
+    }
+}
+
+TEST(Matrix, StandardizeConstantColumnBecomesZero)
+{
+    Matrix samples({{5, 1}, {5, 2}, {5, 3}});
+    Matrix z = standardize(samples);
+    for (int r = 0; r < 3; ++r)
+        EXPECT_DOUBLE_EQ(z.at(r, 0), 0.0);
+}
+
+// ---------------------------------------------------------------- eigen
+
+TEST(Eigen, DiagonalMatrix)
+{
+    Matrix d({{3, 0}, {0, 1}});
+    EigenResult e = jacobiEigen(d);
+    EXPECT_DOUBLE_EQ(e.values[0], 3.0);
+    EXPECT_DOUBLE_EQ(e.values[1], 1.0);
+}
+
+TEST(Eigen, Known2x2)
+{
+    // [[2,1],[1,2]] has eigenvalues 3 and 1.
+    Matrix a({{2, 1}, {1, 2}});
+    EigenResult e = jacobiEigen(a);
+    EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+    // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+    double v0 = e.vectors.at(0, 0);
+    double v1 = e.vectors.at(1, 0);
+    EXPECT_NEAR(std::fabs(v0), std::sqrt(0.5), 1e-10);
+    EXPECT_NEAR(v0, v1, 1e-10);
+}
+
+TEST(Eigen, ReconstructsMatrix)
+{
+    mlps::sim::Rng rng(3);
+    const int n = 6;
+    Matrix a(n, n);
+    for (int i = 0; i < n; ++i) {
+        for (int j = i; j < n; ++j) {
+            double v = rng.uniform(-2.0, 2.0);
+            a.at(i, j) = v;
+            a.at(j, i) = v;
+        }
+    }
+    EigenResult e = jacobiEigen(a);
+    // A = Q diag Q^T.
+    Matrix diag(n, n);
+    for (int i = 0; i < n; ++i)
+        diag.at(i, i) = e.values[i];
+    Matrix rebuilt = e.vectors * diag * e.vectors.transposed();
+    EXPECT_LT(rebuilt.maxAbsDiff(a), 1e-8);
+}
+
+TEST(Eigen, VectorsOrthonormal)
+{
+    Matrix a({{4, 1, 0}, {1, 3, 1}, {0, 1, 2}});
+    EigenResult e = jacobiEigen(a);
+    Matrix qtq = e.vectors.transposed() * e.vectors;
+    EXPECT_LT(qtq.maxAbsDiff(Matrix::identity(3)), 1e-10);
+}
+
+TEST(Eigen, ValuesSortedDescending)
+{
+    Matrix a({{1, 0, 0}, {0, 5, 0}, {0, 0, 3}});
+    EigenResult e = jacobiEigen(a);
+    EXPECT_GE(e.values[0], e.values[1]);
+    EXPECT_GE(e.values[1], e.values[2]);
+}
+
+TEST(Eigen, AsymmetricIsFatal)
+{
+    Matrix a({{1, 2}, {3, 4}});
+    EXPECT_THROW(jacobiEigen(a), FatalError);
+}
+
+// ------------------------------------------------------------------ pca
+
+TEST(Pca, RecoversDominantDirection)
+{
+    // Points along y = 2x with small noise: PC1 must align with
+    // (1,2)/sqrt(5) and explain almost all variance.
+    mlps::sim::Rng rng(17);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 200; ++i) {
+        double t = rng.uniform(-1.0, 1.0);
+        rows.push_back({t + rng.gaussian(0, 0.01),
+                        2.0 * t + rng.gaussian(0, 0.01)});
+    }
+    PcaResult res = pca(Matrix(rows), /*standardize=*/false);
+    EXPECT_GT(res.explained_variance[0], 0.99);
+    double vx = res.components.at(0, 0);
+    double vy = res.components.at(1, 0);
+    EXPECT_NEAR(std::fabs(vy / vx), 2.0, 0.05);
+}
+
+TEST(Pca, ExplainedVarianceSumsToOne)
+{
+    mlps::sim::Rng rng(19);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 30; ++i) {
+        rows.push_back({rng.uniform(), rng.uniform() * 10,
+                        rng.uniform() * 100});
+    }
+    PcaResult res = pca(Matrix(rows));
+    double sum = 0.0;
+    for (double v : res.explained_variance)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_NEAR(res.cumulativeVariance(3), 1.0, 1e-9);
+    // Descending order.
+    for (std::size_t i = 1; i < res.explained_variance.size(); ++i)
+        EXPECT_GE(res.explained_variance[i - 1],
+                  res.explained_variance[i]);
+}
+
+TEST(Pca, ScoresAreCentered)
+{
+    mlps::sim::Rng rng(23);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 50; ++i)
+        rows.push_back({rng.uniform(5.0, 6.0), rng.uniform(0.0, 9.0)});
+    PcaResult res = pca(Matrix(rows));
+    for (int c = 0; c < res.scores.cols(); ++c) {
+        double mean = 0.0;
+        for (int r = 0; r < res.scores.rows(); ++r)
+            mean += res.scores.at(r, c);
+        EXPECT_NEAR(mean / res.scores.rows(), 0.0, 1e-9);
+    }
+}
+
+TEST(Pca, DominantMetricIdentified)
+{
+    // Column 1 carries all the variance.
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 20; ++i)
+        rows.push_back({1.0, static_cast<double>(i), 2.0});
+    PcaResult res = pca(Matrix(rows), /*standardize=*/false);
+    EXPECT_EQ(res.dominantMetric(0), 1);
+    EXPECT_THROW(res.dominantMetric(5), FatalError);
+}
+
+TEST(Pca, TooFewObservationsFatal)
+{
+    EXPECT_THROW(pca(Matrix(1, 3)), FatalError);
+}
+
+// -------------------------------------------------------------- roofline
+
+TEST(Roofline, AttainableIsMinOfRoofs)
+{
+    RooflineModel m;
+    m.peak_flops = 100.0;
+    m.peak_bandwidth = 10.0;
+    EXPECT_DOUBLE_EQ(m.ridgeIntensity(), 10.0);
+    EXPECT_DOUBLE_EQ(m.attainable(1.0), 10.0);   // memory-limited
+    EXPECT_DOUBLE_EQ(m.attainable(100.0), 100.0); // compute-limited
+    EXPECT_DOUBLE_EQ(m.attainable(0.0), 0.0);
+    EXPECT_TRUE(m.memoryBound(5.0));
+    EXPECT_FALSE(m.memoryBound(50.0));
+}
+
+TEST(Roofline, DeviceRooflinesOrdered)
+{
+    mlps::hw::GpuSpec g = mlps::hw::teslaV100Sxm2_16();
+    auto d = deviceRoofline(g, mlps::hw::Precision::FP64);
+    auto s = deviceRoofline(g, mlps::hw::Precision::FP32);
+    auto h = deviceRoofline(g, mlps::hw::Precision::Mixed, true);
+    EXPECT_LT(d.peak_flops, s.peak_flops);
+    EXPECT_LT(s.peak_flops, h.peak_flops);
+    EXPECT_DOUBLE_EQ(d.peak_bandwidth, s.peak_bandwidth);
+}
+
+TEST(Roofline, EmpiricalSweepMonotoneAndBounded)
+{
+    mlps::hw::GpuSpec g = mlps::hw::teslaV100Sxm2_16();
+    auto sweep =
+        empiricalRooflineSweep(g, mlps::hw::Precision::FP32, false);
+    ASSERT_GT(sweep.size(), 5u);
+    auto roof = deviceRoofline(g, mlps::hw::Precision::FP32);
+    double prev = 0.0;
+    for (const auto &pt : sweep) {
+        EXPECT_GE(pt.flops, prev * 0.999); // nondecreasing
+        EXPECT_LE(pt.flops, roof.attainable(pt.intensity) * 1.001);
+        prev = pt.flops;
+    }
+    // Plateau reaches close to (but below) the theoretical peak.
+    EXPECT_GT(sweep.back().flops, 0.85 * roof.peak_flops);
+    EXPECT_LT(sweep.back().flops, roof.peak_flops);
+}
+
+TEST(Roofline, EmpiricalSweepRejectsBadDensity)
+{
+    mlps::hw::GpuSpec g = mlps::hw::teslaV100Sxm2_16();
+    EXPECT_THROW(
+        empiricalRooflineSweep(g, mlps::hw::Precision::FP32, false, 0),
+        FatalError);
+}
+
+TEST(Roofline, ZeroBandwidthFatal)
+{
+    RooflineModel m;
+    m.peak_flops = 1.0;
+    m.peak_bandwidth = 0.0;
+    EXPECT_THROW(m.ridgeIntensity(), FatalError);
+}
+
+// ------------------------------------------------------------ descriptive
+
+TEST(Descriptive, MeanAndStddev)
+{
+    std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(mean(v), 5.0);
+    EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Descriptive, Geomean)
+{
+    EXPECT_NEAR(geomean({1, 10, 100}), 10.0, 1e-9);
+    EXPECT_THROW(geomean({1.0, -2.0}), FatalError);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Descriptive, Median)
+{
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+    EXPECT_THROW(median({}), FatalError);
+}
+
+TEST(Descriptive, Pearson)
+{
+    std::vector<double> x{1, 2, 3, 4};
+    std::vector<double> y{2, 4, 6, 8};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    std::vector<double> yneg{8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, yneg), -1.0, 1e-12);
+    EXPECT_THROW(pearson(x, {1.0}), FatalError);
+}
+
+TEST(Descriptive, MinMax)
+{
+    std::vector<double> v{3, 1, 4, 1, 5};
+    EXPECT_DOUBLE_EQ(minOf(v), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf(v), 5.0);
+    EXPECT_THROW(minOf({}), FatalError);
+}
+
+/** Property: PCA of randomly rotated data preserves total variance. */
+class PcaVarianceTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PcaVarianceTest, EigenvalueSumEqualsTotalVariance)
+{
+    mlps::sim::Rng rng(100 + GetParam());
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 40; ++i) {
+        std::vector<double> row;
+        for (int c = 0; c < 4; ++c)
+            row.push_back(rng.gaussian(0.0, c + 1.0));
+        rows.push_back(row);
+    }
+    Matrix samples(rows);
+    Matrix cov = covariance(samples);
+    PcaResult res = pca(samples, /*standardize=*/false);
+    double trace = 0.0;
+    for (int i = 0; i < 4; ++i)
+        trace += cov.at(i, i);
+    double eig_sum = 0.0;
+    for (double v : res.eigenvalues)
+        eig_sum += v;
+    EXPECT_NEAR(eig_sum, trace, trace * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcaVarianceTest,
+                         ::testing::Range(0, 8));
+
+} // namespace

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the chrome-trace exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "models/zoo.h"
+#include "prof/trace.h"
+#include "sim/logger.h"
+#include "sys/machines.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace mlps;
+using mlps::sim::FatalError;
+
+TEST(Trace, AddAndSerialize)
+{
+    prof::TraceBuilder t;
+    t.add("GPU0", "forward", 0.0, 100.0);
+    t.add("GPU0", "backward", 100.0, 200.0);
+    ASSERT_EQ(t.events().size(), 2u);
+    std::string json = t.toJson();
+    EXPECT_NE(json.find("\"forward\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"tid\": \"GPU0\""), std::string::npos);
+    // Valid array delimiters.
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(Trace, EscapesQuotes)
+{
+    prof::TraceBuilder t;
+    t.add("GPU0", "say \"hi\"", 0.0, 1.0);
+    std::string json = t.toJson();
+    EXPECT_NE(json.find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(Trace, NegativeSpanIsFatal)
+{
+    prof::TraceBuilder t;
+    EXPECT_THROW(t.add("GPU0", "x", -1.0, 1.0), FatalError);
+    EXPECT_THROW(t.add("GPU0", "x", 0.0, -1.0), FatalError);
+}
+
+TEST(Trace, IterationsCoverTracksAndGpus)
+{
+    sys::SystemConfig k = sys::c4140K();
+    train::Trainer trainer(k);
+    auto spec = *models::findWorkload("MLPf_GNMT_Py");
+    train::RunOptions opts;
+    opts.num_gpus = 4;
+    auto r = trainer.run(spec, opts);
+
+    prof::TraceBuilder t;
+    t.addIterations(r, 3);
+    int host = 0, gpu3 = 0, collective = 0;
+    for (const auto &e : t.events()) {
+        host += e.track == "Host";
+        gpu3 += e.track == "GPU3";
+        collective += e.name == "allreduce (exposed)";
+    }
+    EXPECT_EQ(host, 3);
+    EXPECT_GE(gpu3, 3 * 3); // fwd+bwd+opt per iteration at least
+    EXPECT_GT(collective, 0);
+    EXPECT_THROW(t.addIterations(r, 0), FatalError);
+}
+
+TEST(Trace, SpansStayInsideIterationBudget)
+{
+    sys::SystemConfig dss = sys::dss8440();
+    train::Trainer trainer(dss);
+    auto spec = *models::findWorkload("MLPf_SSD_Py");
+    train::RunOptions opts;
+    opts.num_gpus = 2;
+    auto r = trainer.run(spec, opts);
+
+    prof::TraceBuilder t;
+    int iters = 5;
+    t.addIterations(r, iters);
+    double horizon = iters * r.iter.iteration_s * 1e6 * 1.001;
+    for (const auto &e : t.events())
+        EXPECT_LE(e.start_us + e.duration_us, horizon) << e.name;
+}
+
+TEST(Trace, WritesFile)
+{
+    prof::TraceBuilder t;
+    t.add("Host", "x", 0.0, 1.0);
+    std::string path = ::testing::TempDir() + "/mlpsim_trace_test.json";
+    ASSERT_TRUE(t.writeFile(path));
+    std::ifstream in(path);
+    std::string first;
+    std::getline(in, first);
+    EXPECT_EQ(first, "[");
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the training engine: precision policies, batch rules,
+ * iteration assembly, scaling behaviour, run modes and error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/zoo.h"
+#include "prof/kernel_profiler.h"
+#include "sim/logger.h"
+#include "sys/machines.h"
+#include "train/precision_policy.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace mlps;
+using mlps::sim::FatalError;
+
+// ------------------------------------------------------ precision policy
+
+TEST(PrecisionPolicy, GradientBytes)
+{
+    EXPECT_DOUBLE_EQ(train::fp32Policy().gradientBytesPerParam(), 4.0);
+    EXPECT_DOUBLE_EQ(train::mixedPolicy().gradientBytesPerParam(), 2.0);
+}
+
+TEST(PrecisionPolicy, StateBytes)
+{
+    // fp32: weights + momentum + grads.
+    EXPECT_DOUBLE_EQ(train::fp32Policy().stateBytesPerParam(), 12.0);
+    // mixed: fp16 weights + fp32 master + momentum + fp16 grads.
+    EXPECT_DOUBLE_EQ(train::mixedPolicy().stateBytesPerParam(), 12.0);
+}
+
+TEST(PrecisionPolicy, ActivationBytes)
+{
+    EXPECT_DOUBLE_EQ(train::fp32Policy().activationBytesPerElement(),
+                     4.0);
+    EXPECT_DOUBLE_EQ(train::mixedPolicy().activationBytesPerElement(),
+                     2.0);
+}
+
+// --------------------------------------------------------------- fixture
+
+class TrainerTest : public ::testing::Test
+{
+  protected:
+    TrainerTest() : dss_(sys::dss8440()), trainer_(dss_) {}
+
+    train::TrainResult
+    run(const std::string &abbrev, int gpus,
+        hw::Precision p = hw::Precision::Mixed, bool ref = false)
+    {
+        auto spec = models::findWorkload(abbrev);
+        EXPECT_TRUE(spec.has_value());
+        train::RunOptions opts;
+        opts.num_gpus = gpus;
+        opts.precision = p;
+        opts.reference_code = ref;
+        return trainer_.run(*spec, opts);
+    }
+
+    sys::SystemConfig dss_;
+    train::Trainer trainer_;
+};
+
+TEST_F(TrainerTest, Deterministic)
+{
+    auto a = run("MLPf_Res50_MX", 4);
+    auto b = run("MLPf_Res50_MX", 4);
+    EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+    EXPECT_DOUBLE_EQ(a.iter.iteration_s, b.iter.iteration_s);
+}
+
+TEST_F(TrainerTest, TotalTimeConsistentWithIterations)
+{
+    auto r = run("MLPf_SSD_Py", 2);
+    double iters = std::ceil(r.steps_per_epoch * r.epochs);
+    double expect = iters * r.iter.iteration_s *
+                    (1.0 + 0.06); // SSD eval overhead
+    EXPECT_NEAR(r.total_seconds, expect, expect * 0.02);
+}
+
+TEST_F(TrainerTest, GlobalBatchIsPerGpuTimesN)
+{
+    auto r = run("MLPf_Res50_MX", 4);
+    EXPECT_DOUBLE_EQ(r.global_batch, r.per_gpu_batch * 4);
+}
+
+TEST_F(TrainerTest, NcfGlobalBatchCapShrinksPerGpuBatch)
+{
+    auto one = run("MLPf_NCF_Py", 1);
+    auto four = run("MLPf_NCF_Py", 4);
+    EXPECT_DOUBLE_EQ(one.global_batch, four.global_batch);
+    EXPECT_NEAR(four.per_gpu_batch, one.per_gpu_batch / 4.0, 1.0);
+    // Same step count either way: scaling comes only from iteration
+    // time, which is why NCF scales poorly (Section IV-D).
+    EXPECT_DOUBLE_EQ(one.steps_per_epoch, four.steps_per_epoch);
+}
+
+TEST_F(TrainerTest, HbmCapacityCapsBatch)
+{
+    // A workload whose activations cannot possibly fit at its asking
+    // batch gets its per-GPU batch shrunk until the footprint fits.
+    auto spec = *models::findWorkload("MLPf_Res50_MX");
+    spec.per_gpu_batch = 4096; // would need ~300 GiB of activations
+    train::RunOptions opts;
+    opts.num_gpus = 1;
+    auto r = trainer_.run(spec, opts);
+    EXPECT_LT(r.per_gpu_batch, 4096);
+    double capacity_mb = dss_.gpu.hbmCapacityBytes() / 1e6;
+    EXPECT_LE(r.usage.hbm_footprint_mb, capacity_mb * 0.98);
+}
+
+TEST_F(TrainerTest, MoreGpusNeverSlower)
+{
+    for (const char *w : {"MLPf_Res50_MX", "MLPf_XFMR_Py",
+                          "MLPf_NCF_Py"}) {
+        SCOPED_TRACE(w);
+        double prev = run(w, 1).total_seconds;
+        for (int n : {2, 4, 8}) {
+            double t = run(w, n).total_seconds;
+            EXPECT_LT(t, prev);
+            prev = t;
+        }
+    }
+}
+
+TEST_F(TrainerTest, ScalingIsSubLinear)
+{
+    for (const char *w : {"MLPf_Res50_TF", "MLPf_GNMT_Py"}) {
+        double t1 = run(w, 1).total_seconds;
+        double t8 = run(w, 8).total_seconds;
+        EXPECT_LT(t1 / t8, 8.0) << w;
+        EXPECT_GT(t1 / t8, 1.0) << w;
+    }
+}
+
+TEST_F(TrainerTest, MixedFasterThanFp32)
+{
+    for (const char *w : {"MLPf_Res50_MX", "MLPf_XFMR_Py",
+                          "MLPf_MRCNN_Py"}) {
+        double fp32 = run(w, 4, hw::Precision::FP32).total_seconds;
+        double mixed = run(w, 4, hw::Precision::Mixed).total_seconds;
+        EXPECT_LT(mixed, fp32) << w;
+    }
+}
+
+TEST_F(TrainerTest, ReferenceCodeSlowerWhenDerated)
+{
+    auto spec = *models::findWorkload("MLPf_Res50_MX");
+    ASSERT_GT(spec.reference_code_derate, 1.0);
+    double tuned = run("MLPf_Res50_MX", 1, hw::Precision::FP32,
+                       false).total_seconds;
+    double ref = run("MLPf_Res50_MX", 1, hw::Precision::FP32,
+                     true).total_seconds;
+    EXPECT_GT(ref, tuned);
+}
+
+TEST_F(TrainerTest, CommunicationGrowsWithGpus)
+{
+    double c2 = run("MLPf_XFMR_Py", 2).iter.comm_s;
+    double c4 = run("MLPf_XFMR_Py", 4).iter.comm_s;
+    double c8 = run("MLPf_XFMR_Py", 8).iter.comm_s;
+    EXPECT_GT(c4, c2);
+    EXPECT_GT(c8, c4);
+    EXPECT_DOUBLE_EQ(run("MLPf_XFMR_Py", 1).iter.comm_s, 0.0);
+}
+
+TEST_F(TrainerTest, ExposedCommAtMostTotalComm)
+{
+    for (int n : {2, 4, 8}) {
+        auto it = run("MLPf_GNMT_Py", n).iter;
+        EXPECT_LE(it.exposed_comm_s, it.comm_s + 1e-12);
+        EXPECT_GE(it.exposed_comm_s, 0.0);
+    }
+}
+
+TEST_F(TrainerTest, IterationCoversItsParts)
+{
+    auto it = run("MLPf_Res50_MX", 4).iter;
+    EXPECT_GE(it.iteration_s, it.gpu_busy_s);
+    EXPECT_GE(it.iteration_s, it.host_s);
+    EXPECT_GE(it.iteration_s, it.h2d_s);
+    EXPECT_GT(it.kernel_launches, 100);
+}
+
+TEST_F(TrainerTest, UsageBoundsRespected)
+{
+    for (int n : {1, 2, 4, 8}) {
+        auto u = run("MLPf_Res50_TF", n).usage;
+        EXPECT_GE(u.cpu_util_pct, 0.0);
+        EXPECT_LE(u.cpu_util_pct, 100.0);
+        EXPECT_GE(u.gpu_util_pct_sum, 0.0);
+        EXPECT_LE(u.gpu_util_pct_sum, 100.0 * n + 1e-9);
+        EXPECT_GT(u.hbm_footprint_mb, 0.0);
+        EXPECT_GT(u.dram_footprint_mb, 0.0);
+    }
+}
+
+TEST_F(TrainerTest, FootprintsGrowWithGpus)
+{
+    auto u1 = run("MLPf_SSD_Py", 1).usage;
+    auto u4 = run("MLPf_SSD_Py", 4).usage;
+    EXPECT_GT(u4.hbm_footprint_mb, u1.hbm_footprint_mb);
+    EXPECT_GT(u4.dram_footprint_mb, u1.dram_footprint_mb);
+    EXPECT_GT(u4.cpu_util_pct, u1.cpu_util_pct);
+}
+
+TEST_F(TrainerTest, NvlinkTrafficOnlyWhenMultiGpu)
+{
+    EXPECT_DOUBLE_EQ(run("MLPf_GNMT_Py", 1).usage.nvlink_mbps, 0.0);
+    // DSS 8440 has no NVLink at all: all collective traffic is PCIe.
+    EXPECT_DOUBLE_EQ(run("MLPf_GNMT_Py", 4).usage.nvlink_mbps, 0.0);
+    EXPECT_GT(run("MLPf_GNMT_Py", 4).usage.pcie_mbps, 0.0);
+
+    sys::SystemConfig k = sys::c4140K();
+    train::Trainer nvlink_trainer(k);
+    train::RunOptions opts;
+    opts.num_gpus = 4;
+    auto r = nvlink_trainer.run(*models::findWorkload("MLPf_GNMT_Py"),
+                                opts);
+    EXPECT_GT(r.usage.nvlink_mbps, 0.0);
+}
+
+TEST_F(TrainerTest, TooManyGpusIsFatal)
+{
+    auto spec = *models::findWorkload("MLPf_NCF_Py");
+    train::RunOptions opts;
+    opts.num_gpus = 16;
+    EXPECT_THROW(trainer_.run(spec, opts), FatalError);
+    opts.num_gpus = 0;
+    EXPECT_THROW(trainer_.run(spec, opts), FatalError);
+}
+
+TEST_F(TrainerTest, AchievedFlopsBelowAggregatePeak)
+{
+    for (int n : {1, 4}) {
+        auto r = run("MLPf_Res50_MX", n);
+        double peak = n * dss_.gpu.peakFlops(hw::Precision::Mixed,
+                                             true);
+        EXPECT_GT(r.achieved_flops, 0.0);
+        EXPECT_LT(r.achieved_flops, peak);
+    }
+}
+
+// ------------------------------------------------------------ run modes
+
+TEST_F(TrainerTest, KernelLoopMode)
+{
+    auto r = run("Deep_GEMM_Cu", 1);
+    EXPECT_DOUBLE_EQ(r.epochs, 1.0);
+    EXPECT_GT(r.total_seconds, 0.0);
+    EXPECT_GT(r.usage.gpu_util_pct_sum, 90.0);
+    EXPECT_LT(r.usage.cpu_util_pct, 5.0);
+    EXPECT_DOUBLE_EQ(r.usage.nvlink_mbps, 0.0);
+}
+
+TEST_F(TrainerTest, CollectiveLoopScalesTrafficWithGpus)
+{
+    auto r2 = run("Deep_Red_Cu", 2);
+    auto r4 = run("Deep_Red_Cu", 4);
+    EXPECT_GT(r4.iter.comm_s, r2.iter.comm_s);
+    EXPECT_GT(r4.usage.pcie_mbps, 0.0);
+}
+
+TEST_F(TrainerTest, CollectiveLoopSingleGpuIsLocalReduce)
+{
+    auto r = run("Deep_Red_Cu", 1);
+    EXPECT_GT(r.iter.comm_s, 0.0);
+    EXPECT_DOUBLE_EQ(r.usage.nvlink_mbps, 0.0);
+}
+
+// ------------------------------------------------------------- profiler
+
+TEST_F(TrainerTest, ProfilerReceivesAllKernels)
+{
+    auto spec = *models::findWorkload("MLPf_Res50_MX");
+    train::RunOptions opts;
+    opts.num_gpus = 1;
+    prof::KernelProfiler profiler;
+    auto r = trainer_.run(spec, opts, &profiler);
+    // fwd + bwd per op, plus optimizer.
+    EXPECT_EQ(profiler.records().size(), 2 * spec.graph.size() + 1);
+    EXPECT_GT(profiler.totalSeconds(), 0.0);
+    // Kernel time never exceeds the whole run.
+    EXPECT_LT(profiler.totalSeconds(), r.total_seconds * 1.01);
+}
+
+TEST_F(TrainerTest, ProfilerSeesCollective)
+{
+    auto spec = *models::findWorkload("MLPf_XFMR_Py");
+    train::RunOptions opts;
+    opts.num_gpus = 4;
+    prof::KernelProfiler profiler;
+    trainer_.run(spec, opts, &profiler);
+    bool found = false;
+    for (const auto &rec : profiler.records())
+        found |= rec.pass == prof::Pass::Collective;
+    EXPECT_TRUE(found);
+}
+
+// ------------------------------------------------------- effectiveBatch
+
+TEST(EffectiveBatch, RespectsCapAndCapacity)
+{
+    sys::SystemConfig dss = sys::dss8440();
+    train::Trainer trainer(dss);
+    auto ncf = *models::findWorkload("MLPf_NCF_Py");
+    train::PrecisionPolicy mixed = train::mixedPolicy();
+    double b1 = trainer.effectiveBatch(ncf, 1, mixed);
+    double b8 = trainer.effectiveBatch(ncf, 8, mixed);
+    EXPECT_NEAR(b8, b1 / 8.0, 1.0);
+}
+
+/** P100 vs V100: the tuned mixed-precision submission on V100 always
+ *  beats the fp32 reference on P100 (Table IV's P-to-V > 1). */
+class PToVTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PToVTest, V100SubmissionBeatsP100Reference)
+{
+    sys::SystemConfig ref = sys::mlperfReference();
+    sys::SystemConfig dss = sys::dss8440();
+    train::Trainer p100(ref);
+    train::Trainer v100(dss);
+    auto spec = *models::findWorkload(GetParam());
+
+    train::RunOptions ref_opts;
+    ref_opts.num_gpus = 1;
+    ref_opts.precision = hw::Precision::FP32;
+    ref_opts.reference_code = true;
+    train::RunOptions sub_opts;
+    sub_opts.num_gpus = 1;
+    sub_opts.precision = hw::Precision::Mixed;
+
+    double tp = p100.run(spec, ref_opts).total_seconds;
+    double tv = v100.run(spec, sub_opts).total_seconds;
+    EXPECT_GT(tp / tv, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MlperfWorkloads, PToVTest,
+    ::testing::Values("MLPf_Res50_TF", "MLPf_Res50_MX", "MLPf_SSD_Py",
+                      "MLPf_MRCNN_Py", "MLPf_XFMR_Py", "MLPf_NCF_Py"));
+
+} // namespace

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The umbrella header must be self-contained and expose the whole
+ * API; this test drives one object from every module through it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mlps.h"
+
+namespace {
+
+TEST(Umbrella, EveryModuleReachable)
+{
+    using namespace mlps;
+
+    sim::Rng rng(1);
+    EXPECT_LT(rng.uniform(), 1.0);
+
+    hw::GpuSpec gpu = hw::teslaV100Sxm2_16();
+    EXPECT_TRUE(gpu.hasTensorCores());
+
+    net::Topology topo;
+    auto cpu = topo.addCpu("CPU0");
+    auto g = topo.addGpu("GPU0");
+    topo.connect(cpu, g, net::pcie3(16));
+    EXPECT_TRUE(topo.route(cpu, g).has_value());
+
+    sys::SystemConfig machine = sys::c4140K();
+    EXPECT_EQ(machine.num_gpus, 4);
+
+    wl::Op op = wl::gemm("g", 4, 4, 4);
+    EXPECT_GT(op.flops, 0.0);
+
+    auto spec = models::findWorkload("MLPf_NCF_Py");
+    ASSERT_TRUE(spec.has_value());
+
+    train::Trainer trainer(machine);
+    train::RunOptions opts;
+    opts.num_gpus = 1;
+    auto result = trainer.run(*spec, opts);
+    EXPECT_GT(result.total_seconds, 0.0);
+
+    prof::KernelProfiler profiler;
+    EXPECT_EQ(profiler.records().size(), 0u);
+
+    stats::Matrix m = stats::Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 1.0);
+
+    sched::JobSpec job;
+    job.name = "j";
+    job.seconds_at_width[1] = 10.0;
+    EXPECT_TRUE(job.supportsWidth(1));
+
+    core::Registry registry;
+    EXPECT_EQ(registry.size(), 13u);
+}
+
+} // namespace

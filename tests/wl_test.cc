@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Tests for the workload layer: operator FLOP/byte formulas, op
+ * graphs, datasets, convergence model and workload specs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logger.h"
+#include "wl/convergence.h"
+#include "wl/dataset.h"
+#include "wl/op.h"
+#include "wl/op_graph.h"
+#include "wl/workload.h"
+
+namespace {
+
+using namespace mlps::wl;
+using mlps::sim::FatalError;
+
+// ------------------------------------------------------------------ ops
+
+TEST(Op, ConvFlopsFormula)
+{
+    // 3x3 conv, 16->32 channels, 8x8 input, stride 1:
+    // 2 * 3*3 * 16 * 32 * 8*8 = 589824 FLOPs.
+    Op op = conv2d("c", 8, 8, 16, 32, 3);
+    EXPECT_DOUBLE_EQ(op.flops, 2.0 * 9 * 16 * 32 * 64);
+    EXPECT_DOUBLE_EQ(op.param_bytes, 9.0 * 16 * 32 * 4);
+    EXPECT_EQ(op.kind, OpKind::Conv2d);
+}
+
+TEST(Op, ConvStrideShrinksOutput)
+{
+    Op s1 = conv2d("s1", 8, 8, 16, 32, 3, 1);
+    Op s2 = conv2d("s2", 8, 8, 16, 32, 3, 2);
+    EXPECT_DOUBLE_EQ(s1.flops / s2.flops, 4.0);
+}
+
+TEST(Op, GroupedConvDividesWork)
+{
+    Op dense = conv2d("d", 8, 8, 16, 32, 3, 1, 1);
+    Op grouped = conv2d("g", 8, 8, 16, 32, 3, 1, 4);
+    EXPECT_DOUBLE_EQ(dense.flops / grouped.flops, 4.0);
+    EXPECT_THROW(conv2d("bad", 8, 8, 15, 32, 3, 1, 4), FatalError);
+}
+
+TEST(Op, ConvRejectsBadShapes)
+{
+    EXPECT_THROW(conv2d("x", 0, 8, 3, 8, 3), FatalError);
+    EXPECT_THROW(conv2d("x", 8, 8, 3, 8, 0), FatalError);
+    EXPECT_THROW(conv2d("x", 8, 8, 3, 8, 3, 0), FatalError);
+}
+
+TEST(Op, GemmFlopsAre2MNK)
+{
+    Op op = gemm("g", 4, 8, 16);
+    EXPECT_DOUBLE_EQ(op.flops, 2.0 * 4 * 8 * 16);
+    EXPECT_DOUBLE_EQ(op.param_bytes, 8.0 * 16 * 4);
+    EXPECT_DOUBLE_EQ(op.bytes, (4.0 * 8 + 4.0 * 16) * 4);
+    EXPECT_THROW(gemm("bad", 0, 8, 16), FatalError);
+}
+
+TEST(Op, RnnGateScaling)
+{
+    Op vanilla = rnn("v", 1, 64, 64, 10);
+    Op gru = rnn("g", 3, 64, 64, 10);
+    Op lstm = rnn("l", 4, 64, 64, 10);
+    EXPECT_DOUBLE_EQ(gru.flops / vanilla.flops, 3.0);
+    EXPECT_DOUBLE_EQ(lstm.flops / vanilla.flops, 4.0);
+    // Per step: 2 * gates * (input+hidden) * hidden.
+    EXPECT_DOUBLE_EQ(vanilla.flops, 2.0 * 1 * 128 * 64 * 10);
+}
+
+TEST(Op, RnnStepsScaleLinearly)
+{
+    Op t10 = rnn("a", 4, 32, 32, 10);
+    Op t20 = rnn("b", 4, 32, 32, 20);
+    EXPECT_DOUBLE_EQ(t20.flops / t10.flops, 2.0);
+    // Parameters are step-independent.
+    EXPECT_DOUBLE_EQ(t20.param_bytes, t10.param_bytes);
+}
+
+TEST(Op, AttentionQuadraticInSeq)
+{
+    Op s16 = attention("a", 16, 64);
+    Op s32 = attention("b", 32, 64);
+    EXPECT_DOUBLE_EQ(s32.flops / s16.flops, 4.0);
+    EXPECT_DOUBLE_EQ(s16.flops, 4.0 * 16 * 16 * 64);
+    EXPECT_DOUBLE_EQ(s16.param_bytes, 0.0);
+}
+
+TEST(Op, EmbeddingIsParamHeavyComputeLight)
+{
+    Op op = embedding("e", 100000, 64, 2);
+    EXPECT_DOUBLE_EQ(op.param_bytes, 100000.0 * 64 * 4);
+    EXPECT_LT(op.flops, op.param_bytes); // trivially light
+    EXPECT_EQ(op.kind, OpKind::Embedding);
+}
+
+TEST(Op, SimpleOpsValidate)
+{
+    EXPECT_NO_THROW(elementwise("e", 100));
+    EXPECT_NO_THROW(norm("n", 100));
+    EXPECT_NO_THROW(pool("p", 100));
+    EXPECT_NO_THROW(softmax("s", 100));
+    EXPECT_THROW(elementwise("bad", 0), FatalError);
+}
+
+TEST(Op, KindProperties)
+{
+    EXPECT_TRUE(tensorEligible(OpKind::Conv2d));
+    EXPECT_TRUE(tensorEligible(OpKind::Gemm));
+    EXPECT_TRUE(tensorEligible(OpKind::RnnCell));
+    EXPECT_TRUE(tensorEligible(OpKind::Attention));
+    EXPECT_FALSE(tensorEligible(OpKind::Elementwise));
+    EXPECT_FALSE(tensorEligible(OpKind::Embedding));
+    EXPECT_DOUBLE_EQ(backwardFlopScale(OpKind::Conv2d), 2.0);
+    EXPECT_DOUBLE_EQ(backwardFlopScale(OpKind::Elementwise), 1.0);
+}
+
+TEST(Op, ProfilesScaleWithBatch)
+{
+    Op op = gemm("g", 8, 16, 32);
+    auto p1 = op.forwardProfile(1);
+    auto p4 = op.forwardProfile(4);
+    EXPECT_DOUBLE_EQ(p4.flops, 4.0 * p1.flops);
+    // Weight read is charged once, so traffic grows sub-linearly.
+    EXPECT_LT(p4.bytes, 4.0 * p1.bytes);
+    EXPECT_DOUBLE_EQ(p4.bytes - op.param_bytes,
+                     4.0 * (p1.bytes - op.param_bytes));
+}
+
+TEST(Op, BackwardProfileDoublesDenseWork)
+{
+    Op op = conv2d("c", 16, 16, 8, 8, 3);
+    auto fwd = op.forwardProfile(2);
+    auto bwd = op.backwardProfile(2);
+    EXPECT_DOUBLE_EQ(bwd.flops, 2.0 * fwd.flops);
+    EXPECT_GT(bwd.bytes, fwd.bytes);
+}
+
+TEST(Op, MeasuredTrafficExpansion)
+{
+    Op conv = conv2d("c", 16, 16, 8, 8, 3);
+    EXPECT_GT(measuredTrafficExpansion(conv), 1.0);
+    Op ew = elementwise("e", 100);
+    EXPECT_DOUBLE_EQ(measuredTrafficExpansion(ew), 1.0);
+    // Small RNN weights stay in L2; big ones re-stream.
+    Op small_rnn = rnn("s", 4, 128, 128, 10);
+    Op big_rnn = rnn("b", 4, 4096, 4096, 10);
+    EXPECT_LT(measuredTrafficExpansion(small_rnn),
+              measuredTrafficExpansion(big_rnn));
+}
+
+// ------------------------------------------------------------- op graph
+
+TEST(OpGraph, TotalsAccumulate)
+{
+    OpGraph g("test");
+    g.add(gemm("a", 2, 4, 8)).add(elementwise("b", 16));
+    GraphTotals t = g.totals();
+    EXPECT_EQ(t.op_count, 2);
+    EXPECT_DOUBLE_EQ(t.fwd_flops, 2.0 * 2 * 4 * 8 + 16.0);
+    EXPECT_DOUBLE_EQ(t.param_bytes, 4.0 * 8 * 4);
+    EXPECT_GT(t.bwd_flops, t.fwd_flops);
+}
+
+TEST(OpGraph, AppendMerges)
+{
+    OpGraph a("a"), b("b");
+    a.add(gemm("g1", 2, 2, 2));
+    b.add(gemm("g2", 2, 2, 2));
+    a.append(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_DOUBLE_EQ(a.totals().fwd_flops,
+                     2.0 * b.totals().fwd_flops);
+}
+
+TEST(OpGraph, ParamCount)
+{
+    OpGraph g;
+    g.add(gemm("g", 1, 10, 20)); // 200 params
+    EXPECT_DOUBLE_EQ(g.paramCount(), 200.0);
+}
+
+TEST(OpGraph, TensorEligibleFraction)
+{
+    OpGraph all_gemm;
+    all_gemm.add(gemm("g", 8, 8, 8));
+    EXPECT_DOUBLE_EQ(all_gemm.tensorEligibleFlopFraction(), 1.0);
+
+    OpGraph all_ew;
+    all_ew.add(elementwise("e", 100));
+    EXPECT_DOUBLE_EQ(all_ew.tensorEligibleFlopFraction(), 0.0);
+
+    OpGraph empty;
+    EXPECT_DOUBLE_EQ(empty.tensorEligibleFlopFraction(), 0.0);
+}
+
+TEST(OpGraph, ScaleWork)
+{
+    OpGraph g;
+    g.add(gemm("g", 8, 8, 8));
+    double flops = g.totals().fwd_flops;
+    double params = g.totals().param_bytes;
+    g.scaleWork(2.0);
+    EXPECT_DOUBLE_EQ(g.totals().fwd_flops, 2.0 * flops);
+    // Parameters are untouched by work scaling.
+    EXPECT_DOUBLE_EQ(g.totals().param_bytes, params);
+}
+
+TEST(OpGraph, DescribeListsOps)
+{
+    OpGraph g("net");
+    g.add(gemm("fc1", 2, 2, 2));
+    std::string d = g.describe();
+    EXPECT_NE(d.find("net"), std::string::npos);
+    EXPECT_NE(d.find("fc1"), std::string::npos);
+}
+
+// ------------------------------------------------------------- datasets
+
+TEST(Dataset, KnownSizes)
+{
+    EXPECT_NEAR(imagenet().totalBytes(), 300e9, 5e9);
+    EXPECT_DOUBLE_EQ(cifar10().num_samples, 50000.0);
+    EXPECT_NEAR(movielens20m().num_samples, 19.86e6, 1e5);
+    EXPECT_GT(coco().num_samples, 100000.0);
+    EXPECT_GT(wmt17().num_samples, 4e6);
+    EXPECT_GT(squad().num_samples, 80000.0);
+}
+
+TEST(Dataset, StepsPerEpochRoundsUp)
+{
+    DatasetSpec d;
+    d.name = "t";
+    d.num_samples = 100;
+    EXPECT_DOUBLE_EQ(d.stepsPerEpoch(32), 4.0);
+    EXPECT_DOUBLE_EQ(d.stepsPerEpoch(100), 1.0);
+    // A batch bigger than the dataset still takes one step.
+    EXPECT_DOUBLE_EQ(d.stepsPerEpoch(1000), 1.0);
+    EXPECT_THROW(d.stepsPerEpoch(0), FatalError);
+}
+
+TEST(Dataset, SyntheticKernelData)
+{
+    DatasetSpec d = syntheticKernelData(1e9);
+    EXPECT_DOUBLE_EQ(d.totalBytes(), 1e9);
+    EXPECT_DOUBLE_EQ(d.input_bytes_per_sample, 0.0);
+}
+
+// ----------------------------------------------------------- convergence
+
+TEST(Convergence, NoPenaltyBelowReference)
+{
+    ConvergenceModel c;
+    c.base_epochs = 10.0;
+    c.reference_global_batch = 1024.0;
+    c.penalty_exponent = 0.5;
+    EXPECT_DOUBLE_EQ(c.epochsAt(512), 10.0);
+    EXPECT_DOUBLE_EQ(c.epochsAt(1024), 10.0);
+}
+
+TEST(Convergence, PenaltyAboveReference)
+{
+    ConvergenceModel c;
+    c.base_epochs = 10.0;
+    c.reference_global_batch = 1024.0;
+    c.penalty_exponent = 0.5;
+    EXPECT_DOUBLE_EQ(c.epochsAt(4096), 20.0); // (4x)^0.5 = 2x
+}
+
+TEST(Convergence, ZeroExponentDisablesPenalty)
+{
+    ConvergenceModel c;
+    c.base_epochs = 5.0;
+    c.reference_global_batch = 64.0;
+    c.penalty_exponent = 0.0;
+    EXPECT_DOUBLE_EQ(c.epochsAt(1 << 20), 5.0);
+}
+
+TEST(Convergence, GlobalBatchCap)
+{
+    ConvergenceModel c;
+    c.base_epochs = 1.0;
+    c.global_batch_cap = 1000.0;
+    EXPECT_DOUBLE_EQ(c.usableGlobalBatch(600, 1), 600.0);
+    EXPECT_DOUBLE_EQ(c.usableGlobalBatch(600, 2), 1000.0);
+    // Uncapped when cap <= 0.
+    c.global_batch_cap = 0.0;
+    EXPECT_DOUBLE_EQ(c.usableGlobalBatch(600, 4), 2400.0);
+}
+
+TEST(Convergence, InvalidInputsFatal)
+{
+    ConvergenceModel c;
+    c.base_epochs = 1.0;
+    EXPECT_THROW(c.epochsAt(0), FatalError);
+    EXPECT_THROW(c.usableGlobalBatch(0, 1), FatalError);
+    c.base_epochs = 0.0;
+    EXPECT_THROW(c.epochsAt(10), FatalError);
+}
+
+// -------------------------------------------------------------- workload
+
+WorkloadSpec
+minimalSpec()
+{
+    WorkloadSpec w;
+    w.abbrev = "Test_WL";
+    w.graph.add(gemm("g", 8, 8, 8));
+    w.dataset.name = "d";
+    w.dataset.num_samples = 1000;
+    w.dataset.raw_bytes_per_sample = 10;
+    w.dataset.input_bytes_per_sample = 10;
+    w.convergence.base_epochs = 2.0;
+    w.per_gpu_batch = 8;
+    return w;
+}
+
+TEST(Workload, MinimalValidates)
+{
+    EXPECT_NO_THROW(minimalSpec().validate());
+}
+
+TEST(Workload, RejectsEmptyGraph)
+{
+    WorkloadSpec w = minimalSpec();
+    w.graph = OpGraph();
+    EXPECT_THROW(w.validate(), FatalError);
+}
+
+TEST(Workload, RejectsBadOverlap)
+{
+    WorkloadSpec w = minimalSpec();
+    w.comm_overlap = 1.5;
+    EXPECT_THROW(w.validate(), FatalError);
+}
+
+TEST(Workload, TrainingNeedsDatasetAndEpochs)
+{
+    WorkloadSpec w = minimalSpec();
+    w.dataset.num_samples = 0;
+    EXPECT_THROW(w.validate(), FatalError);
+    w = minimalSpec();
+    w.convergence.base_epochs = 0;
+    EXPECT_THROW(w.validate(), FatalError);
+}
+
+TEST(Workload, CollectiveLoopNeedsBytes)
+{
+    WorkloadSpec w = minimalSpec();
+    w.mode = RunMode::CollectiveLoop;
+    w.collective_bytes = 0.0;
+    EXPECT_THROW(w.validate(), FatalError);
+    w.collective_bytes = 1e6;
+    EXPECT_NO_THROW(w.validate());
+}
+
+TEST(Workload, GradientBytesMatchParams)
+{
+    WorkloadSpec w = minimalSpec();
+    EXPECT_DOUBLE_EQ(w.gradientBytes(), 8.0 * 8 * 4);
+}
+
+TEST(Workload, GradientBucketsScaleWithParamOps)
+{
+    WorkloadSpec w = minimalSpec();
+    EXPECT_EQ(w.gradientBuckets(), 1);
+    for (int i = 0; i < 30; ++i)
+        w.graph.add(gemm("g" + std::to_string(i), 2, 2, 2));
+    EXPECT_EQ(w.gradientBuckets(), 31 / 3);
+}
+
+TEST(Workload, SyncPenalty)
+{
+    WorkloadSpec w = minimalSpec();
+    w.sync_penalty_base = 0.1;
+    w.sync_penalty_log = 0.05;
+    EXPECT_DOUBLE_EQ(w.syncPenalty(1), 1.0);
+    EXPECT_DOUBLE_EQ(w.syncPenalty(2), 1.1);
+    EXPECT_DOUBLE_EQ(w.syncPenalty(4), 1.15);
+    EXPECT_DOUBLE_EQ(w.syncPenalty(8), 1.2);
+}
+
+TEST(Workload, SuiteNames)
+{
+    EXPECT_EQ(toString(SuiteTag::MLPerf), "MLPerf");
+    EXPECT_EQ(toString(SuiteTag::DawnBench), "DAWNBench");
+    EXPECT_EQ(toString(SuiteTag::DeepBench), "DeepBench");
+}
+
+} // namespace

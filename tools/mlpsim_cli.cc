@@ -1,0 +1,319 @@
+/**
+ * @file
+ * mlpsim command-line interface: the study as a tool.
+ *
+ *   mlpsim list
+ *   mlpsim run <workload> [--system NAME] [--gpus N]
+ *                         [--precision fp32|mixed] [--reference]
+ *   mlpsim scaling <workload...> [--system NAME]
+ *   mlpsim schedule [--gpus N] [--system NAME] <workload...>
+ *   mlpsim characterize [--system NAME]
+ *   mlpsim trace <workload> [--system NAME] [--gpus N] [--out FILE]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/characterize.h"
+#include "core/report.h"
+#include "core/suite.h"
+#include "prof/trace.h"
+#include "sched/gantt.h"
+#include "sched/naive.h"
+#include "sched/optimal.h"
+#include "sim/logger.h"
+#include "sys/machines.h"
+
+namespace {
+
+using namespace mlps;
+
+/** Tiny flag parser: positionals plus --key value / --switch. */
+struct Args {
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> flags;
+
+    static Args
+    parse(int argc, char **argv, int first)
+    {
+        Args a;
+        for (int i = first; i < argc; ++i) {
+            std::string tok = argv[i];
+            if (tok.rfind("--", 0) == 0) {
+                std::string key = tok.substr(2);
+                if (i + 1 < argc && argv[i + 1][0] != '-')
+                    a.flags[key] = argv[++i];
+                else
+                    a.flags[key] = "true";
+            } else {
+                a.positional.push_back(tok);
+            }
+        }
+        return a;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : it->second;
+    }
+
+    int
+    getInt(const std::string &key, int fallback) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return flags.count(key) > 0;
+    }
+};
+
+sys::SystemConfig
+systemByName(const std::string &name)
+{
+    for (auto &s : sys::allMachines()) {
+        if (s.name == name)
+            return s;
+    }
+    if (name == "reference")
+        return sys::mlperfReference();
+    sim::fatal("unknown system '%s' (see 'mlpsim list')", name.c_str());
+}
+
+int
+cmdList()
+{
+    core::Registry reg;
+    std::printf("Workloads:\n");
+    for (const auto &b : reg.all())
+        std::printf("  %s\n", b.statsRow().c_str());
+    std::printf("\nSystems:\n");
+    for (const auto &s : sys::allMachines())
+        std::printf("  %-11s %d x %s, %d x %s\n", s.name.c_str(),
+                    s.num_cpus, s.cpu.name.c_str(), s.num_gpus,
+                    s.gpu.name.c_str());
+    std::printf("  %-11s 1 x %s (v0.5 reference)\n", "reference",
+                sys::mlperfReference().gpu.name.c_str());
+    return 0;
+}
+
+train::RunOptions
+optionsFrom(const Args &args)
+{
+    train::RunOptions opts;
+    opts.num_gpus = args.getInt("gpus", 1);
+    std::string prec = args.get("precision", "mixed");
+    if (prec == "fp32")
+        opts.precision = hw::Precision::FP32;
+    else if (prec == "fp16")
+        opts.precision = hw::Precision::FP16;
+    else if (prec == "mixed")
+        opts.precision = hw::Precision::Mixed;
+    else
+        sim::fatal("unknown precision '%s'", prec.c_str());
+    opts.reference_code = args.has("reference");
+    return opts;
+}
+
+int
+cmdRun(const Args &args)
+{
+    if (args.positional.empty())
+        sim::fatal("run: need a workload name");
+    sys::SystemConfig machine =
+        systemByName(args.get("system", "DSS 8440"));
+    core::Suite suite(machine);
+    train::RunOptions opts = optionsFrom(args);
+    auto r = suite.run(args.positional[0], opts);
+    std::printf("%s on %s, %d GPU(s), %s%s\n", r.workload.c_str(),
+                r.system.c_str(), r.num_gpus,
+                hw::toString(r.precision).c_str(),
+                r.reference_code ? " (reference code)" : "");
+    std::printf("  iteration    %8.2f ms  (fwd %.1f, bwd %.1f, opt "
+                "%.2f, comm %.1f/%.1f, host %.1f, h2d %.1f)\n",
+                r.iter.iteration_s * 1e3, r.iter.fwd_s * 1e3,
+                r.iter.bwd_s * 1e3, r.iter.optimizer_s * 1e3,
+                r.iter.comm_s * 1e3, r.iter.exposed_comm_s * 1e3,
+                r.iter.host_s * 1e3, r.iter.h2d_s * 1e3);
+    std::printf("  batch        %g/GPU, %g global; %.1f epochs x %g "
+                "steps\n", r.per_gpu_batch, r.global_batch, r.epochs,
+                r.steps_per_epoch);
+    std::printf("  fabric       %s\n", net::toString(r.fabric).c_str());
+    std::printf("  utilization  GPU %.1f%% (sum), CPU %.1f%%\n",
+                r.usage.gpu_util_pct_sum, r.usage.cpu_util_pct);
+    std::printf("  footprints   HBM %.0f MB, DRAM %.0f MB\n",
+                r.usage.hbm_footprint_mb, r.usage.dram_footprint_mb);
+    std::printf("  buses        PCIe %.0f Mbps, NVLink %.0f Mbps\n",
+                r.usage.pcie_mbps, r.usage.nvlink_mbps);
+    std::printf("  total        %.1f min to quality target\n",
+                r.totalMinutes());
+    return 0;
+}
+
+int
+cmdScaling(const Args &args)
+{
+    if (args.positional.empty())
+        sim::fatal("scaling: need workload names");
+    sys::SystemConfig machine =
+        systemByName(args.get("system", "DSS 8440"));
+    core::Suite suite(machine);
+    std::vector<int> counts;
+    for (int n = 1; n <= machine.num_gpus; n *= 2)
+        counts.push_back(n);
+    auto rows = suite.scalingStudy(args.positional, counts);
+    std::printf("%-15s %12s %12s %8s", "workload", "P100 ref(min)",
+                "1 GPU(min)", "P-to-V");
+    for (std::size_t i = 1; i < counts.size(); ++i)
+        std::printf("   1-to-%d", counts[i]);
+    std::printf("\n");
+    for (const auto &r : rows) {
+        std::printf("%-15s %12.1f %12.1f %7.2fx", r.workload.c_str(),
+                    r.p100_minutes, r.v100_minutes, r.p_to_v);
+        for (std::size_t i = 1; i < counts.size(); ++i)
+            std::printf("  %6.2fx", r.scaling.at(counts[i]));
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmdSchedule(const Args &args)
+{
+    if (args.positional.empty())
+        sim::fatal("schedule: need workload names");
+    sys::SystemConfig machine =
+        systemByName(args.get("system", "DSS 8440"));
+    int gpus = args.getInt("gpus", machine.num_gpus);
+    core::Suite suite(machine);
+    std::vector<sched::JobSpec> jobs;
+    for (const auto &name : args.positional) {
+        sched::JobSpec j;
+        j.name = name;
+        for (int w = 1; w <= gpus; w *= 2) {
+            train::RunOptions opts;
+            opts.num_gpus = w;
+            j.seconds_at_width[w] = suite.run(name, opts).total_seconds;
+        }
+        jobs.push_back(std::move(j));
+    }
+    auto naive = sched::naiveSchedule(jobs, gpus);
+    auto opt = sched::optimalSchedule(jobs, gpus);
+    std::printf("naive %.2f h, optimal %.2f h (saves %.1f h)\n\n%s",
+                naive.makespan() / 3600.0, opt.makespan_s / 3600.0,
+                (naive.makespan() - opt.makespan_s) / 3600.0,
+                sched::renderGantt(opt.schedule).c_str());
+    return 0;
+}
+
+int
+cmdCharacterize(const Args &args)
+{
+    sys::SystemConfig machine =
+        systemByName(args.get("system", "C4140 (K)"));
+    auto rep = core::characterize(machine, args.getInt("gpus", 1));
+    std::printf("%-15s %-10s %9s %9s %10s %10s\n", "workload", "suite",
+                "PC1", "PC2", "TFLOP/s", "FLOP/B");
+    for (std::size_t i = 0; i < rep.workloads.size(); ++i) {
+        int r = static_cast<int>(i);
+        std::printf("%-15s %-10s %9.3f %9.3f %10.2f %10.1f\n",
+                    rep.workloads[i].c_str(),
+                    wl::toString(rep.suites[i]).c_str(),
+                    rep.pca.scores.at(r, 0), rep.pca.scores.at(r, 1),
+                    rep.roofline_points[i].flops / 1e12,
+                    rep.roofline_points[i].intensity);
+    }
+    std::printf("\nPC1-PC4 cumulative variance: %.1f%%\n",
+                100.0 * rep.pca.cumulativeVariance(4));
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    if (args.positional.empty())
+        sim::fatal("trace: need a workload name");
+    sys::SystemConfig machine =
+        systemByName(args.get("system", "C4140 (K)"));
+    core::Suite suite(machine);
+    train::RunOptions opts = optionsFrom(args);
+    auto r = suite.run(args.positional[0], opts);
+    prof::TraceBuilder trace;
+    trace.addIterations(r, args.getInt("iterations", 4));
+    std::string path = args.get("out", "mlpsim_trace.json");
+    if (!trace.writeFile(path))
+        sim::fatal("trace: cannot write '%s'", path.c_str());
+    std::printf("wrote %zu events to %s (open in chrome://tracing or "
+                "ui.perfetto.dev)\n", trace.events().size(),
+                path.c_str());
+    return 0;
+}
+
+int
+cmdReport(const Args &args)
+{
+    std::string path = args.get("out", "mlpsim_report.md");
+    std::printf("running the full study (takes a moment)...\n");
+    if (!core::writeStudyReport(path))
+        sim::fatal("report: cannot write '%s'", path.c_str());
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "mlpsim — MLPerf training characterization simulator\n\n"
+        "  mlpsim list\n"
+        "  mlpsim run <workload> [--system NAME] [--gpus N]\n"
+        "             [--precision fp32|fp16|mixed] [--reference]\n"
+        "  mlpsim scaling <workload...> [--system NAME]\n"
+        "  mlpsim schedule [--gpus N] [--system NAME] <workload...>\n"
+        "  mlpsim characterize [--system NAME] [--gpus N]\n"
+        "  mlpsim trace <workload> [--system NAME] [--gpus N]\n"
+        "             [--iterations K] [--out FILE]\n"
+        "  mlpsim report [--out FILE]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    std::string cmd = argv[1];
+    Args args = Args::parse(argc, argv, 2);
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "run")
+            return cmdRun(args);
+        if (cmd == "scaling")
+            return cmdScaling(args);
+        if (cmd == "schedule")
+            return cmdSchedule(args);
+        if (cmd == "characterize")
+            return cmdCharacterize(args);
+        if (cmd == "trace")
+            return cmdTrace(args);
+        if (cmd == "report")
+            return cmdReport(args);
+        usage();
+        return 2;
+    } catch (const sim::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
