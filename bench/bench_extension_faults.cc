@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Extension beyond the paper: fault-tolerant training. The paper's
+ * time-to-train numbers assume nothing ever breaks; at datacenter
+ * scale something always does. This bench sweeps the machine MTTF and
+ * reports the expected time-to-train under a datacenter fault profile
+ * with Young-Daly-optimal checkpointing, then compares elastic
+ * recovery policies for a job stream on a machine losing GPUs.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/suite.h"
+#include "fault/fault_model.h"
+#include "sched/online.h"
+#include "sys/machines.h"
+#include "train/checkpoint.h"
+
+int
+main()
+{
+    using namespace mlps;
+
+    sys::SystemConfig dss = sys::dss8440();
+    core::Suite suite(dss);
+    constexpr std::uint64_t kSeed = 42;
+
+    // Part 1: expected time-to-train vs machine MTTF.
+    std::printf("Fault-aware time-to-train on %s, 8 GPUs, seed %llu\n"
+                "(datacenter fault mix, Young-Daly-optimal "
+                "checkpoints)\n\n",
+                dss.name.c_str(),
+                static_cast<unsigned long long>(kSeed));
+    std::printf("%-14s %9s %10s %10s %9s %9s %10s %10s\n", "workload",
+                "MTTF(h)", "base(min)", "exp(min)", "goodput", "avail",
+                "lost(min)", "ckpt(min)");
+    train::RunOptions opts;
+    opts.num_gpus = 8;
+    for (const char *name : {"MLPf_Res50_MX", "MLPf_GNMT_Py"}) {
+        auto base = suite.run(name, opts);
+        auto ckpt = train::checkpointModelFor(
+            dss, suite.registry().find(name)->spec());
+        for (double mttf : {2.0, 6.0, 24.0, 168.0, 1000.0}) {
+            fault::FaultModel model(
+                fault::FaultModelConfig::datacenterProfile(mttf),
+                kSeed);
+            auto ft = train::applyFaultTrace(base, ckpt, model);
+            std::printf(
+                "%-14s %9.0f %10.1f %10.1f %9.3f %9.3f %10.1f %10.1f\n",
+                name, mttf, base.totalMinutes(),
+                ft.expected_seconds / 60.0, ft.goodput(),
+                ft.availability(), ft.lost_work_s / 60.0,
+                std::isinf(ft.checkpoint_interval_s)
+                    ? 0.0
+                    : ft.checkpoint_interval_s / 60.0);
+        }
+    }
+
+    // Part 2: elastic recovery policies under GPU outages.
+    std::printf("\nElastic recovery of a job stream (16 jobs, 8 GPUs, "
+                "MTTF 1 h)\n\n");
+    std::vector<sched::JobSpec> catalogue;
+    for (const char *name :
+         {"MLPf_SSD_Py", "MLPf_GNMT_Py", "MLPf_NCF_Py"}) {
+        sched::JobSpec j;
+        j.name = name;
+        for (int w = 1; w <= 8; w *= 2) {
+            train::RunOptions o;
+            o.num_gpus = w;
+            j.seconds_at_width[w] = suite.run(name, o).total_seconds;
+        }
+        catalogue.push_back(std::move(j));
+    }
+    auto jobs = sched::poissonJobStream(catalogue, 16, 1800.0, kSeed);
+    fault::FaultModel machine_faults(
+        fault::FaultModelConfig::datacenterProfile(1.0), kSeed);
+    auto trace = machine_faults.generate(24.0 * 3600.0, 8);
+    auto outages = sched::outagesFromTrace(trace);
+    std::printf("%zu faults lowered to %zu schedulable outages\n\n",
+                trace.size(), outages.size());
+    std::printf("%-10s %10s %12s %11s %9s %9s %6s\n", "recovery",
+                "makespan", "lost work", "restarts", "goodput",
+                "avail", "intr");
+    for (auto rec : {sched::RecoveryPolicy::Requeue,
+                     sched::RecoveryPolicy::Shrink,
+                     sched::RecoveryPolicy::Migrate}) {
+        auto m = sched::simulateElastic(
+            jobs, 8, sched::OnlinePolicy::FifoBestWidth, outages, rec);
+        std::printf(
+            "%-10s %8.2f h %8.2f GPUh %7.2f GPUh %9.3f %9.3f %6d\n",
+            sched::toString(rec).c_str(), m.online.makespan_s / 3600.0,
+            m.lost_work_s / 3600.0, m.restart_s / 3600.0, m.goodput,
+            m.availability, m.interruptions);
+    }
+    return 0;
+}

@@ -155,5 +155,6 @@ bench/CMakeFiles/bench_extension_online_sched.dir/bench_extension_online_sched.c
  /root/repo/src/train/trainer.h /root/repo/src/prof/kernel_profiler.h \
  /root/repo/src/train/precision_policy.h \
  /root/repo/src/train/training_job.h /root/repo/src/sched/online.h \
+ /root/repo/src/fault/fault_model.h /root/repo/src/sim/rng.h \
  /root/repo/src/sched/schedule.h /root/repo/src/sched/job_spec.h \
- /root/repo/src/sim/rng.h /root/repo/src/sys/machines.h
+ /root/repo/src/sys/machines.h

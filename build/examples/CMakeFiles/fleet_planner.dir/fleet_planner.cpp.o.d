@@ -155,7 +155,8 @@ examples/CMakeFiles/fleet_planner.dir/fleet_planner.cpp.o: \
  /root/repo/src/train/trainer.h /root/repo/src/prof/kernel_profiler.h \
  /root/repo/src/train/precision_policy.h \
  /root/repo/src/train/training_job.h /root/repo/src/models/zoo.h \
- /root/repo/src/sched/online.h /root/repo/src/sched/schedule.h \
- /root/repo/src/sched/job_spec.h /root/repo/src/sim/rng.h \
- /root/repo/src/sys/cluster.h /root/repo/src/sys/machines.h \
- /root/repo/src/train/energy.h /root/repo/src/train/multinode.h
+ /root/repo/src/sched/online.h /root/repo/src/fault/fault_model.h \
+ /root/repo/src/sim/rng.h /root/repo/src/sched/schedule.h \
+ /root/repo/src/sched/job_spec.h /root/repo/src/sys/cluster.h \
+ /root/repo/src/sys/machines.h /root/repo/src/train/energy.h \
+ /root/repo/src/train/multinode.h

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/registry.cc" "src/CMakeFiles/mlpsim.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/core/registry.cc.o.d"
   "/root/repo/src/core/report.cc" "src/CMakeFiles/mlpsim.dir/core/report.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/core/report.cc.o.d"
   "/root/repo/src/core/suite.cc" "src/CMakeFiles/mlpsim.dir/core/suite.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/core/suite.cc.o.d"
+  "/root/repo/src/fault/fault_model.cc" "src/CMakeFiles/mlpsim.dir/fault/fault_model.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/fault/fault_model.cc.o.d"
   "/root/repo/src/hw/cpu.cc" "src/CMakeFiles/mlpsim.dir/hw/cpu.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/hw/cpu.cc.o.d"
   "/root/repo/src/hw/gpu.cc" "src/CMakeFiles/mlpsim.dir/hw/gpu.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/hw/gpu.cc.o.d"
   "/root/repo/src/hw/kernel_timing.cc" "src/CMakeFiles/mlpsim.dir/hw/kernel_timing.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/hw/kernel_timing.cc.o.d"
@@ -57,6 +58,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sys/cluster.cc" "src/CMakeFiles/mlpsim.dir/sys/cluster.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sys/cluster.cc.o.d"
   "/root/repo/src/sys/machines.cc" "src/CMakeFiles/mlpsim.dir/sys/machines.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sys/machines.cc.o.d"
   "/root/repo/src/sys/system_config.cc" "src/CMakeFiles/mlpsim.dir/sys/system_config.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sys/system_config.cc.o.d"
+  "/root/repo/src/train/checkpoint.cc" "src/CMakeFiles/mlpsim.dir/train/checkpoint.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/train/checkpoint.cc.o.d"
   "/root/repo/src/train/energy.cc" "src/CMakeFiles/mlpsim.dir/train/energy.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/train/energy.cc.o.d"
   "/root/repo/src/train/multinode.cc" "src/CMakeFiles/mlpsim.dir/train/multinode.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/train/multinode.cc.o.d"
   "/root/repo/src/train/pipeline.cc" "src/CMakeFiles/mlpsim.dir/train/pipeline.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/train/pipeline.cc.o.d"

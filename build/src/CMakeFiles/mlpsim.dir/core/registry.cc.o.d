@@ -133,4 +133,14 @@ src/CMakeFiles/mlpsim.dir/core/registry.cc.o: \
  /root/repo/src/wl/dataset.h /root/repo/src/wl/host_pipeline.h \
  /root/repo/src/wl/op_graph.h /root/repo/src/wl/op.h \
  /root/repo/src/hw/kernel_timing.h /root/repo/src/hw/gpu.h \
- /root/repo/src/hw/precision.h /root/repo/src/models/zoo.h
+ /root/repo/src/hw/precision.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/models/zoo.h

@@ -118,7 +118,29 @@ src/CMakeFiles/mlpsim.dir/core/report.cc.o: /root/repo/src/core/report.cc \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/fstream \
  /usr/include/c++/12/istream /usr/include/c++/12/ios \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
@@ -194,6 +216,8 @@ src/CMakeFiles/mlpsim.dir/core/report.cc.o: /root/repo/src/core/report.cc \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/train/trainer.h \
  /root/repo/src/prof/kernel_profiler.h \
- /root/repo/src/train/precision_policy.h /root/repo/src/sched/naive.h \
- /root/repo/src/sched/schedule.h /root/repo/src/sched/job_spec.h \
- /root/repo/src/sched/optimal.h /root/repo/src/sys/machines.h
+ /root/repo/src/train/precision_policy.h \
+ /root/repo/src/fault/fault_model.h /root/repo/src/sim/rng.h \
+ /root/repo/src/sched/naive.h /root/repo/src/sched/schedule.h \
+ /root/repo/src/sched/job_spec.h /root/repo/src/sched/optimal.h \
+ /root/repo/src/sys/machines.h /root/repo/src/train/checkpoint.h

@@ -122,7 +122,8 @@ src/CMakeFiles/mlpsim.dir/prof/trace.cc.o: /root/repo/src/prof/trace.cc \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/train/training_job.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/fault/fault_model.h \
+ /root/repo/src/sim/rng.h /root/repo/src/train/training_job.h \
  /root/repo/src/hw/precision.h /root/repo/src/net/topology.h \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \

@@ -296,6 +296,7 @@ tests/CMakeFiles/online_sched_test.dir/online_sched_test.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sched/online.h /root/repo/src/sched/schedule.h \
- /root/repo/src/sched/job_spec.h /root/repo/src/sim/rng.h \
- /root/repo/src/sim/logger.h /usr/include/c++/12/cstdarg
+ /root/repo/src/sched/online.h /root/repo/src/fault/fault_model.h \
+ /root/repo/src/sim/rng.h /root/repo/src/sched/schedule.h \
+ /root/repo/src/sched/job_spec.h /root/repo/src/sim/logger.h \
+ /usr/include/c++/12/cstdarg

@@ -302,6 +302,7 @@ tests/CMakeFiles/trace_test.dir/trace_test.cc.o: \
  /root/repo/src/wl/op_graph.h /root/repo/src/wl/op.h \
  /root/repo/src/hw/kernel_timing.h /root/repo/src/hw/gpu.h \
  /root/repo/src/hw/precision.h /root/repo/src/prof/trace.h \
+ /root/repo/src/fault/fault_model.h /root/repo/src/sim/rng.h \
  /root/repo/src/train/training_job.h /root/repo/src/net/topology.h \
  /root/repo/src/net/link.h /root/repo/src/sim/logger.h \
  /usr/include/c++/12/cstdarg /root/repo/src/sys/machines.h \

@@ -324,17 +324,17 @@ tests/CMakeFiles/umbrella_test.dir/umbrella_test.cc.o: \
  /root/repo/src/prof/csv.h /root/repo/src/prof/device_monitor.h \
  /root/repo/src/sim/counters.h /root/repo/src/prof/kernel_profiler.h \
  /root/repo/src/prof/metric_set.h /root/repo/src/prof/sys_monitor.h \
- /root/repo/src/prof/trace.h /root/repo/src/stats/cluster.h \
- /root/repo/src/stats/matrix.h /root/repo/src/stats/descriptive.h \
- /root/repo/src/stats/eigen.h /root/repo/src/stats/matrix.h \
- /root/repo/src/stats/pca.h /root/repo/src/stats/eigen.h \
- /root/repo/src/stats/roofline.h /root/repo/src/sched/gantt.h \
- /root/repo/src/sched/schedule.h /root/repo/src/sched/job_spec.h \
- /root/repo/src/sched/job_spec.h /root/repo/src/sched/naive.h \
- /root/repo/src/sched/online.h /root/repo/src/sched/optimal.h \
- /root/repo/src/sched/schedule.h /root/repo/src/core/benchmark.h \
- /root/repo/src/core/characterize.h /root/repo/src/core/registry.h \
- /root/repo/src/core/benchmark.h /root/repo/src/prof/metric_set.h \
- /root/repo/src/stats/pca.h /root/repo/src/stats/roofline.h \
- /root/repo/src/core/registry.h /root/repo/src/core/report.h \
- /root/repo/src/core/suite.h
+ /root/repo/src/prof/trace.h /root/repo/src/fault/fault_model.h \
+ /root/repo/src/stats/cluster.h /root/repo/src/stats/matrix.h \
+ /root/repo/src/stats/descriptive.h /root/repo/src/stats/eigen.h \
+ /root/repo/src/stats/matrix.h /root/repo/src/stats/pca.h \
+ /root/repo/src/stats/eigen.h /root/repo/src/stats/roofline.h \
+ /root/repo/src/sched/gantt.h /root/repo/src/sched/schedule.h \
+ /root/repo/src/sched/job_spec.h /root/repo/src/sched/job_spec.h \
+ /root/repo/src/sched/naive.h /root/repo/src/sched/online.h \
+ /root/repo/src/sched/optimal.h /root/repo/src/sched/schedule.h \
+ /root/repo/src/core/benchmark.h /root/repo/src/core/characterize.h \
+ /root/repo/src/core/registry.h /root/repo/src/core/benchmark.h \
+ /root/repo/src/prof/metric_set.h /root/repo/src/stats/pca.h \
+ /root/repo/src/stats/roofline.h /root/repo/src/core/registry.h \
+ /root/repo/src/core/report.h /root/repo/src/core/suite.h

@@ -27,5 +27,6 @@ include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/report_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
 include("/root/repo/build/tests/matrix_sweep_test[1]_include.cmake")
 include("/root/repo/build/tests/paper_claims_test[1]_include.cmake")

@@ -41,9 +41,29 @@ class Registry
     /** Number of registered benchmarks. */
     std::size_t size() const { return benchmarks_.size(); }
 
+    /** All registered abbreviations, registry order. */
+    std::vector<std::string> names() const;
+
   private:
     std::vector<Benchmark> benchmarks_;
 };
+
+/**
+ * The candidates closest to `query` by edit distance — "did you
+ * mean" material for unknown-name diagnostics. Case-insensitive;
+ * only plausibly-close candidates are returned, nearest first.
+ */
+std::vector<std::string>
+closestNames(const std::string &query,
+             const std::vector<std::string> &candidates,
+             std::size_t max_results = 3);
+
+/**
+ * Format a "did you mean" clause from closestNames() output; empty
+ * string when there is nothing worth suggesting.
+ */
+std::string didYouMean(const std::string &query,
+                       const std::vector<std::string> &candidates);
 
 } // namespace mlps::core
 

@@ -21,6 +21,7 @@ struct ReportOptions {
     bool include_topology = true;
     bool include_scheduling = true;
     bool include_characterization = true;
+    bool include_faults = true;
 };
 
 /**

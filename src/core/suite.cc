@@ -17,7 +17,8 @@ Suite::run(const std::string &abbrev, const train::RunOptions &opts,
 {
     const Benchmark *b = registry_.find(abbrev);
     if (!b)
-        sim::fatal("Suite: unknown benchmark '%s'", abbrev.c_str());
+        sim::fatal("Suite: unknown benchmark '%s'%s", abbrev.c_str(),
+                   didYouMean(abbrev, registry_.names()).c_str());
     return trainer_.run(b->spec(), opts, profiler);
 }
 
@@ -39,7 +40,8 @@ Suite::scalingStudy(const std::vector<std::string> &abbrevs,
     for (const auto &abbrev : abbrevs) {
         const Benchmark *b = registry_.find(abbrev);
         if (!b)
-            sim::fatal("Suite: unknown benchmark '%s'", abbrev.c_str());
+            sim::fatal("Suite: unknown benchmark '%s'%s", abbrev.c_str(),
+                   didYouMean(abbrev, registry_.names()).c_str());
         ScalingRow row;
         row.workload = abbrev;
 
@@ -78,7 +80,8 @@ Suite::mixedPrecisionStudy(const std::vector<std::string> &abbrevs,
     for (const auto &abbrev : abbrevs) {
         const Benchmark *b = registry_.find(abbrev);
         if (!b)
-            sim::fatal("Suite: unknown benchmark '%s'", abbrev.c_str());
+            sim::fatal("Suite: unknown benchmark '%s'%s", abbrev.c_str(),
+                   didYouMean(abbrev, registry_.names()).c_str());
         train::RunOptions opts;
         opts.num_gpus = num_gpus;
         opts.precision = hw::Precision::FP32;

@@ -40,7 +40,8 @@ CsvWriter::addNumericRow(const std::vector<double> &row)
 std::string
 csvEscape(const std::string &field)
 {
-    bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+    bool needs_quote =
+        field.find_first_of(",\"\n\r") != std::string::npos;
     if (!needs_quote)
         return field;
     std::string out = "\"";
@@ -66,6 +67,95 @@ CsvWriter::str() const
         os << "\n";
     }
     return os.str();
+}
+
+int
+CsvDocument::column(const std::string &name) const
+{
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+CsvDocument
+parseCsv(const std::string &text)
+{
+    CsvDocument doc;
+    if (text.empty())
+        return doc;
+
+    std::vector<std::vector<std::string>> records;
+    std::vector<std::string> record;
+    std::string field;
+    bool in_quotes = false, field_started = false;
+
+    auto endField = [&] {
+        record.push_back(std::move(field));
+        field.clear();
+        field_started = false;
+    };
+    auto endRecord = [&] {
+        endField();
+        records.push_back(std::move(record));
+        record.clear();
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (in_quotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"'; // escaped quote
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field += c;
+            }
+            continue;
+        }
+        switch (c) {
+          case '"':
+            if (!field.empty() || field_started)
+                sim::fatal("parseCsv: quote inside unquoted field "
+                           "(byte %zu)", i);
+            in_quotes = true;
+            field_started = true;
+            break;
+          case ',':
+            endField();
+            break;
+          case '\r':
+            // CRLF: consume silently; the \n ends the record. A bare
+            // \r inside an unquoted field is malformed anyway.
+            break;
+          case '\n':
+            endRecord();
+            break;
+          default:
+            field += c;
+            field_started = true;
+        }
+    }
+    if (in_quotes)
+        sim::fatal("parseCsv: unterminated quoted field");
+    // Final record without a trailing newline.
+    if (field_started || !field.empty() || !record.empty())
+        endRecord();
+
+    if (records.empty())
+        return doc;
+    doc.header = std::move(records.front());
+    for (std::size_t r = 1; r < records.size(); ++r) {
+        if (records[r].size() != doc.header.size())
+            sim::fatal("parseCsv: row %zu width %zu != header width "
+                       "%zu", r, records[r].size(), doc.header.size());
+        doc.rows.push_back(std::move(records[r]));
+    }
+    return doc;
 }
 
 bool

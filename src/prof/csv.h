@@ -42,6 +42,24 @@ class CsvWriter
 /** Escape one CSV field (RFC 4180 quoting). */
 std::string csvEscape(const std::string &field);
 
+/** A parsed CSV document. */
+struct CsvDocument {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    /** Column index by name; -1 when absent. */
+    int column(const std::string &name) const;
+};
+
+/**
+ * Parse RFC 4180 CSV text: quoted fields may contain commas, escaped
+ * quotes ("") and embedded newlines; CRLF line endings are accepted.
+ * The first record is the header. Ragged rows (width mismatch) and
+ * unterminated quotes are fatal(); empty input yields an empty
+ * document. Round-trips with CsvWriter::str().
+ */
+CsvDocument parseCsv(const std::string &text);
+
 } // namespace mlps::prof
 
 #endif // MLPSIM_PROF_CSV_H

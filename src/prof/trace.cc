@@ -1,5 +1,6 @@
 #include "prof/trace.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -45,6 +46,30 @@ TraceBuilder::addIterations(const train::TrainResult &result,
             }
             add(track, "optimizer", t, it.optimizer_s * 1e6);
         }
+    }
+}
+
+void
+TraceBuilder::addFaultTrace(const std::vector<fault::FaultEvent> &faults)
+{
+    // Nominal width for point events so the viewer shows a sliver
+    // rather than nothing.
+    constexpr double kPointWidthUs = 1e5;
+    for (const fault::FaultEvent &ev : faults) {
+        std::string track =
+            ev.resource >= 0
+                ? "Faults/GPU" + std::to_string(ev.resource)
+                : "Faults";
+        double dur_us = ev.duration_s > 0.0 ? ev.duration_s * 1e6
+                                            : kPointWidthUs;
+        std::string name = toString(ev.kind);
+        if (ev.severity > 0.0) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), " (%.0f%%)",
+                          ev.severity * 100.0);
+            name += buf;
+        }
+        add(track, name, ev.start_s * 1e6, dur_us);
     }
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_model.h"
 #include "train/training_job.h"
 
 namespace mlps::prof {
@@ -41,6 +42,14 @@ class TraceBuilder
      */
     void addIterations(const train::TrainResult &result,
                        int iterations);
+
+    /**
+     * Append a fault trace on a "Faults" track (one sub-track per
+     * affected resource). Windowed faults render at their duration;
+     * point events (preemption, GPU loss) get a nominal width so
+     * they stay visible in the viewer.
+     */
+    void addFaultTrace(const std::vector<fault::FaultEvent> &faults);
 
     const std::vector<TraceEvent> &events() const { return events_; }
 

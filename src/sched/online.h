@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_model.h"
 #include "sched/schedule.h"
 #include "sim/rng.h"
 
@@ -74,6 +75,72 @@ OnlineMetrics simulateOnline(const std::vector<OnlineJob> &jobs,
 std::vector<OnlineJob>
 poissonJobStream(const std::vector<JobSpec> &catalogue, int count,
                  double mean_interarrival_s, std::uint64_t seed);
+
+// ----------------------------------------------------------- elastic
+
+/** One GPU unavailability window visible to the scheduler. */
+struct GpuOutage {
+    int gpu = 0;
+    double start_s = 0.0;
+    /** Outage length, seconds; <= 0 means the GPU never returns. */
+    double duration_s = 0.0;
+
+    bool permanent() const { return duration_s <= 0.0; }
+};
+
+/** What the scheduler does with a job whose GPU just failed. */
+enum class RecoveryPolicy {
+    /** Put the job back at the head of the queue; rerun when space
+     *  frees up (the classic fail-stop restart). */
+    Requeue,
+    /** Continue immediately on the surviving GPUs of its allocation,
+     *  shrunk to the largest power-of-two width. */
+    Shrink,
+    /** Re-place at the original width on currently idle GPUs when
+     *  possible; otherwise shrink, otherwise requeue. */
+    Migrate,
+};
+
+/** Human-readable recovery-policy name. */
+std::string toString(RecoveryPolicy policy);
+
+/** Outcome of an elastic (fault-aware) online simulation. */
+struct ElasticMetrics {
+    OnlineMetrics online;        ///< realised schedule + queue metrics
+    double lost_work_s = 0.0;    ///< GPU-seconds of discarded progress
+    double restart_s = 0.0;      ///< GPU-seconds spent relaunching
+    double goodput = 0.0;        ///< useful / allocated GPU-time
+    double availability = 0.0;   ///< machine GPU-time not in outage
+    int interruptions = 0;       ///< job interruptions handled
+};
+
+/**
+ * Simulate a job stream on a machine whose GPUs suffer outages.
+ *
+ * Jobs are checkpointed every checkpoint_every_s seconds, so an
+ * interruption discards at most that much per-GPU progress and pays
+ * restart_overhead_s before the job resumes anywhere. Dispatch is
+ * width-aware FIFO (FifoFullWidth is honoured; Backfill degrades to
+ * FifoBestWidth — reservations are not modeled under faults).
+ *
+ * Deterministic: same inputs, same outcome.
+ */
+ElasticMetrics
+simulateElastic(const std::vector<OnlineJob> &jobs, int gpus,
+                OnlinePolicy policy, const std::vector<GpuOutage> &outages,
+                RecoveryPolicy recovery,
+                double checkpoint_every_s = 600.0,
+                double restart_overhead_s = 30.0);
+
+/**
+ * Lower a FaultModel trace to scheduler-visible outages: GpuLoss
+ * becomes a permanent outage; ECC retry storms and GPU stalls drain
+ * the device for their duration (operators pull degraded devices).
+ * Windows shorter than min_outage_s are ignored as not worth a drain.
+ */
+std::vector<GpuOutage>
+outagesFromTrace(const std::vector<fault::FaultEvent> &trace,
+                 double min_outage_s = 10.0);
 
 } // namespace mlps::sched
 

@@ -7,12 +7,41 @@
 
 namespace mlps::sim {
 
+namespace {
+
+/** Dead-entry count above which the storage pool is compacted. */
+constexpr std::size_t kCompactThreshold = 1024;
+
+} // namespace
+
+void
+EventQueue::maybeCompact()
+{
+    // Reclaim only when the dead entries both exceed the threshold and
+    // dominate the pool, so compaction cost amortises to O(1)/event.
+    if (dead_ < kCompactThreshold || dead_ < storage_.size() / 2)
+        return;
+    std::erase_if(storage_, [](const std::unique_ptr<Entry> &e) {
+        return e->cancelled || !e->fn;
+    });
+    // The heap holds raw pointers into the pool; rebuild it from the
+    // survivors (every live entry is pending, so all belong in it).
+    std::vector<Entry *> pending;
+    pending.reserve(storage_.size());
+    for (const auto &entry : storage_)
+        pending.push_back(entry.get());
+    heap_ = std::priority_queue<Entry *, std::vector<Entry *>, Later>(
+        Later{}, std::move(pending));
+    dead_ = 0;
+}
+
 EventId
 EventQueue::schedule(SimTime when, EventFn fn)
 {
     if (when < 0)
         fatal("EventQueue::schedule: negative time %lld",
               static_cast<long long>(when));
+    maybeCompact();
     auto entry = std::make_unique<Entry>();
     entry->when = when;
     entry->seq = next_seq_++;
@@ -33,6 +62,7 @@ EventQueue::cancel(EventId id)
         if (entry->id == id && !entry->cancelled && entry->fn) {
             entry->cancelled = true;
             --live_;
+            ++dead_;
             return true;
         }
     }
@@ -63,6 +93,7 @@ EventQueue::nextTime() const
 bool
 EventQueue::runOne(SimTime &now_out)
 {
+    maybeCompact();
     skipCancelled();
     if (heap_.empty())
         return false;
@@ -72,6 +103,9 @@ EventQueue::runOne(SimTime &now_out)
     EventFn fn = std::move(e->fn);
     e->fn = nullptr;
     --live_;
+    ++dead_;
+    // The handler may schedule (and thereby compact); e is dead and
+    // must not be touched past this point.
     fn();
     return true;
 }

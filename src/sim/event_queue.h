@@ -51,6 +51,14 @@ class EventQueue
     /** Number of live (non-cancelled, unfired) events. */
     std::size_t size() const { return live_; }
 
+    /**
+     * Entries currently held in the storage pool, live plus
+     * not-yet-reclaimed dead ones. Bounded: once dead entries pass a
+     * threshold the pool is compacted, so long-running simulations
+     * do not accumulate fired/cancelled entries forever.
+     */
+    std::size_t storageSize() const { return storage_.size(); }
+
     /** Time of the earliest live event; undefined when empty(). */
     SimTime nextTime() const;
 
@@ -80,6 +88,7 @@ class EventQueue
     };
 
     void skipCancelled() const;
+    void maybeCompact();
 
     // Heap of raw pointers into storage_; storage_ is a deque-like pool
     // so pointers stay valid.
@@ -88,6 +97,7 @@ class EventQueue
     std::uint64_t next_seq_ = 0;
     EventId next_id_ = 1;
     std::size_t live_ = 0;
+    std::size_t dead_ = 0; ///< fired/cancelled entries still pooled
 };
 
 /**

@@ -67,6 +67,25 @@ SystemConfig::describe() const
 void
 SystemConfig::validate() const
 {
+    if (name.empty())
+        sim::fatal("SystemConfig: empty machine name");
+    if (num_cpus <= 0)
+        sim::fatal("SystemConfig '%s': non-positive CPU count %d",
+                   name.c_str(), num_cpus);
+    if (num_gpus <= 0)
+        sim::fatal("SystemConfig '%s': non-positive GPU count %d "
+                   "(a machine needs at least one accelerator)",
+                   name.c_str(), num_gpus);
+    if (gpu.hbm_gib <= 0.0 || gpu.hbm_gbps <= 0.0)
+        sim::fatal("SystemConfig '%s': GPU '%s' has non-positive HBM "
+                   "capacity (%g GiB) or bandwidth (%g GB/s)",
+                   name.c_str(), gpu.name.c_str(), gpu.hbm_gib,
+                   gpu.hbm_gbps);
+    if (cpu.cores <= 0 || cpu.base_ghz <= 0.0)
+        sim::fatal("SystemConfig '%s': CPU '%s' has non-positive "
+                   "cores (%d) or clock (%g GHz)",
+                   name.c_str(), cpu.name.c_str(), cpu.cores,
+                   cpu.base_ghz);
     if (static_cast<int>(cpu_nodes.size()) != num_cpus)
         sim::fatal("SystemConfig '%s': cpu_nodes size %zu != num_cpus %d",
                    name.c_str(), cpu_nodes.size(), num_cpus);

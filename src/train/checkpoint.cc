@@ -1,0 +1,327 @@
+#include "train/checkpoint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "sim/logger.h"
+
+namespace mlps::train {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Metadata/framework state written alongside the tensors, bytes. */
+constexpr double kCheckpointMetadataBytes = 64.0e6;
+
+/**
+ * Iteration-time inflation factor (>= 1) while a degradation window
+ * is active, derived from the run's own breakdown so each fault class
+ * hurts exactly the workloads that depend on the degraded component.
+ */
+double
+degradationFactor(const TrainResult &base, const fault::FaultEvent &ev)
+{
+    const IterationBreakdown &it = base.iter;
+    double iter = it.iteration_s;
+    if (iter <= 0.0)
+        return 1.0;
+    double sev = std::max(ev.severity, 0.05);
+    switch (ev.kind) {
+      case fault::FaultKind::GpuStall: {
+        // One straggler gates synchronous training: the whole compute
+        // portion runs at the straggler's pace.
+        double extra = it.gpu_busy_s * (1.0 / sev - 1.0);
+        return (iter + extra) / iter;
+      }
+      case fault::FaultKind::EccRetryStorm: {
+        // Retry storms tax HBM; roughly the memory-bound half of the
+        // kernel time scales with the lost bandwidth.
+        double kernels = it.fwd_s + it.bwd_s + it.optimizer_s;
+        double extra = 0.5 * kernels * (1.0 / sev - 1.0);
+        return (iter + extra) / iter;
+      }
+      case fault::FaultKind::LinkFlap: {
+        // Degraded fabric: the collective stretches and the stretch
+        // is exposed (the overlap budget was sized for full speed).
+        double extra = it.comm_s * (1.0 / sev - 1.0);
+        return (iter + extra) / iter;
+      }
+      case fault::FaultKind::HostHiccup: {
+        // The input pipeline is software-pipelined: a slow host only
+        // matters once it becomes the longest stage.
+        double new_host = it.host_s / sev;
+        return std::max(iter, new_host) / iter;
+      }
+      case fault::FaultKind::Preemption:
+      case fault::FaultKind::GpuLoss:
+        return 1.0;
+    }
+    return 1.0;
+}
+
+/** MTTF of work-losing (fatal) events, seconds; +inf when disabled. */
+double
+fatalMttfSeconds(const fault::FaultModelConfig &cfg)
+{
+    double rate = 0.0;
+    if (cfg.preemption.mttf_hours > 0.0)
+        rate += 1.0 / cfg.preemption.mttf_hours;
+    if (cfg.gpu_loss.mttf_hours > 0.0)
+        rate += 1.0 / cfg.gpu_loss.mttf_hours;
+    return rate > 0.0 ? 3600.0 / rate : kInf;
+}
+
+} // namespace
+
+double
+CheckpointModel::checkpointSeconds() const
+{
+    return bytes / write_bytes_per_s + barrier_s;
+}
+
+void
+CheckpointModel::validate() const
+{
+    if (bytes <= 0.0)
+        sim::fatal("CheckpointModel: non-positive snapshot size %g",
+                   bytes);
+    if (write_bytes_per_s <= 0.0)
+        sim::fatal("CheckpointModel: non-positive write bandwidth %g",
+                   write_bytes_per_s);
+    if (barrier_s < 0.0 || restart_s < 0.0)
+        sim::fatal("CheckpointModel: negative barrier/restart cost");
+}
+
+CheckpointModel
+checkpointModelFor(const sys::SystemConfig &system,
+                   const wl::WorkloadSpec &spec)
+{
+    CheckpointModel m;
+    // fp32 master weights plus SGD momentum, written by rank 0 only
+    // (data-parallel replicas hold identical state).
+    double params = spec.graph.totals().param_bytes / 4.0;
+    m.bytes = params * 8.0 + kCheckpointMetadataBytes;
+
+    if (system.gpu_nodes.empty())
+        sim::fatal("checkpointModelFor: system '%s' has no GPUs",
+                   system.name.c_str());
+    net::NodeId gpu = system.gpu_nodes[0];
+    auto cpu = system.topo.hostCpu(gpu);
+    if (!cpu)
+        sim::fatal("checkpointModelFor: GPU 0 of '%s' has no host CPU",
+                   system.name.c_str());
+    auto path = system.topo.route(gpu, *cpu);
+    if (!path)
+        sim::fatal("checkpointModelFor: no GPU-to-host path on '%s'",
+                   system.name.c_str());
+    m.write_bytes_per_s = system.topo.pathBandwidth(*path);
+    m.validate();
+    return m;
+}
+
+double
+youngDalyInterval(double checkpoint_s, double mttf_s)
+{
+    if (checkpoint_s <= 0.0 || mttf_s <= 0.0)
+        sim::fatal("youngDalyInterval: need positive checkpoint cost "
+                   "(%g) and MTTF (%g)", checkpoint_s, mttf_s);
+    return std::sqrt(2.0 * checkpoint_s * mttf_s);
+}
+
+double
+expectedRunSeconds(double work_s, double interval_s,
+                   double checkpoint_s, double restart_s, double mttf_s)
+{
+    if (work_s <= 0.0)
+        return 0.0;
+    if (interval_s <= 0.0)
+        sim::fatal("expectedRunSeconds: non-positive interval %g",
+                   interval_s);
+    double segments = work_s / interval_s;
+    if (mttf_s <= 0.0 || std::isinf(mttf_s))
+        return work_s + segments * checkpoint_s;
+    // Exponential failures at rate 1/MTTF: the expected wall time to
+    // push one segment of tau+C through, restarting on each hit, is
+    // (MTTF + R) * (e^((tau+C)/MTTF) - 1).
+    double lam = 1.0 / mttf_s;
+    double seg = (mttf_s + restart_s) *
+                 std::expm1(lam * (interval_s + checkpoint_s));
+    return segments * seg;
+}
+
+double
+optimalCheckpointInterval(double checkpoint_s, double restart_s,
+                          double mttf_s)
+{
+    if (checkpoint_s <= 0.0 || mttf_s <= 0.0)
+        sim::fatal("optimalCheckpointInterval: need positive "
+                   "checkpoint cost (%g) and MTTF (%g)",
+                   checkpoint_s, mttf_s);
+    if (std::isinf(mttf_s))
+        return kInf;
+    // Golden-section search on log(tau): expectedRunSeconds is
+    // unimodal in the interval, so this converges fast and cheap.
+    const double phi = 0.5 * (std::sqrt(5.0) - 1.0);
+    double lo = std::log(std::max(checkpoint_s * 1e-3, 1e-3));
+    double hi = std::log(10.0 * mttf_s + 100.0 * checkpoint_s);
+    auto cost = [&](double log_tau) {
+        return expectedRunSeconds(1.0, std::exp(log_tau), checkpoint_s,
+                                  restart_s, mttf_s);
+    };
+    double a = hi - phi * (hi - lo);
+    double b = lo + phi * (hi - lo);
+    double fa = cost(a), fb = cost(b);
+    for (int i = 0; i < 200 && hi - lo > 1e-10; ++i) {
+        if (fa < fb) {
+            hi = b;
+            b = a;
+            fb = fa;
+            a = hi - phi * (hi - lo);
+            fa = cost(a);
+        } else {
+            lo = a;
+            a = b;
+            fa = fb;
+            b = lo + phi * (hi - lo);
+            fb = cost(b);
+        }
+    }
+    return std::exp(0.5 * (lo + hi));
+}
+
+FaultedTrainResult
+applyFaultTrace(const TrainResult &base, const CheckpointModel &ckpt,
+                const fault::FaultModel &faults, double interval_s)
+{
+    ckpt.validate();
+    FaultedTrainResult out;
+    out.base = base;
+    out.checkpoint_s = ckpt.checkpointSeconds();
+
+    const double work = base.total_seconds;
+    double mttf_fatal = fatalMttfSeconds(faults.config());
+    out.checkpoint_interval_s =
+        interval_s > 0.0
+            ? interval_s
+            : (std::isinf(mttf_fatal)
+                   ? kInf
+                   : optimalCheckpointInterval(
+                         out.checkpoint_s, ckpt.restart_s, mttf_fatal));
+    if (work <= 0.0) {
+        out.expected_seconds = 0.0;
+        return out;
+    }
+
+    // Replay the trace, regenerating over a longer horizon whenever
+    // faults push completion past the trace's coverage. Regeneration
+    // is prefix-stable (per-class streams are horizon-independent),
+    // so the replay stays deterministic.
+    double horizon = std::max(2.0 * work, work + 3600.0);
+    for (int attempt = 0; attempt < 24; ++attempt) {
+        auto trace = faults.generate(horizon, base.num_gpus);
+
+        // Expand windows into time-ordered boundaries.
+        struct Boundary {
+            double t;
+            int type; ///< 0 = window start, 1 = window end, 2 = fatal
+            std::size_t event;
+        };
+        std::vector<Boundary> bounds;
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            const fault::FaultEvent &ev = trace[i];
+            if (ev.kind == fault::FaultKind::Preemption ||
+                ev.kind == fault::FaultKind::GpuLoss) {
+                bounds.push_back({ev.start_s, 2, i});
+            } else {
+                bounds.push_back({ev.start_s, 0, i});
+                bounds.push_back({ev.start_s + ev.duration_s, 1, i});
+            }
+        }
+        std::stable_sort(bounds.begin(), bounds.end(),
+                         [](const Boundary &a, const Boundary &b) {
+                             return a.t < b.t;
+                         });
+
+        out.checkpoint_overhead_s = 0.0;
+        out.lost_work_s = 0.0;
+        out.restart_overhead_s = 0.0;
+        out.failures = 0;
+        out.degradations = 0;
+
+        double t = 0.0, done = 0.0, done_ckpt = 0.0, since_ckpt = 0.0;
+        double slowdown = 1.0;   ///< product of active window factors
+        double perm_rate = 1.0;  ///< permanent loss of replicas
+        int gpus_left = base.num_gpus;
+        std::size_t bi = 0;
+        bool finished = false;
+
+        while (!finished) {
+            double rate = perm_rate / slowdown;
+            double t_finish = t + (work - done) / rate;
+            double t_ckpt =
+                std::isinf(out.checkpoint_interval_s)
+                    ? kInf
+                    : t + (out.checkpoint_interval_s - since_ckpt) /
+                              rate;
+            double t_bound =
+                bi < bounds.size() ? std::max(bounds[bi].t, t) : kInf;
+            double t_next = std::min({t_finish, t_ckpt, t_bound});
+
+            double dw = (t_next - t) * rate;
+            done += dw;
+            since_ckpt += dw;
+            t = t_next;
+
+            if (t_next == t_finish) {
+                finished = true;
+            } else if (t_next == t_bound) {
+                const Boundary &b = bounds[bi++];
+                const fault::FaultEvent &ev = trace[b.event];
+                if (b.type == 0) {
+                    slowdown *= degradationFactor(base, ev);
+                    ++out.degradations;
+                } else if (b.type == 1) {
+                    slowdown /= degradationFactor(base, ev);
+                } else {
+                    ++out.failures;
+                    out.lost_work_s += since_ckpt;
+                    done = done_ckpt;
+                    since_ckpt = 0.0;
+                    t += ckpt.restart_s;
+                    out.restart_overhead_s += ckpt.restart_s;
+                    if (ev.kind == fault::FaultKind::GpuLoss &&
+                        gpus_left > 1) {
+                        // The survivors carry the fixed global work.
+                        perm_rate *=
+                            static_cast<double>(gpus_left - 1) /
+                            gpus_left;
+                        --gpus_left;
+                    }
+                }
+            } else {
+                t += out.checkpoint_s;
+                out.checkpoint_overhead_s += out.checkpoint_s;
+                done_ckpt = done;
+                since_ckpt = 0.0;
+            }
+        }
+
+        if (t <= horizon) {
+            out.expected_seconds = t;
+            // Residual wall time beyond work + explicit overheads is
+            // what the degradation windows cost.
+            out.degraded_overhead_s = std::max(
+                0.0, t - work - out.checkpoint_overhead_s -
+                         out.lost_work_s - out.restart_overhead_s);
+            return out;
+        }
+        horizon *= 2.0;
+    }
+    sim::fatal("applyFaultTrace: run never completes under this fault "
+               "trace (MTTF too small for %g s of work?)", work);
+}
+
+} // namespace mlps::train

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Checkpoint/restart cost model and fault-aware time-to-train.
+ *
+ * The steady-state Trainer result assumes every component survives
+ * the whole run. This module layers failure awareness on top: a
+ * checkpoint cost model (snapshot bytes from the model's parameter
+ * and optimizer state, drained over the GPU-to-host path of the
+ * machine's topology), a Young–Daly-style optimal checkpoint-interval
+ * solver, and a deterministic replay of a FaultModel trace that turns
+ * the steady-state iteration time into the *expected* time-to-train
+ * under faults — with goodput, availability and lost-work breakdowns.
+ */
+
+#ifndef MLPSIM_TRAIN_CHECKPOINT_H
+#define MLPSIM_TRAIN_CHECKPOINT_H
+
+#include "fault/fault_model.h"
+#include "sys/system_config.h"
+#include "train/training_job.h"
+#include "wl/workload.h"
+
+namespace mlps::train {
+
+/** Cost model of one checkpoint/restart cycle. */
+struct CheckpointModel {
+    /** Snapshot size: fp32 master weights + optimizer state, bytes. */
+    double bytes = 0.0;
+    /** Drain bandwidth over the GPU-to-host path, bytes/s. */
+    double write_bytes_per_s = 0.0;
+    /** Fixed quiesce/serialize barrier per checkpoint, seconds. */
+    double barrier_s = 2.0;
+    /** Relaunch + weight-reload cost after a failure, seconds. */
+    double restart_s = 30.0;
+
+    /** Wall time of one checkpoint, seconds. */
+    double checkpointSeconds() const;
+
+    /** Sanity-check parameter ranges; fatal() when malformed. */
+    void validate() const;
+};
+
+/**
+ * Derive the checkpoint cost model of a workload on a machine: only
+ * rank 0 writes (data-parallel replicas are identical), draining over
+ * the first GPU's path to its host CPU.
+ */
+CheckpointModel checkpointModelFor(const sys::SystemConfig &system,
+                                   const wl::WorkloadSpec &spec);
+
+/**
+ * Young–Daly closed-form checkpoint interval sqrt(2 * C * MTTF),
+ * seconds. C is the checkpoint cost, MTTF the mean time between
+ * *fatal* (work-losing) failures.
+ */
+double youngDalyInterval(double checkpoint_s, double mttf_s);
+
+/**
+ * Expected wall time to complete `work_s` seconds of useful work
+ * under exponential failures (rate 1/mttf_s), checkpointing every
+ * `interval_s` seconds of progress. First-principles exponential
+ * model; reduces to work_s * (1 + C/tau) when failures are disabled
+ * (mttf_s <= 0 or infinite).
+ */
+double expectedRunSeconds(double work_s, double interval_s,
+                          double checkpoint_s, double restart_s,
+                          double mttf_s);
+
+/**
+ * Numerically optimal checkpoint interval: minimises
+ * expectedRunSeconds over the interval. Agrees with youngDalyInterval
+ * to first order when checkpoint cost << MTTF.
+ */
+double optimalCheckpointInterval(double checkpoint_s, double restart_s,
+                                 double mttf_s);
+
+/** Fault-adjusted outcome of one training run. */
+struct FaultedTrainResult {
+    /** The fault-free steady-state result the adjustment started from. */
+    TrainResult base;
+    /** Checkpoint interval used, seconds (infinity = never). */
+    double checkpoint_interval_s = 0.0;
+    /** Cost of one checkpoint, seconds. */
+    double checkpoint_s = 0.0;
+
+    /** Expected end-to-end wall time under the fault trace, seconds. */
+    double expected_seconds = 0.0;
+    /** Wall time spent writing checkpoints, seconds. */
+    double checkpoint_overhead_s = 0.0;
+    /** Extra wall time from degraded (slow-running) windows, seconds. */
+    double degraded_overhead_s = 0.0;
+    /** Work redone because a failure discarded it, seconds. */
+    double lost_work_s = 0.0;
+    /** Wall time spent relaunching after failures, seconds. */
+    double restart_overhead_s = 0.0;
+
+    /** Work-losing failures hit (preemptions + GPU losses). */
+    int failures = 0;
+    /** Transient degradation windows overlapping the run. */
+    int degradations = 0;
+
+    /** Useful-work fraction of wall time: base time / expected time. */
+    double goodput() const
+    {
+        return expected_seconds > 0.0
+                   ? base.total_seconds / expected_seconds
+                   : 1.0;
+    }
+
+    /** Fraction of wall time making forward progress at any rate. */
+    double availability() const
+    {
+        double stalled = checkpoint_overhead_s + lost_work_s +
+                         restart_overhead_s;
+        return expected_seconds > 0.0
+                   ? 1.0 - stalled / expected_seconds
+                   : 1.0;
+    }
+};
+
+/**
+ * Replay a deterministic fault trace against a steady-state run:
+ * degradation windows scale the iteration time through the run's own
+ * breakdown (a host hiccup only hurts host-bound workloads, a link
+ * flap only communication-bound ones), fatal events discard work
+ * since the last checkpoint and pay the restart cost. The checkpoint
+ * interval defaults to the numerically optimal one for the trace's
+ * fatal-event MTTF; pass interval_s > 0 to override.
+ *
+ * Deterministic: the same base result, model, and seed always yield
+ * the same FaultedTrainResult.
+ */
+FaultedTrainResult applyFaultTrace(const TrainResult &base,
+                                   const CheckpointModel &ckpt,
+                                   const fault::FaultModel &faults,
+                                   double interval_s = 0.0);
+
+} // namespace mlps::train
+
+#endif // MLPSIM_TRAIN_CHECKPOINT_H

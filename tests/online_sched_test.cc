@@ -228,4 +228,145 @@ TEST_P(OnlinePropertyTest, ValidScheduleUnderRandomLoad)
 INSTANTIATE_TEST_SUITE_P(Seeds, OnlinePropertyTest,
                          ::testing::Range(0, 6));
 
+// ----------------------------------------------------- elastic tests
+
+TEST(ElasticSched, FaultFreeRunIsClean)
+{
+    auto m = simulateElastic(simpleStream(), 4,
+                             OnlinePolicy::FifoBestWidth, {},
+                             RecoveryPolicy::Requeue);
+    EXPECT_EQ(m.interruptions, 0);
+    EXPECT_DOUBLE_EQ(m.lost_work_s, 0.0);
+    EXPECT_DOUBLE_EQ(m.restart_s, 0.0);
+    EXPECT_DOUBLE_EQ(m.goodput, 1.0);
+    EXPECT_DOUBLE_EQ(m.availability, 1.0);
+    EXPECT_EQ(m.online.schedule.placements.size(),
+              simpleStream().size());
+    checkNoOverlap(m.online.schedule);
+}
+
+TEST(ElasticSched, Deterministic)
+{
+    std::vector<GpuOutage> outages{{1, 700.0, 400.0},
+                                   {3, 2000.0, 0.0}};
+    for (auto rec : {RecoveryPolicy::Requeue, RecoveryPolicy::Shrink,
+                     RecoveryPolicy::Migrate}) {
+        SCOPED_TRACE(toString(rec));
+        auto a = simulateElastic(simpleStream(), 4,
+                                 OnlinePolicy::FifoBestWidth, outages,
+                                 rec);
+        auto b = simulateElastic(simpleStream(), 4,
+                                 OnlinePolicy::FifoBestWidth, outages,
+                                 rec);
+        EXPECT_EQ(a.online.makespan_s, b.online.makespan_s);
+        EXPECT_EQ(a.lost_work_s, b.lost_work_s);
+        EXPECT_EQ(a.goodput, b.goodput);
+        EXPECT_EQ(a.interruptions, b.interruptions);
+        ASSERT_EQ(a.online.schedule.placements.size(),
+                  b.online.schedule.placements.size());
+    }
+}
+
+TEST(ElasticSched, OutageInterruptsAndJobStillCompletes)
+{
+    std::vector<OnlineJob> jobs{{amdahlJob("w", 1.0, 1.0), 0.0}};
+    std::vector<GpuOutage> outages{{2, 600.0, 300.0}};
+    auto clean = simulateElastic(jobs, 4, OnlinePolicy::FifoBestWidth,
+                                 {}, RecoveryPolicy::Requeue);
+    for (auto rec : {RecoveryPolicy::Requeue, RecoveryPolicy::Shrink,
+                     RecoveryPolicy::Migrate}) {
+        SCOPED_TRACE(toString(rec));
+        auto m = simulateElastic(jobs, 4, OnlinePolicy::FifoBestWidth,
+                                 outages, rec);
+        EXPECT_GE(m.interruptions, 1);
+        EXPECT_GT(m.online.makespan_s, clean.online.makespan_s);
+        EXPECT_GT(m.restart_s, 0.0);
+        EXPECT_LT(m.goodput, 1.0 + 1e-12);
+        EXPECT_LT(m.availability, 1.0);
+        checkNoOverlap(m.online.schedule);
+    }
+}
+
+TEST(ElasticSched, ShrinkSurvivesPermanentLoss)
+{
+    std::vector<OnlineJob> jobs{{amdahlJob("w", 1.0, 0.9), 0.0}};
+    std::vector<GpuOutage> outages{{0, 100.0, 0.0}};
+    auto m = simulateElastic(jobs, 4, OnlinePolicy::FifoBestWidth,
+                             outages, RecoveryPolicy::Shrink);
+    EXPECT_EQ(m.interruptions, 1);
+    // The continuation runs on a power-of-two subset of survivors.
+    const auto &last = m.online.schedule.placements.back();
+    EXPECT_EQ(last.width(), 2);
+    for (int g : last.gpus)
+        EXPECT_NE(g, 0);
+    EXPECT_LT(m.availability, 1.0);
+}
+
+TEST(ElasticSched, MigratePrefersIdleFullWidthGpus)
+{
+    // Width-4 job on an 8-GPU machine: a failure mid-run should
+    // re-place it at full width on idle devices, not shrink it.
+    std::vector<OnlineJob> jobs{{amdahlJob("w", 1.0, 0.92), 0.0}};
+    std::vector<GpuOutage> outages{{1, 600.0, 0.0}};
+    auto m = simulateElastic(jobs, 8, OnlinePolicy::FifoBestWidth,
+                             outages, RecoveryPolicy::Migrate);
+    EXPECT_EQ(m.interruptions, 1);
+    const auto &last = m.online.schedule.placements.back();
+    EXPECT_EQ(last.width(), 4);
+    for (int g : last.gpus)
+        EXPECT_NE(g, 1);
+}
+
+TEST(ElasticSched, TighterCheckpointsLoseLessWork)
+{
+    std::vector<OnlineJob> jobs{{amdahlJob("w", 2.0, 1.0), 0.0}};
+    std::vector<GpuOutage> outages{{0, 1000.0, 200.0}};
+    auto tight = simulateElastic(jobs, 4, OnlinePolicy::FifoBestWidth,
+                                 outages, RecoveryPolicy::Requeue,
+                                 60.0);
+    auto loose = simulateElastic(jobs, 4, OnlinePolicy::FifoBestWidth,
+                                 outages, RecoveryPolicy::Requeue,
+                                 3600.0);
+    EXPECT_LT(tight.lost_work_s, loose.lost_work_s);
+    EXPECT_GT(tight.goodput, loose.goodput);
+    EXPECT_LE(tight.online.makespan_s, loose.online.makespan_s);
+}
+
+TEST(ElasticSched, OutagesFromTraceLowering)
+{
+    using mlps::fault::FaultEvent;
+    using mlps::fault::FaultKind;
+    std::vector<FaultEvent> trace;
+    trace.push_back({FaultKind::GpuLoss, 50.0, 0.0, 0.0, 2});
+    trace.push_back({FaultKind::EccRetryStorm, 80.0, 120.0, 0.7, 1});
+    trace.push_back({FaultKind::GpuStall, 90.0, 5.0, 0.5, 0});
+    trace.push_back({FaultKind::LinkFlap, 95.0, 400.0, 0.4, -1});
+    trace.push_back({FaultKind::HostHiccup, 99.0, 40.0, 0.5, -1});
+    auto outages = outagesFromTrace(trace, 10.0);
+    ASSERT_EQ(outages.size(), 2u);
+    EXPECT_EQ(outages[0].gpu, 2);
+    EXPECT_TRUE(outages[0].permanent());
+    EXPECT_EQ(outages[1].gpu, 1);
+    EXPECT_FALSE(outages[1].permanent());
+    EXPECT_DOUBLE_EQ(outages[1].duration_s, 120.0);
+}
+
+TEST(ElasticSched, ErrorsOnMisuse)
+{
+    auto jobs = simpleStream();
+    EXPECT_THROW(simulateElastic({}, 4, OnlinePolicy::FifoBestWidth,
+                                 {}, RecoveryPolicy::Requeue),
+                 FatalError);
+    EXPECT_THROW(simulateElastic(jobs, 3, OnlinePolicy::FifoBestWidth,
+                                 {}, RecoveryPolicy::Requeue),
+                 FatalError);
+    EXPECT_THROW(simulateElastic(jobs, 4, OnlinePolicy::FifoBestWidth,
+                                 {{9, 0.0, 1.0}},
+                                 RecoveryPolicy::Requeue),
+                 FatalError);
+    EXPECT_THROW(simulateElastic(jobs, 4, OnlinePolicy::FifoBestWidth,
+                                 {}, RecoveryPolicy::Requeue, -1.0),
+                 FatalError);
+}
+
 } // namespace

@@ -248,6 +248,65 @@ TEST(Csv, RowWidthChecked)
     EXPECT_THROW(CsvWriter({}), FatalError);
 }
 
+TEST(Csv, EscapesCarriageReturn)
+{
+    EXPECT_EQ(csvEscape("a\rb"), "\"a\rb\"");
+}
+
+TEST(Csv, ParserRoundTripsNastyFields)
+{
+    CsvWriter csv({"name", "note", "value"});
+    csv.addRow({"plain", "with,comma", "1"});
+    csv.addRow({"quoted \"x\"", "multi\nline", ""});
+    csv.addRow({"", "trailing\r", ",\",\n"});
+    CsvDocument doc = parseCsv(csv.str());
+    ASSERT_EQ(doc.header.size(), 3u);
+    EXPECT_EQ(doc.header[0], "name");
+    ASSERT_EQ(doc.rows.size(), 3u);
+    EXPECT_EQ(doc.rows[0][1], "with,comma");
+    EXPECT_EQ(doc.rows[1][0], "quoted \"x\"");
+    EXPECT_EQ(doc.rows[1][1], "multi\nline");
+    EXPECT_EQ(doc.rows[1][2], "");
+    EXPECT_EQ(doc.rows[2][0], "");
+    EXPECT_EQ(doc.rows[2][1], "trailing\r");
+    EXPECT_EQ(doc.rows[2][2], ",\",\n");
+    EXPECT_EQ(doc.column("value"), 2);
+    EXPECT_EQ(doc.column("absent"), -1);
+}
+
+TEST(Csv, ParserAcceptsCrlfAndMissingFinalNewline)
+{
+    CsvDocument doc = parseCsv("a,b\r\n1,2\r\n3,4");
+    ASSERT_EQ(doc.rows.size(), 2u);
+    EXPECT_EQ(doc.rows[1][1], "4");
+}
+
+TEST(Csv, ParserHandlesEmptyAndHeaderOnlyInput)
+{
+    CsvDocument empty = parseCsv("");
+    EXPECT_TRUE(empty.header.empty());
+    EXPECT_TRUE(empty.rows.empty());
+    CsvDocument header_only = parseCsv("a,b\n");
+    ASSERT_EQ(header_only.header.size(), 2u);
+    EXPECT_TRUE(header_only.rows.empty());
+}
+
+TEST(Csv, ParserRejectsMalformedInput)
+{
+    EXPECT_THROW(parseCsv("a,b\n\"unterminated"), FatalError);
+    EXPECT_THROW(parseCsv("a,b\n1,2,3\n"), FatalError);
+    EXPECT_THROW(parseCsv("a\nx\"y\n"), FatalError);
+}
+
+TEST(Csv, WriterReaderRoundTripEmptyMetricSet)
+{
+    // An empty metric collection still yields a parseable document.
+    CsvWriter csv({"metric"});
+    CsvDocument doc = parseCsv(csv.str());
+    ASSERT_EQ(doc.header.size(), 1u);
+    EXPECT_TRUE(doc.rows.empty());
+}
+
 TEST(Csv, WritesFile)
 {
     CsvWriter csv({"x"});

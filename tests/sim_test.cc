@@ -454,6 +454,78 @@ TEST(TimeWeightedAverage, BeforeStartIsZero)
     EXPECT_DOUBLE_EQ(twa.average(kSecond), 0.0);
 }
 
+// ------------------------------------------- event queue compaction
+
+TEST(EventQueueCompaction, MillionEventsBoundedStorage)
+{
+    // Schedule/fire one million events in a rolling window; without
+    // pool compaction the dead entries would pile up to a million.
+    EventQueue q;
+    std::size_t max_storage = 0;
+    long long fired = 0;
+    SimTime t = 0;
+    constexpr int kBatch = 1000;
+    for (int round = 0; round < 1000; ++round) {
+        for (int i = 0; i < kBatch; ++i)
+            q.schedule(t + i, [&fired] { ++fired; });
+        SimTime now = 0;
+        for (int i = 0; i < kBatch; ++i)
+            ASSERT_TRUE(q.runOne(now));
+        t = now + 1;
+        max_storage = std::max(max_storage, q.storageSize());
+    }
+    EXPECT_EQ(fired, 1000LL * kBatch);
+    EXPECT_TRUE(q.empty());
+    // Live events never exceed kBatch; the pool must stay within a
+    // small constant factor of that, not grow with total throughput.
+    EXPECT_LT(max_storage, 10000u);
+    EXPECT_LT(q.storageSize(), 10000u);
+}
+
+TEST(EventQueueCompaction, CancelledEntriesAreReclaimed)
+{
+    EventQueue q;
+    for (int round = 0; round < 100; ++round) {
+        std::vector<EventId> ids;
+        for (int i = 0; i < 2000; ++i)
+            ids.push_back(q.schedule(1000000 + i, [] {}));
+        for (EventId id : ids)
+            EXPECT_TRUE(q.cancel(id));
+        // Scheduling after mass cancellation triggers the compaction
+        // path; the pool must not retain the cancelled entries.
+        q.schedule(1, [] {});
+        SimTime now = 0;
+        EXPECT_TRUE(q.runOne(now));
+        EXPECT_EQ(now, 1);
+    }
+    EXPECT_LT(q.storageSize(), 10000u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueCompaction, CompactionPreservesOrderAndPayloads)
+{
+    // Interleave cancellations with live events across the compaction
+    // threshold and verify every surviving event fires in time order.
+    EventQueue q;
+    std::vector<int> fired;
+    std::vector<EventId> doomed;
+    for (int i = 0; i < 3000; ++i) {
+        int when = 10 + i;
+        if (i % 2 == 0) {
+            q.schedule(when, [&fired, when] { fired.push_back(when); });
+        } else {
+            doomed.push_back(q.schedule(when, [] { FAIL(); }));
+        }
+    }
+    for (EventId id : doomed)
+        EXPECT_TRUE(q.cancel(id));
+    SimTime now = 0;
+    while (q.runOne(now)) {
+    }
+    ASSERT_EQ(fired.size(), 1500u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
 // ------------------------------------------------------------- logger
 
 TEST(Logger, FatalThrows)

@@ -9,8 +9,11 @@
  *   mlpsim schedule [--gpus N] [--system NAME] <workload...>
  *   mlpsim characterize [--system NAME]
  *   mlpsim trace <workload> [--system NAME] [--gpus N] [--out FILE]
+ *   mlpsim faults <workload> [--mttf-hours H] [--seed S] [...]
  */
 
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -20,12 +23,14 @@
 #include "core/characterize.h"
 #include "core/report.h"
 #include "core/suite.h"
+#include "fault/fault_model.h"
 #include "prof/trace.h"
 #include "sched/gantt.h"
 #include "sched/naive.h"
 #include "sched/optimal.h"
 #include "sim/logger.h"
 #include "sys/machines.h"
+#include "train/checkpoint.h"
 
 namespace {
 
@@ -44,7 +49,16 @@ struct Args {
             std::string tok = argv[i];
             if (tok.rfind("--", 0) == 0) {
                 std::string key = tok.substr(2);
-                if (i + 1 < argc && argv[i + 1][0] != '-')
+                // A leading '-' marks the next flag, except when it
+                // spells a negative number ("--mttf-hours -4" must
+                // reach validation as -4, not be dropped).
+                bool has_value =
+                    i + 1 < argc &&
+                    (argv[i + 1][0] != '-' ||
+                     std::isdigit(static_cast<unsigned char>(
+                         argv[i + 1][1])) ||
+                     argv[i + 1][1] == '.');
+                if (has_value)
                     a.flags[key] = argv[++i];
                 else
                     a.flags[key] = "true";
@@ -69,6 +83,14 @@ struct Args {
         return it == flags.end() ? fallback : std::atoi(it->second.c_str());
     }
 
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback
+                                 : std::atof(it->second.c_str());
+    }
+
     bool
     has(const std::string &key) const
     {
@@ -79,13 +101,36 @@ struct Args {
 sys::SystemConfig
 systemByName(const std::string &name)
 {
+    std::vector<std::string> known;
     for (auto &s : sys::allMachines()) {
         if (s.name == name)
             return s;
+        known.push_back(s.name);
     }
+    known.push_back("reference");
     if (name == "reference")
         return sys::mlperfReference();
-    sim::fatal("unknown system '%s' (see 'mlpsim list')", name.c_str());
+    sim::fatal("unknown system '%s'%s; 'mlpsim list' shows all systems",
+               name.c_str(),
+               core::didYouMean(name, known).c_str());
+}
+
+/** Validate a user-supplied GPU count against the machine. */
+int
+gpusFrom(const Args &args, const sys::SystemConfig &machine,
+         int fallback)
+{
+    int gpus = args.getInt("gpus", fallback);
+    if (gpus <= 0)
+        sim::fatal("--gpus %d: GPU count must be a positive power of "
+                   "two (got a non-positive value)", gpus);
+    if ((gpus & (gpus - 1)) != 0)
+        sim::fatal("--gpus %d: GPU count must be a power of two",
+                   gpus);
+    if (gpus > machine.num_gpus)
+        sim::fatal("--gpus %d: '%s' only has %d GPUs", gpus,
+                   machine.name.c_str(), machine.num_gpus);
+    return gpus;
 }
 
 int
@@ -106,10 +151,10 @@ cmdList()
 }
 
 train::RunOptions
-optionsFrom(const Args &args)
+optionsFrom(const Args &args, const sys::SystemConfig &machine)
 {
     train::RunOptions opts;
-    opts.num_gpus = args.getInt("gpus", 1);
+    opts.num_gpus = gpusFrom(args, machine, 1);
     std::string prec = args.get("precision", "mixed");
     if (prec == "fp32")
         opts.precision = hw::Precision::FP32;
@@ -131,7 +176,7 @@ cmdRun(const Args &args)
     sys::SystemConfig machine =
         systemByName(args.get("system", "DSS 8440"));
     core::Suite suite(machine);
-    train::RunOptions opts = optionsFrom(args);
+    train::RunOptions opts = optionsFrom(args, machine);
     auto r = suite.run(args.positional[0], opts);
     std::printf("%s on %s, %d GPU(s), %s%s\n", r.workload.c_str(),
                 r.system.c_str(), r.num_gpus,
@@ -155,6 +200,79 @@ cmdRun(const Args &args)
                 r.usage.pcie_mbps, r.usage.nvlink_mbps);
     std::printf("  total        %.1f min to quality target\n",
                 r.totalMinutes());
+    if (args.has("mttf-hours")) {
+        double mttf = args.getDouble("mttf-hours", 0.0);
+        if (mttf <= 0.0)
+            sim::fatal("--mttf-hours %g: MTTF must be positive hours",
+                       mttf);
+        const core::Benchmark *b =
+            suite.registry().find(args.positional[0]);
+        auto ckpt = train::checkpointModelFor(machine, b->spec());
+        fault::FaultModel model(
+            fault::FaultModelConfig::datacenterProfile(mttf),
+            static_cast<std::uint64_t>(args.getInt("seed", 42)));
+        double interval_s = args.getDouble("checkpoint", 0.0) * 60.0;
+        if (interval_s < 0.0)
+            sim::fatal("--checkpoint %g: interval must be >= 0 "
+                       "minutes (0 = Young-Daly optimal)",
+                       interval_s / 60.0);
+        auto ft = train::applyFaultTrace(r, ckpt, model, interval_s);
+        std::printf("  --- with faults (MTTF %.1f h, seed %d) ---\n",
+                    mttf, args.getInt("seed", 42));
+        std::printf("  checkpoint   %.1f s every %.1f min (%.0f MB "
+                    "snapshot)\n", ft.checkpoint_s,
+                    std::isinf(ft.checkpoint_interval_s)
+                        ? 0.0
+                        : ft.checkpoint_interval_s / 60.0,
+                    ckpt.bytes / 1e6);
+        std::printf("  expected     %.1f min (%d failures, %d "
+                    "degradations)\n", ft.expected_seconds / 60.0,
+                    ft.failures, ft.degradations);
+        std::printf("  overheads    ckpt %.1f, degraded %.1f, lost "
+                    "%.1f, restart %.1f min\n",
+                    ft.checkpoint_overhead_s / 60.0,
+                    ft.degraded_overhead_s / 60.0,
+                    ft.lost_work_s / 60.0,
+                    ft.restart_overhead_s / 60.0);
+        std::printf("  goodput      %.3f, availability %.3f\n",
+                    ft.goodput(), ft.availability());
+    }
+    return 0;
+}
+
+int
+cmdFaults(const Args &args)
+{
+    sys::SystemConfig machine =
+        systemByName(args.get("system", "DSS 8440"));
+    int gpus = gpusFrom(args, machine, machine.num_gpus);
+    double mttf = args.getDouble("mttf-hours", 24.0);
+    if (mttf <= 0.0)
+        sim::fatal("--mttf-hours %g: MTTF must be positive hours",
+                   mttf);
+    double hours = args.getDouble("hours", 24.0);
+    if (hours <= 0.0)
+        sim::fatal("--hours %g: horizon must be positive", hours);
+    int seed = args.getInt("seed", 42);
+
+    fault::FaultModel model(
+        fault::FaultModelConfig::datacenterProfile(mttf),
+        static_cast<std::uint64_t>(seed));
+    auto trace = model.generate(hours * 3600.0, gpus);
+    std::printf("%s", fault::describeTrace(trace).c_str());
+    std::printf("\n%zu faults over %.1f h on %d GPUs (aggregate rate "
+                "%.2f/h, seed %d)\n", trace.size(), hours, gpus,
+                model.config().totalRatePerHour(), seed);
+
+    if (args.has("trace")) {
+        prof::TraceBuilder tb;
+        tb.addFaultTrace(trace);
+        std::string path = args.get("trace", "mlpsim_faults.json");
+        if (!tb.writeFile(path))
+            sim::fatal("faults: cannot write '%s'", path.c_str());
+        std::printf("wrote %zu fault spans to %s\n",
+                    tb.events().size(), path.c_str());
+    }
     return 0;
 }
 
@@ -192,7 +310,7 @@ cmdSchedule(const Args &args)
         sim::fatal("schedule: need workload names");
     sys::SystemConfig machine =
         systemByName(args.get("system", "DSS 8440"));
-    int gpus = args.getInt("gpus", machine.num_gpus);
+    int gpus = gpusFrom(args, machine, machine.num_gpus);
     core::Suite suite(machine);
     std::vector<sched::JobSpec> jobs;
     for (const auto &name : args.positional) {
@@ -219,7 +337,7 @@ cmdCharacterize(const Args &args)
 {
     sys::SystemConfig machine =
         systemByName(args.get("system", "C4140 (K)"));
-    auto rep = core::characterize(machine, args.getInt("gpus", 1));
+    auto rep = core::characterize(machine, gpusFrom(args, machine, 1));
     std::printf("%-15s %-10s %9s %9s %10s %10s\n", "workload", "suite",
                 "PC1", "PC2", "TFLOP/s", "FLOP/B");
     for (std::size_t i = 0; i < rep.workloads.size(); ++i) {
@@ -244,7 +362,7 @@ cmdTrace(const Args &args)
     sys::SystemConfig machine =
         systemByName(args.get("system", "C4140 (K)"));
     core::Suite suite(machine);
-    train::RunOptions opts = optionsFrom(args);
+    train::RunOptions opts = optionsFrom(args, machine);
     auto r = suite.run(args.positional[0], opts);
     prof::TraceBuilder trace;
     trace.addIterations(r, args.getInt("iterations", 4));
@@ -276,12 +394,15 @@ usage()
         "  mlpsim list\n"
         "  mlpsim run <workload> [--system NAME] [--gpus N]\n"
         "             [--precision fp32|fp16|mixed] [--reference]\n"
+        "             [--mttf-hours H [--checkpoint MIN] [--seed S]]\n"
         "  mlpsim scaling <workload...> [--system NAME]\n"
         "  mlpsim schedule [--gpus N] [--system NAME] <workload...>\n"
         "  mlpsim characterize [--system NAME] [--gpus N]\n"
         "  mlpsim trace <workload> [--system NAME] [--gpus N]\n"
         "             [--iterations K] [--out FILE]\n"
-        "  mlpsim report [--out FILE]\n");
+        "  mlpsim report [--out FILE]\n"
+        "  mlpsim faults [--system NAME] [--gpus N] [--mttf-hours H]\n"
+        "             [--hours H] [--seed S] [--trace FILE]\n");
 }
 
 } // namespace
@@ -310,6 +431,8 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (cmd == "report")
             return cmdReport(args);
+        if (cmd == "faults")
+            return cmdFaults(args);
         usage();
         return 2;
     } catch (const sim::FatalError &e) {
