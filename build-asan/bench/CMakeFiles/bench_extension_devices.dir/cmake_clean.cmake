@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_devices.dir/bench_extension_devices.cc.o"
+  "CMakeFiles/bench_extension_devices.dir/bench_extension_devices.cc.o.d"
+  "bench_extension_devices"
+  "bench_extension_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_dgx.dir/bench_extension_dgx.cc.o"
+  "CMakeFiles/bench_extension_dgx.dir/bench_extension_dgx.cc.o.d"
+  "bench_extension_dgx"
+  "bench_extension_dgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_dgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

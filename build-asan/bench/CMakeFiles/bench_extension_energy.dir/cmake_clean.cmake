@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_energy.dir/bench_extension_energy.cc.o"
+  "CMakeFiles/bench_extension_energy.dir/bench_extension_energy.cc.o.d"
+  "bench_extension_energy"
+  "bench_extension_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

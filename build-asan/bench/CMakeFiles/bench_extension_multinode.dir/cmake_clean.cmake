@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_multinode.dir/bench_extension_multinode.cc.o"
+  "CMakeFiles/bench_extension_multinode.dir/bench_extension_multinode.cc.o.d"
+  "bench_extension_multinode"
+  "bench_extension_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

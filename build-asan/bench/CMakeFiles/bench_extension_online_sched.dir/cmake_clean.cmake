@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_online_sched.dir/bench_extension_online_sched.cc.o"
+  "CMakeFiles/bench_extension_online_sched.dir/bench_extension_online_sched.cc.o.d"
+  "bench_extension_online_sched"
+  "bench_extension_online_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_online_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

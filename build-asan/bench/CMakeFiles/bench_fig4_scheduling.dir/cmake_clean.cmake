@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_scheduling.dir/bench_fig4_scheduling.cc.o"
+  "CMakeFiles/bench_fig4_scheduling.dir/bench_fig4_scheduling.cc.o.d"
+  "bench_fig4_scheduling"
+  "bench_fig4_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

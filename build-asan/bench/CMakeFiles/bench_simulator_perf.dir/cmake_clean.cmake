@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simulator_perf.dir/bench_simulator_perf.cc.o"
+  "CMakeFiles/bench_simulator_perf.dir/bench_simulator_perf.cc.o.d"
+  "bench_simulator_perf"
+  "bench_simulator_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simulator_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

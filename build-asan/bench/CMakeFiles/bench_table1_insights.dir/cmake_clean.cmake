@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_insights.dir/bench_table1_insights.cc.o"
+  "CMakeFiles/bench_table1_insights.dir/bench_table1_insights.cc.o.d"
+  "bench_table1_insights"
+  "bench_table1_insights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_suite.dir/bench_table2_suite.cc.o"
+  "CMakeFiles/bench_table2_suite.dir/bench_table2_suite.cc.o.d"
+  "bench_table2_suite"
+  "bench_table2_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

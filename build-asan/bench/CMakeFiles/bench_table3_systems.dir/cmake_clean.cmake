@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_systems.dir/bench_table3_systems.cc.o"
+  "CMakeFiles/bench_table3_systems.dir/bench_table3_systems.cc.o.d"
+  "bench_table3_systems"
+  "bench_table3_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

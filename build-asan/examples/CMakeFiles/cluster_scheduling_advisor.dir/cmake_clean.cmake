@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_scheduling_advisor.dir/cluster_scheduling_advisor.cpp.o"
+  "CMakeFiles/cluster_scheduling_advisor.dir/cluster_scheduling_advisor.cpp.o.d"
+  "cluster_scheduling_advisor"
+  "cluster_scheduling_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scheduling_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_tour.dir/profiling_tour.cpp.o"
+  "CMakeFiles/profiling_tour.dir/profiling_tour.cpp.o.d"
+  "profiling_tour"
+  "profiling_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/benchmark.cc" "src/CMakeFiles/mlpsim.dir/core/benchmark.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/core/benchmark.cc.o.d"
+  "/root/repo/src/core/characterize.cc" "src/CMakeFiles/mlpsim.dir/core/characterize.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/core/characterize.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/mlpsim.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/core/registry.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/mlpsim.dir/core/report.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/core/report.cc.o.d"
+  "/root/repo/src/core/suite.cc" "src/CMakeFiles/mlpsim.dir/core/suite.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/core/suite.cc.o.d"
+  "/root/repo/src/fault/fault_model.cc" "src/CMakeFiles/mlpsim.dir/fault/fault_model.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/fault/fault_model.cc.o.d"
+  "/root/repo/src/hw/cpu.cc" "src/CMakeFiles/mlpsim.dir/hw/cpu.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/hw/cpu.cc.o.d"
+  "/root/repo/src/hw/gpu.cc" "src/CMakeFiles/mlpsim.dir/hw/gpu.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/hw/gpu.cc.o.d"
+  "/root/repo/src/hw/kernel_timing.cc" "src/CMakeFiles/mlpsim.dir/hw/kernel_timing.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/hw/kernel_timing.cc.o.d"
+  "/root/repo/src/hw/precision.cc" "src/CMakeFiles/mlpsim.dir/hw/precision.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/hw/precision.cc.o.d"
+  "/root/repo/src/models/builders.cc" "src/CMakeFiles/mlpsim.dir/models/builders.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/models/builders.cc.o.d"
+  "/root/repo/src/models/deepbench.cc" "src/CMakeFiles/mlpsim.dir/models/deepbench.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/models/deepbench.cc.o.d"
+  "/root/repo/src/models/drqa.cc" "src/CMakeFiles/mlpsim.dir/models/drqa.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/models/drqa.cc.o.d"
+  "/root/repo/src/models/gnmt.cc" "src/CMakeFiles/mlpsim.dir/models/gnmt.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/models/gnmt.cc.o.d"
+  "/root/repo/src/models/mask_rcnn.cc" "src/CMakeFiles/mlpsim.dir/models/mask_rcnn.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/models/mask_rcnn.cc.o.d"
+  "/root/repo/src/models/ncf.cc" "src/CMakeFiles/mlpsim.dir/models/ncf.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/models/ncf.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "src/CMakeFiles/mlpsim.dir/models/resnet.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/models/resnet.cc.o.d"
+  "/root/repo/src/models/ssd.cc" "src/CMakeFiles/mlpsim.dir/models/ssd.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/models/ssd.cc.o.d"
+  "/root/repo/src/models/transformer.cc" "src/CMakeFiles/mlpsim.dir/models/transformer.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/models/transformer.cc.o.d"
+  "/root/repo/src/models/zoo.cc" "src/CMakeFiles/mlpsim.dir/models/zoo.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/models/zoo.cc.o.d"
+  "/root/repo/src/net/allreduce.cc" "src/CMakeFiles/mlpsim.dir/net/allreduce.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/net/allreduce.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/mlpsim.dir/net/link.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/net/link.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/mlpsim.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/net/topology.cc.o.d"
+  "/root/repo/src/net/transfer.cc" "src/CMakeFiles/mlpsim.dir/net/transfer.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/net/transfer.cc.o.d"
+  "/root/repo/src/prof/csv.cc" "src/CMakeFiles/mlpsim.dir/prof/csv.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/prof/csv.cc.o.d"
+  "/root/repo/src/prof/device_monitor.cc" "src/CMakeFiles/mlpsim.dir/prof/device_monitor.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/prof/device_monitor.cc.o.d"
+  "/root/repo/src/prof/kernel_profiler.cc" "src/CMakeFiles/mlpsim.dir/prof/kernel_profiler.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/prof/kernel_profiler.cc.o.d"
+  "/root/repo/src/prof/metric_set.cc" "src/CMakeFiles/mlpsim.dir/prof/metric_set.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/prof/metric_set.cc.o.d"
+  "/root/repo/src/prof/sys_monitor.cc" "src/CMakeFiles/mlpsim.dir/prof/sys_monitor.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/prof/sys_monitor.cc.o.d"
+  "/root/repo/src/prof/trace.cc" "src/CMakeFiles/mlpsim.dir/prof/trace.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/prof/trace.cc.o.d"
+  "/root/repo/src/sched/gantt.cc" "src/CMakeFiles/mlpsim.dir/sched/gantt.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sched/gantt.cc.o.d"
+  "/root/repo/src/sched/job_spec.cc" "src/CMakeFiles/mlpsim.dir/sched/job_spec.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sched/job_spec.cc.o.d"
+  "/root/repo/src/sched/naive.cc" "src/CMakeFiles/mlpsim.dir/sched/naive.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sched/naive.cc.o.d"
+  "/root/repo/src/sched/online.cc" "src/CMakeFiles/mlpsim.dir/sched/online.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sched/online.cc.o.d"
+  "/root/repo/src/sched/optimal.cc" "src/CMakeFiles/mlpsim.dir/sched/optimal.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sched/optimal.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "src/CMakeFiles/mlpsim.dir/sched/schedule.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sched/schedule.cc.o.d"
+  "/root/repo/src/sim/counters.cc" "src/CMakeFiles/mlpsim.dir/sim/counters.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sim/counters.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/mlpsim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logger.cc" "src/CMakeFiles/mlpsim.dir/sim/logger.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sim/logger.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/mlpsim.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/time.cc" "src/CMakeFiles/mlpsim.dir/sim/time.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sim/time.cc.o.d"
+  "/root/repo/src/stats/cluster.cc" "src/CMakeFiles/mlpsim.dir/stats/cluster.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/stats/cluster.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/mlpsim.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/eigen.cc" "src/CMakeFiles/mlpsim.dir/stats/eigen.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/stats/eigen.cc.o.d"
+  "/root/repo/src/stats/matrix.cc" "src/CMakeFiles/mlpsim.dir/stats/matrix.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/stats/matrix.cc.o.d"
+  "/root/repo/src/stats/pca.cc" "src/CMakeFiles/mlpsim.dir/stats/pca.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/stats/pca.cc.o.d"
+  "/root/repo/src/stats/roofline.cc" "src/CMakeFiles/mlpsim.dir/stats/roofline.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/stats/roofline.cc.o.d"
+  "/root/repo/src/sys/cluster.cc" "src/CMakeFiles/mlpsim.dir/sys/cluster.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sys/cluster.cc.o.d"
+  "/root/repo/src/sys/machines.cc" "src/CMakeFiles/mlpsim.dir/sys/machines.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sys/machines.cc.o.d"
+  "/root/repo/src/sys/system_config.cc" "src/CMakeFiles/mlpsim.dir/sys/system_config.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/sys/system_config.cc.o.d"
+  "/root/repo/src/train/checkpoint.cc" "src/CMakeFiles/mlpsim.dir/train/checkpoint.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/train/checkpoint.cc.o.d"
+  "/root/repo/src/train/energy.cc" "src/CMakeFiles/mlpsim.dir/train/energy.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/train/energy.cc.o.d"
+  "/root/repo/src/train/multinode.cc" "src/CMakeFiles/mlpsim.dir/train/multinode.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/train/multinode.cc.o.d"
+  "/root/repo/src/train/pipeline.cc" "src/CMakeFiles/mlpsim.dir/train/pipeline.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/train/pipeline.cc.o.d"
+  "/root/repo/src/train/precision_policy.cc" "src/CMakeFiles/mlpsim.dir/train/precision_policy.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/train/precision_policy.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/mlpsim.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/train/trainer.cc.o.d"
+  "/root/repo/src/train/training_job.cc" "src/CMakeFiles/mlpsim.dir/train/training_job.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/train/training_job.cc.o.d"
+  "/root/repo/src/wl/convergence.cc" "src/CMakeFiles/mlpsim.dir/wl/convergence.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/wl/convergence.cc.o.d"
+  "/root/repo/src/wl/dataset.cc" "src/CMakeFiles/mlpsim.dir/wl/dataset.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/wl/dataset.cc.o.d"
+  "/root/repo/src/wl/host_pipeline.cc" "src/CMakeFiles/mlpsim.dir/wl/host_pipeline.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/wl/host_pipeline.cc.o.d"
+  "/root/repo/src/wl/op.cc" "src/CMakeFiles/mlpsim.dir/wl/op.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/wl/op.cc.o.d"
+  "/root/repo/src/wl/op_graph.cc" "src/CMakeFiles/mlpsim.dir/wl/op_graph.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/wl/op_graph.cc.o.d"
+  "/root/repo/src/wl/workload.cc" "src/CMakeFiles/mlpsim.dir/wl/workload.cc.o" "gcc" "src/CMakeFiles/mlpsim.dir/wl/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/mlpsim.dir/wl/host_pipeline.cc.o: \
+ /root/repo/src/wl/host_pipeline.cc /usr/include/stdc-predef.h \
+ /root/repo/src/wl/host_pipeline.h

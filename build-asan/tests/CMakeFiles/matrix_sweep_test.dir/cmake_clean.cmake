@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_sweep_test.dir/matrix_sweep_test.cc.o"
+  "CMakeFiles/matrix_sweep_test.dir/matrix_sweep_test.cc.o.d"
+  "matrix_sweep_test"
+  "matrix_sweep_test.pdb"
+  "matrix_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

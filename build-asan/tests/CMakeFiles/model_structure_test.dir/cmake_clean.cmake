@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_structure_test.dir/model_structure_test.cc.o"
+  "CMakeFiles/model_structure_test.dir/model_structure_test.cc.o.d"
+  "model_structure_test"
+  "model_structure_test.pdb"
+  "model_structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

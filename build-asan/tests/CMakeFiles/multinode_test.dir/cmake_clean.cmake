@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multinode_test.dir/multinode_test.cc.o"
+  "CMakeFiles/multinode_test.dir/multinode_test.cc.o.d"
+  "multinode_test"
+  "multinode_test.pdb"
+  "multinode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multinode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

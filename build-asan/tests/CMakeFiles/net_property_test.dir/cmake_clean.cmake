@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_property_test.dir/net_property_test.cc.o"
+  "CMakeFiles/net_property_test.dir/net_property_test.cc.o.d"
+  "net_property_test"
+  "net_property_test.pdb"
+  "net_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_sched_test.dir/online_sched_test.cc.o"
+  "CMakeFiles/online_sched_test.dir/online_sched_test.cc.o.d"
+  "online_sched_test"
+  "online_sched_test.pdb"
+  "online_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

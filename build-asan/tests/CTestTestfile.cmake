@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/umbrella_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/hw_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/net_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/net_property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sys_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/wl_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/models_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/model_structure_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/train_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/multinode_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/online_sched_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/energy_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/prof_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/stats_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sched_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/report_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/fault_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/matrix_sweep_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/paper_claims_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[Umbrella.EveryModuleReachable]=]  /root/repo/build-asan/tests/umbrella_test [==[--gtest_filter=Umbrella.EveryModuleReachable]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Umbrella.EveryModuleReachable]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-asan/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  umbrella_test_TESTS Umbrella.EveryModuleReachable)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpsim_cli.dir/mlpsim_cli.cc.o"
+  "CMakeFiles/mlpsim_cli.dir/mlpsim_cli.cc.o.d"
+  "mlpsim"
+  "mlpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
