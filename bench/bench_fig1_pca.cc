@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "core/characterize.h"
+#include "exec/engine.h"
 #include "prof/csv.h"
 #include "stats/cluster.h"
 #include "sys/machines.h"
@@ -25,7 +26,9 @@ main()
     using namespace mlps;
 
     sys::SystemConfig sys = sys::c4140K();
-    core::CharacterizationReport rep = core::characterize(sys, 1);
+    exec::Engine engine;
+    core::CharacterizationReport rep =
+        core::characterize(sys, 1, &engine);
 
     std::printf("Figure 1: PCA of 8 workload characteristics "
                 "(measured on %s)\n\n", sys.name.c_str());

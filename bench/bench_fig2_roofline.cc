@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "core/characterize.h"
+#include "exec/engine.h"
 #include "stats/roofline.h"
 #include "sys/machines.h"
 
@@ -58,7 +59,9 @@ main()
     std::printf("\nWorkload placements (1-GPU runs, kernel profiles):\n");
     std::printf("%-15s %-10s %10s %12s %s\n", "Workload", "Suite",
                 "FLOP/B", "TFLOP/s", "bound");
-    core::CharacterizationReport rep = core::characterize(t640, 1);
+    exec::Engine engine;
+    core::CharacterizationReport rep =
+        core::characterize(t640, 1, &engine);
     stats::RooflineModel half =
         stats::deviceRoofline(gpu, hw::Precision::Mixed, true);
     for (std::size_t i = 0; i < rep.roofline_points.size(); ++i) {

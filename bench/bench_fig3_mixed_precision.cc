@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/suite.h"
+#include "exec/engine.h"
 #include "sys/machines.h"
 
 int
@@ -28,18 +29,28 @@ main()
         "MLPf_NCF_Py",
     };
 
+    // One declarative batch over the workload x precision grid.
+    exec::Engine engine;
+    std::vector<exec::RunRequest> batch;
+    for (const auto &w : workloads) {
+        train::RunOptions opts;
+        opts.num_gpus = gpus;
+        opts.precision = hw::Precision::FP32;
+        batch.push_back(suite.request(w, opts));
+        opts.precision = hw::Precision::Mixed;
+        batch.push_back(suite.request(w, opts));
+    }
+    auto results = engine.run(std::move(batch));
+
     std::printf("Figure 3: Mixed precision training speedup over "
                 "single precision (%s, %d GPUs)\n\n", dss.name.c_str(),
                 gpus);
     std::printf("%-15s %14s %14s %9s\n", "Workload", "fp32", "mixed",
                 "speedup");
+    std::size_t i = 0;
     for (const auto &w : workloads) {
-        train::RunOptions opts;
-        opts.num_gpus = gpus;
-        opts.precision = hw::Precision::FP32;
-        double fp32 = suite.run(w, opts).total_seconds;
-        opts.precision = hw::Precision::Mixed;
-        double mixed = suite.run(w, opts).total_seconds;
+        double fp32 = results[i++].train.total_seconds;
+        double mixed = results[i++].train.total_seconds;
 
         bool seconds = w == "MLPf_NCF_Py"; // as noted in the paper
         std::printf("%-15s %11.1f %s %11.1f %s %8.2fx\n", w.c_str(),

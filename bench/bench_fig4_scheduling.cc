@@ -14,47 +14,27 @@
 #include <cstdio>
 
 #include "core/suite.h"
+#include "exec/engine.h"
 #include "sched/gantt.h"
 #include "sched/naive.h"
 #include "sched/optimal.h"
 #include "sys/machines.h"
 
-namespace {
-
-using namespace mlps;
-
-/** Measured training times (seconds) at each width for the job mix. */
-std::vector<sched::JobSpec>
-buildJobs(const core::Suite &suite)
+int
+main()
 {
+    using namespace mlps;
+
+    sys::SystemConfig dss = sys::dss8440();
+    core::Suite suite(dss);
     const std::vector<std::string> workloads = {
         "MLPf_Res50_TF", "MLPf_Res50_MX", "MLPf_SSD_Py",
         "MLPf_MRCNN_Py", "MLPf_XFMR_Py",  "MLPf_GNMT_Py",
         "MLPf_NCF_Py",
     };
-    std::vector<sched::JobSpec> jobs;
-    for (const auto &w : workloads) {
-        sched::JobSpec job;
-        job.name = w;
-        for (int n = 1; n <= 8; n *= 2) {
-            train::RunOptions opts;
-            opts.num_gpus = n;
-            opts.precision = hw::Precision::Mixed;
-            job.seconds_at_width[n] = suite.run(w, opts).total_seconds;
-        }
-        jobs.push_back(std::move(job));
-    }
-    return jobs;
-}
-
-} // namespace
-
-int
-main()
-{
-    sys::SystemConfig dss = sys::dss8440();
-    core::Suite suite(dss);
-    std::vector<sched::JobSpec> jobs = buildJobs(suite);
+    exec::Engine engine;
+    std::vector<sched::JobSpec> jobs =
+        suite.jobSpecs(workloads, 8, &engine);
 
     std::printf("Figure 4: Scheduling a mix of MLPerf workloads "
                 "(times measured on %s)\n", dss.name.c_str());

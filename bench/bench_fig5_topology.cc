@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/suite.h"
+#include "exec/engine.h"
 #include "sys/machines.h"
 
 int
@@ -29,6 +30,23 @@ main()
     };
     std::vector<sys::SystemConfig> systems = sys::figure5Systems();
 
+    // One declarative batch over the workload x system grid
+    // (row-major, matching the table below).
+    core::Suite naming(systems.front());
+    exec::Engine engine;
+    std::vector<exec::RunRequest> batch;
+    for (const auto &w : workloads) {
+        for (const auto &s : systems) {
+            train::RunOptions opts;
+            opts.num_gpus = 4;
+            opts.precision = hw::Precision::Mixed;
+            exec::RunRequest req = naming.request(w, opts);
+            req.system = s;
+            batch.push_back(std::move(req));
+        }
+    }
+    auto results = engine.run(std::move(batch));
+
     std::printf("Figure 5: Training time on 4-GPU systems "
                 "(minutes; NCF_Py in seconds)\n\n");
     std::printf("%-15s", "Workload");
@@ -36,16 +54,13 @@ main()
         std::printf(" %11s", s.name.c_str());
     std::printf("  %s\n", "NVLink-vs-worst");
 
+    std::size_t i = 0;
     for (const auto &w : workloads) {
         std::printf("%-15s", w.c_str());
         double best = 1e300, worst = 0.0;
         bool seconds = w == "MLPf_NCF_Py";
-        for (const auto &s : systems) {
-            core::Suite suite(s);
-            train::RunOptions opts;
-            opts.num_gpus = 4;
-            opts.precision = hw::Precision::Mixed;
-            double t = suite.run(w, opts).total_seconds;
+        for (std::size_t c = 0; c < systems.size(); ++c) {
+            double t = results[i++].train.total_seconds;
             best = std::min(best, t);
             worst = std::max(worst, t);
             std::printf(" %11.1f", seconds ? t : t / 60.0);

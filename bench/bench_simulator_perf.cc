@@ -9,7 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/report.h"
 #include "core/suite.h"
+#include "exec/engine.h"
 #include "models/zoo.h"
 #include "net/allreduce.h"
 #include "net/transfer.h"
@@ -114,6 +116,54 @@ BM_OptimalSchedule(benchmark::State &state)
     }
 }
 BENCHMARK(BM_OptimalSchedule)->Arg(7)->Arg(10);
+
+/**
+ * The full study report through the exec engine, cold cache every
+ * iteration. Arg is the worker count (0 = auto, i.e. MLPSIM_JOBS or
+ * hardware concurrency) — comparing Arg(1) with Arg(0) shows the
+ * serial-vs-parallel report wall time on the host.
+ */
+void
+BM_StudyReport(benchmark::State &state)
+{
+    const int jobs = static_cast<int>(state.range(0));
+    std::uint64_t hits = 0, unique = 0;
+    int resolved = 0;
+    for (auto _ : state) {
+        exec::Engine engine(exec::ExecOptions{jobs});
+        auto text = core::generateStudyReport({}, engine);
+        benchmark::DoNotOptimize(text.data());
+        auto s = engine.stats();
+        hits = s.cache_hits;
+        unique = s.unique_runs;
+        resolved = s.jobs;
+    }
+    state.counters["workers"] = static_cast<double>(resolved);
+    state.counters["cache_hits"] = static_cast<double>(hits);
+    state.counters["unique_runs"] = static_cast<double>(unique);
+}
+BENCHMARK(BM_StudyReport)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The same report against a pre-warmed cache: every point is a hit,
+ * so this measures the non-simulation cost (rendering, PCA, the
+ * schedule search) plus cache lookups.
+ */
+void
+BM_StudyReportWarm(benchmark::State &state)
+{
+    exec::Engine engine(exec::ExecOptions{1});
+    auto warmup = core::generateStudyReport({}, engine);
+    benchmark::DoNotOptimize(warmup.data());
+    for (auto _ : state) {
+        auto text = core::generateStudyReport({}, engine);
+        benchmark::DoNotOptimize(text.data());
+    }
+    state.counters["cached_points"] =
+        static_cast<double>(engine.cache().size());
+}
+BENCHMARK(BM_StudyReportWarm)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

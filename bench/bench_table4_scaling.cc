@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "core/suite.h"
+#include "exec/engine.h"
 #include "sys/machines.h"
 
 int
@@ -31,7 +32,8 @@ main()
         "MLPf_MRCNN_Py", "MLPf_XFMR_Py",  "MLPf_NCF_Py",
     };
 
-    auto rows = suite.scalingStudy(workloads, {1, 2, 4, 8});
+    mlps::exec::Engine engine;
+    auto rows = suite.scalingStudy(workloads, {1, 2, 4, 8}, &engine);
 
     std::printf("Table IV: Scaling efficiency (system: %s)\n\n",
                 dss.name.c_str());
@@ -44,5 +46,6 @@ main()
                     row.v100_minutes, row.p_to_v, row.scaling.at(2),
                     row.scaling.at(4), row.scaling.at(8));
     }
+    std::printf("\n%s\n", engine.summary().c_str());
     return 0;
 }

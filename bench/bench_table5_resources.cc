@@ -15,25 +15,20 @@
 #include <cstdio>
 #include <vector>
 
+#include "exec/engine.h"
 #include "models/zoo.h"
 #include "prof/device_monitor.h"
 #include "prof/sys_monitor.h"
 #include "sys/machines.h"
-#include "train/trainer.h"
 
 namespace {
 
 using namespace mlps;
 
 void
-reportRow(const train::Trainer &trainer, const wl::WorkloadSpec &spec,
-          int num_gpus)
+reportRow(const wl::WorkloadSpec &spec, int num_gpus,
+          const train::TrainResult &r)
 {
-    train::RunOptions opts;
-    opts.num_gpus = num_gpus;
-    opts.precision = hw::Precision::Mixed;
-    train::TrainResult r = trainer.run(spec, opts);
-
     // Sample the run with the dstat/dmon analogs, as the paper did.
     prof::SysMonitor dstat(/*seed=*/17 + num_gpus);
     prof::DeviceMonitor dmon(/*seed=*/29 + num_gpus);
@@ -52,36 +47,52 @@ int
 main()
 {
     sys::SystemConfig c4140k = sys::c4140K();
-    train::Trainer trainer(c4140k);
+
+    // Declare the (workload, width) grid first, then evaluate it as
+    // one batch through the engine.
+    std::vector<std::pair<wl::WorkloadSpec, int>> points;
+    // MLPerf workloads at 1/2/4 GPUs.
+    for (const auto &w : models::mlperfSuite()) {
+        for (int n : {1, 2, 4})
+            points.emplace_back(w, n);
+    }
+    // DAWNBench entries: single-GPU (DrQA has no multi-GPU path) plus
+    // the scalable ResNet-18 at 2 and 4.
+    for (const auto &w : models::dawnBenchSuite()) {
+        points.emplace_back(w, 1);
+        if (w.abbrev == "Dawn_Res18_Py") {
+            points.emplace_back(w, 2);
+            points.emplace_back(w, 4);
+        }
+    }
+    // DeepBench: math kernels on one GPU, the all-reduce at 2 and 4.
+    for (const auto &w : models::deepBenchSuite()) {
+        if (w.mode == wl::RunMode::CollectiveLoop) {
+            points.emplace_back(w, 2);
+            points.emplace_back(w, 4);
+        } else {
+            points.emplace_back(w, 1);
+        }
+    }
+
+    exec::Engine engine;
+    std::vector<exec::RunRequest> batch;
+    for (const auto &p : points) {
+        exec::RunRequest req;
+        req.system = c4140k;
+        req.workload = p.first;
+        req.options.num_gpus = p.second;
+        req.options.precision = hw::Precision::Mixed;
+        batch.push_back(std::move(req));
+    }
+    auto results = engine.run(std::move(batch));
 
     std::printf("Table V: System resource usage statistics on %s\n\n",
                 c4140k.name.c_str());
     std::printf("%-15s %3s %8s %8s %10s %10s %9s %9s\n", "Workload",
                 "#G", "CPU%", "GPU%", "DRAM(MB)", "HBM(MB)",
                 "PCIe Mbps", "NVL Mbps");
-
-    // MLPerf workloads at 1/2/4 GPUs.
-    for (const auto &w : models::mlperfSuite()) {
-        for (int n : {1, 2, 4})
-            reportRow(trainer, w, n);
-    }
-    // DAWNBench entries: single-GPU (DrQA has no multi-GPU path) plus
-    // the scalable ResNet-18 at 2 and 4.
-    for (const auto &w : models::dawnBenchSuite()) {
-        reportRow(trainer, w, 1);
-        if (w.abbrev == "Dawn_Res18_Py") {
-            reportRow(trainer, w, 2);
-            reportRow(trainer, w, 4);
-        }
-    }
-    // DeepBench: math kernels on one GPU, the all-reduce at 2 and 4.
-    for (const auto &w : models::deepBenchSuite()) {
-        if (w.mode == wl::RunMode::CollectiveLoop) {
-            reportRow(trainer, w, 2);
-            reportRow(trainer, w, 4);
-        } else {
-            reportRow(trainer, w, 1);
-        }
-    }
+    for (std::size_t i = 0; i < points.size(); ++i)
+        reportRow(points[i].first, points[i].second, results[i].train);
     return 0;
 }

@@ -2,19 +2,21 @@
 
 #include <cmath>
 
+#include "exec/engine.h"
 #include "prof/kernel_profiler.h"
 #include "sim/logger.h"
-#include "train/trainer.h"
 
 namespace mlps::core {
 
 CharacterizationReport
-characterize(const sys::SystemConfig &system, int num_gpus)
+characterize(const sys::SystemConfig &system, int num_gpus,
+             exec::Engine *engine)
 {
     Registry registry;
-    train::Trainer trainer(system);
+    exec::Engine local(exec::ExecOptions{1});
+    exec::Engine &eng = engine ? *engine : local;
 
-    CharacterizationReport report;
+    std::vector<exec::RunRequest> batch;
     for (const Benchmark &b : registry.all()) {
         train::RunOptions opts;
         // DeepBench's collective benchmark is meaningless on one GPU;
@@ -27,18 +29,27 @@ characterize(const sys::SystemConfig &system, int num_gpus)
         }
         opts.precision = hw::Precision::Mixed;
 
-        prof::KernelProfiler profiler;
-        train::TrainResult result =
-            trainer.run(b.spec(), opts, &profiler);
+        exec::RunRequest req;
+        req.system = system;
+        req.workload = b.spec();
+        req.options = opts;
+        req.profiled = true;
+        batch.push_back(std::move(req));
+    }
+    std::vector<exec::RunResult> results = eng.run(std::move(batch));
 
+    CharacterizationReport report;
+    std::size_t i = 0;
+    for (const Benchmark &b : registry.all()) {
+        const exec::RunResult &r = results[i++];
         report.workloads.push_back(b.abbrev());
         report.suites.push_back(b.suite());
-        report.metrics.push_back(prof::extractMetrics(result));
+        report.metrics.push_back(prof::extractMetrics(r.train));
 
         stats::RooflinePoint pt;
         pt.label = b.abbrev();
-        pt.intensity = profiler.aggregateIntensity();
-        pt.flops = profiler.aggregateFlopsPerSec();
+        pt.intensity = r.profile.aggregateIntensity();
+        pt.flops = r.profile.aggregateFlopsPerSec();
         report.roofline_points.push_back(pt);
     }
 

@@ -18,6 +18,10 @@
 #include "stats/roofline.h"
 #include "sys/system_config.h"
 
+namespace mlps::exec {
+class Engine;
+} // namespace mlps::exec
+
 namespace mlps::core {
 
 /** Output of the full characterization pipeline. */
@@ -37,11 +41,19 @@ struct CharacterizationReport {
 /**
  * Run the characterization study.
  *
+ * Every benchmark runs with its own profiler attached (the profile
+ * travels inside the per-run exec::RunResult), so profiled runs are
+ * safe to evaluate in parallel and the aggregation below never mixes
+ * kernels from different workloads.
+ *
  * @param system   machine to measure on (the paper used C4140 (K)).
  * @param num_gpus GPU count of the measurement runs.
+ * @param engine   engine to batch the runs through; nullptr uses a
+ *                 private serial engine.
  */
 CharacterizationReport characterize(const sys::SystemConfig &system,
-                                    int num_gpus = 1);
+                                    int num_gpus = 1,
+                                    exec::Engine *engine = nullptr);
 
 /**
  * Mean PC-score separation between two suites on one component —

@@ -7,6 +7,7 @@
 
 #include "core/characterize.h"
 #include "core/suite.h"
+#include "exec/engine.h"
 #include "fault/fault_model.h"
 #include "sched/naive.h"
 #include "sched/optimal.h"
@@ -29,7 +30,7 @@ mlperfNames()
 }
 
 void
-appendScaling(std::ostringstream &os, Suite &suite)
+appendScaling(std::ostringstream &os, Suite &suite, exec::Engine &engine)
 {
     os << "## Scaling efficiency (Table IV)\n\n"
        << "| Benchmark | 1x P100 (min) | 1x V100 (min) | P-to-V | "
@@ -37,7 +38,7 @@ appendScaling(std::ostringstream &os, Suite &suite)
        << "|---|---|---|---|---|---|---|\n";
     std::vector<std::string> names = mlperfNames();
     names.erase(names.begin() + 5); // GNMT is absent from Table IV
-    auto rows = suite.scalingStudy(names, {1, 2, 4, 8});
+    auto rows = suite.scalingStudy(names, {1, 2, 4, 8}, &engine);
     char line[256];
     for (const auto &r : rows) {
         std::snprintf(line, sizeof(line),
@@ -52,11 +53,12 @@ appendScaling(std::ostringstream &os, Suite &suite)
 }
 
 void
-appendMixedPrecision(std::ostringstream &os, Suite &suite)
+appendMixedPrecision(std::ostringstream &os, Suite &suite,
+                     exec::Engine &engine)
 {
     os << "## Mixed precision speedups (Figure 3, 8 GPUs)\n\n"
        << "| Benchmark | speedup |\n|---|---|\n";
-    auto speedups = suite.mixedPrecisionStudy(mlperfNames(), 8);
+    auto speedups = suite.mixedPrecisionStudy(mlperfNames(), 8, &engine);
     char line[128];
     for (const auto &name : mlperfNames()) {
         std::snprintf(line, sizeof(line), "| %s | %.2fx |\n",
@@ -67,7 +69,7 @@ appendMixedPrecision(std::ostringstream &os, Suite &suite)
 }
 
 void
-appendTopology(std::ostringstream &os)
+appendTopology(std::ostringstream &os, Suite &suite, exec::Engine &engine)
 {
     os << "## Topology impact (Figure 5, 4 GPUs, minutes)\n\n"
        << "| Benchmark |";
@@ -78,15 +80,28 @@ appendTopology(std::ostringstream &os)
     for (std::size_t i = 0; i < systems.size(); ++i)
         os << "---|";
     os << "\n";
-    char cell[64];
+
+    // One batch over the name x system grid; row-major so the walk
+    // below matches the table layout.
+    std::vector<exec::RunRequest> batch;
     for (const auto &name : mlperfNames()) {
-        os << "| " << name << " |";
         for (const auto &s : systems) {
-            Suite suite(s);
             train::RunOptions opts;
             opts.num_gpus = 4;
+            exec::RunRequest req = suite.request(name, opts);
+            req.system = s;
+            batch.push_back(std::move(req));
+        }
+    }
+    auto results = engine.run(std::move(batch));
+
+    char cell[64];
+    std::size_t i = 0;
+    for (const auto &name : mlperfNames()) {
+        os << "| " << name << " |";
+        for (std::size_t c = 0; c < systems.size(); ++c) {
             std::snprintf(cell, sizeof(cell), " %.1f |",
-                          suite.run(name, opts).totalMinutes());
+                          results[i++].train.totalMinutes());
             os << cell;
         }
         os << "\n";
@@ -95,22 +110,13 @@ appendTopology(std::ostringstream &os)
 }
 
 void
-appendScheduling(std::ostringstream &os, Suite &suite)
+appendScheduling(std::ostringstream &os, Suite &suite,
+                 exec::Engine &engine)
 {
     os << "## Optimal vs naive scheduling (Figure 4)\n\n"
        << "| GPUs | naive (h) | optimal (h) | saved (h) |\n"
        << "|---|---|---|---|\n";
-    std::vector<sched::JobSpec> jobs;
-    for (const auto &name : mlperfNames()) {
-        sched::JobSpec j;
-        j.name = name;
-        for (int w = 1; w <= 8; w *= 2) {
-            train::RunOptions opts;
-            opts.num_gpus = w;
-            j.seconds_at_width[w] = suite.run(name, opts).total_seconds;
-        }
-        jobs.push_back(std::move(j));
-    }
+    auto jobs = suite.jobSpecs(mlperfNames(), 8, &engine);
     char line[128];
     for (int g : {2, 4, 8}) {
         double naive = sched::naiveSchedule(jobs, g).makespan();
@@ -125,10 +131,10 @@ appendScheduling(std::ostringstream &os, Suite &suite)
 }
 
 void
-appendCharacterization(std::ostringstream &os)
+appendCharacterization(std::ostringstream &os, exec::Engine &engine)
 {
     sys::SystemConfig k = sys::c4140K();
-    auto rep = characterize(k, 1);
+    auto rep = characterize(k, 1, &engine);
     os << "## Workload characterization (Figures 1-2, on "
        << k.name << ")\n\n"
        << "| Workload | Suite | PC1 | PC2 | FLOP/B | TFLOP/s |\n"
@@ -152,7 +158,8 @@ appendCharacterization(std::ostringstream &os)
 }
 
 void
-appendFaultTolerance(std::ostringstream &os, Suite &suite)
+appendFaultTolerance(std::ostringstream &os, Suite &suite,
+                     exec::Engine &engine)
 {
     os << "## Fault-tolerant time-to-train (8 GPUs, seed 42)\n\n"
        << "Expected wall time under a datacenter fault profile, with "
@@ -167,7 +174,7 @@ appendFaultTolerance(std::ostringstream &os, Suite &suite)
     for (const auto &name :
          {std::string("MLPf_Res50_MX"), std::string("MLPf_GNMT_Py")}) {
         const Benchmark *b = suite.registry().find(name);
-        auto base = suite.run(name, opts);
+        auto base = suite.run(name, opts, engine);
         auto ckpt = train::checkpointModelFor(suite.system(), b->spec());
         for (double mttf : {6.0, 24.0, 168.0}) {
             fault::FaultModel model(
@@ -194,6 +201,13 @@ appendFaultTolerance(std::ostringstream &os, Suite &suite)
 std::string
 generateStudyReport(const ReportOptions &opts)
 {
+    exec::Engine engine(exec::ExecOptions{opts.jobs});
+    return generateStudyReport(opts, engine);
+}
+
+std::string
+generateStudyReport(const ReportOptions &opts, exec::Engine &engine)
+{
     std::ostringstream os;
     sys::SystemConfig dss = sys::dss8440();
     Suite suite(dss);
@@ -202,27 +216,35 @@ generateStudyReport(const ReportOptions &opts)
        << "Reproduction of 'Demystifying the MLPerf Training "
           "Benchmark Suite' (ISPASS 2020); all numbers modeled.\n\n";
     if (opts.include_scaling)
-        appendScaling(os, suite);
+        appendScaling(os, suite, engine);
     if (opts.include_mixed_precision)
-        appendMixedPrecision(os, suite);
+        appendMixedPrecision(os, suite, engine);
     if (opts.include_topology)
-        appendTopology(os);
+        appendTopology(os, suite, engine);
     if (opts.include_scheduling)
-        appendScheduling(os, suite);
+        appendScheduling(os, suite, engine);
     if (opts.include_characterization)
-        appendCharacterization(os);
+        appendCharacterization(os, engine);
     if (opts.include_faults)
-        appendFaultTolerance(os, suite);
+        appendFaultTolerance(os, suite, engine);
     return os.str();
 }
 
 bool
 writeStudyReport(const std::string &path, const ReportOptions &opts)
 {
+    exec::Engine engine(exec::ExecOptions{opts.jobs});
+    return writeStudyReport(path, opts, engine);
+}
+
+bool
+writeStudyReport(const std::string &path, const ReportOptions &opts,
+                 exec::Engine &engine)
+{
     std::ofstream out(path);
     if (!out)
         return false;
-    out << generateStudyReport(opts);
+    out << generateStudyReport(opts, engine);
     return static_cast<bool>(out);
 }
 

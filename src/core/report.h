@@ -4,12 +4,22 @@
  * figures) and renders one self-contained markdown document — the
  * artifact a user hands around after running the suite on a machine
  * catalogue.
+ *
+ * All sections batch their runs through one shared exec::Engine, so
+ * points common to several tables (e.g. the 8-GPU mixed-precision
+ * runs of Table IV and Figure 3) simulate once, and unique points
+ * evaluate in parallel across `jobs` workers. The rendered bytes are
+ * independent of the worker count and of cache warmth.
  */
 
 #ifndef MLPSIM_CORE_REPORT_H
 #define MLPSIM_CORE_REPORT_H
 
 #include <string>
+
+namespace mlps::exec {
+class Engine;
+} // namespace mlps::exec
 
 namespace mlps::core {
 
@@ -22,6 +32,12 @@ struct ReportOptions {
     bool include_scheduling = true;
     bool include_characterization = true;
     bool include_faults = true;
+    /**
+     * Executor workers; 0 defers to the MLPSIM_JOBS environment
+     * variable, else hardware concurrency. Ignored when an engine is
+     * passed explicitly.
+     */
+    int jobs = 0;
 };
 
 /**
@@ -31,9 +47,17 @@ struct ReportOptions {
  */
 std::string generateStudyReport(const ReportOptions &opts = {});
 
+/** As above, batching every section through the given engine. */
+std::string generateStudyReport(const ReportOptions &opts,
+                                exec::Engine &engine);
+
 /** Run the study and write the report to a file. */
 bool writeStudyReport(const std::string &path,
                       const ReportOptions &opts = {});
+
+/** As above, batching every section through the given engine. */
+bool writeStudyReport(const std::string &path, const ReportOptions &opts,
+                      exec::Engine &engine);
 
 } // namespace mlps::core
 

@@ -11,61 +11,116 @@ Suite::Suite(const sys::SystemConfig &system)
 {
 }
 
-train::TrainResult
-Suite::run(const std::string &abbrev, const train::RunOptions &opts,
-           prof::KernelProfiler *profiler) const
+const Benchmark *
+Suite::findOrDie(const std::string &abbrev) const
 {
     const Benchmark *b = registry_.find(abbrev);
     if (!b)
         sim::fatal("Suite: unknown benchmark '%s'%s", abbrev.c_str(),
                    didYouMean(abbrev, registry_.names()).c_str());
-    return trainer_.run(b->spec(), opts, profiler);
+    return b;
+}
+
+exec::RunRequest
+Suite::request(const std::string &abbrev, const train::RunOptions &opts,
+               bool profiled) const
+{
+    exec::RunRequest req;
+    req.system = system_;
+    req.workload = findOrDie(abbrev)->spec();
+    req.options = opts;
+    req.profiled = profiled;
+    return req;
+}
+
+train::TrainResult
+Suite::run(const std::string &abbrev, const train::RunOptions &opts,
+           prof::KernelProfiler *profiler) const
+{
+    return trainer_.run(findOrDie(abbrev)->spec(), opts, profiler);
+}
+
+train::TrainResult
+Suite::run(const std::string &abbrev, const train::RunOptions &opts,
+           exec::Engine &engine) const
+{
+    return engine.runOne(request(abbrev, opts)).train;
 }
 
 std::vector<train::TrainResult>
-Suite::runSuite(wl::SuiteTag tag, const train::RunOptions &opts) const
+Suite::runSuite(wl::SuiteTag tag, const train::RunOptions &opts,
+                exec::Engine *engine) const
 {
+    exec::Engine local(exec::ExecOptions{1});
+    exec::Engine &eng = engine ? *engine : local;
+
+    std::vector<exec::RunRequest> batch;
+    for (const Benchmark *b : registry_.bySuite(tag)) {
+        exec::RunRequest req;
+        req.system = system_;
+        req.workload = b->spec();
+        req.options = opts;
+        batch.push_back(std::move(req));
+    }
     std::vector<train::TrainResult> out;
-    for (const Benchmark *b : registry_.bySuite(tag))
-        out.push_back(trainer_.run(b->spec(), opts, nullptr));
+    for (auto &r : eng.run(std::move(batch)))
+        out.push_back(std::move(r.train));
     return out;
 }
 
 std::vector<ScalingRow>
 Suite::scalingStudy(const std::vector<std::string> &abbrevs,
-                    const std::vector<int> &gpu_counts) const
+                    const std::vector<int> &gpu_counts,
+                    exec::Engine *engine) const
 {
-    train::Trainer ref_trainer(reference_);
-    std::vector<ScalingRow> rows;
+    exec::Engine local(exec::ExecOptions{1});
+    exec::Engine &eng = engine ? *engine : local;
+
+    // Declare the full grid first so the engine can dedupe and
+    // parallelize across it; the walk below consumes results in the
+    // same order.
+    std::vector<exec::RunRequest> batch;
     for (const auto &abbrev : abbrevs) {
-        const Benchmark *b = registry_.find(abbrev);
-        if (!b)
-            sim::fatal("Suite: unknown benchmark '%s'%s", abbrev.c_str(),
-                   didYouMean(abbrev, registry_.names()).c_str());
-        ScalingRow row;
-        row.workload = abbrev;
+        const Benchmark *b = findOrDie(abbrev);
 
         // P100 column: the v0.5 reference code, fp32, one GPU.
-        train::RunOptions ref_opts;
-        ref_opts.num_gpus = 1;
-        ref_opts.precision = hw::Precision::FP32;
-        ref_opts.reference_code = true;
-        row.p100_minutes =
-            ref_trainer.run(b->spec(), ref_opts).totalMinutes();
+        exec::RunRequest ref;
+        ref.system = reference_;
+        ref.workload = b->spec();
+        ref.options.num_gpus = 1;
+        ref.options.precision = hw::Precision::FP32;
+        ref.options.reference_code = true;
+        batch.push_back(std::move(ref));
 
         // V100 columns: the tuned submission, mixed precision.
-        train::RunOptions opts;
-        opts.precision = hw::Precision::Mixed;
-        opts.num_gpus = 1;
-        double base = trainer_.run(b->spec(), opts).total_seconds;
+        exec::RunRequest sub;
+        sub.system = system_;
+        sub.workload = b->spec();
+        sub.options.precision = hw::Precision::Mixed;
+        sub.options.num_gpus = 1;
+        batch.push_back(sub);
+        for (int n : gpu_counts) {
+            if (n == 1)
+                continue;
+            sub.options.num_gpus = n;
+            batch.push_back(sub);
+        }
+    }
+    std::vector<exec::RunResult> results = eng.run(std::move(batch));
+
+    std::vector<ScalingRow> rows;
+    std::size_t i = 0;
+    for (const auto &abbrev : abbrevs) {
+        ScalingRow row;
+        row.workload = abbrev;
+        row.p100_minutes = results[i++].train.totalMinutes();
+        double base = results[i++].train.total_seconds;
         row.v100_minutes = base / 60.0;
         row.p_to_v = row.p100_minutes / row.v100_minutes;
         for (int n : gpu_counts) {
             if (n == 1)
                 continue;
-            opts.num_gpus = n;
-            double t = trainer_.run(b->spec(), opts).total_seconds;
-            row.scaling[n] = base / t;
+            row.scaling[n] = base / results[i++].train.total_seconds;
         }
         rows.push_back(std::move(row));
     }
@@ -74,23 +129,59 @@ Suite::scalingStudy(const std::vector<std::string> &abbrevs,
 
 std::map<std::string, double>
 Suite::mixedPrecisionStudy(const std::vector<std::string> &abbrevs,
-                           int num_gpus) const
+                           int num_gpus, exec::Engine *engine) const
 {
-    std::map<std::string, double> speedups;
+    exec::Engine local(exec::ExecOptions{1});
+    exec::Engine &eng = engine ? *engine : local;
+
+    std::vector<exec::RunRequest> batch;
     for (const auto &abbrev : abbrevs) {
-        const Benchmark *b = registry_.find(abbrev);
-        if (!b)
-            sim::fatal("Suite: unknown benchmark '%s'%s", abbrev.c_str(),
-                   didYouMean(abbrev, registry_.names()).c_str());
         train::RunOptions opts;
         opts.num_gpus = num_gpus;
         opts.precision = hw::Precision::FP32;
-        double fp32 = trainer_.run(b->spec(), opts).total_seconds;
+        batch.push_back(request(abbrev, opts));
         opts.precision = hw::Precision::Mixed;
-        double mixed = trainer_.run(b->spec(), opts).total_seconds;
+        batch.push_back(request(abbrev, opts));
+    }
+    std::vector<exec::RunResult> results = eng.run(std::move(batch));
+
+    std::map<std::string, double> speedups;
+    std::size_t i = 0;
+    for (const auto &abbrev : abbrevs) {
+        double fp32 = results[i++].train.total_seconds;
+        double mixed = results[i++].train.total_seconds;
         speedups[abbrev] = fp32 / mixed;
     }
     return speedups;
+}
+
+std::vector<sched::JobSpec>
+Suite::jobSpecs(const std::vector<std::string> &abbrevs, int max_width,
+                exec::Engine *engine) const
+{
+    exec::Engine local(exec::ExecOptions{1});
+    exec::Engine &eng = engine ? *engine : local;
+
+    std::vector<exec::RunRequest> batch;
+    for (const auto &abbrev : abbrevs) {
+        for (int w = 1; w <= max_width; w *= 2) {
+            train::RunOptions opts;
+            opts.num_gpus = w;
+            batch.push_back(request(abbrev, opts));
+        }
+    }
+    std::vector<exec::RunResult> results = eng.run(std::move(batch));
+
+    std::vector<sched::JobSpec> jobs;
+    std::size_t i = 0;
+    for (const auto &abbrev : abbrevs) {
+        sched::JobSpec j;
+        j.name = abbrev;
+        for (int w = 1; w <= max_width; w *= 2)
+            j.seconds_at_width[w] = results[i++].train.total_seconds;
+        jobs.push_back(std::move(j));
+    }
+    return jobs;
 }
 
 } // namespace mlps::core

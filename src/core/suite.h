@@ -4,6 +4,12 @@
  * system configuration and exposes the studies of the paper as
  * methods: single runs, GPU-count scaling sweeps, precision
  * comparisons, and cross-system comparisons.
+ *
+ * Every sweep is expressed as a batch of exec::RunRequests evaluated
+ * through an exec::Engine, so points shared between studies simulate
+ * once and batches parallelize across the engine's workers. Callers
+ * that do not pass an engine get a private serial one, preserving the
+ * historical single-threaded behaviour.
  */
 
 #ifndef MLPSIM_CORE_SUITE_H
@@ -14,6 +20,8 @@
 #include <vector>
 
 #include "core/registry.h"
+#include "exec/engine.h"
+#include "sched/job_spec.h"
 #include "sys/system_config.h"
 #include "train/trainer.h"
 
@@ -40,14 +48,28 @@ class Suite
     const sys::SystemConfig &system() const { return system_; }
     const Registry &registry() const { return registry_; }
 
+    /**
+     * Build the declarative request for one benchmark on this
+     * system — the unit every sweep below is assembled from.
+     */
+    exec::RunRequest request(const std::string &abbrev,
+                             const train::RunOptions &opts,
+                             bool profiled = false) const;
+
     /** Run one benchmark by abbreviation. */
     train::TrainResult run(const std::string &abbrev,
                            const train::RunOptions &opts,
                            prof::KernelProfiler *profiler = nullptr) const;
 
+    /** Run one benchmark through an engine (memoized). */
+    train::TrainResult run(const std::string &abbrev,
+                           const train::RunOptions &opts,
+                           exec::Engine &engine) const;
+
     /** Run every benchmark of a suite with the same options. */
     std::vector<train::TrainResult>
-    runSuite(wl::SuiteTag tag, const train::RunOptions &opts) const;
+    runSuite(wl::SuiteTag tag, const train::RunOptions &opts,
+             exec::Engine *engine = nullptr) const;
 
     /**
      * Table IV scaling study: per workload, time on the P100
@@ -56,7 +78,8 @@ class Suite
      */
     std::vector<ScalingRow>
     scalingStudy(const std::vector<std::string> &abbrevs,
-                 const std::vector<int> &gpu_counts) const;
+                 const std::vector<int> &gpu_counts,
+                 exec::Engine *engine = nullptr) const;
 
     /**
      * Figure 3 mixed-precision study: fp32 vs mixed total time at the
@@ -64,9 +87,19 @@ class Suite
      */
     std::map<std::string, double>
     mixedPrecisionStudy(const std::vector<std::string> &abbrevs,
-                        int num_gpus) const;
+                        int num_gpus, exec::Engine *engine = nullptr) const;
+
+    /**
+     * Figure 4 inputs: per workload, the training time at every
+     * power-of-two width up to max_width, as scheduler job specs.
+     */
+    std::vector<sched::JobSpec>
+    jobSpecs(const std::vector<std::string> &abbrevs, int max_width,
+             exec::Engine *engine = nullptr) const;
 
   private:
+    const Benchmark *findOrDie(const std::string &abbrev) const;
+
     sys::SystemConfig system_;
     Registry registry_;
     train::Trainer trainer_;

@@ -1,0 +1,125 @@
+#include "exec/engine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+
+#include "train/trainer.h"
+
+namespace mlps::exec {
+
+namespace {
+
+/** Simulate one point. The only place Trainer::run is invoked from. */
+RunResult
+evaluate(const RunRequest &req)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    RunResult r;
+    train::Trainer trainer(req.system);
+    r.train = trainer.run(req.workload, req.options,
+                          req.profiled ? &r.profile : nullptr);
+    r.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return r;
+}
+
+} // namespace
+
+Engine::Engine(ExecOptions opts) : executor_(opts) {}
+
+std::vector<RunResult>
+Engine::run(std::vector<RunRequest> requests)
+{
+    requests_.add(static_cast<double>(requests.size()));
+    std::vector<RunResult> out(requests.size());
+
+    // Dedupe pass (serial, deterministic): a request is either served
+    // from the cache, aliased to an earlier in-batch duplicate, or
+    // becomes a unique job.
+    constexpr std::size_t kFromCache = static_cast<std::size_t>(-1);
+    std::unordered_map<Fingerprint, std::size_t, FingerprintHash> job_of;
+    std::vector<std::size_t> job_req; ///< job -> first request index
+    std::vector<Fingerprint> job_key;
+    std::vector<std::size_t> source(requests.size(), kFromCache);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        Fingerprint key = requests[i].key();
+        if (auto cached = cache_.lookup(key)) {
+            out[i] = std::move(*cached);
+            continue;
+        }
+        auto it = job_of.find(key);
+        if (it != job_of.end()) {
+            source[i] = it->second;
+            cache_.noteSharedHit();
+            continue;
+        }
+        std::size_t job = job_req.size();
+        job_of.emplace(key, job);
+        job_req.push_back(i);
+        job_key.push_back(key);
+        source[i] = job;
+    }
+
+    // Evaluate the unique points in parallel; each job writes only
+    // its own slot.
+    std::vector<RunResult> job_out(job_req.size());
+    executor_.forEach(job_req.size(), [&](std::size_t j) {
+        job_out[j] = evaluate(requests[job_req[j]]);
+    });
+
+    // Publish (serial, submission order): fill the cache, account
+    // wall times, and fan results out to duplicate requests.
+    for (std::size_t j = 0; j < job_out.size(); ++j) {
+        cache_.insert(job_key[j], job_out[j]);
+        run_wall_.record(job_out[j].wall_seconds);
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (source[i] == kFromCache)
+            continue; // already filled from the cache
+        const std::size_t j = source[i];
+        const bool first = job_req[j] == i;
+        out[i] = job_out[j];
+        out[i].cache_hit = !first;
+    }
+    return out;
+}
+
+RunResult
+Engine::runOne(const RunRequest &request)
+{
+    std::vector<RunRequest> batch;
+    batch.push_back(request);
+    return run(std::move(batch))[0];
+}
+
+EngineStats
+Engine::stats() const
+{
+    EngineStats s;
+    s.requests = static_cast<std::uint64_t>(requests_.total());
+    s.cache_hits = cache_.hits();
+    s.unique_runs = cache_.misses();
+    s.sim_seconds = run_wall_.sum();
+    s.jobs = executor_.jobs();
+    return s;
+}
+
+std::string
+Engine::summary() const
+{
+    EngineStats s = stats();
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "exec: %llu points simulated, %llu cache hits "
+                  "(%llu requests), %d worker(s), %.1f ms simulating",
+                  static_cast<unsigned long long>(s.unique_runs),
+                  static_cast<unsigned long long>(s.cache_hits),
+                  static_cast<unsigned long long>(s.requests), s.jobs,
+                  s.sim_seconds * 1e3);
+    return line;
+}
+
+} // namespace mlps::exec

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The unified experiment engine: request -> cache -> executor.
+ *
+ * Engine is the one entry point the study layer drives sweeps
+ * through. A call site declares a batch of RunRequests; the engine
+ * deduplicates them against its RunCache by canonical fingerprint,
+ * evaluates the unique misses in parallel on its Executor, inserts
+ * the fresh results, and returns RunResults in submission order —
+ * so any report rendered from a batch is byte-identical whether it
+ * ran on 1 worker or 16, cold cache or warm.
+ *
+ * Observability: cache hit/miss counters (sim::Counter inside
+ * RunCache) plus a per-run wall-time sampler, all surfaced through
+ * stats()/summary().
+ */
+
+#ifndef MLPSIM_EXEC_ENGINE_H
+#define MLPSIM_EXEC_ENGINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/run_cache.h"
+#include "exec/run_request.h"
+#include "sim/counters.h"
+
+namespace mlps::exec {
+
+/** Snapshot of the engine's counters. */
+struct EngineStats {
+    std::uint64_t requests = 0;    ///< total requests submitted
+    std::uint64_t cache_hits = 0;  ///< served without simulating
+    std::uint64_t unique_runs = 0; ///< points actually simulated
+    double sim_seconds = 0.0;      ///< summed per-run host wall time
+    int jobs = 1;                  ///< resolved worker count
+};
+
+/** Memoizing parallel evaluator of run plans. */
+class Engine
+{
+  public:
+    explicit Engine(ExecOptions opts = {});
+
+    /**
+     * Evaluate a batch. Results are returned in submission order;
+     * duplicate points (within the batch or against the cache)
+     * simulate once. The first error raised by any run is rethrown
+     * after the batch drains.
+     */
+    std::vector<RunResult> run(std::vector<RunRequest> requests);
+
+    /** Evaluate a single request through the cache. */
+    RunResult runOne(const RunRequest &request);
+
+    /** Resolved worker count (including the submitting thread). */
+    int jobs() const { return executor_.jobs(); }
+
+    RunCache &cache() { return cache_; }
+    Executor &executor() { return executor_; }
+
+    /** Per-run host wall-time sampler (simulated points only). */
+    const sim::Sampler &runWall() const { return run_wall_; }
+
+    /** Counter snapshot. */
+    EngineStats stats() const;
+
+    /** One-line human-readable stats, for CLI/bench output. */
+    std::string summary() const;
+
+  private:
+    Executor executor_;
+    RunCache cache_;
+    sim::Counter requests_{"engine.requests"};
+    sim::Sampler run_wall_{"engine.run_wall_seconds",
+                           /*keep_samples=*/false};
+};
+
+} // namespace mlps::exec
+
+#endif // MLPSIM_EXEC_ENGINE_H

@@ -1,0 +1,134 @@
+#include "exec/executor.h"
+
+#include <cstdlib>
+
+#include "sim/logger.h"
+
+namespace mlps::exec {
+
+int
+Executor::resolveJobs(int requested)
+{
+    if (requested < 0)
+        sim::fatal("jobs %d: worker count must be a positive integer",
+                   requested);
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("MLPSIM_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || v <= 0)
+            sim::fatal("MLPSIM_JOBS='%s': worker count must be a "
+                       "positive integer", env);
+        return static_cast<int>(v);
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+Executor::Executor(ExecOptions opts) : jobs_(resolveJobs(opts.jobs))
+{
+    workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
+    for (int i = 0; i < jobs_ - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Executor::~Executor()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+Executor::claimLoop(const std::function<void(std::size_t)> &fn,
+                    std::size_t n)
+{
+    for (;;) {
+        std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n)
+            return;
+        try {
+            fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+            // Last item: wake the submitter. Taking the lock orders
+            // this notify after the submitter's predicate check.
+            std::lock_guard<std::mutex> lock(mu_);
+            done_cv_.notify_all();
+        }
+    }
+}
+
+void
+Executor::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    std::uint64_t seen = 0;
+    for (;;) {
+        work_cv_.wait(lock,
+                      [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        const std::function<void(std::size_t)> *fn = fn_;
+        std::size_t n = batch_n_;
+        if (!fn)
+            continue; // woke after the batch was already torn down
+        ++active_;
+        lock.unlock();
+        claimLoop(*fn, n);
+        lock.lock();
+        if (--active_ == 0)
+            done_cv_.notify_all();
+    }
+}
+
+void
+Executor::forEach(std::size_t n,
+                  const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    // Drain stragglers from a previous batch before reusing state.
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    fn_ = &fn;
+    batch_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    ++generation_;
+    lock.unlock();
+    work_cv_.notify_all();
+
+    claimLoop(fn, n); // the submitter steals work too
+
+    lock.lock();
+    done_cv_.wait(lock, [&] {
+        return completed_.load(std::memory_order_acquire) == n &&
+               active_ == 0;
+    });
+    fn_ = nullptr;
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    lock.unlock();
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace mlps::exec

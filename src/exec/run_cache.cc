@@ -1,0 +1,63 @@
+#include "exec/run_cache.h"
+
+namespace mlps::exec {
+
+std::optional<RunResult>
+RunCache::lookup(const Fingerprint &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return std::nullopt;
+    hits_.add(1.0);
+    RunResult r = it->second;
+    r.cache_hit = true;
+    return r;
+}
+
+void
+RunCache::insert(const Fingerprint &key, const RunResult &result)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    misses_.add(1.0);
+    map_.emplace(key, result);
+}
+
+void
+RunCache::noteSharedHit()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    hits_.add(1.0);
+}
+
+std::uint64_t
+RunCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::uint64_t>(hits_.total());
+}
+
+std::uint64_t
+RunCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::uint64_t>(misses_.total());
+}
+
+std::size_t
+RunCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+void
+RunCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    hits_.reset();
+    misses_.reset();
+}
+
+} // namespace mlps::exec

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic memoizing cache of simulation results.
+ *
+ * Tables and figures share many (system x workload x options) points;
+ * the cache makes every shared point simulate exactly once per
+ * process. Keys are canonical fingerprints (exec/fingerprint.h), so
+ * equality is structural: near-identical configurations that differ
+ * in any field Trainer::run reads occupy distinct entries.
+ *
+ * Thread safety: lookup/insert are internally locked, so the cache
+ * may be consulted from executor workers. Hit/miss accounting is
+ * driven by the Engine (a batch-internal duplicate counts as a hit
+ * even though the point is still in flight), which keeps the counters
+ * deterministic regardless of worker count.
+ */
+
+#ifndef MLPSIM_EXEC_RUN_CACHE_H
+#define MLPSIM_EXEC_RUN_CACHE_H
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "exec/run_request.h"
+#include "sim/counters.h"
+
+namespace mlps::exec {
+
+/** Fingerprint-keyed store of evaluated RunResults. */
+class RunCache
+{
+  public:
+    RunCache() = default;
+
+    /**
+     * Fetch a stored result. Counts a hit when present; counting a
+     * miss is deferred to insert() so a batch of duplicates records
+     * one miss per simulated point, not per request.
+     */
+    std::optional<RunResult> lookup(const Fingerprint &key);
+
+    /** Store a freshly simulated point. Counts one miss (= one run). */
+    void insert(const Fingerprint &key, const RunResult &result);
+
+    /**
+     * Record a hit that bypassed lookup(): a duplicate request served
+     * from another request in the same batch.
+     */
+    void noteSharedHit();
+
+    /** Requests served without simulating. */
+    std::uint64_t hits() const;
+    /** Points actually simulated. */
+    std::uint64_t misses() const;
+    /** Distinct points stored. */
+    std::size_t size() const;
+
+    /** Drop all entries and reset the counters. */
+    void clear();
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<Fingerprint, RunResult, FingerprintHash> map_;
+    sim::Counter hits_{"run_cache.hits"};
+    sim::Counter misses_{"run_cache.misses"};
+};
+
+} // namespace mlps::exec
+
+#endif // MLPSIM_EXEC_RUN_CACHE_H

@@ -1,0 +1,16 @@
+#include "exec/run_request.h"
+
+namespace mlps::exec {
+
+Fingerprint
+RunRequest::key() const
+{
+    HashStream h;
+    h.mix(fingerprintOf(system));
+    h.mix(fingerprintOf(workload));
+    h.mix(fingerprintOf(options));
+    h.mixBool(profiled);
+    return h.digest();
+}
+
+} // namespace mlps::exec

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Declarative run plans: the value types flowing through the
+ * experiment engine.
+ *
+ * A RunRequest names one simulation point — (machine, workload, run
+ * options, profiled?) — without executing it. Call sites declare a
+ * batch of requests, the Engine deduplicates them against its RunCache
+ * by canonical fingerprint, evaluates the misses on the Executor, and
+ * hands back RunResults in submission order.
+ */
+
+#ifndef MLPSIM_EXEC_RUN_REQUEST_H
+#define MLPSIM_EXEC_RUN_REQUEST_H
+
+#include "exec/fingerprint.h"
+#include "prof/kernel_profiler.h"
+#include "sys/system_config.h"
+#include "train/training_job.h"
+#include "wl/workload.h"
+
+namespace mlps::exec {
+
+/** One declared simulation point, not yet evaluated. */
+struct RunRequest {
+    sys::SystemConfig system;
+    wl::WorkloadSpec workload;
+    train::RunOptions options;
+    /**
+     * Attach a per-request kernel profiler to the run. Profiled and
+     * unprofiled evaluations of the same point are cached separately
+     * (their RunResults differ).
+     */
+    bool profiled = false;
+
+    /**
+     * Canonical cache key of this point: a structural fingerprint over
+     * every input Trainer::run reads. Two requests with equal keys
+     * produce byte-identical results.
+     */
+    Fingerprint key() const;
+};
+
+/** Evaluated result of one request. */
+struct RunResult {
+    /** The training-model output. */
+    train::TrainResult train;
+    /** Per-run kernel records; populated only for profiled requests. */
+    prof::KernelProfiler profile;
+    /** True when served from the cache (or shared within a batch). */
+    bool cache_hit = false;
+    /** Host wall time the simulation itself took, seconds. */
+    double wall_seconds = 0.0;
+};
+
+} // namespace mlps::exec
+
+#endif // MLPSIM_EXEC_RUN_REQUEST_H

@@ -46,6 +46,14 @@ KernelProfiler::record(const std::string &name, wl::OpKind kind, Pass pass,
 }
 
 void
+KernelProfiler::merge(const KernelProfiler &other)
+{
+    for (const auto &r : other.records_)
+        record(r.name, r.kind, r.pass, r.invocations, r.total_seconds,
+               r.total_flops, r.total_bytes);
+}
+
+void
 KernelProfiler::clear()
 {
     records_.clear();

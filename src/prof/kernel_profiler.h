@@ -6,6 +6,11 @@
  * models; the profiler aggregates invocation counts, durations, FLOP
  * counts and memory transactions — the exact quantities the paper
  * collected with nvprof to place workloads on the roofline (Figure 2).
+ *
+ * Thread contract: a profiler instance is NOT synchronized. Attach
+ * one profiler per run (the exec layer carries one inside each
+ * RunResult) and combine instances afterwards with merge(); never
+ * share one instance across concurrently evaluating runs.
  */
 
 #ifndef MLPSIM_PROF_KERNEL_PROFILER_H
@@ -68,6 +73,13 @@ class KernelProfiler
     void record(const std::string &name, wl::OpKind kind, Pass pass,
                 std::uint64_t invocations, double seconds, double flops,
                 double bytes);
+
+    /**
+     * Fold another profiler's records into this one, accumulating
+     * stats kernel-class-wise — the post-hoc combination step for
+     * profiles collected by parallel runs.
+     */
+    void merge(const KernelProfiler &other);
 
     /** Drop all records. */
     void clear();

@@ -32,6 +32,37 @@ struct Solver {
     std::unordered_map<std::uint64_t, double> memo;
     std::unordered_map<std::uint64_t, Decision> choice;
     std::size_t states = 0;
+    /**
+     * times[log2(width)][job]: the JobSpec maps flattened into arrays
+     * once up front, so the exponential subset enumeration below
+     * indexes contiguous memory instead of probing a std::map per
+     * (job, width) pair.
+     */
+    std::vector<std::vector<double>> times;
+
+    Solver(const std::vector<JobSpec> &js, int gpus) : jobs(js)
+    {
+        for (int w = 1; w <= gpus; w *= 2) {
+            std::vector<double> at_w;
+            at_w.reserve(jobs.size());
+            for (const auto &j : jobs)
+                at_w.push_back(j.timeAt(w));
+            times.push_back(std::move(at_w));
+        }
+    }
+
+    /** Summed time of the masked jobs at the given width. */
+    double
+    sumAt(Mask mask, int width_log) const
+    {
+        const std::vector<double> &at_w = times[width_log];
+        double s = 0.0;
+        while (mask) {
+            s += at_w[static_cast<std::size_t>(__builtin_ctz(mask))];
+            mask &= mask - 1;
+        }
+        return s;
+    }
 
     double
     solve(Mask mask, int width)
@@ -49,21 +80,15 @@ struct Solver {
 
         if (width == 1) {
             // Base: everything runs sequentially on the single GPU.
-            best = 0.0;
-            for (std::size_t j = 0; j < jobs.size(); ++j) {
-                if (mask & (Mask(1) << j))
-                    best += jobs[j].timeAt(1);
-            }
+            best = sumAt(mask, 0);
             best_dec.full_width = mask;
         } else {
+            const int width_log = __builtin_ctz(
+                static_cast<unsigned>(width));
             // Choose the subset F run at full width (sequentially),
             // then split the rest across the two halves.
             for (Mask f = mask;; f = (f - 1) & mask) {
-                double head = 0.0;
-                for (std::size_t j = 0; j < jobs.size(); ++j) {
-                    if (f & (Mask(1) << j))
-                        head += jobs[j].timeAt(width);
-                }
+                double head = sumAt(f, width_log);
                 Mask rest = mask & ~f;
                 double tail = 0.0;
                 Mask best_left = 0;
@@ -141,7 +166,7 @@ OptimalResult
 optimalSchedule(const std::vector<JobSpec> &jobs, int gpus)
 {
     validateJobs(jobs, gpus);
-    Solver solver{jobs, {}, {}, 0};
+    Solver solver(jobs, gpus);
     Mask all = (Mask(1) << jobs.size()) - 1;
     double makespan = solver.solve(all, gpus);
 

@@ -9,6 +9,14 @@
  * with backward-pass overlap. It produces the steady-state iteration
  * breakdown, Table V resource usage, and the end-to-end time to the
  * MLPerf quality target.
+ *
+ * Thread contract: run() is const and touches no mutable shared
+ * state — all working state lives on the stack of the call (the flow
+ * simulator is constructed per run). Concurrent run() calls on one
+ * Trainer, or on distinct Trainers, are therefore safe PROVIDED each
+ * call gets its own KernelProfiler (the profiler itself is
+ * unsynchronized; see prof/kernel_profiler.h). The exec::Engine
+ * relies on this contract to evaluate batches in parallel.
  */
 
 #ifndef MLPSIM_TRAIN_TRAINER_H

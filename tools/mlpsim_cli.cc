@@ -5,9 +5,9 @@
  *   mlpsim list
  *   mlpsim run <workload> [--system NAME] [--gpus N]
  *                         [--precision fp32|mixed] [--reference]
- *   mlpsim scaling <workload...> [--system NAME]
- *   mlpsim schedule [--gpus N] [--system NAME] <workload...>
- *   mlpsim characterize [--system NAME]
+ *   mlpsim scaling <workload...> [--system NAME] [--jobs N]
+ *   mlpsim schedule [--gpus N] [--system NAME] [--jobs N] <workload...>
+ *   mlpsim characterize [--system NAME] [--jobs N]
  *   mlpsim trace <workload> [--system NAME] [--gpus N] [--out FILE]
  *   mlpsim faults <workload> [--mttf-hours H] [--seed S] [...]
  */
@@ -23,6 +23,7 @@
 #include "core/characterize.h"
 #include "core/report.h"
 #include "core/suite.h"
+#include "exec/engine.h"
 #include "fault/fault_model.h"
 #include "prof/trace.h"
 #include "sched/gantt.h"
@@ -131,6 +132,22 @@ gpusFrom(const Args &args, const sys::SystemConfig &machine,
         sim::fatal("--gpus %d: '%s' only has %d GPUs", gpus,
                    machine.name.c_str(), machine.num_gpus);
     return gpus;
+}
+
+/**
+ * Validate a user-supplied worker count. 0 means "not given": the
+ * engine then falls back to MLPSIM_JOBS, else hardware concurrency.
+ */
+int
+jobsFrom(const Args &args)
+{
+    if (!args.has("jobs"))
+        return 0;
+    int jobs = args.getInt("jobs", 0);
+    if (jobs <= 0)
+        sim::fatal("--jobs %s: worker count must be a positive integer",
+                   args.get("jobs", "").c_str());
+    return jobs;
 }
 
 int
@@ -287,7 +304,8 @@ cmdScaling(const Args &args)
     std::vector<int> counts;
     for (int n = 1; n <= machine.num_gpus; n *= 2)
         counts.push_back(n);
-    auto rows = suite.scalingStudy(args.positional, counts);
+    exec::Engine engine(exec::ExecOptions{jobsFrom(args)});
+    auto rows = suite.scalingStudy(args.positional, counts, &engine);
     std::printf("%-15s %12s %12s %8s", "workload", "P100 ref(min)",
                 "1 GPU(min)", "P-to-V");
     for (std::size_t i = 1; i < counts.size(); ++i)
@@ -312,17 +330,8 @@ cmdSchedule(const Args &args)
         systemByName(args.get("system", "DSS 8440"));
     int gpus = gpusFrom(args, machine, machine.num_gpus);
     core::Suite suite(machine);
-    std::vector<sched::JobSpec> jobs;
-    for (const auto &name : args.positional) {
-        sched::JobSpec j;
-        j.name = name;
-        for (int w = 1; w <= gpus; w *= 2) {
-            train::RunOptions opts;
-            opts.num_gpus = w;
-            j.seconds_at_width[w] = suite.run(name, opts).total_seconds;
-        }
-        jobs.push_back(std::move(j));
-    }
+    exec::Engine engine(exec::ExecOptions{jobsFrom(args)});
+    auto jobs = suite.jobSpecs(args.positional, gpus, &engine);
     auto naive = sched::naiveSchedule(jobs, gpus);
     auto opt = sched::optimalSchedule(jobs, gpus);
     std::printf("naive %.2f h, optimal %.2f h (saves %.1f h)\n\n%s",
@@ -337,7 +346,9 @@ cmdCharacterize(const Args &args)
 {
     sys::SystemConfig machine =
         systemByName(args.get("system", "C4140 (K)"));
-    auto rep = core::characterize(machine, gpusFrom(args, machine, 1));
+    exec::Engine engine(exec::ExecOptions{jobsFrom(args)});
+    auto rep = core::characterize(machine, gpusFrom(args, machine, 1),
+                                  &engine);
     std::printf("%-15s %-10s %9s %9s %10s %10s\n", "workload", "suite",
                 "PC1", "PC2", "TFLOP/s", "FLOP/B");
     for (std::size_t i = 0; i < rep.workloads.size(); ++i) {
@@ -351,6 +362,7 @@ cmdCharacterize(const Args &args)
     }
     std::printf("\nPC1-PC4 cumulative variance: %.1f%%\n",
                 100.0 * rep.pca.cumulativeVariance(4));
+    std::fprintf(stderr, "%s\n", engine.summary().c_str());
     return 0;
 }
 
@@ -380,9 +392,13 @@ cmdReport(const Args &args)
 {
     std::string path = args.get("out", "mlpsim_report.md");
     std::printf("running the full study (takes a moment)...\n");
-    if (!core::writeStudyReport(path))
+    core::ReportOptions ropts;
+    ropts.jobs = jobsFrom(args);
+    exec::Engine engine(exec::ExecOptions{ropts.jobs});
+    if (!core::writeStudyReport(path, ropts, engine))
         sim::fatal("report: cannot write '%s'", path.c_str());
     std::printf("wrote %s\n", path.c_str());
+    std::fprintf(stderr, "%s\n", engine.summary().c_str());
     return 0;
 }
 
@@ -395,12 +411,13 @@ usage()
         "  mlpsim run <workload> [--system NAME] [--gpus N]\n"
         "             [--precision fp32|fp16|mixed] [--reference]\n"
         "             [--mttf-hours H [--checkpoint MIN] [--seed S]]\n"
-        "  mlpsim scaling <workload...> [--system NAME]\n"
-        "  mlpsim schedule [--gpus N] [--system NAME] <workload...>\n"
-        "  mlpsim characterize [--system NAME] [--gpus N]\n"
+        "  mlpsim scaling <workload...> [--system NAME] [--jobs N]\n"
+        "  mlpsim schedule [--gpus N] [--system NAME] [--jobs N]\n"
+        "             <workload...>\n"
+        "  mlpsim characterize [--system NAME] [--gpus N] [--jobs N]\n"
         "  mlpsim trace <workload> [--system NAME] [--gpus N]\n"
         "             [--iterations K] [--out FILE]\n"
-        "  mlpsim report [--out FILE]\n"
+        "  mlpsim report [--out FILE] [--jobs N]\n"
         "  mlpsim faults [--system NAME] [--gpus N] [--mttf-hours H]\n"
         "             [--hours H] [--seed S] [--trace FILE]\n");
 }
