@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "core/report.h"
 #include "core/suite.h"
 #include "exec/engine.h"
@@ -164,6 +166,72 @@ BM_StudyReportWarm(benchmark::State &state)
         static_cast<double>(engine.cache().size());
 }
 BENCHMARK(BM_StudyReportWarm)->Unit(benchmark::kMillisecond);
+
+/**
+ * The report with a durable journal, cold on-disk cache: measures
+ * the full simulate + encode + append + fflush cost of building a
+ * journal from nothing. Compare with BM_StudyReportJournalWarm for
+ * the durability overhead and payoff.
+ */
+void
+BM_StudyReportJournalCold(benchmark::State &state)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / "mlpsim_bench_journal_cold")
+            .string();
+    std::uint64_t unique = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        fs::remove_all(dir);
+        state.ResumeTiming();
+        exec::ExecOptions opts(1);
+        opts.cache_dir = dir;
+        exec::Engine engine(std::move(opts));
+        auto text = core::generateStudyReport({}, engine);
+        benchmark::DoNotOptimize(text.data());
+        unique = engine.stats().unique_runs;
+    }
+    fs::remove_all(dir);
+    state.counters["unique_runs"] = static_cast<double>(unique);
+}
+BENCHMARK(BM_StudyReportJournalCold)->Unit(benchmark::kMillisecond);
+
+/**
+ * The report served entirely from a pre-built journal: load + decode
+ * replaces simulation, so this is the crash-resume path a user hits
+ * when a killed campaign restarts.
+ */
+void
+BM_StudyReportJournalWarm(benchmark::State &state)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / "mlpsim_bench_journal_warm")
+            .string();
+    fs::remove_all(dir);
+    {
+        exec::ExecOptions opts(1);
+        opts.cache_dir = dir;
+        exec::Engine engine(std::move(opts));
+        auto warmup = core::generateStudyReport({}, engine);
+        benchmark::DoNotOptimize(warmup.data());
+    }
+    std::uint64_t loaded = 0, unique = 0;
+    for (auto _ : state) {
+        exec::ExecOptions opts(1);
+        opts.cache_dir = dir;
+        exec::Engine engine(std::move(opts));
+        auto text = core::generateStudyReport({}, engine);
+        benchmark::DoNotOptimize(text.data());
+        loaded = engine.stats().journal_loaded;
+        unique = engine.stats().unique_runs;
+    }
+    fs::remove_all(dir);
+    state.counters["journal_loaded"] = static_cast<double>(loaded);
+    state.counters["unique_runs"] = static_cast<double>(unique);
+}
+BENCHMARK(BM_StudyReportJournalWarm)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

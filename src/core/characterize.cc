@@ -1,6 +1,7 @@
 #include "core/characterize.h"
 
 #include <cmath>
+#include <limits>
 
 #include "exec/engine.h"
 #include "prof/kernel_profiler.h"
@@ -39,23 +40,49 @@ characterize(const sys::SystemConfig &system, int num_gpus,
     std::vector<exec::RunResult> results = eng.run(std::move(batch));
 
     CharacterizationReport report;
+    std::vector<prof::MetricSet> valid_metrics;
     std::size_t i = 0;
     for (const Benchmark &b : registry.all()) {
         const exec::RunResult &r = results[i++];
         report.workloads.push_back(b.abbrev());
         report.suites.push_back(b.suite());
-        report.metrics.push_back(prof::extractMetrics(r.train));
 
         stats::RooflinePoint pt;
         pt.label = b.abbrev();
-        pt.intensity = r.profile.aggregateIntensity();
-        pt.flops = r.profile.aggregateFlopsPerSec();
+        if (r.error) {
+            report.errors.push_back(r.error->reason);
+            report.metrics.emplace_back();
+            report.pca_row.push_back(-1);
+            pt.intensity = std::numeric_limits<double>::quiet_NaN();
+            pt.flops = std::numeric_limits<double>::quiet_NaN();
+        } else {
+            report.errors.emplace_back();
+            report.metrics.push_back(prof::extractMetrics(r.train));
+            report.pca_row.push_back(
+                static_cast<int>(valid_metrics.size()));
+            valid_metrics.push_back(report.metrics.back());
+            pt.intensity = r.profile.aggregateIntensity();
+            pt.flops = r.profile.aggregateFlopsPerSec();
+        }
         report.roofline_points.push_back(pt);
     }
 
-    stats::Matrix samples(prof::toMatrix(report.metrics));
-    report.pca = stats::pca(samples, true);
+    // PCA needs at least two samples; with fewer valid rows the
+    // report still carries per-workload metrics, just no scores.
+    report.pca_valid = valid_metrics.size() >= 2;
+    if (report.pca_valid) {
+        stats::Matrix samples(prof::toMatrix(valid_metrics));
+        report.pca = stats::pca(samples, true);
+    }
     return report;
+}
+
+double
+CharacterizationReport::score(std::size_t i, int pc) const
+{
+    if (i >= pca_row.size() || pca_row[i] < 0 || !pca_valid)
+        return std::numeric_limits<double>::quiet_NaN();
+    return pca.scores.at(pca_row[i], pc);
 }
 
 double
@@ -67,7 +94,14 @@ suiteSeparation(const CharacterizationReport &report, int pc,
     double sum_a = 0.0, sum_b = 0.0;
     int n_a = 0, n_b = 0;
     for (std::size_t i = 0; i < report.suites.size(); ++i) {
-        double score = report.pca.scores.at(static_cast<int>(i), pc);
+        // Degraded rows carry no PCA score; separation is computed
+        // over the workloads that actually characterized.
+        if (i < report.pca_row.size() && report.pca_row[i] < 0)
+            continue;
+        const int row = i < report.pca_row.size()
+                            ? report.pca_row[i]
+                            : static_cast<int>(i);
+        double score = report.pca.scores.at(row, pc);
         if (report.suites[i] == a) {
             sum_a += score;
             ++n_a;

@@ -30,12 +30,35 @@ struct CharacterizationReport {
     std::vector<std::string> workloads;
     /** Suite tag per workload. */
     std::vector<wl::SuiteTag> suites;
-    /** The eight characteristics per workload. */
+    /** The eight characteristics per workload (zeroed on failure). */
     std::vector<prof::MetricSet> metrics;
-    /** PCA over the standardised characteristics. */
+    /** PCA over the standardised characteristics of the valid rows. */
     stats::PcaResult pca;
-    /** Roofline placement (achieved FLOP/s vs intensity) per workload. */
+    /** Roofline placement (achieved FLOP/s vs intensity) per workload;
+     *  NaN coordinates on failure. */
     std::vector<stats::RooflinePoint> roofline_points;
+
+    /**
+     * Degradation (ErrorPolicy::Capture only): failure reason per
+     * workload, empty when its run succeeded. Failed workloads keep
+     * their row in workloads/suites/metrics/roofline_points so
+     * callers can render them, but are excluded from the PCA input.
+     */
+    std::vector<std::string> errors;
+    /** PCA sample row of workload i, or -1 when its run failed. */
+    std::vector<int> pca_row;
+    /** False when fewer than two valid rows were available for PCA. */
+    bool pca_valid = false;
+
+    /** PC score of workload i; NaN when its run failed. */
+    double score(std::size_t i, int pc) const;
+
+    bool degraded() const {
+        for (const auto &e : errors)
+            if (!e.empty())
+                return true;
+        return false;
+    }
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "core/characterize.h"
@@ -29,6 +30,22 @@ mlperfNames()
     return names;
 }
 
+/**
+ * Render one numeric table cell: the formatted value, or
+ * `ERROR(<reason>)` when the run behind it failed. The reason is the
+ * deterministic failure class, never the exception text, so degraded
+ * tables stay byte-stable.
+ */
+std::string
+cell(double value, const char *fmt, const std::string &error)
+{
+    if (!error.empty())
+        return "ERROR(" + error + ")";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, value);
+    return buf;
+}
+
 void
 appendScaling(std::ostringstream &os, Suite &suite, exec::Engine &engine)
 {
@@ -39,15 +56,22 @@ appendScaling(std::ostringstream &os, Suite &suite, exec::Engine &engine)
     std::vector<std::string> names = mlperfNames();
     names.erase(names.begin() + 5); // GNMT is absent from Table IV
     auto rows = suite.scalingStudy(names, {1, 2, 4, 8}, &engine);
-    char line[256];
     for (const auto &r : rows) {
-        std::snprintf(line, sizeof(line),
-                      "| %s | %.1f | %.1f | %.2fx | %.2fx | %.2fx | "
-                      "%.2fx |\n",
-                      r.workload.c_str(), r.p100_minutes,
-                      r.v100_minutes, r.p_to_v, r.scaling.at(2),
-                      r.scaling.at(4), r.scaling.at(8));
-        os << line;
+        const std::string &pv_err =
+            r.p100_error.empty() ? r.v100_error : r.p100_error;
+        os << "| " << r.workload << " | "
+           << cell(r.p100_minutes, "%.1f", r.p100_error) << " | "
+           << cell(r.v100_minutes, "%.1f", r.v100_error) << " | "
+           << cell(r.p_to_v, "%.2fx", pv_err) << " |";
+        for (int n : {2, 4, 8}) {
+            auto it = r.scaling_errors.find(n);
+            os << " "
+               << cell(r.scaling.at(n), "%.2fx",
+                       it == r.scaling_errors.end() ? std::string()
+                                                    : it->second)
+               << " |";
+        }
+        os << "\n";
     }
     os << "\n";
 }
@@ -58,12 +82,15 @@ appendMixedPrecision(std::ostringstream &os, Suite &suite,
 {
     os << "## Mixed precision speedups (Figure 3, 8 GPUs)\n\n"
        << "| Benchmark | speedup |\n|---|---|\n";
-    auto speedups = suite.mixedPrecisionStudy(mlperfNames(), 8, &engine);
-    char line[128];
+    std::map<std::string, std::string> errors;
+    auto speedups =
+        suite.mixedPrecisionStudy(mlperfNames(), 8, &engine, &errors);
     for (const auto &name : mlperfNames()) {
-        std::snprintf(line, sizeof(line), "| %s | %.2fx |\n",
-                      name.c_str(), speedups.at(name));
-        os << line;
+        auto it = errors.find(name);
+        os << "| " << name << " | "
+           << cell(speedups.at(name), "%.2fx",
+                   it == errors.end() ? std::string() : it->second)
+           << " |\n";
     }
     os << "\n";
 }
@@ -95,14 +122,15 @@ appendTopology(std::ostringstream &os, Suite &suite, exec::Engine &engine)
     }
     auto results = engine.run(std::move(batch));
 
-    char cell[64];
     std::size_t i = 0;
     for (const auto &name : mlperfNames()) {
         os << "| " << name << " |";
         for (std::size_t c = 0; c < systems.size(); ++c) {
-            std::snprintf(cell, sizeof(cell), " %.1f |",
-                          results[i++].train.totalMinutes());
-            os << cell;
+            const exec::RunResult &r = results[i++];
+            os << " "
+               << cell(r.train.totalMinutes(), "%.1f",
+                       r.error ? r.error->reason : std::string())
+               << " |";
         }
         os << "\n";
     }
@@ -113,21 +141,33 @@ void
 appendScheduling(std::ostringstream &os, Suite &suite,
                  exec::Engine &engine)
 {
-    os << "## Optimal vs naive scheduling (Figure 4)\n\n"
-       << "| GPUs | naive (h) | optimal (h) | saved (h) |\n"
-       << "|---|---|---|---|\n";
-    auto jobs = suite.jobSpecs(mlperfNames(), 8, &engine);
-    char line[128];
-    for (int g : {2, 4, 8}) {
-        double naive = sched::naiveSchedule(jobs, g).makespan();
-        double opt = sched::optimalSchedule(jobs, g).makespan_s;
-        std::snprintf(line, sizeof(line),
-                      "| %d | %.2f | %.2f | %.1f |\n", g,
-                      naive / 3600.0, opt / 3600.0,
-                      (naive - opt) / 3600.0);
-        os << line;
+    os << "## Optimal vs naive scheduling (Figure 4)\n\n";
+    std::map<std::string, std::string> errors;
+    auto jobs = suite.jobSpecs(mlperfNames(), 8, &engine, &errors);
+    if (jobs.empty()) {
+        os << "No schedulable jobs: every workload had a failed "
+              "width (see Degraded runs).\n\n";
+    } else {
+        os << "| GPUs | naive (h) | optimal (h) | saved (h) |\n"
+           << "|---|---|---|---|\n";
+        char line[128];
+        for (int g : {2, 4, 8}) {
+            double naive = sched::naiveSchedule(jobs, g).makespan();
+            double opt = sched::optimalSchedule(jobs, g).makespan_s;
+            std::snprintf(line, sizeof(line),
+                          "| %d | %.2f | %.2f | %.1f |\n", g,
+                          naive / 3600.0, opt / 3600.0,
+                          (naive - opt) / 3600.0);
+            os << line;
+        }
+        os << "\n";
     }
-    os << "\n";
+    if (!errors.empty()) {
+        os << "Jobs excluded for failed runs:";
+        for (const auto &[name, reason] : errors)
+            os << " " << name << " (ERROR(" << reason << "))";
+        os << "\n\n";
+    }
 }
 
 void
@@ -141,20 +181,31 @@ appendCharacterization(std::ostringstream &os, exec::Engine &engine)
        << "|---|---|---|---|---|---|\n";
     char line[192];
     for (std::size_t i = 0; i < rep.workloads.size(); ++i) {
-        int r = static_cast<int>(i);
-        std::snprintf(line, sizeof(line),
-                      "| %s | %s | %.2f | %.2f | %.1f | %.2f |\n",
-                      rep.workloads[i].c_str(),
-                      wl::toString(rep.suites[i]).c_str(),
-                      rep.pca.scores.at(r, 0), rep.pca.scores.at(r, 1),
-                      rep.roofline_points[i].intensity,
-                      rep.roofline_points[i].flops / 1e12);
-        os << line;
+        const std::string &err = rep.errors[i];
+        // A healthy row can still lack scores when so many runs
+        // failed that PCA had fewer than two samples.
+        const std::string pc_err =
+            !err.empty() ? err
+            : rep.pca_valid ? std::string()
+                            : std::string("pca skipped");
+        os << "| " << rep.workloads[i] << " | "
+           << wl::toString(rep.suites[i]) << " | "
+           << cell(rep.score(i, 0), "%.2f", pc_err) << " | "
+           << cell(rep.score(i, 1), "%.2f", pc_err) << " | "
+           << cell(rep.roofline_points[i].intensity, "%.1f", err)
+           << " | "
+           << cell(rep.roofline_points[i].flops / 1e12, "%.2f", err)
+           << " |\n";
     }
-    std::snprintf(line, sizeof(line),
-                  "\nPC1-PC4 explained variance: %.1f%%\n\n",
-                  100.0 * rep.pca.cumulativeVariance(4));
-    os << line;
+    if (rep.pca_valid) {
+        std::snprintf(line, sizeof(line),
+                      "\nPC1-PC4 explained variance: %.1f%%\n\n",
+                      100.0 * rep.pca.cumulativeVariance(4));
+        os << line;
+    } else {
+        os << "\nPCA skipped: fewer than two workloads "
+              "characterized.\n\n";
+    }
 }
 
 void
@@ -174,7 +225,22 @@ appendFaultTolerance(std::ostringstream &os, Suite &suite,
     for (const auto &name :
          {std::string("MLPf_Res50_MX"), std::string("MLPf_GNMT_Py")}) {
         const Benchmark *b = suite.registry().find(name);
-        auto base = suite.run(name, opts, engine);
+        exec::RunResult rr = engine.runOne(suite.request(name, opts));
+        if (rr.error) {
+            // The base run failed, so every MTTF row of this
+            // workload is derived from nothing; keep the rows (the
+            // table shape is part of the contract) as ERROR cells.
+            for (double mttf : {6.0, 24.0, 168.0}) {
+                std::snprintf(line, sizeof(line), "| %s | %.0f |",
+                              name.c_str(), mttf);
+                os << line;
+                for (int c = 0; c < 6; ++c)
+                    os << " ERROR(" << rr.error->reason << ") |";
+                os << "\n";
+            }
+            continue;
+        }
+        const train::TrainResult &base = rr.train;
         auto ckpt = train::checkpointModelFor(suite.system(), b->spec());
         for (double mttf : {6.0, 24.0, 168.0}) {
             fault::FaultModel model(
@@ -196,12 +262,64 @@ appendFaultTolerance(std::ostringstream &os, Suite &suite,
     os << "\n";
 }
 
+/**
+ * Append the "Degraded runs" appendix for failures captured while
+ * rendering this document: the slice of the engine's degraded log
+ * past `mark`, deduplicated by fingerprint (a point feeding several
+ * tables fails once per batch but is listed once).
+ */
+void
+appendDegradedRuns(std::ostringstream &os, const exec::Engine &engine,
+                   std::size_t mark)
+{
+    const auto &deg = engine.degradedRuns();
+    if (deg.size() <= mark)
+        return;
+    std::set<std::string> seen;
+    std::ostringstream rows;
+    for (std::size_t i = mark; i < deg.size(); ++i) {
+        const exec::RunError &e = deg[i];
+        std::string fp = exec::toHex(e.key);
+        if (!seen.insert(fp).second)
+            continue;
+        std::string what = e.what;
+        for (char &c : what)
+            if (c == '|' || c == '\n')
+                c = c == '|' ? '/' : ' ';
+        char head[160];
+        std::snprintf(head, sizeof(head),
+                      "| %s | %s | %d | %s | %d | %.2f | %s | ",
+                      e.workload.c_str(), e.system.c_str(), e.num_gpus,
+                      e.reason.c_str(), e.attempts, e.backoff_s,
+                      fp.c_str());
+        rows << head << what << " |\n";
+    }
+    os << "## Degraded runs\n\n"
+       << "These points failed after retries and render as "
+          "ERROR(<reason>) cells above. Failed points are never "
+          "cached or journaled, so a rerun retries them.\n\n"
+       << "| Workload | System | GPUs | Reason | Attempts | "
+          "Backoff (s) | Fingerprint | Error |\n"
+       << "|---|---|---|---|---|---|---|---|\n"
+       << rows.str() << "\n";
+}
+
+/** The private engine of the engine-less entry points. */
+exec::Engine
+makeReportEngine(const ReportOptions &opts)
+{
+    exec::ExecOptions eopts(opts.jobs);
+    eopts.cache_dir = opts.cache_dir;
+    eopts.on_error = exec::ErrorPolicy::Capture;
+    return exec::Engine(std::move(eopts));
+}
+
 } // namespace
 
 std::string
 generateStudyReport(const ReportOptions &opts)
 {
-    exec::Engine engine(exec::ExecOptions{opts.jobs});
+    exec::Engine engine = makeReportEngine(opts);
     return generateStudyReport(opts, engine);
 }
 
@@ -211,6 +329,10 @@ generateStudyReport(const ReportOptions &opts, exec::Engine &engine)
     std::ostringstream os;
     sys::SystemConfig dss = sys::dss8440();
     Suite suite(dss);
+
+    // Only failures captured during *this* document belong in its
+    // appendix; the engine may have prior batches behind it.
+    const std::size_t degraded_mark = engine.degradedRuns().size();
 
     os << "# mlpsim study report\n\n"
        << "Reproduction of 'Demystifying the MLPerf Training "
@@ -227,13 +349,14 @@ generateStudyReport(const ReportOptions &opts, exec::Engine &engine)
         appendCharacterization(os, engine);
     if (opts.include_faults)
         appendFaultTolerance(os, suite, engine);
+    appendDegradedRuns(os, engine, degraded_mark);
     return os.str();
 }
 
 bool
 writeStudyReport(const std::string &path, const ReportOptions &opts)
 {
-    exec::Engine engine(exec::ExecOptions{opts.jobs});
+    exec::Engine engine = makeReportEngine(opts);
     return writeStudyReport(path, opts, engine);
 }
 

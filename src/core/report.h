@@ -38,10 +38,25 @@ struct ReportOptions {
      * passed explicitly.
      */
     int jobs = 0;
+    /**
+     * Durable cache directory: the engine journals every simulated
+     * point there and replays it on the next report, so a crashed or
+     * killed report run resumes instead of restarting. Empty keeps
+     * the cache in-memory. Ignored when an engine is passed
+     * explicitly.
+     */
+    std::string cache_dir;
 };
 
 /**
  * Run the study and render the report.
+ *
+ * The private engine runs under ErrorPolicy::Capture: a failed point
+ * renders as an `ERROR(<reason>)` cell in its table instead of
+ * aborting the document, and every such point is listed in a
+ * "Degraded runs" appendix. The rendered bytes stay independent of
+ * worker count and cache warmth either way (failed points are never
+ * cached, so they fail identically on every run).
  *
  * @return the markdown text.
  */

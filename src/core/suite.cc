@@ -1,9 +1,25 @@
 #include "core/suite.h"
 
+#include <cmath>
+#include <limits>
+
 #include "sim/logger.h"
 #include "sys/machines.h"
 
 namespace mlps::core {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/** Failure reason of a captured-error result, empty on success. */
+std::string
+reasonOf(const exec::RunResult &r)
+{
+    return r.error ? r.error->reason : std::string();
+}
+
+} // namespace
 
 Suite::Suite(const sys::SystemConfig &system)
     : system_(system), trainer_(system_),
@@ -113,14 +129,32 @@ Suite::scalingStudy(const std::vector<std::string> &abbrevs,
     for (const auto &abbrev : abbrevs) {
         ScalingRow row;
         row.workload = abbrev;
-        row.p100_minutes = results[i++].train.totalMinutes();
-        double base = results[i++].train.total_seconds;
+        const exec::RunResult &ref = results[i++];
+        row.p100_error = reasonOf(ref);
+        row.p100_minutes =
+            row.p100_error.empty() ? ref.train.totalMinutes() : kNaN;
+        const exec::RunResult &base_r = results[i++];
+        row.v100_error = reasonOf(base_r);
+        double base = row.v100_error.empty()
+                          ? base_r.train.total_seconds
+                          : kNaN;
         row.v100_minutes = base / 60.0;
         row.p_to_v = row.p100_minutes / row.v100_minutes;
         for (int n : gpu_counts) {
             if (n == 1)
                 continue;
-            row.scaling[n] = base / results[i++].train.total_seconds;
+            const exec::RunResult &wide = results[i++];
+            // A scaling cell depends on both the 1-GPU base and the
+            // n-GPU point; surface whichever failed.
+            std::string err = reasonOf(wide);
+            if (err.empty())
+                err = row.v100_error;
+            if (err.empty()) {
+                row.scaling[n] = base / wide.train.total_seconds;
+            } else {
+                row.scaling[n] = kNaN;
+                row.scaling_errors[n] = std::move(err);
+            }
         }
         rows.push_back(std::move(row));
     }
@@ -129,7 +163,9 @@ Suite::scalingStudy(const std::vector<std::string> &abbrevs,
 
 std::map<std::string, double>
 Suite::mixedPrecisionStudy(const std::vector<std::string> &abbrevs,
-                           int num_gpus, exec::Engine *engine) const
+                           int num_gpus, exec::Engine *engine,
+                           std::map<std::string, std::string> *errors)
+    const
 {
     exec::Engine local(exec::ExecOptions{1});
     exec::Engine &eng = engine ? *engine : local;
@@ -148,16 +184,27 @@ Suite::mixedPrecisionStudy(const std::vector<std::string> &abbrevs,
     std::map<std::string, double> speedups;
     std::size_t i = 0;
     for (const auto &abbrev : abbrevs) {
-        double fp32 = results[i++].train.total_seconds;
-        double mixed = results[i++].train.total_seconds;
-        speedups[abbrev] = fp32 / mixed;
+        const exec::RunResult &fp32_r = results[i++];
+        const exec::RunResult &mixed_r = results[i++];
+        std::string err = reasonOf(fp32_r);
+        if (err.empty())
+            err = reasonOf(mixed_r);
+        if (err.empty()) {
+            speedups[abbrev] = fp32_r.train.total_seconds /
+                               mixed_r.train.total_seconds;
+        } else {
+            speedups[abbrev] = kNaN;
+            if (errors)
+                (*errors)[abbrev] = std::move(err);
+        }
     }
     return speedups;
 }
 
 std::vector<sched::JobSpec>
 Suite::jobSpecs(const std::vector<std::string> &abbrevs, int max_width,
-                exec::Engine *engine) const
+                exec::Engine *engine,
+                std::map<std::string, std::string> *errors) const
 {
     exec::Engine local(exec::ExecOptions{1});
     exec::Engine &eng = engine ? *engine : local;
@@ -177,9 +224,20 @@ Suite::jobSpecs(const std::vector<std::string> &abbrevs, int max_width,
     for (const auto &abbrev : abbrevs) {
         sched::JobSpec j;
         j.name = abbrev;
-        for (int w = 1; w <= max_width; w *= 2)
-            j.seconds_at_width[w] = results[i++].train.total_seconds;
-        jobs.push_back(std::move(j));
+        std::string err;
+        for (int w = 1; w <= max_width; w *= 2) {
+            const exec::RunResult &r = results[i++];
+            if (err.empty())
+                err = reasonOf(r);
+            j.seconds_at_width[w] = r.train.total_seconds;
+        }
+        if (err.empty()) {
+            jobs.push_back(std::move(j));
+        } else if (errors) {
+            // A job missing any width cannot be scheduled; drop it
+            // and report why rather than feeding NaN to the solvers.
+            (*errors)[abbrev] = std::move(err);
+        }
     }
     return jobs;
 }

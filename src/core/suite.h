@@ -36,6 +36,21 @@ struct ScalingRow {
     double p_to_v = 0.0;
     /** speedup of n GPUs over 1, keyed by n. */
     std::map<int, double> scaling;
+
+    /**
+     * Degradation (ErrorPolicy::Capture only): failure reason per
+     * cell, empty when the cell is valid. A failed cell's value is
+     * NaN; derived cells (p_to_v, scaling) inherit the failure of
+     * any input they depend on.
+     */
+    std::string p100_error;
+    std::string v100_error;
+    std::map<int, std::string> scaling_errors;
+
+    bool degraded() const {
+        return !p100_error.empty() || !v100_error.empty() ||
+               !scaling_errors.empty();
+    }
 };
 
 /** Experiment driver bound to one machine. */
@@ -83,19 +98,28 @@ class Suite
 
     /**
      * Figure 3 mixed-precision study: fp32 vs mixed total time at the
-     * given GPU count. @return map abbrev -> speedup.
+     * given GPU count. @return map abbrev -> speedup. Under
+     * ErrorPolicy::Capture a workload with a failed leg maps to NaN
+     * and, when `errors` is non-null, abbrev -> reason is recorded.
      */
     std::map<std::string, double>
     mixedPrecisionStudy(const std::vector<std::string> &abbrevs,
-                        int num_gpus, exec::Engine *engine = nullptr) const;
+                        int num_gpus, exec::Engine *engine = nullptr,
+                        std::map<std::string, std::string> *errors =
+                            nullptr) const;
 
     /**
      * Figure 4 inputs: per workload, the training time at every
      * power-of-two width up to max_width, as scheduler job specs.
+     * Under ErrorPolicy::Capture a workload with any failed width is
+     * excluded from the returned specs (a partial width curve cannot
+     * be scheduled) and, when `errors` is non-null, abbrev -> reason
+     * is recorded.
      */
     std::vector<sched::JobSpec>
     jobSpecs(const std::vector<std::string> &abbrevs, int max_width,
-             exec::Engine *engine = nullptr) const;
+             exec::Engine *engine = nullptr,
+             std::map<std::string, std::string> *errors = nullptr) const;
 
   private:
     const Benchmark *findOrDie(const std::string &abbrev) const;

@@ -1,9 +1,13 @@
 #include "exec/engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <unordered_map>
 
+#include "sim/logger.h"
 #include "train/trainer.h"
 
 namespace mlps::exec {
@@ -26,9 +30,88 @@ evaluate(const RunRequest &req)
     return r;
 }
 
+/** One evaluated (or failed) unique point, pre-publish. */
+struct JobOutcome {
+    RunResult result;
+    std::shared_ptr<RunError> error; ///< null on success
+    std::exception_ptr raw;          ///< for ErrorPolicy::Throw fidelity
+    double backoff_s = 0.0; ///< simulated backoff spent on retries
+};
+
+/**
+ * Evaluate one point under supervision: retry transients with
+ * deterministic simulated backoff, flag deadline overruns, condense
+ * an unrecovered failure into a RunError-bearing placeholder whose
+ * train result carries the request identity (so degraded report rows
+ * still name their point) and NaN totals.
+ */
+JobOutcome
+supervised(const RunRequest &req, const Fingerprint &key,
+           const ExecOptions &opts,
+           const std::function<void(const RunRequest &, int)> &hook)
+{
+    JobOutcome o;
+    const int max_attempts = std::max(1, opts.retry.max_attempts);
+    double backoff = 0.0;
+    for (int attempt = 1;; ++attempt) {
+        try {
+            if (hook)
+                hook(req, attempt);
+            o.result = evaluate(req);
+            o.result.attempts = attempt;
+            o.backoff_s = backoff;
+            if (opts.run_deadline_s > 0.0 &&
+                o.result.wall_seconds > opts.run_deadline_s)
+                o.result.deadline_flagged = true;
+            return o;
+        } catch (...) {
+            FailureClass fc = classifyFailure(std::current_exception());
+            if (fc.transient && attempt < max_attempts) {
+                backoff += backoffSeconds(opts.retry, attempt);
+                continue;
+            }
+            o.raw = std::current_exception();
+            auto err = std::make_shared<RunError>();
+            err->key = key;
+            err->workload = req.workload.abbrev;
+            err->system = req.system.name;
+            err->num_gpus = req.options.num_gpus;
+            err->reason = std::move(fc.reason);
+            err->what = std::move(fc.what);
+            err->attempts = attempt;
+            err->backoff_s = backoff;
+            o.backoff_s = backoff;
+            err->transient = fc.transient;
+
+            o.result = RunResult{};
+            o.result.attempts = attempt;
+            o.result.train.workload = req.workload.abbrev;
+            o.result.train.system = req.system.name;
+            o.result.train.num_gpus = req.options.num_gpus;
+            o.result.train.precision = req.options.precision;
+            o.result.train.reference_code = req.options.reference_code;
+            o.result.train.total_seconds =
+                std::numeric_limits<double>::quiet_NaN();
+            o.result.error = err;
+            o.error = std::move(err);
+            return o;
+        }
+    }
+}
+
 } // namespace
 
-Engine::Engine(ExecOptions opts) : executor_(opts) {}
+Engine::Engine(ExecOptions opts)
+    : opts_(std::move(opts)), executor_(opts_)
+{
+    if (!opts_.cache_dir.empty()) {
+        journal_ = std::make_unique<Journal>(opts_.cache_dir);
+        journal_->load([this](const Fingerprint &key, RunResult &&r) {
+            r.from_journal = true;
+            cache_.preload(key, std::move(r));
+        });
+    }
+}
 
 std::vector<RunResult>
 Engine::run(std::vector<RunRequest> requests)
@@ -63,26 +146,58 @@ Engine::run(std::vector<RunRequest> requests)
         source[i] = job;
     }
 
-    // Evaluate the unique points in parallel; each job writes only
-    // its own slot.
-    std::vector<RunResult> job_out(job_req.size());
+    // Evaluate the unique points in parallel under supervision; each
+    // job writes only its own slot, and failures stay inside their
+    // outcome instead of tearing the batch down.
+    std::vector<JobOutcome> job_out(job_req.size());
     executor_.forEach(job_req.size(), [&](std::size_t j) {
-        job_out[j] = evaluate(requests[job_req[j]]);
+        job_out[j] = supervised(requests[job_req[j]], job_key[j],
+                                opts_, eval_hook_);
     });
 
-    // Publish (serial, submission order): fill the cache, account
-    // wall times, and fan results out to duplicate requests.
+    // Publish (serial, submission order): fill the cache and journal,
+    // account wall times and retries, log captured failures.
+    std::exception_ptr first_error;
     for (std::size_t j = 0; j < job_out.size(); ++j) {
-        cache_.insert(job_key[j], job_out[j]);
-        run_wall_.record(job_out[j].wall_seconds);
+        JobOutcome &o = job_out[j];
+        if (o.error) {
+            retries_.add(static_cast<double>(o.error->attempts - 1));
+            backoff_.add(o.backoff_s);
+            if (opts_.on_error == ErrorPolicy::Throw) {
+                if (!first_error)
+                    first_error = o.raw;
+            } else {
+                degraded_.push_back(*o.error);
+            }
+            continue; // failures are never cached or persisted
+        }
+        retries_.add(static_cast<double>(o.result.attempts - 1));
+        backoff_.add(o.backoff_s);
+        if (o.result.deadline_flagged) {
+            deadline_flags_.add(1.0);
+            sim::warn("engine: run %s on %s (%d GPUs) took %.3f s, "
+                      "past the %.3f s deadline",
+                      o.result.train.workload.c_str(),
+                      o.result.train.system.c_str(),
+                      o.result.train.num_gpus, o.result.wall_seconds,
+                      opts_.run_deadline_s);
+        }
+        cache_.insert(job_key[j], o.result);
+        if (journal_)
+            journal_->append(job_key[j], o.result);
+        run_wall_.record(o.result.wall_seconds);
     }
+    if (first_error)
+        std::rethrow_exception(first_error);
+
+    // Fan results out to duplicate requests, in submission order.
     for (std::size_t i = 0; i < requests.size(); ++i) {
         if (source[i] == kFromCache)
             continue; // already filled from the cache
         const std::size_t j = source[i];
         const bool first = job_req[j] == i;
-        out[i] = job_out[j];
-        out[i].cache_hit = !first;
+        out[i] = job_out[j].result;
+        out[i].cache_hit = !first && !out[i].error;
     }
     return out;
 }
@@ -104,6 +219,12 @@ Engine::stats() const
     s.unique_runs = cache_.misses();
     s.sim_seconds = run_wall_.sum();
     s.jobs = executor_.jobs();
+    s.journal_loaded = cache_.preloaded();
+    s.degraded = degraded_.size();
+    s.retries = static_cast<std::uint64_t>(retries_.total());
+    s.backoff_seconds = backoff_.total();
+    s.deadline_flags =
+        static_cast<std::uint64_t>(deadline_flags_.total());
     return s;
 }
 
@@ -111,7 +232,7 @@ std::string
 Engine::summary() const
 {
     EngineStats s = stats();
-    char line[160];
+    char line[256];
     std::snprintf(line, sizeof(line),
                   "exec: %llu points simulated, %llu cache hits "
                   "(%llu requests), %d worker(s), %.1f ms simulating",
@@ -119,7 +240,31 @@ Engine::summary() const
                   static_cast<unsigned long long>(s.cache_hits),
                   static_cast<unsigned long long>(s.requests), s.jobs,
                   s.sim_seconds * 1e3);
-    return line;
+    std::string text = line;
+    if (s.journal_loaded > 0) {
+        std::snprintf(line, sizeof(line),
+                      ", %llu from journal",
+                      static_cast<unsigned long long>(s.journal_loaded));
+        text += line;
+    }
+    if (s.retries > 0) {
+        std::snprintf(line, sizeof(line),
+                      ", %llu retries (%.2f s backoff)",
+                      static_cast<unsigned long long>(s.retries),
+                      s.backoff_seconds);
+        text += line;
+    }
+    if (s.degraded > 0) {
+        std::snprintf(line, sizeof(line), ", %llu degraded",
+                      static_cast<unsigned long long>(s.degraded));
+        text += line;
+    }
+    if (s.deadline_flags > 0) {
+        std::snprintf(line, sizeof(line), ", %llu past deadline",
+                      static_cast<unsigned long long>(s.deadline_flags));
+        text += line;
+    }
+    return text;
 }
 
 } // namespace mlps::exec

@@ -10,8 +10,20 @@
  * so any report rendered from a batch is byte-identical whether it
  * ran on 1 worker or 16, cold cache or warm.
  *
+ * Resilience (see exec/supervisor.h and exec/journal.h):
+ *  - every evaluation is supervised: transient failures retry with a
+ *    deterministic simulated backoff, unrecovered failures become
+ *    structured RunErrors that either rethrow (ErrorPolicy::Throw)
+ *    or travel inside the RunResult (ErrorPolicy::Capture) so a
+ *    report degrades per cell instead of aborting;
+ *  - with ExecOptions::cache_dir set, the cache is durable: a CRC32-
+ *    checked append-only journal replays on startup and records every
+ *    fresh point, so warm reports survive process crashes;
+ *  - a per-run deadline watchdog flags runaway simulations.
+ *
  * Observability: cache hit/miss counters (sim::Counter inside
- * RunCache) plus a per-run wall-time sampler, all surfaced through
+ * RunCache) plus a per-run wall-time sampler, retry/backoff/deadline
+ * counters and the degraded-runs log, all surfaced through
  * stats()/summary().
  */
 
@@ -19,10 +31,13 @@
 #define MLPSIM_EXEC_ENGINE_H
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "exec/executor.h"
+#include "exec/journal.h"
 #include "exec/run_cache.h"
 #include "exec/run_request.h"
 #include "sim/counters.h"
@@ -36,6 +51,11 @@ struct EngineStats {
     std::uint64_t unique_runs = 0; ///< points actually simulated
     double sim_seconds = 0.0;      ///< summed per-run host wall time
     int jobs = 1;                  ///< resolved worker count
+    std::uint64_t journal_loaded = 0;  ///< entries replayed on startup
+    std::uint64_t degraded = 0;    ///< unrecovered captured failures
+    std::uint64_t retries = 0;     ///< re-evaluations after transients
+    double backoff_seconds = 0.0;  ///< summed simulated retry backoff
+    std::uint64_t deadline_flags = 0; ///< runs past the deadline
 };
 
 /** Memoizing parallel evaluator of run plans. */
@@ -47,8 +67,10 @@ class Engine
     /**
      * Evaluate a batch. Results are returned in submission order;
      * duplicate points (within the batch or against the cache)
-     * simulate once. The first error raised by any run is rethrown
-     * after the batch drains.
+     * simulate once. An unrecovered run failure follows the
+     * ErrorPolicy: Throw rethrows the lowest-submission-index error
+     * after the batch drains (successes are still cached), Capture
+     * stores it in the result's `error` field and logs it.
      */
     std::vector<RunResult> run(std::vector<RunRequest> requests);
 
@@ -61,6 +83,29 @@ class Engine
     RunCache &cache() { return cache_; }
     Executor &executor() { return executor_; }
 
+    /** The durable journal; null without a cache_dir. */
+    const Journal *journal() const { return journal_.get(); }
+
+    /**
+     * Failures captured under ErrorPolicy::Capture, in deterministic
+     * publish order (a point failing in several batches appears once
+     * per batch). Never cleared by the engine.
+     */
+    const std::vector<RunError> &degradedRuns() const {
+        return degraded_;
+    }
+
+    /**
+     * Fault-injection hook for tests: called before every evaluation
+     * attempt (1-based); throw to inject a failure. Must be
+     * deterministic w.r.t. (request, attempt) and thread-safe, and
+     * must not be changed while a batch is in flight.
+     */
+    void setEvalHook(
+        std::function<void(const RunRequest &, int attempt)> hook) {
+        eval_hook_ = std::move(hook);
+    }
+
     /** Per-run host wall-time sampler (simulated points only). */
     const sim::Sampler &runWall() const { return run_wall_; }
 
@@ -71,9 +116,16 @@ class Engine
     std::string summary() const;
 
   private:
+    ExecOptions opts_;
     Executor executor_;
     RunCache cache_;
+    std::unique_ptr<Journal> journal_;
+    std::vector<RunError> degraded_;
+    std::function<void(const RunRequest &, int attempt)> eval_hook_;
     sim::Counter requests_{"engine.requests"};
+    sim::Counter retries_{"engine.retries"};
+    sim::Counter backoff_{"engine.backoff_seconds"};
+    sim::Counter deadline_flags_{"engine.deadline_flags"};
     sim::Sampler run_wall_{"engine.run_wall_seconds",
                            /*keep_samples=*/false};
 };

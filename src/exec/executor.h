@@ -24,15 +24,37 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "exec/supervisor.h"
+
 namespace mlps::exec {
 
-/** Executor configuration. */
+/** Executor and engine configuration. */
 struct ExecOptions {
+    ExecOptions() = default;
+    /** Shorthand for the ubiquitous worker-count-only configuration. */
+    explicit ExecOptions(int jobs_) : jobs(jobs_) {}
+
     /** Worker count; 0 = MLPSIM_JOBS env, else hardware_concurrency. */
     int jobs = 0;
+    /**
+     * Durable cache directory (journal + lock). Empty keeps the run
+     * cache in-memory only. (Engine-level; the executor ignores it.)
+     */
+    std::string cache_dir;
+    /** What the engine does with a run that fails after retries. */
+    ErrorPolicy on_error = ErrorPolicy::Throw;
+    /** Deterministic retry policy for transient run failures. */
+    RetryPolicy retry;
+    /**
+     * Per-run host wall-clock deadline, seconds; a run exceeding it is
+     * flagged (counter + warning), never killed. 0 disables the
+     * watchdog.
+     */
+    double run_deadline_s = 0.0;
 };
 
 /** Persistent pool evaluating index batches with work stealing. */

@@ -1,0 +1,610 @@
+#include "exec/journal.h"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include "sim/logger.h"
+
+namespace fs = std::filesystem;
+
+namespace mlps::exec {
+
+namespace {
+
+constexpr char kMagic[8] = {'m', 'l', 'p', 's', 'j', 'n', 'l', '1'};
+constexpr std::size_t kHeaderBytes = 16;
+/** Sanity ceiling on one record; corrupt lengths fail fast. */
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+constexpr const char *kJournalFile = "journal.mlps";
+constexpr const char *kQuarantineFile = "journal.quarantined";
+constexpr const char *kLockFile = "journal.lock";
+
+// ---- little-endian encode helpers ---------------------------------
+
+void
+putU32(std::string &b, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        b.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &b, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        b.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putF64(std::string &b, double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(b, bits);
+}
+
+void
+putStr(std::string &b, const std::string &s)
+{
+    putU32(b, static_cast<std::uint32_t>(s.size()));
+    b.append(s);
+}
+
+void
+putU8(std::string &b, std::uint8_t v)
+{
+    b.push_back(static_cast<char>(v));
+}
+
+/** Bounds-checked little-endian decoder over one payload. */
+class Reader
+{
+  public:
+    explicit Reader(std::string b) : b_(std::move(b)) {}
+
+    bool ok() const { return ok_; }
+    bool atEnd() const { return ok_ && off_ == b_.size(); }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(b_[off_ + i]))
+                 << (8 * i);
+        off_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(b_[off_ + i]))
+                 << (8 * i);
+        off_ += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        std::uint32_t n = u32();
+        if (!need(n))
+            return {};
+        std::string s = b_.substr(off_, n);
+        off_ += n;
+        return s;
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return static_cast<std::uint8_t>(b_[off_++]);
+    }
+
+    /** u32 that must be <= max (enum range check). */
+    std::uint32_t
+    u32Max(std::uint32_t max)
+    {
+        std::uint32_t v = u32();
+        if (v > max)
+            ok_ = false;
+        return ok_ ? v : 0;
+    }
+
+  private:
+    bool
+    need(std::size_t n)
+    {
+        if (!ok_ || b_.size() - off_ < n) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    std::string b_; ///< owned: callers pass substr() temporaries
+    std::size_t off_ = 0;
+    bool ok_ = true;
+};
+
+std::string
+lockPath(const std::string &dir)
+{
+    return (fs::path(dir) / kLockFile).string();
+}
+
+/**
+ * Atomically replace `path` with `content` via temp file + rename.
+ * @return false on any I/O failure.
+ */
+bool
+atomicWrite(const std::string &path, const std::string &content)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
+        out.flush();
+        if (!out)
+            return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    return !ec;
+}
+
+std::string
+headerBytes()
+{
+    std::string h(kMagic, sizeof(kMagic));
+    putU32(h, Journal::kVersion);
+    putU32(h, 0); // reserved
+    return h;
+}
+
+bool
+headerOk(const std::string &buf)
+{
+    if (buf.size() < kHeaderBytes)
+        return false;
+    if (std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0)
+        return false;
+    Reader r(buf.substr(sizeof(kMagic), 8));
+    return r.u32() == Journal::kVersion;
+}
+
+/**
+ * Scan records from offset kHeaderBytes; stops at the first framing,
+ * CRC, or decode anomaly. @return offset of the first invalid byte
+ * (== buf.size() when the whole file is clean). When fn is non-null
+ * every valid record is decoded through it.
+ */
+std::size_t
+scanRecords(
+    const std::string &buf, std::size_t *records, std::string *error,
+    const std::function<void(const Fingerprint &, RunResult &&)> *fn)
+{
+    std::size_t off = kHeaderBytes;
+    *records = 0;
+    while (off < buf.size()) {
+        if (buf.size() - off < 8) {
+            *error = "truncated record framing";
+            return off;
+        }
+        Reader frame(buf.substr(off, 8));
+        std::uint32_t len = frame.u32();
+        std::uint32_t crc = frame.u32();
+        if (len == 0 || len > kMaxPayload ||
+            buf.size() - off - 8 < len) {
+            *error = "truncated or oversized record";
+            return off;
+        }
+        std::string payload = buf.substr(off + 8, len);
+        if (crc32(payload.data(), payload.size()) != crc) {
+            *error = "payload CRC mismatch";
+            return off;
+        }
+        Fingerprint key;
+        RunResult result;
+        if (!decodeJournalPayload(payload, &key, &result)) {
+            *error = "undecodable payload";
+            return off;
+        }
+        if (fn)
+            (*fn)(key, std::move(result));
+        ++*records;
+        off += 8 + len;
+    }
+    return off;
+}
+
+} // namespace
+
+// ---- CRC32 --------------------------------------------------------
+
+std::uint32_t
+crc32(const void *data, std::size_t n)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+// ---- payload encoding ---------------------------------------------
+
+std::string
+encodeJournalPayload(const Fingerprint &key, const RunResult &result)
+{
+    const train::TrainResult &t = result.train;
+    std::string b;
+    putU64(b, key.hi);
+    putU64(b, key.lo);
+
+    putStr(b, t.workload);
+    putStr(b, t.system);
+    putU32(b, static_cast<std::uint32_t>(t.num_gpus));
+    putU32(b, static_cast<std::uint32_t>(t.precision));
+    putU8(b, t.reference_code ? 1 : 0);
+    putF64(b, t.per_gpu_batch);
+    putF64(b, t.global_batch);
+    putF64(b, t.steps_per_epoch);
+    putF64(b, t.epochs);
+
+    putF64(b, t.iter.fwd_s);
+    putF64(b, t.iter.bwd_s);
+    putF64(b, t.iter.optimizer_s);
+    putF64(b, t.iter.comm_s);
+    putF64(b, t.iter.exposed_comm_s);
+    putF64(b, t.iter.h2d_s);
+    putF64(b, t.iter.host_s);
+    putF64(b, t.iter.overhead_s);
+    putF64(b, t.iter.gpu_busy_s);
+    putF64(b, t.iter.iteration_s);
+    putU32(b, static_cast<std::uint32_t>(t.iter.kernel_launches));
+    putU32(b, static_cast<std::uint32_t>(t.iter.micro_batches));
+
+    putF64(b, t.usage.cpu_util_pct);
+    putF64(b, t.usage.gpu_util_pct_sum);
+    putF64(b, t.usage.dram_footprint_mb);
+    putF64(b, t.usage.hbm_footprint_mb);
+    putF64(b, t.usage.pcie_mbps);
+    putF64(b, t.usage.nvlink_mbps);
+
+    putU32(b, static_cast<std::uint32_t>(t.fabric));
+    putF64(b, t.total_seconds);
+    putF64(b, t.achieved_flops);
+    putF64(b, t.achieved_bytes_per_sec);
+
+    const auto &records = result.profile.records();
+    putU32(b, static_cast<std::uint32_t>(records.size()));
+    for (const auto &r : records) {
+        putStr(b, r.name);
+        putU32(b, static_cast<std::uint32_t>(r.kind));
+        putU32(b, static_cast<std::uint32_t>(r.pass));
+        putU64(b, r.invocations);
+        putF64(b, r.total_seconds);
+        putF64(b, r.total_flops);
+        putF64(b, r.total_bytes);
+    }
+    return b;
+}
+
+bool
+decodeJournalPayload(const std::string &payload, Fingerprint *key,
+                     RunResult *result)
+{
+    Reader r(payload);
+    key->hi = r.u64();
+    key->lo = r.u64();
+
+    train::TrainResult &t = result->train;
+    t.workload = r.str();
+    t.system = r.str();
+    t.num_gpus = static_cast<int>(r.u32());
+    t.precision = static_cast<hw::Precision>(
+        r.u32Max(static_cast<std::uint32_t>(hw::Precision::Mixed)));
+    t.reference_code = r.u8() != 0;
+    t.per_gpu_batch = r.f64();
+    t.global_batch = r.f64();
+    t.steps_per_epoch = r.f64();
+    t.epochs = r.f64();
+
+    t.iter.fwd_s = r.f64();
+    t.iter.bwd_s = r.f64();
+    t.iter.optimizer_s = r.f64();
+    t.iter.comm_s = r.f64();
+    t.iter.exposed_comm_s = r.f64();
+    t.iter.h2d_s = r.f64();
+    t.iter.host_s = r.f64();
+    t.iter.overhead_s = r.f64();
+    t.iter.gpu_busy_s = r.f64();
+    t.iter.iteration_s = r.f64();
+    t.iter.kernel_launches = static_cast<int>(r.u32());
+    t.iter.micro_batches = static_cast<int>(r.u32());
+
+    t.usage.cpu_util_pct = r.f64();
+    t.usage.gpu_util_pct_sum = r.f64();
+    t.usage.dram_footprint_mb = r.f64();
+    t.usage.hbm_footprint_mb = r.f64();
+    t.usage.pcie_mbps = r.f64();
+    t.usage.nvlink_mbps = r.f64();
+
+    t.fabric = static_cast<net::CollectiveFabric>(r.u32Max(
+        static_cast<std::uint32_t>(net::CollectiveFabric::HostStaged)));
+    t.total_seconds = r.f64();
+    t.achieved_flops = r.f64();
+    t.achieved_bytes_per_sec = r.f64();
+
+    std::uint32_t n = r.u32();
+    if (!r.ok())
+        return false;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::string name = r.str();
+        auto kind = static_cast<wl::OpKind>(r.u32Max(
+            static_cast<std::uint32_t>(wl::OpKind::Optimizer)));
+        auto pass = static_cast<prof::Pass>(r.u32Max(
+            static_cast<std::uint32_t>(prof::Pass::Collective)));
+        std::uint64_t invocations = r.u64();
+        double seconds = r.f64();
+        double flops = r.f64();
+        double bytes = r.f64();
+        if (!r.ok())
+            return false;
+        result->profile.record(name, kind, pass, invocations, seconds,
+                               flops, bytes);
+    }
+    return r.atEnd();
+}
+
+// ---- Journal ------------------------------------------------------
+
+std::string
+Journal::journalPath(const std::string &dir)
+{
+    return (fs::path(dir) / kJournalFile).string();
+}
+
+std::string
+Journal::quarantinePath(const std::string &dir)
+{
+    return (fs::path(dir) / kQuarantineFile).string();
+}
+
+Journal::Journal(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        sim::fatal("cache-dir '%s': cannot create directory (%s)",
+                   dir_.c_str(), ec.message().c_str());
+    path_ = journalPath(dir_);
+    acquireLock();
+    stats_.read_only = !locked_;
+}
+
+Journal::~Journal()
+{
+    if (out_)
+        std::fclose(out_);
+    releaseLock();
+}
+
+void
+Journal::acquireLock()
+{
+    std::string lock = lockPath(dir_);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        int fd = ::open(lock.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (fd >= 0) {
+            char pid[32];
+            std::snprintf(pid, sizeof(pid), "%ld\n",
+                          static_cast<long>(::getpid()));
+            ssize_t ignored = ::write(fd, pid, std::strlen(pid));
+            (void)ignored;
+            ::close(fd);
+            locked_ = true;
+            return;
+        }
+        if (errno != EEXIST)
+            sim::fatal("cache-dir '%s': cannot create lock file (%s)",
+                       dir_.c_str(), std::strerror(errno));
+        // Lock exists: live owner -> read-only; dead owner -> reclaim.
+        // Our own pid counts as live: it means another Journal in
+        // this process holds the lock (double-open), not a stale file.
+        long owner = 0;
+        if (std::ifstream in(lock); in)
+            in >> owner;
+        if (owner > 0 && (::kill(static_cast<pid_t>(owner), 0) == 0 ||
+                          errno != ESRCH)) {
+            sim::warn("cache-dir '%s': journal locked by live pid %ld; "
+                      "opening read-only (results will not persist)",
+                      dir_.c_str(), owner);
+            return;
+        }
+        std::error_code ec;
+        fs::remove(lock, ec); // stale lock of a dead process
+    }
+    sim::warn("cache-dir '%s': could not acquire journal lock; "
+              "opening read-only", dir_.c_str());
+}
+
+void
+Journal::releaseLock()
+{
+    if (!locked_)
+        return;
+    std::error_code ec;
+    fs::remove(lockPath(dir_), ec);
+    locked_ = false;
+}
+
+JournalStats
+Journal::load(
+    const std::function<void(const Fingerprint &, RunResult &&)> &fn)
+{
+    std::string buf;
+    if (std::ifstream in(path_, std::ios::binary); in) {
+        std::ostringstream os;
+        os << in.rdbuf();
+        buf = os.str();
+    }
+
+    bool rewrite = false;
+    std::string valid = headerBytes();
+    if (buf.empty()) {
+        rewrite = true; // fresh journal
+    } else if (!headerOk(buf)) {
+        sim::warn("journal '%s': bad magic or version; quarantining "
+                  "the whole file", path_.c_str());
+        stats_.quarantined_bytes = buf.size();
+        rewrite = true;
+    } else {
+        std::size_t records = 0;
+        std::string error;
+        std::size_t end = scanRecords(buf, &records, &error, &fn);
+        stats_.loaded = records;
+        stats_.loaded_bytes = end - kHeaderBytes;
+        if (end != buf.size()) {
+            sim::warn("journal '%s': %s at byte %zu; keeping %zu valid "
+                      "record(s), quarantining %zu byte(s)",
+                      path_.c_str(), error.c_str(), end, records,
+                      buf.size() - end);
+            stats_.quarantined_bytes = buf.size() - end;
+            valid = buf.substr(0, end);
+            rewrite = true;
+        }
+    }
+
+    if (rewrite && !stats_.read_only) {
+        if (stats_.quarantined_bytes > 0) {
+            if (atomicWrite(quarantinePath(dir_), buf))
+                stats_.quarantined = true;
+            else
+                sim::warn("journal '%s': cannot write quarantine file",
+                          path_.c_str());
+        }
+        if (!atomicWrite(path_, valid))
+            sim::fatal("journal '%s': cannot rewrite after recovery",
+                       path_.c_str());
+    }
+
+    if (!stats_.read_only) {
+        out_ = std::fopen(path_.c_str(), "ab");
+        if (!out_)
+            sim::fatal("journal '%s': cannot open for append (%s)",
+                       path_.c_str(), std::strerror(errno));
+    }
+    return stats_;
+}
+
+void
+Journal::append(const Fingerprint &key, const RunResult &result)
+{
+    if (!out_) {
+        ++skipped_appends_;
+        return;
+    }
+    std::string payload = encodeJournalPayload(key, result);
+    std::string record;
+    putU32(record, static_cast<std::uint32_t>(payload.size()));
+    putU32(record, crc32(payload.data(), payload.size()));
+    record.append(payload);
+    if (std::fwrite(record.data(), 1, record.size(), out_) !=
+            record.size() ||
+        std::fflush(out_) != 0) {
+        sim::warn("journal '%s': append failed (%s); disabling "
+                  "persistence for this session", path_.c_str(),
+                  std::strerror(errno));
+        std::fclose(out_);
+        out_ = nullptr;
+        ++skipped_appends_;
+    }
+}
+
+JournalVerifyReport
+Journal::verify(const std::string &dir)
+{
+    JournalVerifyReport rep;
+    std::string path = journalPath(dir);
+    std::string buf;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return rep;
+        std::ostringstream os;
+        os << in.rdbuf();
+        buf = os.str();
+    }
+    rep.exists = true;
+    rep.total_bytes = buf.size();
+    rep.header_ok = headerOk(buf);
+    if (!rep.header_ok) {
+        rep.error = "bad magic or format version";
+        return rep;
+    }
+    std::size_t records = 0;
+    std::size_t end = scanRecords(buf, &records, &rep.error, nullptr);
+    rep.valid_records = records;
+    rep.valid_bytes = end;
+    return rep;
+}
+
+std::uint64_t
+Journal::clear(const std::string &dir)
+{
+    std::uint64_t removed = 0;
+    for (const std::string &p : {journalPath(dir), quarantinePath(dir)}) {
+        std::error_code ec;
+        auto size = fs::file_size(p, ec);
+        if (!ec && fs::remove(p, ec) && !ec)
+            removed += size;
+    }
+    return removed;
+}
+
+} // namespace mlps::exec

@@ -30,6 +30,14 @@ RunCache::noteSharedHit()
     hits_.add(1.0);
 }
 
+void
+RunCache::preload(const Fingerprint &key, RunResult result)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.emplace(key, std::move(result)).second)
+        preloaded_.add(1.0);
+}
+
 std::uint64_t
 RunCache::hits() const
 {
@@ -51,13 +59,27 @@ RunCache::size() const
     return map_.size();
 }
 
+std::uint64_t
+RunCache::preloaded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::uint64_t>(preloaded_.total());
+}
+
 void
 RunCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
+}
+
+void
+RunCache::resetCounters()
+{
+    std::lock_guard<std::mutex> lock(mu_);
     hits_.reset();
     misses_.reset();
+    preloaded_.reset();
 }
 
 } // namespace mlps::exec

@@ -50,21 +50,39 @@ class RunCache
      */
     void noteSharedHit();
 
+    /**
+     * Seed an entry replayed from the durable journal. Counts neither
+     * a hit nor a miss — the point was simulated by an earlier
+     * process, not this one — so the exec summary stays truthful.
+     */
+    void preload(const Fingerprint &key, RunResult result);
+
     /** Requests served without simulating. */
     std::uint64_t hits() const;
-    /** Points actually simulated. */
+    /** Points actually simulated (by this process). */
     std::uint64_t misses() const;
+    /** Entries seeded from the journal. */
+    std::uint64_t preloaded() const;
     /** Distinct points stored. */
     std::size_t size() const;
 
-    /** Drop all entries and reset the counters. */
+    /**
+     * Drop all entries. The hit/miss counters keep accumulating — a
+     * cleared cache did not un-simulate anything, so the exec summary
+     * after a clear stays truthful. Use resetCounters() to zero the
+     * accounting separately.
+     */
     void clear();
+
+    /** Zero the hit/miss/preload accounting, keeping the entries. */
+    void resetCounters();
 
   private:
     mutable std::mutex mu_;
     std::unordered_map<Fingerprint, RunResult, FingerprintHash> map_;
     sim::Counter hits_{"run_cache.hits"};
     sim::Counter misses_{"run_cache.misses"};
+    sim::Counter preloaded_{"run_cache.preloaded"};
 };
 
 } // namespace mlps::exec

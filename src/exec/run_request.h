@@ -13,7 +13,10 @@
 #ifndef MLPSIM_EXEC_RUN_REQUEST_H
 #define MLPSIM_EXEC_RUN_REQUEST_H
 
+#include <memory>
+
 #include "exec/fingerprint.h"
+#include "exec/supervisor.h"
 #include "prof/kernel_profiler.h"
 #include "sys/system_config.h"
 #include "train/training_job.h"
@@ -49,8 +52,23 @@ struct RunResult {
     prof::KernelProfiler profile;
     /** True when served from the cache (or shared within a batch). */
     bool cache_hit = false;
+    /** True when the cached entry was preloaded from the journal. */
+    bool from_journal = false;
     /** Host wall time the simulation itself took, seconds. */
     double wall_seconds = 0.0;
+    /** Evaluation attempts consumed (> 1 after transient retries). */
+    int attempts = 1;
+    /** Watchdog flag: wall time exceeded ExecOptions::run_deadline_s. */
+    bool deadline_flagged = false;
+    /**
+     * Under ErrorPolicy::Capture, the failure that produced this
+     * placeholder result (train carries the request's identity fields
+     * with NaN totals). Null on success; never cached or persisted.
+     */
+    std::shared_ptr<const RunError> error;
+
+    /** The run completed (no captured failure). */
+    bool ok() const { return error == nullptr; }
 };
 
 } // namespace mlps::exec

@@ -1,0 +1,52 @@
+#include "exec/supervisor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logger.h"
+
+namespace mlps::exec {
+
+FailureClass
+classifyFailure(std::exception_ptr err)
+{
+    FailureClass c;
+    try {
+        std::rethrow_exception(err);
+    } catch (const TransientError &e) {
+        c.reason = "transient";
+        c.what = e.what();
+        c.transient = true;
+    } catch (const sim::FatalError &e) {
+        c.reason = "config";
+        c.what = e.what();
+    } catch (const std::exception &e) {
+        c.reason = "runtime";
+        c.what = e.what();
+    } catch (...) {
+        c.reason = "unknown";
+        c.what = "non-exception object thrown";
+    }
+    return c;
+}
+
+double
+backoffSeconds(const RetryPolicy &policy, int retry)
+{
+    double s = policy.backoff_base_s;
+    for (int i = 1; i < retry; ++i)
+        s *= 2.0;
+    return std::min(policy.backoff_cap_s, s);
+}
+
+std::string
+toHex(const Fingerprint &fp)
+{
+    char buf[36];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(fp.hi),
+                  static_cast<unsigned long long>(fp.lo));
+    return buf;
+}
+
+} // namespace mlps::exec

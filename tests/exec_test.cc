@@ -122,10 +122,18 @@ TEST(RunCache, HitMissAccounting)
     EXPECT_DOUBLE_EQ(hit->train.total_seconds, 42.0);
     EXPECT_EQ(cache.hits(), 1u);
 
+    // clear() drops entries only: the counters keep accumulating so
+    // an engine summary stays truthful across a clear.
     cache.clear();
     EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    // resetCounters() is the explicit statistics reset.
+    cache.resetCounters();
     EXPECT_EQ(cache.hits(), 0u);
     EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.preloaded(), 0u);
 }
 
 TEST(Engine, DeduplicatesWithinBatch)

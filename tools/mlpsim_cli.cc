@@ -10,6 +10,12 @@
  *   mlpsim characterize [--system NAME] [--jobs N]
  *   mlpsim trace <workload> [--system NAME] [--gpus N] [--out FILE]
  *   mlpsim faults <workload> [--mttf-hours H] [--seed S] [...]
+ *   mlpsim report [--out FILE] [--jobs N] [--cache-dir DIR]
+ *   mlpsim cache stats|verify|clear --cache-dir DIR
+ *
+ * Exit codes: 0 success, 2 usage error, 3 configuration error,
+ * 4 report written but degraded (some runs failed), 5 cache
+ * corruption detected by `cache verify`.
  */
 
 #include <cctype>
@@ -17,6 +23,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -36,6 +43,18 @@
 namespace {
 
 using namespace mlps;
+
+/** Exit codes; sibling tools and CI scripts match on these. */
+constexpr int kOk = 0;
+constexpr int kUsage = 2;    ///< bad invocation (missing args, ...)
+constexpr int kConfig = 3;   ///< bad configuration (unknown system, ...)
+constexpr int kDegraded = 4; ///< report written, but some runs failed
+constexpr int kCorrupt = 5;  ///< cache verify found corruption
+
+/** Invocation error: wrong arguments rather than wrong values. */
+struct UsageError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
 
 /** Tiny flag parser: positionals plus --key value / --switch. */
 struct Args {
@@ -150,6 +169,20 @@ jobsFrom(const Args &args)
     return jobs;
 }
 
+/**
+ * Build the engine of a sweep command: worker count from --jobs,
+ * durable journal from --cache-dir (omitted = in-memory only).
+ */
+exec::Engine
+makeEngine(const Args &args,
+           exec::ErrorPolicy policy = exec::ErrorPolicy::Throw)
+{
+    exec::ExecOptions eopts(jobsFrom(args));
+    eopts.cache_dir = args.get("cache-dir", "");
+    eopts.on_error = policy;
+    return exec::Engine(std::move(eopts));
+}
+
 int
 cmdList()
 {
@@ -189,7 +222,7 @@ int
 cmdRun(const Args &args)
 {
     if (args.positional.empty())
-        sim::fatal("run: need a workload name");
+        throw UsageError("run: need a workload name");
     sys::SystemConfig machine =
         systemByName(args.get("system", "DSS 8440"));
     core::Suite suite(machine);
@@ -297,14 +330,14 @@ int
 cmdScaling(const Args &args)
 {
     if (args.positional.empty())
-        sim::fatal("scaling: need workload names");
+        throw UsageError("scaling: need workload names");
     sys::SystemConfig machine =
         systemByName(args.get("system", "DSS 8440"));
     core::Suite suite(machine);
     std::vector<int> counts;
     for (int n = 1; n <= machine.num_gpus; n *= 2)
         counts.push_back(n);
-    exec::Engine engine(exec::ExecOptions{jobsFrom(args)});
+    exec::Engine engine = makeEngine(args);
     auto rows = suite.scalingStudy(args.positional, counts, &engine);
     std::printf("%-15s %12s %12s %8s", "workload", "P100 ref(min)",
                 "1 GPU(min)", "P-to-V");
@@ -325,12 +358,12 @@ int
 cmdSchedule(const Args &args)
 {
     if (args.positional.empty())
-        sim::fatal("schedule: need workload names");
+        throw UsageError("schedule: need workload names");
     sys::SystemConfig machine =
         systemByName(args.get("system", "DSS 8440"));
     int gpus = gpusFrom(args, machine, machine.num_gpus);
     core::Suite suite(machine);
-    exec::Engine engine(exec::ExecOptions{jobsFrom(args)});
+    exec::Engine engine = makeEngine(args);
     auto jobs = suite.jobSpecs(args.positional, gpus, &engine);
     auto naive = sched::naiveSchedule(jobs, gpus);
     auto opt = sched::optimalSchedule(jobs, gpus);
@@ -346,7 +379,7 @@ cmdCharacterize(const Args &args)
 {
     sys::SystemConfig machine =
         systemByName(args.get("system", "C4140 (K)"));
-    exec::Engine engine(exec::ExecOptions{jobsFrom(args)});
+    exec::Engine engine = makeEngine(args);
     auto rep = core::characterize(machine, gpusFrom(args, machine, 1),
                                   &engine);
     std::printf("%-15s %-10s %9s %9s %10s %10s\n", "workload", "suite",
@@ -370,7 +403,7 @@ int
 cmdTrace(const Args &args)
 {
     if (args.positional.empty())
-        sim::fatal("trace: need a workload name");
+        throw UsageError("trace: need a workload name");
     sys::SystemConfig machine =
         systemByName(args.get("system", "C4140 (K)"));
     core::Suite suite(machine);
@@ -394,12 +427,74 @@ cmdReport(const Args &args)
     std::printf("running the full study (takes a moment)...\n");
     core::ReportOptions ropts;
     ropts.jobs = jobsFrom(args);
-    exec::Engine engine(exec::ExecOptions{ropts.jobs});
+    // Capture, not Throw: a failed point degrades its table cell and
+    // lands in the report's appendix instead of aborting the study.
+    exec::Engine engine = makeEngine(args, exec::ErrorPolicy::Capture);
     if (!core::writeStudyReport(path, ropts, engine))
         sim::fatal("report: cannot write '%s'", path.c_str());
     std::printf("wrote %s\n", path.c_str());
     std::fprintf(stderr, "%s\n", engine.summary().c_str());
-    return 0;
+    const auto &degraded = engine.degradedRuns();
+    if (!degraded.empty()) {
+        std::fprintf(stderr,
+                     "mlpsim: error: report degraded, %zu run(s) "
+                     "failed:\n",
+                     degraded.size());
+        for (const auto &e : degraded)
+            std::fprintf(stderr, "  %s on %s (%d GPUs): %s: %s\n",
+                         e.workload.c_str(), e.system.c_str(),
+                         e.num_gpus, e.reason.c_str(), e.what.c_str());
+        return kDegraded;
+    }
+    return kOk;
+}
+
+int
+cmdCache(const Args &args)
+{
+    if (args.positional.empty())
+        throw UsageError(
+            "cache: need a subcommand (stats, verify or clear)");
+    const std::string &sub = args.positional[0];
+    std::string dir = args.get("cache-dir", "");
+    if (dir.empty())
+        throw UsageError("cache " + sub +
+                         ": --cache-dir DIR is required");
+
+    if (sub == "stats" || sub == "verify") {
+        exec::JournalVerifyReport v = exec::Journal::verify(dir);
+        if (!v.exists) {
+            std::printf("no journal at %s\n",
+                        exec::Journal::journalPath(dir).c_str());
+            return kOk;
+        }
+        std::printf("journal %s\n",
+                    exec::Journal::journalPath(dir).c_str());
+        std::printf("  %zu record(s), %llu of %llu bytes valid\n",
+                    v.valid_records,
+                    static_cast<unsigned long long>(v.valid_bytes),
+                    static_cast<unsigned long long>(v.total_bytes));
+        if (!v.corrupt()) {
+            std::printf("  integrity ok\n");
+            return kOk;
+        }
+        std::printf("  CORRUPT: %s\n", v.error.c_str());
+        if (sub == "verify") {
+            std::fprintf(stderr,
+                         "mlpsim: error: journal corrupt: %s\n",
+                         v.error.c_str());
+            return kCorrupt;
+        }
+        return kOk;
+    }
+    if (sub == "clear") {
+        std::uint64_t bytes = exec::Journal::clear(dir);
+        std::printf("removed %llu byte(s) from %s\n",
+                    static_cast<unsigned long long>(bytes),
+                    dir.c_str());
+        return kOk;
+    }
+    throw UsageError("cache: unknown subcommand '" + sub + "'");
 }
 
 void
@@ -412,14 +507,19 @@ usage()
         "             [--precision fp32|fp16|mixed] [--reference]\n"
         "             [--mttf-hours H [--checkpoint MIN] [--seed S]]\n"
         "  mlpsim scaling <workload...> [--system NAME] [--jobs N]\n"
+        "             [--cache-dir DIR]\n"
         "  mlpsim schedule [--gpus N] [--system NAME] [--jobs N]\n"
-        "             <workload...>\n"
+        "             [--cache-dir DIR] <workload...>\n"
         "  mlpsim characterize [--system NAME] [--gpus N] [--jobs N]\n"
+        "             [--cache-dir DIR]\n"
         "  mlpsim trace <workload> [--system NAME] [--gpus N]\n"
         "             [--iterations K] [--out FILE]\n"
-        "  mlpsim report [--out FILE] [--jobs N]\n"
+        "  mlpsim report [--out FILE] [--jobs N] [--cache-dir DIR]\n"
+        "  mlpsim cache stats|verify|clear --cache-dir DIR\n"
         "  mlpsim faults [--system NAME] [--gpus N] [--mttf-hours H]\n"
-        "             [--hours H] [--seed S] [--trace FILE]\n");
+        "             [--hours H] [--seed S] [--trace FILE]\n\n"
+        "Exit codes: 0 ok, 2 usage, 3 configuration, 4 degraded "
+        "report, 5 corrupt cache.\n");
 }
 
 } // namespace
@@ -429,7 +529,7 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         usage();
-        return 2;
+        return kUsage;
     }
     std::string cmd = argv[1];
     Args args = Args::parse(argc, argv, 2);
@@ -448,12 +548,18 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (cmd == "report")
             return cmdReport(args);
+        if (cmd == "cache")
+            return cmdCache(args);
         if (cmd == "faults")
             return cmdFaults(args);
-        usage();
-        return 2;
+        throw UsageError("unknown command '" + cmd + "'");
+    } catch (const UsageError &e) {
+        std::fprintf(stderr, "mlpsim: error: %s\n", e.what());
+        std::fprintf(stderr,
+                     "run 'mlpsim' without arguments for usage\n");
+        return kUsage;
     } catch (const sim::FatalError &e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        std::fprintf(stderr, "mlpsim: error: %s\n", e.what());
+        return kConfig;
     }
 }
