@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Extension beyond the paper: the interconnect under fabric faults.
+ * The paper's Figure 5 compares healthy fabrics; this bench asks what
+ * the same collectives cost when the fabric is sick. Part 1 prices a
+ * 4-GPU ring all-reduce healthy, with degraded NVLink bandwidth, and
+ * with an NVLink edge hard-down (forcing a ring rebuild / reroute).
+ * Part 2 replays a generated link-fault trace against a training run
+ * and reports the degraded-fabric overhead. Part 3 measures the
+ * simulator-side cost of a topology epoch: mutate a link, re-validate,
+ * and re-price the collective.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "fault/link_fault.h"
+#include "models/zoo.h"
+#include "net/allreduce.h"
+#include "sys/machines.h"
+#include "train/fabric_faults.h"
+
+int
+main()
+{
+    using namespace mlps;
+    constexpr std::uint64_t kSeed = 42;
+
+    // Part 1: all-reduce cost healthy vs degraded vs rerouted.
+    std::printf("Ring all-reduce on C4140 (M), 4 GPUs\n"
+                "(healthy / NVLink at half bandwidth / one NVLink "
+                "edge hard-down)\n\n");
+    std::printf("%-12s %12s %12s %12s %10s\n", "payload",
+                "healthy(ms)", "half-bw(ms)", "edge-down(ms)",
+                "reroutes");
+    for (double mib : {16.0, 64.0, 256.0, 1024.0}) {
+        double bytes = mib * 1024.0 * 1024.0;
+
+        sys::SystemConfig healthy = sys::c4140M();
+        auto h = net::ringAllReduce(healthy.topo, healthy.gpu_nodes,
+                                    bytes);
+
+        sys::SystemConfig half = sys::c4140M();
+        sys::applyDegradedLinks(half, "nvlink:0.5");
+        auto d = net::ringAllReduce(half.topo, half.gpu_nodes, bytes);
+
+        sys::SystemConfig cut = sys::withNvlinkEdgeDown(sys::c4140M());
+        auto r = net::ringAllReduce(cut.topo, cut.gpu_nodes, bytes);
+
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.0f MiB", mib);
+        std::printf("%-12s %12.3f %12.3f %12.3f %10d\n", label,
+                    h.seconds * 1e3, d.seconds * 1e3, r.seconds * 1e3,
+                    r.reroutes);
+    }
+
+    // One cut is free on a full mesh: a Hamiltonian cycle over the
+    // surviving NVLink edges always remains, so the rebuilt ring
+    // never detours. Cut three edges and the surviving NVLink graph
+    // is a path — the ring is forced to reroute hops, which BFS
+    // sends over surviving multi-hop NVLink routes (per-hop latency,
+    // not a bandwidth cliff; the half-bw column above shows where
+    // the real cost of a sick fabric lives).
+    std::printf("\nThree NVLink edges down on C4140 (M) "
+                "(surviving NVLink graph is a path)\n\n");
+    std::printf("%-12s %12s %13s %10s\n", "payload", "healthy(ms)",
+                "3-down(ms)", "reroutes");
+    for (double mib : {64.0, 256.0}) {
+        double bytes = mib * 1024.0 * 1024.0;
+        sys::SystemConfig healthy = sys::c4140M();
+        auto h = net::ringAllReduce(healthy.topo, healthy.gpu_nodes,
+                                    bytes);
+        sys::SystemConfig cut = sys::c4140M();
+        sys::applyDegradedLinks(
+            cut, "GPU0-GPU1:down,GPU1-GPU2:down,GPU2-GPU3:down");
+        auto r = net::ringAllReduce(cut.topo, cut.gpu_nodes, bytes);
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.0f MiB", mib);
+        std::printf("%-12s %12.3f %13.3f %10d\n", label,
+                    h.seconds * 1e3, r.seconds * 1e3, r.reroutes);
+    }
+
+    // Part 2: a training run under a generated link-fault trace.
+    std::printf("\nResNet-50 (MXNet) on C4140 (M), 4 GPUs, link-fault "
+                "replay, seed %llu\n\n",
+                static_cast<unsigned long long>(kSeed));
+    std::printf("%-9s %10s %10s %9s %7s %7s %9s %9s\n", "MTTF(h)",
+                "base(min)", "exp(min)", "overhead", "epochs",
+                "stalls", "reroutes", "goodput");
+    sys::SystemConfig box = sys::c4140M();
+    auto spec = *models::findWorkload("MLPf_Res50_MX");
+    train::RunOptions opts;
+    opts.num_gpus = 4;
+    for (double mttf : {0.25, 1.0, 6.0, 48.0}) {
+        fault::LinkFaultModel model(
+            fault::LinkFaultConfig::datacenterProfile(mttf), kSeed);
+        auto ft = train::applyLinkFaultTrace(box, spec, opts, model);
+        std::printf("%-9.2f %10.1f %10.1f %8.1f%% %7d %7d %9d %9.3f\n",
+                    mttf, ft.base.total_seconds / 60.0,
+                    ft.expected_seconds / 60.0,
+                    100.0 * ft.degraded_overhead_s /
+                        ft.base.total_seconds,
+                    ft.topology_epochs, ft.stalls, ft.max_reroutes,
+                    ft.goodput());
+    }
+
+    // Part 3: simulator cost per topology epoch (mutate + validate +
+    // re-price the collective).
+    std::printf("\nSimulator overhead per topology epoch "
+                "(mutate one NVLink edge, validate, re-price a "
+                "64 MiB all-reduce)\n\n");
+    sys::SystemConfig scratch = sys::c4140M();
+    int nv_edge = -1;
+    for (int e = 0; e < scratch.topo.edgeCount(); ++e)
+        if (scratch.topo.link(e).kind == net::LinkKind::NvLink) {
+            nv_edge = e;
+            break;
+        }
+    constexpr int kEpochs = 2000;
+    double sink = 0.0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kEpochs; ++i) {
+        scratch.topo.setLinkDown(nv_edge, i % 2 == 0);
+        scratch.topo.validate();
+        sink += net::ringAllReduce(scratch.topo, scratch.gpu_nodes,
+                                   64.0 * 1024.0 * 1024.0)
+                    .seconds;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() /
+        kEpochs;
+    std::printf("%d epochs, %.1f us/epoch (checksum %.3f)\n", kEpochs,
+                us, sink);
+    return 0;
+}

@@ -262,6 +262,59 @@ appendFaultTolerance(std::ostringstream &os, Suite &suite,
     os << "\n";
 }
 
+void
+appendDegradedFabric(std::ostringstream &os, Suite &suite,
+                     exec::Engine &engine)
+{
+    // Healthy NVLink mesh, the same mesh with one NVLink edge dead,
+    // the same mesh with every PCIe link downtrained, and the
+    // CPU-PCIe box as the floor. The ordering healthy <= degraded <=
+    // CPU-PCIe is modeled, not asserted — the collective rebuilds its
+    // ring and falls back through fabric tiers on its own.
+    std::vector<sys::SystemConfig> systems = {
+        sys::c4140M(),
+        sys::withNvlinkEdgeDown(sys::c4140M(), 0),
+        sys::withPcieDowntrained(sys::c4140M(), 0.25),
+        sys::t640(),
+    };
+    os << "## Fig. 5 under degraded fabric (4 GPUs, minutes)\n\n"
+       << "| Benchmark |";
+    for (const auto &s : systems)
+        os << " " << s.name << " |";
+    os << "\n|---|";
+    for (std::size_t i = 0; i < systems.size(); ++i)
+        os << "---|";
+    os << "\n";
+
+    std::vector<exec::RunRequest> batch;
+    for (const auto &name : mlperfNames()) {
+        for (const auto &s : systems) {
+            train::RunOptions opts;
+            opts.num_gpus = 4;
+            exec::RunRequest req = suite.request(name, opts);
+            req.system = s;
+            batch.push_back(std::move(req));
+        }
+    }
+    auto results = engine.run(std::move(batch));
+
+    std::size_t i = 0;
+    for (const auto &name : mlperfNames()) {
+        os << "| " << name << " |";
+        for (std::size_t c = 0; c < systems.size(); ++c) {
+            const exec::RunResult &r = results[i++];
+            os << " "
+               << cell(r.train.totalMinutes(), "%.1f",
+                       r.error ? r.error->reason : std::string())
+               << " |";
+        }
+        os << "\n";
+    }
+    os << "\nThe dead-NVLink column rebuilds the all-reduce ring over "
+          "surviving links; the downtrained column keeps its routes "
+          "but loses bandwidth.\n\n";
+}
+
 /**
  * Append the "Degraded runs" appendix for failures captured while
  * rendering this document: the slice of the engine's degraded log
@@ -349,6 +402,8 @@ generateStudyReport(const ReportOptions &opts, exec::Engine &engine)
         appendCharacterization(os, engine);
     if (opts.include_faults)
         appendFaultTolerance(os, suite, engine);
+    if (opts.include_degraded_fabric)
+        appendDegradedFabric(os, suite, engine);
     appendDegradedRuns(os, engine, degraded_mark);
     return os.str();
 }

@@ -33,6 +33,13 @@ struct ReportOptions {
     bool include_characterization = true;
     bool include_faults = true;
     /**
+     * "Fig. 5 under degraded fabric": the topology study re-run with
+     * one NVLink edge hard-down and with downtrained PCIe, next to
+     * the healthy NVLink and CPU-PCIe columns — how much of the
+     * NVLink advantage survives a sick fabric.
+     */
+    bool include_degraded_fabric = true;
+    /**
      * Executor workers; 0 defers to the MLPSIM_JOBS environment
      * variable, else hardware concurrency. Ignored when an engine is
      * passed explicitly.

@@ -138,6 +138,10 @@ mixInto(HashStream &h, const net::Topology &t)
         h.mixInt(a);
         h.mixInt(b);
         mixInto(h, t.link(e));
+        // Dynamic link state changes every modeled transfer, so a
+        // degraded topology must never alias the healthy cache entry.
+        h.mixInt(t.linkDown(e) ? 1 : 0);
+        h.mixDouble(t.linkBandwidthScale(e));
     }
 }
 

@@ -307,6 +307,7 @@ encodeJournalPayload(const Fingerprint &key, const RunResult &result)
     putF64(b, t.iter.iteration_s);
     putU32(b, static_cast<std::uint32_t>(t.iter.kernel_launches));
     putU32(b, static_cast<std::uint32_t>(t.iter.micro_batches));
+    putU32(b, static_cast<std::uint32_t>(t.iter.reroutes));
 
     putF64(b, t.usage.cpu_util_pct);
     putF64(b, t.usage.gpu_util_pct_sum);
@@ -366,6 +367,7 @@ decodeJournalPayload(const std::string &payload, Fingerprint *key,
     t.iter.iteration_s = r.f64();
     t.iter.kernel_launches = static_cast<int>(r.u32());
     t.iter.micro_batches = static_cast<int>(r.u32());
+    t.iter.reroutes = static_cast<int>(r.u32());
 
     t.usage.cpu_util_pct = r.f64();
     t.usage.gpu_util_pct_sum = r.f64();

@@ -73,7 +73,7 @@ struct JournalVerifyReport {
 class Journal
 {
   public:
-    static constexpr std::uint32_t kVersion = 1;
+    static constexpr std::uint32_t kVersion = 2;
 
     /**
      * Open (creating the directory and an empty journal if needed)

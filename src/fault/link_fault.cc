@@ -1,0 +1,289 @@
+#include "fault/link_fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "sim/event_queue.h"
+#include "sim/logger.h"
+
+namespace mlps::fault {
+
+namespace {
+
+constexpr LinkFaultKind kAllLinkKinds[kNumLinkFaultKinds] = {
+    LinkFaultKind::NvLinkLaneDegrade,
+    LinkFaultKind::PcieDowntrain,
+    LinkFaultKind::LinkDown,
+    LinkFaultKind::ThermalThrottle,
+};
+
+/** Exponential deviate with the given mean. */
+double
+exponential(sim::Rng &rng, double mean)
+{
+    double u = std::max(rng.uniform(), 1e-12);
+    return -mean * std::log(u);
+}
+
+/** Edge ids a class can strike, in deterministic (id) order. */
+std::vector<int>
+eligibleEdges(LinkFaultKind kind, const net::Topology &topo)
+{
+    std::vector<int> out;
+    for (int e = 0; e < topo.edgeCount(); ++e) {
+        net::LinkKind lk = topo.link(e).kind;
+        bool ok = false;
+        switch (kind) {
+          case LinkFaultKind::NvLinkLaneDegrade:
+            ok = lk == net::LinkKind::NvLink;
+            break;
+          case LinkFaultKind::PcieDowntrain:
+            ok = lk == net::LinkKind::Pcie3;
+            break;
+          case LinkFaultKind::LinkDown:
+            // Hard failures hit the GPU fabric; UPI is part of the
+            // CPU package and modeled as always up.
+            ok = lk != net::LinkKind::Upi;
+            break;
+          case LinkFaultKind::ThermalThrottle:
+            break;
+        }
+        if (ok)
+            out.push_back(e);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toString(LinkFaultKind kind)
+{
+    switch (kind) {
+      case LinkFaultKind::NvLinkLaneDegrade: return "nvlink-lane-degrade";
+      case LinkFaultKind::PcieDowntrain: return "pcie-downtrain";
+      case LinkFaultKind::LinkDown: return "link-down";
+      case LinkFaultKind::ThermalThrottle: return "thermal-throttle";
+    }
+    sim::panic("toString: bad LinkFaultKind %d", static_cast<int>(kind));
+}
+
+const LinkFaultClassConfig &
+LinkFaultConfig::classFor(LinkFaultKind kind) const
+{
+    return const_cast<LinkFaultConfig *>(this)->classFor(kind);
+}
+
+LinkFaultClassConfig &
+LinkFaultConfig::classFor(LinkFaultKind kind)
+{
+    switch (kind) {
+      case LinkFaultKind::NvLinkLaneDegrade: return nvlink_lane_degrade;
+      case LinkFaultKind::PcieDowntrain: return pcie_downtrain;
+      case LinkFaultKind::LinkDown: return link_down;
+      case LinkFaultKind::ThermalThrottle: return thermal_throttle;
+    }
+    sim::panic("classFor: bad LinkFaultKind %d", static_cast<int>(kind));
+}
+
+LinkFaultConfig
+LinkFaultConfig::datacenterProfile(double mttf_hours)
+{
+    if (mttf_hours <= 0.0)
+        sim::fatal("LinkFaultConfig: MTTF %g hours must be positive",
+                   mttf_hours);
+    // Relative arrival weights (sum to 1 so the aggregate rate is
+    // 1/mttf_hours): lane drops and downtraining dominate, hard
+    // failures are rare, throttling sits in between.
+    LinkFaultConfig cfg;
+    cfg.nvlink_lane_degrade = {mttf_hours / 0.40, 300.0, 0.50};
+    cfg.pcie_downtrain = {mttf_hours / 0.25, 600.0, 0.50};
+    cfg.thermal_throttle = {mttf_hours / 0.28, 180.0, 0.70};
+    cfg.link_down = {mttf_hours / 0.07, 120.0, 0.0};
+    return cfg;
+}
+
+bool
+LinkFaultConfig::allDisabled() const
+{
+    for (LinkFaultKind kind : kAllLinkKinds) {
+        if (classFor(kind).mttf_hours > 0.0)
+            return false;
+    }
+    return true;
+}
+
+void
+LinkFaultConfig::validate() const
+{
+    for (LinkFaultKind kind : kAllLinkKinds) {
+        const LinkFaultClassConfig &c = classFor(kind);
+        if (c.mttf_hours <= 0.0)
+            continue; // disabled
+        if (c.mean_duration_s <= 0.0)
+            sim::fatal("LinkFaultConfig: %s needs a positive mean "
+                       "duration (got %g s)",
+                       toString(kind).c_str(), c.mean_duration_s);
+        if (kind == LinkFaultKind::LinkDown)
+            continue; // scale unused (link carries nothing)
+        if (c.mean_bandwidth_scale <= 0.0 ||
+            c.mean_bandwidth_scale >= 1.0)
+            sim::fatal("LinkFaultConfig: %s bandwidth scale %g out of "
+                       "(0, 1)",
+                       toString(kind).c_str(), c.mean_bandwidth_scale);
+    }
+}
+
+LinkFaultModel::LinkFaultModel(const LinkFaultConfig &config,
+                               std::uint64_t seed)
+    : config_(config), seed_(seed)
+{
+    config_.validate();
+}
+
+std::vector<LinkFaultEvent>
+LinkFaultModel::generate(double horizon_s, const net::Topology &topo) const
+{
+    if (horizon_s < 0.0)
+        sim::fatal("LinkFaultModel: negative horizon %g s", horizon_s);
+    if (topo.nodeCount() == 0)
+        sim::fatal("LinkFaultModel: empty topology");
+
+    std::vector<LinkFaultEvent> trace;
+    if (config_.allDisabled() || horizon_s == 0.0)
+        return trace;
+
+    std::vector<net::NodeId> gpus = topo.gpus();
+
+    // One decorrelated stream per class, forked in a fixed order
+    // (including disabled classes and classes with no eligible
+    // target) so a class's arrivals never depend on its siblings.
+    sim::Rng root(seed_);
+    sim::Simulation simulation;
+    const sim::SimTime horizon = sim::fromSeconds(horizon_s);
+
+    // Closures and streams outlive the scheduling loop; a closure
+    // captures raw pointers into these pools (never a handle to
+    // itself — that cycle would leak).
+    std::vector<std::unique_ptr<sim::Rng>> streams;
+    std::vector<std::unique_ptr<std::function<void()>>> arrivals;
+    std::vector<std::unique_ptr<std::vector<int>>> targets;
+
+    for (LinkFaultKind kind : kAllLinkKinds) {
+        sim::Rng stream = root.fork();
+        const LinkFaultClassConfig &cls = config_.classFor(kind);
+        if (cls.mttf_hours <= 0.0)
+            continue;
+        bool gpu_scoped = kind == LinkFaultKind::ThermalThrottle;
+        std::vector<int> edges = eligibleEdges(kind, topo);
+        if (!gpu_scoped && edges.empty())
+            continue; // nothing to strike on this box
+        if (gpu_scoped && gpus.empty())
+            continue;
+        double mttf_s = cls.mttf_hours * 3600.0;
+
+        streams.push_back(std::make_unique<sim::Rng>(stream));
+        sim::Rng *rng = streams.back().get();
+        targets.push_back(std::make_unique<std::vector<int>>(edges));
+        std::vector<int> *eligible = targets.back().get();
+        arrivals.push_back(std::make_unique<std::function<void()>>());
+        std::function<void()> *arrive = arrivals.back().get();
+        int num_gpus = static_cast<int>(gpus.size());
+        *arrive = [&trace, &simulation, rng, arrive, eligible, kind,
+                   cls, mttf_s, num_gpus, gpu_scoped, horizon]() {
+            LinkFaultEvent ev;
+            ev.kind = kind;
+            ev.start_s = sim::toSeconds(simulation.now());
+            ev.duration_s = exponential(*rng, cls.mean_duration_s);
+            if (kind == LinkFaultKind::LinkDown) {
+                ev.bandwidth_scale = 0.0;
+            } else {
+                ev.bandwidth_scale = std::clamp(
+                    cls.mean_bandwidth_scale * rng->lognormalNoise(0.25),
+                    0.05, 0.95);
+            }
+            if (gpu_scoped) {
+                ev.gpu = static_cast<int>(rng->below(
+                    static_cast<std::uint64_t>(num_gpus)));
+            } else {
+                ev.edge = (*eligible)[rng->below(
+                    static_cast<std::uint64_t>(eligible->size()))];
+            }
+            trace.push_back(ev);
+
+            sim::SimTime gap =
+                sim::fromSeconds(exponential(*rng, mttf_s));
+            if (simulation.now() + gap <= horizon)
+                simulation.schedule(gap, *arrive);
+        };
+        sim::SimTime first = sim::fromSeconds(exponential(*rng, mttf_s));
+        if (first <= horizon)
+            simulation.scheduleAt(first, *arrive);
+    }
+
+    simulation.runUntil(horizon);
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const LinkFaultEvent &a, const LinkFaultEvent &b) {
+                         return a.start_s < b.start_s;
+                     });
+    return trace;
+}
+
+double
+applyLinkFaults(net::Topology &topo,
+                const std::vector<LinkFaultEvent> &trace, double at_s)
+{
+    topo.resetLinkState();
+    double slowest = 1.0;
+    for (const LinkFaultEvent &ev : trace) {
+        if (!ev.activeAt(at_s))
+            continue;
+        switch (ev.kind) {
+          case LinkFaultKind::LinkDown:
+            topo.setLinkDown(ev.edge, true);
+            break;
+          case LinkFaultKind::NvLinkLaneDegrade:
+          case LinkFaultKind::PcieDowntrain:
+            // Stacking degradations on one edge compound.
+            topo.setLinkBandwidthScale(
+                ev.edge, topo.linkBandwidthScale(ev.edge) *
+                             ev.bandwidth_scale);
+            break;
+          case LinkFaultKind::ThermalThrottle:
+            slowest = std::min(slowest, ev.bandwidth_scale);
+            break;
+        }
+    }
+    return slowest;
+}
+
+std::string
+describeLinkTrace(const std::vector<LinkFaultEvent> &trace,
+                  const net::Topology &topo)
+{
+    std::ostringstream os;
+    char line[192];
+    std::snprintf(line, sizeof(line), "%10s  %-20s %10s %7s  %s\n",
+                  "t (s)", "fault", "dur (s)", "scale", "target");
+    os << line;
+    for (const LinkFaultEvent &ev : trace) {
+        std::string target;
+        if (ev.edge >= 0) {
+            auto [a, b] = topo.endpoints(ev.edge);
+            target = topo.name(a) + " <-> " + topo.name(b);
+        } else if (ev.gpu >= 0) {
+            target = "GPU" + std::to_string(ev.gpu);
+        }
+        std::snprintf(line, sizeof(line),
+                      "%10.1f  %-20s %10.1f %7.2f  %s\n", ev.start_s,
+                      toString(ev.kind).c_str(), ev.duration_s,
+                      ev.bandwidth_scale, target.c_str());
+        os << line;
+    }
+    return os.str();
+}
+
+} // namespace mlps::fault

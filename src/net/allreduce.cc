@@ -8,6 +8,80 @@
 
 namespace mlps::net {
 
+namespace {
+
+/** Lowest-id up edge directly joining a and b, or -1. */
+int
+directUpEdge(const Topology &topo, NodeId a, NodeId b)
+{
+    for (int e = 0; e < topo.edgeCount(); ++e) {
+        auto [x, y] = topo.endpoints(e);
+        if (((x == a && y == b) || (x == b && y == a)) &&
+            !topo.linkDown(e))
+            return e;
+    }
+    return -1;
+}
+
+/** True when some (possibly down) edge directly joins a and b. */
+bool
+directEdgeExists(const Topology &topo, NodeId a, NodeId b)
+{
+    for (int e = 0; e < topo.edgeCount(); ++e) {
+        auto [x, y] = topo.endpoints(e);
+        if ((x == a && y == b) || (x == b && y == a))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<NodeId>
+survivingRingOrder(const Topology &topo, const std::vector<NodeId> &gpus)
+{
+    // Healthy fabric: keep the caller's order so the fault-oblivious
+    // model's results stay bit-identical. Bandwidth-only degradation
+    // (no link down) also keeps the order — routes are unchanged.
+    if (gpus.size() <= 2 || !topo.anyLinkDown())
+        return gpus;
+
+    // Greedy nearest-neighbour re-chain over the surviving fabric:
+    // from each GPU pick the unvisited peer with a direct up link
+    // (NVLink preferred), else the fewest-hop route. Deterministic:
+    // ties break on position in the caller's order.
+    std::vector<NodeId> order;
+    std::vector<bool> used(gpus.size(), false);
+    order.push_back(gpus[0]);
+    used[0] = true;
+    while (order.size() < gpus.size()) {
+        NodeId cur = order.back();
+        int best = -1;
+        long best_cost = std::numeric_limits<long>::max();
+        for (std::size_t i = 0; i < gpus.size(); ++i) {
+            if (used[i])
+                continue;
+            long cost;
+            int de = directUpEdge(topo, cur, gpus[i]);
+            if (de >= 0) {
+                cost = topo.link(de).kind == LinkKind::NvLink ? 0 : 1;
+            } else {
+                auto p = topo.route(cur, gpus[i]);
+                // Disconnected pair: poison cost, picked only if
+                // nothing else remains (flow sim will then report it).
+                cost = p ? 10 + p->hops() : 1000000;
+            }
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = static_cast<int>(i);
+            }
+        }
+        order.push_back(gpus[best]);
+        used[best] = true;
+    }
+    return order;
+}
+
 AllReduceResult
 ringAllReduce(const Topology &topo, const std::vector<NodeId> &gpus,
               double bytes, const AllReduceParams &params)
@@ -35,18 +109,33 @@ ringAllReduce(const Topology &topo, const std::vector<NodeId> &gpus,
     double per_step_lat_us =
         staged ? params.staged_step_overhead_us : params.step_overhead_us;
 
+    // With links down, rebuild the ring over the surviving fabric and
+    // count hops that lost their direct link (the flow simulator then
+    // routes them around the fault).
+    std::vector<NodeId> order = survivingRingOrder(topo, gpus);
+    if (topo.anyLinkDown()) {
+        for (int i = 0; i < n; ++i) {
+            NodeId a = order[i];
+            NodeId b = order[(i + 1) % n];
+            if (directEdgeExists(topo, a, b) &&
+                directUpEdge(topo, a, b) < 0)
+                ++res.reroutes;
+        }
+    }
+
     // Every step has identical flow structure (each GPU sends one chunk
     // to its successor), so simulate one step and multiply. Bucketing
     // does not change the bandwidth term (same total bytes) but pays
     // the per-step latency once per bucket.
     FlowSimulator fsim(topo);
     for (int i = 0; i < n; ++i)
-        fsim.addFlow(gpus[i], gpus[(i + 1) % n], chunk);
+        fsim.addFlow(order[i], order[(i + 1) % n], chunk);
     double step_s = fsim.run() / derate;
 
     res.seconds = steps * step_s +
                   static_cast<double>(buckets) * steps *
                       per_step_lat_us * 1e-6;
+    res.seconds *= std::max(params.slowest_participant_scale, 1.0);
     res.nvlink_bytes = steps * fsim.bytesOnKind(LinkKind::NvLink);
     res.pcie_bytes = steps * fsim.bytesOnKind(LinkKind::Pcie3);
     res.upi_bytes = steps * fsim.bytesOnKind(LinkKind::Upi);
@@ -97,6 +186,7 @@ treeAllReduce(const Topology &topo, const std::vector<NodeId> &gpus,
     res.seconds = 2.0 * reduce_s +
                   static_cast<double>(buckets) * 2.0 * rounds *
                       per_round_lat_us * 1e-6;
+    res.seconds *= std::max(params.slowest_participant_scale, 1.0);
     return res;
 }
 

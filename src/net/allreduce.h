@@ -32,6 +32,11 @@ struct AllReduceResult {
     double pcie_bytes = 0.0;
     /** Bytes that crossed UPI links, summed over links. */
     double upi_bytes = 0.0;
+    /**
+     * Ring hops that lost their direct link to a fault and were
+     * routed around it (0 on a healthy fabric).
+     */
+    int reroutes = 0;
 };
 
 /** Tunables of the collective model. */
@@ -56,7 +61,24 @@ struct AllReduceParams {
      * copies that reach only a fraction of the PCIe link rate.
      */
     double staged_bw_derate = 0.55;
+    /**
+     * Straggler stretch: a ring (or tree) collective completes at the
+     * pace of its slowest participant, so a thermally-throttled GPU
+     * stretches every step. 1.0 = no straggler; values < 1 are
+     * treated as 1.
+     */
+    double slowest_participant_scale = 1.0;
 };
+
+/**
+ * Ring order over the surviving fabric. On a healthy topology this
+ * returns 'gpus' unchanged (so healthy results are bit-identical to
+ * the fault-oblivious model). With links down it greedily re-chains
+ * the ring to prefer direct surviving links — NVLink first — so the
+ * collective avoids multi-hop detours where the fabric still allows.
+ */
+std::vector<NodeId> survivingRingOrder(const Topology &topo,
+                                       const std::vector<NodeId> &gpus);
 
 /**
  * Ring all-reduce of 'bytes' per GPU across the given GPU set.

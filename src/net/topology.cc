@@ -147,6 +147,8 @@ Topology::bfs(NodeId from, NodeId to,
                    (edges_[e2].link.kind == LinkKind::NvLink);
         });
         for (int e : order) {
+            if (edges_[e].down)
+                continue; // a down link carries no traffic, ever
             if (allowed && !(*allowed)(e))
                 continue;
             NodeId other = edges_[e].a == n ? edges_[e].b : edges_[e].a;
@@ -187,7 +189,7 @@ Topology::pathBandwidth(const Path &p) const
         return 0.0;
     double bw = std::numeric_limits<double>::infinity();
     for (int e : p.edges)
-        bw = std::min(bw, link(e).effectiveBytesPerSec());
+        bw = std::min(bw, effectiveLinkBytesPerSec(e));
     return bw;
 }
 
@@ -280,9 +282,162 @@ Topology::describe() const
         const Edge &edge = edges_[e];
         os << nodes_[edge.a].name << " <-> " << nodes_[edge.b].name
            << "  [" << toString(edge.link.kind) << " "
-           << edge.link.gbps << " GB/s]\n";
+           << edge.link.gbps << " GB/s";
+        if (edge.down)
+            os << ", DOWN";
+        else if (edge.bandwidth_scale != 1.0)
+            os << ", x" << edge.bandwidth_scale;
+        os << "]\n";
     }
     return os.str();
+}
+
+void
+Topology::checkEdge(int edge) const
+{
+    if (edge < 0 || edge >= edgeCount())
+        sim::fatal("Topology: edge id %d out of range [0,%d)", edge,
+                   edgeCount());
+}
+
+void
+Topology::setLinkDown(int edge, bool down)
+{
+    checkEdge(edge);
+    if (edges_[edge].down == down)
+        return;
+    edges_[edge].down = down;
+    ++epoch_;
+}
+
+void
+Topology::setLinkBandwidthScale(int edge, double scale)
+{
+    checkEdge(edge);
+    if (!(scale > 0.0))
+        sim::fatal("Topology: bandwidth scale %g on edge %d must be "
+                   "positive (use setLinkDown for a dead link)",
+                   scale, edge);
+    if (edges_[edge].bandwidth_scale == scale)
+        return;
+    edges_[edge].bandwidth_scale = scale;
+    ++epoch_;
+}
+
+bool
+Topology::linkDown(int edge) const
+{
+    checkEdge(edge);
+    return edges_[edge].down;
+}
+
+double
+Topology::linkBandwidthScale(int edge) const
+{
+    checkEdge(edge);
+    return edges_[edge].bandwidth_scale;
+}
+
+double
+Topology::effectiveLinkBytesPerSec(int edge) const
+{
+    checkEdge(edge);
+    const Edge &e = edges_[edge];
+    if (e.down)
+        return 0.0;
+    return e.link.effectiveBytesPerSec() * e.bandwidth_scale;
+}
+
+void
+Topology::resetLinkState()
+{
+    for (Edge &e : edges_) {
+        if (e.down || e.bandwidth_scale != 1.0) {
+            e.down = false;
+            e.bandwidth_scale = 1.0;
+            ++epoch_;
+        }
+    }
+}
+
+bool
+Topology::degraded() const
+{
+    for (const Edge &e : edges_) {
+        if (e.down || e.bandwidth_scale != 1.0)
+            return true;
+    }
+    return false;
+}
+
+bool
+Topology::anyLinkDown() const
+{
+    for (const Edge &e : edges_) {
+        if (e.down)
+            return true;
+    }
+    return false;
+}
+
+void
+Topology::validate() const
+{
+    if (nodes_.empty())
+        sim::fatal("Topology: no nodes");
+    for (int e = 0; e < edgeCount(); ++e) {
+        const Edge &edge = edges_[e];
+        if (edge.a < 0 || edge.a >= nodeCount() || edge.b < 0 ||
+            edge.b >= nodeCount())
+            sim::fatal("Topology: edge %d has dangling endpoint "
+                       "(%d <-> %d, %d nodes exist)",
+                       e, edge.a, edge.b, nodeCount());
+        if (!(edge.link.gbps > 0.0))
+            sim::fatal("Topology: edge %d (%s <-> %s) has non-positive "
+                       "bandwidth %g GB/s",
+                       e, nodes_[edge.a].name.c_str(),
+                       nodes_[edge.b].name.c_str(), edge.link.gbps);
+        if (!(edge.link.efficiency > 0.0))
+            sim::fatal("Topology: edge %d (%s <-> %s) has non-positive "
+                       "efficiency %g",
+                       e, nodes_[edge.a].name.c_str(),
+                       nodes_[edge.b].name.c_str(),
+                       edge.link.efficiency);
+        if (!(edge.bandwidth_scale > 0.0))
+            sim::fatal("Topology: edge %d (%s <-> %s) has non-positive "
+                       "bandwidth scale %g",
+                       e, nodes_[edge.a].name.c_str(),
+                       nodes_[edge.b].name.c_str(), edge.bandwidth_scale);
+    }
+    // Connectivity over *up* edges: one dead link must not strand a
+    // node, or routing (and therefore every transfer) silently fails.
+    std::vector<bool> seen(nodes_.size(), false);
+    std::deque<NodeId> frontier;
+    frontier.push_back(0);
+    seen[0] = true;
+    int reached = 1;
+    while (!frontier.empty()) {
+        NodeId n = frontier.front();
+        frontier.pop_front();
+        for (int e : nodes_[n].edges) {
+            if (edges_[e].down)
+                continue;
+            NodeId other = edges_[e].a == n ? edges_[e].b : edges_[e].a;
+            if (seen[other])
+                continue;
+            seen[other] = true;
+            ++reached;
+            frontier.push_back(other);
+        }
+    }
+    if (reached != nodeCount()) {
+        for (NodeId n = 0; n < nodeCount(); ++n) {
+            if (!seen[n])
+                sim::fatal("Topology: node '%s' unreachable over up "
+                           "links (%d of %d nodes connected)",
+                           nodes_[n].name.c_str(), reached, nodeCount());
+        }
+    }
 }
 
 } // namespace mlps::net

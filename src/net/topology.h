@@ -7,6 +7,15 @@
  * what path does a host-to-device copy take, can two GPUs do GPUDirect
  * peer-to-peer (no CPU root complex on the path), and what fabric is
  * available for a collective over a GPU set.
+ *
+ * Edges additionally carry *dynamic* state — up/down and a bandwidth
+ * multiplier — so a topology can degrade (NVLink lane drops, PCIe
+ * downtraining, hard link failures) without rebuilding the graph.
+ * Routing, P2P legality, and fabric selection all re-answer against
+ * the current state: a down link is never routed over, and degraded
+ * bandwidth flows into every path/flow computation. Each state
+ * mutation bumps an epoch counter so cached per-topology derivations
+ * know when to recompute.
  */
 
 #ifndef MLPSIM_NET_TOPOLOGY_H
@@ -126,6 +135,51 @@ class Topology
     /** Render an adjacency summary (for Table III dumps). */
     std::string describe() const;
 
+    // -- Dynamic link state ------------------------------------------------
+
+    /** Take a link down (no route may use it) or bring it back up. */
+    void setLinkDown(int edge, bool down);
+
+    /**
+     * Scale a link's bandwidth (1.0 = healthy). Models NVLink lane
+     * degradation and PCIe downtraining. Must be > 0; a dead link is
+     * expressed with setLinkDown, not a zero scale.
+     */
+    void setLinkBandwidthScale(int edge, double scale);
+
+    bool linkDown(int edge) const;
+    double linkBandwidthScale(int edge) const;
+
+    /**
+     * Effective bandwidth of an edge under its current state, bytes/s.
+     * Zero when the link is down.
+     */
+    double effectiveLinkBytesPerSec(int edge) const;
+
+    /** Restore every link to healthy (up, scale 1.0). */
+    void resetLinkState();
+
+    /** True when any link is down or bandwidth-scaled below 1.0. */
+    bool degraded() const;
+
+    /** True when at least one link is down (routing has changed). */
+    bool anyLinkDown() const;
+
+    /**
+     * Monotone counter bumped on every link-state change. Consumers
+     * caching per-topology derivations (ring orders, fabric tiers)
+     * compare epochs to detect staleness.
+     */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /**
+     * Check structural and dynamic invariants: every edge endpoint
+     * names a real node, every link has positive bandwidth/efficiency,
+     * and the graph is connected over *up* edges. Calls sim::fatal
+     * (config error, exit code 3) on violation.
+     */
+    void validate() const;
+
   private:
     struct Node {
         NodeKind kind;
@@ -137,10 +191,13 @@ class Topology
         NodeId a;
         NodeId b;
         LinkSpec link;
+        bool down = false;
+        double bandwidth_scale = 1.0;
     };
 
     NodeId addNode(NodeKind kind, const std::string &name);
     void checkNode(NodeId n) const;
+    void checkEdge(int edge) const;
 
     /**
      * BFS from 'from' to 'to'. When 'allowed' is non-null, an edge is
@@ -151,6 +208,7 @@ class Topology
 
     std::vector<Node> nodes_;
     std::vector<Edge> edges_;
+    std::uint64_t epoch_ = 0;
 };
 
 } // namespace mlps::net

@@ -64,7 +64,7 @@ FlowSimulator::fairShare(const std::vector<int> &active) const
     int slots = topo_.edgeCount() * 2;
     std::vector<double> cap(slots);
     for (int e = 0; e < topo_.edgeCount(); ++e) {
-        cap[e * 2] = topo_.link(e).effectiveBytesPerSec();
+        cap[e * 2] = topo_.effectiveLinkBytesPerSec(e);
         cap[e * 2 + 1] = cap[e * 2];
     }
 

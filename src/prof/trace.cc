@@ -73,6 +73,42 @@ TraceBuilder::addFaultTrace(const std::vector<fault::FaultEvent> &faults)
     }
 }
 
+void
+TraceBuilder::addLinkFaultTrace(
+    const std::vector<fault::LinkFaultEvent> &faults,
+    const net::Topology &topo)
+{
+    constexpr double kPointWidthUs = 1e5;
+    for (const fault::LinkFaultEvent &ev : faults) {
+        std::string track = "Fabric";
+        if (ev.edge >= 0) {
+            auto [a, b] = topo.endpoints(ev.edge);
+            track += "/" + topo.name(a) + "-" + topo.name(b);
+        } else if (ev.gpu >= 0) {
+            track += "/GPU" + std::to_string(ev.gpu);
+        }
+        double dur_us = ev.duration_s > 0.0 ? ev.duration_s * 1e6
+                                            : kPointWidthUs;
+        std::string name = toString(ev.kind);
+        if (ev.kind != fault::LinkFaultKind::LinkDown) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), " (x%.2f)",
+                          ev.bandwidth_scale);
+            name += buf;
+        }
+        add(track, name, ev.start_s * 1e6, dur_us);
+        // Routing changes the instant a link dies and again when it
+        // heals; mark both so reroute storms are visible.
+        if (ev.kind == fault::LinkFaultKind::LinkDown) {
+            add("Fabric/reroutes", "reroute", ev.start_s * 1e6,
+                kPointWidthUs);
+            if (ev.duration_s > 0.0)
+                add("Fabric/reroutes", "reroute (heal)",
+                    (ev.start_s + ev.duration_s) * 1e6, kPointWidthUs);
+        }
+    }
+}
+
 namespace {
 
 std::string

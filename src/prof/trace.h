@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "fault/fault_model.h"
+#include "fault/link_fault.h"
 #include "train/training_job.h"
 
 namespace mlps::prof {
@@ -50,6 +51,15 @@ class TraceBuilder
      * they stay visible in the viewer.
      */
     void addFaultTrace(const std::vector<fault::FaultEvent> &faults);
+
+    /**
+     * Append a link-fault trace on "Fabric" tracks (one sub-track
+     * per affected edge or GPU, named after the edge's endpoints).
+     * Hard link-downs additionally get a "reroute" marker at onset —
+     * the instant the collective rebuilt its ring around the fault.
+     */
+    void addLinkFaultTrace(const std::vector<fault::LinkFaultEvent> &faults,
+                           const net::Topology &topo);
 
     const std::vector<TraceEvent> &events() const { return events_; }
 

@@ -562,6 +562,42 @@ outagesFromTrace(const std::vector<fault::FaultEvent> &trace,
     return outages;
 }
 
+std::vector<GpuOutage>
+outagesFromLinkTrace(const std::vector<fault::LinkFaultEvent> &trace,
+                     const sys::SystemConfig &system,
+                     double min_outage_s)
+{
+    // Map topology GPU node id -> scheduler GPU ordinal.
+    auto ordinalOf = [&](net::NodeId node) {
+        for (std::size_t i = 0; i < system.gpu_nodes.size(); ++i) {
+            if (system.gpu_nodes[i] == node)
+                return static_cast<int>(i);
+        }
+        return -1;
+    };
+
+    std::vector<GpuOutage> outages;
+    for (const fault::LinkFaultEvent &ev : trace) {
+        if (ev.kind == fault::LinkFaultKind::LinkDown && ev.edge >= 0) {
+            if (ev.duration_s > 0.0 && ev.duration_s < min_outage_s)
+                continue;
+            auto [a, b] = system.topo.endpoints(ev.edge);
+            for (net::NodeId n : {a, b}) {
+                if (system.topo.kind(n) != net::NodeKind::Gpu)
+                    continue;
+                int gpu = ordinalOf(n);
+                if (gpu >= 0)
+                    outages.push_back({gpu, ev.start_s,
+                                       std::max(ev.duration_s, 0.0)});
+            }
+        } else if (ev.kind == fault::LinkFaultKind::ThermalThrottle &&
+                   ev.gpu >= 0 && ev.duration_s >= min_outage_s) {
+            outages.push_back({ev.gpu, ev.start_s, ev.duration_s});
+        }
+    }
+    return outages;
+}
+
 std::vector<OnlineJob>
 poissonJobStream(const std::vector<JobSpec> &catalogue, int count,
                  double mean_interarrival_s, std::uint64_t seed)

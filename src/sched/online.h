@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "fault/fault_model.h"
+#include "fault/link_fault.h"
 #include "sched/schedule.h"
 #include "sim/rng.h"
+#include "sys/system_config.h"
 
 namespace mlps::sched {
 
@@ -141,6 +143,20 @@ simulateElastic(const std::vector<OnlineJob> &jobs, int gpus,
 std::vector<GpuOutage>
 outagesFromTrace(const std::vector<fault::FaultEvent> &trace,
                  double min_outage_s = 10.0);
+
+/**
+ * Lower a link-fault trace to scheduler-visible outages: a hard
+ * link-down drains the GPUs incident to the dead edge for its
+ * duration (operators migrate work off a GPU whose fabric is gone),
+ * and a thermal throttle drains its GPU when the window is long
+ * enough. Bandwidth-only degradations (lane drops, downtraining) are
+ * left to run — migrating costs more than the slowdown. GPU node ids
+ * are translated to scheduler ordinals via the system's gpu_nodes.
+ */
+std::vector<GpuOutage>
+outagesFromLinkTrace(const std::vector<fault::LinkFaultEvent> &trace,
+                     const sys::SystemConfig &system,
+                     double min_outage_s = 10.0);
 
 } // namespace mlps::sched
 

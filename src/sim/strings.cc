@@ -1,0 +1,90 @@
+#include "sim/strings.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mlps::sim {
+
+namespace {
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    return out;
+}
+
+/** Classic two-row Levenshtein edit distance. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t sub = prev[j - 1] + (a[i - 1] != b[j - 1]);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // namespace
+
+std::vector<std::string>
+closestNames(const std::string &query,
+             const std::vector<std::string> &candidates,
+             std::size_t max_results)
+{
+    // A suggestion further than about a third of the query away is
+    // noise, not help.
+    std::string q = lowered(query);
+    std::size_t cutoff = std::max<std::size_t>(2, q.size() / 3);
+    std::vector<std::pair<std::size_t, std::string>> scored;
+    for (const auto &cand : candidates) {
+        std::size_t d = editDistance(q, lowered(cand));
+        // Substring hits are good suggestions even at high distance
+        // (e.g. "resnet" against "MLPf_Res50_TF" abbreviations).
+        bool contains = !q.empty() &&
+                        lowered(cand).find(q) != std::string::npos;
+        if (d <= cutoff || contains)
+            scored.emplace_back(contains ? 0 : d, cand);
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    std::vector<std::string> out;
+    for (const auto &[d, name] : scored) {
+        if (out.size() >= max_results)
+            break;
+        out.push_back(name);
+    }
+    return out;
+}
+
+std::string
+didYouMean(const std::string &query,
+           const std::vector<std::string> &candidates)
+{
+    auto close = closestNames(query, candidates);
+    if (close.empty())
+        return "";
+    std::string out = " (did you mean ";
+    for (std::size_t i = 0; i < close.size(); ++i) {
+        if (i)
+            out += i + 1 == close.size() ? " or " : ", ";
+        out += "'" + close[i] + "'";
+    }
+    out += "?)";
+    return out;
+}
+
+} // namespace mlps::sim

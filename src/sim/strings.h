@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small string utilities shared across layers: edit-distance-based
+ * "did you mean" suggestions for unknown-name diagnostics. Lives in
+ * sim/ so the lower layers (net/, sys/) can produce the same
+ * suggestion style as core/ without depending on it.
+ */
+
+#ifndef MLPSIM_SIM_STRINGS_H
+#define MLPSIM_SIM_STRINGS_H
+
+#include <string>
+#include <vector>
+
+namespace mlps::sim {
+
+/**
+ * The candidates closest to `query` by edit distance — "did you
+ * mean" material for unknown-name diagnostics. Case-insensitive;
+ * only plausibly-close candidates are returned, nearest first.
+ */
+std::vector<std::string>
+closestNames(const std::string &query,
+             const std::vector<std::string> &candidates,
+             std::size_t max_results = 3);
+
+/**
+ * Format a "did you mean" clause from closestNames() output; empty
+ * string when there is nothing worth suggesting.
+ */
+std::string didYouMean(const std::string &query,
+                       const std::vector<std::string> &candidates);
+
+} // namespace mlps::sim
+
+#endif // MLPSIM_SIM_STRINGS_H

@@ -1,6 +1,9 @@
 #include "sys/machines.h"
 
+#include <sstream>
+
 #include "net/link.h"
+#include "sim/logger.h"
 
 namespace mlps::sys {
 
@@ -291,6 +294,41 @@ std::vector<SystemConfig>
 allMachines()
 {
     return {t640(), c4140B(), c4140K(), c4140M(), r940xa(), dss8440()};
+}
+
+SystemConfig
+withNvlinkEdgeDown(const SystemConfig &base, int which)
+{
+    SystemConfig s = base;
+    int seen = 0;
+    for (int e = 0; e < s.topo.edgeCount(); ++e) {
+        if (s.topo.link(e).kind != net::LinkKind::NvLink)
+            continue;
+        if (seen++ == which) {
+            s.topo.setLinkDown(e, true);
+            s.name += " [nvlink " + std::to_string(which) + " down]";
+            s.validate();
+            return s;
+        }
+    }
+    sim::fatal("withNvlinkEdgeDown: '%s' has %d NVLink edges, wanted "
+               "index %d",
+               base.name.c_str(), seen, which);
+}
+
+SystemConfig
+withPcieDowntrained(const SystemConfig &base, double scale)
+{
+    SystemConfig s = base;
+    for (int e = 0; e < s.topo.edgeCount(); ++e) {
+        if (s.topo.link(e).kind == net::LinkKind::Pcie3)
+            s.topo.setLinkBandwidthScale(e, scale);
+    }
+    std::ostringstream suffix;
+    suffix << " [pcie x" << scale << "]";
+    s.name += suffix.str();
+    s.validate();
+    return s;
 }
 
 } // namespace mlps::sys

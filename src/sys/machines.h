@@ -58,6 +58,20 @@ SystemConfig dgx2();
 /** All five 4-GPU platforms of the Figure 5 study, NVLink systems first. */
 std::vector<SystemConfig> figure5Systems();
 
+/**
+ * Copy of a system with its nth NVLink edge (by edge id) hard-down —
+ * the "one dead lane group" degraded-fabric scenario. Fatal when the
+ * system has no NVLink edge. The name gains a " [nvlink N down]"
+ * suffix so reports distinguish the variant.
+ */
+SystemConfig withNvlinkEdgeDown(const SystemConfig &base, int which = 0);
+
+/**
+ * Copy of a system with every PCIe edge bandwidth-scaled to 'scale'
+ * (downtrained lanes). The name gains a " [pcie xS]" suffix.
+ */
+SystemConfig withPcieDowntrained(const SystemConfig &base, double scale);
+
 /** Every Table III machine. */
 std::vector<SystemConfig> allMachines();
 

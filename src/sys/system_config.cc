@@ -1,8 +1,10 @@
 #include "sys/system_config.h"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "sim/logger.h"
+#include "sim/strings.h"
 
 namespace mlps::sys {
 
@@ -106,6 +108,133 @@ SystemConfig::validate() const
             sim::fatal("SystemConfig '%s': GPU %d unreachable from CPUs",
                        name.c_str(), n);
     }
+    // Structural graph invariants: dangling endpoints, non-positive
+    // bandwidths, disconnection over up links.
+    topo.validate();
+}
+
+namespace {
+
+/** Edges whose link kind matches a type token, or empty. */
+std::vector<int>
+edgesOfKindToken(const net::Topology &topo, const std::string &token)
+{
+    net::LinkKind kind;
+    if (token == "nvlink")
+        kind = net::LinkKind::NvLink;
+    else if (token == "pcie")
+        kind = net::LinkKind::Pcie3;
+    else if (token == "upi")
+        kind = net::LinkKind::Upi;
+    else
+        return {};
+    std::vector<int> out;
+    for (int e = 0; e < topo.edgeCount(); ++e) {
+        if (topo.link(e).kind == kind)
+            out.push_back(e);
+    }
+    return out;
+}
+
+/** Node id by exact name, or -1. */
+net::NodeId
+nodeByName(const net::Topology &topo, const std::string &name)
+{
+    for (net::NodeId n = 0; n < topo.nodeCount(); ++n) {
+        if (topo.name(n) == name)
+            return n;
+    }
+    return -1;
+}
+
+/** All valid target names: node names plus link-type tokens. */
+std::vector<std::string>
+targetNames(const net::Topology &topo)
+{
+    std::vector<std::string> names = {"nvlink", "pcie", "upi"};
+    for (net::NodeId n = 0; n < topo.nodeCount(); ++n)
+        names.push_back(topo.name(n));
+    return names;
+}
+
+} // namespace
+
+void
+applyDegradedLinks(SystemConfig &system, const std::string &spec)
+{
+    net::Topology &topo = system.topo;
+    std::istringstream items(spec);
+    std::string item;
+    while (std::getline(items, item, ',')) {
+        if (item.empty())
+            continue;
+        std::size_t colon = item.rfind(':');
+        if (colon == std::string::npos || colon + 1 == item.size())
+            sim::fatal("--degraded-links: item '%s' is not "
+                       "<target>:<down|fraction>",
+                       item.c_str());
+        std::string target = item.substr(0, colon);
+        std::string state = item.substr(colon + 1);
+
+        // Resolve the target to an edge set.
+        std::vector<int> edges = edgesOfKindToken(topo, target);
+        if (edges.empty()) {
+            std::size_t dash = target.find('-');
+            if (dash == std::string::npos) {
+                sim::fatal("--degraded-links: unknown link type '%s'%s",
+                           target.c_str(),
+                           sim::didYouMean(target, {"nvlink", "pcie",
+                                                    "upi"})
+                               .c_str());
+            }
+            std::string na = target.substr(0, dash);
+            std::string nb = target.substr(dash + 1);
+            net::NodeId a = nodeByName(topo, na);
+            net::NodeId b = nodeByName(topo, nb);
+            if (a < 0)
+                sim::fatal("--degraded-links: unknown node '%s'%s",
+                           na.c_str(),
+                           sim::didYouMean(na, targetNames(topo))
+                               .c_str());
+            if (b < 0)
+                sim::fatal("--degraded-links: unknown node '%s'%s",
+                           nb.c_str(),
+                           sim::didYouMean(nb, targetNames(topo))
+                               .c_str());
+            for (int e = 0; e < topo.edgeCount(); ++e) {
+                auto [x, y] = topo.endpoints(e);
+                if ((x == a && y == b) || (x == b && y == a))
+                    edges.push_back(e);
+            }
+            if (edges.empty())
+                sim::fatal("--degraded-links: no link joins '%s' and "
+                           "'%s' in system '%s'",
+                           na.c_str(), nb.c_str(),
+                           system.name.c_str());
+        }
+
+        // Apply the state.
+        if (state == "down") {
+            for (int e : edges)
+                topo.setLinkDown(e, true);
+        } else {
+            char *end = nullptr;
+            double scale = std::strtod(state.c_str(), &end);
+            if (end == state.c_str() || *end != '\0')
+                sim::fatal("--degraded-links: state '%s' is neither "
+                           "'down' nor a number",
+                           state.c_str());
+            if (scale <= 0.0 || scale > 1.0)
+                sim::fatal("--degraded-links: bandwidth fraction %g "
+                           "out of (0, 1] (use 'down' for a dead link)",
+                           scale);
+            for (int e : edges)
+                topo.setLinkBandwidthScale(e, scale);
+        }
+    }
+    // A spec that strands a node is a config error, not a crash deep
+    // inside the flow simulator.
+    system.validate();
 }
 
 } // namespace mlps::sys

@@ -63,6 +63,21 @@ struct SystemConfig {
     void validate() const;
 };
 
+/**
+ * Apply a `--degraded-links` specification to a system's topology.
+ *
+ * Grammar: comma-separated items, each `<target>:<state>` where
+ * target is either `NodeA-NodeB` (all edges joining the two named
+ * nodes) or a link-type name (`nvlink`, `pcie`, `upi` — all edges of
+ * that kind), and state is `down` or a bandwidth fraction in (0, 1].
+ * Examples: `GPU0-GPU1:down`, `nvlink:0.5`, `CPU0-PCIeSW0:0.25`.
+ *
+ * Unknown node or link-type names fail with a did-you-mean
+ * suggestion; the degraded system is re-validated (a spec that
+ * disconnects the machine is a config error, exit code 3).
+ */
+void applyDegradedLinks(SystemConfig &system, const std::string &spec);
+
 } // namespace mlps::sys
 
 #endif // MLPSIM_SYS_SYSTEM_CONFIG_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Replay of a link-fault trace against a training run.
+ *
+ * Node faults (checkpoint.h) scale a run's throughput through its
+ * breakdown; link faults change the *fabric*, so every distinct
+ * degraded topology state needs the full Trainer model re-run: the
+ * collective may rebuild its ring, fall back NVLink → PCIe-P2P →
+ * host-staged, or route around a dead edge — none of which a scalar
+ * slowdown can express. The replay walks the trace's window
+ * boundaries, re-models the iteration time on every topology epoch,
+ * and integrates progress at the degraded rate (a state whose fabric
+ * is unusable contributes zero progress until it heals).
+ */
+
+#ifndef MLPSIM_TRAIN_FABRIC_FAULTS_H
+#define MLPSIM_TRAIN_FABRIC_FAULTS_H
+
+#include <vector>
+
+#include "fault/link_fault.h"
+#include "sys/system_config.h"
+#include "train/trainer.h"
+
+namespace mlps::train {
+
+/** Result of replaying a link-fault trace against one run. */
+struct LinkFaultedTrainResult {
+    /** The healthy steady-state run. */
+    TrainResult base;
+    /** Expected end-to-end wall time under the trace, seconds. */
+    double expected_seconds = 0.0;
+    /** Extra wall time attributable to fabric degradation, seconds. */
+    double degraded_overhead_s = 0.0;
+    /** Distinct degraded topology states the run passed through. */
+    int topology_epochs = 0;
+    /** Peak ring hops rerouted around down links in any state. */
+    int max_reroutes = 0;
+    /** Windows during which the fabric could not make progress. */
+    int stalls = 0;
+    /** Link-fault windows overlapping the run. */
+    int degradations = 0;
+
+    /** Useful-work fraction of wall time. */
+    double goodput() const
+    {
+        return expected_seconds > 0.0
+                   ? base.total_seconds / expected_seconds
+                   : 1.0;
+    }
+};
+
+/**
+ * Replay a deterministic link-fault trace against a workload run on
+ * the given (healthy) system. The Trainer is re-run for every
+ * distinct degraded fabric state (memoized, so a flapping link does
+ * not multiply the cost), and the run progresses at
+ * base_iteration / degraded_iteration during each window.
+ *
+ * Deterministic: the same system, spec, options, and model always
+ * yield the same result.
+ */
+LinkFaultedTrainResult
+applyLinkFaultTrace(const sys::SystemConfig &system,
+                    const wl::WorkloadSpec &spec, const RunOptions &opts,
+                    const fault::LinkFaultModel &faults);
+
+} // namespace mlps::train
+
+#endif // MLPSIM_TRAIN_FABRIC_FAULTS_H

@@ -287,6 +287,7 @@ Trainer::runTraining(const wl::WorkloadSpec &spec, const RunOptions &opts,
         ar = net::ringAllReduce(system_.topo, system_.gpuSubset(n),
                                 grad_bytes, ar_params);
         it.comm_s = ar.seconds;
+        it.reroutes = ar.reroutes;
         double overlap =
             spec.comm_overlap * overlapFabricFactor(res.fabric, spec);
         it.exposed_comm_s = ar.seconds * (1.0 - overlap);
@@ -452,6 +453,7 @@ Trainer::runCollectiveLoop(const wl::WorkloadSpec &spec,
                                 spec.collective_bytes);
         it.comm_s = ar.seconds;
         it.exposed_comm_s = ar.seconds;
+        it.reroutes = ar.reroutes;
     } else {
         // Single GPU: a local reduction kernel only.
         hw::KernelProfile k;

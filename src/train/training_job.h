@@ -49,6 +49,7 @@ struct IterationBreakdown {
     double iteration_s = 0.0;     ///< pipelined iteration time
     int kernel_launches = 0;      ///< kernels per iteration per GPU
     int micro_batches = 1;        ///< gradient-accumulation passes
+    int reroutes = 0;             ///< ring hops routed around down links
 };
 
 /** Steady-state system resource usage (Table V quantities). */

@@ -8,10 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 
 #include "core/suite.h"
 #include "fault/fault_model.h"
+#include "fault/link_fault.h"
 #include "sim/logger.h"
 #include "sys/machines.h"
 #include "train/checkpoint.h"
@@ -185,6 +188,71 @@ TEST(FaultModel, AggregateRateMatchesProfile)
 {
     auto cfg = fault::FaultModelConfig::datacenterProfile(10.0);
     EXPECT_NEAR(cfg.totalRatePerHour(), 0.1, 1e-12);
+}
+
+// ------------------------------------ link-fault stream isolation
+
+/** Order-sensitive FNV-1a digest of a node-fault trace. */
+std::uint64_t
+traceDigest(const std::vector<fault::FaultEvent> &trace)
+{
+    auto mix = [h = 1469598103934665603ULL](std::uint64_t v) mutable {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+        return h;
+    };
+    auto bits = [](double d) {
+        std::uint64_t u;
+        std::memcpy(&u, &d, sizeof(u));
+        return u;
+    };
+    std::uint64_t h = 0;
+    for (const auto &ev : trace) {
+        h = mix(static_cast<std::uint64_t>(ev.kind));
+        h = mix(bits(ev.start_s));
+        h = mix(bits(ev.duration_s));
+        h = mix(bits(ev.severity));
+        h = mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(ev.resource)));
+    }
+    return h;
+}
+
+// The golden digest of FaultModel(datacenterProfile(2.0), 123) over
+// 48 h on 8 GPUs, recorded when the link-fault domain was added. If
+// this test fails, the node-fault RNG stream has been perturbed —
+// every faulted study in every published report silently changes.
+constexpr std::uint64_t kGoldenNodeTraceDigest = 0x1f0df0b3cd284139ULL;
+
+TEST(LinkFaultIsolation, NodeTraceMatchesGoldenDigest)
+{
+    fault::FaultModel m(denseProfile(), 123);
+    EXPECT_EQ(traceDigest(m.generate(48 * 3600.0, 8)),
+              kGoldenNodeTraceDigest);
+}
+
+TEST(LinkFaultIsolation, LinkFaultsNeverPerturbNodeTraces)
+{
+    // Node and link faults draw from separate models and seeds; the
+    // node trace must stay bit-identical to its golden digest no
+    // matter how the link-fault domain is configured or exercised.
+    sys::SystemConfig box = sys::c4140M();
+    for (double link_mttf : {0.5, 2.0, 100.0}) {
+        fault::LinkFaultModel links(
+            fault::LinkFaultConfig::datacenterProfile(link_mttf), 123);
+        auto link_trace = links.generate(48 * 3600.0, box.topo);
+        if (link_mttf <= 2.0)
+            ASSERT_FALSE(link_trace.empty());
+        fault::applyLinkFaults(box.topo, link_trace, 3600.0);
+
+        fault::FaultModel nodes(denseProfile(), 123);
+        EXPECT_EQ(traceDigest(nodes.generate(48 * 3600.0, 8)),
+                  kGoldenNodeTraceDigest)
+            << "link MTTF " << link_mttf << " h";
+    }
+    box.topo.resetLinkState();
 }
 
 // -------------------------------------- checkpoint interval solvers

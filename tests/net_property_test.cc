@@ -14,6 +14,7 @@
 #include "net/allreduce.h"
 #include "net/topology.h"
 #include "net/transfer.h"
+#include "sim/logger.h"
 #include "sim/rng.h"
 
 namespace {
@@ -52,6 +53,33 @@ randomTopology(mlps::sim::Rng &rng, int &gpu_count)
         }
     }
     return topo;
+}
+
+/** True when every node can still reach every other over up links. */
+bool
+stillConnected(Topology &topo)
+{
+    try {
+        topo.validate();
+        return true;
+    } catch (const mlps::sim::FatalError &) {
+        return false;
+    }
+}
+
+/**
+ * Take edge `e` down only if the graph survives it; returns whether
+ * the edge is now down. Keeps random fault injection from wedging a
+ * test on a bridge edge.
+ */
+bool
+downIfSurvivable(Topology &topo, int e)
+{
+    topo.setLinkDown(e, true);
+    if (stillConnected(topo))
+        return true;
+    topo.setLinkDown(e, false);
+    return false;
 }
 
 class RandomTopologyTest : public ::testing::TestWithParam<int>
@@ -184,6 +212,139 @@ TEST_P(RandomTopologyTest, AllReduceScalesWithPayload)
     EXPECT_GT(t10, t1);
     // Bandwidth term dominates at 10x payload: at most ~10x slower.
     EXPECT_LT(t10, 10.5 * t1);
+}
+
+TEST_P(RandomTopologyTest, NoRouteEverCrossesDownLink)
+{
+    mlps::sim::Rng rng(7000 + GetParam());
+    int gpus = 0;
+    Topology topo = randomTopology(rng, gpus);
+    // Down a random subset of survivable edges.
+    int downed = 0;
+    for (int e = 0; e < topo.edgeCount(); ++e) {
+        if (rng.chance(0.3) && downIfSurvivable(topo, e))
+            ++downed;
+    }
+    for (int a = 0; a < topo.nodeCount(); ++a) {
+        for (int b = 0; b < topo.nodeCount(); ++b) {
+            auto path = topo.route(a, b);
+            ASSERT_TRUE(path.has_value()); // only survivable downs
+            for (int e : path->edges)
+                ASSERT_FALSE(topo.linkDown(e))
+                    << "route " << topo.name(a) << "->" << topo.name(b)
+                    << " crosses down link " << e << " (" << downed
+                    << " links down)";
+        }
+    }
+}
+
+TEST_P(RandomTopologyTest, BandwidthReductionNeverSpeedsAllReduce)
+{
+    mlps::sim::Rng rng(8000 + GetParam());
+    int gpus = 0;
+    Topology topo = randomTopology(rng, gpus);
+    auto gpu_nodes = topo.gpus();
+    double bytes = rng.uniform(1e6, 3e8);
+    double healthy = ringAllReduce(topo, gpu_nodes, bytes).seconds;
+
+    // Degrade one random link at a time; modeled time must never
+    // improve. Then stack degradations cumulatively: still monotone.
+    double prev = healthy;
+    for (int step = 0; step < 8; ++step) {
+        int e = static_cast<int>(rng.below(topo.edgeCount()));
+        double scale = rng.uniform(0.05, 0.95);
+        topo.setLinkBandwidthScale(
+            e, topo.linkBandwidthScale(e) * scale);
+        double degraded = ringAllReduce(topo, gpu_nodes, bytes).seconds;
+        EXPECT_GE(degraded, prev - 1e-12)
+            << "scaling link " << e << " by " << scale
+            << " made all-reduce faster";
+        prev = degraded;
+    }
+    topo.resetLinkState();
+    EXPECT_NEAR(ringAllReduce(topo, gpu_nodes, bytes).seconds, healthy,
+                healthy * 1e-12);
+}
+
+TEST_P(RandomTopologyTest, ReroutePreservesTotalBytesMoved)
+{
+    mlps::sim::Rng rng(9000 + GetParam());
+    int gpus = 0;
+    Topology topo = randomTopology(rng, gpus);
+    auto gpu_nodes = topo.gpus();
+
+    // Pick flows up front so healthy and degraded runs move the same
+    // payloads.
+    struct Want { NodeId from; NodeId to; double bytes; };
+    std::vector<Want> wants;
+    for (int i = 0; i < 6; ++i) {
+        NodeId from = gpu_nodes[rng.below(gpu_nodes.size())];
+        NodeId to = gpu_nodes[rng.below(gpu_nodes.size())];
+        if (from != to)
+            wants.push_back({from, to, rng.uniform(1e6, 2e8)});
+    }
+    if (wants.empty())
+        GTEST_SKIP() << "no distinct GPU pairs drawn";
+
+    auto runAndCheck = [&](const char *label) {
+        FlowSimulator fsim(topo);
+        double expected_total = 0.0;
+        for (const Want &w : wants) {
+            fsim.addFlow(w.from, w.to, w.bytes);
+            expected_total += w.bytes * topo.route(w.from, w.to)->hops();
+        }
+        fsim.run();
+        double link_total = 0.0;
+        for (const auto &lt : fsim.linkTraffic())
+            link_total += lt.bytes;
+        EXPECT_NEAR(link_total, expected_total,
+                    std::max(1.0, expected_total * 1e-6))
+            << label;
+        // Every flow delivers its full payload regardless of routing.
+        for (std::size_t i = 0; i < fsim.reports().size(); ++i)
+            EXPECT_NEAR(fsim.reports()[i].bytes, wants[i].bytes, 1.0)
+                << label;
+    };
+
+    runAndCheck("healthy fabric");
+    int downed = 0;
+    for (int e = 0; e < topo.edgeCount() && downed < 2; ++e) {
+        if (rng.chance(0.4) && downIfSurvivable(topo, e))
+            ++downed;
+    }
+    runAndCheck("degraded fabric");
+}
+
+TEST_P(RandomTopologyTest, TopologyMutationStressKeepsValidateGreen)
+{
+    mlps::sim::Rng rng(10000 + GetParam());
+    int gpus = 0;
+    Topology topo = randomTopology(rng, gpus);
+    std::uint64_t last_epoch = topo.epoch();
+    for (int step = 0; step < 1000; ++step) {
+        int e = static_cast<int>(rng.below(topo.edgeCount()));
+        switch (rng.below(3)) {
+          case 0:
+            // Down only when the fabric survives; a real operator
+            // cordons a bridge link instead of cutting it.
+            downIfSurvivable(topo, e);
+            break;
+          case 1: // heal
+            topo.setLinkDown(e, false);
+            topo.setLinkBandwidthScale(e, 1.0);
+            break;
+          default: // degrade bandwidth
+            topo.setLinkBandwidthScale(e, rng.uniform(0.05, 1.0));
+            break;
+        }
+        ASSERT_NO_THROW(topo.validate()) << "after step " << step;
+        // Epochs only move forward, and only on real state changes.
+        ASSERT_GE(topo.epoch(), last_epoch);
+        last_epoch = topo.epoch();
+    }
+    topo.resetLinkState();
+    ASSERT_NO_THROW(topo.validate());
+    EXPECT_FALSE(topo.degraded());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologyTest,

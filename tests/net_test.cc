@@ -536,4 +536,238 @@ TEST_P(AllReduceGpuCountTest, PositiveAndBoundedBelowByAnalytic)
 INSTANTIATE_TEST_SUITE_P(Counts, AllReduceGpuCountTest,
                          ::testing::Values(2, 3, 4, 6, 8));
 
+// --------------------------------------------------- dynamic link state
+
+/**
+ * DGX-ish fixture: 4 GPUs in an NVLink mesh, all hanging off one PCIe
+ * switch under a CPU, so the fabric has somewhere to fall back to when
+ * NVLink edges die.
+ */
+class DegradedFabricTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cpu = topo.addCpu("CPU0");
+        sw = topo.addSwitch("PLX0");
+        topo.connect(cpu, sw, pcie3(16));
+        for (int i = 0; i < 4; ++i) {
+            gpus.push_back(topo.addGpu("GPU" + std::to_string(i)));
+            topo.connect(gpus[i], sw, pcie3(16));
+        }
+        for (int i = 0; i < 4; ++i)
+            for (int j = i + 1; j < 4; ++j)
+                topo.connect(gpus[i], gpus[j], nvlink(2));
+    }
+
+    /** Edge id of the NVLink link joining gpus[i] and gpus[j]. */
+    int
+    nvEdge(int i, int j) const
+    {
+        for (int e = 0; e < topo.edgeCount(); ++e) {
+            auto [a, b] = topo.endpoints(e);
+            if (topo.link(e).kind == LinkKind::NvLink &&
+                ((a == gpus[i] && b == gpus[j]) ||
+                 (a == gpus[j] && b == gpus[i])))
+                return e;
+        }
+        return -1;
+    }
+
+    Topology topo;
+    NodeId cpu{}, sw{};
+    std::vector<NodeId> gpus;
+};
+
+TEST_F(DegradedFabricTest, LinkStateAccessors)
+{
+    int e = nvEdge(0, 1);
+    ASSERT_GE(e, 0);
+    EXPECT_FALSE(topo.linkDown(e));
+    EXPECT_DOUBLE_EQ(topo.linkBandwidthScale(e), 1.0);
+    EXPECT_FALSE(topo.degraded());
+    EXPECT_FALSE(topo.anyLinkDown());
+
+    topo.setLinkBandwidthScale(e, 0.5);
+    EXPECT_TRUE(topo.degraded());
+    EXPECT_FALSE(topo.anyLinkDown());
+    EXPECT_NEAR(topo.effectiveLinkBytesPerSec(e),
+                topo.link(e).effectiveBytesPerSec() * 0.5, 1.0);
+
+    topo.setLinkDown(e, true);
+    EXPECT_TRUE(topo.anyLinkDown());
+    EXPECT_DOUBLE_EQ(topo.effectiveLinkBytesPerSec(e), 0.0);
+
+    topo.resetLinkState();
+    EXPECT_FALSE(topo.degraded());
+    EXPECT_FALSE(topo.anyLinkDown());
+    EXPECT_NEAR(topo.effectiveLinkBytesPerSec(e),
+                topo.link(e).effectiveBytesPerSec(), 1.0);
+}
+
+TEST_F(DegradedFabricTest, EpochAdvancesOnlyOnRealChanges)
+{
+    int e = nvEdge(0, 1);
+    std::uint64_t epoch = topo.epoch();
+    topo.setLinkDown(e, false); // already up: no-op
+    topo.setLinkBandwidthScale(e, 1.0); // already 1.0: no-op
+    EXPECT_EQ(topo.epoch(), epoch);
+    topo.setLinkDown(e, true);
+    EXPECT_GT(topo.epoch(), epoch);
+    epoch = topo.epoch();
+    topo.setLinkDown(e, true); // no change
+    EXPECT_EQ(topo.epoch(), epoch);
+    topo.resetLinkState();
+    EXPECT_GT(topo.epoch(), epoch);
+}
+
+TEST_F(DegradedFabricTest, LinkStateErrorsAreFatal)
+{
+    EXPECT_THROW(topo.setLinkDown(-1, true), FatalError);
+    EXPECT_THROW(topo.setLinkDown(topo.edgeCount(), true), FatalError);
+    EXPECT_THROW(topo.setLinkBandwidthScale(0, 0.0), FatalError);
+    EXPECT_THROW(topo.setLinkBandwidthScale(0, -0.5), FatalError);
+    EXPECT_THROW(topo.linkDown(topo.edgeCount()), FatalError);
+}
+
+TEST_F(DegradedFabricTest, RouteDetoursAroundDownLink)
+{
+    int e = nvEdge(0, 1);
+    auto direct = topo.route(gpus[0], gpus[1]);
+    ASSERT_TRUE(direct);
+    EXPECT_EQ(direct->hops(), 1);
+
+    topo.setLinkDown(e, true);
+    auto detour = topo.route(gpus[0], gpus[1]);
+    ASSERT_TRUE(detour); // mesh + switch keep the pair connected
+    EXPECT_GT(detour->hops(), 1);
+    for (int pe : detour->edges)
+        EXPECT_FALSE(topo.linkDown(pe));
+}
+
+TEST_F(DegradedFabricTest, AllReduceSurvivesNvlinkEdgeDown)
+{
+    double bytes = 200e6;
+    auto healthy = ringAllReduce(topo, gpus, bytes);
+    EXPECT_EQ(healthy.fabric, CollectiveFabric::NvLink);
+    EXPECT_EQ(healthy.reroutes, 0);
+
+    // One NVLink edge hard-down: the ring rebuilds over surviving
+    // links — no crash, never slower than healthy is faster.
+    topo.setLinkDown(nvEdge(0, 1), true);
+    auto degraded = ringAllReduce(topo, gpus, bytes);
+    EXPECT_GT(degraded.seconds, 0.0);
+    EXPECT_GE(degraded.seconds, healthy.seconds - 1e-12);
+    // The surviving ring can avoid the dead pair entirely (a 4-node
+    // mesh minus one edge still has a Hamiltonian cycle).
+    EXPECT_EQ(degraded.fabric, CollectiveFabric::NvLink);
+}
+
+TEST_F(DegradedFabricTest, AllReduceFallsBackToPcieWhenNvlinkDies)
+{
+    double bytes = 200e6;
+    double healthy = ringAllReduce(topo, gpus, bytes).seconds;
+    // Kill the whole NVLink mesh: collective must fall back to the
+    // PCIe switch fabric instead of crashing.
+    for (int i = 0; i < 4; ++i)
+        for (int j = i + 1; j < 4; ++j)
+            topo.setLinkDown(nvEdge(i, j), true);
+    auto fallback = ringAllReduce(topo, gpus, bytes);
+    EXPECT_EQ(fallback.fabric, CollectiveFabric::PcieP2p);
+    EXPECT_GT(fallback.seconds, healthy);
+    EXPECT_DOUBLE_EQ(fallback.nvlink_bytes, 0.0);
+    EXPECT_GT(fallback.pcie_bytes, 0.0);
+}
+
+TEST_F(DegradedFabricTest, SurvivingRingOrderIsIdentityWhenHealthy)
+{
+    auto order = survivingRingOrder(topo, gpus);
+    EXPECT_EQ(order, gpus);
+    // Bandwidth-only degradation must not perturb the ring either —
+    // healthy traces stay byte-identical under pure throttles.
+    topo.setLinkBandwidthScale(nvEdge(0, 1), 0.25);
+    EXPECT_EQ(survivingRingOrder(topo, gpus), gpus);
+}
+
+TEST_F(DegradedFabricTest, StragglerScaleStretchesStepTime)
+{
+    AllReduceParams slow;
+    slow.slowest_participant_scale = 2.0;
+    double base = ringAllReduce(topo, gpus, 100e6).seconds;
+    double straggled = ringAllReduce(topo, gpus, 100e6, slow).seconds;
+    EXPECT_NEAR(straggled, base * 2.0, base * 1e-9);
+    // Scales below 1 never speed the collective up.
+    slow.slowest_participant_scale = 0.5;
+    EXPECT_NEAR(ringAllReduce(topo, gpus, 100e6, slow).seconds, base,
+                base * 1e-9);
+}
+
+TEST_F(DegradedFabricTest, DescribeShowsDegradedState)
+{
+    topo.setLinkDown(nvEdge(0, 1), true);
+    topo.setLinkBandwidthScale(nvEdge(2, 3), 0.5);
+    std::string desc = topo.describe();
+    EXPECT_NE(desc.find("DOWN"), std::string::npos);
+    EXPECT_NE(desc.find("x0.5"), std::string::npos);
+}
+
+// --------------------------------------------------------------- validate
+
+TEST(TopologyValidate, AcceptsHealthyGraph)
+{
+    Topology topo;
+    NodeId c = topo.addCpu("CPU0");
+    NodeId g = topo.addGpu("GPU0");
+    topo.connect(c, g, pcie3(16));
+    EXPECT_NO_THROW(topo.validate());
+}
+
+TEST(TopologyValidate, RejectsEmptyTopology)
+{
+    Topology topo;
+    EXPECT_THROW(topo.validate(), FatalError);
+}
+
+TEST(TopologyValidate, RejectsDisconnectedGraph)
+{
+    Topology topo;
+    NodeId c = topo.addCpu("CPU0");
+    NodeId g0 = topo.addGpu("GPU0");
+    topo.addGpu("GPU1"); // never connected
+    topo.connect(c, g0, pcie3(16));
+    try {
+        topo.validate();
+        FAIL() << "validate() accepted a disconnected graph";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("GPU1"),
+                  std::string::npos)
+            << "error should name the unreachable node: "
+            << err.what();
+    }
+}
+
+TEST(TopologyValidate, RejectsGraphSplitByDownLink)
+{
+    Topology topo;
+    NodeId c = topo.addCpu("CPU0");
+    NodeId g = topo.addGpu("GPU0");
+    topo.connect(c, g, pcie3(16));
+    topo.setLinkDown(0, true);
+    EXPECT_THROW(topo.validate(), FatalError);
+    topo.setLinkDown(0, false);
+    EXPECT_NO_THROW(topo.validate());
+}
+
+TEST(TopologyValidate, RejectsNonPositiveBandwidth)
+{
+    Topology topo;
+    NodeId c = topo.addCpu("CPU0");
+    NodeId g = topo.addGpu("GPU0");
+    LinkSpec bad = pcie3(16);
+    bad.gbps = 0.0;
+    topo.connect(c, g, bad);
+    EXPECT_THROW(topo.validate(), FatalError);
+}
+
 } // namespace

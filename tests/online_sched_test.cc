@@ -10,6 +10,7 @@
 
 #include "sched/online.h"
 #include "sim/logger.h"
+#include "sys/machines.h"
 
 namespace {
 
@@ -349,6 +350,81 @@ TEST(ElasticSched, OutagesFromTraceLowering)
     EXPECT_EQ(outages[1].gpu, 1);
     EXPECT_FALSE(outages[1].permanent());
     EXPECT_DOUBLE_EQ(outages[1].duration_s, 120.0);
+}
+
+TEST(ElasticSched, LinkTraceLowersToOutages)
+{
+    using mlps::fault::LinkFaultEvent;
+    using mlps::fault::LinkFaultKind;
+    mlps::sys::SystemConfig box = mlps::sys::c4140M();
+
+    // Find an edge incident to at least one GPU.
+    int gpu_edge = -1;
+    for (int e = 0; e < box.topo.edgeCount() && gpu_edge < 0; ++e) {
+        auto [a, b] = box.topo.endpoints(e);
+        for (std::size_t g = 0; g < box.gpu_nodes.size(); ++g)
+            if (a == box.gpu_nodes[g] || b == box.gpu_nodes[g])
+                gpu_edge = e;
+    }
+    ASSERT_GE(gpu_edge, 0);
+
+    std::vector<LinkFaultEvent> trace;
+    // Finite hard-down: drains incident GPUs for the window.
+    trace.push_back({LinkFaultKind::LinkDown, 50.0, 120.0, 0.0,
+                     gpu_edge, -1});
+    // Permanent hard-down: GPUs never return.
+    trace.push_back({LinkFaultKind::LinkDown, 70.0, 0.0, 0.0,
+                     gpu_edge, -1});
+    // Long throttle: drains the straggler.
+    trace.push_back({LinkFaultKind::ThermalThrottle, 90.0, 60.0, 0.7,
+                     -1, 3});
+    // Too-short down and a bandwidth-only degrade: not outages.
+    trace.push_back({LinkFaultKind::LinkDown, 95.0, 5.0, 0.0,
+                     gpu_edge, -1});
+    trace.push_back({LinkFaultKind::PcieDowntrain, 99.0, 400.0, 0.5,
+                     gpu_edge, -1});
+
+    auto outages =
+        mlps::sched::outagesFromLinkTrace(trace, box, 10.0);
+
+    int permanent = 0, finite = 0;
+    bool throttled_gpu3 = false;
+    for (const auto &o : outages) {
+        EXPECT_GE(o.gpu, 0);
+        EXPECT_LT(o.gpu, static_cast<int>(box.gpu_nodes.size()));
+        permanent += o.permanent();
+        finite += !o.permanent();
+        throttled_gpu3 =
+            throttled_gpu3 || (o.gpu == 3 && o.start_s == 90.0);
+    }
+    // Each hard-down drains every GPU endpoint of the edge.
+    EXPECT_GE(permanent, 1);
+    EXPECT_GE(finite, 2); // the 120 s down + the throttle
+    EXPECT_TRUE(throttled_gpu3);
+    // The 5 s blip and the downtrain produced nothing.
+    for (const auto &o : outages)
+        EXPECT_NE(o.start_s, 99.0);
+}
+
+TEST(ElasticSched, LinkOutagesFeedElasticSimulation)
+{
+    using mlps::fault::LinkFaultEvent;
+    using mlps::fault::LinkFaultKind;
+    mlps::sys::SystemConfig box = mlps::sys::c4140M();
+    auto jobs = simpleStream();
+
+    std::vector<LinkFaultEvent> trace;
+    trace.push_back({LinkFaultKind::ThermalThrottle, 10.0, 3600.0,
+                     0.7, -1, 0});
+    auto outages = mlps::sched::outagesFromLinkTrace(trace, box, 10.0);
+    ASSERT_FALSE(outages.empty());
+
+    auto healthy = simulateElastic(jobs, 4, OnlinePolicy::FifoBestWidth,
+                                   {}, RecoveryPolicy::Requeue);
+    auto faulted = simulateElastic(jobs, 4, OnlinePolicy::FifoBestWidth,
+                                   outages, RecoveryPolicy::Requeue);
+    EXPECT_LE(faulted.availability, healthy.availability);
+    EXPECT_GE(faulted.online.makespan_s, healthy.online.makespan_s);
 }
 
 TEST(ElasticSched, ErrorsOnMisuse)

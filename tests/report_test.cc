@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "core/report.h"
@@ -74,6 +75,64 @@ TEST(Report, OptionsDisableSections)
     EXPECT_EQ(md.find("Topology impact"), std::string::npos);
     EXPECT_EQ(md.find("characterization"), std::string::npos);
     EXPECT_NE(md.find("Scaling efficiency"), std::string::npos);
+}
+
+/** Degraded-fabric-only options: fast and focused on the new table. */
+core::ReportOptions
+degradedOnly()
+{
+    core::ReportOptions opts;
+    opts.include_scaling = false;
+    opts.include_mixed_precision = false;
+    opts.include_topology = false;
+    opts.include_scheduling = false;
+    opts.include_characterization = false;
+    opts.include_faults = false;
+    opts.include_degraded_fabric = true;
+    return opts;
+}
+
+TEST(Report, DegradedFabricSectionRendersAllColumns)
+{
+    std::string md = core::generateStudyReport(degradedOnly());
+    EXPECT_NE(md.find("## Fig. 5 under degraded fabric"),
+              std::string::npos);
+    // Healthy NVLink, the two sick fabrics, and the CPU-PCIe floor.
+    EXPECT_NE(md.find("C4140 (M)"), std::string::npos);
+    EXPECT_NE(md.find("nvlink 0 down"), std::string::npos);
+    EXPECT_NE(md.find("pcie x0.25"), std::string::npos);
+    EXPECT_NE(md.find("T640"), std::string::npos);
+    EXPECT_NE(md.find("MLPf_XFMR_Py"), std::string::npos);
+    EXPECT_EQ(md.find("ERROR("), std::string::npos);
+
+    core::ReportOptions off = degradedOnly();
+    off.include_degraded_fabric = false;
+    EXPECT_EQ(core::generateStudyReport(off)
+                  .find("under degraded fabric"),
+              std::string::npos);
+}
+
+TEST(Report, DegradedFabricBytesIndependentOfWorkerCount)
+{
+    core::ReportOptions one = degradedOnly();
+    one.jobs = 1;
+    core::ReportOptions four = degradedOnly();
+    four.jobs = 4;
+    EXPECT_EQ(core::generateStudyReport(one),
+              core::generateStudyReport(four));
+}
+
+TEST(Report, DegradedFabricBytesIndependentOfCacheWarmth)
+{
+    auto dir = std::filesystem::temp_directory_path() /
+               "mlpsim_report_degraded_cache_test";
+    std::filesystem::remove_all(dir);
+    core::ReportOptions opts = degradedOnly();
+    opts.cache_dir = dir.string();
+    std::string cold = core::generateStudyReport(opts);
+    std::string warm = core::generateStudyReport(opts);
+    EXPECT_EQ(cold, warm);
+    std::filesystem::remove_all(dir);
 }
 
 TEST(Report, WritesFile)

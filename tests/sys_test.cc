@@ -219,4 +219,128 @@ TEST_P(MachineSweepTest, FabricsResolve)
 INSTANTIATE_TEST_SUITE_P(AllMachines, MachineSweepTest,
                          ::testing::Range(0, 6));
 
+// ------------------------------------------------- degraded fabrics
+
+TEST(DegradedLinks, KindTokenDegradesEveryMatchingEdge)
+{
+    sys::SystemConfig s = sys::c4140M();
+    sys::applyDegradedLinks(s, "nvlink:0.5");
+    int scaled = 0;
+    for (int e = 0; e < s.topo.edgeCount(); ++e) {
+        if (s.topo.link(e).kind == net::LinkKind::NvLink) {
+            EXPECT_DOUBLE_EQ(s.topo.linkBandwidthScale(e), 0.5);
+            ++scaled;
+        } else {
+            EXPECT_DOUBLE_EQ(s.topo.linkBandwidthScale(e), 1.0);
+        }
+    }
+    EXPECT_GT(scaled, 0);
+}
+
+TEST(DegradedLinks, EndpointPairTakesOneLinkDown)
+{
+    sys::SystemConfig s = sys::c4140M();
+    sys::applyDegradedLinks(s, "GPU0-GPU1:down");
+    int down = 0;
+    for (int e = 0; e < s.topo.edgeCount(); ++e)
+        down += s.topo.linkDown(e) ? 1 : 0;
+    EXPECT_GT(down, 0);
+    // The mesh keeps the pair reachable without the direct edge.
+    auto path = s.topo.route(s.gpu_nodes[0], s.gpu_nodes[1]);
+    ASSERT_TRUE(path);
+    for (int e : path->edges)
+        EXPECT_FALSE(s.topo.linkDown(e));
+}
+
+TEST(DegradedLinks, MultipleItemsCompose)
+{
+    sys::SystemConfig s = sys::c4140M();
+    sys::applyDegradedLinks(s, "GPU0-GPU1:down,pcie:0.25");
+    bool any_down = false;
+    for (int e = 0; e < s.topo.edgeCount(); ++e) {
+        if (s.topo.link(e).kind == net::LinkKind::Pcie3)
+            EXPECT_DOUBLE_EQ(s.topo.linkBandwidthScale(e), 0.25);
+        any_down = any_down || s.topo.linkDown(e);
+    }
+    EXPECT_TRUE(any_down);
+}
+
+TEST(DegradedLinks, UnknownLinkTypeSuggestsNearMiss)
+{
+    sys::SystemConfig s = sys::c4140M();
+    try {
+        sys::applyDegradedLinks(s, "nvlnk:0.5");
+        FAIL() << "accepted a misspelled link type";
+    } catch (const FatalError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("did you mean"), std::string::npos) << what;
+        EXPECT_NE(what.find("nvlink"), std::string::npos) << what;
+    }
+}
+
+TEST(DegradedLinks, UnknownNodeSuggestsNearMiss)
+{
+    sys::SystemConfig s = sys::c4140M();
+    try {
+        sys::applyDegradedLinks(s, "GPU0-GPP1:down");
+        FAIL() << "accepted a misspelled node name";
+    } catch (const FatalError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("did you mean"), std::string::npos) << what;
+        EXPECT_NE(what.find("GPU1"), std::string::npos) << what;
+    }
+}
+
+TEST(DegradedLinks, MalformedSpecsAreFatal)
+{
+    sys::SystemConfig s = sys::c4140M();
+    EXPECT_THROW(sys::applyDegradedLinks(s, "nvlink"), FatalError);
+    EXPECT_THROW(sys::applyDegradedLinks(s, "nvlink:"), FatalError);
+    EXPECT_THROW(sys::applyDegradedLinks(s, "nvlink:fast"), FatalError);
+    EXPECT_THROW(sys::applyDegradedLinks(s, "nvlink:0"), FatalError);
+    EXPECT_THROW(sys::applyDegradedLinks(s, "nvlink:1.5"), FatalError);
+    EXPECT_THROW(sys::applyDegradedLinks(s, "GPU0-CPU1:down"),
+                 FatalError); // no such link on the C4140-M
+}
+
+TEST(DegradedLinks, SpecThatStrandsANodeIsRejected)
+{
+    // Downing every PCIe link cuts the GPUs off from the host; the
+    // loader reports a config error instead of crashing downstream.
+    sys::SystemConfig s = sys::t640();
+    EXPECT_THROW(sys::applyDegradedLinks(s, "pcie:down"), FatalError);
+}
+
+TEST(DegradedLinks, PrefabDegradedMachines)
+{
+    sys::SystemConfig down = sys::withNvlinkEdgeDown(sys::c4140M(), 0);
+    EXPECT_TRUE(down.topo.anyLinkDown());
+    EXPECT_NE(down.name.find("nvlink"), std::string::npos);
+    EXPECT_NO_THROW(down.validate());
+
+    sys::SystemConfig slow =
+        sys::withPcieDowntrained(sys::t640(), 0.25);
+    EXPECT_TRUE(slow.topo.degraded());
+    EXPECT_FALSE(slow.topo.anyLinkDown());
+    EXPECT_NO_THROW(slow.validate());
+
+    EXPECT_THROW(sys::withNvlinkEdgeDown(sys::t640(), 0), FatalError);
+    EXPECT_THROW(sys::withPcieDowntrained(sys::t640(), 0.0),
+                 FatalError);
+}
+
+TEST(SystemValidate, CatchesDisconnectedTopology)
+{
+    sys::SystemConfig s = sys::c4140M();
+    // Hand-sever every NVLink *and* the PCIe path from GPU3: the
+    // system validate (which now includes topology validation)
+    // reports it as a config error.
+    for (int e = 0; e < s.topo.edgeCount(); ++e) {
+        auto [a, b] = s.topo.endpoints(e);
+        if (a == s.gpu_nodes[3] || b == s.gpu_nodes[3])
+            s.topo.setLinkDown(e, true);
+    }
+    EXPECT_THROW(s.validate(), FatalError);
+}
+
 } // namespace

@@ -89,6 +89,54 @@ TEST(Trace, SpansStayInsideIterationBudget)
         EXPECT_LE(e.start_us + e.duration_us, horizon) << e.name;
 }
 
+TEST(Trace, LinkFaultTracksAndRerouteMarkers)
+{
+    sys::SystemConfig box = sys::c4140M();
+    std::vector<fault::LinkFaultEvent> faults;
+    faults.push_back({fault::LinkFaultKind::LinkDown, 1.0, 5.0, 0.0,
+                      0, -1});
+    faults.push_back({fault::LinkFaultKind::NvLinkLaneDegrade, 2.0,
+                      10.0, 0.5, 1, -1});
+    faults.push_back({fault::LinkFaultKind::ThermalThrottle, 3.0, 4.0,
+                      0.7, -1, 2});
+
+    prof::TraceBuilder t;
+    t.addLinkFaultTrace(faults, box.topo);
+
+    auto [a0, b0] = box.topo.endpoints(0);
+    std::string edge_track =
+        "Fabric/" + box.topo.name(a0) + "-" + box.topo.name(b0);
+    int on_edge = 0, on_gpu = 0, reroutes = 0, heals = 0,
+        scaled = 0;
+    for (const auto &e : t.events()) {
+        on_edge += e.track == edge_track;
+        on_gpu += e.track == "Fabric/GPU2";
+        reroutes += e.track == "Fabric/reroutes" && e.name == "reroute";
+        heals += e.name == "reroute (heal)";
+        scaled += e.name.find("(x0.50)") != std::string::npos;
+    }
+    EXPECT_EQ(on_edge, 1);
+    EXPECT_EQ(on_gpu, 1);
+    // The hard-down link marks a reroute at onset and at healing.
+    EXPECT_EQ(reroutes, 1);
+    EXPECT_EQ(heals, 1);
+    EXPECT_EQ(scaled, 1);
+}
+
+TEST(Trace, GeneratedLinkTraceSerializes)
+{
+    sys::SystemConfig box = sys::c4140M();
+    fault::LinkFaultModel model(
+        fault::LinkFaultConfig::datacenterProfile(1.0), 11);
+    auto faults = model.generate(24 * 3600.0, box.topo);
+    ASSERT_FALSE(faults.empty());
+    prof::TraceBuilder t;
+    t.addLinkFaultTrace(faults, box.topo);
+    EXPECT_GE(t.events().size(), faults.size());
+    std::string json = t.toJson();
+    EXPECT_NE(json.find("Fabric/"), std::string::npos);
+}
+
 TEST(Trace, WritesFile)
 {
     prof::TraceBuilder t;

@@ -9,7 +9,8 @@
  *   mlpsim schedule [--gpus N] [--system NAME] [--jobs N] <workload...>
  *   mlpsim characterize [--system NAME] [--jobs N]
  *   mlpsim trace <workload> [--system NAME] [--gpus N] [--out FILE]
- *   mlpsim faults <workload> [--mttf-hours H] [--seed S] [...]
+ *   mlpsim faults <workload> [--mttf-hours H] [--link-mttf-hours H]
+ *                            [--seed S] [...]
  *   mlpsim report [--out FILE] [--jobs N] [--cache-dir DIR]
  *   mlpsim cache stats|verify|clear --cache-dir DIR
  *
@@ -32,6 +33,7 @@
 #include "core/suite.h"
 #include "exec/engine.h"
 #include "fault/fault_model.h"
+#include "fault/link_fault.h"
 #include "prof/trace.h"
 #include "sched/gantt.h"
 #include "sched/naive.h"
@@ -39,6 +41,7 @@
 #include "sim/logger.h"
 #include "sys/machines.h"
 #include "train/checkpoint.h"
+#include "train/fabric_faults.h"
 
 namespace {
 
@@ -225,6 +228,8 @@ cmdRun(const Args &args)
         throw UsageError("run: need a workload name");
     sys::SystemConfig machine =
         systemByName(args.get("system", "DSS 8440"));
+    if (args.has("degraded-links"))
+        sys::applyDegradedLinks(machine, args.get("degraded-links", ""));
     core::Suite suite(machine);
     train::RunOptions opts = optionsFrom(args, machine);
     auto r = suite.run(args.positional[0], opts);
@@ -287,6 +292,30 @@ cmdRun(const Args &args)
         std::printf("  goodput      %.3f, availability %.3f\n",
                     ft.goodput(), ft.availability());
     }
+    if (args.has("link-mttf-hours")) {
+        double mttf = args.getDouble("link-mttf-hours", 0.0);
+        if (mttf <= 0.0)
+            sim::fatal("--link-mttf-hours %g: MTTF must be positive "
+                       "hours", mttf);
+        const core::Benchmark *b =
+            suite.registry().find(args.positional[0]);
+        fault::LinkFaultModel model(
+            fault::LinkFaultConfig::datacenterProfile(mttf),
+            static_cast<std::uint64_t>(args.getInt("seed", 42)));
+        train::RunOptions opts = optionsFrom(args, machine);
+        auto lf = train::applyLinkFaultTrace(machine, b->spec(), opts,
+                                             model);
+        std::printf("  --- with link faults (MTTF %.1f h, seed %d) "
+                    "---\n", mttf, args.getInt("seed", 42));
+        std::printf("  expected     %.1f min (%d fabric windows, %d "
+                    "topology epochs)\n", lf.expected_seconds / 60.0,
+                    lf.degradations, lf.topology_epochs);
+        std::printf("  degraded     %.1f min extra, %d stall "
+                    "window(s), up to %d rerouted hop(s)\n",
+                    lf.degraded_overhead_s / 60.0, lf.stalls,
+                    lf.max_reroutes);
+        std::printf("  goodput      %.3f\n", lf.goodput());
+    }
     return 0;
 }
 
@@ -314,9 +343,28 @@ cmdFaults(const Args &args)
                 "%.2f/h, seed %d)\n", trace.size(), hours, gpus,
                 model.config().totalRatePerHour(), seed);
 
+    std::vector<fault::LinkFaultEvent> link_trace;
+    if (args.has("link-mttf-hours")) {
+        double link_mttf = args.getDouble("link-mttf-hours", 0.0);
+        if (link_mttf <= 0.0)
+            sim::fatal("--link-mttf-hours %g: MTTF must be positive "
+                       "hours", link_mttf);
+        fault::LinkFaultModel link_model(
+            fault::LinkFaultConfig::datacenterProfile(link_mttf),
+            static_cast<std::uint64_t>(seed));
+        link_trace = link_model.generate(hours * 3600.0, machine.topo);
+        std::printf("\n%s",
+                    fault::describeLinkTrace(link_trace, machine.topo)
+                        .c_str());
+        std::printf("\n%zu link faults over %.1f h on '%s' (MTTF "
+                    "%.1f h, seed %d)\n", link_trace.size(), hours,
+                    machine.name.c_str(), link_mttf, seed);
+    }
+
     if (args.has("trace")) {
         prof::TraceBuilder tb;
         tb.addFaultTrace(trace);
+        tb.addLinkFaultTrace(link_trace, machine.topo);
         std::string path = args.get("trace", "mlpsim_faults.json");
         if (!tb.writeFile(path))
             sim::fatal("faults: cannot write '%s'", path.c_str());
@@ -506,6 +554,8 @@ usage()
         "  mlpsim run <workload> [--system NAME] [--gpus N]\n"
         "             [--precision fp32|fp16|mixed] [--reference]\n"
         "             [--mttf-hours H [--checkpoint MIN] [--seed S]]\n"
+        "             [--link-mttf-hours H] [--degraded-links SPEC]\n"
+        "             (SPEC: 'GPU0-GPU1:down,nvlink:0.5,...')\n"
         "  mlpsim scaling <workload...> [--system NAME] [--jobs N]\n"
         "             [--cache-dir DIR]\n"
         "  mlpsim schedule [--gpus N] [--system NAME] [--jobs N]\n"
@@ -517,7 +567,8 @@ usage()
         "  mlpsim report [--out FILE] [--jobs N] [--cache-dir DIR]\n"
         "  mlpsim cache stats|verify|clear --cache-dir DIR\n"
         "  mlpsim faults [--system NAME] [--gpus N] [--mttf-hours H]\n"
-        "             [--hours H] [--seed S] [--trace FILE]\n\n"
+        "             [--link-mttf-hours H] [--hours H] [--seed S]\n"
+        "             [--trace FILE]\n\n"
         "Exit codes: 0 ok, 2 usage, 3 configuration, 4 degraded "
         "report, 5 corrupt cache.\n");
 }
