@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Cost of the observability layer on the report hot path.
+ *
+ * Three google-benchmark cases generate the same single-section study
+ * report: telemetry disabled (the default for every user who does not
+ * pass --telemetry-dir), self-tracing enabled, and tracing + the
+ * structured log mirror. The gate the CI relies on: the disabled path
+ * must sit within 2% of a build that never had the obs layer, which
+ * in practice means disarmed spans (one relaxed atomic load each)
+ * must vanish into noise. Run with --benchmark_filter=Telemetry and
+ * compare the disabled case against BM_StudyReportWarm history.
+ *
+ * The micro cases isolate the primitive costs: a disarmed span, an
+ * armed span, and a registry snapshot.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "core/report.h"
+#include "exec/engine.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "sim/logger.h"
+
+namespace {
+
+using namespace mlps;
+
+/** Scaling-only report against a warm cache: the telemetry-sensitive
+ *  part (engine dedupe, cache lookups, rendering) without minutes of
+ *  simulation per iteration. */
+core::ReportOptions
+scalingOnly()
+{
+    core::ReportOptions opts;
+    opts.include_mixed_precision = false;
+    opts.include_topology = false;
+    opts.include_scheduling = false;
+    opts.include_characterization = false;
+    opts.include_faults = false;
+    opts.include_degraded_fabric = false;
+    return opts;
+}
+
+void
+reportLoop(benchmark::State &state, bool tracing, bool structured)
+{
+    obs::SelfTracer &tracer = obs::SelfTracer::global();
+    const std::string log_path =
+        (std::filesystem::temp_directory_path() /
+         "mlpsim_bench_telemetry.jsonl")
+            .string();
+    if (structured)
+        sim::setStructuredLogFile(log_path);
+    tracer.clear();
+    tracer.setEnabled(tracing);
+
+    core::ReportOptions opts = scalingOnly();
+    exec::Engine engine(exec::ExecOptions{1});
+    auto warmup = core::generateStudyReport(opts, engine);
+    benchmark::DoNotOptimize(warmup.data());
+
+    std::size_t iters = 0;
+    for (auto _ : state) {
+        if (tracing && ++iters % 256 == 0) {
+            state.PauseTiming();
+            tracer.clear(); // keep memory flat on long runs
+            state.ResumeTiming();
+        }
+        auto text = core::generateStudyReport(opts, engine);
+        benchmark::DoNotOptimize(text.data());
+    }
+
+    tracer.setEnabled(false);
+    tracer.clear();
+    if (structured) {
+        sim::setStructuredLogFile("");
+        std::filesystem::remove(log_path);
+    }
+}
+
+void
+BM_TelemetryOverhead_Disabled(benchmark::State &state)
+{
+    reportLoop(state, /*tracing=*/false, /*structured=*/false);
+}
+BENCHMARK(BM_TelemetryOverhead_Disabled)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_TelemetryOverhead_Tracing(benchmark::State &state)
+{
+    reportLoop(state, /*tracing=*/true, /*structured=*/false);
+}
+BENCHMARK(BM_TelemetryOverhead_Tracing)->Unit(benchmark::kMillisecond);
+
+void
+BM_TelemetryOverhead_Full(benchmark::State &state)
+{
+    reportLoop(state, /*tracing=*/true, /*structured=*/true);
+}
+BENCHMARK(BM_TelemetryOverhead_Full)->Unit(benchmark::kMillisecond);
+
+void
+BM_SpanDisarmed(benchmark::State &state)
+{
+    obs::SelfTracer::global().setEnabled(false);
+    for (auto _ : state) {
+        obs::Span span("bench", "noop");
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_SpanDisarmed);
+
+void
+BM_SpanArmed(benchmark::State &state)
+{
+    obs::SelfTracer &tracer = obs::SelfTracer::global();
+    tracer.clear();
+    tracer.setEnabled(true);
+    std::size_t iters = 0;
+    for (auto _ : state) {
+        if (++iters % (1u << 18) == 0) {
+            state.PauseTiming();
+            tracer.clear();
+            state.ResumeTiming();
+        }
+        obs::Span span("bench", "recorded");
+        benchmark::ClobberMemory();
+    }
+    tracer.setEnabled(false);
+    tracer.clear();
+}
+BENCHMARK(BM_SpanArmed);
+
+void
+BM_RegistrySnapshot(benchmark::State &state)
+{
+    exec::Engine engine(exec::ExecOptions{1});
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    for (auto _ : state) {
+        auto json = reg.toJson();
+        benchmark::DoNotOptimize(json.data());
+    }
+}
+BENCHMARK(BM_RegistrySnapshot);
+
+} // namespace
+
+BENCHMARK_MAIN();

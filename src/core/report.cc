@@ -10,6 +10,7 @@
 #include "core/suite.h"
 #include "exec/engine.h"
 #include "fault/fault_model.h"
+#include "obs/span.h"
 #include "sched/naive.h"
 #include "sched/optimal.h"
 #include "sys/machines.h"
@@ -390,20 +391,31 @@ generateStudyReport(const ReportOptions &opts, exec::Engine &engine)
     os << "# mlpsim study report\n\n"
        << "Reproduction of 'Demystifying the MLPerf Training "
           "Benchmark Suite' (ISPASS 2020); all numbers modeled.\n\n";
+    // Each section is a harness "phase" span, so --telemetry-dir runs
+    // get per-section wall times in the manifest and self-trace.
+    auto section = [](const char *name, auto &&fn) {
+        obs::Span span("phase", std::string("report/") + name);
+        fn();
+    };
     if (opts.include_scaling)
-        appendScaling(os, suite, engine);
+        section("scaling", [&] { appendScaling(os, suite, engine); });
     if (opts.include_mixed_precision)
-        appendMixedPrecision(os, suite, engine);
+        section("mixed_precision",
+                [&] { appendMixedPrecision(os, suite, engine); });
     if (opts.include_topology)
-        appendTopology(os, suite, engine);
+        section("topology", [&] { appendTopology(os, suite, engine); });
     if (opts.include_scheduling)
-        appendScheduling(os, suite, engine);
+        section("scheduling",
+                [&] { appendScheduling(os, suite, engine); });
     if (opts.include_characterization)
-        appendCharacterization(os, engine);
+        section("characterization",
+                [&] { appendCharacterization(os, engine); });
     if (opts.include_faults)
-        appendFaultTolerance(os, suite, engine);
+        section("fault_tolerance",
+                [&] { appendFaultTolerance(os, suite, engine); });
     if (opts.include_degraded_fabric)
-        appendDegradedFabric(os, suite, engine);
+        section("degraded_fabric",
+                [&] { appendDegradedFabric(os, suite, engine); });
     appendDegradedRuns(os, engine, degraded_mark);
     return os.str();
 }

@@ -7,6 +7,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/span.h"
 #include "sim/logger.h"
 #include "train/trainer.h"
 
@@ -51,6 +52,14 @@ supervised(const RunRequest &req, const Fingerprint &key,
            const std::function<void(const RunRequest &, int)> &hook)
 {
     JobOutcome o;
+    // Formatting the span name costs a few allocations, so skip it
+    // entirely unless the harness trace is actually collecting.
+    std::string span_name;
+    if (obs::SelfTracer::global().enabled())
+        span_name = "evaluate " + req.workload.abbrev + "/" +
+                    req.system.name + "/g" +
+                    std::to_string(req.options.num_gpus);
+    obs::Span span("exec.engine.evaluate", std::move(span_name));
     const int max_attempts = std::max(1, opts.retry.max_attempts);
     double backoff = 0.0;
     for (int attempt = 1;; ++attempt) {
@@ -105,17 +114,37 @@ Engine::Engine(ExecOptions opts)
     : opts_(std::move(opts)), executor_(opts_)
 {
     if (!opts_.cache_dir.empty()) {
+        obs::Span span("exec.engine", "journal_replay");
         journal_ = std::make_unique<Journal>(opts_.cache_dir);
         journal_->load([this](const Fingerprint &key, RunResult &&r) {
             r.from_journal = true;
             cache_.preload(key, std::move(r));
         });
     }
+
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    registrations_.push_back(
+        reg.registerCounter("exec.engine.requests", &requests_));
+    registrations_.push_back(
+        reg.registerCounter("exec.engine.retries", &retries_));
+    registrations_.push_back(
+        reg.registerCounter("exec.engine.backoff_seconds", &backoff_));
+    registrations_.push_back(reg.registerCounter(
+        "exec.engine.deadline_flags", &deadline_flags_));
+    registrations_.push_back(reg.registerGauge(
+        "exec.engine.degraded_runs",
+        [this] { return static_cast<double>(degraded_.size()); }));
+    // Wall time varies with the host and the worker count.
+    registrations_.push_back(
+        reg.registerSampler("exec.engine.run_wall_seconds", &run_wall_,
+                            obs::Volatility::Volatile));
 }
 
 std::vector<RunResult>
 Engine::run(std::vector<RunRequest> requests)
 {
+    obs::Span batch_span("exec.engine",
+                         "batch n=" + std::to_string(requests.size()));
     requests_.add(static_cast<double>(requests.size()));
     std::vector<RunResult> out(requests.size());
 
@@ -127,36 +156,45 @@ Engine::run(std::vector<RunRequest> requests)
     std::vector<std::size_t> job_req; ///< job -> first request index
     std::vector<Fingerprint> job_key;
     std::vector<std::size_t> source(requests.size(), kFromCache);
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-        Fingerprint key = requests[i].key();
-        if (auto cached = cache_.lookup(key)) {
-            out[i] = std::move(*cached);
-            continue;
+    {
+        obs::Span span("exec.engine", "dedupe");
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            Fingerprint key = requests[i].key();
+            request_digest_.mix(key);
+            if (auto cached = cache_.lookup(key)) {
+                out[i] = std::move(*cached);
+                continue;
+            }
+            auto it = job_of.find(key);
+            if (it != job_of.end()) {
+                source[i] = it->second;
+                cache_.noteSharedHit();
+                continue;
+            }
+            std::size_t job = job_req.size();
+            job_of.emplace(key, job);
+            job_req.push_back(i);
+            job_key.push_back(key);
+            source[i] = job;
         }
-        auto it = job_of.find(key);
-        if (it != job_of.end()) {
-            source[i] = it->second;
-            cache_.noteSharedHit();
-            continue;
-        }
-        std::size_t job = job_req.size();
-        job_of.emplace(key, job);
-        job_req.push_back(i);
-        job_key.push_back(key);
-        source[i] = job;
     }
 
     // Evaluate the unique points in parallel under supervision; each
     // job writes only its own slot, and failures stay inside their
     // outcome instead of tearing the batch down.
     std::vector<JobOutcome> job_out(job_req.size());
-    executor_.forEach(job_req.size(), [&](std::size_t j) {
-        job_out[j] = supervised(requests[job_req[j]], job_key[j],
-                                opts_, eval_hook_);
-    });
+    {
+        obs::Span span("exec.engine", "execute jobs=" +
+                                          std::to_string(job_req.size()));
+        executor_.forEach(job_req.size(), [&](std::size_t j) {
+            job_out[j] = supervised(requests[job_req[j]], job_key[j],
+                                    opts_, eval_hook_);
+        });
+    }
 
     // Publish (serial, submission order): fill the cache and journal,
     // account wall times and retries, log captured failures.
+    obs::Span publish_span("exec.engine", "publish");
     std::exception_ptr first_error;
     for (std::size_t j = 0; j < job_out.size(); ++j) {
         JobOutcome &o = job_out[j];
@@ -265,6 +303,36 @@ Engine::summary() const
         text += line;
     }
     return text;
+}
+
+void
+fillManifest(const Engine &engine, obs::RunManifest *manifest)
+{
+    EngineStats s = engine.stats();
+    Fingerprint digest = engine.requestDigest();
+    char hex[36];
+    std::snprintf(hex, sizeof(hex), "%016llx%016llx",
+                  static_cast<unsigned long long>(digest.hi),
+                  static_cast<unsigned long long>(digest.lo));
+
+    manifest->journal_format_version =
+        engine.journal() ? Journal::kVersion : 0;
+    manifest->requests = s.requests;
+    manifest->request_digest = hex;
+    for (const RunError &e : engine.degradedRuns())
+        manifest->degraded.push_back(
+            {e.workload, e.system, e.num_gpus, e.reason});
+
+    manifest->jobs = s.jobs;
+    manifest->cache_hits = s.cache_hits;
+    manifest->unique_runs = s.unique_runs;
+    manifest->journal_loaded = s.journal_loaded;
+    manifest->cache_hit_ratio =
+        s.requests > 0
+            ? static_cast<double>(s.cache_hits) /
+                  static_cast<double>(s.requests)
+            : 0.0;
+    manifest->sim_seconds = s.sim_seconds;
 }
 
 } // namespace mlps::exec

@@ -40,6 +40,8 @@
 #include "exec/journal.h"
 #include "exec/run_cache.h"
 #include "exec/run_request.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
 #include "sim/counters.h"
 
 namespace mlps::exec {
@@ -115,6 +117,16 @@ class Engine
     /** One-line human-readable stats, for CLI/bench output. */
     std::string summary() const;
 
+    /**
+     * Running two-lane FNV digest over every submitted request's
+     * fingerprint, in submission order — deterministic across worker
+     * counts and cache warmth, so it identifies the *study* rather
+     * than the execution. Feeds the run provenance manifest.
+     */
+    Fingerprint requestDigest() const {
+        return request_digest_.digest();
+    }
+
   private:
     ExecOptions opts_;
     Executor executor_;
@@ -128,7 +140,18 @@ class Engine
     sim::Counter deadline_flags_{"engine.deadline_flags"};
     sim::Sampler run_wall_{"engine.run_wall_seconds",
                            /*keep_samples=*/false};
+    HashStream request_digest_;
+
+    // Last members, so they unregister before the counters die.
+    std::vector<obs::MetricRegistry::Registration> registrations_;
 };
+
+/**
+ * Copy an engine's provenance into a manifest: request count and
+ * digest, journal format version and replay count, cache hits and
+ * ratio, degraded runs. Called by the CLI before the engine dies.
+ */
+void fillManifest(const Engine &engine, obs::RunManifest *manifest);
 
 } // namespace mlps::exec
 

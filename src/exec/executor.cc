@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/span.h"
 #include "sim/logger.h"
 
 namespace mlps::exec {
@@ -31,6 +32,21 @@ Executor::Executor(ExecOptions opts) : jobs_(resolveJobs(opts.jobs))
     workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
     for (int i = 0; i < jobs_ - 1; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    registrations_.push_back(reg.registerGauge(
+        "exec.executor.jobs",
+        [this] { return static_cast<double>(jobs_); },
+        obs::Volatility::Volatile));
+    registrations_.push_back(reg.registerGauge(
+        "exec.executor.queue_depth",
+        [this] {
+            std::size_t n = batch_size_.load(std::memory_order_relaxed);
+            std::size_t done =
+                completed_.load(std::memory_order_relaxed);
+            return static_cast<double>(done < n ? n - done : 0);
+        },
+        obs::Volatility::Volatile));
 }
 
 Executor::~Executor()
@@ -85,7 +101,10 @@ Executor::workerLoop()
             continue; // woke after the batch was already torn down
         ++active_;
         lock.unlock();
-        claimLoop(*fn, n);
+        {
+            obs::Span span("exec.executor", "worker_batch");
+            claimLoop(*fn, n);
+        }
         lock.lock();
         if (--active_ == 0)
             done_cv_.notify_all();
@@ -99,8 +118,13 @@ Executor::forEach(std::size_t n,
     if (n == 0)
         return;
     if (workers_.empty()) {
-        for (std::size_t i = 0; i < n; ++i)
+        batch_size_.store(n, std::memory_order_relaxed);
+        completed_.store(0, std::memory_order_relaxed);
+        for (std::size_t i = 0; i < n; ++i) {
             fn(i);
+            completed_.fetch_add(1, std::memory_order_relaxed);
+        }
+        batch_size_.store(0, std::memory_order_relaxed);
         return;
     }
 
@@ -111,6 +135,7 @@ Executor::forEach(std::size_t n,
     batch_n_ = n;
     next_.store(0, std::memory_order_relaxed);
     completed_.store(0, std::memory_order_relaxed);
+    batch_size_.store(n, std::memory_order_relaxed);
     error_ = nullptr;
     ++generation_;
     lock.unlock();
@@ -126,6 +151,7 @@ Executor::forEach(std::size_t n,
     fn_ = nullptr;
     std::exception_ptr err = error_;
     error_ = nullptr;
+    batch_size_.store(0, std::memory_order_relaxed);
     lock.unlock();
     if (err)
         std::rethrow_exception(err);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "exec/supervisor.h"
+#include "obs/registry.h"
 
 namespace mlps::exec {
 
@@ -105,6 +106,11 @@ class Executor
 
     std::atomic<std::size_t> next_{0};
     std::atomic<std::size_t> completed_{0};
+    /** In-flight batch size mirror, for the queue-depth gauge. */
+    std::atomic<std::size_t> batch_size_{0};
+
+    // Last members, so gauges unregister before the state they read.
+    std::vector<obs::MetricRegistry::Registration> registrations_;
 };
 
 } // namespace mlps::exec

@@ -11,6 +11,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include "obs/span.h"
 #include "sim/logger.h"
 
 namespace fs = std::filesystem;
@@ -489,6 +490,7 @@ JournalStats
 Journal::load(
     const std::function<void(const Fingerprint &, RunResult &&)> &fn)
 {
+    obs::Span span("exec.journal", "load");
     std::string buf;
     if (std::ifstream in(path_, std::ios::binary); in) {
         std::ostringstream os;
@@ -523,6 +525,7 @@ Journal::load(
     }
 
     if (rewrite && !stats_.read_only) {
+        obs::Span rewrite_span("exec.journal", "rewrite");
         if (stats_.quarantined_bytes > 0) {
             if (atomicWrite(quarantinePath(dir_), buf))
                 stats_.quarantined = true;

@@ -2,6 +2,25 @@
 
 namespace mlps::exec {
 
+RunCache::RunCache()
+{
+    // Hit/miss/preload split with journal warmth (a warm cache serves
+    // hits where a cold one simulated misses), so all three are
+    // Volatile; the entry count converges to the study's unique points
+    // either way and stays Deterministic.
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    registrations_.push_back(reg.registerCounter(
+        "exec.run_cache.hits", &hits_, obs::Volatility::Volatile));
+    registrations_.push_back(reg.registerCounter(
+        "exec.run_cache.misses", &misses_, obs::Volatility::Volatile));
+    registrations_.push_back(
+        reg.registerCounter("exec.run_cache.preloaded", &preloaded_,
+                            obs::Volatility::Volatile));
+    registrations_.push_back(reg.registerGauge(
+        "exec.run_cache.size",
+        [this] { return static_cast<double>(size()); }));
+}
+
 std::optional<RunResult>
 RunCache::lookup(const Fingerprint &key)
 {

@@ -22,8 +22,10 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "exec/run_request.h"
+#include "obs/registry.h"
 #include "sim/counters.h"
 
 namespace mlps::exec {
@@ -32,7 +34,13 @@ namespace mlps::exec {
 class RunCache
 {
   public:
-    RunCache() = default;
+    /**
+     * Registers its counters (exec.run_cache.hits/misses/preloaded)
+     * and a size gauge in the global MetricRegistry; a newer cache
+     * takes over the names, so CLI stats and telemetry snapshots
+     * always read the live instance.
+     */
+    RunCache();
 
     /**
      * Fetch a stored result. Counts a hit when present; counting a
@@ -83,6 +91,8 @@ class RunCache
     sim::Counter hits_{"run_cache.hits"};
     sim::Counter misses_{"run_cache.misses"};
     sim::Counter preloaded_{"run_cache.preloaded"};
+    // Last members, so they unregister before the counters die.
+    std::vector<obs::MetricRegistry::Registration> registrations_;
 };
 
 } // namespace mlps::exec

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Run provenance manifest: what produced this output, exactly.
+ *
+ * Every CLI invocation under --telemetry-dir writes a
+ * `run_manifest.json` recording the invocation (argv, subcommand),
+ * the study's structural identity (request count and a running digest
+ * over every submitted request fingerprint, per-point config
+ * digests), the durability context (journal format version, cache
+ * hit/miss/preload counts), degraded runs, per-phase wall times and
+ * build info.
+ *
+ * The document has two top-level objects:
+ *   - "deterministic": fields that are a pure function of the study —
+ *     byte-identical across worker counts and cache warmth;
+ *   - "volatile": wall times, timestamps, worker counts, cache
+ *     warmth, argv (it names --jobs), build strings.
+ * Tooling (tools/manifest_check, the CI telemetry job) byte-compares
+ * the deterministic object across runs and only schema-checks the
+ * volatile one.
+ */
+
+#ifndef MLPSIM_OBS_MANIFEST_H
+#define MLPSIM_OBS_MANIFEST_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mlps::obs {
+
+/** One failed run recorded in the manifest (deterministic fields only). */
+struct ManifestDegradedRun {
+    std::string workload;
+    std::string system;
+    int num_gpus = 1;
+    std::string reason; ///< failure class, not the exception text
+};
+
+/** Provenance record of one CLI invocation. */
+struct RunManifest {
+    // -- deterministic ------------------------------------------------
+    std::string command;                ///< CLI subcommand
+    std::uint32_t journal_format_version = 0; ///< 0 = no durable cache
+    std::uint64_t requests = 0;         ///< engine requests submitted
+    std::string request_digest;         ///< hex digest over request keys
+    std::vector<std::string> config_digests; ///< labelled fingerprints
+    std::vector<ManifestDegradedRun> degraded;
+
+    // -- volatile -----------------------------------------------------
+    std::vector<std::string> argv;
+    int jobs = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t unique_runs = 0;
+    std::uint64_t journal_loaded = 0;
+    double cache_hit_ratio = 0.0; ///< hits / requests, 0 when no requests
+    double sim_seconds = 0.0;     ///< summed per-run host wall time
+    double wall_seconds = 0.0;    ///< whole invocation
+    std::int64_t timestamp_unix = 0;
+    std::vector<std::pair<std::string, double>> phases; ///< name, wall s
+    std::string compiler;  ///< __VERSION__
+    std::string build;     ///< "release" | "debug"
+};
+
+/** Serialise to the manifest JSON document (schema version 1). */
+std::string manifestToJson(const RunManifest &m);
+
+/** Current manifest schema version, mirrored in run_manifest.schema.json. */
+constexpr int kManifestVersion = 1;
+
+} // namespace mlps::obs
+
+#endif // MLPSIM_OBS_MANIFEST_H

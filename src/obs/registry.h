@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Harness-wide metric registry.
+ *
+ * The simulator's components already keep sim::Counter / sim::Sampler
+ * instances (cache hits, engine retries, replay counts); the registry
+ * gives them one hierarchical, dot-named namespace and two export
+ * formats — Prometheus text and a canonical JSON snapshot — so a CLI
+ * command, a test, and a scrape all read the *same* numbers.
+ *
+ * Registration is RAII: registering returns a Registration handle
+ * that *retires* the entry when it dies — the final value is frozen
+ * into the row and the live pointer dropped, so a short-lived Engine
+ * (tests build dozens) never leaves a dangling pointer behind, yet a
+ * snapshot taken afterwards (a TelemetrySession finishing after the
+ * command's engine was destroyed) still reports what that engine did.
+ * Re-registering a name replaces the entry — retired or live — (last
+ * writer wins) and the earlier handle's death then leaves the newer
+ * entry alone.
+ *
+ * Volatility: a metric declared Volatile carries host wall-clock or
+ * environment-shaped values (run wall times, worker counts). Exports
+ * list deterministic metrics first and volatile metrics after, so
+ * tooling can byte-compare the deterministic prefix across worker
+ * counts and cache warmth.
+ *
+ * Thread safety: the registry itself is mutex-guarded. Snapshots read
+ * the registered objects without synchronizing them, so take
+ * snapshots between batches (the engine publishes counters from its
+ * serial phase); gauges must be safe to call from any thread.
+ */
+
+#ifndef MLPSIM_OBS_REGISTRY_H
+#define MLPSIM_OBS_REGISTRY_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/counters.h"
+
+namespace mlps::obs {
+
+/** Whether a metric's value is deterministic across reruns. */
+enum class Volatility {
+    Deterministic, ///< pure function of the simulated study
+    Volatile,      ///< host wall time, worker count, environment
+};
+
+/** One metric in a registry snapshot. */
+struct MetricRow {
+    std::string name;        ///< dot-hierarchical, e.g. exec.run_cache.hits
+    std::string kind;        ///< "counter" | "gauge" | "sampler"
+    Volatility volatility = Volatility::Deterministic;
+    double value = 0.0;      ///< counter total / gauge value / sampler sum
+    std::uint64_t events = 0; ///< counter events / sampler count
+    // Sampler-only extras (zero otherwise).
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+};
+
+/** Hierarchically named counters, gauges and samplers. */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** Scoped registration; unregisters on destruction. */
+    class Registration
+    {
+      public:
+        Registration() = default;
+        Registration(Registration &&o) noexcept { swap(o); }
+        Registration &operator=(Registration &&o) noexcept
+        {
+            release();
+            swap(o);
+            return *this;
+        }
+        Registration(const Registration &) = delete;
+        Registration &operator=(const Registration &) = delete;
+        ~Registration() { release(); }
+
+        /** Retire now (no-op when empty or already replaced). */
+        void release();
+
+      private:
+        friend class MetricRegistry;
+        Registration(MetricRegistry *r, std::string name,
+                     std::uint64_t id)
+            : registry_(r), name_(std::move(name)), id_(id) {}
+        void swap(Registration &o)
+        {
+            std::swap(registry_, o.registry_);
+            std::swap(name_, o.name_);
+            std::swap(id_, o.id_);
+        }
+
+        MetricRegistry *registry_ = nullptr;
+        std::string name_;
+        std::uint64_t id_ = 0;
+    };
+
+    /** The process-wide registry (never destroyed). */
+    static MetricRegistry &global();
+
+    /**
+     * Register a counter/sampler by pointer (caller keeps ownership
+     * and must outlive the Registration) or a gauge by callback.
+     * fatal() on a malformed name (allowed: [a-z0-9_] segments
+     * separated by dots).
+     */
+    [[nodiscard]] Registration
+    registerCounter(const std::string &name, const sim::Counter *c,
+                    Volatility v = Volatility::Deterministic);
+    [[nodiscard]] Registration
+    registerSampler(const std::string &name, const sim::Sampler *s,
+                    Volatility v = Volatility::Deterministic);
+    [[nodiscard]] Registration
+    registerGauge(const std::string &name, std::function<double()> fn,
+                  Volatility v = Volatility::Deterministic);
+
+    /** Consistent copy of every metric — live and retired — sorted by
+     *  name. Retired rows carry the value frozen at retirement. */
+    std::vector<MetricRow> snapshot() const;
+
+    /**
+     * Prometheus text exposition: names are prefixed `mlpsim_`, dots
+     * become underscores; counters get `_total`, samplers export
+     * `_count`/`_sum`/`_min`/`_max`.
+     */
+    std::string toPrometheus() const;
+
+    /**
+     * Canonical JSON snapshot: deterministic metrics first, then a
+     * "volatile" array (see Volatility), both name-sorted.
+     */
+    std::string toJson() const;
+
+    /** Value of one registered metric (counter total / gauge / sampler
+     *  sum), frozen value for retired ones; 0 and `found=false` when
+     *  the name was never registered. */
+    double value(const std::string &name, bool *found = nullptr) const;
+
+    /** Number of *live* registrations (retired rows don't count). */
+    std::size_t size() const;
+
+  private:
+    struct Entry {
+        std::uint64_t id = 0;
+        std::string kind;
+        Volatility volatility = Volatility::Deterministic;
+        const sim::Counter *counter = nullptr;
+        const sim::Sampler *sampler = nullptr;
+        std::function<double()> gauge;
+        bool retired = false;
+        MetricRow frozen; ///< final value, captured at retirement
+    };
+
+    /** Current row for an entry: live source or frozen copy. Callers
+     *  hold mu_. */
+    static MetricRow readRow(const std::string &name, const Entry &e);
+
+    Registration add(const std::string &name, Entry entry);
+    void retire(const std::string &name, std::uint64_t id);
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> entries_;
+    std::uint64_t next_id_ = 1;
+};
+
+} // namespace mlps::obs
+
+#endif // MLPSIM_OBS_REGISTRY_H

@@ -1,0 +1,117 @@
+#include "obs/span.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace_json.h"
+
+namespace mlps::obs {
+
+namespace {
+
+/** Stable small index for the calling thread, process-wide. */
+int
+threadIndex()
+{
+    static std::atomic<int> next{0};
+    thread_local int idx = next.fetch_add(1, std::memory_order_relaxed);
+    return idx;
+}
+
+} // namespace
+
+SelfTracer &
+SelfTracer::global()
+{
+    // Leaked: worker threads may record during static destruction.
+    static SelfTracer *t = new SelfTracer;
+    return *t;
+}
+
+double
+SelfTracer::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+SelfTracer::record(const char *component, std::string name,
+                   double start_us, double duration_us)
+{
+    SelfSpan span;
+    int idx = threadIndex();
+    span.track = component;
+    if (idx != 0)
+        span.track += "/t" + std::to_string(idx);
+    span.name = std::move(name);
+    span.start_us = start_us;
+    span.duration_us = duration_us;
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(std::move(span));
+}
+
+std::vector<SelfSpan>
+SelfTracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+}
+
+void
+SelfTracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+}
+
+std::string
+SelfTracer::toJson() const
+{
+    auto events = this->events();
+    std::ostringstream os;
+    os << "[\n";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const SelfSpan &e = events[i];
+        os << "  ";
+        appendTraceEvent(os, e.name, e.track, "harness", e.start_us,
+                         e.duration_us, /*pid=*/2);
+        os << (i + 1 < events.size() ? ",\n" : "\n");
+    }
+    os << "]\n";
+    return os.str();
+}
+
+bool
+SelfTracer::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJson();
+    return static_cast<bool>(out);
+}
+
+Span::Span(const char *component, std::string name)
+{
+    SelfTracer &t = SelfTracer::global();
+    if (!t.enabled())
+        return;
+    component_ = component;
+    name_ = std::move(name);
+    start_us_ = t.nowUs();
+}
+
+Span::~Span()
+{
+    if (!component_)
+        return;
+    SelfTracer &t = SelfTracer::global();
+    if (!t.enabled())
+        return; // disabled mid-span: drop it
+    t.record(component_, std::move(name_), start_us_,
+             t.nowUs() - start_us_);
+}
+
+} // namespace mlps::obs

@@ -1,0 +1,108 @@
+#include "obs/telemetry.h"
+
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "sim/logger.h"
+
+namespace mlps::obs {
+
+namespace {
+
+TelemetrySession *g_current = nullptr;
+
+bool
+writeText(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    if (!out) {
+        sim::warn("telemetry: cannot write '%s'", path.c_str());
+        return false;
+    }
+    out << text;
+    if (!out) {
+        sim::warn("telemetry: short write to '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+TelemetrySession::TelemetrySession(std::string dir, std::string command,
+                                   std::vector<std::string> argv)
+    : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        sim::fatal("--telemetry-dir '%s': cannot create directory: %s",
+                   dir_.c_str(), ec.message().c_str());
+
+    manifest_.command = std::move(command);
+    manifest_.argv = std::move(argv);
+    manifest_.compiler = __VERSION__;
+#ifdef NDEBUG
+    manifest_.build = "release";
+#else
+    manifest_.build = "debug";
+#endif
+
+    sim::setStructuredLogFile(dir_ + "/harness_log.jsonl");
+    SelfTracer &tracer = SelfTracer::global();
+    tracer.clear();
+    tracer.setEnabled(true);
+    start_us_ = tracer.nowUs();
+    g_current = this;
+}
+
+TelemetrySession::~TelemetrySession()
+{
+    finish();
+}
+
+TelemetrySession *
+TelemetrySession::current()
+{
+    return g_current;
+}
+
+bool
+TelemetrySession::finish()
+{
+    if (finished_)
+        return true;
+    finished_ = true;
+    if (g_current == this)
+        g_current = nullptr;
+
+    SelfTracer &tracer = SelfTracer::global();
+    manifest_.wall_seconds = (tracer.nowUs() - start_us_) / 1e6;
+    manifest_.timestamp_unix =
+        static_cast<std::int64_t>(std::time(nullptr));
+    for (const SelfSpan &s : tracer.events()) {
+        if (s.track == "phase" || s.track.rfind("phase/", 0) == 0)
+            manifest_.phases.emplace_back(s.name,
+                                          s.duration_us / 1e6);
+    }
+
+    tracer.setEnabled(false);
+    bool ok = true;
+    if (!tracer.writeFile(dir_ + "/self_trace.json")) {
+        sim::warn("telemetry: cannot write '%s'",
+                  (dir_ + "/self_trace.json").c_str());
+        ok = false;
+    }
+    MetricRegistry &reg = MetricRegistry::global();
+    ok &= writeText(dir_ + "/metrics.json", reg.toJson());
+    ok &= writeText(dir_ + "/metrics.prom", reg.toPrometheus());
+    ok &= writeText(dir_ + "/run_manifest.json",
+                    manifestToJson(manifest_));
+    sim::setStructuredLogFile("");
+    return ok;
+}
+
+} // namespace mlps::obs

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Telemetry session: the --telemetry-dir implementation.
+ *
+ * Constructing a session arms the whole observability layer for one
+ * CLI invocation: the global SelfTracer starts collecting spans, the
+ * logger mirrors every line as structured JSON into
+ * `<dir>/harness_log.jsonl`, and a RunManifest starts accumulating
+ * provenance. finish() (or destruction) writes the artifacts:
+ *
+ *   <dir>/run_manifest.json   provenance (see obs/manifest.h)
+ *   <dir>/metrics.json        canonical metric snapshot
+ *   <dir>/metrics.prom        Prometheus text exposition
+ *   <dir>/self_trace.json     harness Chrome-trace (ui.perfetto.dev)
+ *   <dir>/harness_log.jsonl   structured log lines
+ *
+ * Per-phase wall times in the manifest are derived from spans whose
+ * component is "phase" (see obs::Span); the CLI wraps each subcommand
+ * in one, and core/report adds one per section.
+ *
+ * Exactly one session exists at a time; code that wants to annotate
+ * it (the CLI noting an engine's stats) reaches it via current().
+ */
+
+#ifndef MLPSIM_OBS_TELEMETRY_H
+#define MLPSIM_OBS_TELEMETRY_H
+
+#include <string>
+#include <vector>
+
+#include "obs/manifest.h"
+
+namespace mlps::obs {
+
+/** Scoped telemetry capture writing artifacts to one directory. */
+class TelemetrySession
+{
+  public:
+    /**
+     * Arm telemetry, writing into `dir` (created, parents included,
+     * if missing — sim::fatal() when that fails). `command` and
+     * `argv` seed the manifest.
+     */
+    TelemetrySession(std::string dir, std::string command,
+                     std::vector<std::string> argv);
+    ~TelemetrySession();
+
+    TelemetrySession(const TelemetrySession &) = delete;
+    TelemetrySession &operator=(const TelemetrySession &) = delete;
+
+    /** The live session, or null when telemetry is off. */
+    static TelemetrySession *current();
+
+    /** Mutable manifest, for callers annotating provenance. */
+    RunManifest &manifest() { return manifest_; }
+
+    /** Artifact directory. */
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Write every artifact and disarm tracing/structured logging.
+     * Idempotent; also invoked by the destructor. @return false when
+     * any artifact failed to write (a warning names the file).
+     */
+    bool finish();
+
+  private:
+    std::string dir_;
+    RunManifest manifest_;
+    double start_us_ = 0.0;
+    bool finished_ = false;
+};
+
+} // namespace mlps::obs
+
+#endif // MLPSIM_OBS_TELEMETRY_H

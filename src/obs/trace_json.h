@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared Chrome-trace JSON emitter.
+ *
+ * One escaper and one complete-event serializer feed both trace
+ * exports in the tree: the *modeled* timeline (prof::TraceBuilder —
+ * what the simulated run did) and the *harness* self-trace
+ * (obs::SelfTracer — what the simulator process did). Keeping them on
+ * a single code path means an escaping fix, or a viewer-compatibility
+ * tweak, can never drift between the two.
+ *
+ * Also hosts a dependency-free JSON well-formedness checker used by
+ * tests and `manifest_check` to validate emitted artifacts without an
+ * external parser.
+ */
+
+#ifndef MLPSIM_OBS_TRACE_JSON_H
+#define MLPSIM_OBS_TRACE_JSON_H
+
+#include <ostream>
+#include <string>
+
+namespace mlps::obs {
+
+/**
+ * Escape a byte string for embedding in a JSON string literal:
+ * quotes and backslashes get a backslash, control bytes below 0x20
+ * become \n, \t, \r or \u00XX. Non-ASCII bytes pass through verbatim
+ * (the emitters write UTF-8).
+ */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Append one Chrome complete ("X") trace event object, no trailing
+ * separator. `cat` distinguishes model traces ("model") from the
+ * harness self-trace ("harness").
+ */
+void appendTraceEvent(std::ostream &os, const std::string &name,
+                      const std::string &track, const char *cat,
+                      double ts_us, double dur_us, int pid = 1);
+
+/**
+ * Syntax-check a JSON document (objects, arrays, strings, numbers,
+ * literals; rejects trailing garbage). @return true when `text`
+ * parses; on failure `error` (if given) names the first problem and
+ * its byte offset.
+ */
+bool jsonValid(const std::string &text, std::string *error = nullptr);
+
+} // namespace mlps::obs
+
+#endif // MLPSIM_OBS_TRACE_JSON_H

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/trace_json.h"
 #include "sim/logger.h"
 
 namespace mlps::prof {
@@ -109,34 +110,19 @@ TraceBuilder::addLinkFaultTrace(
     }
 }
 
-namespace {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out;
-}
-
-} // namespace
-
 std::string
 TraceBuilder::toJson() const
 {
+    // Serialised by the shared emitter (obs/trace_json.h) so the
+    // modeled trace and the harness self-trace can never diverge in
+    // escaping or event shape.
     std::ostringstream os;
     os << "[\n";
     for (std::size_t i = 0; i < events_.size(); ++i) {
         const TraceEvent &e = events_[i];
-        os << "  {\"name\": \"" << jsonEscape(e.name)
-           << "\", \"cat\": \"model\", \"ph\": \"X\", \"ts\": "
-           << e.start_us << ", \"dur\": " << e.duration_us
-           << ", \"pid\": 1, \"tid\": \"" << jsonEscape(e.track)
-           << "\"}";
+        os << "  ";
+        obs::appendTraceEvent(os, e.name, e.track, "model", e.start_us,
+                              e.duration_us, /*pid=*/1);
         os << (i + 1 < events_.size() ? ",\n" : "\n");
     }
     os << "]\n";

@@ -1,13 +1,19 @@
 #include "sim/logger.h"
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace mlps::sim {
 
 namespace {
 
 LogLevel g_level = LogLevel::Warn;
+
+std::mutex g_structured_mu;
+std::FILE *g_structured = nullptr;
 
 std::string
 vformat(const char *fmt, std::va_list ap)
@@ -25,11 +31,136 @@ vformat(const char *fmt, std::va_list ap)
     return out;
 }
 
+double
+monotonicUs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return std::chrono::duration<double, std::micro>(clock::now() -
+                                                     epoch)
+        .count();
+}
+
+std::string
+jsonEscapeLog(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += static_cast<char>(c);
+        } else if (c == '\n') {
+            out += "\\n";
+        } else if (c == '\t') {
+            out += "\\t";
+        } else if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+bool
+identChar(unsigned char c)
+{
+    return std::isalnum(c) || c == '_' || c == '.' || c == '-';
+}
+
+/**
+ * Split the conventional "component: message" prefix: the component
+ * must be a single identifier-ish token, else the whole string is the
+ * message.
+ */
+void
+splitComponent(const std::string &text, std::string *component,
+               std::string *msg)
+{
+    std::size_t colon = text.find(": ");
+    if (colon != std::string::npos && colon > 0 &&
+        colon <= 32) { // long prefixes are prose, not components
+        bool ident = true;
+        for (std::size_t i = 0; i < colon; ++i)
+            if (!identChar(static_cast<unsigned char>(text[i])))
+                ident = false;
+        if (ident) {
+            *component = text.substr(0, colon);
+            *msg = text.substr(colon + 2);
+            return;
+        }
+    }
+    component->clear();
+    *msg = text;
+}
+
+/** Collect key=value tokens ("retries=3, backoff=0.5s") from a message. */
+std::string
+fieldsJson(const std::string &msg)
+{
+    std::string out;
+    std::size_t i = 0;
+    while (i < msg.size()) {
+        // A key starts a token: preceded by start/space/'(' or ','.
+        if (i > 0 && msg[i - 1] != ' ' && msg[i - 1] != '(' &&
+            msg[i - 1] != ',') {
+            ++i;
+            continue;
+        }
+        std::size_t k = i;
+        while (k < msg.size() &&
+               (std::isalnum(static_cast<unsigned char>(msg[k])) ||
+                msg[k] == '_'))
+            ++k;
+        if (k == i || k >= msg.size() || msg[k] != '=' ||
+            k + 1 >= msg.size() || msg[k + 1] == ' ') {
+            i = k + 1;
+            continue;
+        }
+        std::size_t v = k + 1;
+        while (v < msg.size() && msg[v] != ' ' && msg[v] != ',' &&
+               msg[v] != ')')
+            ++v;
+        if (!out.empty())
+            out += ", ";
+        out += "\"" + jsonEscapeLog(msg.substr(i, k - i)) + "\": \"" +
+               jsonEscapeLog(msg.substr(k + 1, v - k - 1)) + "\"";
+        i = v + 1;
+    }
+    return out;
+}
+
+void
+emitStructured(const char *level, const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(g_structured_mu);
+    if (!g_structured)
+        return;
+    std::string component, msg;
+    splitComponent(text, &component, &msg);
+    std::string fields = fieldsJson(msg);
+    std::fprintf(g_structured,
+                 "{\"ts_us\": %.1f, \"level\": \"%s\", "
+                 "\"component\": \"%s\", \"msg\": \"%s\"",
+                 monotonicUs(), level,
+                 jsonEscapeLog(component).c_str(),
+                 jsonEscapeLog(msg).c_str());
+    if (!fields.empty())
+        std::fprintf(g_structured, ", \"fields\": {%s}",
+                     fields.c_str());
+    std::fprintf(g_structured, "}\n");
+    std::fflush(g_structured);
+}
+
 void
 emit(const char *tag, const char *fmt, std::va_list ap)
 {
     std::string msg = vformat(fmt, ap);
     std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    emitStructured(tag, msg);
 }
 
 } // namespace
@@ -44,6 +175,29 @@ void
 setLogLevel(LogLevel level)
 {
     g_level = level;
+}
+
+void
+setStructuredLogFile(const std::string &path)
+{
+    std::FILE *next = nullptr;
+    if (!path.empty()) {
+        next = std::fopen(path.c_str(), "w");
+        if (!next)
+            fatal("structured log '%s': cannot open for writing",
+                  path.c_str());
+    }
+    std::lock_guard<std::mutex> lock(g_structured_mu);
+    if (g_structured)
+        std::fclose(g_structured);
+    g_structured = next;
+}
+
+bool
+structuredLogEnabled()
+{
+    std::lock_guard<std::mutex> lock(g_structured_mu);
+    return g_structured != nullptr;
 }
 
 void
@@ -86,6 +240,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    emitStructured("fatal", msg);
     throw FatalError(msg);
 }
 
@@ -94,8 +249,10 @@ panic(const char *fmt, ...)
 {
     std::va_list ap;
     va_start(ap, fmt);
-    emit("panic", fmt, ap);
+    std::string msg = vformat(fmt, ap);
     va_end(ap);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emitStructured("panic", msg);
     std::abort();
 }
 

@@ -39,6 +39,25 @@ LogLevel logLevel();
 /** Set the process-wide log level. */
 void setLogLevel(LogLevel level);
 
+/**
+ * Mirror every log line (including fatal/panic, which always mirror
+ * regardless of the verbosity gate) into `path` as structured JSON
+ * lines, one object per line:
+ *
+ *   {"ts_us": <monotonic us since process start>, "level": "warn",
+ *    "component": "engine", "msg": "...", "fields": {"k": "v", ...}}
+ *
+ * The component is parsed from the conventional "component: message"
+ * prefix the call sites already use, and `fields` collects key=value
+ * tokens found in the message — so the existing printf API gains
+ * structure without any call-site churn. An empty path disables the
+ * mirror (and closes the file). fatal() on an unwritable path.
+ */
+void setStructuredLogFile(const std::string &path);
+
+/** Whether a structured mirror is currently open. */
+bool structuredLogEnabled();
+
 /** printf-style informational message, shown at Info and above. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 

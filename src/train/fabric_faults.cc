@@ -7,6 +7,8 @@
 #include <map>
 #include <sstream>
 
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "sim/logger.h"
 
 namespace mlps::train {
@@ -14,6 +16,26 @@ namespace mlps::train {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Degraded fabric states actually modeled (memoization misses). */
+sim::Counter &
+stateModels()
+{
+    static sim::Counter c{"fabric.state_models"};
+    static auto reg = obs::MetricRegistry::global().registerCounter(
+        "train.fabric.state_models", &c);
+    return c;
+}
+
+/** Trace replays, counting horizon-regeneration retries. */
+sim::Counter &
+traceReplays()
+{
+    static sim::Counter c{"fabric.replays"};
+    static auto reg = obs::MetricRegistry::global().registerCounter(
+        "train.fabric.replays", &c);
+    return c;
+}
 
 /** Non-fatal connectivity probe over up edges. */
 bool
@@ -102,6 +124,8 @@ applyLinkFaultTrace(const sys::SystemConfig &system,
         auto it = models.find(key);
         if (it != models.end())
             return it->second;
+        stateModels().add(1.0);
+        obs::Span span("train.fabric", "model_state");
         StateModel m;
         if (!fullyConnectedUp(scratch.topo)) {
             // The fault stranded part of the machine: no route, no
@@ -125,6 +149,9 @@ applyLinkFaultTrace(const sys::SystemConfig &system,
     // prefix-stable, so the replay stays deterministic).
     double horizon = std::max(2.0 * work, work + 3600.0);
     for (int attempt = 0; attempt < 24; ++attempt) {
+        traceReplays().add(1.0);
+        obs::Span replay_span("train.fabric",
+                              "replay attempt=" + std::to_string(attempt));
         auto trace = faults.generate(horizon, healthy.topo);
 
         std::vector<double> bounds;

@@ -416,6 +416,18 @@ TEST(Sampler, PercentileWithoutSamplesIsFatal)
     EXPECT_THROW(dropped.percentile(50), FatalError);
 }
 
+TEST(Sampler, PercentileSingleSampleIsThatSample)
+{
+    Sampler s("one", true);
+    s.record(7.5);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 7.5);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 7.5);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 7.5);
+    // Out-of-range p clamps instead of indexing out of bounds.
+    EXPECT_DOUBLE_EQ(s.percentile(-10), 7.5);
+    EXPECT_DOUBLE_EQ(s.percentile(250), 7.5);
+}
+
 TEST(Sampler, ResetClears)
 {
     Sampler s;
@@ -424,6 +436,14 @@ TEST(Sampler, ResetClears)
     s.reset();
     EXPECT_EQ(s.count(), 0u);
     EXPECT_TRUE(s.samples().empty());
+}
+
+TEST(Sampler, PercentileAfterResetIsFatal)
+{
+    Sampler s("r", true);
+    s.record(1.0);
+    s.reset();
+    EXPECT_THROW(s.percentile(50), FatalError);
 }
 
 TEST(TimeWeightedAverage, ConstantSignal)

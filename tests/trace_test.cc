@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "models/zoo.h"
+#include "obs/trace_json.h"
 #include "prof/trace.h"
 #include "sim/logger.h"
 #include "sys/machines.h"
@@ -40,6 +41,47 @@ TEST(Trace, EscapesQuotes)
     t.add("GPU0", "say \"hi\"", 0.0, 1.0);
     std::string json = t.toJson();
     EXPECT_NE(json.find("say \\\"hi\\\""), std::string::npos);
+}
+
+// Hostile names and tracks must survive the shared emitter
+// (obs::appendTraceEvent) and still produce parseable JSON — the same
+// escaping path serves the harness self-trace (see obs_test.cc).
+TEST(Trace, HostileNamesRoundTripThroughSharedEmitter)
+{
+    const std::string hostile[] = {
+        "quote \" backslash \\",
+        "newline\nand\ttab",
+        "carriage\rreturn",
+        std::string("nul\x01") + "ctrl",
+        "unicode: désolé 模型 🙂",
+    };
+    prof::TraceBuilder t;
+    for (const std::string &s : hostile)
+        t.add("track " + s, "name " + s, 0.0, 1.0);
+    std::string json = t.toJson();
+    std::string error;
+    EXPECT_TRUE(obs::jsonValid(json, &error)) << error;
+    // Escapes present, raw specials absent from the payload.
+    EXPECT_NE(json.find("\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\\\"), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    EXPECT_NE(json.find("\\t"), std::string::npos);
+    EXPECT_NE(json.find("\\r"), std::string::npos);
+    EXPECT_NE(json.find("\\u0001"), std::string::npos);
+    // Non-ASCII passes through verbatim (UTF-8); no raw control bytes
+    // survive inside any emitted string.
+    EXPECT_NE(json.find("désolé 模型 🙂"), std::string::npos);
+    EXPECT_EQ(json.find('\x01'), std::string::npos);
+    EXPECT_EQ(json.find("newline\n"), std::string::npos);
+}
+
+TEST(Trace, EmitterJsonParses)
+{
+    prof::TraceBuilder t;
+    t.add("GPU0", "fwd", 0.5, 10.25);
+    t.add("Host", "load", 1.0, 2.0);
+    std::string error;
+    EXPECT_TRUE(obs::jsonValid(t.toJson(), &error)) << error;
 }
 
 TEST(Trace, NegativeSpanIsFatal)

@@ -14,6 +14,11 @@
  *   mlpsim report [--out FILE] [--jobs N] [--cache-dir DIR]
  *   mlpsim cache stats|verify|clear --cache-dir DIR
  *
+ * Every subcommand additionally accepts --telemetry-dir DIR: the
+ * invocation then writes a provenance manifest, metric snapshots
+ * (JSON + Prometheus), a harness self-trace and a structured log into
+ * DIR (see docs/OBSERVABILITY.md).
+ *
  * Exit codes: 0 success, 2 usage error, 3 configuration error,
  * 4 report written but degraded (some runs failed), 5 cache
  * corruption detected by `cache verify`.
@@ -24,6 +29,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -34,6 +40,9 @@
 #include "exec/engine.h"
 #include "fault/fault_model.h"
 #include "fault/link_fault.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
 #include "prof/trace.h"
 #include "sched/gantt.h"
 #include "sched/naive.h"
@@ -186,6 +195,28 @@ makeEngine(const Args &args,
     return exec::Engine(std::move(eopts));
 }
 
+/** Copy an engine's provenance into the live telemetry session. */
+void
+noteEngine(const exec::Engine &engine)
+{
+    if (auto *t = obs::TelemetrySession::current())
+        exec::fillManifest(engine, &t->manifest());
+}
+
+/** Record a labelled config fingerprint in the manifest. */
+void
+noteConfigDigest(const std::string &label, const exec::Fingerprint &fp)
+{
+    auto *t = obs::TelemetrySession::current();
+    if (!t)
+        return;
+    char hex[36];
+    std::snprintf(hex, sizeof(hex), "%016llx%016llx",
+                  static_cast<unsigned long long>(fp.hi),
+                  static_cast<unsigned long long>(fp.lo));
+    t->manifest().config_digests.push_back(label + "=" + hex);
+}
+
 int
 cmdList()
 {
@@ -230,6 +261,8 @@ cmdRun(const Args &args)
         systemByName(args.get("system", "DSS 8440"));
     if (args.has("degraded-links"))
         sys::applyDegradedLinks(machine, args.get("degraded-links", ""));
+    noteConfigDigest("system:" + machine.name,
+                     exec::fingerprintOf(machine));
     core::Suite suite(machine);
     train::RunOptions opts = optionsFrom(args, machine);
     auto r = suite.run(args.positional[0], opts);
@@ -387,6 +420,9 @@ cmdScaling(const Args &args)
         counts.push_back(n);
     exec::Engine engine = makeEngine(args);
     auto rows = suite.scalingStudy(args.positional, counts, &engine);
+    noteConfigDigest("system:" + machine.name,
+                     exec::fingerprintOf(machine));
+    noteEngine(engine);
     std::printf("%-15s %12s %12s %8s", "workload", "P100 ref(min)",
                 "1 GPU(min)", "P-to-V");
     for (std::size_t i = 1; i < counts.size(); ++i)
@@ -413,6 +449,9 @@ cmdSchedule(const Args &args)
     core::Suite suite(machine);
     exec::Engine engine = makeEngine(args);
     auto jobs = suite.jobSpecs(args.positional, gpus, &engine);
+    noteConfigDigest("system:" + machine.name,
+                     exec::fingerprintOf(machine));
+    noteEngine(engine);
     auto naive = sched::naiveSchedule(jobs, gpus);
     auto opt = sched::optimalSchedule(jobs, gpus);
     std::printf("naive %.2f h, optimal %.2f h (saves %.1f h)\n\n%s",
@@ -430,6 +469,9 @@ cmdCharacterize(const Args &args)
     exec::Engine engine = makeEngine(args);
     auto rep = core::characterize(machine, gpusFrom(args, machine, 1),
                                   &engine);
+    noteConfigDigest("system:" + machine.name,
+                     exec::fingerprintOf(machine));
+    noteEngine(engine);
     std::printf("%-15s %-10s %9s %9s %10s %10s\n", "workload", "suite",
                 "PC1", "PC2", "TFLOP/s", "FLOP/B");
     for (std::size_t i = 0; i < rep.workloads.size(); ++i) {
@@ -480,6 +522,7 @@ cmdReport(const Args &args)
     exec::Engine engine = makeEngine(args, exec::ErrorPolicy::Capture);
     if (!core::writeStudyReport(path, ropts, engine))
         sim::fatal("report: cannot write '%s'", path.c_str());
+    noteEngine(engine);
     std::printf("wrote %s\n", path.c_str());
     std::fprintf(stderr, "%s\n", engine.summary().c_str());
     const auto &degraded = engine.degradedRuns();
@@ -524,6 +567,24 @@ cmdCache(const Args &args)
                     static_cast<unsigned long long>(v.total_bytes));
         if (!v.corrupt()) {
             std::printf("  integrity ok\n");
+            if (sub == "stats") {
+                // Replay the journal through a real engine so the
+                // numbers come from the live metric registry — the
+                // same source `--telemetry-dir` snapshots.
+                exec::ExecOptions eopts(1);
+                eopts.cache_dir = dir;
+                exec::Engine engine{std::move(eopts)};
+                obs::MetricRegistry &reg =
+                    obs::MetricRegistry::global();
+                std::printf("  registry:\n");
+                for (const char *name :
+                     {"exec.run_cache.hits", "exec.run_cache.misses",
+                      "exec.run_cache.preloaded",
+                      "exec.run_cache.size"})
+                    std::printf("    %-26s %.0f\n", name,
+                                reg.value(name));
+                noteEngine(engine);
+            }
             return kOk;
         }
         std::printf("  CORRUPT: %s\n", v.error.c_str());
@@ -569,6 +630,9 @@ usage()
         "  mlpsim faults [--system NAME] [--gpus N] [--mttf-hours H]\n"
         "             [--link-mttf-hours H] [--hours H] [--seed S]\n"
         "             [--trace FILE]\n\n"
+        "Every command accepts --telemetry-dir DIR: write a run\n"
+        "manifest, metric snapshots, a harness self-trace and a\n"
+        "structured log into DIR (docs/OBSERVABILITY.md).\n\n"
         "Exit codes: 0 ok, 2 usage, 3 configuration, 4 degraded "
         "report, 5 corrupt cache.\n");
 }
@@ -584,7 +648,20 @@ main(int argc, char **argv)
     }
     std::string cmd = argv[1];
     Args args = Args::parse(argc, argv, 2);
+    // Declared before the try so artifacts still flush (via the
+    // destructor's finish()) when a command exits through fatal().
+    std::unique_ptr<obs::TelemetrySession> telemetry;
     try {
+        if (args.has("telemetry-dir")) {
+            std::string dir = args.get("telemetry-dir", "");
+            if (dir.empty() || dir == "true")
+                throw UsageError(
+                    "--telemetry-dir needs a directory path");
+            telemetry = std::make_unique<obs::TelemetrySession>(
+                dir, cmd,
+                std::vector<std::string>(argv, argv + argc));
+        }
+        obs::Span cmd_span("phase", cmd);
         if (cmd == "list")
             return cmdList();
         if (cmd == "run")
