@@ -70,8 +70,36 @@ supervised(const RunRequest &req, const Fingerprint &key,
             o.result.attempts = attempt;
             o.backoff_s = backoff;
             if (opts.run_deadline_s > 0.0 &&
-                o.result.wall_seconds > opts.run_deadline_s)
+                o.result.wall_seconds > opts.run_deadline_s) {
                 o.result.deadline_flagged = true;
+                if (opts.deadline_policy == DeadlinePolicy::Capture) {
+                    // The caller asked for a bounded answer: the slow
+                    // result becomes a structured error for this
+                    // request only — never cached, never journaled —
+                    // instead of wedging a worker's output.
+                    auto err = std::make_shared<RunError>();
+                    err->key = key;
+                    err->workload = req.workload.abbrev;
+                    err->system = req.system.name;
+                    err->num_gpus = req.options.num_gpus;
+                    err->reason = "deadline";
+                    char what[128];
+                    std::snprintf(what, sizeof(what),
+                                  "run took %.3f s, past the %.3f s "
+                                  "deadline",
+                                  o.result.wall_seconds,
+                                  opts.run_deadline_s);
+                    err->what = what;
+                    err->attempts = attempt;
+                    err->backoff_s = backoff;
+                    o.result.error = err;
+                    // Under ErrorPolicy::Throw the publish phase
+                    // rethrows o.raw, so give it a real exception.
+                    o.raw = std::make_exception_ptr(
+                        std::runtime_error(err->what));
+                    o.error = std::move(err);
+                }
+            }
             return o;
         } catch (...) {
             FailureClass fc = classifyFailure(std::current_exception());
@@ -113,6 +141,11 @@ supervised(const RunRequest &req, const Fingerprint &key,
 Engine::Engine(ExecOptions opts)
     : opts_(std::move(opts)), executor_(opts_)
 {
+    // Bound the cache before the replay: preloading a journal larger
+    // than the budget then keeps only the most recently appended
+    // entries instead of transiently holding the whole file.
+    cache_.setBudget(
+        {opts_.cache_max_entries, opts_.cache_max_bytes});
     if (!opts_.cache_dir.empty()) {
         obs::Span span("exec.engine", "journal_replay");
         journal_ = std::make_unique<Journal>(opts_.cache_dir);
@@ -143,6 +176,13 @@ Engine::Engine(ExecOptions opts)
 std::vector<RunResult>
 Engine::run(std::vector<RunRequest> requests)
 {
+    return run(std::move(requests), ResultSink());
+}
+
+std::vector<RunResult>
+Engine::run(std::vector<RunRequest> requests,
+            const ResultSink &on_ready)
+{
     obs::Span batch_span("exec.engine",
                          "batch n=" + std::to_string(requests.size()));
     requests_.add(static_cast<double>(requests.size()));
@@ -163,6 +203,8 @@ Engine::run(std::vector<RunRequest> requests)
             request_digest_.mix(key);
             if (auto cached = cache_.lookup(key)) {
                 out[i] = std::move(*cached);
+                if (on_ready) // hits stream before any simulation
+                    on_ready(i, out[i]);
                 continue;
             }
             auto it = job_of.find(key);
@@ -201,6 +243,8 @@ Engine::run(std::vector<RunRequest> requests)
         if (o.error) {
             retries_.add(static_cast<double>(o.error->attempts - 1));
             backoff_.add(o.backoff_s);
+            if (o.result.deadline_flagged)
+                deadline_flags_.add(1.0);
             if (opts_.on_error == ErrorPolicy::Throw) {
                 if (!first_error)
                     first_error = o.raw;
@@ -225,10 +269,26 @@ Engine::run(std::vector<RunRequest> requests)
             journal_->append(job_key[j], o.result);
         run_wall_.record(o.result.wall_seconds);
     }
-    if (first_error)
-        std::rethrow_exception(first_error);
+    // Compaction: once a bounded cache has evicted enough that the
+    // journal is mostly cold (live/total below the threshold), write
+    // the live working set back and drop the cold majority. Checked
+    // after publish so one pass covers the whole batch.
+    if (journal_ && cache_.budget().bounded() &&
+        opts_.journal_compact_ratio > 0.0) {
+        const std::size_t total = journal_->records();
+        const std::size_t live = cache_.size();
+        // Below ~2x the cache budget a rewrite saves little and would
+        // run on every batch; wait until the file is worth shrinking.
+        if (total >= 16 && total > live &&
+            static_cast<double>(live) <
+                opts_.journal_compact_ratio *
+                    static_cast<double>(total))
+            journal_->compact(cache_.entriesLruOrder());
+    }
 
     // Fan results out to duplicate requests, in submission order.
+    // (Under ErrorPolicy::Throw the rethrow happens after the fan-out
+    // so a streaming sink still sees every successful sibling.)
     for (std::size_t i = 0; i < requests.size(); ++i) {
         if (source[i] == kFromCache)
             continue; // already filled from the cache
@@ -236,7 +296,11 @@ Engine::run(std::vector<RunRequest> requests)
         const bool first = job_req[j] == i;
         out[i] = job_out[j].result;
         out[i].cache_hit = !first && !out[i].error;
+        if (on_ready)
+            on_ready(i, out[i]);
     }
+    if (first_error)
+        std::rethrow_exception(first_error);
     return out;
 }
 
@@ -263,6 +327,8 @@ Engine::stats() const
     s.backoff_seconds = backoff_.total();
     s.deadline_flags =
         static_cast<std::uint64_t>(deadline_flags_.total());
+    s.evictions = cache_.evictions();
+    s.compactions = journal_ ? journal_->compactions() : 0;
     return s;
 }
 
@@ -300,6 +366,13 @@ Engine::summary() const
     if (s.deadline_flags > 0) {
         std::snprintf(line, sizeof(line), ", %llu past deadline",
                       static_cast<unsigned long long>(s.deadline_flags));
+        text += line;
+    }
+    if (s.evictions > 0) {
+        std::snprintf(line, sizeof(line),
+                      ", %llu evicted (%llu compactions)",
+                      static_cast<unsigned long long>(s.evictions),
+                      static_cast<unsigned long long>(s.compactions));
         text += line;
     }
     return text;

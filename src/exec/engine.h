@@ -58,12 +58,28 @@ struct EngineStats {
     std::uint64_t retries = 0;     ///< re-evaluations after transients
     double backoff_seconds = 0.0;  ///< summed simulated retry backoff
     std::uint64_t deadline_flags = 0; ///< runs past the deadline
+    std::uint64_t evictions = 0;   ///< cache entries dropped to budget
+    std::uint64_t compactions = 0; ///< journal compaction passes
 };
 
 /** Memoizing parallel evaluator of run plans. */
 class Engine
 {
   public:
+    /**
+     * Streaming completion hook: called with (submission index,
+     * result) as results become available inside run(). Cache hits
+     * stream during the serial dedupe pass — before any simulation
+     * starts — so a warm service answers instantly even while cold
+     * points of the same batch still simulate; freshly simulated
+     * points (and in-batch duplicates) stream during the serial
+     * publish fan-out, in submission order. Always invoked from the
+     * submitting thread. Under ErrorPolicy::Throw the sink fires for
+     * successes before the failure rethrows.
+     */
+    using ResultSink =
+        std::function<void(std::size_t, const RunResult &)>;
+
     explicit Engine(ExecOptions opts = {});
 
     /**
@@ -76,11 +92,27 @@ class Engine
      */
     std::vector<RunResult> run(std::vector<RunRequest> requests);
 
+    /** Evaluate a batch, streaming each result through `on_ready`. */
+    std::vector<RunResult> run(std::vector<RunRequest> requests,
+                               const ResultSink &on_ready);
+
     /** Evaluate a single request through the cache. */
     RunResult runOne(const RunRequest &request);
 
     /** Resolved worker count (including the submitting thread). */
     int jobs() const { return executor_.jobs(); }
+
+    /**
+     * Reconfigure the per-run deadline (ExecOptions::run_deadline_s)
+     * between batches. The serve tier uses this to honor per-request
+     * deadlines: the dispatcher groups admitted requests by effective
+     * deadline and runs one batch per group. Must not be called while
+     * a batch is in flight.
+     */
+    void setRunDeadline(double seconds) {
+        opts_.run_deadline_s = seconds;
+    }
+    double runDeadline() const { return opts_.run_deadline_s; }
 
     RunCache &cache() { return cache_; }
     Executor &executor() { return executor_; }

@@ -52,10 +52,29 @@ struct ExecOptions {
     RetryPolicy retry;
     /**
      * Per-run host wall-clock deadline, seconds; a run exceeding it is
-     * flagged (counter + warning), never killed. 0 disables the
+     * flagged (counter + warning) or captured as a RunError, per
+     * `deadline_policy`. Never killed mid-flight. 0 disables the
      * watchdog.
      */
     double run_deadline_s = 0.0;
+    /** What a deadline overrun becomes (flag vs structured error). */
+    DeadlinePolicy deadline_policy = DeadlinePolicy::Flag;
+    /**
+     * RunCache entry budget; 0 = unbounded (the historical batch
+     * behaviour). With a budget the cache evicts least-recently-used
+     * entries, keeping a long-running service's memory flat.
+     */
+    std::size_t cache_max_entries = 0;
+    /** RunCache byte budget (approximate accounting); 0 = unbounded. */
+    std::uint64_t cache_max_bytes = 0;
+    /**
+     * Journal compaction threshold: when the cache holds fewer than
+     * this fraction of the journal's records (evictions have made the
+     * file mostly cold), the journal is rewritten with the live
+     * entries only, bounding disk alongside memory. Only meaningful
+     * with a cache budget; <= 0 disables compaction.
+     */
+    double journal_compact_ratio = 0.5;
 };
 
 /** Persistent pool evaluating index batches with work stealing. */

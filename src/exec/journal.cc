@@ -512,6 +512,7 @@ Journal::load(
         std::string error;
         std::size_t end = scanRecords(buf, &records, &error, &fn);
         stats_.loaded = records;
+        records_ = records;
         stats_.loaded_bytes = end - kHeaderBytes;
         if (end != buf.size()) {
             sim::warn("journal '%s': %s at byte %zu; keeping %zu valid "
@@ -568,7 +569,45 @@ Journal::append(const Fingerprint &key, const RunResult &result)
         std::fclose(out_);
         out_ = nullptr;
         ++skipped_appends_;
+        return;
     }
+    ++records_;
+}
+
+bool
+Journal::compact(
+    const std::vector<std::pair<Fingerprint, RunResult>> &entries)
+{
+    if (!out_) // read-only: the owner compacts, we only observe
+        return false;
+    obs::Span span("exec.journal",
+                   "compact to=" + std::to_string(entries.size()));
+    std::string content = headerBytes();
+    for (const auto &[key, result] : entries) {
+        std::string payload = encodeJournalPayload(key, result);
+        putU32(content, static_cast<std::uint32_t>(payload.size()));
+        putU32(content, crc32(payload.data(), payload.size()));
+        content.append(payload);
+    }
+    // Close the append stream across the rename so no buffered write
+    // can land on the unlinked inode.
+    std::fclose(out_);
+    out_ = nullptr;
+    if (!atomicWrite(path_, content)) {
+        sim::warn("journal '%s': compaction rewrite failed; keeping "
+                  "the uncompacted file", path_.c_str());
+    } else {
+        records_ = entries.size();
+        ++compactions_;
+    }
+    out_ = std::fopen(path_.c_str(), "ab");
+    if (!out_) {
+        sim::warn("journal '%s': cannot reopen for append after "
+                  "compaction (%s); disabling persistence",
+                  path_.c_str(), std::strerror(errno));
+        return false;
+    }
+    return true;
 }
 
 JournalVerifyReport
@@ -597,6 +636,19 @@ Journal::verify(const std::string &dir)
     rep.valid_records = records;
     rep.valid_bytes = end;
     return rep;
+}
+
+long
+Journal::lockHolder(const std::string &dir)
+{
+    long owner = 0;
+    if (std::ifstream in(lockPath(dir)); in)
+        in >> owner;
+    if (owner <= 0)
+        return 0;
+    if (::kill(static_cast<pid_t>(owner), 0) == 0 || errno != ESRCH)
+        return owner; // live (or at least not provably dead)
+    return 0;
 }
 
 std::uint64_t

@@ -41,6 +41,8 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "exec/run_request.h"
 
@@ -101,6 +103,29 @@ class Journal
      */
     void append(const Fingerprint &key, const RunResult &result);
 
+    /**
+     * Rewrite the journal to hold exactly `entries` (atomic temp file
+     * + rename, append stream reopened). The compaction pass of a
+     * bounded cache: once evictions have made the file mostly cold,
+     * the live working set is written back and the cold majority
+     * dropped, bounding disk alongside memory. Entries are written in
+     * the order given (the cache hands them over LRU-first, so a
+     * replay reproduces the recency order). No-op when read-only.
+     * @return false on I/O failure (the original file is kept).
+     */
+    bool
+    compact(const std::vector<std::pair<Fingerprint, RunResult>> &entries);
+
+    /**
+     * Records currently in the file: replayed + appended - dropped by
+     * compaction. The live/total ratio against the cache size decides
+     * when compacting pays.
+     */
+    std::size_t records() const { return records_; }
+
+    /** Compaction passes completed. */
+    std::uint64_t compactions() const { return compactions_; }
+
     /** Stats of the load() replay (zeroes before load). */
     const JournalStats &stats() const { return stats_; }
 
@@ -119,6 +144,14 @@ class Journal
     static JournalVerifyReport verify(const std::string &dir);
 
     /**
+     * Pid of the live process holding this journal's writer lock, or
+     * 0 when the lock is absent or stale (held by a dead process).
+     * Lets `mlpsim cache clear/verify` tell "a server is running"
+     * apart from "the lock file is junk".
+     */
+    static long lockHolder(const std::string &dir);
+
+    /**
      * Delete the journal and any quarantine file. @return bytes
      * removed. Leaves a live owner's lock alone.
      */
@@ -134,6 +167,8 @@ class Journal
     std::FILE *out_ = nullptr; ///< append stream; null when read-only
     bool locked_ = false;
     std::uint64_t skipped_appends_ = 0;
+    std::size_t records_ = 0;       ///< records currently in the file
+    std::uint64_t compactions_ = 0; ///< compaction passes completed
 };
 
 /** Encode one journal payload (fingerprint + result). */

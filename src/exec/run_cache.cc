@@ -7,7 +7,9 @@ RunCache::RunCache()
     // Hit/miss/preload split with journal warmth (a warm cache serves
     // hits where a cold one simulated misses), so all three are
     // Volatile; the entry count converges to the study's unique points
-    // either way and stays Deterministic.
+    // either way and stays Deterministic. Evictions depend on the
+    // budget and the arrival order of concurrent clients, so they are
+    // Volatile too.
     obs::MetricRegistry &reg = obs::MetricRegistry::global();
     registrations_.push_back(reg.registerCounter(
         "exec.run_cache.hits", &hits_, obs::Volatility::Volatile));
@@ -16,9 +18,71 @@ RunCache::RunCache()
     registrations_.push_back(
         reg.registerCounter("exec.run_cache.preloaded", &preloaded_,
                             obs::Volatility::Volatile));
+    registrations_.push_back(
+        reg.registerCounter("exec.run_cache.evictions", &evictions_,
+                            obs::Volatility::Volatile));
     registrations_.push_back(reg.registerGauge(
         "exec.run_cache.size",
         [this] { return static_cast<double>(size()); }));
+    registrations_.push_back(reg.registerGauge(
+        "exec.run_cache.bytes",
+        [this] { return static_cast<double>(bytes()); },
+        obs::Volatility::Volatile));
+}
+
+std::uint64_t
+RunCache::approxEntryBytes(const RunResult &result)
+{
+    std::uint64_t n = sizeof(RunResult);
+    n += result.train.workload.size() + result.train.system.size();
+    for (const auto &r : result.profile.records())
+        n += sizeof(r) + r.name.size();
+    return n;
+}
+
+void
+RunCache::setBudget(CacheBudget budget)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    budget_ = budget;
+    evictToBudgetLocked();
+}
+
+void
+RunCache::evictToBudgetLocked()
+{
+    if (!budget_.bounded())
+        return;
+    // Never evict the last entry: a single oversized result is more
+    // useful cached than thrashed.
+    while (map_.size() > 1 &&
+           ((budget_.max_entries > 0 &&
+             map_.size() > budget_.max_entries) ||
+            (budget_.max_bytes > 0 && bytes_ > budget_.max_bytes))) {
+        auto it = map_.find(lru_.front());
+        bytes_ -= it->second.bytes;
+        map_.erase(it);
+        lru_.pop_front();
+        evictions_.add(1.0);
+    }
+}
+
+bool
+RunCache::emplaceLocked(const Fingerprint &key, RunResult result)
+{
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        lru_.splice(lru_.end(), lru_, it->second.lru_it);
+        return false;
+    }
+    Entry e;
+    e.bytes = approxEntryBytes(result);
+    e.result = std::move(result);
+    e.lru_it = lru_.insert(lru_.end(), key);
+    bytes_ += e.bytes;
+    map_.emplace(key, std::move(e));
+    evictToBudgetLocked();
+    return true;
 }
 
 std::optional<RunResult>
@@ -28,8 +92,9 @@ RunCache::lookup(const Fingerprint &key)
     auto it = map_.find(key);
     if (it == map_.end())
         return std::nullopt;
+    lru_.splice(lru_.end(), lru_, it->second.lru_it);
     hits_.add(1.0);
-    RunResult r = it->second;
+    RunResult r = it->second.result;
     r.cache_hit = true;
     return r;
 }
@@ -39,7 +104,7 @@ RunCache::insert(const Fingerprint &key, const RunResult &result)
 {
     std::lock_guard<std::mutex> lock(mu_);
     misses_.add(1.0);
-    map_.emplace(key, result);
+    emplaceLocked(key, result);
 }
 
 void
@@ -53,7 +118,7 @@ void
 RunCache::preload(const Fingerprint &key, RunResult result)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    if (map_.emplace(key, std::move(result)).second)
+    if (emplaceLocked(key, std::move(result)))
         preloaded_.add(1.0);
 }
 
@@ -79,10 +144,35 @@ RunCache::size() const
 }
 
 std::uint64_t
+RunCache::bytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+}
+
+std::uint64_t
 RunCache::preloaded() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return static_cast<std::uint64_t>(preloaded_.total());
+}
+
+std::uint64_t
+RunCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::uint64_t>(evictions_.total());
+}
+
+std::vector<std::pair<Fingerprint, RunResult>>
+RunCache::entriesLruOrder() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<Fingerprint, RunResult>> out;
+    out.reserve(map_.size());
+    for (const Fingerprint &key : lru_)
+        out.emplace_back(key, map_.at(key).result);
+    return out;
 }
 
 void
@@ -90,6 +180,8 @@ RunCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
+    lru_.clear();
+    bytes_ = 0;
 }
 
 void
@@ -99,6 +191,7 @@ RunCache::resetCounters()
     hits_.reset();
     misses_.reset();
     preloaded_.reset();
+    evictions_.reset();
 }
 
 } // namespace mlps::exec

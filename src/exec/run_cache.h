@@ -8,6 +8,16 @@
  * equality is structural: near-identical configurations that differ
  * in any field Trainer::run reads occupy distinct entries.
  *
+ * Bounding: by default the cache is unbounded (a batch study's
+ * working set is its unique points, all of which are wanted). A
+ * long-running service sets a budget — max entries and/or approximate
+ * max bytes — and the cache then evicts least-recently-used entries
+ * on insert/preload, keeping resident memory flat under millions of
+ * distinct requests. Eviction is journal-aware by construction: the
+ * cache never touches the journal, so an evicted entry survives on
+ * disk and a restart (or a later compaction pass, see
+ * exec/journal.h) decides its fate.
+ *
  * Thread safety: lookup/insert are internally locked, so the cache
  * may be consulted from executor workers. Hit/miss accounting is
  * driven by the Engine (a batch-internal duplicate counts as a hit
@@ -19,9 +29,11 @@
 #define MLPSIM_EXEC_RUN_CACHE_H
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "exec/run_request.h"
@@ -30,22 +42,40 @@
 
 namespace mlps::exec {
 
+/** Resident-size budget for a RunCache; zero fields are unlimited. */
+struct CacheBudget {
+    std::size_t max_entries = 0; ///< distinct points kept; 0 = unbounded
+    std::uint64_t max_bytes = 0; ///< approximate bytes kept; 0 = unbounded
+
+    bool bounded() const { return max_entries > 0 || max_bytes > 0; }
+};
+
 /** Fingerprint-keyed store of evaluated RunResults. */
 class RunCache
 {
   public:
     /**
-     * Registers its counters (exec.run_cache.hits/misses/preloaded)
-     * and a size gauge in the global MetricRegistry; a newer cache
-     * takes over the names, so CLI stats and telemetry snapshots
-     * always read the live instance.
+     * Registers its counters (exec.run_cache.hits/misses/preloaded/
+     * evictions) and size/bytes gauges in the global MetricRegistry;
+     * a newer cache takes over the names, so CLI stats and telemetry
+     * snapshots always read the live instance.
      */
     RunCache();
 
     /**
-     * Fetch a stored result. Counts a hit when present; counting a
-     * miss is deferred to insert() so a batch of duplicates records
-     * one miss per simulated point, not per request.
+     * Bound the cache (see CacheBudget). Applies to future inserts
+     * and immediately evicts down to the new budget. The budget never
+     * evicts below one entry: a single oversized result stays cached
+     * rather than thrashing.
+     */
+    void setBudget(CacheBudget budget);
+    const CacheBudget &budget() const { return budget_; }
+
+    /**
+     * Fetch a stored result. Counts a hit when present and refreshes
+     * the entry's LRU position; counting a miss is deferred to
+     * insert() so a batch of duplicates records one miss per
+     * simulated point, not per request.
      */
     std::optional<RunResult> lookup(const Fingerprint &key);
 
@@ -62,6 +92,8 @@ class RunCache
      * Seed an entry replayed from the durable journal. Counts neither
      * a hit nor a miss — the point was simulated by an earlier
      * process, not this one — so the exec summary stays truthful.
+     * Under a budget, replaying more entries than fit keeps the most
+     * recently replayed (= most recently appended) ones.
      */
     void preload(const Fingerprint &key, RunResult result);
 
@@ -71,8 +103,26 @@ class RunCache
     std::uint64_t misses() const;
     /** Entries seeded from the journal. */
     std::uint64_t preloaded() const;
+    /** Entries dropped to stay within the budget. */
+    std::uint64_t evictions() const;
     /** Distinct points stored. */
     std::size_t size() const;
+    /** Approximate resident bytes of the stored results. */
+    std::uint64_t bytes() const;
+
+    /**
+     * Copy every entry in LRU order (least recently used first, so
+     * replaying the copy through preload() reproduces the recency
+     * order). The compaction pass feeds the journal from this.
+     */
+    std::vector<std::pair<Fingerprint, RunResult>> entriesLruOrder() const;
+
+    /**
+     * Deterministic approximation of one entry's resident size: the
+     * fixed struct plus its owned strings and profile records. The
+     * byte budget accounts entries with this.
+     */
+    static std::uint64_t approxEntryBytes(const RunResult &result);
 
     /**
      * Drop all entries. The hit/miss counters keep accumulating — a
@@ -82,15 +132,30 @@ class RunCache
      */
     void clear();
 
-    /** Zero the hit/miss/preload accounting, keeping the entries. */
+    /** Zero the hit/miss/preload/eviction accounting, keeping entries. */
     void resetCounters();
 
   private:
+    struct Entry {
+        RunResult result;
+        std::uint64_t bytes = 0;
+        std::list<Fingerprint>::iterator lru_it;
+    };
+
+    /** Insert or refresh an entry; evicts to budget. Callers hold mu_. */
+    bool emplaceLocked(const Fingerprint &key, RunResult result);
+    /** Evict LRU entries until within budget. Callers hold mu_. */
+    void evictToBudgetLocked();
+
     mutable std::mutex mu_;
-    std::unordered_map<Fingerprint, RunResult, FingerprintHash> map_;
+    std::unordered_map<Fingerprint, Entry, FingerprintHash> map_;
+    std::list<Fingerprint> lru_; ///< front = least recently used
+    CacheBudget budget_;
+    std::uint64_t bytes_ = 0;
     sim::Counter hits_{"run_cache.hits"};
     sim::Counter misses_{"run_cache.misses"};
     sim::Counter preloaded_{"run_cache.preloaded"};
+    sim::Counter evictions_{"run_cache.evictions"};
     // Last members, so they unregister before the counters die.
     std::vector<obs::MetricRegistry::Registration> registrations_;
 };

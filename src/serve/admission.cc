@@ -1,0 +1,133 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace mlps::serve {
+
+// ---- TokenBucket ----------------------------------------------------
+
+void
+TokenBucket::refill(double now_s)
+{
+    if (now_s <= last_s_)
+        return;
+    tokens_ = std::min(burst_, tokens_ + (now_s - last_s_) * rate_);
+    last_s_ = now_s;
+}
+
+bool
+TokenBucket::tryTake(double now_s)
+{
+    refill(now_s);
+    if (tokens_ < 1.0)
+        return false;
+    tokens_ -= 1.0;
+    return true;
+}
+
+double
+TokenBucket::retryAfter(double now_s) const
+{
+    double t = tokens_;
+    if (now_s > last_s_)
+        t = std::min(burst_, t + (now_s - last_s_) * rate_);
+    if (t >= 1.0 || rate_ <= 0.0)
+        return 0.0;
+    return (1.0 - t) / rate_;
+}
+
+double
+TokenBucket::tokens(double now_s) const
+{
+    double t = tokens_;
+    if (now_s > last_s_)
+        t = std::min(burst_, t + (now_s - last_s_) * rate_);
+    return t;
+}
+
+// ---- AdmissionQueue -------------------------------------------------
+
+Admission
+AdmissionQueue::offer(const std::string &client, double now_s,
+                      std::uint64_t *seq_out)
+{
+    Admission a;
+    if (pending_ >= cfg_.max_queued) {
+        a.outcome = Admission::Outcome::QueueFull;
+        // The backlog drains at simulation speed, which the server
+        // cannot bound; a short fixed hint spreads retries without
+        // promising anything.
+        a.retry_after_s = 0.5;
+        ++rejected_full_;
+        return a;
+    }
+    auto [it, inserted] = buckets_.try_emplace(
+        client, cfg_.rate, cfg_.burst);
+    (void)inserted;
+    if (!it->second.tryTake(now_s)) {
+        a.outcome = Admission::Outcome::RateLimited;
+        a.retry_after_s = it->second.retryAfter(now_s);
+        ++rejected_rate_;
+        return a;
+    }
+    std::uint64_t seq = next_seq_++;
+    fifos_[client].push_back(seq);
+    ++pending_;
+    ++admitted_;
+    if (seq_out)
+        *seq_out = seq;
+    return a;
+}
+
+std::vector<AdmissionQueue::Ticket>
+AdmissionQueue::takeBatch(std::size_t max_batch)
+{
+    std::vector<Ticket> out;
+    if (pending_ == 0 || max_batch == 0)
+        return out;
+    const std::size_t quantum = std::max<std::size_t>(1, cfg_.weight);
+
+    // Resume the cycle just past the last client served, so a single
+    // heavy client interleaves fairly with everyone else across
+    // successive batches, not just within one.
+    auto it = fifos_.upper_bound(cursor_);
+    std::size_t idle_sweeps = 0;
+    while (out.size() < max_batch && pending_ > 0) {
+        if (it == fifos_.end()) {
+            it = fifos_.begin();
+            if (++idle_sweeps > fifos_.size() + 1)
+                break; // defensive: nothing left anywhere
+        }
+        std::deque<std::uint64_t> &fifo = it->second;
+        std::size_t take =
+            std::min({quantum, fifo.size(), max_batch - out.size()});
+        if (take > 0)
+            idle_sweeps = 0;
+        for (std::size_t i = 0; i < take; ++i) {
+            out.push_back(Ticket{it->first, fifo.front()});
+            fifo.pop_front();
+            --pending_;
+        }
+        cursor_ = it->first;
+        if (fifo.empty())
+            it = fifos_.erase(it);
+        else
+            ++it;
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+AdmissionQueue::cancelClient(const std::string &client)
+{
+    std::vector<std::uint64_t> dropped;
+    auto it = fifos_.find(client);
+    if (it == fifos_.end())
+        return dropped;
+    dropped.assign(it->second.begin(), it->second.end());
+    pending_ -= it->second.size();
+    fifos_.erase(it);
+    return dropped;
+}
+
+} // namespace mlps::serve

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Admission control for the simulation service: who gets in, and in
+ * what order.
+ *
+ * Three cooperating mechanisms, all deterministic given the caller's
+ * clock readings (tests inject synthetic times):
+ *
+ *  - TokenBucket: per-client rate limiting. Each client refills at
+ *    `rate` tokens/s up to `burst`; a run request costs one token.
+ *    A client that outruns its bucket gets an `overloaded` rejection
+ *    with a retry_after hint of exactly the time until the next
+ *    token — clients that honor the hint never spin.
+ *
+ *  - Bounded global queue: at most `max_queued` run requests may wait
+ *    across all clients. Admitting past the bound rejects with
+ *    `overloaded` (the service sheds load at the edge rather than
+ *    growing an unbounded backlog that defeats deadlines).
+ *
+ *  - Weighted round-robin dispatch: pending requests are held in
+ *    per-client FIFOs; the dispatcher drains them by cycling clients
+ *    in lexicographic id order, taking up to `weight` requests from
+ *    each before moving on. A client with a deep backlog cannot
+ *    starve a light one, and the dispatch order is a pure function
+ *    of the queue state — no timing dependence.
+ */
+
+#ifndef MLPSIM_SERVE_ADMISSION_H
+#define MLPSIM_SERVE_ADMISSION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mlps::serve {
+
+/** Classic token bucket with caller-supplied time. */
+class TokenBucket
+{
+  public:
+    /** @param rate tokens per second; @param burst bucket capacity. */
+    TokenBucket(double rate, double burst)
+        : rate_(rate), burst_(burst), tokens_(burst) {}
+
+    /**
+     * Try to take one token at time `now_s`. @return true when
+     * admitted; false leaves the bucket untouched.
+     */
+    bool tryTake(double now_s);
+
+    /** Seconds until the next token matures; 0 when one is ready. */
+    double retryAfter(double now_s) const;
+
+    double tokens(double now_s) const;
+
+  private:
+    void refill(double now_s);
+
+    double rate_;
+    double burst_;
+    double tokens_;
+    double last_s_ = 0.0;
+};
+
+/** Admission verdict for one run request. */
+struct Admission {
+    enum class Outcome {
+        Admitted,   ///< queued for dispatch
+        RateLimited, ///< client over its token budget
+        QueueFull,  ///< global backlog bound reached
+    };
+
+    Outcome outcome = Outcome::Admitted;
+    double retry_after_s = 0.0; ///< hint for the rejection line
+};
+
+/** Tuning knobs; defaults suit tests and small deployments. */
+struct AdmissionConfig {
+    double rate = 50.0;      ///< tokens/s per client
+    double burst = 100.0;    ///< bucket capacity per client
+    std::size_t max_queued = 256; ///< global pending-run bound
+    std::size_t weight = 4;  ///< WRR quantum per client per cycle
+};
+
+/**
+ * The pending-work structure: per-client FIFOs drained by weighted
+ * round-robin. Single-threaded by design — the server core serializes
+ * access under its own mutex.
+ */
+class AdmissionQueue
+{
+  public:
+    /** One queued run request, identified for later dispatch. */
+    struct Ticket {
+        std::string client;   ///< owning client id
+        std::uint64_t seq = 0; ///< server-wide admission sequence
+    };
+
+    explicit AdmissionQueue(AdmissionConfig cfg = {}) : cfg_(cfg) {}
+
+    /**
+     * Decide admission for client `client` at time `now_s`, and on
+     * success enqueue a ticket with the next sequence number.
+     */
+    Admission offer(const std::string &client, double now_s,
+                    std::uint64_t *seq_out);
+
+    /**
+     * Next batch to dispatch: up to `max_batch` tickets in weighted
+     * round-robin order over clients (lexicographic id order, up to
+     * cfg.weight consecutive tickets per client). Removes the
+     * returned tickets from the queue.
+     */
+    std::vector<Ticket> takeBatch(std::size_t max_batch);
+
+    /**
+     * Drop every queued ticket of one client (disconnect path).
+     * @return the dropped sequence numbers.
+     */
+    std::vector<std::uint64_t> cancelClient(const std::string &client);
+
+    std::size_t pending() const { return pending_; }
+    std::uint64_t admitted() const { return admitted_; }
+    std::uint64_t rejectedRate() const { return rejected_rate_; }
+    std::uint64_t rejectedFull() const { return rejected_full_; }
+
+    const AdmissionConfig &config() const { return cfg_; }
+
+  private:
+    AdmissionConfig cfg_;
+    std::map<std::string, TokenBucket> buckets_;
+    std::map<std::string, std::deque<std::uint64_t>> fifos_;
+    std::string cursor_; ///< WRR resume point (last served client)
+    std::size_t pending_ = 0;
+    std::uint64_t next_seq_ = 1;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t rejected_rate_ = 0;
+    std::uint64_t rejected_full_ = 0;
+};
+
+} // namespace mlps::serve
+
+#endif // MLPSIM_SERVE_ADMISSION_H

@@ -1,0 +1,147 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mlps::serve {
+
+bool
+parseEndpoint(const std::string &spec, std::string *host, int *port,
+              std::string *error)
+{
+    std::string portpart = spec;
+    *host = "127.0.0.1";
+    std::size_t colon = spec.rfind(':');
+    if (colon != std::string::npos) {
+        if (colon > 0)
+            *host = spec.substr(0, colon);
+        portpart = spec.substr(colon + 1);
+    }
+    char *end = nullptr;
+    long p = std::strtol(portpart.c_str(), &end, 10);
+    if (portpart.empty() || *end != '\0' || p < 1 || p > 65535) {
+        if (error)
+            *error = "bad endpoint '" + spec +
+                     "' (expected host:port)";
+        return false;
+    }
+    *port = static_cast<int>(p);
+    return true;
+}
+
+Connection::~Connection() { close(); }
+
+void
+Connection::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Connection::dial(const std::string &host, int port,
+                 std::string *error)
+{
+    close();
+    inbox_.clear(); // a failed prior dial may have buffered bytes
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        *error = "bad address '" + host + "'";
+        close();
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        *error = "connect " + host + ":" + std::to_string(port) +
+                 ": " + std::strerror(errno);
+        close();
+        return false;
+    }
+    std::string hello;
+    if (!recvLine(&hello, error))
+        return false;
+    Response r;
+    if (!decodeResponse(hello, &r, error) || r.type != "hello") {
+        *error = "unexpected greeting: " + hello;
+        close();
+        return false;
+    }
+    proto_ = r.proto;
+    return true;
+}
+
+bool
+Connection::sendLine(const std::string &line, std::string *error)
+{
+    std::string framed = line;
+    framed += '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        ssize_t n = ::send(fd_, framed.data() + off,
+                           framed.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            *error = std::string("send: ") + std::strerror(errno);
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+Connection::recvLine(std::string *line, std::string *error)
+{
+    for (;;) {
+        std::size_t nl = inbox_.find('\n');
+        if (nl != std::string::npos) {
+            *line = inbox_.substr(0, nl);
+            inbox_.erase(0, nl + 1);
+            if (!line->empty() && line->back() == '\r')
+                line->pop_back();
+            return true;
+        }
+        char buf[4096];
+        ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+            inbox_.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        *error = n == 0 ? "connection closed by server"
+                        : std::string("recv: ") +
+                              std::strerror(errno);
+        return false;
+    }
+}
+
+bool
+Connection::roundTrip(const std::string &request, Response *response,
+                      std::string *error)
+{
+    if (!sendLine(request, error))
+        return false;
+    std::string line;
+    if (!recvLine(&line, error))
+        return false;
+    return decodeResponse(line, response, error);
+}
+
+} // namespace mlps::serve

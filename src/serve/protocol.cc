@@ -1,0 +1,755 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "hw/precision.h"
+#include "sys/machines.h"
+
+namespace mlps::serve {
+
+namespace {
+
+/** Nesting ceiling; hostile input fails instead of recursing away. */
+constexpr int kMaxDepth = 32;
+
+/** Recursive-descent JSON parser over one document. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : s_(text), error_(error) {}
+
+    bool
+    parseDocument(Json *out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != s_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &why)
+    {
+        if (error_ && error_->empty()) {
+            char where[32];
+            std::snprintf(where, sizeof(where), " at byte %zu", pos_);
+            *error_ = why + where;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::strlen(word);
+        if (s_.compare(pos_, n, word) != 0)
+            return fail("unrecognized token");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(Json *out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= s_.size())
+            return fail("unexpected end of input");
+        switch (s_[pos_]) {
+        case '{':
+            return parseObject(out, depth);
+        case '[':
+            return parseArray(out, depth);
+        case '"':
+            out->kind = Json::Kind::String;
+            return parseString(&out->str);
+        case 't':
+            out->kind = Json::Kind::Bool;
+            out->boolean = true;
+            return literal("true");
+        case 'f':
+            out->kind = Json::Kind::Bool;
+            out->boolean = false;
+            return literal("false");
+        case 'n':
+            out->kind = Json::Kind::Null;
+            return literal("null");
+        default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Json *out, int depth)
+    {
+        out->kind = Json::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            Json value;
+            if (!parseValue(&value, depth + 1))
+                return false;
+            out->object.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < s_.size() && s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(Json *out, int depth)
+    {
+        out->kind = Json::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            Json value;
+            if (!parseValue(&value, depth + 1))
+                return false;
+            out->array.push_back(std::move(value));
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < s_.size() && s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        ++pos_; // '"'
+        out->clear();
+        while (pos_ < s_.size()) {
+            unsigned char c = static_cast<unsigned char>(s_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= s_.size())
+                    return fail("truncated escape");
+                char e = s_[pos_ + 1];
+                pos_ += 2;
+                switch (e) {
+                case '"': *out += '"'; break;
+                case '\\': *out += '\\'; break;
+                case '/': *out += '/'; break;
+                case 'b': *out += '\b'; break;
+                case 'f': *out += '\f'; break;
+                case 'n': *out += '\n'; break;
+                case 'r': *out += '\r'; break;
+                case 't': *out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > s_.size())
+                        return fail("truncated \\u escape");
+                    unsigned int cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = s_[pos_ + i];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    pos_ += 4;
+                    // UTF-8 encode the BMP code point (surrogate
+                    // pairs are not reassembled; each half encodes
+                    // independently, which is lossy but safe).
+                    if (cp < 0x80) {
+                        *out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        *out += static_cast<char>(0xc0 | (cp >> 6));
+                        *out +=
+                            static_cast<char>(0x80 | (cp & 0x3f));
+                    } else {
+                        *out += static_cast<char>(0xe0 | (cp >> 12));
+                        *out += static_cast<char>(
+                            0x80 | ((cp >> 6) & 0x3f));
+                        *out +=
+                            static_cast<char>(0x80 | (cp & 0x3f));
+                    }
+                    break;
+                }
+                default:
+                    return fail("unknown escape");
+                }
+                continue;
+            }
+            if (c < 0x20)
+                return fail("unescaped control character");
+            *out += static_cast<char>(c);
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Json *out)
+    {
+        const char *start = s_.c_str() + pos_;
+        char *end = nullptr;
+        errno = 0;
+        double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected a value");
+        out->kind = Json::Kind::Number;
+        out->number = v;
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    const std::string &s_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+/** Object member as string; fallback when absent or mistyped. */
+std::string
+memberString(const Json &obj, const char *key,
+             const std::string &fallback = {})
+{
+    const Json *m = obj.find(key);
+    return m && m->isString() ? m->str : fallback;
+}
+
+double
+memberNumber(const Json &obj, const char *key, double fallback)
+{
+    const Json *m = obj.find(key);
+    return m && m->isNumber() ? m->number : fallback;
+}
+
+bool
+memberBool(const Json &obj, const char *key, bool fallback)
+{
+    const Json *m = obj.find(key);
+    return m && m->isBool() ? m->boolean : fallback;
+}
+
+void
+appendField(std::string &b, const char *key, const std::string &value,
+            bool *first)
+{
+    if (!*first)
+        b += ",";
+    *first = false;
+    b += "\"";
+    b += key;
+    b += "\":\"";
+    b += jsonEscape(value);
+    b += "\"";
+}
+
+void
+appendRaw(std::string &b, const char *key, const std::string &raw,
+          bool *first)
+{
+    if (!*first)
+        b += ",";
+    *first = false;
+    b += "\"";
+    b += key;
+    b += "\":";
+    b += raw;
+}
+
+std::string
+precisionToken(hw::Precision p)
+{
+    switch (p) {
+    case hw::Precision::FP32: return "fp32";
+    case hw::Precision::FP16: return "fp16";
+    default: return "mixed";
+    }
+}
+
+bool
+precisionFromToken(const std::string &token, hw::Precision *out)
+{
+    if (token == "fp32")
+        *out = hw::Precision::FP32;
+    else if (token == "fp16")
+        *out = hw::Precision::FP16;
+    else if (token == "mixed")
+        *out = hw::Precision::Mixed;
+    else
+        return false;
+    return true;
+}
+
+/** The deterministic cells of one TrainResult, as a JSON object. */
+std::string
+encodeTrainResult(const train::TrainResult &t)
+{
+    std::string b = "{";
+    bool first = true;
+    appendField(b, "workload", t.workload, &first);
+    appendField(b, "system", t.system, &first);
+    appendRaw(b, "gpus", std::to_string(t.num_gpus), &first);
+    appendField(b, "precision", precisionToken(t.precision), &first);
+    appendRaw(b, "reference", t.reference_code ? "true" : "false",
+              &first);
+    appendRaw(b, "per_gpu_batch", jsonDouble(t.per_gpu_batch), &first);
+    appendRaw(b, "global_batch", jsonDouble(t.global_batch), &first);
+    appendRaw(b, "steps_per_epoch", jsonDouble(t.steps_per_epoch),
+              &first);
+    appendRaw(b, "epochs", jsonDouble(t.epochs), &first);
+    appendRaw(b, "fwd_s", jsonDouble(t.iter.fwd_s), &first);
+    appendRaw(b, "bwd_s", jsonDouble(t.iter.bwd_s), &first);
+    appendRaw(b, "optimizer_s", jsonDouble(t.iter.optimizer_s),
+              &first);
+    appendRaw(b, "comm_s", jsonDouble(t.iter.comm_s), &first);
+    appendRaw(b, "exposed_comm_s", jsonDouble(t.iter.exposed_comm_s),
+              &first);
+    appendRaw(b, "h2d_s", jsonDouble(t.iter.h2d_s), &first);
+    appendRaw(b, "host_s", jsonDouble(t.iter.host_s), &first);
+    appendRaw(b, "overhead_s", jsonDouble(t.iter.overhead_s), &first);
+    appendRaw(b, "gpu_busy_s", jsonDouble(t.iter.gpu_busy_s), &first);
+    appendRaw(b, "iteration_s", jsonDouble(t.iter.iteration_s),
+              &first);
+    appendRaw(b, "kernel_launches",
+              std::to_string(t.iter.kernel_launches), &first);
+    appendRaw(b, "micro_batches",
+              std::to_string(t.iter.micro_batches), &first);
+    appendRaw(b, "reroutes", std::to_string(t.iter.reroutes), &first);
+    appendRaw(b, "cpu_util_pct", jsonDouble(t.usage.cpu_util_pct),
+              &first);
+    appendRaw(b, "gpu_util_pct_sum",
+              jsonDouble(t.usage.gpu_util_pct_sum), &first);
+    appendRaw(b, "dram_footprint_mb",
+              jsonDouble(t.usage.dram_footprint_mb), &first);
+    appendRaw(b, "hbm_footprint_mb",
+              jsonDouble(t.usage.hbm_footprint_mb), &first);
+    appendRaw(b, "pcie_mbps", jsonDouble(t.usage.pcie_mbps), &first);
+    appendRaw(b, "nvlink_mbps", jsonDouble(t.usage.nvlink_mbps),
+              &first);
+    appendRaw(b, "fabric",
+              std::to_string(static_cast<int>(t.fabric)), &first);
+    appendRaw(b, "total_seconds", jsonDouble(t.total_seconds), &first);
+    appendRaw(b, "achieved_flops", jsonDouble(t.achieved_flops),
+              &first);
+    appendRaw(b, "achieved_bytes_per_sec",
+              jsonDouble(t.achieved_bytes_per_sec), &first);
+    b += "}";
+    return b;
+}
+
+void
+decodeTrainResult(const Json &r, train::TrainResult *t)
+{
+    t->workload = memberString(r, "workload");
+    t->system = memberString(r, "system");
+    t->num_gpus = static_cast<int>(memberNumber(r, "gpus", 1));
+    precisionFromToken(memberString(r, "precision", "mixed"),
+                       &t->precision);
+    t->reference_code = memberBool(r, "reference", false);
+    t->per_gpu_batch = memberNumber(r, "per_gpu_batch", 0);
+    t->global_batch = memberNumber(r, "global_batch", 0);
+    t->steps_per_epoch = memberNumber(r, "steps_per_epoch", 0);
+    t->epochs = memberNumber(r, "epochs", 0);
+    t->iter.fwd_s = memberNumber(r, "fwd_s", 0);
+    t->iter.bwd_s = memberNumber(r, "bwd_s", 0);
+    t->iter.optimizer_s = memberNumber(r, "optimizer_s", 0);
+    t->iter.comm_s = memberNumber(r, "comm_s", 0);
+    t->iter.exposed_comm_s = memberNumber(r, "exposed_comm_s", 0);
+    t->iter.h2d_s = memberNumber(r, "h2d_s", 0);
+    t->iter.host_s = memberNumber(r, "host_s", 0);
+    t->iter.overhead_s = memberNumber(r, "overhead_s", 0);
+    t->iter.gpu_busy_s = memberNumber(r, "gpu_busy_s", 0);
+    t->iter.iteration_s = memberNumber(r, "iteration_s", 0);
+    t->iter.kernel_launches =
+        static_cast<int>(memberNumber(r, "kernel_launches", 0));
+    t->iter.micro_batches =
+        static_cast<int>(memberNumber(r, "micro_batches", 0));
+    t->iter.reroutes =
+        static_cast<int>(memberNumber(r, "reroutes", 0));
+    t->usage.cpu_util_pct = memberNumber(r, "cpu_util_pct", 0);
+    t->usage.gpu_util_pct_sum =
+        memberNumber(r, "gpu_util_pct_sum", 0);
+    t->usage.dram_footprint_mb =
+        memberNumber(r, "dram_footprint_mb", 0);
+    t->usage.hbm_footprint_mb =
+        memberNumber(r, "hbm_footprint_mb", 0);
+    t->usage.pcie_mbps = memberNumber(r, "pcie_mbps", 0);
+    t->usage.nvlink_mbps = memberNumber(r, "nvlink_mbps", 0);
+    t->fabric = static_cast<net::CollectiveFabric>(
+        static_cast<int>(memberNumber(r, "fabric", 0)));
+    t->total_seconds = memberNumber(r, "total_seconds", 0);
+    t->achieved_flops = memberNumber(r, "achieved_flops", 0);
+    t->achieved_bytes_per_sec =
+        memberNumber(r, "achieved_bytes_per_sec", 0);
+}
+
+} // namespace
+
+// ---- Json -----------------------------------------------------------
+
+bool
+Json::parse(const std::string &text, Json *out, std::string *error)
+{
+    if (error)
+        error->clear();
+    Parser p(text, error);
+    return p.parseDocument(out);
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += static_cast<char>(c);
+        } else if (c == '\n') {
+            out += "\\n";
+        } else if (c == '\t') {
+            out += "\\t";
+        } else if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+std::string
+jsonDouble(double v)
+{
+    if (!std::isfinite(v)) // NaN/inf are not JSON; error paths carry
+        return "0";        // their value in `what`, not in cells
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+// ---- Catalog --------------------------------------------------------
+
+Catalog::Catalog() : machines(sys::allMachines())
+{
+    // Same alias the CLI accepts; the config itself (and hence the
+    // fingerprint) is exactly sys::mlperfReference().
+    machines.push_back(sys::mlperfReference());
+}
+
+const sys::SystemConfig *
+Catalog::findMachine(const std::string &name, std::string *error) const
+{
+    std::vector<std::string> known;
+    for (const auto &m : machines) {
+        if (m.name == name)
+            return &m;
+        known.push_back(m.name);
+    }
+    if (name == "reference")
+        return &machines.back(); // the mlperfReference() slot
+    known.back() = "reference";
+    if (error)
+        *error = "unknown system '" + name + "'" +
+                 core::didYouMean(name, known);
+    return nullptr;
+}
+
+// ---- requests -------------------------------------------------------
+
+bool
+parseRequest(const std::string &line, const Catalog &catalog,
+             ParsedRequest *out, std::string *error)
+{
+    if (line.size() > kMaxLineBytes) {
+        *error = "request line too long";
+        return false;
+    }
+    Json doc;
+    if (!Json::parse(line, &doc, error)) {
+        *error = "bad JSON: " + *error;
+        return false;
+    }
+    if (!doc.isObject()) {
+        *error = "request must be a JSON object";
+        return false;
+    }
+    out->id = memberString(doc, "id");
+    std::string type = memberString(doc, "type");
+    if (type == "stats") {
+        out->kind = ParsedRequest::Kind::Stats;
+        return true;
+    }
+    if (type == "ping") {
+        out->kind = ParsedRequest::Kind::Ping;
+        return true;
+    }
+    if (type != "run") {
+        *error = "unknown request type '" + type +
+                 "' (expected run, stats or ping)";
+        return false;
+    }
+
+    out->kind = ParsedRequest::Kind::Run;
+    std::string workload = memberString(doc, "workload");
+    if (workload.empty()) {
+        *error = "run request needs a \"workload\"";
+        return false;
+    }
+    const core::Benchmark *b = catalog.registry.find(workload);
+    if (!b) {
+        *error = "unknown workload '" + workload + "'" +
+                 core::didYouMean(workload,
+                                  catalog.registry.names());
+        return false;
+    }
+    std::string system = memberString(doc, "system", "DSS 8440");
+    const sys::SystemConfig *machine =
+        catalog.findMachine(system, error);
+    if (!machine)
+        return false;
+
+    // The same envelope the CLI enforces via gpusFrom().
+    int gpus = static_cast<int>(memberNumber(doc, "gpus", 1));
+    if (gpus <= 0 || (gpus & (gpus - 1)) != 0) {
+        *error = "\"gpus\" must be a positive power of two (got " +
+                 std::to_string(gpus) + ")";
+        return false;
+    }
+    if (gpus > machine->num_gpus) {
+        *error = "\"gpus\" " + std::to_string(gpus) + ": '" +
+                 machine->name + "' only has " +
+                 std::to_string(machine->num_gpus) + " GPUs";
+        return false;
+    }
+
+    std::string precision = memberString(doc, "precision", "mixed");
+    hw::Precision prec;
+    if (!precisionFromToken(precision, &prec)) {
+        *error = "unknown precision '" + precision +
+                 "' (expected fp32, fp16 or mixed)";
+        return false;
+    }
+
+    out->run.system = *machine;
+    out->run.workload = b->spec();
+    out->run.options.num_gpus = gpus;
+    out->run.options.precision = prec;
+    out->run.options.reference_code =
+        memberBool(doc, "reference", false);
+    out->run.profiled = memberBool(doc, "profiled", false);
+    out->deadline_s = memberNumber(doc, "deadline_s", 0.0);
+    if (out->deadline_s < 0.0) {
+        *error = "\"deadline_s\" must be >= 0";
+        return false;
+    }
+    return true;
+}
+
+// ---- responses ------------------------------------------------------
+
+std::string
+encodeHello()
+{
+    return "{\"type\":\"hello\",\"proto\":" +
+           std::to_string(kProtocolVersion) + "}";
+}
+
+std::string
+encodeResult(const std::string &id, const exec::RunResult &result)
+{
+    std::string b = "{\"type\":\"result\",\"id\":\"" +
+                    jsonEscape(id) + "\"";
+    if (result.error) {
+        b += ",\"status\":\"error\",\"reason\":\"" +
+             jsonEscape(result.error->reason) + "\",\"what\":\"" +
+             jsonEscape(result.error->what) + "\"";
+        b += ",\"attempts\":" +
+             std::to_string(result.error->attempts);
+        b += "}";
+        return b;
+    }
+    b += ",\"status\":\"ok\"";
+    b += ",\"cache_hit\":";
+    b += result.cache_hit ? "true" : "false";
+    b += ",\"from_journal\":";
+    b += result.from_journal ? "true" : "false";
+    b += ",\"wall_ms\":" + jsonDouble(result.wall_seconds * 1e3);
+    b += ",\"result\":" + encodeTrainResult(result.train);
+    b += "}";
+    return b;
+}
+
+std::string
+encodeReject(const std::string &id, const std::string &status,
+             const std::string &what, double retry_after_s)
+{
+    std::string b = "{\"type\":\"result\",\"id\":\"" +
+                    jsonEscape(id) + "\",\"status\":\"" +
+                    jsonEscape(status) + "\"";
+    if (!what.empty())
+        b += ",\"what\":\"" + jsonEscape(what) + "\"";
+    if (retry_after_s > 0.0)
+        b += ",\"retry_after_s\":" + jsonDouble(retry_after_s);
+    b += "}";
+    return b;
+}
+
+std::string
+encodeStats(const std::string &id, const std::string &metrics_json)
+{
+    return "{\"type\":\"stats\",\"id\":\"" + jsonEscape(id) +
+           "\",\"metrics\":" + metrics_json + "}";
+}
+
+std::string
+encodePong(const std::string &id)
+{
+    return "{\"type\":\"pong\",\"id\":\"" + jsonEscape(id) + "\"}";
+}
+
+bool
+decodeResponse(const std::string &line, Response *out,
+               std::string *error)
+{
+    Json doc;
+    if (!Json::parse(line, &doc, error)) {
+        *error = "bad JSON: " + *error;
+        return false;
+    }
+    if (!doc.isObject()) {
+        *error = "response must be a JSON object";
+        return false;
+    }
+    out->type = memberString(doc, "type");
+    out->id = memberString(doc, "id");
+    out->status = memberString(doc, "status");
+    out->reason = memberString(doc, "reason");
+    out->what = memberString(doc, "what");
+    out->retry_after_s = memberNumber(doc, "retry_after_s", 0.0);
+    out->proto = static_cast<int>(memberNumber(doc, "proto", 0));
+    out->cache_hit = memberBool(doc, "cache_hit", false);
+    out->from_journal = memberBool(doc, "from_journal", false);
+    if (const Json *r = doc.find("result"); r && r->isObject())
+        decodeTrainResult(*r, &out->train);
+    if (const Json *m = doc.find("metrics"); m && m->isObject()) {
+        // Keep the raw text: stats consumers print it verbatim.
+        std::size_t open = line.find("\"metrics\":");
+        if (open != std::string::npos)
+            out->metrics_json =
+                line.substr(open + std::strlen("\"metrics\":"));
+        if (!out->metrics_json.empty() &&
+            out->metrics_json.back() == '}')
+            out->metrics_json.pop_back(); // outer object's closer
+    }
+    return true;
+}
+
+std::string
+canonicalResultLine(const train::TrainResult &t)
+{
+    std::string b = t.workload + "|" + t.system + "|g" +
+                    std::to_string(t.num_gpus) + "|" +
+                    precisionToken(t.precision) +
+                    (t.reference_code ? "|ref" : "|sub");
+    auto cell = [&b](const char *key, double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " %s=%.17g", key, v);
+        b += buf;
+    };
+    cell("total_s", t.total_seconds);
+    cell("iteration_s", t.iter.iteration_s);
+    cell("fwd_s", t.iter.fwd_s);
+    cell("bwd_s", t.iter.bwd_s);
+    cell("optimizer_s", t.iter.optimizer_s);
+    cell("comm_s", t.iter.comm_s);
+    cell("exposed_comm_s", t.iter.exposed_comm_s);
+    cell("h2d_s", t.iter.h2d_s);
+    cell("host_s", t.iter.host_s);
+    cell("overhead_s", t.iter.overhead_s);
+    cell("gpu_busy_s", t.iter.gpu_busy_s);
+    b += " launches=" + std::to_string(t.iter.kernel_launches);
+    b += " micro=" + std::to_string(t.iter.micro_batches);
+    b += " reroutes=" + std::to_string(t.iter.reroutes);
+    cell("per_gpu_batch", t.per_gpu_batch);
+    cell("global_batch", t.global_batch);
+    cell("steps_per_epoch", t.steps_per_epoch);
+    cell("epochs", t.epochs);
+    cell("cpu_util_pct", t.usage.cpu_util_pct);
+    cell("gpu_util_pct_sum", t.usage.gpu_util_pct_sum);
+    cell("dram_mb", t.usage.dram_footprint_mb);
+    cell("hbm_mb", t.usage.hbm_footprint_mb);
+    cell("pcie_mbps", t.usage.pcie_mbps);
+    cell("nvlink_mbps", t.usage.nvlink_mbps);
+    b += " fabric=" + std::to_string(static_cast<int>(t.fabric));
+    cell("achieved_flops", t.achieved_flops);
+    cell("achieved_bps", t.achieved_bytes_per_sec);
+    return b;
+}
+
+} // namespace mlps::serve

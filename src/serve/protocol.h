@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Wire protocol of `mlpsim serve`: line-delimited JSON over TCP.
+ *
+ * Every message is one JSON object on one line, newline-terminated.
+ * The server greets with a `hello` carrying the protocol version,
+ * then answers each client request with exactly one response line
+ * (responses to concurrent requests may interleave in completion
+ * order; the echoed `id` correlates them).
+ *
+ * Requests:
+ *   {"type":"run","id":"r1","workload":"MLPf_NCF_Py",
+ *    "system":"DSS 8440","gpus":2,"precision":"mixed",
+ *    "reference":false,"deadline_s":5.0}
+ *   {"type":"stats","id":"s1"}
+ *   {"type":"ping","id":"p1"}
+ *
+ * Responses:
+ *   {"type":"hello","proto":1}
+ *   {"type":"result","id":"r1","status":"ok","cache_hit":true,
+ *    "result":{...the full deterministic result record...}}
+ *   {"type":"result","id":"r1","status":"error","reason":"deadline",
+ *    "what":"..."}
+ *   {"type":"result","id":"r1","status":"overloaded",
+ *    "retry_after_s":0.5}   (also status "draining" during shutdown)
+ *   {"type":"result","id":"r1","status":"invalid","what":"..."}
+ *   {"type":"stats","id":"s1","metrics":{...registry snapshot...}}
+ *   {"type":"pong","id":"p1"}
+ *
+ * Run requests are validated exactly like the CLI path (unknown
+ * workload/system get a did-you-mean, GPU counts must be a power of
+ * two the machine owns), so a malformed request costs one `invalid`
+ * line, never a simulation. Result doubles are rendered with %.17g,
+ * which round-trips IEEE doubles exactly: a decoded result is
+ * bit-identical to the simulated one, extending the byte-determinism
+ * guarantee across the wire (see canonicalResultLine).
+ */
+
+#ifndef MLPSIM_SERVE_PROTOCOL_H
+#define MLPSIM_SERVE_PROTOCOL_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/registry.h"
+#include "exec/run_request.h"
+#include "sys/system_config.h"
+
+namespace mlps::serve {
+
+/** Protocol version announced in the hello line. */
+constexpr int kProtocolVersion = 1;
+
+/** Ceiling on one request line; longer lines are a protocol error. */
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+// ---- minimal JSON ---------------------------------------------------
+
+/** Parsed JSON value (object keys keep insertion order). */
+struct Json {
+    enum class Kind { Null, Bool, Number, String, Object, Array };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<std::pair<std::string, Json>> object;
+    std::vector<Json> array;
+
+    /** Parse a complete JSON document. @return false + error on junk. */
+    static bool parse(const std::string &text, Json *out,
+                      std::string *error);
+
+    /** Object member by key; null when absent or not an object. */
+    const Json *find(const std::string &key) const;
+
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isObject() const { return kind == Kind::Object; }
+};
+
+/** JSON string escaping (quotes not included). */
+std::string jsonEscape(const std::string &s);
+
+/** Shortest round-trip rendering of a double (%.17g, bit-exact). */
+std::string jsonDouble(double v);
+
+// ---- requests -------------------------------------------------------
+
+/**
+ * Validation context, built once per server: the workload registry
+ * and machine list every run request is resolved against.
+ */
+struct Catalog {
+    Catalog();
+
+    core::Registry registry;
+    std::vector<sys::SystemConfig> machines; ///< incl. the reference box
+
+    /** Machine by name; null + did-you-mean error when unknown. */
+    const sys::SystemConfig *findMachine(const std::string &name,
+                                         std::string *error) const;
+};
+
+/** One parsed-and-validated client request. */
+struct ParsedRequest {
+    enum class Kind { Run, Stats, Ping };
+
+    Kind kind = Kind::Ping;
+    std::string id;          ///< client correlation id (echoed back)
+    exec::RunRequest run;    ///< populated for Kind::Run
+    double deadline_s = 0.0; ///< per-request deadline; 0 = none
+};
+
+/**
+ * Parse and validate one request line the way the CLI validates its
+ * flags. @return false with a one-line diagnostic (including
+ * did-you-mean suggestions) on any structural or semantic problem.
+ */
+bool parseRequest(const std::string &line, const Catalog &catalog,
+                  ParsedRequest *out, std::string *error);
+
+// ---- responses ------------------------------------------------------
+
+/** Server greeting. */
+std::string encodeHello();
+
+/** Successful (or error-carrying) evaluation of a run request. */
+std::string encodeResult(const std::string &id,
+                         const exec::RunResult &result);
+
+/** Rejection: status is "overloaded", "draining" or "invalid". */
+std::string encodeReject(const std::string &id,
+                         const std::string &status,
+                         const std::string &what,
+                         double retry_after_s = 0.0);
+
+/** Stats response embedding a pre-rendered metrics JSON document. */
+std::string encodeStats(const std::string &id,
+                        const std::string &metrics_json);
+
+/** Ping acknowledgement. */
+std::string encodePong(const std::string &id);
+
+/** Client-side view of one decoded response line. */
+struct Response {
+    std::string type;   ///< hello | result | stats | pong
+    std::string id;
+    std::string status; ///< ok | error | invalid | overloaded | draining
+    std::string reason; ///< error class, for status "error"
+    std::string what;   ///< human diagnostic
+    double retry_after_s = 0.0;
+    int proto = 0;      ///< hello only
+    bool cache_hit = false;
+    bool from_journal = false;
+    train::TrainResult train; ///< status "ok" only
+    std::string metrics_json; ///< stats only (raw JSON)
+};
+
+/** Decode one response line. @return false + error on junk. */
+bool decodeResponse(const std::string &line, Response *out,
+                    std::string *error);
+
+/**
+ * Canonical single-line rendering of the deterministic result cells
+ * (every field the journal persists, doubles as %.17g). The serve
+ * smoke test byte-compares this line between a served response and a
+ * locally simulated batch run: equal lines prove the service returned
+ * bit-identical numbers. Volatile fields (cache hit, wall time,
+ * attempts) are deliberately excluded.
+ */
+std::string canonicalResultLine(const train::TrainResult &t);
+
+} // namespace mlps::serve
+
+#endif // MLPSIM_SERVE_PROTOCOL_H

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The long-running simulation service (`mlpsim serve`).
+ *
+ * Two layers, split so the interesting logic tests without sockets:
+ *
+ *  - ServeCore: transport-independent request broker. It owns the
+ *    shared Engine (one hot RunCache + journal across every client),
+ *    the validation Catalog, and the AdmissionQueue. Request lines go
+ *    in; response lines come out through an emit callback keyed by
+ *    client id. Admitted runs queue; dispatchBatch() drains them in
+ *    weighted round-robin order through the engine, streaming each
+ *    result line the moment the engine publishes it — duplicate
+ *    requests across clients dedupe to one simulation, warm requests
+ *    answer from cache before any cold point simulates.
+ *
+ *  - TcpServer: a poll()-based event loop putting ServeCore on a
+ *    TCP socket. Line-delimited JSON per serve/protocol.h, one
+ *    greeting per connection, non-blocking I/O with per-session
+ *    outboxes. SIGTERM/SIGINT begin a graceful drain: admissions
+ *    stop (status "draining"), queued work finishes inside the drain
+ *    budget or is cancelled, outboxes flush, the journal is already
+ *    durable (every append is flushed), and the process exits 0.
+ *    A kill -9 instead loses nothing the journal recorded: the next
+ *    start replays it and serves warm.
+ *
+ * Determinism: responses carry exactly the bytes a batch-mode run of
+ * the same request would print (see protocol.h), because both paths
+ * evaluate through the same Engine code and render doubles with
+ * %.17g.
+ */
+
+#ifndef MLPSIM_SERVE_SERVER_H
+#define MLPSIM_SERVE_SERVER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "exec/engine.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+
+namespace mlps::serve {
+
+/** Configuration of the service core. */
+struct ServeConfig {
+    exec::ExecOptions exec;       ///< engine: jobs, cache, journal...
+    AdmissionConfig admission;    ///< rate/queue/fairness knobs
+    /** Deadline for requests that do not carry their own; 0 = none. */
+    double default_deadline_s = 0.0;
+    /** Drain budget after SIGTERM before queued work is cancelled. */
+    double drain_timeout_s = 5.0;
+    /** Most runs dispatched into the engine per batch. */
+    std::size_t max_batch = 32;
+};
+
+/** Transport-independent request broker around one shared Engine. */
+class ServeCore
+{
+  public:
+    /** Response delivery: (client id, response line, no newline). */
+    using Emit = std::function<void(const std::string &client,
+                                    const std::string &line)>;
+
+    ServeCore(const ServeConfig &cfg, Emit emit);
+
+    /** Greet a new client. */
+    void clientConnected(const std::string &client);
+
+    /** Forget a client; its queued runs are cancelled unanswered. */
+    void clientDisconnected(const std::string &client);
+
+    /**
+     * Process one request line at admission time `now_s` (any
+     * monotonic clock; tests pass synthetic values). Emits every
+     * immediate response; admitted runs wait for dispatchBatch().
+     */
+    void handleLine(const std::string &client, const std::string &line,
+                    double now_s);
+
+    /** Queued runs awaiting dispatch. */
+    bool hasPending() const { return admission_.pending() > 0; }
+
+    /**
+     * Evaluate up to ServeConfig::max_batch queued runs through the
+     * engine (weighted round-robin over clients, grouped by
+     * effective deadline), streaming result lines as they publish.
+     * @return runs dispatched.
+     */
+    std::size_t dispatchBatch();
+
+    /** Stop admitting runs; subsequent run requests get "draining". */
+    void beginDrain() { draining_ = true; }
+    bool draining() const { return draining_; }
+
+    /**
+     * Cancel every queued run with a "draining" rejection (the drain
+     * budget ran out). @return runs cancelled.
+     */
+    std::size_t cancelPending();
+
+    /** Deterministic service counters as one JSON object. */
+    std::string statsJson() const;
+
+    exec::Engine &engine() { return engine_; }
+    const AdmissionQueue &admission() const { return admission_; }
+    std::uint64_t served() const { return served_; }
+
+  private:
+    /** One admitted run waiting for dispatch. */
+    struct PendingRun {
+        std::string client;
+        std::string id;
+        exec::RunRequest run;
+        double deadline_s = 0.0;
+    };
+
+    ServeConfig cfg_;
+    Emit emit_;
+    Catalog catalog_;
+    exec::Engine engine_;
+    AdmissionQueue admission_;
+    std::map<std::uint64_t, PendingRun> pending_;
+    bool draining_ = false;
+    std::uint64_t served_ = 0;
+    std::uint64_t invalid_ = 0;
+    std::uint64_t cancelled_ = 0;
+};
+
+/** TCP endpoint configuration. */
+struct TcpServerConfig {
+    std::string host = "127.0.0.1";
+    int port = 0;            ///< 0 = ephemeral (see port_file)
+    std::string port_file;   ///< written with the bound port, if set
+    ServeConfig core;
+};
+
+/**
+ * Run the service until SIGTERM/SIGINT completes a graceful drain.
+ * `on_drained`, if set, runs after the drain with the core still
+ * alive — the CLI uses it to copy engine provenance into the
+ * telemetry manifest before the engine (and its journal) shut down.
+ * @return process exit code (0 on clean drain).
+ */
+int runTcpServer(const TcpServerConfig &cfg,
+                 const std::function<void(ServeCore &)> &on_drained =
+                     {});
+
+} // namespace mlps::serve
+
+#endif // MLPSIM_SERVE_SERVER_H

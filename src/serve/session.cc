@@ -1,0 +1,37 @@
+#include "serve/session.h"
+
+#include <cstring>
+
+namespace mlps::serve {
+
+bool
+LineBuffer::feed(const char *data, std::size_t n,
+                 std::vector<std::string> *lines)
+{
+    if (overflowed_)
+        return false;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (data[i] != '\n')
+            continue;
+        std::string line = std::move(partial_);
+        partial_.clear();
+        line.append(data + start, i - start);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.size() > max_line_) {
+            overflowed_ = true;
+            return false;
+        }
+        lines->push_back(std::move(line));
+        start = i + 1;
+    }
+    partial_.append(data + start, n - start);
+    if (partial_.size() > max_line_) {
+        overflowed_ = true;
+        return false;
+    }
+    return true;
+}
+
+} // namespace mlps::serve

@@ -1,5 +1,6 @@
 #include "sim/logger.h"
 
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -10,7 +11,10 @@ namespace mlps::sim {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
+// Atomic: worker threads (executor jobs, the serve loop) consult the
+// level while tests and the CLI may adjust it; relaxed ordering is
+// enough for a monotone verbosity gate.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 std::mutex g_structured_mu;
 std::FILE *g_structured = nullptr;
@@ -168,13 +172,13 @@ emit(const char *tag, const char *fmt, std::va_list ap)
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 void
@@ -203,7 +207,7 @@ structuredLogEnabled()
 void
 inform(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Info)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Info)
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -214,7 +218,7 @@ inform(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Warn)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Warn)
         return;
     std::va_list ap;
     va_start(ap, fmt);
@@ -225,7 +229,7 @@ warn(const char *fmt, ...)
 void
 debug(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Debug)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Debug)
         return;
     std::va_list ap;
     va_start(ap, fmt);

@@ -8,9 +8,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <limits>
+#include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "sim/counters.h"
 #include "sim/event_queue.h"
@@ -569,6 +575,48 @@ TEST(Logger, LevelRoundTrip)
     setLogLevel(LogLevel::Debug);
     EXPECT_EQ(logLevel(), LogLevel::Debug);
     setLogLevel(old);
+}
+
+// Regression test for the data race between the level gate and
+// concurrent emitters: the gate is an atomic, the structured mirror
+// is mutex-guarded, so logging from worker threads while another
+// thread flips the verbosity (as `mlpsim serve` does when a batch
+// turns chatty) must be clean under TSan.
+TEST(Logger, ConcurrentEmitAndLevelChangeIsRaceFree)
+{
+    LogLevel old = logLevel();
+    auto mirror = std::filesystem::temp_directory_path() /
+                  ("mlpsim_logger_race_" +
+                   std::to_string(::getpid()) + ".jsonl");
+    setStructuredLogFile(mirror.string());
+
+    constexpr int kThreads = 4;
+    constexpr int kIters = 200;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads + 1);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([t] {
+            for (int i = 0; i < kIters; ++i) {
+                inform("race: worker=%d iter=%d", t, i);
+                warn("race: worker=%d iter=%d", t, i);
+                debug("race: worker=%d iter=%d", t, i);
+            }
+        });
+    }
+    workers.emplace_back([] {
+        for (int i = 0; i < kIters; ++i) {
+            setLogLevel(LogLevel::Debug);
+            setLogLevel(LogLevel::Warn);
+            setLogLevel(LogLevel::Info);
+        }
+    });
+    for (auto &w : workers)
+        w.join();
+
+    setStructuredLogFile("");
+    setLogLevel(old);
+    EXPECT_TRUE(std::filesystem::exists(mirror));
+    std::filesystem::remove(mirror);
 }
 
 } // namespace

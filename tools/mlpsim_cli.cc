@@ -13,6 +13,11 @@
  *                            [--seed S] [...]
  *   mlpsim report [--out FILE] [--jobs N] [--cache-dir DIR]
  *   mlpsim cache stats|verify|clear --cache-dir DIR
+ *   mlpsim serve [--listen HOST:PORT] [--port-file FILE]
+ *                [--cache-dir DIR] [--cache-max-entries N]
+ *                [--cache-max-bytes B] [--jobs N] [...]
+ *   mlpsim query <workload...> --connect HOST:PORT | --port-file FILE
+ *                [--local] [--system NAME] [--gpus N] [...]
  *
  * Every subcommand additionally accepts --telemetry-dir DIR: the
  * invocation then writes a provenance manifest, metric snapshots
@@ -20,8 +25,9 @@
  * DIR (see docs/OBSERVABILITY.md).
  *
  * Exit codes: 0 success, 2 usage error, 3 configuration error,
- * 4 report written but degraded (some runs failed), 5 cache
- * corruption detected by `cache verify`.
+ * 4 report written but degraded (some runs failed, or the cache is
+ * busy under a live server), 5 cache corruption detected by `cache
+ * verify`, 6 query rejected by an overloaded server.
  */
 
 #include <cctype>
@@ -47,6 +53,8 @@
 #include "sched/gantt.h"
 #include "sched/naive.h"
 #include "sched/optimal.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "sim/logger.h"
 #include "sys/machines.h"
 #include "train/checkpoint.h"
@@ -60,8 +68,9 @@ using namespace mlps;
 constexpr int kOk = 0;
 constexpr int kUsage = 2;    ///< bad invocation (missing args, ...)
 constexpr int kConfig = 3;   ///< bad configuration (unknown system, ...)
-constexpr int kDegraded = 4; ///< report written, but some runs failed
+constexpr int kDegraded = 4; ///< degraded report, or cache busy
 constexpr int kCorrupt = 5;  ///< cache verify found corruption
+constexpr int kOverloaded = 6; ///< query rejected: server overloaded
 
 /** Invocation error: wrong arguments rather than wrong values. */
 struct UsageError : std::runtime_error {
@@ -181,6 +190,28 @@ jobsFrom(const Args &args)
     return jobs;
 }
 
+/** Apply the --cache-max-entries/--cache-max-bytes/--compact-ratio
+ *  bounded-cache flags to engine options. */
+void
+fillCacheBudget(const Args &args, exec::ExecOptions *eopts)
+{
+    int entries = args.getInt("cache-max-entries", 0);
+    if (entries < 0)
+        sim::fatal("--cache-max-entries %d: must be >= 0 (0 = "
+                   "unbounded)", entries);
+    double bytes = args.getDouble("cache-max-bytes", 0.0);
+    if (bytes < 0.0)
+        sim::fatal("--cache-max-bytes %g: must be >= 0 (0 = "
+                   "unbounded)", bytes);
+    double ratio = args.getDouble("compact-ratio", 0.5);
+    if (ratio < 0.0 || ratio > 1.0)
+        sim::fatal("--compact-ratio %g: must be in [0, 1] (0 "
+                   "disables compaction)", ratio);
+    eopts->cache_max_entries = static_cast<std::size_t>(entries);
+    eopts->cache_max_bytes = static_cast<std::uint64_t>(bytes);
+    eopts->journal_compact_ratio = ratio;
+}
+
 /**
  * Build the engine of a sweep command: worker count from --jobs,
  * durable journal from --cache-dir (omitted = in-memory only).
@@ -192,6 +223,7 @@ makeEngine(const Args &args,
     exec::ExecOptions eopts(jobsFrom(args));
     eopts.cache_dir = args.get("cache-dir", "");
     eopts.on_error = policy;
+    fillCacheBudget(args, &eopts);
     return exec::Engine(std::move(eopts));
 }
 
@@ -552,6 +584,18 @@ cmdCache(const Args &args)
         throw UsageError("cache " + sub +
                          ": --cache-dir DIR is required");
 
+    // A live process (usually `mlpsim serve`) owns this cache; both
+    // mutating it and replaying it under the owner's feet would race
+    // the journal, so refuse with the holder's pid.
+    if (long pid = exec::Journal::lockHolder(dir)) {
+        std::fprintf(stderr,
+                     "mlpsim: error: cache at %s is held by a live "
+                     "mlpsim process (pid %ld); stop the server or "
+                     "pass --cache-dir elsewhere\n",
+                     dir.c_str(), pid);
+        return kDegraded;
+    }
+
     if (sub == "stats" || sub == "verify") {
         exec::JournalVerifyReport v = exec::Journal::verify(dir);
         if (!v.exists) {
@@ -606,6 +650,275 @@ cmdCache(const Args &args)
     throw UsageError("cache: unknown subcommand '" + sub + "'");
 }
 
+int
+cmdServe(const Args &args)
+{
+    serve::TcpServerConfig cfg;
+    std::string listen = args.get("listen", "127.0.0.1:0");
+    std::string err;
+    // ":0" asks the kernel for an ephemeral port, so parseEndpoint's
+    // 1..65535 check is bypassed for the explicit-zero form.
+    std::size_t colon = listen.rfind(':');
+    if (colon != std::string::npos &&
+        listen.substr(colon + 1) == "0") {
+        if (colon > 0)
+            cfg.host = listen.substr(0, colon);
+        cfg.port = 0;
+    } else if (!serve::parseEndpoint(listen, &cfg.host, &cfg.port,
+                                     &err)) {
+        sim::fatal("--listen %s: %s", listen.c_str(), err.c_str());
+    }
+    cfg.port_file = args.get("port-file", "");
+
+    exec::ExecOptions eopts(jobsFrom(args));
+    eopts.cache_dir = args.get("cache-dir", "");
+    fillCacheBudget(args, &eopts);
+    cfg.core.exec = std::move(eopts);
+
+    cfg.core.admission.rate = args.getDouble("rate", 50.0);
+    cfg.core.admission.burst = args.getDouble("burst", 100.0);
+    int max_queued = args.getInt("max-queued", 256);
+    int weight = args.getInt("weight", 4);
+    int max_batch = args.getInt("max-batch", 32);
+    if (cfg.core.admission.rate <= 0.0 ||
+        cfg.core.admission.burst < 1.0)
+        sim::fatal("--rate/--burst: need rate > 0 and burst >= 1");
+    if (max_queued < 1 || weight < 1 || max_batch < 1)
+        sim::fatal("--max-queued/--weight/--max-batch: need "
+                   "positive values");
+    cfg.core.admission.max_queued =
+        static_cast<std::size_t>(max_queued);
+    cfg.core.admission.weight = static_cast<std::size_t>(weight);
+    cfg.core.max_batch = static_cast<std::size_t>(max_batch);
+    cfg.core.default_deadline_s = args.getDouble("deadline-s", 0.0);
+    cfg.core.drain_timeout_s =
+        args.getDouble("drain-timeout-s", 5.0);
+    if (cfg.core.default_deadline_s < 0.0 ||
+        cfg.core.drain_timeout_s < 0.0)
+        sim::fatal("--deadline-s/--drain-timeout-s: need values "
+                   ">= 0");
+
+    return serve::runTcpServer(cfg, [](serve::ServeCore &core) {
+        noteEngine(core.engine());
+    });
+}
+
+/** Build the JSON run request the query command sends (or, with
+ *  --local, evaluates in-process through the same validation). */
+std::string
+queryRequestLine(const Args &args, const std::string &workload,
+                 const std::string &id)
+{
+    std::string line = "{\"type\":\"run\",\"id\":\"" +
+                       serve::jsonEscape(id) + "\",\"workload\":\"" +
+                       serve::jsonEscape(workload) +
+                       "\",\"system\":\"" +
+                       serve::jsonEscape(
+                           args.get("system", "DSS 8440")) +
+                       "\",\"gpus\":" +
+                       std::to_string(args.getInt("gpus", 1)) +
+                       ",\"precision\":\"" +
+                       serve::jsonEscape(
+                           args.get("precision", "mixed")) +
+                       "\"";
+    if (args.has("reference"))
+        line += ",\"reference\":true";
+    double deadline = args.getDouble("deadline-s", 0.0);
+    if (deadline > 0.0)
+        line += ",\"deadline_s\":" + serve::jsonDouble(deadline);
+    line += "}";
+    return line;
+}
+
+/** Render one answered query the way both modes print it. */
+int
+printQueryResponse(const serve::Response &r)
+{
+    if (r.status == "ok") {
+        std::printf("%s\n",
+                    serve::canonicalResultLine(r.train).c_str());
+        return kOk;
+    }
+    if (r.status == "overloaded") {
+        std::printf("%s overloaded: %s (retry after %.3f s)\n",
+                    r.id.c_str(), r.what.c_str(), r.retry_after_s);
+        return kOverloaded;
+    }
+    std::printf("%s %s: %s%s%s\n", r.id.c_str(), r.status.c_str(),
+                r.reason.c_str(), r.reason.empty() ? "" : ": ",
+                r.what.c_str());
+    return kDegraded;
+}
+
+/**
+ * Evaluate query requests without a server: the same request lines
+ * run through the same parser and an in-process engine, printing the
+ * same canonical output — the byte-for-byte baseline the serve smoke
+ * test compares daemon responses against.
+ */
+int
+queryLocal(const Args &args,
+           const std::vector<std::string> &request_lines)
+{
+    serve::Catalog catalog;
+    exec::Engine engine = makeEngine(args, exec::ErrorPolicy::Capture);
+    int worst = kOk;
+    std::vector<serve::Response> responses(request_lines.size());
+    std::vector<exec::RunRequest> batch;
+    std::vector<std::size_t> batch_slot;
+    for (std::size_t i = 0; i < request_lines.size(); ++i) {
+        serve::ParsedRequest req;
+        std::string error;
+        if (!serve::parseRequest(request_lines[i], catalog, &req,
+                                 &error)) {
+            responses[i].id = req.id;
+            responses[i].status = "invalid";
+            responses[i].what = error;
+            continue;
+        }
+        batch.push_back(std::move(req.run));
+        batch_slot.push_back(i);
+        responses[i].id = req.id;
+    }
+    if (!batch.empty()) {
+        engine.setRunDeadline(args.getDouble("deadline-s", 0.0));
+        auto results = engine.run(std::move(batch));
+        for (std::size_t j = 0; j < results.size(); ++j) {
+            serve::Response &r = responses[batch_slot[j]];
+            std::string line =
+                serve::encodeResult(r.id, results[j]);
+            std::string derr;
+            serve::decodeResponse(line, &r, &derr);
+        }
+    }
+    for (const auto &r : responses)
+        worst = std::max(worst, printQueryResponse(r));
+    std::fprintf(stderr, "%s\n", engine.summary().c_str());
+    return worst;
+}
+
+/**
+ * Dial the server named by --connect or a --port-file written by
+ * serve. An explicit --connect endpoint dials once; --port-file
+ * re-reads the file and retries refused connects until --wait-s
+ * expires, so a stale file left by a previous server, or a server
+ * still booting, costs a retry instead of failing the client.
+ */
+bool
+dialServer(const Args &args, serve::Connection *conn,
+           std::string *error)
+{
+    if (args.has("connect")) {
+        std::string host;
+        int port = 0;
+        if (!serve::parseEndpoint(args.get("connect", ""), &host,
+                                  &port, error))
+            return false;
+        return conn->dial(host, port, error);
+    }
+    std::string pf = args.get("port-file", "");
+    if (pf.empty()) {
+        *error = "need --connect HOST:PORT or --port-file FILE "
+                 "(or --local)";
+        return false;
+    }
+    double wait_s = args.getDouble("wait-s", 10.0);
+    error->clear();
+    for (int tries = 0;; ++tries) {
+        if (FILE *f = std::fopen(pf.c_str(), "r")) {
+            int p = 0;
+            int got = std::fscanf(f, "%d", &p);
+            std::fclose(f);
+            if (got == 1 && p > 0 &&
+                conn->dial("127.0.0.1", p, error))
+                return true;
+        }
+        if (tries * 0.05 >= wait_s) {
+            if (error->empty())
+                *error = "port file '" + pf +
+                         "' did not appear within " +
+                         std::to_string(wait_s) + " s";
+            return false;
+        }
+        struct timespec ts = {0, 50 * 1000 * 1000};
+        nanosleep(&ts, nullptr);
+    }
+}
+
+int
+cmdQuery(const Args &args)
+{
+    bool want_stats = args.has("stats");
+    if (args.positional.empty() && !want_stats && !args.has("ping"))
+        throw UsageError("query: need workload names (or --stats / "
+                         "--ping)");
+
+    std::vector<std::string> request_lines;
+    for (std::size_t i = 0; i < args.positional.size(); ++i)
+        request_lines.push_back(queryRequestLine(
+            args, args.positional[i],
+            "q" + std::to_string(i + 1)));
+
+    if (args.has("local")) {
+        if (want_stats || args.has("ping"))
+            throw UsageError(
+                "query: --stats/--ping need a server (drop --local)");
+        return queryLocal(args, request_lines);
+    }
+
+    std::string error;
+    serve::Connection conn;
+    if (!dialServer(args, &conn, &error))
+        sim::fatal("query: %s", error.c_str());
+
+    if (args.has("ping")) {
+        serve::Response pong;
+        if (!conn.roundTrip("{\"type\":\"ping\",\"id\":\"p\"}",
+                            &pong, &error) ||
+            pong.type != "pong")
+            sim::fatal("query: ping failed: %s", error.c_str());
+        std::printf("pong (proto %d)\n", conn.serverProto());
+    }
+
+    // Pipeline every request, then collect answers by id: responses
+    // may interleave in completion order, output stays in submission
+    // order (so two invocations print byte-identically).
+    for (const auto &line : request_lines)
+        if (!conn.sendLine(line, &error))
+            sim::fatal("query: %s", error.c_str());
+    std::map<std::string, serve::Response> by_id;
+    while (by_id.size() < request_lines.size()) {
+        std::string line;
+        serve::Response r;
+        if (!conn.recvLine(&line, &error) ||
+            !serve::decodeResponse(line, &r, &error))
+            sim::fatal("query: %s", error.c_str());
+        if (r.type == "result")
+            by_id[r.id] = std::move(r);
+    }
+    int worst = kOk;
+    int hits = 0;
+    for (std::size_t i = 0; i < request_lines.size(); ++i) {
+        const serve::Response &r =
+            by_id["q" + std::to_string(i + 1)];
+        hits += r.cache_hit ? 1 : 0;
+        worst = std::max(worst, printQueryResponse(r));
+    }
+    if (!request_lines.empty())
+        std::fprintf(stderr, "query: %zu request(s), %d server "
+                     "cache hit(s)\n", request_lines.size(), hits);
+
+    if (want_stats) {
+        serve::Response stats;
+        if (!conn.roundTrip("{\"type\":\"stats\",\"id\":\"s\"}",
+                            &stats, &error) ||
+            stats.type != "stats")
+            sim::fatal("query: stats failed: %s", error.c_str());
+        std::printf("%s\n", stats.metrics_json.c_str());
+    }
+    return worst;
+}
+
 void
 usage()
 {
@@ -629,12 +942,27 @@ usage()
         "  mlpsim cache stats|verify|clear --cache-dir DIR\n"
         "  mlpsim faults [--system NAME] [--gpus N] [--mttf-hours H]\n"
         "             [--link-mttf-hours H] [--hours H] [--seed S]\n"
-        "             [--trace FILE]\n\n"
+        "             [--trace FILE]\n"
+        "  mlpsim serve [--listen HOST:PORT] [--port-file FILE]\n"
+        "             [--cache-dir DIR] [--cache-max-entries N]\n"
+        "             [--cache-max-bytes B] [--compact-ratio R]\n"
+        "             [--jobs N] [--rate R] [--burst B]\n"
+        "             [--max-queued N] [--weight W] [--max-batch N]\n"
+        "             [--deadline-s D] [--drain-timeout-s D]\n"
+        "  mlpsim query <workload...> --connect HOST:PORT\n"
+        "             | --port-file FILE [--wait-s S] | --local\n"
+        "             [--system NAME] [--gpus N] [--precision P]\n"
+        "             [--reference] [--deadline-s D] [--stats]\n"
+        "             [--ping]  (docs/SERVICE.md)\n\n"
+        "Sweep commands accept --cache-max-entries/--cache-max-bytes\n"
+        "to bound the run cache (LRU eviction; evicted entries stay\n"
+        "in the journal until compaction).\n\n"
         "Every command accepts --telemetry-dir DIR: write a run\n"
         "manifest, metric snapshots, a harness self-trace and a\n"
         "structured log into DIR (docs/OBSERVABILITY.md).\n\n"
-        "Exit codes: 0 ok, 2 usage, 3 configuration, 4 degraded "
-        "report, 5 corrupt cache.\n");
+        "Exit codes: 0 ok, 2 usage, 3 configuration, 4 degraded\n"
+        "report or busy cache, 5 corrupt cache, 6 overloaded "
+        "server.\n");
 }
 
 } // namespace
@@ -680,6 +1008,10 @@ main(int argc, char **argv)
             return cmdCache(args);
         if (cmd == "faults")
             return cmdFaults(args);
+        if (cmd == "serve")
+            return cmdServe(args);
+        if (cmd == "query")
+            return cmdQuery(args);
         throw UsageError("unknown command '" + cmd + "'");
     } catch (const UsageError &e) {
         std::fprintf(stderr, "mlpsim: error: %s\n", e.what());
