@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Extension beyond the paper: collectives on a hierarchical
+ * datacenter fabric. The paper's Figure 5 stops at one box; this
+ * bench prices the same all-reduce on a rack/pod topology. Part 1
+ * sweeps GPU count on a 16x8 C4140 (M) pod and compares the flat
+ * ring (which drags every byte across the spine) against the
+ * hierarchical 2D ring and cross-rack tree the model picks from.
+ * Part 2 prices the pod-scale fault classes: one degraded ToR versus
+ * an oversubscribed spine. Part 3 measures simulator cost per pod
+ * topology epoch at 512 GPUs.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "net/allreduce.h"
+#include "net/topology.h"
+#include "sys/machines.h"
+
+int
+main()
+{
+    using namespace mlps;
+    const double bytes = 64.0 * 1024.0 * 1024.0;
+
+    // Part 1: algorithm comparison across the pod.
+    sys::SystemConfig pod = sys::withPod(sys::c4140M(), 16, 8);
+    std::printf("64 MiB all-reduce on %s (%d GPUs max)\n"
+                "(flat ring / hierarchical 2D ring / cross-rack tree "
+                "/ auto pick)\n\n",
+                pod.name.c_str(), pod.num_gpus);
+    std::printf("%-6s %12s %12s %12s %12s\n", "GPUs", "flat(ms)",
+                "2d-ring(ms)", "tree(ms)", "auto(ms)");
+    for (int n : {8, 16, 32, 64, 128, 256, 512}) {
+        auto gpus = pod.gpuSubset(n);
+        auto flat = net::ringAllReduce(pod.topo, gpus, bytes);
+        auto ring2d =
+            net::hierarchicalRingAllReduce(pod.topo, gpus, bytes);
+        auto tree =
+            net::hierarchicalTreeAllReduce(pod.topo, gpus, bytes);
+        auto pick =
+            net::autoHierarchicalAllReduce(pod.topo, gpus, bytes);
+        std::printf("%-6d %12.3f %12.3f %12.3f %12.3f\n", n,
+                    flat.seconds * 1e3, ring2d.seconds * 1e3,
+                    tree.seconds * 1e3, pick.seconds * 1e3);
+    }
+
+    // Part 2: pod-scale degradations, 256 GPUs.
+    std::printf("\nDegraded pod, 256 GPUs, 64 MiB auto all-reduce\n\n");
+    std::printf("%-22s %12s %10s\n", "fabric", "time(ms)", "vs healthy");
+    auto gpus256 = pod.gpuSubset(256);
+    double healthy =
+        net::autoHierarchicalAllReduce(pod.topo, gpus256, bytes)
+            .seconds;
+    struct Case {
+        const char *label;
+        sys::SystemConfig sys;
+    };
+    const Case cases[] = {
+        {"healthy", pod},
+        {"tor 0 at x0.5", sys::withTorDegraded(pod, 0, 0.5)},
+        {"tor 0 at x0.25", sys::withTorDegraded(pod, 0, 0.25)},
+        {"spine at x0.5", sys::withSpineDegraded(pod, 0.5)},
+        {"spine at x0.25", sys::withSpineDegraded(pod, 0.25)},
+    };
+    for (const Case &c : cases) {
+        double s = net::autoHierarchicalAllReduce(c.sys.topo, gpus256,
+                                                  bytes)
+                       .seconds;
+        std::printf("%-22s %12.3f %9.2fx\n", c.label, s * 1e3,
+                    s / healthy);
+    }
+
+    // Part 3: simulator cost per pod topology epoch (mutate one
+    // cross-rack edge, validate, re-price at 512 GPUs).
+    int xr_edge = -1;
+    for (int e = 0; e < pod.topo.edgeCount(); ++e)
+        if (pod.topo.link(e).tier == net::FabricTier::CrossRack) {
+            xr_edge = e;
+            break;
+        }
+    constexpr int kEpochs = 200;
+    double sink = 0.0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kEpochs; ++i) {
+        pod.topo.setLinkBandwidthScale(xr_edge,
+                                       i % 2 == 0 ? 0.5 : 1.0);
+        pod.topo.validate();
+        sink += net::autoHierarchicalAllReduce(pod.topo,
+                                               pod.gpu_nodes, bytes)
+                    .seconds;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count() /
+        kEpochs;
+    std::printf("\n%d pod epochs at 512 GPUs, %.2f ms/epoch "
+                "(checksum %.3f)\n",
+                kEpochs, ms, sink);
+    return 0;
+}

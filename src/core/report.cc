@@ -316,6 +316,59 @@ appendDegradedFabric(std::ostringstream &os, Suite &suite,
           "but loses bandwidth.\n\n";
 }
 
+void
+appendPodScale(std::ostringstream &os, Suite &suite,
+               exec::Engine &engine)
+{
+    // A 512-GPU pod of the NVLink box: 16 racks x 8 hosts x 4 GPUs,
+    // wired through per-host NICs, per-rack ToRs and two spines.
+    // gpuSubset(n) fills whole hosts first, so the sweep moves from
+    // intra-node NVLink (8 = 2 hosts) through intra-rack (32 = one
+    // rack) to cross-rack collectives (64+).
+    sys::SystemConfig healthy = sys::withPod(sys::c4140M(), 16, 8);
+    sys::SystemConfig degraded = sys::withSpineDegraded(healthy, 0.5);
+    const std::string workload = "MLPf_Res50_MX";
+    const std::vector<int> counts = {8, 16, 32, 64, 128, 256, 512};
+
+    os << "## Fig. 5 at pod scale (" << healthy.name << ", "
+       << workload << ", minutes)\n\n"
+       << "| GPUs | healthy | spine x0.5 | slowdown |\n"
+       << "|---|---|---|---|\n";
+
+    std::vector<exec::RunRequest> batch;
+    for (int n : counts) {
+        for (const sys::SystemConfig *s : {&healthy, &degraded}) {
+            train::RunOptions opts;
+            opts.num_gpus = n;
+            exec::RunRequest req = suite.request(workload, opts);
+            req.system = *s;
+            batch.push_back(std::move(req));
+        }
+    }
+    auto results = engine.run(std::move(batch));
+
+    std::size_t i = 0;
+    for (int n : counts) {
+        const exec::RunResult &h = results[i++];
+        const exec::RunResult &d = results[i++];
+        const std::string h_err =
+            h.error ? h.error->reason : std::string();
+        const std::string d_err =
+            d.error ? d.error->reason : std::string();
+        os << "| " << n << " | "
+           << cell(h.train.totalMinutes(), "%.1f", h_err) << " | "
+           << cell(d.train.totalMinutes(), "%.1f", d_err) << " | "
+           << cell(h.train.totalMinutes() > 0.0
+                       ? d.train.totalMinutes() / h.train.totalMinutes()
+                       : 0.0,
+                   "%.2fx", !h_err.empty() ? h_err : d_err)
+           << " |\n";
+    }
+    os << "\nBelow one rack (32 GPUs) both columns ride NVLink and "
+          "the rack fabric only; past it gradients cross the spine "
+          "layer and the oversubscribed column falls behind.\n\n";
+}
+
 /**
  * Append the "Degraded runs" appendix for failures captured while
  * rendering this document: the slice of the engine's degraded log
@@ -416,6 +469,9 @@ generateStudyReport(const ReportOptions &opts, exec::Engine &engine)
     if (opts.include_degraded_fabric)
         section("degraded_fabric",
                 [&] { appendDegradedFabric(os, suite, engine); });
+    if (opts.include_pod_scale)
+        section("pod_scale",
+                [&] { appendPodScale(os, suite, engine); });
     appendDegradedRuns(os, engine, degraded_mark);
     return os.str();
 }

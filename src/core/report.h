@@ -40,6 +40,15 @@ struct ReportOptions {
      */
     bool include_degraded_fabric = true;
     /**
+     * "Fig. 5 at pod scale": the topology study lifted out of the
+     * single box — one workload swept from 8 to 512 GPUs on a
+     * 16-rack x 8-node C4140 (M) pod, healthy next to a pod whose
+     * spine layer runs at half bandwidth. The hierarchical
+     * collective (2D ring / cross-rack tree) and its per-tier
+     * fallbacks are picked per point by the model.
+     */
+    bool include_pod_scale = true;
+    /**
      * Executor workers; 0 defers to the MLPSIM_JOBS environment
      * variable, else hardware concurrency. Ignored when an engine is
      * passed explicitly.

@@ -119,6 +119,7 @@ void
 mixInto(HashStream &h, const net::LinkSpec &l)
 {
     h.mixInt(static_cast<int>(l.kind));
+    h.mixInt(static_cast<int>(l.tier));
     h.mixDouble(l.gbps);
     h.mixDouble(l.latency_us);
     h.mixDouble(l.efficiency);

@@ -75,7 +75,12 @@ struct JournalVerifyReport {
 class Journal
 {
   public:
-    static constexpr std::uint32_t kVersion = 2;
+    /**
+     * v3: system fingerprints mix the link fabric tier, so journals
+     * written before hierarchical fabrics existed cannot alias runs
+     * on pods that differ only in tier layout.
+     */
+    static constexpr std::uint32_t kVersion = 3;
 
     /**
      * Open (creating the directory and an empty journal if needed)

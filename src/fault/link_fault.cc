@@ -18,7 +18,24 @@ constexpr LinkFaultKind kAllLinkKinds[kNumLinkFaultKinds] = {
     LinkFaultKind::PcieDowntrain,
     LinkFaultKind::LinkDown,
     LinkFaultKind::ThermalThrottle,
+    LinkFaultKind::NicFlap,
+    LinkFaultKind::TorDown,
+    LinkFaultKind::SpineOversubscribed,
 };
+
+/** What a class strikes: one edge, one GPU, one node, or the fabric. */
+enum class Scope { Edge, Gpu, Node, Fabric };
+
+Scope
+scopeOf(LinkFaultKind kind)
+{
+    switch (kind) {
+      case LinkFaultKind::ThermalThrottle: return Scope::Gpu;
+      case LinkFaultKind::TorDown: return Scope::Node;
+      case LinkFaultKind::SpineOversubscribed: return Scope::Fabric;
+      default: return Scope::Edge;
+    }
+}
 
 /** Exponential deviate with the given mean. */
 double
@@ -45,15 +62,40 @@ eligibleEdges(LinkFaultKind kind, const net::Topology &topo)
             break;
           case LinkFaultKind::LinkDown:
             // Hard failures hit the GPU fabric; UPI is part of the
-            // CPU package and modeled as always up.
-            ok = lk != net::LinkKind::Upi;
+            // CPU package and modeled as always up. Datacenter-tier
+            // Ethernet has its own flap/switch classes below.
+            ok = lk != net::LinkKind::Upi && lk != net::LinkKind::Eth;
+            break;
+          case LinkFaultKind::NicFlap:
+            // A flap bounces the host's ToR uplink, not the spine
+            // layer: Ethernet at the intra-rack tier.
+            ok = lk == net::LinkKind::Eth &&
+                 topo.link(e).tier == net::FabricTier::IntraRack;
+            break;
+          case LinkFaultKind::SpineOversubscribed:
+            // Eligibility only — the event hits every cross-rack
+            // link at once, no single edge is drawn.
+            ok = topo.link(e).tier == net::FabricTier::CrossRack;
             break;
           case LinkFaultKind::ThermalThrottle:
+          case LinkFaultKind::TorDown:
             break;
         }
         if (ok)
             out.push_back(e);
     }
+    return out;
+}
+
+/** Node ids a node-scoped class can strike, in id order. */
+std::vector<int>
+eligibleNodes(LinkFaultKind kind, const net::Topology &topo)
+{
+    std::vector<int> out;
+    if (kind != LinkFaultKind::TorDown)
+        return out;
+    for (net::NodeId n : topo.nodesOfKind(net::NodeKind::TorSwitch))
+        out.push_back(n);
     return out;
 }
 
@@ -67,8 +109,20 @@ toString(LinkFaultKind kind)
       case LinkFaultKind::PcieDowntrain: return "pcie-downtrain";
       case LinkFaultKind::LinkDown: return "link-down";
       case LinkFaultKind::ThermalThrottle: return "thermal-throttle";
+      case LinkFaultKind::NicFlap: return "nic-flap";
+      case LinkFaultKind::TorDown: return "tor-down";
+      case LinkFaultKind::SpineOversubscribed:
+        return "spine-oversubscribed";
     }
     sim::panic("toString: bad LinkFaultKind %d", static_cast<int>(kind));
+}
+
+bool
+isDownKind(LinkFaultKind kind)
+{
+    return kind == LinkFaultKind::LinkDown ||
+           kind == LinkFaultKind::NicFlap ||
+           kind == LinkFaultKind::TorDown;
 }
 
 const LinkFaultClassConfig &
@@ -85,6 +139,10 @@ LinkFaultConfig::classFor(LinkFaultKind kind)
       case LinkFaultKind::PcieDowntrain: return pcie_downtrain;
       case LinkFaultKind::LinkDown: return link_down;
       case LinkFaultKind::ThermalThrottle: return thermal_throttle;
+      case LinkFaultKind::NicFlap: return nic_flap;
+      case LinkFaultKind::TorDown: return tor_down;
+      case LinkFaultKind::SpineOversubscribed:
+        return spine_oversubscribed;
     }
     sim::panic("classFor: bad LinkFaultKind %d", static_cast<int>(kind));
 }
@@ -103,6 +161,13 @@ LinkFaultConfig::datacenterProfile(double mttf_hours)
     cfg.pcie_downtrain = {mttf_hours / 0.25, 600.0, 0.50};
     cfg.thermal_throttle = {mttf_hours / 0.28, 180.0, 0.70};
     cfg.link_down = {mttf_hours / 0.07, 120.0, 0.0};
+    // Pod-scale classes ride on top of the box-local normalisation
+    // above (those four weights are frozen so single-box traces
+    // reproduce): NIC flaps are frequent and brief, ToR failures
+    // rare and long, spine congestion episodic.
+    cfg.nic_flap = {mttf_hours / 0.30, 30.0, 0.0};
+    cfg.tor_down = {mttf_hours / 0.05, 900.0, 0.0};
+    cfg.spine_oversubscribed = {mttf_hours / 0.20, 600.0, 0.40};
     return cfg;
 }
 
@@ -127,7 +192,7 @@ LinkFaultConfig::validate() const
             sim::fatal("LinkFaultConfig: %s needs a positive mean "
                        "duration (got %g s)",
                        toString(kind).c_str(), c.mean_duration_s);
-        if (kind == LinkFaultKind::LinkDown)
+        if (isDownKind(kind))
             continue; // scale unused (link carries nothing)
         if (c.mean_bandwidth_scale <= 0.0 ||
             c.mean_bandwidth_scale >= 1.0)
@@ -177,40 +242,51 @@ LinkFaultModel::generate(double horizon_s, const net::Topology &topo) const
         const LinkFaultClassConfig &cls = config_.classFor(kind);
         if (cls.mttf_hours <= 0.0)
             continue;
-        bool gpu_scoped = kind == LinkFaultKind::ThermalThrottle;
-        std::vector<int> edges = eligibleEdges(kind, topo);
-        if (!gpu_scoped && edges.empty())
-            continue; // nothing to strike on this box
-        if (gpu_scoped && gpus.empty())
-            continue;
+        Scope scope = scopeOf(kind);
+        // For Edge scope these are drawable targets; for Fabric scope
+        // they only decide eligibility (the event hits all of them).
+        std::vector<int> pool = scope == Scope::Node
+                                    ? eligibleNodes(kind, topo)
+                                    : eligibleEdges(kind, topo);
+        if (scope == Scope::Gpu ? gpus.empty() : pool.empty())
+            continue; // nothing to strike on this topology
         double mttf_s = cls.mttf_hours * 3600.0;
 
         streams.push_back(std::make_unique<sim::Rng>(stream));
         sim::Rng *rng = streams.back().get();
-        targets.push_back(std::make_unique<std::vector<int>>(edges));
+        targets.push_back(std::make_unique<std::vector<int>>(pool));
         std::vector<int> *eligible = targets.back().get();
         arrivals.push_back(std::make_unique<std::function<void()>>());
         std::function<void()> *arrive = arrivals.back().get();
         int num_gpus = static_cast<int>(gpus.size());
         *arrive = [&trace, &simulation, rng, arrive, eligible, kind,
-                   cls, mttf_s, num_gpus, gpu_scoped, horizon]() {
+                   cls, mttf_s, num_gpus, scope, horizon]() {
             LinkFaultEvent ev;
             ev.kind = kind;
             ev.start_s = sim::toSeconds(simulation.now());
             ev.duration_s = exponential(*rng, cls.mean_duration_s);
-            if (kind == LinkFaultKind::LinkDown) {
+            if (isDownKind(kind)) {
                 ev.bandwidth_scale = 0.0;
             } else {
                 ev.bandwidth_scale = std::clamp(
                     cls.mean_bandwidth_scale * rng->lognormalNoise(0.25),
                     0.05, 0.95);
             }
-            if (gpu_scoped) {
+            switch (scope) {
+              case Scope::Gpu:
                 ev.gpu = static_cast<int>(rng->below(
                     static_cast<std::uint64_t>(num_gpus)));
-            } else {
+                break;
+              case Scope::Edge:
                 ev.edge = (*eligible)[rng->below(
                     static_cast<std::uint64_t>(eligible->size()))];
+                break;
+              case Scope::Node:
+                ev.node = (*eligible)[rng->below(
+                    static_cast<std::uint64_t>(eligible->size()))];
+                break;
+              case Scope::Fabric:
+                break; // hits every cross-rack link at once
             }
             trace.push_back(ev);
 
@@ -243,7 +319,13 @@ applyLinkFaults(net::Topology &topo,
             continue;
         switch (ev.kind) {
           case LinkFaultKind::LinkDown:
+          case LinkFaultKind::NicFlap:
             topo.setLinkDown(ev.edge, true);
+            break;
+          case LinkFaultKind::TorDown:
+            // The switch dies: every link touching it goes with it.
+            for (int e : topo.incidentEdges(ev.node))
+                topo.setLinkDown(e, true);
             break;
           case LinkFaultKind::NvLinkLaneDegrade:
           case LinkFaultKind::PcieDowntrain:
@@ -251,6 +333,15 @@ applyLinkFaults(net::Topology &topo,
             topo.setLinkBandwidthScale(
                 ev.edge, topo.linkBandwidthScale(ev.edge) *
                              ev.bandwidth_scale);
+            break;
+          case LinkFaultKind::SpineOversubscribed:
+            // Pod-wide congestion; overlapping episodes compound.
+            for (int e = 0; e < topo.edgeCount(); ++e) {
+                if (topo.link(e).tier == net::FabricTier::CrossRack)
+                    topo.setLinkBandwidthScale(
+                        e, topo.linkBandwidthScale(e) *
+                               ev.bandwidth_scale);
+            }
             break;
           case LinkFaultKind::ThermalThrottle:
             slowest = std::min(slowest, ev.bandwidth_scale);
@@ -274,8 +365,12 @@ describeLinkTrace(const std::vector<LinkFaultEvent> &trace,
         if (ev.edge >= 0) {
             auto [a, b] = topo.endpoints(ev.edge);
             target = topo.name(a) + " <-> " + topo.name(b);
+        } else if (ev.node >= 0) {
+            target = topo.name(ev.node) + " (all incident links)";
         } else if (ev.gpu >= 0) {
             target = "GPU" + std::to_string(ev.gpu);
+        } else if (ev.kind == LinkFaultKind::SpineOversubscribed) {
+            target = "all cross-rack links";
         }
         std::snprintf(line, sizeof(line),
                       "%10.1f  %-20s %10.1f %7.2f  %s\n", ev.start_s,

@@ -41,13 +41,34 @@ enum class LinkFaultKind {
     LinkDown,
     /** Thermal throttle: one GPU slows and straggles collectives. */
     ThermalThrottle,
+    /** NIC flap: a host's ToR uplink bounces (down until healed). */
+    NicFlap,
+    /** ToR failure: a rack's switch dies, downing every incident link. */
+    TorDown,
+    /**
+     * Oversubscribed spine: pod-wide congestion scales every
+     * cross-rack link's bandwidth while active.
+     */
+    SpineOversubscribed,
 };
 
-/** Number of link-fault classes (for iteration). */
-inline constexpr int kNumLinkFaultKinds = 4;
+/**
+ * Number of link-fault classes (for iteration). New classes are
+ * appended — RNG streams are forked in enum order before any
+ * eligibility check, so traces on topologies that predate a class
+ * (e.g. single boxes, which have no NICs) are bit-identical to the
+ * 4-class era.
+ */
+inline constexpr int kNumLinkFaultKinds = 7;
 
 /** Human-readable link-fault-class name. */
 std::string toString(LinkFaultKind kind);
+
+/**
+ * True for classes that take links hard-down (LinkDown, NicFlap,
+ * TorDown) rather than scaling bandwidth.
+ */
+bool isDownKind(LinkFaultKind kind);
 
 /** One link-fault occurrence within a trace. */
 struct LinkFaultEvent {
@@ -61,10 +82,16 @@ struct LinkFaultEvent {
      * retained while active: 1.0 = unaffected. 0.0 for LinkDown.
      */
     double bandwidth_scale = 1.0;
-    /** Affected topology edge id, or -1 (ThermalThrottle). */
+    /** Affected topology edge id, or -1 (node/GPU/fabric-scoped). */
     int edge = -1;
     /** Affected GPU ordinal (ThermalThrottle), or -1. */
     int gpu = -1;
+    /**
+     * Affected topology node id (TorDown — the event downs every
+     * link incident to this node), or -1. SpineOversubscribed is
+     * fabric-wide: edge, gpu and node are all -1.
+     */
+    int node = -1;
 
     /** True when the event is active at time t. */
     bool activeAt(double t) const
@@ -91,6 +118,11 @@ struct LinkFaultConfig {
     LinkFaultClassConfig pcie_downtrain{0.0, 600.0, 0.50};
     LinkFaultClassConfig link_down{0.0, 120.0, 0.0};
     LinkFaultClassConfig thermal_throttle{0.0, 180.0, 0.70};
+    // Pod-scale classes: no eligible target on a single box, so
+    // enabling them leaves single-box traces untouched.
+    LinkFaultClassConfig nic_flap{0.0, 30.0, 0.0};
+    LinkFaultClassConfig tor_down{0.0, 900.0, 0.0};
+    LinkFaultClassConfig spine_oversubscribed{0.0, 600.0, 0.40};
 
     /** Access by kind. */
     const LinkFaultClassConfig &classFor(LinkFaultKind kind) const;
@@ -99,8 +131,13 @@ struct LinkFaultConfig {
     /**
      * A representative datacenter fabric profile scaled around one
      * aggregate MTTF: lane drops and downtraining dominate, hard
-     * link failures are rare.
-     * @param mttf_hours aggregate mean time between *any* link faults.
+     * link failures are rare. The pod-scale classes (NIC flaps,
+     * ToR failures, spine oversubscription) are enabled with their
+     * own weights on top; on single-box topologies they find no
+     * eligible target and the trace matches the box-only profile.
+     * @param mttf_hours aggregate mean time between *any* box-local
+     *        link faults (the historical normalisation, kept so
+     *        existing single-box traces reproduce bit-identically).
      */
     static LinkFaultConfig datacenterProfile(double mttf_hours);
 
@@ -142,9 +179,11 @@ class LinkFaultModel
 
 /**
  * Apply every event active at time at_s to the topology's dynamic
- * link state (after resetting it): LinkDown takes edges down, the
- * degrade classes multiply edge bandwidth scales (stacking faults
- * compound). ThermalThrottle does not touch the graph.
+ * link state (after resetting it): LinkDown and NicFlap take their
+ * edge down, TorDown takes every link incident to its switch down,
+ * SpineOversubscribed scales every cross-rack link, and the degrade
+ * classes multiply edge bandwidth scales (stacking faults compound).
+ * ThermalThrottle does not touch the graph.
  *
  * @return the slowest active GPU throughput scale (min over active
  *         ThermalThrottle events; 1.0 when none) — feed it to

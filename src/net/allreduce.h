@@ -32,9 +32,20 @@ struct AllReduceResult {
     double pcie_bytes = 0.0;
     /** Bytes that crossed UPI links, summed over links. */
     double upi_bytes = 0.0;
+    /** Bytes that crossed Ethernet links, summed over links. */
+    double eth_bytes = 0.0;
+    /**
+     * Bytes per fabric tier, indexed by FabricTier. Every link has
+     * exactly one kind and one tier, so the tier totals and the kind
+     * totals are two partitions of the same traffic.
+     */
+    double tier_bytes[kNumFabricTiers] = {0.0, 0.0, 0.0};
     /**
      * Ring hops that lost their direct link to a fault and were
-     * routed around it (0 on a healthy fabric).
+     * routed around it (0 on a healthy fabric). Hierarchical
+     * collectives count intra-node hops only: cross-node phases ride
+     * routed Ethernet paths where BFS re-pathing is the norm, not a
+     * fault response.
      */
     int reroutes = 0;
 };
@@ -114,6 +125,64 @@ AllReduceResult autoAllReduce(const Topology &topo,
                               const std::vector<NodeId> &gpus,
                               double bytes,
                               const AllReduceParams &params = {});
+
+/**
+ * GPU grouping derived from the static link tiers: GPUs connected by
+ * intra-node links form one node group; node groups connected without
+ * crossing a cross-rack link share a rack. Derived from the *static*
+ * structure (down links still group), so a fault degrades a tier's
+ * collective rather than silently re-homing GPUs to another host.
+ */
+struct FabricShape {
+    /** GPUs per host, hosts in first-appearance order. */
+    std::vector<std::vector<NodeId>> node_groups;
+    /** Indices into node_groups per rack, racks in appearance order. */
+    std::vector<std::vector<int>> rack_groups;
+
+    /** All node groups the same size, all racks the same host count. */
+    bool uniform() const;
+};
+
+/** Derive the tier grouping of a GPU set. */
+FabricShape fabricShape(const Topology &topo,
+                        const std::vector<NodeId> &gpus);
+
+/**
+ * 2D-ring hierarchical all-reduce: intra-node reduce-scatter (ring,
+ * L-1 steps of bytes/L), cross-node ring all-reduce of each shard
+ * over the NIC fabric (2*(M-1) steps of bytes/(L*M), L concurrent
+ * rank-rings), intra-node allgather (L-1 steps). Each tier picks its
+ * own fallback: intra-node phases use the worst per-host fabric
+ * (NVLink -> PCIe P2P -> host-staged as links fail), cross-node
+ * phases are always host-staged. Delegates to ringAllReduce verbatim
+ * when the set occupies a single host (or groups are non-uniform), so
+ * a degenerate pod is bit-identical to the flat ring.
+ */
+AllReduceResult hierarchicalRingAllReduce(
+    const Topology &topo, const std::vector<NodeId> &gpus, double bytes,
+    const AllReduceParams &params = {});
+
+/**
+ * Cross-rack tree hierarchical all-reduce: intra-node reduce-scatter,
+ * intra-rack cross-node ring all-reduce, binary-tree reduce+broadcast
+ * of each shard across rack leaders, intra-rack re-broadcast,
+ * intra-node allgather. Latency-optimal across racks — 2*ceil(log2 R)
+ * rounds instead of the 2D ring's 2*(R*Mr-1) — so it wins for small
+ * payloads or many racks. Falls back to hierarchicalRingAllReduce on
+ * single-rack sets.
+ */
+AllReduceResult hierarchicalTreeAllReduce(
+    const Topology &topo, const std::vector<NodeId> &gpus, double bytes,
+    const AllReduceParams &params = {});
+
+/**
+ * Shape-aware automatic choice: single-host sets delegate exactly to
+ * ringAllReduce, single-rack multi-host sets run the 2D ring, and
+ * multi-rack sets take the faster of 2D ring and cross-rack tree.
+ */
+AllReduceResult autoHierarchicalAllReduce(
+    const Topology &topo, const std::vector<NodeId> &gpus, double bytes,
+    const AllReduceParams &params = {});
 
 /**
  * Closed-form estimate 2*(N-1)/N * bytes / ring_bw + step latencies,

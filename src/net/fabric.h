@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Hierarchical pod fabric composer.
+ *
+ * A pod is a rack/spine hierarchy stamped out of single-box leaf
+ * topologies: each host keeps its intra-node PCIe/NVLink/UPI graph
+ * (built by an unmodified Table III builder), gains a NIC on its first
+ * CPU socket, and NICs uplink to a per-rack ToR switch which in turn
+ * uplinks to the pod spine layer. Links carry their FabricTier so
+ * collectives, fault classes, and accounting can reason per tier.
+ */
+
+#ifndef MLPSIM_NET_FABRIC_H
+#define MLPSIM_NET_FABRIC_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace mlps::net {
+
+/** Node ids a leaf builder created inside the pod graph. */
+struct LeafNodes {
+    std::vector<NodeId> cpus;
+    std::vector<NodeId> gpus;
+    std::vector<NodeId> switches;
+};
+
+/**
+ * Stamps one host's intra-node graph into 'topo', prefixing every
+ * node name with 'prefix' (e.g. "r0n3."). Returns the created nodes;
+ * cpus must be non-empty (the NIC attaches to cpus[0]).
+ */
+using LeafBuilder =
+    std::function<LeafNodes(Topology &topo, const std::string &prefix)>;
+
+/** Shape and link speeds of a pod. */
+struct PodShape {
+    int racks = 1;
+    int nodes_per_rack = 1;
+    /** Spine switch count; must be >= 1 when racks > 1. */
+    int spines = 1;
+    /** CPU->NIC attachment (intra-node tier). */
+    LinkSpec nic_link;
+    /** NIC->ToR uplink (intra-rack tier). */
+    LinkSpec tor_uplink;
+    /** ToR->spine uplink (cross-rack tier). */
+    LinkSpec spine_uplink;
+
+    PodShape();
+};
+
+/** One host of a pod: where it sits and what it contains. */
+struct PodHost {
+    int rack = 0;
+    int node = 0; ///< index within the rack
+    std::vector<NodeId> cpus;
+    std::vector<NodeId> gpus;
+    std::vector<NodeId> switches; ///< intra-node PCIe switches
+    NodeId nic = -1;
+};
+
+/** A composed pod: the graph plus its structural directory. */
+struct PodTopology {
+    Topology topo;
+    std::vector<PodHost> hosts; ///< rack-major, node-minor order
+    std::vector<NodeId> tors;   ///< per rack
+    std::vector<NodeId> spines;
+    std::vector<NodeId> gpus;   ///< all GPUs, host order
+};
+
+/**
+ * Compose a pod of racks x nodes_per_rack hosts, each built by
+ * 'leaf'. Node names are prefixed "r<rack>n<node>."; switches are
+ * "tor<rack>" and "spine<i>". The result validates before returning.
+ */
+PodTopology buildPodTopology(const PodShape &shape,
+                             const LeafBuilder &leaf);
+
+} // namespace mlps::net
+
+#endif // MLPSIM_NET_FABRIC_H

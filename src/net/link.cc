@@ -11,8 +11,20 @@ toString(LinkKind kind)
       case LinkKind::Pcie3: return "PCIe3";
       case LinkKind::NvLink: return "NVLink";
       case LinkKind::Upi: return "UPI";
+      case LinkKind::Eth: return "Eth";
     }
     sim::panic("toString: bad LinkKind %d", static_cast<int>(kind));
+}
+
+std::string
+toString(FabricTier tier)
+{
+    switch (tier) {
+      case FabricTier::IntraNode: return "intra-node";
+      case FabricTier::IntraRack: return "intra-rack";
+      case FabricTier::CrossRack: return "cross-rack";
+    }
+    sim::panic("toString: bad FabricTier %d", static_cast<int>(tier));
 }
 
 LinkSpec
@@ -49,6 +61,21 @@ upi()
     l.gbps = 20.8;
     l.latency_us = 0.6;
     l.efficiency = 0.85;
+    return l;
+}
+
+LinkSpec
+ethernet(double gbit_per_s, FabricTier tier)
+{
+    if (!(gbit_per_s > 0.0))
+        sim::fatal("ethernet: line rate must be positive, got %g",
+                   gbit_per_s);
+    LinkSpec l;
+    l.kind = LinkKind::Eth;
+    l.gbps = gbit_per_s / 8.0; // line rate in Gbit/s -> GB/s
+    l.latency_us = 5.0;
+    l.efficiency = 0.85;
+    l.tier = tier;
     return l;
 }
 

@@ -20,10 +20,29 @@ enum class LinkKind {
     Pcie3,   ///< PCI Express 3.0, width given by lanes
     NvLink,  ///< NVLink bricks between two GPUs
     Upi,     ///< Intel Ultra Path Interconnect between sockets
+    Eth,     ///< Ethernet/RoCE datacenter fabric (NIC/ToR/spine)
 };
 
 /** Human-readable name of a link kind. */
 std::string toString(LinkKind kind);
+
+/**
+ * Hierarchy tier a link belongs to. Single-box links (PCIe, NVLink,
+ * UPI) are intra-node; pod composition adds NIC->ToR (intra-rack) and
+ * ToR->spine (cross-rack) tiers. Hierarchical collectives and fault
+ * classes key off this attribute.
+ */
+enum class FabricTier {
+    IntraNode, ///< inside one host (PCIe/NVLink/UPI, and CPU->NIC)
+    IntraRack, ///< host NIC to top-of-rack switch
+    CrossRack, ///< top-of-rack switch to spine layer
+};
+
+/** Number of FabricTier values (for per-tier accounting arrays). */
+inline constexpr int kNumFabricTiers = 3;
+
+/** Human-readable name of a fabric tier. */
+std::string toString(FabricTier tier);
 
 /** One physical link between two topology nodes. */
 struct LinkSpec {
@@ -34,6 +53,8 @@ struct LinkSpec {
     double latency_us = 1.3;
     /** Achievable fraction of theoretical bandwidth. */
     double efficiency = 0.8;
+    /** Hierarchy tier; single-box builders leave the default. */
+    FabricTier tier = FabricTier::IntraNode;
 
     /** Effective unidirectional bandwidth in bytes/s. */
     double effectiveBytesPerSec() const { return gbps * 1e9 * efficiency; }
@@ -47,6 +68,13 @@ LinkSpec nvlink(int bricks);
 
 /** UPI socket-to-socket link (Skylake-SP: 20.8 GB/s unidirectional). */
 LinkSpec upi();
+
+/**
+ * Ethernet/RoCE link of the given line rate in Gbit/s (100 GbE =
+ * 12.5 GB/s), tagged with its hierarchy tier. Used for NIC->ToR and
+ * ToR->spine pod links.
+ */
+LinkSpec ethernet(double gbit_per_s, FabricTier tier);
 
 } // namespace mlps::net
 

@@ -1,13 +1,84 @@
 #include "net/topology.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <limits>
+#include <numeric>
 #include <sstream>
 
+#include "obs/registry.h"
 #include "sim/logger.h"
 
 namespace mlps::net {
+
+namespace {
+
+// Route-cache totals are process-wide (topologies are copied freely,
+// the metric tracks the harness). Atomics: gauges must be readable
+// from any thread, and parallel report workers share topologies.
+std::atomic<std::uint64_t> g_route_cache_hits{0};
+std::atomic<std::uint64_t> g_route_cache_misses{0};
+
+void
+ensureCacheMetrics()
+{
+    static obs::MetricRegistry::Registration hits =
+        obs::MetricRegistry::global().registerGauge(
+            "net.topology.route_cache.hits",
+            [] {
+                return static_cast<double>(
+                    g_route_cache_hits.load(std::memory_order_relaxed));
+            },
+            obs::Volatility::Volatile);
+    static obs::MetricRegistry::Registration misses =
+        obs::MetricRegistry::global().registerGauge(
+            "net.topology.route_cache.misses",
+            [] {
+                return static_cast<double>(
+                    g_route_cache_misses.load(std::memory_order_relaxed));
+            },
+            obs::Volatility::Volatile);
+    (void)hits;
+    (void)misses;
+}
+
+/** Union-find over node ids (path halving + union by size). */
+class NodeUnion
+{
+  public:
+    explicit NodeUnion(int n) : parent_(n), size_(n, 1)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    int find(int x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void unite(int a, int b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return;
+        if (size_[a] < size_[b])
+            std::swap(a, b);
+        parent_[b] = a;
+        size_[a] += size_[b];
+    }
+
+  private:
+    std::vector<int> parent_;
+    std::vector<int> size_;
+};
+
+} // namespace
 
 std::string
 toString(NodeKind kind)
@@ -16,6 +87,9 @@ toString(NodeKind kind)
       case NodeKind::Cpu: return "CPU";
       case NodeKind::Gpu: return "GPU";
       case NodeKind::PcieSwitch: return "PCIeSwitch";
+      case NodeKind::Nic: return "NIC";
+      case NodeKind::TorSwitch: return "ToRSwitch";
+      case NodeKind::SpineSwitch: return "SpineSwitch";
     }
     sim::panic("toString: bad NodeKind %d", static_cast<int>(kind));
 }
@@ -32,10 +106,55 @@ toString(CollectiveFabric fabric)
                static_cast<int>(fabric));
 }
 
+Topology::Topology(const Topology &other)
+{
+    nodes_ = other.nodes_;
+    edges_ = other.edges_;
+    epoch_ = other.epoch_;
+    structure_version_ = other.structure_version_;
+}
+
+Topology &
+Topology::operator=(const Topology &other)
+{
+    if (this == &other)
+        return *this;
+    nodes_ = other.nodes_;
+    edges_ = other.edges_;
+    epoch_ = other.epoch_;
+    structure_version_ = other.structure_version_;
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    cache_ = Cache{};
+    return *this;
+}
+
+Topology::Topology(Topology &&other) noexcept
+{
+    nodes_ = std::move(other.nodes_);
+    edges_ = std::move(other.edges_);
+    epoch_ = other.epoch_;
+    structure_version_ = other.structure_version_;
+}
+
+Topology &
+Topology::operator=(Topology &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    nodes_ = std::move(other.nodes_);
+    edges_ = std::move(other.edges_);
+    epoch_ = other.epoch_;
+    structure_version_ = other.structure_version_;
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    cache_ = Cache{};
+    return *this;
+}
+
 NodeId
 Topology::addNode(NodeKind kind, const std::string &name)
 {
     nodes_.push_back(Node{kind, name, {}});
+    ++structure_version_;
     return static_cast<NodeId>(nodes_.size()) - 1;
 }
 
@@ -57,6 +176,24 @@ Topology::addSwitch(const std::string &name)
     return addNode(NodeKind::PcieSwitch, name);
 }
 
+NodeId
+Topology::addNic(const std::string &name)
+{
+    return addNode(NodeKind::Nic, name);
+}
+
+NodeId
+Topology::addTorSwitch(const std::string &name)
+{
+    return addNode(NodeKind::TorSwitch, name);
+}
+
+NodeId
+Topology::addSpineSwitch(const std::string &name)
+{
+    return addNode(NodeKind::SpineSwitch, name);
+}
+
 void
 Topology::checkNode(NodeId n) const
 {
@@ -76,7 +213,15 @@ Topology::connect(NodeId a, NodeId b, const LinkSpec &link)
     int id = static_cast<int>(edges_.size()) - 1;
     nodes_[a].edges.push_back(id);
     nodes_[b].edges.push_back(id);
+    ++structure_version_;
     return id;
+}
+
+const std::vector<int> &
+Topology::incidentEdges(NodeId n) const
+{
+    checkNode(n);
+    return nodes_[n].edges;
 }
 
 NodeKind
@@ -109,14 +254,43 @@ Topology::endpoints(int edge) const
     return {edges_[edge].a, edges_[edge].b};
 }
 
+Topology::Cache &
+Topology::freshCacheLocked() const
+{
+    if (!cache_.primed || cache_.epoch != epoch_ ||
+        cache_.structure != structure_version_) {
+        cache_.routes.clear();
+        cache_.host_cpu.clear();
+        for (int k = 0; k < kNumNodeKinds; ++k) {
+            cache_.by_kind[k].clear();
+            cache_.by_kind_valid[k] = false;
+        }
+        cache_.epoch = epoch_;
+        cache_.structure = structure_version_;
+        cache_.primed = true;
+    }
+    return cache_;
+}
+
 std::vector<NodeId>
 Topology::nodesOfKind(NodeKind k) const
 {
+    ensureCacheMetrics();
+    int ki = static_cast<int>(k);
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    Cache &c = freshCacheLocked();
+    if (c.by_kind_valid[ki]) {
+        g_route_cache_hits.fetch_add(1, std::memory_order_relaxed);
+        return c.by_kind[ki];
+    }
+    g_route_cache_misses.fetch_add(1, std::memory_order_relaxed);
     std::vector<NodeId> out;
     for (NodeId n = 0; n < nodeCount(); ++n) {
         if (nodes_[n].kind == k)
             out.push_back(n);
     }
+    c.by_kind[ki] = out;
+    c.by_kind_valid[ki] = true;
     return out;
 }
 
@@ -179,7 +353,24 @@ Topology::bfs(NodeId from, NodeId to,
 std::optional<Path>
 Topology::route(NodeId from, NodeId to) const
 {
-    return bfs(from, to, nullptr);
+    ensureCacheMetrics();
+    checkNode(from);
+    checkNode(to);
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+         << 32) |
+        static_cast<std::uint32_t>(to);
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    Cache &c = freshCacheLocked();
+    auto it = c.routes.find(key);
+    if (it != c.routes.end()) {
+        g_route_cache_hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+    }
+    g_route_cache_misses.fetch_add(1, std::memory_order_relaxed);
+    auto p = bfs(from, to, nullptr);
+    c.routes.emplace(key, p);
+    return p;
 }
 
 double
@@ -209,17 +400,22 @@ Topology::canPeerToPeer(NodeId gpu_a, NodeId gpu_b) const
         sim::fatal("canPeerToPeer: both endpoints must be GPUs");
     if (gpu_a == gpu_b)
         return true;
-    // A P2P-legal path avoids CPU root complexes and UPI links.
+    // A P2P-legal path avoids CPU root complexes, UPI links, and the
+    // datacenter fabric (GPUDirect P2P never crosses a NIC — remote
+    // access is RDMA, which this model treats as host-staged).
     std::function<bool(int)> allowed = [&](int e) {
         if (edges_[e].link.kind == LinkKind::Upi)
             return false;
-        NodeId a = edges_[e].a;
-        NodeId b = edges_[e].b;
+        auto blocked = [&](NodeId n) {
+            NodeKind k = nodes_[n].kind;
+            return k == NodeKind::Cpu || k == NodeKind::Nic ||
+                   k == NodeKind::TorSwitch ||
+                   k == NodeKind::SpineSwitch;
+        };
         // Edges incident to a CPU are usable only if neither endpoint
         // of the *search* would pass through the CPU; simplest rule:
-        // forbid any edge touching a CPU node.
-        return nodes_[a].kind != NodeKind::Cpu &&
-               nodes_[b].kind != NodeKind::Cpu;
+        // forbid any edge touching a blocked node.
+        return !blocked(edges_[e].a) && !blocked(edges_[e].b);
     };
     return bfs(gpu_a, gpu_b, &allowed).has_value();
 }
@@ -240,6 +436,40 @@ Topology::collectiveFabric(const std::vector<NodeId> &gpus) const
 {
     if (gpus.empty())
         sim::fatal("collectiveFabric: empty GPU set");
+    for (NodeId g : gpus)
+        checkNode(g);
+
+    // Pod fast path: pairwise BFS is O(n^2) and a 512-GPU pod set
+    // makes it prohibitive. Union nodes over the edges either check
+    // could ever traverse (NVLink links, or P2P-legal links: non-UPI,
+    // not touching a CPU/NIC/switch-fabric node, up). GPUs in
+    // different components can satisfy neither check, so a spanning
+    // set is host-staged — the only possible answer at pod scale.
+    {
+        NodeUnion uf(nodeCount());
+        for (int e = 0; e < edgeCount(); ++e) {
+            const Edge &edge = edges_[e];
+            if (edge.down)
+                continue;
+            bool nvlink = edge.link.kind == LinkKind::NvLink;
+            auto blocked = [&](NodeId n) {
+                NodeKind k = nodes_[n].kind;
+                return k == NodeKind::Cpu || k == NodeKind::Nic ||
+                       k == NodeKind::TorSwitch ||
+                       k == NodeKind::SpineSwitch;
+            };
+            bool p2p_legal = edge.link.kind != LinkKind::Upi &&
+                             !blocked(edge.a) && !blocked(edge.b);
+            if (nvlink || p2p_legal)
+                uf.unite(edge.a, edge.b);
+        }
+        int root = uf.find(gpus[0]);
+        for (std::size_t i = 1; i < gpus.size(); ++i) {
+            if (uf.find(gpus[i]) != root)
+                return CollectiveFabric::HostStaged;
+        }
+    }
+
     bool all_nvlink = true;
     bool all_p2p = true;
     for (std::size_t i = 0; i < gpus.size(); ++i) {
@@ -258,19 +488,57 @@ Topology::collectiveFabric(const std::vector<NodeId> &gpus) const
 }
 
 std::optional<NodeId>
-Topology::hostCpu(NodeId gpu) const
+Topology::computeHostCpu(NodeId gpu) const
 {
-    if (kind(gpu) != NodeKind::Gpu)
-        sim::fatal("hostCpu: node %d is not a GPU", gpu);
+    // One BFS over up links; the nearest CPU at minimum depth with the
+    // lowest node id wins — identical to probing every CPU with
+    // route() and keeping the first strict improvement, without
+    // paying #CPUs searches on a pod-scale graph.
+    std::vector<int> depth(nodes_.size(), -1);
+    std::deque<NodeId> frontier;
+    frontier.push_back(gpu);
+    depth[gpu] = 0;
     std::optional<NodeId> best;
-    int best_hops = std::numeric_limits<int>::max();
-    for (NodeId cpu : nodesOfKind(NodeKind::Cpu)) {
-        auto p = route(gpu, cpu);
-        if (p && p->hops() < best_hops) {
-            best_hops = p->hops();
-            best = cpu;
+    int best_depth = std::numeric_limits<int>::max();
+    while (!frontier.empty()) {
+        NodeId n = frontier.front();
+        frontier.pop_front();
+        if (depth[n] > best_depth)
+            break; // deeper layers cannot improve
+        if (nodes_[n].kind == NodeKind::Cpu &&
+            (depth[n] < best_depth || (best && n < *best))) {
+            best_depth = depth[n];
+            best = n;
+        }
+        for (int e : nodes_[n].edges) {
+            if (edges_[e].down)
+                continue;
+            NodeId other = edges_[e].a == n ? edges_[e].b : edges_[e].a;
+            if (depth[other] >= 0)
+                continue;
+            depth[other] = depth[n] + 1;
+            frontier.push_back(other);
         }
     }
+    return best;
+}
+
+std::optional<NodeId>
+Topology::hostCpu(NodeId gpu) const
+{
+    ensureCacheMetrics();
+    if (kind(gpu) != NodeKind::Gpu)
+        sim::fatal("hostCpu: node %d is not a GPU", gpu);
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    Cache &c = freshCacheLocked();
+    auto it = c.host_cpu.find(gpu);
+    if (it != c.host_cpu.end()) {
+        g_route_cache_hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+    }
+    g_route_cache_misses.fetch_add(1, std::memory_order_relaxed);
+    auto best = computeHostCpu(gpu);
+    c.host_cpu.emplace(gpu, best);
     return best;
 }
 
@@ -409,6 +677,59 @@ Topology::validate() const
                        e, nodes_[edge.a].name.c_str(),
                        nodes_[edge.b].name.c_str(), edge.bandwidth_scale);
     }
+    // Hierarchy invariants for pod fabrics. These fire before the
+    // generic connectivity check so misconfigurations get an
+    // actionable message instead of a bare "unreachable" one.
+    for (int e = 0; e < edgeCount(); ++e) {
+        const Edge &edge = edges_[e];
+        NodeKind ka = nodes_[edge.a].kind;
+        NodeKind kb = nodes_[edge.b].kind;
+        if ((ka == NodeKind::Gpu && kb == NodeKind::SpineSwitch) ||
+            (kb == NodeKind::Gpu && ka == NodeKind::SpineSwitch))
+            sim::fatal("Topology: GPU '%s' wired directly to spine "
+                       "switch '%s'; did you mean to attach it behind "
+                       "a NIC and ToR switch?",
+                       nodes_[ka == NodeKind::Gpu ? edge.a : edge.b]
+                           .name.c_str(),
+                       nodes_[ka == NodeKind::Gpu ? edge.b : edge.a]
+                           .name.c_str());
+    }
+    int tor_count = 0;
+    for (const Node &n : nodes_) {
+        if (n.kind == NodeKind::TorSwitch)
+            ++tor_count;
+    }
+    for (NodeId n = 0; n < nodeCount(); ++n) {
+        if (nodes_[n].kind == NodeKind::Nic) {
+            bool uplinked = false;
+            for (int e : nodes_[n].edges) {
+                NodeId other =
+                    edges_[e].a == n ? edges_[e].b : edges_[e].a;
+                if (nodes_[other].kind == NodeKind::TorSwitch)
+                    uplinked = true;
+            }
+            if (!uplinked)
+                sim::fatal("Topology: NIC '%s' has zero uplinks; did "
+                           "you mean to connect it to a ToR switch?",
+                           nodes_[n].name.c_str());
+        }
+        if (nodes_[n].kind == NodeKind::TorSwitch && tor_count >= 2) {
+            bool spined = false;
+            for (int e : nodes_[n].edges) {
+                NodeId other =
+                    edges_[e].a == n ? edges_[e].b : edges_[e].a;
+                if (nodes_[other].kind == NodeKind::SpineSwitch)
+                    spined = true;
+            }
+            if (!spined)
+                sim::fatal("Topology: rack of ToR switch '%s' is "
+                           "disconnected from the pod (%d racks, no "
+                           "spine uplink); did you mean to connect it "
+                           "to a spine switch?",
+                           nodes_[n].name.c_str(), tor_count);
+        }
+    }
+
     // Connectivity over *up* edges: one dead link must not strand a
     // node, or routing (and therefore every transfer) silently fails.
     std::vector<bool> seen(nodes_.size(), false);

@@ -23,8 +23,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -40,7 +42,13 @@ enum class NodeKind {
     Cpu,
     Gpu,
     PcieSwitch,
+    Nic,         ///< host network interface (bridges node to rack tier)
+    TorSwitch,   ///< top-of-rack Ethernet switch
+    SpineSwitch, ///< pod spine Ethernet switch
 };
+
+/** Number of NodeKind values (for per-kind caches). */
+inline constexpr int kNumNodeKinds = 6;
 
 /** Human-readable name of a node kind. */
 std::string toString(NodeKind kind);
@@ -71,6 +79,14 @@ class Topology
   public:
     Topology() = default;
 
+    // The route/kind cache is guarded by a mutex, which deletes the
+    // default copy/move operations; copies carry the graph and start
+    // with a cold cache.
+    Topology(const Topology &other);
+    Topology &operator=(const Topology &other);
+    Topology(Topology &&other) noexcept;
+    Topology &operator=(Topology &&other) noexcept;
+
     /** Add a CPU socket node. @return its id. */
     NodeId addCpu(const std::string &name);
 
@@ -79,6 +95,15 @@ class Topology
 
     /** Add a PCIe switch node. @return its id. */
     NodeId addSwitch(const std::string &name);
+
+    /** Add a host NIC node. @return its id. */
+    NodeId addNic(const std::string &name);
+
+    /** Add a top-of-rack switch node. @return its id. */
+    NodeId addTorSwitch(const std::string &name);
+
+    /** Add a spine switch node. @return its id. */
+    NodeId addSpineSwitch(const std::string &name);
 
     /** Connect two nodes with a link. @return the edge id. */
     int connect(NodeId a, NodeId b, const LinkSpec &link);
@@ -93,6 +118,9 @@ class Topology
     /** Endpoints of an edge. */
     std::pair<NodeId, NodeId> endpoints(int edge) const;
 
+    /** Edge ids incident to a node, in connect order. */
+    const std::vector<int> &incidentEdges(NodeId n) const;
+
     /** All node ids of the given kind, in insertion order. */
     std::vector<NodeId> nodesOfKind(NodeKind kind) const;
 
@@ -102,6 +130,8 @@ class Topology
     /**
      * Minimum-hop path between two nodes (BFS; NVLink edges preferred
      * on ties so GPU pairs use the fast fabric when both exist).
+     * Memoized per link-state epoch — pod-scale graphs ask for the
+     * same routes thousands of times per collective.
      * @return nullopt when disconnected.
      */
     std::optional<Path> route(NodeId from, NodeId to) const;
@@ -175,8 +205,10 @@ class Topology
     /**
      * Check structural and dynamic invariants: every edge endpoint
      * names a real node, every link has positive bandwidth/efficiency,
-     * and the graph is connected over *up* edges. Calls sim::fatal
-     * (config error, exit code 3) on violation.
+     * the graph is connected over *up* edges, and the hierarchy is
+     * well-formed (no GPU wired directly to a spine, no NIC without an
+     * uplink, no ToR stranded from the spine layer in a multi-rack
+     * pod). Calls sim::fatal (config error, exit code 3) on violation.
      */
     void validate() const;
 
@@ -206,9 +238,36 @@ class Topology
     std::optional<Path> bfs(NodeId from, NodeId to,
                             const std::function<bool(int)> *allowed) const;
 
+    std::optional<NodeId> computeHostCpu(NodeId gpu) const;
+
+    /**
+     * Memoized derivations, invalidated whenever the link-state epoch
+     * or the structure version moves. Guarded by cache_mu_ so parallel
+     * report workers can share one topology; hit/miss totals feed the
+     * net.topology.route_cache.* gauges in the obs registry.
+     */
+    struct Cache {
+        std::uint64_t epoch = 0;
+        std::uint64_t structure = 0;
+        bool primed = false;
+        std::unordered_map<std::uint64_t, std::optional<Path>> routes;
+        std::vector<NodeId> by_kind[kNumNodeKinds];
+        bool by_kind_valid[kNumNodeKinds] = {};
+        std::unordered_map<NodeId, std::optional<NodeId>> host_cpu;
+    };
+
+    /** Caller holds cache_mu_; drops stale results on epoch/structure
+     *  moves. */
+    Cache &freshCacheLocked() const;
+
     std::vector<Node> nodes_;
     std::vector<Edge> edges_;
     std::uint64_t epoch_ = 0;
+    /** Bumped by addNode/connect (graph shape, not link state). */
+    std::uint64_t structure_version_ = 0;
+
+    mutable std::mutex cache_mu_;
+    mutable Cache cache_;
 };
 
 } // namespace mlps::net

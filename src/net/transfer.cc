@@ -235,6 +235,17 @@ FlowSimulator::bytesOnKind(LinkKind kind) const
 }
 
 double
+FlowSimulator::bytesOnTier(FabricTier tier) const
+{
+    double total = 0.0;
+    for (int e = 0; e < topo_.edgeCount(); ++e) {
+        if (topo_.link(e).tier == tier)
+            total += edge_bytes_[e];
+    }
+    return total;
+}
+
+double
 soloTransferSeconds(const Topology &topo, NodeId from, NodeId to,
                     double bytes)
 {

@@ -80,6 +80,9 @@ class FlowSimulator
     /** Total bytes that traversed links of the given kind. */
     double bytesOnKind(LinkKind kind) const;
 
+    /** Total bytes that traversed links of the given fabric tier. */
+    double bytesOnTier(FabricTier tier) const;
+
   private:
     struct Flow {
         Path path;

@@ -85,13 +85,15 @@ TraceBuilder::addLinkFaultTrace(
         if (ev.edge >= 0) {
             auto [a, b] = topo.endpoints(ev.edge);
             track += "/" + topo.name(a) + "-" + topo.name(b);
+        } else if (ev.node >= 0) {
+            track += "/" + topo.name(ev.node);
         } else if (ev.gpu >= 0) {
             track += "/GPU" + std::to_string(ev.gpu);
         }
         double dur_us = ev.duration_s > 0.0 ? ev.duration_s * 1e6
                                             : kPointWidthUs;
         std::string name = toString(ev.kind);
-        if (ev.kind != fault::LinkFaultKind::LinkDown) {
+        if (!fault::isDownKind(ev.kind)) {
             char buf[32];
             std::snprintf(buf, sizeof(buf), " (x%.2f)",
                           ev.bandwidth_scale);
@@ -100,7 +102,7 @@ TraceBuilder::addLinkFaultTrace(
         add(track, name, ev.start_s * 1e6, dur_us);
         // Routing changes the instant a link dies and again when it
         // heals; mark both so reroute storms are visible.
-        if (ev.kind == fault::LinkFaultKind::LinkDown) {
+        if (fault::isDownKind(ev.kind)) {
             add("Fabric/reroutes", "reroute", ev.start_s * 1e6,
                 kPointWidthUs);
             if (ev.duration_s > 0.0)

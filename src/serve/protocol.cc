@@ -505,19 +505,29 @@ Catalog::Catalog() : machines(sys::allMachines())
 const sys::SystemConfig *
 Catalog::findMachine(const std::string &name, std::string *error) const
 {
-    std::vector<std::string> known;
     for (const auto &m : machines) {
         if (m.name == name)
             return &m;
-        known.push_back(m.name);
     }
     if (name == "reference")
         return &machines.back(); // the mlperfReference() slot
-    known.back() = "reference";
-    if (error)
-        *error = "unknown system '" + name + "'" +
-                 core::didYouMean(name, known);
-    return nullptr;
+
+    // Everything else — pod grammar or a typo — goes through the
+    // shared resolver, so this error text is byte-identical to the
+    // CLI's. Built pods are big; cache them per spec string
+    // (std::map nodes are pointer-stable across inserts).
+    std::lock_guard<std::mutex> lock(pods_mu_);
+    auto it = pods_.find(name);
+    if (it != pods_.end())
+        return &it->second;
+    sys::SystemConfig built;
+    std::string err;
+    if (!sys::systemFromSpec(name, &built, &err)) {
+        if (error)
+            *error = err;
+        return nullptr;
+    }
+    return &pods_.emplace(name, std::move(built)).first->second;
 }
 
 // ---- requests -------------------------------------------------------

@@ -39,6 +39,8 @@
 #ifndef MLPSIM_SERVE_PROTOCOL_H
 #define MLPSIM_SERVE_PROTOCOL_H
 
+#include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -99,9 +101,19 @@ struct Catalog {
     core::Registry registry;
     std::vector<sys::SystemConfig> machines; ///< incl. the reference box
 
-    /** Machine by name; null + did-you-mean error when unknown. */
+    /**
+     * Machine by name — a Table III name, "reference", or the pod
+     * grammar `pod(<box>,<racks>x<nodes>[,spines=S])` (resolved by
+     * sys::systemFromSpec, so the error vocabulary matches the CLI);
+     * null + did-you-mean error when unknown. Built pods are cached
+     * per spec string; safe to call from concurrent connections.
+     */
     const sys::SystemConfig *findMachine(const std::string &name,
                                          std::string *error) const;
+
+  private:
+    mutable std::mutex pods_mu_;
+    mutable std::map<std::string, sys::SystemConfig> pods_;
 };
 
 /** One parsed-and-validated client request. */

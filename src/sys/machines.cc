@@ -1,9 +1,12 @@
 #include "sys/machines.h"
 
+#include <cstdlib>
 #include <sstream>
 
+#include "net/fabric.h"
 #include "net/link.h"
 #include "sim/logger.h"
+#include "sim/strings.h"
 
 namespace mlps::sys {
 
@@ -329,6 +332,244 @@ withPcieDowntrained(const SystemConfig &base, double scale)
     s.name += suffix.str();
     s.validate();
     return s;
+}
+
+SystemConfig
+withPod(const SystemConfig &base, int racks, int nodes_per_rack,
+        int spines)
+{
+    net::PodShape shape;
+    shape.racks = racks;
+    shape.nodes_per_rack = nodes_per_rack;
+    shape.spines = spines;
+
+    // Stamp the box's intra-node graph verbatim as each host's leaf,
+    // with "r<rack>n<node>." name prefixes.
+    net::LeafBuilder leaf = [&base](net::Topology &topo,
+                                    const std::string &prefix) {
+        net::LeafNodes nodes;
+        std::vector<net::NodeId> map(base.topo.nodeCount(), -1);
+        for (net::NodeId n = 0; n < base.topo.nodeCount(); ++n) {
+            std::string name = prefix + base.topo.name(n);
+            switch (base.topo.kind(n)) {
+              case net::NodeKind::Cpu:
+                map[n] = topo.addCpu(name);
+                break;
+              case net::NodeKind::Gpu:
+                map[n] = topo.addGpu(name);
+                break;
+              case net::NodeKind::PcieSwitch:
+                map[n] = topo.addSwitch(name);
+                break;
+              default:
+                sim::fatal("withPod: base system '%s' already "
+                           "contains fabric node '%s'; pods compose "
+                           "single boxes, not other pods",
+                           base.name.c_str(),
+                           base.topo.name(n).c_str());
+            }
+        }
+        for (int e = 0; e < base.topo.edgeCount(); ++e) {
+            auto [a, b] = base.topo.endpoints(e);
+            topo.connect(map[a], map[b], base.topo.link(e));
+        }
+        for (net::NodeId n : base.cpu_nodes)
+            nodes.cpus.push_back(map[n]);
+        for (net::NodeId n : base.gpu_nodes)
+            nodes.gpus.push_back(map[n]);
+        for (net::NodeId n : base.switch_nodes)
+            nodes.switches.push_back(map[n]);
+        return nodes;
+    };
+    net::PodTopology pod = net::buildPodTopology(shape, leaf);
+
+    SystemConfig s;
+    std::ostringstream name;
+    name << base.name << " pod " << racks << "x" << nodes_per_rack;
+    s.name = name.str();
+    s.cpu = base.cpu;
+    s.num_cpus = base.num_cpus * racks * nodes_per_rack;
+    s.gpu = base.gpu;
+    s.num_gpus = base.num_gpus * racks * nodes_per_rack;
+    s.topo = std::move(pod.topo);
+    for (const net::PodHost &host : pod.hosts) {
+        s.cpu_nodes.insert(s.cpu_nodes.end(), host.cpus.begin(),
+                           host.cpus.end());
+        s.gpu_nodes.insert(s.gpu_nodes.end(), host.gpus.begin(),
+                           host.gpus.end());
+        s.switch_nodes.insert(s.switch_nodes.end(),
+                              host.switches.begin(),
+                              host.switches.end());
+    }
+    s.validate();
+    return s;
+}
+
+SystemConfig
+withSpineDegraded(const SystemConfig &base, double scale)
+{
+    SystemConfig s = base;
+    int touched = 0;
+    for (int e = 0; e < s.topo.edgeCount(); ++e) {
+        if (s.topo.link(e).tier == net::FabricTier::CrossRack) {
+            s.topo.setLinkBandwidthScale(e, scale);
+            ++touched;
+        }
+    }
+    if (touched == 0)
+        sim::fatal("withSpineDegraded: '%s' has no cross-rack links "
+                   "(single-rack pod or plain box)",
+                   base.name.c_str());
+    std::ostringstream suffix;
+    suffix << " [spine x" << scale << "]";
+    s.name += suffix.str();
+    s.validate();
+    return s;
+}
+
+SystemConfig
+withTorDegraded(const SystemConfig &base, int rack, double scale)
+{
+    SystemConfig s = base;
+    std::string tor_name = "tor" + std::to_string(rack);
+    net::NodeId tor = -1;
+    for (net::NodeId n = 0; n < s.topo.nodeCount(); ++n) {
+        if (s.topo.kind(n) == net::NodeKind::TorSwitch &&
+            s.topo.name(n) == tor_name) {
+            tor = n;
+            break;
+        }
+    }
+    if (tor < 0)
+        sim::fatal("withTorDegraded: '%s' has no ToR switch '%s'",
+                   base.name.c_str(), tor_name.c_str());
+    int touched = 0;
+    for (int e : s.topo.incidentEdges(tor)) {
+        if (s.topo.link(e).tier == net::FabricTier::CrossRack) {
+            s.topo.setLinkBandwidthScale(e, scale);
+            ++touched;
+        }
+    }
+    if (touched == 0)
+        sim::fatal("withTorDegraded: ToR '%s' of '%s' has no "
+                   "cross-rack uplinks (single-rack pod)",
+                   tor_name.c_str(), base.name.c_str());
+    std::ostringstream suffix;
+    suffix << " [tor" << rack << " x" << scale << "]";
+    s.name += suffix.str();
+    s.validate();
+    return s;
+}
+
+namespace {
+
+/** Exact machine-name lookup over the CLI/serve vocabulary. */
+bool
+boxByName(const std::string &name, SystemConfig *out)
+{
+    for (SystemConfig &m : allMachines()) {
+        if (m.name == name) {
+            *out = std::move(m);
+            return true;
+        }
+    }
+    SystemConfig ref = mlperfReference();
+    if (name == "reference" || name == ref.name) {
+        *out = std::move(ref);
+        return true;
+    }
+    return false;
+}
+
+/** Names offered in did-you-mean suggestions. */
+std::vector<std::string>
+knownSystemNames()
+{
+    std::vector<std::string> names;
+    for (const SystemConfig &m : allMachines())
+        names.push_back(m.name);
+    names.push_back("reference");
+    return names;
+}
+
+} // namespace
+
+bool
+systemFromSpec(const std::string &spec, SystemConfig *out,
+               std::string *error)
+{
+    if (boxByName(spec, out))
+        return true;
+
+    if (spec.rfind("pod(", 0) == 0 && spec.back() == ')') {
+        std::string inner = spec.substr(4, spec.size() - 5);
+        std::vector<std::string> parts;
+        std::istringstream in(inner);
+        std::string part;
+        while (std::getline(in, part, ','))
+            parts.push_back(part);
+        if (parts.size() < 2) {
+            *error = "pod spec '" + spec +
+                     "' needs pod(<box>,<racks>x<nodes>[,spines=S])";
+            return false;
+        }
+
+        SystemConfig base;
+        if (!boxByName(parts[0], &base)) {
+            *error = "unknown pod box '" + parts[0] + "'" +
+                     sim::didYouMean(parts[0], knownSystemNames());
+            return false;
+        }
+
+        std::size_t x = parts[1].find('x');
+        char *end = nullptr;
+        long racks = 0;
+        long nodes = 0;
+        if (x != std::string::npos) {
+            racks = std::strtol(parts[1].c_str(), &end, 10);
+            bool racks_ok =
+                end == parts[1].c_str() + x && racks > 0;
+            nodes = std::strtol(parts[1].c_str() + x + 1, &end, 10);
+            bool nodes_ok = end == parts[1].c_str() + parts[1].size() &&
+                            *end == '\0' && nodes > 0;
+            if (!racks_ok || !nodes_ok)
+                x = std::string::npos;
+        }
+        if (x == std::string::npos) {
+            *error = "pod shape '" + parts[1] +
+                     "' is not <racks>x<nodes> (e.g. 4x4)";
+            return false;
+        }
+
+        long spines = racks > 1 ? 2 : 0;
+        for (std::size_t i = 2; i < parts.size(); ++i) {
+            const std::string &opt = parts[i];
+            if (opt.rfind("spines=", 0) == 0) {
+                spines = std::strtol(opt.c_str() + 7, &end, 10);
+                if (end == opt.c_str() + 7 || *end != '\0' ||
+                    spines <= 0) {
+                    *error = "pod option '" + opt +
+                             "' needs a positive spine count";
+                    return false;
+                }
+            } else {
+                std::string key = opt.substr(0, opt.find('='));
+                *error = "unknown pod option '" + opt + "'" +
+                         sim::didYouMean(key, {"spines"});
+                return false;
+            }
+        }
+
+        *out = withPod(base, static_cast<int>(racks),
+                       static_cast<int>(nodes),
+                       static_cast<int>(spines));
+        return true;
+    }
+
+    *error = "unknown system '" + spec + "'" +
+             sim::didYouMean(spec, knownSystemNames()) +
+             "; or use pod(<box>,<racks>x<nodes>[,spines=S])";
+    return false;
 }
 
 } // namespace mlps::sys

@@ -72,6 +72,44 @@ SystemConfig withNvlinkEdgeDown(const SystemConfig &base, int which = 0);
  */
 SystemConfig withPcieDowntrained(const SystemConfig &base, double scale);
 
+/**
+ * Pod prefab: racks x nodes_per_rack replicas of 'base' (any Table
+ * III box) wired through per-host NICs, per-rack ToR switches and a
+ * pod spine layer (see net/fabric.h). The name becomes
+ * "<base> pod <R>x<N>"; cpu/gpu node lists are host-major so
+ * gpuSubset(n) fills whole hosts first. Single-rack pods get no
+ * spine layer regardless of 'spines'.
+ */
+SystemConfig withPod(const SystemConfig &base, int racks,
+                     int nodes_per_rack, int spines = 2);
+
+/**
+ * Copy of a pod with every cross-rack (ToR->spine) link scaled to
+ * 'scale' — the oversubscribed-spine scenario. Fatal on topologies
+ * without a cross-rack tier. Name gains " [spine xS]".
+ */
+SystemConfig withSpineDegraded(const SystemConfig &base, double scale);
+
+/**
+ * Copy of a pod with rack 'rack's ToR uplinks (its cross-rack edges
+ * only — a strict subset of withSpineDegraded's edge set, so the
+ * healthy <= ToR-degraded <= spine-degraded time ordering is emergent)
+ * scaled to 'scale'. Name gains " [torR xS]".
+ */
+SystemConfig withTorDegraded(const SystemConfig &base, int rack,
+                             double scale);
+
+/**
+ * Resolve a system spec string: an exact machine name, the
+ * "reference" alias, or the pod grammar
+ * `pod(<box>,<racks>x<nodes>[,spines=S])` (e.g. "pod(C4140 (M),4x4)").
+ * Returns false with a did-you-mean error message on unknown names or
+ * malformed grammar; both the CLI and the serve catalog route through
+ * this so their vocabularies never drift.
+ */
+bool systemFromSpec(const std::string &spec, SystemConfig *out,
+                    std::string *error);
+
 /** Every Table III machine. */
 std::vector<SystemConfig> allMachines();
 

@@ -126,6 +126,8 @@ edgesOfKindToken(const net::Topology &topo, const std::string &token)
         kind = net::LinkKind::Pcie3;
     else if (token == "upi")
         kind = net::LinkKind::Upi;
+    else if (token == "eth")
+        kind = net::LinkKind::Eth;
     else
         return {};
     std::vector<int> out;
@@ -151,7 +153,7 @@ nodeByName(const net::Topology &topo, const std::string &name)
 std::vector<std::string>
 targetNames(const net::Topology &topo)
 {
-    std::vector<std::string> names = {"nvlink", "pcie", "upi"};
+    std::vector<std::string> names = {"nvlink", "pcie", "upi", "eth"};
     for (net::NodeId n = 0; n < topo.nodeCount(); ++n)
         names.push_back(topo.name(n));
     return names;
@@ -184,7 +186,7 @@ applyDegradedLinks(SystemConfig &system, const std::string &spec)
                 sim::fatal("--degraded-links: unknown link type '%s'%s",
                            target.c_str(),
                            sim::didYouMean(target, {"nvlink", "pcie",
-                                                    "upi"})
+                                                    "upi", "eth"})
                                .c_str());
             }
             std::string na = target.substr(0, dash);

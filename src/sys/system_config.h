@@ -68,8 +68,9 @@ struct SystemConfig {
  *
  * Grammar: comma-separated items, each `<target>:<state>` where
  * target is either `NodeA-NodeB` (all edges joining the two named
- * nodes) or a link-type name (`nvlink`, `pcie`, `upi` — all edges of
- * that kind), and state is `down` or a bandwidth fraction in (0, 1].
+ * nodes) or a link-type name (`nvlink`, `pcie`, `upi`, `eth` — all
+ * edges of that kind), and state is `down` or a bandwidth fraction in
+ * (0, 1].
  * Examples: `GPU0-GPU1:down`, `nvlink:0.5`, `CPU0-PCIeSW0:0.25`.
  *
  * Unknown node or link-type names fail with a did-you-mean

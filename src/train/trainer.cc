@@ -284,8 +284,11 @@ Trainer::runTraining(const wl::WorkloadSpec &spec, const RunOptions &opts,
                                 : params * policy.gradientBytesPerParam();
         net::AllReduceParams ar_params;
         ar_params.buckets = spec.gradientBuckets();
-        ar = net::ringAllReduce(system_.topo, system_.gpuSubset(n),
-                                grad_bytes, ar_params);
+        // Shape-aware: exact flat ring on single boxes, hierarchical
+        // (2D ring / cross-rack tree) on pod topologies.
+        ar = net::autoHierarchicalAllReduce(system_.topo,
+                                            system_.gpuSubset(n),
+                                            grad_bytes, ar_params);
         it.comm_s = ar.seconds;
         it.reroutes = ar.reroutes;
         double overlap =
@@ -449,8 +452,9 @@ Trainer::runCollectiveLoop(const wl::WorkloadSpec &spec,
     IterationBreakdown &it = res.iter;
     net::AllReduceResult ar;
     if (n > 1) {
-        ar = net::ringAllReduce(system_.topo, system_.gpuSubset(n),
-                                spec.collective_bytes);
+        ar = net::autoHierarchicalAllReduce(system_.topo,
+                                            system_.gpuSubset(n),
+                                            spec.collective_bytes);
         it.comm_s = ar.seconds;
         it.exposed_comm_s = ar.seconds;
         it.reroutes = ar.reroutes;

@@ -419,6 +419,7 @@ smallReport()
     opts.include_topology = false;
     opts.include_characterization = false;
     opts.include_faults = false;
+    opts.include_pod_scale = false; // covered by pod_fabric_test
     opts.jobs = 1;
     return opts;
 }

@@ -64,6 +64,7 @@ TEST(Report, ContainsEverySection)
     EXPECT_NE(md.find("characterization"), std::string::npos);
     EXPECT_NE(md.find("MLPf_NCF_Py"), std::string::npos);
     EXPECT_NE(md.find("C4140 (K)"), std::string::npos);
+    EXPECT_NE(md.find("Fig. 5 at pod scale"), std::string::npos);
 }
 
 TEST(Report, OptionsDisableSections)
@@ -89,6 +90,7 @@ degradedOnly()
     opts.include_characterization = false;
     opts.include_faults = false;
     opts.include_degraded_fabric = true;
+    opts.include_pod_scale = false; // covered by pod_fabric_test
     return opts;
 }
 

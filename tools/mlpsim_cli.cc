@@ -139,21 +139,21 @@ struct Args {
     }
 };
 
+/**
+ * Resolve --system: an exact machine name, "reference", or the pod
+ * grammar `pod(<box>,<racks>x<nodes>[,spines=S])`. One resolver
+ * (sys::systemFromSpec) serves both the CLI and the serve catalog,
+ * so their vocabularies and did-you-mean hints never drift.
+ */
 sys::SystemConfig
 systemByName(const std::string &name)
 {
-    std::vector<std::string> known;
-    for (auto &s : sys::allMachines()) {
-        if (s.name == name)
-            return s;
-        known.push_back(s.name);
-    }
-    known.push_back("reference");
-    if (name == "reference")
-        return sys::mlperfReference();
-    sim::fatal("unknown system '%s'%s; 'mlpsim list' shows all systems",
-               name.c_str(),
-               core::didYouMean(name, known).c_str());
+    sys::SystemConfig out;
+    std::string error;
+    if (!sys::systemFromSpec(name, &out, &error))
+        sim::fatal("%s; 'mlpsim list' shows all systems",
+                   error.c_str());
+    return out;
 }
 
 /** Validate a user-supplied GPU count against the machine. */
@@ -263,6 +263,11 @@ cmdList()
                     s.gpu.name.c_str());
     std::printf("  %-11s 1 x %s (v0.5 reference)\n", "reference",
                 sys::mlperfReference().gpu.name.c_str());
+    std::printf("\nAny --system flag also accepts the pod grammar\n"
+                "  pod(<box>,<racks>x<nodes>[,spines=S])\n"
+                "e.g. \"pod(C4140 (M),4x4)\" — racks of <box> hosts "
+                "behind NICs,\nper-rack ToR switches and a spine "
+                "layer.\n");
     return 0;
 }
 
@@ -954,6 +959,9 @@ usage()
         "             [--system NAME] [--gpus N] [--precision P]\n"
         "             [--reference] [--deadline-s D] [--stats]\n"
         "             [--ping]  (docs/SERVICE.md)\n\n"
+        "--system NAME accepts a machine name, 'reference', or the\n"
+        "pod grammar pod(<box>,<racks>x<nodes>[,spines=S]) — e.g.\n"
+        "--system 'pod(C4140 (M),4x4)' ('mlpsim list' for details).\n\n"
         "Sweep commands accept --cache-max-entries/--cache-max-bytes\n"
         "to bound the run cache (LRU eviction; evicted entries stay\n"
         "in the journal until compaction).\n\n"
