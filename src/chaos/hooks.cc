@@ -1,0 +1,67 @@
+#include "chaos/hooks.h"
+
+#include <atomic>
+
+namespace mlps::chaos {
+
+namespace {
+
+std::atomic<FsHooks *> g_fs{nullptr};
+std::atomic<NetHooks *> g_net{nullptr};
+std::atomic<ClockHooks *> g_clock{nullptr};
+
+} // namespace
+
+FsHooks *
+fsHooks()
+{
+    return g_fs.load(std::memory_order_relaxed);
+}
+
+void
+setFsHooks(FsHooks *hooks)
+{
+    g_fs.store(hooks, std::memory_order_relaxed);
+}
+
+NetHooks *
+netHooks()
+{
+    return g_net.load(std::memory_order_relaxed);
+}
+
+void
+setNetHooks(NetHooks *hooks)
+{
+    g_net.store(hooks, std::memory_order_relaxed);
+}
+
+ClockHooks *
+clockHooks()
+{
+    return g_clock.load(std::memory_order_relaxed);
+}
+
+void
+setClockHooks(ClockHooks *hooks)
+{
+    g_clock.store(hooks, std::memory_order_relaxed);
+}
+
+ScopedChaos::ScopedChaos(FsHooks *fs, NetHooks *net, ClockHooks *clock)
+    : prev_fs_(fsHooks()), prev_net_(netHooks()),
+      prev_clock_(clockHooks())
+{
+    setFsHooks(fs);
+    setNetHooks(net);
+    setClockHooks(clock);
+}
+
+ScopedChaos::~ScopedChaos()
+{
+    setFsHooks(prev_fs_);
+    setNetHooks(prev_net_);
+    setClockHooks(prev_clock_);
+}
+
+} // namespace mlps::chaos

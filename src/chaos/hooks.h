@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Chaos injection hook points for the harness itself.
+ *
+ * `src/fault/` injects failures into the *modeled* cluster; this
+ * module injects failures into the *harness* — the journal, the
+ * telemetry writers, the serve loop's sockets and clock. Production
+ * code consults a process-global hook table at each fault-capable
+ * operation; with no hooks installed every consult is a single
+ * relaxed atomic load returning null, so the shim costs nothing in
+ * normal operation.
+ *
+ * Hooks are deliberately *decisions*, not side effects: a hook
+ * returns "fail this write after N bytes" and the production code
+ * carries out the failure through its ordinary error path. That
+ * keeps the code under test honest — the recovery logic exercised by
+ * chaos is exactly the logic a real ENOSPC or EPIPE would hit.
+ *
+ * Determinism contract: implementations (see chaos/schedule.h) draw
+ * every decision from seeded sim::Rng streams keyed by subsystem
+ * label, so a given seed replays the identical fault schedule.
+ */
+
+#ifndef MLPSIM_CHAOS_HOOKS_H
+#define MLPSIM_CHAOS_HOOKS_H
+
+#include <cstddef>
+#include <string>
+
+namespace mlps::chaos {
+
+/** What a filesystem hook decided should happen to one operation. */
+enum class FsFaultKind {
+    None,       ///< operation proceeds normally
+    ShortWrite, ///< only keep_bytes land; caller sees a failed write
+    Enospc,     ///< write fails with disk-full semantics
+    FsyncFail,  ///< data written but the flush/fsync reports failure
+    RenameFail, ///< atomic-replace rename fails; target unchanged
+    Crash,      ///< process "dies" mid-write: keep_bytes land, stream
+                ///< closes silently, a torn tail is left for recovery
+};
+
+struct FsFault {
+    FsFaultKind kind = FsFaultKind::None;
+    /** ShortWrite/Crash: bytes of the record that reach the file. */
+    std::size_t keep_bytes = 0;
+};
+
+/** Fault decisions for journal and telemetry file I/O. */
+class FsHooks
+{
+  public:
+    virtual ~FsHooks() = default;
+
+    /**
+     * Consulted before journal record `index` (0-based position in
+     * the file) is appended; `record_bytes` is the framed size.
+     */
+    virtual FsFault
+    onJournalAppend(std::size_t index, std::size_t record_bytes)
+    {
+        (void)index;
+        (void)record_bytes;
+        return {};
+    }
+
+    /**
+     * Consulted before an atomic temp-file+rename replace (journal
+     * recovery rewrite, compaction, quarantine). Only None and
+     * RenameFail are meaningful here.
+     */
+    virtual FsFault onAtomicWrite(const std::string &path)
+    {
+        (void)path;
+        return {};
+    }
+
+    /**
+     * Consulted before a telemetry artifact write (metrics.json,
+     * run_manifest.json, ...). @return true to fail the write.
+     */
+    virtual bool onArtifactWrite(const std::string &path)
+    {
+        (void)path;
+        return false;
+    }
+};
+
+/** Fault decisions for the serve loop's sockets. */
+class NetHooks
+{
+  public:
+    virtual ~NetHooks() = default;
+
+    /**
+     * Clamp how many bytes a send() may push to session `fd`.
+     * @return want for a full send, less for a partial one, or 0 to
+     * fail the send with EPIPE semantics (peer gone mid-write).
+     */
+    virtual std::size_t onSend(int fd, std::size_t want)
+    {
+        (void)fd;
+        return want;
+    }
+
+    /** Mutate `n` inbound bytes in place (protocol fuzzing). */
+    virtual void onRecvBytes(int fd, char *data, std::size_t n)
+    {
+        (void)fd;
+        (void)data;
+        (void)n;
+    }
+
+    /**
+     * @return true to drop session `fd` right after this recv — a
+     * client vanishing mid-line.
+     */
+    virtual bool onRecvDisconnect(int fd)
+    {
+        (void)fd;
+        return false;
+    }
+};
+
+/** Deadline-clock perturbation for the serve loop. */
+class ClockHooks
+{
+  public:
+    virtual ~ClockHooks() = default;
+
+    /** Map a monotonic reading to the value the server should see. */
+    virtual double onMonotonic(double now_s) { return now_s; }
+};
+
+// ---- process-global install points --------------------------------
+//
+// Null by default. Installation is not synchronized against in-flight
+// consults on other threads; install before starting the workload
+// (the soak harness and tests run single-threaded setup).
+
+FsHooks *fsHooks();
+void setFsHooks(FsHooks *hooks);
+
+NetHooks *netHooks();
+void setNetHooks(NetHooks *hooks);
+
+ClockHooks *clockHooks();
+void setClockHooks(ClockHooks *hooks);
+
+/** RAII installer: swaps hooks in, restores the previous set. */
+class ScopedChaos
+{
+  public:
+    ScopedChaos(FsHooks *fs, NetHooks *net, ClockHooks *clock);
+    ~ScopedChaos();
+
+    ScopedChaos(const ScopedChaos &) = delete;
+    ScopedChaos &operator=(const ScopedChaos &) = delete;
+
+  private:
+    FsHooks *prev_fs_;
+    NetHooks *prev_net_;
+    ClockHooks *prev_clock_;
+};
+
+} // namespace mlps::chaos
+
+#endif // MLPSIM_CHAOS_HOOKS_H

@@ -1,0 +1,237 @@
+#include "chaos/schedule.h"
+
+#include <algorithm>
+
+namespace mlps::chaos {
+
+namespace {
+
+/**
+ * Generator for one (seed, index, attempt) decision. The record index
+ * keys the roll so the fault landing on record k does not depend on
+ * unrelated consults (telemetry writes, atomic rewrites); the attempt
+ * number — how many times an append at this index has been consulted
+ * before — is folded in so a retry after a rolled fault gets a fresh
+ * roll. Without it one short-write verdict at index k would be final:
+ * the rollback leaves records_ at k, every later append would re-roll
+ * the same fate, and the journal could never grow past k. Appends are
+ * published serially in submission order, so the attempt sequence is
+ * itself deterministic across worker counts.
+ */
+sim::Rng
+indexedRng(std::uint64_t seed, std::uint64_t index,
+           std::uint64_t attempt)
+{
+    return sim::Rng(seed ^ (index + 1) * 0x9E3779B97F4A7C15ULL ^
+                    attempt * 0xC2B2AE3D27D4EB4FULL);
+}
+
+} // namespace
+
+// ---- ChaosSpec ------------------------------------------------------
+
+std::string
+ChaosSpec::canonical() const
+{
+    std::string s;
+    for (const char *name : {fs ? "fs" : nullptr,
+                             net ? "net" : nullptr,
+                             clock ? "clock" : nullptr}) {
+        if (!name)
+            continue;
+        if (!s.empty())
+            s += ',';
+        s += name;
+    }
+    return s.empty() ? "none" : s;
+}
+
+bool
+ChaosSpec::parse(const std::string &spec, ChaosSpec *out,
+                 std::string *error)
+{
+    *out = ChaosSpec{};
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string t = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        while (!t.empty() && (t.front() == ' ' || t.front() == '\t'))
+            t.erase(t.begin());
+        while (!t.empty() && (t.back() == ' ' || t.back() == '\t'))
+            t.pop_back();
+        if (t.empty())
+            continue;
+        if (t == "fs") {
+            out->fs = true;
+        } else if (t == "net") {
+            out->net = true;
+        } else if (t == "clock") {
+            out->clock = true;
+        } else if (t == "all") {
+            out->fs = out->net = out->clock = true;
+        } else {
+            *error = "unknown chaos dimension '" + t +
+                     "' (expected fs, net, clock or all)";
+            return false;
+        }
+    }
+    return true;
+}
+
+// ---- ScheduledFsHooks -----------------------------------------------
+
+ScheduledFsHooks::ScheduledFsHooks(std::uint64_t seed,
+                                   FsChaosRates rates)
+    : seed_(seed), rates_(rates),
+      rename_rng_(sim::RngStreams(seed).stream("chaos.fs.rename")),
+      artifact_rng_(sim::RngStreams(seed).stream("chaos.fs.artifact"))
+{
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    regs_.push_back(
+        reg.registerCounter("chaos.fs.short_writes", &short_writes_));
+    regs_.push_back(reg.registerCounter("chaos.fs.enospc", &enospc_));
+    regs_.push_back(
+        reg.registerCounter("chaos.fs.fsync_fail", &fsync_fail_));
+    regs_.push_back(
+        reg.registerCounter("chaos.fs.crashes", &crashes_));
+    regs_.push_back(
+        reg.registerCounter("chaos.fs.rename_fail", &rename_fail_));
+    regs_.push_back(
+        reg.registerCounter("chaos.fs.artifact_fail", &artifact_fail_));
+}
+
+FsFault
+ScheduledFsHooks::onJournalAppend(std::size_t index,
+                                  std::size_t record_bytes)
+{
+    sim::Rng rng = indexedRng(seed_, index, attempts_[index]++);
+    double roll = rng.uniform();
+    FsFault fault;
+    if (roll < rates_.crash) {
+        fault.kind = FsFaultKind::Crash;
+        // Anywhere in the framed record, including a clean cut right
+        // before it (keep 0) and right after it (keep all).
+        fault.keep_bytes = rng.below(record_bytes + 1);
+        crashes_.add(1.0);
+    } else if (roll < rates_.crash + rates_.short_write) {
+        fault.kind = FsFaultKind::ShortWrite;
+        fault.keep_bytes = rng.below(record_bytes);
+        short_writes_.add(1.0);
+    } else if (roll <
+               rates_.crash + rates_.short_write + rates_.enospc) {
+        fault.kind = FsFaultKind::Enospc;
+        fault.keep_bytes = rng.below(record_bytes);
+        enospc_.add(1.0);
+    } else if (roll < rates_.crash + rates_.short_write +
+                          rates_.enospc + rates_.fsync_fail) {
+        fault.kind = FsFaultKind::FsyncFail;
+        fsync_fail_.add(1.0);
+    }
+    return fault;
+}
+
+FsFault
+ScheduledFsHooks::onAtomicWrite(const std::string &path)
+{
+    (void)path;
+    FsFault fault;
+    if (rename_rng_.chance(rates_.rename_fail)) {
+        fault.kind = FsFaultKind::RenameFail;
+        rename_fail_.add(1.0);
+    }
+    return fault;
+}
+
+bool
+ScheduledFsHooks::onArtifactWrite(const std::string &path)
+{
+    (void)path;
+    if (!artifact_rng_.chance(rates_.artifact_fail))
+        return false;
+    artifact_fail_.add(1.0);
+    return true;
+}
+
+// ---- ScheduledNetHooks ----------------------------------------------
+
+ScheduledNetHooks::ScheduledNetHooks(std::uint64_t seed,
+                                     NetChaosRates rates)
+    : rates_(rates), rng_(sim::RngStreams(seed).stream("chaos.net"))
+{
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    regs_.push_back(reg.registerCounter("chaos.net.epipe", &epipe_));
+    regs_.push_back(reg.registerCounter("chaos.net.partial_sends",
+                                        &partial_sends_));
+    regs_.push_back(reg.registerCounter("chaos.net.fuzzed", &fuzzed_));
+    regs_.push_back(reg.registerCounter("chaos.net.disconnects",
+                                        &disconnects_));
+}
+
+std::size_t
+ScheduledNetHooks::onSend(int fd, std::size_t want)
+{
+    (void)fd;
+    if (rng_.chance(rates_.epipe)) {
+        epipe_.add(1.0);
+        return 0;
+    }
+    if (want > 1 && rng_.chance(rates_.partial)) {
+        partial_sends_.add(1.0);
+        return 1 + static_cast<std::size_t>(rng_.below(want - 1));
+    }
+    return want;
+}
+
+void
+ScheduledNetHooks::onRecvBytes(int fd, char *data, std::size_t n)
+{
+    (void)fd;
+    if (n == 0 || !rng_.chance(rates_.fuzz))
+        return;
+    fuzzed_.add(1.0);
+    // Flip 1-4 bytes anywhere in the chunk. Newlines are fair game:
+    // splitting or joining lines is exactly the kind of damage a
+    // session must absorb.
+    std::uint64_t flips = 1 + rng_.below(4);
+    for (std::uint64_t i = 0; i < flips; ++i) {
+        std::size_t at = static_cast<std::size_t>(rng_.below(n));
+        data[at] = static_cast<char>(rng_.below(256));
+    }
+}
+
+bool
+ScheduledNetHooks::onRecvDisconnect(int fd)
+{
+    (void)fd;
+    if (!rng_.chance(rates_.disconnect))
+        return false;
+    disconnects_.add(1.0);
+    return true;
+}
+
+// ---- ScheduledClockHooks --------------------------------------------
+
+ScheduledClockHooks::ScheduledClockHooks(std::uint64_t seed,
+                                         double sigma_s)
+    : sigma_s_(sigma_s),
+      rng_(sim::RngStreams(seed).stream("chaos.clock"))
+{
+    obs::MetricRegistry &reg = obs::MetricRegistry::global();
+    regs_.push_back(reg.registerCounter("chaos.clock.jitter_events",
+                                        &jitter_events_));
+}
+
+double
+ScheduledClockHooks::onMonotonic(double now_s)
+{
+    jitter_events_.add(1.0);
+    // Gaussian jitter, backwards excursions included: admission's
+    // TokenBucket clamps non-advancing time, and deadline grouping
+    // must tolerate a wobbling clock.
+    return now_s + rng_.gaussian(0.0, sigma_s_);
+}
+
+} // namespace mlps::chaos

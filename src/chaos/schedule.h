@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Seeded, deterministic implementations of the chaos hook interfaces.
+ *
+ * Every decision is a pure function of the chaos seed: filesystem
+ * faults are keyed by journal record index (so the fault landing on
+ * record k does not depend on how many telemetry writes happened
+ * first, or on the worker count), while net and clock decisions draw
+ * sequentially from per-subsystem streams (deterministic wherever the
+ * consult sequence is — the soak driver and the tests are
+ * single-threaded by construction).
+ *
+ * Each schedule owns its `chaos.*` counters and registers them with
+ * the global obs::MetricRegistry, so a soak report and a metrics
+ * snapshot read the same injection totals.
+ */
+
+#ifndef MLPSIM_CHAOS_SCHEDULE_H
+#define MLPSIM_CHAOS_SCHEDULE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/hooks.h"
+#include "obs/registry.h"
+#include "sim/counters.h"
+#include "sim/rng.h"
+
+namespace mlps::chaos {
+
+/** Which chaos dimensions a run enables ("fs,net,clock"). */
+struct ChaosSpec {
+    bool fs = false;
+    bool net = false;
+    bool clock = false;
+
+    bool any() const { return fs || net || clock; }
+
+    /** Canonical rendering, e.g. "fs,clock"; "none" when empty. */
+    std::string canonical() const;
+
+    /**
+     * Parse a comma-separated spec ("fs", "net", "clock", or "all").
+     * @return false (with *error set) on an unknown token.
+     */
+    static bool parse(const std::string &spec, ChaosSpec *out,
+                      std::string *error);
+};
+
+/** Per-operation fault probabilities for the fs schedule. */
+struct FsChaosRates {
+    double short_write = 0.05;  ///< partial append, rolled back
+    double enospc = 0.01;       ///< disk full; persistence disabled
+    double fsync_fail = 0.04;   ///< flush failure, rolled back
+    double crash = 0.03;        ///< process death mid-record
+    double rename_fail = 0.10;  ///< atomic-replace rename fails
+    double artifact_fail = 0.25; ///< telemetry artifact write fails
+};
+
+/** Seeded fs fault schedule; append decisions keyed by (record
+ *  index, attempt number), so retries re-roll instead of re-failing. */
+class ScheduledFsHooks final : public FsHooks
+{
+  public:
+    explicit ScheduledFsHooks(std::uint64_t seed,
+                              FsChaosRates rates = {});
+
+    FsFault onJournalAppend(std::size_t index,
+                            std::size_t record_bytes) override;
+    FsFault onAtomicWrite(const std::string &path) override;
+    bool onArtifactWrite(const std::string &path) override;
+
+  private:
+    std::uint64_t seed_;
+    FsChaosRates rates_;
+    /** Consults so far per record index (retries re-roll). */
+    std::map<std::size_t, std::uint64_t> attempts_;
+    sim::Rng rename_rng_;   ///< sequential: atomic-write faults
+    sim::Rng artifact_rng_; ///< sequential: telemetry faults
+    sim::Counter short_writes_;
+    sim::Counter enospc_;
+    sim::Counter fsync_fail_;
+    sim::Counter crashes_;
+    sim::Counter rename_fail_;
+    sim::Counter artifact_fail_;
+    std::vector<obs::MetricRegistry::Registration> regs_;
+};
+
+/** Per-operation fault probabilities for the net schedule. */
+struct NetChaosRates {
+    double epipe = 0.02;      ///< send fails: peer gone mid-write
+    double partial = 0.15;    ///< send pushes only a prefix
+    double fuzz = 0.10;       ///< inbound bytes mutated
+    double disconnect = 0.02; ///< client vanishes mid-line
+};
+
+/** Seeded socket/session fault schedule (sequential draws). */
+class ScheduledNetHooks final : public NetHooks
+{
+  public:
+    explicit ScheduledNetHooks(std::uint64_t seed,
+                               NetChaosRates rates = {});
+
+    std::size_t onSend(int fd, std::size_t want) override;
+    void onRecvBytes(int fd, char *data, std::size_t n) override;
+    bool onRecvDisconnect(int fd) override;
+
+  private:
+    NetChaosRates rates_;
+    sim::Rng rng_;
+    sim::Counter epipe_;
+    sim::Counter partial_sends_;
+    sim::Counter fuzzed_;
+    sim::Counter disconnects_;
+    std::vector<obs::MetricRegistry::Registration> regs_;
+};
+
+/** Gaussian jitter on the serve loop's monotonic clock. */
+class ScheduledClockHooks final : public ClockHooks
+{
+  public:
+    /** `sigma_s`: standard deviation of the jitter in seconds. */
+    explicit ScheduledClockHooks(std::uint64_t seed,
+                                 double sigma_s = 0.005);
+
+    double onMonotonic(double now_s) override;
+
+  private:
+    double sigma_s_;
+    sim::Rng rng_;
+    sim::Counter jitter_events_;
+    std::vector<obs::MetricRegistry::Registration> regs_;
+};
+
+} // namespace mlps::chaos
+
+#endif // MLPSIM_CHAOS_SCHEDULE_H

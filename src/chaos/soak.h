@@ -1,0 +1,68 @@
+/**
+ * @file
+ * `mlpsim soak`: drive the serve core through randomized request
+ * streams under injected harness faults, then check invariants.
+ *
+ * The soak runs a *clean twin* first — every distinct request in the
+ * pool evaluated once with no chaos — and records the canonical
+ * result line of each. It then runs several chaotic "cycles": each
+ * cycle constructs a fresh ServeCore on the same durable cache
+ * directory (so journal recovery is exercised at every construction),
+ * feeds a seeded stream of requests from synthetic clients while the
+ * installed chaos schedules inject filesystem, socket and clock
+ * faults, and tears the core down — sometimes mid-record, when an
+ * injected crash killed the journal stream. A final settle cycle runs
+ * chaos-free so the journal ends complete, and a resume check proves
+ * a fresh engine replays it warm.
+ *
+ * Invariants asserted (each one line of the report):
+ *   1. every surviving request is answered (reject or result) —
+ *      only requests lost to an injected disconnect are excused;
+ *   2. every surviving ok result is byte-identical to the clean twin;
+ *   3. the journal is replayable at the end: structure clean and the
+ *      committed record count consistent with the replay;
+ *   4. cache accounting is consistent (hits + misses + degraded =
+ *      requests; live entries bounded by replayed + simulated);
+ *   5. resuming from the journal serves >= 90 % of the pool from
+ *      cache;
+ *   6. no file descriptors leaked across the whole soak.
+ *
+ * Determinism: the report text is a pure function of (seed, ops,
+ * chaos spec, cycles, clients) — byte-identical across reruns and
+ * across worker counts — so CI replays a soak twice and byte-compares
+ * the reports.
+ */
+
+#ifndef MLPSIM_CHAOS_SOAK_H
+#define MLPSIM_CHAOS_SOAK_H
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/schedule.h"
+
+namespace mlps::chaos {
+
+/** Knobs of one soak run (defaults match the CI job). */
+struct SoakOptions {
+    std::uint64_t seed = 42;
+    std::size_t ops = 300;      ///< chaotic requests, split over cycles
+    ChaosSpec chaos;            ///< which fault dimensions to inject
+    int jobs = 0;               ///< engine workers; 0 = auto
+    std::string cache_dir = "mlpsim-soak-cache"; ///< owned: wiped first
+    std::size_t clients = 4;    ///< synthetic client sessions
+    std::size_t cycles = 3;     ///< chaotic server incarnations
+};
+
+/** Outcome of a soak: pass/fail plus the deterministic report. */
+struct SoakReport {
+    bool pass = false;
+    std::string text; ///< full report, newline-terminated lines
+};
+
+/** Run one soak. Wipes and reuses `opts.cache_dir`. */
+SoakReport runSoak(const SoakOptions &opts);
+
+} // namespace mlps::chaos
+
+#endif // MLPSIM_CHAOS_SOAK_H

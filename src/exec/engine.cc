@@ -171,6 +171,11 @@ Engine::Engine(ExecOptions opts)
     registrations_.push_back(
         reg.registerSampler("exec.engine.run_wall_seconds", &run_wall_,
                             obs::Volatility::Volatile));
+    if (journal_)
+        registrations_.push_back(reg.registerGauge(
+            "exec.journal.write_errors", [this] {
+                return static_cast<double>(journal_->writeErrors());
+            }));
 }
 
 std::vector<RunResult>

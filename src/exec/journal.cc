@@ -11,6 +11,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include "chaos/hooks.h"
 #include "obs/span.h"
 #include "sim/logger.h"
 
@@ -166,7 +167,8 @@ lockPath(const std::string &dir)
 
 /**
  * Atomically replace `path` with `content` via temp file + rename.
- * @return false on any I/O failure.
+ * @return false on any I/O failure (including an injected rename
+ * fault); the target is unchanged either way.
  */
 bool
 atomicWrite(const std::string &path, const std::string &content)
@@ -182,18 +184,34 @@ atomicWrite(const std::string &path, const std::string &content)
         if (!out)
             return false;
     }
+    if (chaos::FsHooks *h = chaos::fsHooks();
+        h && h->onAtomicWrite(path).kind != chaos::FsFaultKind::None) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return false;
+    }
     std::error_code ec;
     fs::rename(tmp, path, ec);
     return !ec;
 }
 
 std::string
-headerBytes()
+headerBytes(std::uint32_t committed = 0)
 {
     std::string h(kMagic, sizeof(kMagic));
     putU32(h, Journal::kVersion);
-    putU32(h, 0); // reserved
+    putU32(h, committed);
     return h;
+}
+
+/** Committed record count from a header (0 on short/missing header). */
+std::uint32_t
+committedCount(const std::string &buf)
+{
+    if (buf.size() < kHeaderBytes)
+        return 0;
+    Reader r(buf.substr(12, 4));
+    return r.u32();
 }
 
 bool
@@ -432,9 +450,31 @@ Journal::Journal(std::string dir) : dir_(std::move(dir))
 
 Journal::~Journal()
 {
-    if (out_)
+    if (out_) {
         std::fclose(out_);
+        out_ = nullptr;
+        commitHeader();
+    }
     releaseLock();
+}
+
+void
+Journal::commitHeader()
+{
+    // Stamp the live record count into the header's committed field.
+    // verify() can then tell "grew since the last clean close"
+    // (benign appends) from "shrank" (a tail truncated exactly on a
+    // record boundary, invisible to framing and CRC checks). Best
+    // effort: a failure here leaves the previous committed count,
+    // which is always <= the real count and so never a false alarm.
+    std::FILE *f = std::fopen(path_.c_str(), "r+b");
+    if (!f)
+        return;
+    std::string field;
+    putU32(field, static_cast<std::uint32_t>(records_));
+    if (std::fseek(f, 12, SEEK_SET) == 0)
+        (void)std::fwrite(field.data(), 1, field.size(), f);
+    std::fclose(f);
 }
 
 void
@@ -520,11 +560,28 @@ Journal::load(
                       path_.c_str(), error.c_str(), end, records,
                       buf.size() - end);
             stats_.quarantined_bytes = buf.size() - end;
-            valid = buf.substr(0, end);
+            rewrite = true;
+        } else if (committedCount(buf) > records) {
+            // Structure is clean but the header committed more
+            // records than the replay found: the tail was truncated
+            // exactly on a record boundary. The data is gone; correct
+            // the header so the loss is acknowledged once instead of
+            // re-reported forever.
+            sim::warn("journal '%s': tail truncated — header commits "
+                      "%u record(s), replay found %zu; correcting "
+                      "header", path_.c_str(),
+                      static_cast<unsigned>(committedCount(buf)),
+                      records);
             rewrite = true;
         }
+        if (rewrite)
+            // Rebuild with a corrected header: committed = what the
+            // replay actually recovered.
+            valid = headerBytes(static_cast<std::uint32_t>(records)) +
+                    buf.substr(kHeaderBytes, end - kHeaderBytes);
     }
 
+    bool recovery_failed = false;
     if (rewrite && !stats_.read_only) {
         obs::Span rewrite_span("exec.journal", "rewrite");
         if (stats_.quarantined_bytes > 0) {
@@ -534,16 +591,24 @@ Journal::load(
                 sim::warn("journal '%s': cannot write quarantine file",
                           path_.c_str());
         }
-        if (!atomicWrite(path_, valid))
-            sim::fatal("journal '%s': cannot rewrite after recovery",
-                       path_.c_str());
+        if (!atomicWrite(path_, valid)) {
+            // The file still holds the corrupt tail; appending after
+            // it would bury new records behind garbage. Keep what was
+            // replayed in memory and stop persisting for the session.
+            sim::warn("journal '%s': cannot rewrite after recovery; "
+                      "disabling persistence for this session",
+                      path_.c_str());
+            ++write_errors_;
+            recovery_failed = true;
+        }
     }
 
-    if (!stats_.read_only) {
+    if (!stats_.read_only && !recovery_failed) {
         out_ = std::fopen(path_.c_str(), "ab");
         if (!out_)
             sim::fatal("journal '%s': cannot open for append (%s)",
                        path_.c_str(), std::strerror(errno));
+        good_offset_ = rewrite ? valid.size() : buf.size();
     }
     return stats_;
 }
@@ -560,18 +625,103 @@ Journal::append(const Fingerprint &key, const RunResult &result)
     putU32(record, static_cast<std::uint32_t>(payload.size()));
     putU32(record, crc32(payload.data(), payload.size()));
     record.append(payload);
-    if (std::fwrite(record.data(), 1, record.size(), out_) !=
-            record.size() ||
-        std::fflush(out_) != 0) {
-        sim::warn("journal '%s': append failed (%s); disabling "
-                  "persistence for this session", path_.c_str(),
-                  std::strerror(errno));
+
+    chaos::FsFault fault;
+    if (chaos::FsHooks *h = chaos::fsHooks())
+        fault = h->onJournalAppend(records_, record.size());
+
+    if (fault.kind == chaos::FsFaultKind::Crash) {
+        // Simulated process death mid-record: a prefix of the framed
+        // record lands, then the stream vanishes with no cleanup —
+        // the torn tail is left on disk for the next load() to
+        // quarantine, and no committed count is ever stamped.
+        std::size_t keep = std::min(fault.keep_bytes, record.size());
+        if (keep > 0) {
+            (void)std::fwrite(record.data(), 1, keep, out_);
+            (void)std::fflush(out_);
+        }
         std::fclose(out_);
         out_ = nullptr;
+        crashed_ = true;
         ++skipped_appends_;
         return;
     }
-    ++records_;
+
+    errno = 0;
+    const char *why = nullptr;
+    switch (fault.kind) {
+    case chaos::FsFaultKind::None:
+        if (std::fwrite(record.data(), 1, record.size(), out_) !=
+                record.size() ||
+            std::fflush(out_) != 0) {
+            if (errno == ENOSPC)
+                disk_full_ = true;
+            why = std::strerror(errno);
+        }
+        break;
+    case chaos::FsFaultKind::ShortWrite:
+    case chaos::FsFaultKind::Enospc: {
+        // The device accepted only a prefix; the partial record is on
+        // disk and must be rolled back below.
+        std::size_t keep =
+            std::min(fault.keep_bytes, record.size() - 1);
+        (void)std::fwrite(record.data(), 1, keep, out_);
+        (void)std::fflush(out_);
+        if (fault.kind == chaos::FsFaultKind::Enospc) {
+            disk_full_ = true;
+            why = std::strerror(ENOSPC);
+        } else {
+            why = "injected short write";
+        }
+        break;
+    }
+    case chaos::FsFaultKind::FsyncFail:
+        // The record reached the kernel but the flush reported
+        // failure, so its durability is unknown — treat the append
+        // as failed and roll it back rather than trust the tail.
+        (void)std::fwrite(record.data(), 1, record.size(), out_);
+        (void)std::fflush(out_);
+        why = "injected fsync failure";
+        break;
+    default:
+        why = "injected fault"; // RenameFail is meaningless here
+        break;
+    }
+
+    if (!why) {
+        ++records_;
+        good_offset_ += record.size();
+        return;
+    }
+
+    // Failed append: never leave a torn record behind. Roll the file
+    // back to the last good record boundary so replays (and our own
+    // later appends) see a clean prefix.
+    ++write_errors_;
+    ++skipped_appends_;
+    (void)std::fflush(out_);
+    bool rolled_back =
+        ::truncate(path_.c_str(),
+                   static_cast<off_t>(good_offset_)) == 0;
+    if (disk_full_) {
+        sim::warn("journal '%s': append failed (%s); disk full — "
+                  "disabling persistence for this session",
+                  path_.c_str(), why);
+        std::fclose(out_);
+        out_ = nullptr;
+    } else if (!rolled_back) {
+        sim::warn("journal '%s': append failed (%s) and the torn "
+                  "record cannot be rolled back (%s); disabling "
+                  "persistence for this session", path_.c_str(), why,
+                  std::strerror(errno));
+        std::fclose(out_);
+        out_ = nullptr;
+    } else {
+        // Transient failure, clean rollback: the stream is in append
+        // mode, so the next write lands at the restored end of file.
+        sim::warn("journal '%s': append failed (%s); rolled back to "
+                  "last good record boundary", path_.c_str(), why);
+    }
 }
 
 bool
@@ -582,7 +732,8 @@ Journal::compact(
         return false;
     obs::Span span("exec.journal",
                    "compact to=" + std::to_string(entries.size()));
-    std::string content = headerBytes();
+    std::string content =
+        headerBytes(static_cast<std::uint32_t>(entries.size()));
     for (const auto &[key, result] : entries) {
         std::string payload = encodeJournalPayload(key, result);
         putU32(content, static_cast<std::uint32_t>(payload.size()));
@@ -593,11 +744,14 @@ Journal::compact(
     // can land on the unlinked inode.
     std::fclose(out_);
     out_ = nullptr;
-    if (!atomicWrite(path_, content)) {
+    bool replaced = atomicWrite(path_, content);
+    if (!replaced) {
         sim::warn("journal '%s': compaction rewrite failed; keeping "
                   "the uncompacted file", path_.c_str());
+        ++write_errors_;
     } else {
         records_ = entries.size();
+        good_offset_ = content.size();
         ++compactions_;
     }
     out_ = std::fopen(path_.c_str(), "ab");
@@ -605,9 +759,10 @@ Journal::compact(
         sim::warn("journal '%s': cannot reopen for append after "
                   "compaction (%s); disabling persistence",
                   path_.c_str(), std::strerror(errno));
+        ++write_errors_;
         return false;
     }
-    return true;
+    return replaced;
 }
 
 JournalVerifyReport
@@ -635,6 +790,14 @@ Journal::verify(const std::string &dir)
     std::size_t end = scanRecords(buf, &records, &rep.error, nullptr);
     rep.valid_records = records;
     rep.valid_bytes = end;
+    rep.committed_records = committedCount(buf);
+    if (rep.error.empty() && rep.valid_records < rep.committed_records) {
+        std::ostringstream os;
+        os << "tail truncated on a record boundary: header commits "
+           << rep.committed_records << " record(s), replay found "
+           << rep.valid_records;
+        rep.error = os.str();
+    }
     return rep;
 }
 

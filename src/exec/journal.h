@@ -10,7 +10,10 @@
  *
  * File format (`journal.mlps`, little-endian):
  *
- *   header  : 8-byte magic "mlpsjnl1", u32 format version, u32 zero
+ *   header  : 8-byte magic "mlpsjnl1", u32 format version,
+ *             u32 committed record count (0 = unknown; stamped on
+ *             clean close, compaction and recovery rewrite so verify
+ *             can detect a tail truncated on a record boundary)
  *   record* : u32 payload length, u32 CRC32(payload), payload
  *   payload : fingerprint (2 x u64) + encoded RunResult
  *
@@ -62,12 +65,23 @@ struct JournalVerifyReport {
     bool exists = false;       ///< journal file present
     bool header_ok = false;    ///< magic and version match
     std::size_t valid_records = 0;
+    /**
+     * Record count the header committed at the last clean close,
+     * compaction or recovery rewrite; 0 = unknown (journal written
+     * before the field existed, or never cleanly closed). When the
+     * file structure is clean but valid_records < committed_records,
+     * the tail was truncated exactly on a record boundary — a loss
+     * no framing or CRC check can see.
+     */
+    std::size_t committed_records = 0;
     std::uint64_t valid_bytes = 0; ///< header + valid records
     std::uint64_t total_bytes = 0; ///< file size
     std::string error;         ///< first corruption found, empty if clean
 
     bool corrupt() const {
-        return exists && (!header_ok || valid_bytes != total_bytes);
+        return exists &&
+               (!header_ok || valid_bytes != total_bytes ||
+                valid_records < committed_records);
     }
 };
 
@@ -137,6 +151,20 @@ class Journal
     /** Appends dropped because the journal is read-only. */
     std::uint64_t skippedAppends() const { return skipped_appends_; }
 
+    /**
+     * Failed write/fsync/rename operations (real or chaos-injected).
+     * Every failure is rolled back to the last good record boundary,
+     * so a nonzero count never implies a torn file.
+     */
+    std::uint64_t writeErrors() const { return write_errors_; }
+
+    /** An append failed with ENOSPC; persistence was disabled. */
+    bool diskFull() const { return disk_full_; }
+
+    /** Appends currently reach the file (writer lock held, no fatal
+     *  I/O error so far, no injected crash). */
+    bool persistent() const { return out_ != nullptr; }
+
     /** Directory this journal lives in. */
     const std::string &dir() const { return dir_; }
 
@@ -165,6 +193,7 @@ class Journal
   private:
     void acquireLock();
     void releaseLock();
+    void commitHeader();
 
     std::string dir_;
     std::string path_;
@@ -174,6 +203,12 @@ class Journal
     std::uint64_t skipped_appends_ = 0;
     std::size_t records_ = 0;       ///< records currently in the file
     std::uint64_t compactions_ = 0; ///< compaction passes completed
+    std::uint64_t write_errors_ = 0;
+    bool disk_full_ = false;
+    bool crashed_ = false; ///< chaos killed the stream mid-record
+    /** End of the last fully written record: failed appends are
+     *  rolled back to this offset. */
+    std::uint64_t good_offset_ = 0;
 };
 
 /** Encode one journal payload (fingerprint + result). */

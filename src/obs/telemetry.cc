@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "chaos/hooks.h"
 #include "obs/registry.h"
 #include "obs/span.h"
 #include "sim/logger.h"
@@ -17,6 +18,14 @@ TelemetrySession *g_current = nullptr;
 bool
 writeText(const std::string &path, const std::string &text)
 {
+    if (chaos::FsHooks *h = chaos::fsHooks();
+        h && h->onArtifactWrite(path)) {
+        // Telemetry is best-effort by design: a failed artifact write
+        // is reported, never fatal, and never corrupts the run.
+        sim::warn("telemetry: cannot write '%s' (injected fault)",
+                  path.c_str());
+        return false;
+    }
     std::ofstream out(path);
     if (!out) {
         sim::warn("telemetry: cannot write '%s'", path.c_str());

@@ -15,7 +15,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "chaos/hooks.h"
 #include "obs/registry.h"
+#include "sim/counters.h"
 #include "sim/logger.h"
 
 namespace mlps::serve {
@@ -39,8 +41,14 @@ monotonicSeconds()
 {
     struct timespec ts;
     clock_gettime(CLOCK_MONOTONIC, &ts);
-    return static_cast<double>(ts.tv_sec) +
-           static_cast<double>(ts.tv_nsec) * 1e-9;
+    double now = static_cast<double>(ts.tv_sec) +
+                 static_cast<double>(ts.tv_nsec) * 1e-9;
+    // Chaos clock jitter: admission and drain logic must tolerate a
+    // perturbed monotonic reading (TokenBucket already clamps
+    // backwards time).
+    if (chaos::ClockHooks *h = chaos::clockHooks())
+        now = h->onMonotonic(now);
+    return now;
 }
 
 } // namespace
@@ -268,6 +276,13 @@ class Loop
 
     const TcpServerConfig &cfg_;
     ServeCore core_;
+    /** Sessions closed because the peer vanished mid-write (EPIPE /
+     *  ECONNRESET on send, real or injected). */
+    sim::Counter epipe_;
+    obs::MetricRegistry::Registration epipe_reg_ =
+        obs::MetricRegistry::global().registerCounter(
+            "serve.sessions.epipe", &epipe_,
+            obs::Volatility::Volatile);
     int listen_fd_ = -1;
     int bound_port_ = 0;
     int pipe_rd_ = -1;
@@ -333,14 +348,30 @@ void
 Loop::flushSession(Session &s)
 {
     while (!s.outbox.empty()) {
-        ssize_t n = ::send(s.fd, s.outbox.data(), s.outbox.size(),
-                           MSG_NOSIGNAL);
+        std::size_t want = s.outbox.size();
+        if (chaos::NetHooks *h = chaos::netHooks()) {
+            want = std::min(want, h->onSend(s.fd, want));
+            if (want == 0) {
+                // Injected EPIPE: the peer vanished mid-write.
+                epipe_.add(1.0);
+                s.closing = true;
+                s.outbox.clear();
+                return;
+            }
+        }
+        ssize_t n =
+            ::send(s.fd, s.outbox.data(), want, MSG_NOSIGNAL);
         if (n > 0) {
             s.outbox.erase(0, static_cast<std::size_t>(n));
             continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
             return; // poll will retry via POLLOUT
+        // SIGPIPE is ignored and sends use MSG_NOSIGNAL, so a dead
+        // peer surfaces here as EPIPE/ECONNRESET: count it and close
+        // this session only — never the process.
+        if (n < 0 && (errno == EPIPE || errno == ECONNRESET))
+            epipe_.add(1.0);
         s.closing = true; // peer vanished; reads will reap it
         s.outbox.clear();
         return;
@@ -371,6 +402,14 @@ Loop::readSession(Session &s)
     for (;;) {
         ssize_t n = ::recv(s.fd, buf, sizeof(buf), 0);
         if (n > 0) {
+            // Chaos taps: byte-level fuzzing of inbound traffic, and
+            // forced mid-line disconnects after this chunk.
+            bool chaos_drop = false;
+            if (chaos::NetHooks *h = chaos::netHooks()) {
+                h->onRecvBytes(s.fd, buf,
+                               static_cast<std::size_t>(n));
+                chaos_drop = h->onRecvDisconnect(s.fd);
+            }
             std::vector<std::string> lines;
             if (!s.lines.feed(buf, static_cast<std::size_t>(n),
                               &lines)) {
@@ -384,6 +423,11 @@ Loop::readSession(Session &s)
                 if (line.empty())
                     continue;
                 core_.handleLine(s.client, line, now);
+            }
+            if (chaos_drop) {
+                s.closing = true;
+                s.outbox.clear();
+                return;
             }
             if (s.closing)
                 return;

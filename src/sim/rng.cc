@@ -129,4 +129,18 @@ Rng::fork()
     return Rng(next());
 }
 
+Rng
+RngStreams::stream(std::string_view label) const
+{
+    // FNV-1a over the label, decorrelated from the seed through one
+    // splitmix64 step so "a"/"b" do not yield adjacent seeds.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : label) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    std::uint64_t x = seed_ ^ h;
+    return Rng(splitmix64(x));
+}
+
 } // namespace mlps::sim

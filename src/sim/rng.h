@@ -13,6 +13,7 @@
 #define MLPSIM_SIM_RNG_H
 
 #include <cstdint>
+#include <string_view>
 
 namespace mlps::sim {
 
@@ -65,6 +66,33 @@ class Rng
 
   private:
     std::uint64_t s_[4];
+};
+
+/**
+ * Label-keyed family of decorrelated Rng streams.
+ *
+ * Rng::fork() derives children by consuming parent state, so the
+ * stream a component receives depends on *fork call order* — fine
+ * within one component, fragile across subsystems that evolve
+ * independently. RngStreams instead derives each stream from
+ * (seed, label): `streams.stream("fs")` yields the same generator no
+ * matter how many other streams were taken before it, so adding a new
+ * consumer never perturbs existing ones. The chaos layer keys its
+ * fault schedules this way ("fs", "net", "clock", "requests", ...) to
+ * keep soak runs replayable across code changes.
+ */
+class RngStreams
+{
+  public:
+    explicit RngStreams(std::uint64_t seed) : seed_(seed) {}
+
+    /** The stream named `label`: a pure function of (seed, label). */
+    Rng stream(std::string_view label) const;
+
+    std::uint64_t seed() const { return seed_; }
+
+  private:
+    std::uint64_t seed_;
 };
 
 } // namespace mlps::sim

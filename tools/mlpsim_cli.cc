@@ -15,9 +15,13 @@
  *   mlpsim cache stats|verify|clear --cache-dir DIR
  *   mlpsim serve [--listen HOST:PORT] [--port-file FILE]
  *                [--cache-dir DIR] [--cache-max-entries N]
- *                [--cache-max-bytes B] [--jobs N] [...]
+ *                [--cache-max-bytes B] [--jobs N]
+ *                [--chaos fs,net,clock --chaos-seed S] [...]
  *   mlpsim query <workload...> --connect HOST:PORT | --port-file FILE
  *                [--local] [--system NAME] [--gpus N] [...]
+ *   mlpsim soak [--seed S] [--ops N] [--chaos fs,net,clock]
+ *               [--cycles K] [--clients C] [--jobs N]
+ *               [--cache-dir DIR]
  *
  * Every subcommand additionally accepts --telemetry-dir DIR: the
  * invocation then writes a provenance manifest, metric snapshots
@@ -25,9 +29,10 @@
  * DIR (see docs/OBSERVABILITY.md).
  *
  * Exit codes: 0 success, 2 usage error, 3 configuration error,
- * 4 report written but degraded (some runs failed, or the cache is
- * busy under a live server), 5 cache corruption detected by `cache
- * verify`, 6 query rejected by an overloaded server.
+ * 4 report written but degraded (some runs failed, the cache is busy
+ * under a live server, or a soak invariant failed), 5 cache
+ * corruption detected by `cache verify`, 6 query rejected by an
+ * overloaded server, 7 journal writes lost to a full disk.
  */
 
 #include <cctype>
@@ -40,6 +45,9 @@
 #include <string>
 #include <vector>
 
+#include "chaos/hooks.h"
+#include "chaos/schedule.h"
+#include "chaos/soak.h"
 #include "core/characterize.h"
 #include "core/report.h"
 #include "core/suite.h"
@@ -71,6 +79,7 @@ constexpr int kConfig = 3;   ///< bad configuration (unknown system, ...)
 constexpr int kDegraded = 4; ///< degraded report, or cache busy
 constexpr int kCorrupt = 5;  ///< cache verify found corruption
 constexpr int kOverloaded = 6; ///< query rejected: server overloaded
+constexpr int kDiskFull = 7; ///< journal writes lost: disk full
 
 /** Invocation error: wrong arguments rather than wrong values. */
 struct UsageError : std::runtime_error {
@@ -225,6 +234,25 @@ makeEngine(const Args &args,
     eopts.on_error = policy;
     fillCacheBudget(args, &eopts);
     return exec::Engine(std::move(eopts));
+}
+
+/**
+ * Disk-full is worse than degraded: results already printed are fine,
+ * but the journal silently stopped persisting, so the next run will
+ * re-simulate. Escalate the exit code and say so.
+ */
+int
+diskFullExit(const exec::Engine &engine, int rc)
+{
+    const exec::Journal *j = engine.journal();
+    if (!j || !j->diskFull())
+        return rc;
+    std::fprintf(stderr,
+                 "mlpsim: error: journal disk full: %llu write "
+                 "error(s); results were NOT persisted to the cache "
+                 "directory\n",
+                 static_cast<unsigned long long>(j->writeErrors()));
+    return kDiskFull;
 }
 
 /** Copy an engine's provenance into the live telemetry session. */
@@ -472,7 +500,7 @@ cmdScaling(const Args &args)
             std::printf("  %6.2fx", r.scaling.at(counts[i]));
         std::printf("\n");
     }
-    return 0;
+    return diskFullExit(engine, kOk);
 }
 
 int
@@ -495,7 +523,7 @@ cmdSchedule(const Args &args)
                 naive.makespan() / 3600.0, opt.makespan_s / 3600.0,
                 (naive.makespan() - opt.makespan_s) / 3600.0,
                 sched::renderGantt(opt.schedule).c_str());
-    return 0;
+    return diskFullExit(engine, kOk);
 }
 
 int
@@ -523,7 +551,7 @@ cmdCharacterize(const Args &args)
     std::printf("\nPC1-PC4 cumulative variance: %.1f%%\n",
                 100.0 * rep.pca.cumulativeVariance(4));
     std::fprintf(stderr, "%s\n", engine.summary().c_str());
-    return 0;
+    return diskFullExit(engine, kOk);
 }
 
 int
@@ -572,9 +600,9 @@ cmdReport(const Args &args)
             std::fprintf(stderr, "  %s on %s (%d GPUs): %s: %s\n",
                          e.workload.c_str(), e.system.c_str(),
                          e.num_gpus, e.reason.c_str(), e.what.c_str());
-        return kDegraded;
+        return diskFullExit(engine, kDegraded);
     }
-    return kOk;
+    return diskFullExit(engine, kOk);
 }
 
 int
@@ -703,9 +731,77 @@ cmdServe(const Args &args)
         sim::fatal("--deadline-s/--drain-timeout-s: need values "
                    ">= 0");
 
+    // --chaos turns the live server hostile to itself: the listed
+    // fault dimensions are injected into its own I/O, sockets and
+    // clock — a way to watch recovery behaviour interactively with
+    // the exact schedule a seed would give the soak harness.
+    chaos::ChaosSpec spec;
+    if (args.has("chaos")) {
+        std::string cerr_msg;
+        if (!chaos::ChaosSpec::parse(args.get("chaos", ""), &spec,
+                                     &cerr_msg))
+            sim::fatal("--chaos %s: %s", args.get("chaos", "").c_str(),
+                       cerr_msg.c_str());
+    }
+    std::uint64_t chaos_seed =
+        static_cast<std::uint64_t>(args.getInt("chaos-seed", 42));
+    std::unique_ptr<chaos::ScheduledFsHooks> fs_hooks;
+    std::unique_ptr<chaos::ScheduledNetHooks> net_hooks;
+    std::unique_ptr<chaos::ScheduledClockHooks> clock_hooks;
+    if (spec.fs)
+        fs_hooks =
+            std::make_unique<chaos::ScheduledFsHooks>(chaos_seed);
+    if (spec.net)
+        net_hooks =
+            std::make_unique<chaos::ScheduledNetHooks>(chaos_seed);
+    if (spec.clock)
+        clock_hooks =
+            std::make_unique<chaos::ScheduledClockHooks>(chaos_seed);
+    chaos::ScopedChaos installed(fs_hooks.get(), net_hooks.get(),
+                                 clock_hooks.get());
+    if (spec.any())
+        std::fprintf(stderr,
+                     "serve: chaos injection active (%s, seed %llu)\n",
+                     spec.canonical().c_str(),
+                     static_cast<unsigned long long>(chaos_seed));
+
     return serve::runTcpServer(cfg, [](serve::ServeCore &core) {
         noteEngine(core.engine());
     });
+}
+
+int
+cmdSoak(const Args &args)
+{
+    chaos::SoakOptions opts;
+    opts.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+    int ops = args.getInt("ops", 300);
+    if (ops < 1)
+        sim::fatal("--ops %d: need at least one operation", ops);
+    opts.ops = static_cast<std::size_t>(ops);
+    std::string spec = args.get("chaos", "all");
+    std::string cerr_msg;
+    if (!chaos::ChaosSpec::parse(spec, &opts.chaos, &cerr_msg))
+        sim::fatal("--chaos %s: %s", spec.c_str(), cerr_msg.c_str());
+    opts.jobs = jobsFrom(args);
+    opts.cache_dir = args.get("cache-dir", "mlpsim-soak-cache");
+    if (opts.cache_dir.empty())
+        throw UsageError("soak: --cache-dir must not be empty (the "
+                         "directory is wiped and reused)");
+    int clients = args.getInt("clients", 4);
+    int cycles = args.getInt("cycles", 3);
+    if (clients < 1 || cycles < 1)
+        sim::fatal("--clients/--cycles: need positive values");
+    opts.clients = static_cast<std::size_t>(clients);
+    opts.cycles = static_cast<std::size_t>(cycles);
+
+    chaos::SoakReport report = chaos::runSoak(opts);
+    std::fputs(report.text.c_str(), stdout);
+    if (!report.pass)
+        std::fprintf(stderr, "mlpsim: error: soak failed (seed %llu); "
+                     "the report above lists the broken invariant\n",
+                     static_cast<unsigned long long>(opts.seed));
+    return report.pass ? kOk : kDegraded;
 }
 
 /** Build the JSON run request the query command sends (or, with
@@ -799,7 +895,7 @@ queryLocal(const Args &args,
     for (const auto &r : responses)
         worst = std::max(worst, printQueryResponse(r));
     std::fprintf(stderr, "%s\n", engine.summary().c_str());
-    return worst;
+    return diskFullExit(engine, worst);
 }
 
 /**
@@ -954,11 +1050,15 @@ usage()
         "             [--jobs N] [--rate R] [--burst B]\n"
         "             [--max-queued N] [--weight W] [--max-batch N]\n"
         "             [--deadline-s D] [--drain-timeout-s D]\n"
+        "             [--chaos fs,net,clock [--chaos-seed S]]\n"
         "  mlpsim query <workload...> --connect HOST:PORT\n"
         "             | --port-file FILE [--wait-s S] | --local\n"
         "             [--system NAME] [--gpus N] [--precision P]\n"
         "             [--reference] [--deadline-s D] [--stats]\n"
-        "             [--ping]  (docs/SERVICE.md)\n\n"
+        "             [--ping]  (docs/SERVICE.md)\n"
+        "  mlpsim soak [--seed S] [--ops N] [--chaos fs,net,clock]\n"
+        "             [--cycles K] [--clients C] [--jobs N]\n"
+        "             [--cache-dir DIR]  (docs/CHAOS.md)\n\n"
         "--system NAME accepts a machine name, 'reference', or the\n"
         "pod grammar pod(<box>,<racks>x<nodes>[,spines=S]) — e.g.\n"
         "--system 'pod(C4140 (M),4x4)' ('mlpsim list' for details).\n\n"
@@ -969,8 +1069,9 @@ usage()
         "manifest, metric snapshots, a harness self-trace and a\n"
         "structured log into DIR (docs/OBSERVABILITY.md).\n\n"
         "Exit codes: 0 ok, 2 usage, 3 configuration, 4 degraded\n"
-        "report or busy cache, 5 corrupt cache, 6 overloaded "
-        "server.\n");
+        "report, busy cache or failed soak, 5 corrupt cache,\n"
+        "6 overloaded server, 7 journal writes lost to a full "
+        "disk.\n");
 }
 
 } // namespace
@@ -1020,6 +1121,8 @@ main(int argc, char **argv)
             return cmdServe(args);
         if (cmd == "query")
             return cmdQuery(args);
+        if (cmd == "soak")
+            return cmdSoak(args);
         throw UsageError("unknown command '" + cmd + "'");
     } catch (const UsageError &e) {
         std::fprintf(stderr, "mlpsim: error: %s\n", e.what());
