@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Importer throughput: parse+validate MB/s over the largest built-in
+ * export, accept and reject paths, pretty and compact forms.
+ *
+ * CI runs this as a gate: hardened parsing is allowed to cost, but
+ * not to collapse — the bench exits non-zero when the accept path
+ * drops under a floor far below any measured machine, so a quadratic
+ * regression in validation (the classic hardening bug) fails the
+ * pipeline instead of landing.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "wl/import/exporter.h"
+#include "wl/import/importer.h"
+
+namespace {
+
+using namespace mlps;
+using clock_type = std::chrono::steady_clock;
+
+/** Accept-path floor, MB/s; conservative by ~2 orders of magnitude. */
+constexpr double kMinAcceptMBps = 2.0;
+
+struct Sample {
+    const char *label;
+    double mbps = 0.0;
+    int iterations = 0;
+};
+
+Sample
+timeImports(const char *label, const std::string &doc, bool expect_ok,
+            int iterations)
+{
+    auto t0 = clock_type::now();
+    for (int i = 0; i < iterations; ++i) {
+        wl::import::ImportResult res = wl::import::importWorkload(doc);
+        if (res.ok != expect_ok) {
+            std::fprintf(stderr, "%s: unexpected %s\n", label,
+                         res.ok ? "accept" : "reject");
+            std::exit(1);
+        }
+    }
+    double s = std::chrono::duration<double>(clock_type::now() - t0)
+                   .count();
+    Sample out;
+    out.label = label;
+    out.iterations = iterations;
+    out.mbps = s > 0.0
+                   ? doc.size() * iterations / s / 1e6
+                   : 0.0;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    core::Registry reg;
+    // The largest export stresses the per-op loop; the matching
+    // compact form isolates whitespace handling.
+    std::string biggest;
+    std::string biggest_name;
+    for (const core::Benchmark &b : reg.all()) {
+        std::string text = wl::import::exportWorkload(b.spec());
+        if (text.size() > biggest.size()) {
+            biggest = std::move(text);
+            biggest_name = b.abbrev();
+        }
+    }
+    std::string compact;
+    if (const core::Benchmark *b = reg.find(biggest_name))
+        compact = wl::import::exportWorkloadLine(b->spec());
+
+    // Reject paths: a syntax error found early, and a semantic pass
+    // that walks the whole document before failing.
+    std::string truncated = biggest.substr(0, biggest.size() / 2);
+    std::string semantic = biggest;
+    std::size_t at = semantic.find("\"dataset\"");
+    if (at == std::string::npos) {
+        std::fprintf(stderr, "export of %s lacks a dataset stanza\n",
+                     biggest_name.c_str());
+        return 1;
+    }
+    semantic.replace(at, 9, "\"datasex\"");
+
+    std::printf("workload import throughput (%s, %zu bytes)\n\n",
+                biggest_name.c_str(), biggest.size());
+    std::printf("%-22s %10s %12s\n", "path", "iters", "MB/s");
+
+    std::vector<Sample> samples;
+    samples.push_back(
+        timeImports("accept/pretty", biggest, true, 200));
+    samples.push_back(
+        timeImports("accept/compact", compact, true, 200));
+    samples.push_back(
+        timeImports("reject/syntax", truncated, false, 200));
+    samples.push_back(
+        timeImports("reject/semantic", semantic, false, 200));
+    for (const Sample &s : samples)
+        std::printf("%-22s %10d %12.1f\n", s.label, s.iterations,
+                    s.mbps);
+
+    if (samples[0].mbps < kMinAcceptMBps) {
+        std::fprintf(stderr,
+                     "\nFAIL: accept path %.2f MB/s under the %.1f "
+                     "MB/s floor\n",
+                     samples[0].mbps, kMinAcceptMBps);
+        return 1;
+    }
+    std::printf("\nPASS: accept path clears the %.1f MB/s floor\n",
+                kMinAcceptMBps);
+    return 0;
+}

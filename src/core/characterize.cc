@@ -11,9 +11,12 @@ namespace mlps::core {
 
 CharacterizationReport
 characterize(const sys::SystemConfig &system, int num_gpus,
-             exec::Engine *engine)
+             exec::Engine *engine,
+             const std::vector<wl::WorkloadSpec> &extra)
 {
     Registry registry;
+    for (const wl::WorkloadSpec &spec : extra)
+        registry.add(spec);
     exec::Engine local(exec::ExecOptions{1});
     exec::Engine &eng = engine ? *engine : local;
 

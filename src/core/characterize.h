@@ -73,10 +73,13 @@ struct CharacterizationReport {
  * @param num_gpus GPU count of the measurement runs.
  * @param engine   engine to batch the runs through; nullptr uses a
  *                 private serial engine.
+ * @param extra    imported workloads characterized alongside the
+ *                 built-in population (rows append in given order).
  */
-CharacterizationReport characterize(const sys::SystemConfig &system,
-                                    int num_gpus = 1,
-                                    exec::Engine *engine = nullptr);
+CharacterizationReport
+characterize(const sys::SystemConfig &system, int num_gpus = 1,
+             exec::Engine *engine = nullptr,
+             const std::vector<wl::WorkloadSpec> &extra = {});
 
 /**
  * Mean PC-score separation between two suites on one component —

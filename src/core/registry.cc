@@ -1,6 +1,7 @@
 #include "core/registry.h"
 
 #include "models/zoo.h"
+#include "sim/logger.h"
 #include "sim/strings.h"
 
 namespace mlps::core {
@@ -9,6 +10,17 @@ Registry::Registry()
 {
     for (auto &spec : models::allWorkloads())
         benchmarks_.emplace_back(std::move(spec));
+}
+
+void
+Registry::add(wl::WorkloadSpec spec)
+{
+    if (find(spec.abbrev))
+        sim::fatal("registry: workload \"%s\" is already registered "
+                   "(imported workloads may not shadow existing "
+                   "names)",
+                   spec.abbrev.c_str());
+    benchmarks_.emplace_back(std::move(spec));
 }
 
 std::vector<const Benchmark *>

@@ -15,7 +15,11 @@
 
 namespace mlps::core {
 
-/** Immutable registry of the fifteen study workloads. */
+/**
+ * Registry of the study workloads (Table II), optionally extended
+ * with imported ones. Built-ins are fixed; add() appends validated
+ * imported specs so every sweep and lookup treats them uniformly.
+ */
 class Registry
 {
   public:
@@ -24,6 +28,16 @@ class Registry
 
     /** All benchmarks, MLPerf first. */
     const std::vector<Benchmark> &all() const { return benchmarks_; }
+
+    /**
+     * Register an additional (imported) workload. The spec must
+     * already be valid — the Benchmark constructor fatals otherwise —
+     * and its abbrev must not collide with a registered one (fatal;
+     * imported files may not shadow built-ins or each other).
+     * Pointers previously returned by find()/bySuite() are
+     * invalidated, so add every workload before the first lookup.
+     */
+    void add(wl::WorkloadSpec spec);
 
     /** Benchmarks belonging to one suite. */
     std::vector<const Benchmark *> bySuite(wl::SuiteTag tag) const;

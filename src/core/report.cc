@@ -369,6 +369,47 @@ appendPodScale(std::ostringstream &os, Suite &suite,
           "layer and the oversubscribed column falls behind.\n\n";
 }
 
+void
+appendImported(std::ostringstream &os, Suite &suite,
+               exec::Engine &engine, const ReportOptions &opts)
+{
+    os << "## Imported workloads (" << suite.system().name
+       << ", minutes)\n\n";
+    if (!opts.imported.empty()) {
+        os << "| Workload | 1 GPU | 2 GPUs | 4 GPUs | 8 GPUs |\n"
+           << "|---|---|---|---|---|\n";
+        const std::vector<int> counts = {1, 2, 4, 8};
+        std::vector<exec::RunRequest> batch;
+        for (const wl::WorkloadSpec &spec : opts.imported) {
+            for (int n : counts) {
+                train::RunOptions ropts;
+                ropts.num_gpus = n;
+                batch.push_back(suite.request(spec.abbrev, ropts));
+            }
+        }
+        auto results = engine.run(std::move(batch));
+        std::size_t i = 0;
+        for (const wl::WorkloadSpec &spec : opts.imported) {
+            os << "| " << spec.abbrev << " |";
+            for (std::size_t c = 0; c < counts.size(); ++c) {
+                const exec::RunResult &r = results[i++];
+                os << " "
+                   << cell(r.train.totalMinutes(), "%.1f",
+                           r.error ? r.error->reason : std::string())
+                   << " |";
+            }
+            os << "\n";
+        }
+        os << "\n";
+    }
+    if (!opts.rejected_files.empty()) {
+        os << "Rejected workload files (quarantined, not run):\n\n";
+        for (const std::string &f : opts.rejected_files)
+            os << "- ERROR(rejected): " << f << "\n";
+        os << "\n";
+    }
+}
+
 /**
  * Append the "Degraded runs" appendix for failures captured while
  * rendering this document: the slice of the engine's degraded log
@@ -436,6 +477,8 @@ generateStudyReport(const ReportOptions &opts, exec::Engine &engine)
     std::ostringstream os;
     sys::SystemConfig dss = sys::dss8440();
     Suite suite(dss);
+    for (const wl::WorkloadSpec &spec : opts.imported)
+        suite.addWorkload(spec);
 
     // Only failures captured during *this* document belong in its
     // appendix; the engine may have prior batches behind it.
@@ -472,6 +515,9 @@ generateStudyReport(const ReportOptions &opts, exec::Engine &engine)
     if (opts.include_pod_scale)
         section("pod_scale",
                 [&] { appendPodScale(os, suite, engine); });
+    if (!opts.imported.empty() || !opts.rejected_files.empty())
+        section("imported",
+                [&] { appendImported(os, suite, engine, opts); });
     appendDegradedRuns(os, engine, degraded_mark);
     return os.str();
 }

@@ -16,6 +16,9 @@
 #define MLPSIM_CORE_REPORT_H
 
 #include <string>
+#include <vector>
+
+#include "wl/workload.h"
 
 namespace mlps::exec {
 class Engine;
@@ -62,6 +65,20 @@ struct ReportOptions {
      * explicitly.
      */
     std::string cache_dir;
+    /**
+     * Imported workloads (--workload-file), already validated by
+     * wl::import. Each gets an "Imported workloads" table row swept
+     * over 1/2/4/8 GPUs on the report system; failed points render
+     * as ERROR cells like any built-in's.
+     */
+    std::vector<wl::WorkloadSpec> imported;
+    /**
+     * Rejected workload files, as display strings ("<path>:
+     * <summary>"). Rendered in the imported section so a sweep over
+     * many files documents its casualties; their presence marks the
+     * report degraded (exit code semantics are the CLI's concern).
+     */
+    std::vector<std::string> rejected_files;
 };
 
 /**

@@ -64,6 +64,16 @@ class Suite
     const Registry &registry() const { return registry_; }
 
     /**
+     * Register an imported workload so every sweep can address it by
+     * abbreviation, exactly like a built-in. Call before the first
+     * run (Registry::add invalidates earlier lookups).
+     */
+    void addWorkload(wl::WorkloadSpec spec)
+    {
+        registry_.add(std::move(spec));
+    }
+
+    /**
      * Build the declarative request for one benchmark on this
      * system — the unit every sweep below is assembled from.
      */

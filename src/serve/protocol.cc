@@ -8,255 +8,12 @@
 
 #include "hw/precision.h"
 #include "sys/machines.h"
+#include "wl/import/diagnostics.h"
+#include "wl/import/importer.h"
 
 namespace mlps::serve {
 
 namespace {
-
-/** Nesting ceiling; hostile input fails instead of recursing away. */
-constexpr int kMaxDepth = 32;
-
-/** Recursive-descent JSON parser over one document. */
-class Parser
-{
-  public:
-    Parser(const std::string &text, std::string *error)
-        : s_(text), error_(error) {}
-
-    bool
-    parseDocument(Json *out)
-    {
-        skipWs();
-        if (!parseValue(out, 0))
-            return false;
-        skipWs();
-        if (pos_ != s_.size())
-            return fail("trailing characters after document");
-        return true;
-    }
-
-  private:
-    bool
-    fail(const std::string &why)
-    {
-        if (error_ && error_->empty()) {
-            char where[32];
-            std::snprintf(where, sizeof(where), " at byte %zu", pos_);
-            *error_ = why + where;
-        }
-        return false;
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                s_[pos_] == '\n' || s_[pos_] == '\r'))
-            ++pos_;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        std::size_t n = std::strlen(word);
-        if (s_.compare(pos_, n, word) != 0)
-            return fail("unrecognized token");
-        pos_ += n;
-        return true;
-    }
-
-    bool
-    parseValue(Json *out, int depth)
-    {
-        if (depth > kMaxDepth)
-            return fail("nesting too deep");
-        if (pos_ >= s_.size())
-            return fail("unexpected end of input");
-        switch (s_[pos_]) {
-        case '{':
-            return parseObject(out, depth);
-        case '[':
-            return parseArray(out, depth);
-        case '"':
-            out->kind = Json::Kind::String;
-            return parseString(&out->str);
-        case 't':
-            out->kind = Json::Kind::Bool;
-            out->boolean = true;
-            return literal("true");
-        case 'f':
-            out->kind = Json::Kind::Bool;
-            out->boolean = false;
-            return literal("false");
-        case 'n':
-            out->kind = Json::Kind::Null;
-            return literal("null");
-        default:
-            return parseNumber(out);
-        }
-    }
-
-    bool
-    parseObject(Json *out, int depth)
-    {
-        out->kind = Json::Kind::Object;
-        ++pos_; // '{'
-        skipWs();
-        if (pos_ < s_.size() && s_[pos_] == '}') {
-            ++pos_;
-            return true;
-        }
-        for (;;) {
-            skipWs();
-            if (pos_ >= s_.size() || s_[pos_] != '"')
-                return fail("expected object key");
-            std::string key;
-            if (!parseString(&key))
-                return false;
-            skipWs();
-            if (pos_ >= s_.size() || s_[pos_] != ':')
-                return fail("expected ':'");
-            ++pos_;
-            skipWs();
-            Json value;
-            if (!parseValue(&value, depth + 1))
-                return false;
-            out->object.emplace_back(std::move(key), std::move(value));
-            skipWs();
-            if (pos_ < s_.size() && s_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (pos_ < s_.size() && s_[pos_] == '}') {
-                ++pos_;
-                return true;
-            }
-            return fail("expected ',' or '}'");
-        }
-    }
-
-    bool
-    parseArray(Json *out, int depth)
-    {
-        out->kind = Json::Kind::Array;
-        ++pos_; // '['
-        skipWs();
-        if (pos_ < s_.size() && s_[pos_] == ']') {
-            ++pos_;
-            return true;
-        }
-        for (;;) {
-            skipWs();
-            Json value;
-            if (!parseValue(&value, depth + 1))
-                return false;
-            out->array.push_back(std::move(value));
-            skipWs();
-            if (pos_ < s_.size() && s_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (pos_ < s_.size() && s_[pos_] == ']') {
-                ++pos_;
-                return true;
-            }
-            return fail("expected ',' or ']'");
-        }
-    }
-
-    bool
-    parseString(std::string *out)
-    {
-        ++pos_; // '"'
-        out->clear();
-        while (pos_ < s_.size()) {
-            unsigned char c = static_cast<unsigned char>(s_[pos_]);
-            if (c == '"') {
-                ++pos_;
-                return true;
-            }
-            if (c == '\\') {
-                if (pos_ + 1 >= s_.size())
-                    return fail("truncated escape");
-                char e = s_[pos_ + 1];
-                pos_ += 2;
-                switch (e) {
-                case '"': *out += '"'; break;
-                case '\\': *out += '\\'; break;
-                case '/': *out += '/'; break;
-                case 'b': *out += '\b'; break;
-                case 'f': *out += '\f'; break;
-                case 'n': *out += '\n'; break;
-                case 'r': *out += '\r'; break;
-                case 't': *out += '\t'; break;
-                case 'u': {
-                    if (pos_ + 4 > s_.size())
-                        return fail("truncated \\u escape");
-                    unsigned int cp = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        char h = s_[pos_ + i];
-                        cp <<= 4;
-                        if (h >= '0' && h <= '9')
-                            cp |= static_cast<unsigned>(h - '0');
-                        else if (h >= 'a' && h <= 'f')
-                            cp |= static_cast<unsigned>(h - 'a' + 10);
-                        else if (h >= 'A' && h <= 'F')
-                            cp |= static_cast<unsigned>(h - 'A' + 10);
-                        else
-                            return fail("bad \\u escape");
-                    }
-                    pos_ += 4;
-                    // UTF-8 encode the BMP code point (surrogate
-                    // pairs are not reassembled; each half encodes
-                    // independently, which is lossy but safe).
-                    if (cp < 0x80) {
-                        *out += static_cast<char>(cp);
-                    } else if (cp < 0x800) {
-                        *out += static_cast<char>(0xc0 | (cp >> 6));
-                        *out +=
-                            static_cast<char>(0x80 | (cp & 0x3f));
-                    } else {
-                        *out += static_cast<char>(0xe0 | (cp >> 12));
-                        *out += static_cast<char>(
-                            0x80 | ((cp >> 6) & 0x3f));
-                        *out +=
-                            static_cast<char>(0x80 | (cp & 0x3f));
-                    }
-                    break;
-                }
-                default:
-                    return fail("unknown escape");
-                }
-                continue;
-            }
-            if (c < 0x20)
-                return fail("unescaped control character");
-            *out += static_cast<char>(c);
-            ++pos_;
-        }
-        return fail("unterminated string");
-    }
-
-    bool
-    parseNumber(Json *out)
-    {
-        const char *start = s_.c_str() + pos_;
-        char *end = nullptr;
-        errno = 0;
-        double v = std::strtod(start, &end);
-        if (end == start)
-            return fail("expected a value");
-        out->kind = Json::Kind::Number;
-        out->number = v;
-        pos_ += static_cast<std::size_t>(end - start);
-        return true;
-    }
-
-    const std::string &s_;
-    std::string *error_;
-    std::size_t pos_ = 0;
-};
 
 /** Object member as string; fallback when absent or mistyped. */
 std::string
@@ -437,62 +194,6 @@ decodeTrainResult(const Json &r, train::TrainResult *t)
 
 } // namespace
 
-// ---- Json -----------------------------------------------------------
-
-bool
-Json::parse(const std::string &text, Json *out, std::string *error)
-{
-    if (error)
-        error->clear();
-    Parser p(text, error);
-    return p.parseDocument(out);
-}
-
-const Json *
-Json::find(const std::string &key) const
-{
-    if (kind != Kind::Object)
-        return nullptr;
-    for (const auto &[k, v] : object)
-        if (k == key)
-            return &v;
-    return nullptr;
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (unsigned char c : s) {
-        if (c == '"' || c == '\\') {
-            out += '\\';
-            out += static_cast<char>(c);
-        } else if (c == '\n') {
-            out += "\\n";
-        } else if (c == '\t') {
-            out += "\\t";
-        } else if (c < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out += buf;
-        } else {
-            out += static_cast<char>(c);
-        }
-    }
-    return out;
-}
-
-std::string
-jsonDouble(double v)
-{
-    if (!std::isfinite(v)) // NaN/inf are not JSON; error paths carry
-        return "0";        // their value in `what`, not in cells
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
 // ---- Catalog --------------------------------------------------------
 
 Catalog::Catalog() : machines(sys::allMachines())
@@ -567,16 +268,43 @@ parseRequest(const std::string &line, const Catalog &catalog,
 
     out->kind = ParsedRequest::Kind::Run;
     std::string workload = memberString(doc, "workload");
-    if (workload.empty()) {
+    const Json *graph_doc = doc.find("workload_graph");
+    wl::WorkloadSpec imported;
+    if (graph_doc) {
+        // An inline mlpsim-graph-v1 document instead of a registry
+        // name. It runs through the same importer as --workload-file,
+        // so a rejected graph costs one `invalid` line carrying the
+        // CLI's diagnostic vocabulary, never a simulation.
+        if (!workload.empty()) {
+            *error = "request carries both \"workload\" and "
+                     "\"workload_graph\" (give one)";
+            return false;
+        }
+        if (!graph_doc->isObject()) {
+            *error = "\"workload_graph\" must be a JSON object";
+            return false;
+        }
+        wl::import::ImportResult imp =
+            wl::import::importParsed(*graph_doc, line);
+        if (!imp.ok) {
+            *error = "workload_graph rejected: " +
+                     wl::import::summaryLine(imp);
+            return false;
+        }
+        imported = std::move(imp.spec);
+    } else if (workload.empty()) {
         *error = "run request needs a \"workload\"";
         return false;
     }
-    const core::Benchmark *b = catalog.registry.find(workload);
-    if (!b) {
-        *error = "unknown workload '" + workload + "'" +
-                 core::didYouMean(workload,
-                                  catalog.registry.names());
-        return false;
+    const core::Benchmark *b = nullptr;
+    if (!graph_doc) {
+        b = catalog.registry.find(workload);
+        if (!b) {
+            *error = "unknown workload '" + workload + "'" +
+                     core::didYouMean(workload,
+                                      catalog.registry.names());
+            return false;
+        }
     }
     std::string system = memberString(doc, "system", "DSS 8440");
     const sys::SystemConfig *machine =
@@ -607,7 +335,7 @@ parseRequest(const std::string &line, const Catalog &catalog,
     }
 
     out->run.system = *machine;
-    out->run.workload = b->spec();
+    out->run.workload = graph_doc ? std::move(imported) : b->spec();
     out->run.options.num_gpus = gpus;
     out->run.options.precision = prec;
     out->run.options.reference_code =

@@ -30,7 +30,12 @@
  * Run requests are validated exactly like the CLI path (unknown
  * workload/system get a did-you-mean, GPU counts must be a power of
  * two the machine owns), so a malformed request costs one `invalid`
- * line, never a simulation. Result doubles are rendered with %.17g,
+ * line, never a simulation. Instead of a registry "workload" name, a
+ * run request may carry "workload_graph": an inline mlpsim-graph-v1
+ * object (docs/WORKLOAD_IR.md) that runs through the same hardened
+ * importer as `--workload-file`; a rejected graph answers with the
+ * CLI's diagnostic vocabulary. The whole request still has to fit
+ * one kMaxLineBytes line. Result doubles are rendered with %.17g,
  * which round-trips IEEE doubles exactly: a decoded result is
  * bit-identical to the simulated one, extending the byte-determinism
  * guarantee across the wire (see canonicalResultLine).
@@ -47,6 +52,7 @@
 
 #include "core/registry.h"
 #include "exec/run_request.h"
+#include "sim/json.h"
 #include "sys/system_config.h"
 
 namespace mlps::serve {
@@ -59,35 +65,19 @@ constexpr std::size_t kMaxLineBytes = 64 * 1024;
 
 // ---- minimal JSON ---------------------------------------------------
 
-/** Parsed JSON value (object keys keep insertion order). */
-struct Json {
-    enum class Kind { Null, Bool, Number, String, Object, Array };
-
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string str;
-    std::vector<std::pair<std::string, Json>> object;
-    std::vector<Json> array;
-
-    /** Parse a complete JSON document. @return false + error on junk. */
-    static bool parse(const std::string &text, Json *out,
-                      std::string *error);
-
-    /** Object member by key; null when absent or not an object. */
-    const Json *find(const std::string &key) const;
-
-    bool isString() const { return kind == Kind::String; }
-    bool isNumber() const { return kind == Kind::Number; }
-    bool isBool() const { return kind == Kind::Bool; }
-    bool isObject() const { return kind == Kind::Object; }
-};
+/**
+ * The protocol's JSON vocabulary is the shared bounded parser in
+ * sim/json.h; the historical serve::Json spelling is kept as an
+ * alias. The default parse() limits (depth 32, lenient numbers) are
+ * byte-compatible with the parser that used to live here.
+ */
+using Json = sim::JsonValue;
 
 /** JSON string escaping (quotes not included). */
-std::string jsonEscape(const std::string &s);
+using sim::jsonEscape;
 
 /** Shortest round-trip rendering of a double (%.17g, bit-exact). */
-std::string jsonDouble(double v);
+using sim::jsonDouble;
 
 // ---- requests -------------------------------------------------------
 

@@ -1,0 +1,44 @@
+#include "wl/import/diagnostics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mlps::wl::import {
+
+const std::string &
+ImportResult::primaryCode() const
+{
+    static const std::string empty;
+    return diagnostics.empty() ? empty : diagnostics.front().code;
+}
+
+std::string
+renderDiagnostics(const std::string &path, const ImportResult &result)
+{
+    std::ostringstream os;
+    for (const Diagnostic &d : result.diagnostics) {
+        os << path << ":" << d.line << ":" << d.col << ": error ["
+           << d.code << "]: " << d.message << "\n";
+    }
+    if (result.truncated)
+        os << path << ": (more errors suppressed after "
+           << kMaxDiagnostics << ")\n";
+    return os.str();
+}
+
+std::string
+summaryLine(const ImportResult &result)
+{
+    if (result.diagnostics.empty())
+        return "0 error(s)";
+    const Diagnostic &d = result.diagnostics.front();
+    char head[64];
+    std::snprintf(head, sizeof(head), "%zu error(s)%s; first: ",
+                  result.diagnostics.size(),
+                  result.truncated ? "+" : "");
+    char where[48];
+    std::snprintf(where, sizeof(where), "] at %d:%d: ", d.line, d.col);
+    return std::string(head) + "[" + d.code + where + d.message;
+}
+
+} // namespace mlps::wl::import

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Structured diagnostics of the workload importer.
+ *
+ * The importer never aborts: every problem in a document becomes one
+ * Diagnostic — a stable machine-readable code, a human message, and
+ * the 1-based line/column the problem anchors to — and a rejected
+ * file carries the whole bundle (capped, oldest first). The first
+ * diagnostic is the primary one; its code is what tests and CI match
+ * on, and what the serve protocol reports for an inline graph.
+ *
+ * Codes by validation tier:
+ *   syntactic  io-error, json-syntax, doc-too-large, too-deep,
+ *              too-many-tokens, bad-number
+ *   schema     bad-format, missing-field, wrong-type, unknown-field,
+ *              duplicate-key, unknown-op-kind, unknown-suite,
+ *              unknown-mode, unknown-dtype, op-shape-conflict,
+ *              bad-shape
+ *   semantic   empty-graph, non-positive-dim, out-of-range,
+ *              dangling-tensor, tensor-redefined, graph-cycle,
+ *              shape-mismatch, resource-ceiling, dataset-required,
+ *              collective-bytes-required
+ *   internal   internal-error (a bug in the importer, not the file)
+ */
+
+#ifndef MLPSIM_WL_IMPORT_DIAGNOSTICS_H
+#define MLPSIM_WL_IMPORT_DIAGNOSTICS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "wl/workload.h"
+
+namespace mlps::wl::import {
+
+/** Ceiling on collected diagnostics per document. */
+constexpr std::size_t kMaxDiagnostics = 64;
+
+/** One importer finding. */
+struct Diagnostic {
+    std::string code;    ///< stable kebab-case code (see file docs)
+    std::string message; ///< human-readable, one line
+    int line = 1;        ///< 1-based line in the source document
+    int col = 1;         ///< 1-based column in the source document
+    std::size_t byte = 0; ///< byte offset the line/col derive from
+};
+
+/** Outcome of one import: a spec, or a bundle of diagnostics. */
+struct ImportResult {
+    bool ok = false;
+    wl::WorkloadSpec spec;  ///< valid only when ok
+    std::vector<Diagnostic> diagnostics; ///< non-empty when !ok
+    bool truncated = false; ///< bundle hit kMaxDiagnostics
+
+    /** Code of the first (primary) diagnostic; empty when ok. */
+    const std::string &primaryCode() const;
+};
+
+/**
+ * Compiler-style rendering, one line per diagnostic:
+ *   <path>:<line>:<col>: error [<code>]: <message>
+ * A trailing "(N more suppressed)" line marks a truncated bundle.
+ */
+std::string renderDiagnostics(const std::string &path,
+                              const ImportResult &result);
+
+/**
+ * One-line summary for wire errors: the diagnostic count and the
+ * primary finding, e.g.
+ *   "2 error(s); first: [unknown-op-kind] at 4:12: ...".
+ */
+std::string summaryLine(const ImportResult &result);
+
+} // namespace mlps::wl::import
+
+#endif // MLPSIM_WL_IMPORT_DIAGNOSTICS_H

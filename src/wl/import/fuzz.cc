@@ -1,0 +1,197 @@
+#include "wl/import/fuzz.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <iterator>
+#include <string>
+
+#include "sim/rng.h"
+#include "wl/import/exporter.h"
+
+namespace mlps::wl::import {
+
+namespace {
+
+/** FNV-1a over a byte string, folded into a running digest. */
+std::uint64_t
+fnv64(std::uint64_t h, const std::string &bytes)
+{
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+/** Hostile number literals mutants get spliced in. */
+const char *const kNumbers[] = {
+    "1e309",  "-1e309", "-1",      "0",     "1e-320",
+    "999999999999999999999999999", "-0.0",  "3.5e38",
+    "0x10",   "1.",     ".5",      "1e",    "NaN",
+};
+
+/** Keywords and structural fragments for splicing. */
+const char *const kFragments[] = {
+    "null", "true", "false", "{}", "[]", "\"\"", ":", ",", "{", "}",
+    "[", "]", "\"format\"", "\"ops\"", "\"shape\"", "\\u0000",
+    "\\uD800", "ÿ", "\t", "\n",
+};
+
+std::string
+mutate(std::string doc, sim::Rng *rng)
+{
+    if (doc.empty())
+        return doc;
+    switch (rng->below(9)) {
+    case 0: { // flip one byte
+        doc[rng->below(doc.size())] =
+            static_cast<char>(rng->below(256));
+        break;
+    }
+    case 1: { // delete a span
+        std::size_t at = rng->below(doc.size());
+        std::size_t len = 1 + rng->below(32);
+        doc.erase(at, len);
+        break;
+    }
+    case 2: { // duplicate a span
+        std::size_t at = rng->below(doc.size());
+        std::size_t len =
+            1 + rng->below(std::min<std::size_t>(64, doc.size() - at));
+        doc.insert(at, doc.substr(at, len));
+        break;
+    }
+    case 3: { // truncate
+        doc.resize(rng->below(doc.size()));
+        break;
+    }
+    case 4: { // insert a structural character
+        static const char kStructural[] = "{}[]\":,-.0e\\";
+        doc.insert(rng->below(doc.size() + 1), 1,
+                   kStructural[rng->below(sizeof(kStructural) - 1)]);
+        break;
+    }
+    case 5: { // replace a digit run with a hostile number
+        std::size_t at = doc.find_first_of(
+            "0123456789", rng->below(doc.size()));
+        if (at == std::string::npos)
+            break;
+        std::size_t end = doc.find_first_not_of("0123456789.eE+-", at);
+        doc.replace(at, end == std::string::npos ? doc.size() - at
+                                                 : end - at,
+                    kNumbers[rng->below(std::size(kNumbers))]);
+        break;
+    }
+    case 6: { // splice a keyword/fragment
+        const char *frag = kFragments[rng->below(std::size(kFragments))];
+        doc.insert(rng->below(doc.size() + 1), frag);
+        break;
+    }
+    case 7: { // depth bomb
+        doc.insert(rng->below(doc.size() + 1),
+                   std::string(1 + rng->below(48), '['));
+        break;
+    }
+    case 8: { // flip case of a span (breaks keywords and enums)
+        std::size_t at = rng->below(doc.size());
+        std::size_t len =
+            std::min<std::size_t>(1 + rng->below(16), doc.size() - at);
+        for (std::size_t i = at; i < at + len; ++i) {
+            unsigned char c = doc[i];
+            if (std::isalpha(c))
+                doc[i] = std::isupper(c) ? std::tolower(c)
+                                         : std::toupper(c);
+        }
+        break;
+    }
+    }
+    return doc;
+}
+
+void
+fail(FuzzReport *report, int iteration, const std::string &why)
+{
+    char head[48];
+    std::snprintf(head, sizeof(head), "iteration %d: ", iteration);
+    report->pass = false;
+    report->failure = head + why;
+}
+
+} // namespace
+
+FuzzReport
+fuzzImporter(const std::vector<std::string> &corpus,
+             const FuzzOptions &opts)
+{
+    FuzzReport report;
+    if (corpus.empty()) {
+        report.pass = false;
+        report.failure = "empty corpus";
+        return report;
+    }
+    sim::RngStreams streams(opts.seed);
+    sim::Rng pick = streams.stream("corpus");
+    sim::Rng mut = streams.stream("mutate");
+    report.digest = 0xcbf29ce484222325ULL;
+
+    for (int i = 0; i < opts.iterations; ++i) {
+        report.iterations = i + 1;
+        std::string doc = corpus[pick.below(corpus.size())];
+        const int rounds = 1 + static_cast<int>(mut.below(4));
+        for (int r = 0; r < rounds; ++r)
+            doc = mutate(std::move(doc), &mut);
+
+        ImportResult result;
+        try {
+            result = importWorkload(doc, opts.import);
+        } catch (...) {
+            fail(&report, i, "importer threw");
+            return report;
+        }
+
+        if (result.ok) {
+            ++report.accepted;
+            // Accepted mutants must sit on the canonical-form
+            // fixpoint: export -> import -> export is byte-stable.
+            const std::string out = exportWorkload(result.spec);
+            ImportResult again = importWorkload(out, opts.import);
+            if (!again.ok) {
+                fail(&report, i,
+                     "accepted document's export re-imports with [" +
+                         again.primaryCode() + "]");
+                return report;
+            }
+            const std::string out2 = exportWorkload(again.spec);
+            if (out2 != out) {
+                fail(&report, i,
+                     "export -> import -> export is not byte-stable");
+                return report;
+            }
+            report.digest = fnv64(report.digest, "ok");
+            report.digest = fnv64(report.digest, out);
+        } else {
+            ++report.rejected;
+            if (result.diagnostics.empty()) {
+                fail(&report, i, "rejected with zero diagnostics");
+                return report;
+            }
+            if (result.diagnostics.size() > kMaxDiagnostics) {
+                fail(&report, i, "diagnostic bundle over the cap");
+                return report;
+            }
+            for (const Diagnostic &d : result.diagnostics) {
+                if (d.code.empty() || d.line < 1 || d.col < 1) {
+                    fail(&report, i, "malformed diagnostic");
+                    return report;
+                }
+            }
+            report.digest = fnv64(report.digest, "rej");
+            report.digest =
+                fnv64(report.digest, result.primaryCode());
+        }
+    }
+    return report;
+}
+
+} // namespace mlps::wl::import

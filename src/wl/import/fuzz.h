@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic mutation fuzzer for the workload importer.
+ *
+ * Seeds a corpus of valid documents (the CLI feeds it every built-in's
+ * export), applies 1-4 structured mutations per iteration — byte
+ * flips, span deletion/duplication, truncation, structural-character
+ * injection, number swaps against a hostile pool (1e309, -1, nan,
+ * ...), keyword swaps, depth bombs, case flips — and asserts the
+ * importer's contract on every mutant:
+ *
+ *   - the importer never throws and never aborts;
+ *   - a rejected mutant carries 1..kMaxDiagnostics diagnostics, each
+ *     with a non-empty code and 1-based line/column;
+ *   - an accepted mutant exports, re-imports cleanly, and re-exports
+ *     byte-identically (the canonical-form fixpoint).
+ *
+ * Everything is driven by sim::RngStreams, so a (seed, iterations,
+ * corpus) triple replays bit-exactly: the report's digest is stable
+ * across runs, machines, and sanitizers — CI compares it between an
+ * ASan/UBSan build and the plain build.
+ */
+
+#ifndef MLPSIM_WL_IMPORT_FUZZ_H
+#define MLPSIM_WL_IMPORT_FUZZ_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wl/import/importer.h"
+
+namespace mlps::wl::import {
+
+/** Fuzzing campaign parameters. */
+struct FuzzOptions {
+    std::uint64_t seed = 1;
+    int iterations = 1000;
+    ImportOptions import; ///< budgets applied to every attempt
+};
+
+/** Outcome of one campaign. */
+struct FuzzReport {
+    bool pass = true;
+    int iterations = 0;
+    int accepted = 0;  ///< mutants that still imported cleanly
+    int rejected = 0;  ///< mutants rejected with diagnostics
+    /** Order-sensitive FNV-1a digest over every outcome; replayable. */
+    std::uint64_t digest = 0;
+    /** First invariant violation, with iteration number; empty = pass. */
+    std::string failure;
+};
+
+/**
+ * Run a campaign over `corpus` (each entry one valid document).
+ * Returns after the first invariant violation or after
+ * opts.iterations mutants, whichever comes first. An empty corpus
+ * fails immediately.
+ */
+FuzzReport fuzzImporter(const std::vector<std::string> &corpus,
+                        const FuzzOptions &opts = {});
+
+} // namespace mlps::wl::import
+
+#endif // MLPSIM_WL_IMPORT_FUZZ_H

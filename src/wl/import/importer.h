@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hardened importer of `mlpsim-graph-v1` workload documents.
+ *
+ * Turns a serialized op-level graph description into a first-class
+ * wl::WorkloadSpec usable everywhere a built-in Table II model is.
+ * The pipeline layers three validation tiers over untrusted input:
+ *
+ *   1. syntactic — the shared bounded JSON parser (sim/json.h) with
+ *      explicit depth/size/token budgets and strict number grammar;
+ *   2. schema    — required fields, types, enum vocabularies with
+ *      did-you-mean suggestions, unknown/duplicate key rejection;
+ *   3. semantic  — shape positivity, tensor-edge integrity (dangling
+ *      refs, redefinitions, use-before-def cycles under the sequence
+ *      execution rule), declared-shape/byte consistency, range checks
+ *      on calibration knobs, and resource ceilings on op count and
+ *      total work.
+ *
+ * Problems accumulate as structured diagnostics (never an abort, and
+ * never a sim::fatal) so one pass over a file reports everything
+ * wrong with it; see docs/WORKLOAD_IR.md for the grammar and
+ * wl/import/exporter.h for the inverse direction. An accepted spec
+ * passes WorkloadSpec::validate() by construction and fingerprints
+ * through exec::fingerprintOf like any built-in, so imported runs are
+ * journal-compatible.
+ */
+
+#ifndef MLPSIM_WL_IMPORT_IMPORTER_H
+#define MLPSIM_WL_IMPORT_IMPORTER_H
+
+#include <string>
+
+#include "sim/json.h"
+#include "wl/import/diagnostics.h"
+
+namespace mlps::wl::import {
+
+/** The format tag every document must carry. */
+constexpr const char *kFormatName = "mlpsim-graph-v1";
+
+/** Budgets of one import. */
+struct ImportOptions {
+    /** Document size ceiling, bytes. */
+    std::size_t max_bytes = 8 * 1024 * 1024;
+    /** Parsed JSON value ceiling. */
+    std::size_t max_tokens = 1 << 20;
+    /** Nesting ceiling. */
+    int max_depth = 32;
+    /** Op count ceiling. */
+    std::size_t max_ops = 65536;
+    /** Ceiling on total graph FLOPs and bytes (per sample). */
+    double max_total_work = 1e24;
+};
+
+/** Import one document from text. */
+ImportResult importWorkload(const std::string &text,
+                            const ImportOptions &opts = {});
+
+/**
+ * Import from an already-parsed JSON value (the serve protocol embeds
+ * graph documents inside request lines). `source_text` is only used
+ * to map node offsets to line/column; pass the document the value was
+ * parsed from.
+ */
+ImportResult importParsed(const sim::JsonValue &doc,
+                          const std::string &source_text,
+                          const ImportOptions &opts = {});
+
+/**
+ * Import from a file. An unreadable file rejects with a single
+ * "io-error" diagnostic (so callers have one failure path).
+ */
+ImportResult importWorkloadFile(const std::string &path,
+                                const ImportOptions &opts = {});
+
+} // namespace mlps::wl::import
+
+#endif // MLPSIM_WL_IMPORT_IMPORTER_H

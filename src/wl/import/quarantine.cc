@@ -1,0 +1,51 @@
+#include "wl/import/quarantine.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace mlps::wl::import {
+
+std::string
+quarantineFile(const std::string &quarantine_dir,
+               const std::string &source_path,
+               const ImportResult &result)
+{
+    std::error_code ec;
+    fs::create_directories(quarantine_dir, ec);
+    if (ec)
+        return "";
+
+    fs::path src(source_path);
+    std::string base = src.filename().string();
+    if (base.empty())
+        base = "workload.json";
+    const fs::path dest = fs::path(quarantine_dir) / base;
+
+    // Copy by bytes (not fs::copy_file) so a source that vanished
+    // mid-run still quarantines whatever could be read, and so the
+    // overwrite is a plain truncate-and-write on every filesystem.
+    {
+        std::ifstream in(source_path, std::ios::binary);
+        if (!in)
+            return "";
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        std::ofstream out(dest, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return "";
+        out << bytes.str();
+        if (!out.flush())
+            return "";
+    }
+
+    std::ofstream diag(dest.string() + kDiagSuffix,
+                       std::ios::binary | std::ios::trunc);
+    if (diag)
+        diag << renderDiagnostics(source_path, result);
+    return dest.string();
+}
+
+} // namespace mlps::wl::import

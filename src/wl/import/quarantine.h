@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Quarantine of rejected workload documents.
+ *
+ * When `mlpsim report` (or any batch entry point) rejects a
+ * --workload-file, the offending bytes are copied — verbatim — into a
+ * quarantine directory next to the run's cache, with a `.diag` sidecar
+ * holding the full rendered diagnostic bundle. The report itself keeps
+ * going (the rejection becomes an ERROR cell plus an appendix entry),
+ * so one bad file in a sweep never costs the rest of the run, and the
+ * evidence needed to debug it is preserved even when the input file
+ * was a temporary.
+ *
+ * Quarantining is deterministic (same destination name, overwrite on
+ * repeat) and best-effort: a failure to quarantine is reported in the
+ * return value but never escalates — the importer's verdict stands on
+ * its own.
+ */
+
+#ifndef MLPSIM_WL_IMPORT_QUARANTINE_H
+#define MLPSIM_WL_IMPORT_QUARANTINE_H
+
+#include <string>
+
+#include "wl/import/diagnostics.h"
+
+namespace mlps::wl::import {
+
+/** Sidecar suffix appended to the quarantined copy's name. */
+constexpr const char *kDiagSuffix = ".diag";
+
+/**
+ * Copy `source_path` into `quarantine_dir` (created on demand) under
+ * its basename, and write `<basename>.diag` beside it containing
+ * renderDiagnostics(source_path, result).
+ *
+ * @return the quarantined copy's path, or "" when the copy could not
+ *         be written (missing permissions, unreadable source, ...).
+ */
+std::string quarantineFile(const std::string &quarantine_dir,
+                           const std::string &source_path,
+                           const ImportResult &result);
+
+} // namespace mlps::wl::import
+
+#endif // MLPSIM_WL_IMPORT_QUARANTINE_H

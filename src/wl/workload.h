@@ -54,6 +54,13 @@ struct WorkloadSpec {
     DatasetSpec dataset;
     ConvergenceModel convergence;
     HostPipelineSpec host;
+    /**
+     * Advisory pipeline-stage hint carried by imported graph documents
+     * (mlpsim-graph-v1 "pipeline" stanza); 0 = unset. Deliberately not
+     * part of the execution fingerprint: it does not change simulated
+     * numbers today, only how tooling may partition the graph.
+     */
+    int pipeline_stages = 0;
 
     // -- execution calibration --
     /** Per-GPU minibatch on a 16 GiB V100 (submission batch size). */

@@ -60,6 +60,40 @@ TEST(ServeJson, RejectsJunk)
     }
 }
 
+TEST(ServeJson, SharedParserKeepsWireErrorStringsAndLimits)
+{
+    // The serve parser is now the shared sim/json.h parser under the
+    // historical default limits. This pins the wire-visible contract:
+    // the depth ceiling and the exact "<why> at byte N" error strings
+    // the importer refactor must not drift.
+    serve::Json doc;
+    std::string err;
+
+    std::string deep(34, '[');
+    deep += std::string(34, ']');
+    EXPECT_FALSE(serve::Json::parse(deep, &doc, &err));
+    EXPECT_EQ(err, "nesting too deep at byte 33");
+
+    std::string ok(33, '[');
+    ok += std::string(33, ']');
+    EXPECT_TRUE(serve::Json::parse(ok, &doc, &err)) << err;
+
+    EXPECT_FALSE(serve::Json::parse("{\"a\":", &doc, &err));
+    EXPECT_EQ(err, "unexpected end of input at byte 5");
+
+    EXPECT_FALSE(serve::Json::parse("{\"a\" 1}", &doc, &err));
+    EXPECT_EQ(err, "expected ':' at byte 5");
+
+    EXPECT_FALSE(serve::Json::parse("{\"a\":1}x", &doc, &err));
+    EXPECT_EQ(err, "trailing characters after document at byte 7");
+
+    // The lenient wire grammar still takes strtod extensions (the
+    // strict budgeted grammar is the importer's, not serve's).
+    EXPECT_TRUE(serve::Json::parse("{\"v\": 0x10}", &doc, &err))
+        << err;
+    EXPECT_DOUBLE_EQ(doc.find("v")->number, 16.0);
+}
+
 TEST(ServeJson, DoubleRendersRoundTripBitExactly)
 {
     for (double v :
@@ -140,6 +174,42 @@ TEST(ServeProtocol, ValidatesLikeTheCli)
         EXPECT_NE(err.find(c.expect), std::string::npos)
             << "diagnostic for " << c.line << " was: " << err;
     }
+}
+
+TEST(ServeProtocol, InlineWorkloadGraphRunsThroughTheImporter)
+{
+    const std::string graph =
+        "{\"format\":\"mlpsim-graph-v1\","
+        "\"workload\":{\"abbrev\":\"T_Wire\"},"
+        "\"graph\":{\"ops\":[{\"name\":\"fc\",\"kind\":\"gemm\","
+        "\"shape\":{\"m\":8,\"k\":8,\"n\":8}}]},"
+        "\"dataset\":{\"num_samples\":100}}";
+
+    serve::ParsedRequest req;
+    std::string err;
+    ASSERT_TRUE(serve::parseRequest(
+        "{\"type\":\"run\",\"id\":\"g1\",\"workload_graph\":" +
+            graph + ",\"gpus\":2}",
+        catalog(), &req, &err))
+        << err;
+    EXPECT_EQ(req.run.workload.abbrev, "T_Wire");
+    EXPECT_EQ(req.run.options.num_gpus, 2);
+
+    // A rejected inline graph answers with the importer's diagnostic
+    // vocabulary — same code a CLI validate of the file would print.
+    EXPECT_FALSE(serve::parseRequest(
+        "{\"type\":\"run\",\"workload_graph\":{\"format\":\"nope\"}}",
+        catalog(), &req, &err));
+    EXPECT_NE(err.find("workload_graph rejected:"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("[bad-format]"), std::string::npos) << err;
+
+    // Name and inline graph are mutually exclusive.
+    EXPECT_FALSE(serve::parseRequest(
+        "{\"type\":\"run\",\"workload\":\"MLPf_NCF_Py\","
+        "\"workload_graph\":" + graph + "}",
+        catalog(), &req, &err));
+    EXPECT_NE(err.find("give one"), std::string::npos) << err;
 }
 
 TEST(ServeProtocol, ReferenceAliasResolvesToReferenceBox)

@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Workload importer tests: round-trip identity against every built-in,
+ * the invalid-document diagnostic matrix, multi-error accumulation,
+ * quarantine, the pipeline-stage hint, and a deterministic fuzz smoke.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "exec/fingerprint.h"
+#include "exec/supervisor.h"
+#include "wl/import/exporter.h"
+#include "wl/import/fuzz.h"
+#include "wl/import/importer.h"
+#include "wl/import/quarantine.h"
+
+namespace {
+
+using namespace mlps;
+namespace fs = std::filesystem;
+
+/** Minimal valid training document the invalid cases mutate from. */
+std::string
+validDoc()
+{
+    return R"({
+  "format": "mlpsim-graph-v1",
+  "workload": {"abbrev": "T_Imp", "suite": "MLPerf", "mode": "training"},
+  "graph": {"name": "tiny", "ops": [
+    {"name": "fc1", "kind": "gemm", "shape": {"m": 64, "k": 128, "n": 256}},
+    {"name": "act", "kind": "elementwise", "shape": {"elements": 16384}}
+  ]},
+  "dataset": {"name": "synth", "num_samples": 1000}
+})";
+}
+
+// ---- round-trip identity --------------------------------------------
+
+TEST(WlImportRoundTrip, MinimalDocImports)
+{
+    wl::import::ImportResult res =
+        wl::import::importWorkload(validDoc());
+    ASSERT_TRUE(res.ok) << wl::import::renderDiagnostics("doc", res);
+    EXPECT_EQ(res.spec.abbrev, "T_Imp");
+    EXPECT_EQ(res.spec.graph.size(), 2u);
+    EXPECT_TRUE(res.diagnostics.empty());
+}
+
+TEST(WlImportRoundTrip, EveryBuiltinExportImportsToSameFingerprint)
+{
+    core::Registry reg;
+    for (const core::Benchmark &b : reg.all()) {
+        const std::string text = wl::import::exportWorkload(b.spec());
+        wl::import::ImportResult res =
+            wl::import::importWorkload(text);
+        ASSERT_TRUE(res.ok)
+            << b.abbrev() << ": "
+            << wl::import::renderDiagnostics("export", res);
+        EXPECT_EQ(exec::fingerprintOf(res.spec),
+                  exec::fingerprintOf(b.spec()))
+            << b.abbrev() << " changed fingerprint across round-trip";
+        // Canonical-form fixpoint: the re-export is byte-identical.
+        EXPECT_EQ(wl::import::exportWorkload(res.spec), text)
+            << b.abbrev() << " re-export drifted";
+    }
+}
+
+TEST(WlImportRoundTrip, CompactExportMatchesPrettyContent)
+{
+    core::Registry reg;
+    for (const core::Benchmark &b : reg.all()) {
+        const std::string line =
+            wl::import::exportWorkloadLine(b.spec());
+        EXPECT_EQ(line.find('\n'), std::string::npos);
+        wl::import::ImportResult res =
+            wl::import::importWorkload(line);
+        ASSERT_TRUE(res.ok)
+            << b.abbrev() << ": "
+            << wl::import::renderDiagnostics("line", res);
+        EXPECT_EQ(exec::fingerprintOf(res.spec),
+                  exec::fingerprintOf(b.spec()))
+            << b.abbrev();
+    }
+}
+
+// ---- the invalid-document matrix ------------------------------------
+
+struct InvalidCase {
+    const char *label;
+    const char *text;
+    const char *code; ///< expected primary diagnostic code
+};
+
+class WlImportInvalid : public ::testing::TestWithParam<InvalidCase>
+{
+};
+
+TEST_P(WlImportInvalid, RejectsWithStructuredDiagnostics)
+{
+    const InvalidCase &c = GetParam();
+    wl::import::ImportResult res = wl::import::importWorkload(c.text);
+    ASSERT_FALSE(res.ok) << c.label << " was accepted";
+    ASSERT_FALSE(res.diagnostics.empty());
+    EXPECT_EQ(res.primaryCode(), c.code) << c.label << ": "
+        << wl::import::renderDiagnostics("doc", res);
+    for (const wl::import::Diagnostic &d : res.diagnostics) {
+        EXPECT_FALSE(d.code.empty());
+        EXPECT_FALSE(d.message.empty());
+        EXPECT_GE(d.line, 1);
+        EXPECT_GE(d.col, 1);
+    }
+    // Compiler-style rendering carries the code in brackets.
+    EXPECT_NE(wl::import::renderDiagnostics("f.json", res)
+                  .find(std::string("[") + c.code + "]"),
+              std::string::npos);
+    EXPECT_NE(wl::import::summaryLine(res).find("error(s); first: ["),
+              std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, WlImportInvalid,
+    ::testing::Values(
+        InvalidCase{"truncated", "{\"format\"", "json-syntax"},
+        InvalidCase{"overflowing_number",
+                    "{\"format\": 1e999}", "bad-number"},
+        InvalidCase{
+            "depth_bomb",
+            "{\"format\": "
+            "[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[1]]]]]]]]]]]]]]]"
+            "]]]]]]]]]]]]]]]]]]]]]]]]]}",
+            "too-deep"},
+        InvalidCase{"not_an_object", "[1, 2, 3]", "wrong-type"},
+        InvalidCase{"missing_format",
+                    R"({"workload": {"abbrev": "x"},
+                        "graph": {"ops": [{"name": "a", "kind": "norm",
+                                           "shape": {"elements": 8}}]},
+                        "dataset": {"num_samples": 10}})",
+                    "bad-format"},
+        InvalidCase{"wrong_format",
+                    R"({"format": "mlpsim-graph-v2", "workload":
+                        {"abbrev": "x"}, "graph": {"ops": [{"name":
+                        "a", "kind": "norm", "shape": {"elements":
+                        8}}]}, "dataset": {"num_samples": 10}})",
+                    "bad-format"},
+        InvalidCase{"unknown_top_key",
+                    R"({"bogus": 1, "format": "mlpsim-graph-v1",
+                        "workload": {"abbrev": "x"}, "graph": {"ops":
+                        [{"name": "a", "kind": "norm", "shape":
+                        {"elements": 8}}]}, "dataset": {"num_samples":
+                        10}})",
+                    "unknown-field"},
+        InvalidCase{"duplicate_key",
+                    R"({"format": "mlpsim-graph-v1", "format":
+                        "mlpsim-graph-v1", "workload": {"abbrev":
+                        "x"}, "graph": {"ops": [{"name": "a", "kind":
+                        "norm", "shape": {"elements": 8}}]},
+                        "dataset": {"num_samples": 10}})",
+                    "duplicate-key"},
+        InvalidCase{"missing_workload",
+                    R"({"format": "mlpsim-graph-v1", "graph": {"ops":
+                        [{"name": "a", "kind": "norm", "shape":
+                        {"elements": 8}}]}, "dataset": {"num_samples":
+                        10}})",
+                    "missing-field"},
+        InvalidCase{"workload_not_object",
+                    R"({"format": "mlpsim-graph-v1", "workload": 5,
+                        "graph": {"ops": [{"name": "a", "kind":
+                        "norm", "shape": {"elements": 8}}]},
+                        "dataset": {"num_samples": 10}})",
+                    "wrong-type"},
+        InvalidCase{"unknown_suite",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x", "suite": "mlperf"}, "graph":
+                        {"ops": [{"name": "a", "kind": "norm",
+                        "shape": {"elements": 8}}]}, "dataset":
+                        {"num_samples": 10}})",
+                    "unknown-suite"},
+        InvalidCase{"unknown_mode",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x", "mode": "train"}, "graph":
+                        {"ops": [{"name": "a", "kind": "norm",
+                        "shape": {"elements": 8}}]}, "dataset":
+                        {"num_samples": 10}})",
+                    "unknown-mode"},
+        InvalidCase{"unknown_op_kind",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "graph": {"ops": [{"name":
+                        "a", "kind": "gemn", "shape": {"m": 2, "k":
+                        2, "n": 2}}]}, "dataset": {"num_samples":
+                        10}})",
+                    "unknown-op-kind"},
+        InvalidCase{"unknown_dtype",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "tensors": [{"id": "t",
+                        "dtype": "int8", "shape": [4]}], "graph":
+                        {"ops": [{"name": "a", "kind": "norm",
+                        "shape": {"elements": 8}}]}, "dataset":
+                        {"num_samples": 10}})",
+                    "unknown-dtype"},
+        InvalidCase{"shape_and_explicit",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "graph": {"ops": [{"name":
+                        "a", "kind": "norm", "shape": {"elements":
+                        8}, "flops": 8}]}, "dataset": {"num_samples":
+                        10}})",
+                    "op-shape-conflict"},
+        InvalidCase{"neither_shape_nor_explicit",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "graph": {"ops": [{"name":
+                        "a", "kind": "norm"}]}, "dataset":
+                        {"num_samples": 10}})",
+                    "missing-field"},
+        InvalidCase{"groups_do_not_divide",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "graph": {"ops": [{"name":
+                        "a", "kind": "conv2d", "shape": {"h": 8, "w":
+                        8, "c_in": 4, "c_out": 8, "k": 3, "groups":
+                        3}}]}, "dataset": {"num_samples": 10}})",
+                    "bad-shape"},
+        InvalidCase{"optimizer_has_no_shape_form",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "graph": {"ops": [{"name":
+                        "a", "kind": "optimizer", "shape":
+                        {"elements": 8}}]}, "dataset": {"num_samples":
+                        10}})",
+                    "bad-shape"},
+        InvalidCase{"empty_graph",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "graph": {"ops": []},
+                        "dataset": {"num_samples": 10}})",
+                    "empty-graph"},
+        InvalidCase{"non_positive_dim",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "graph": {"ops": [{"name":
+                        "a", "kind": "gemm", "shape": {"m": 0, "k":
+                        2, "n": 2}}]}, "dataset": {"num_samples":
+                        10}})",
+                    "non-positive-dim"},
+        InvalidCase{"comm_overlap_out_of_range",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "graph": {"ops": [{"name":
+                        "a", "kind": "norm", "shape": {"elements":
+                        8}}]}, "dataset": {"num_samples": 10},
+                        "calibration": {"comm_overlap": 2}})",
+                    "out-of-range"},
+        InvalidCase{"dangling_tensor",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "graph": {"ops": [{"name":
+                        "a", "kind": "norm", "shape": {"elements":
+                        8}, "outputs": ["ghost"]}]}, "dataset":
+                        {"num_samples": 10}})",
+                    "dangling-tensor"},
+        InvalidCase{"tensor_redefined",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "tensors": [{"id": "t",
+                        "shape": [4]}, {"id": "t", "shape": [8]}],
+                        "graph": {"ops": [{"name": "a", "kind":
+                        "norm", "shape": {"elements": 8}}]},
+                        "dataset": {"num_samples": 10}})",
+                    "tensor-redefined"},
+        InvalidCase{"self_cycle",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "tensors": [{"id": "t",
+                        "shape": [4]}], "graph": {"ops": [{"name":
+                        "a", "kind": "elementwise", "flops": 4,
+                        "bytes": 4, "inputs": ["t"], "outputs":
+                        ["t"]}]}, "dataset": {"num_samples": 10}})",
+                    "graph-cycle"},
+        InvalidCase{"shape_mismatch",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "tensors": [{"id": "t",
+                        "dtype": "fp32", "shape": [10]}], "graph":
+                        {"ops": [{"name": "a", "kind": "elementwise",
+                        "flops": 4, "bytes": 4, "activation_bytes":
+                        1000, "outputs": ["t"]}]}, "dataset":
+                        {"num_samples": 10}})",
+                    "shape-mismatch"},
+        InvalidCase{"work_ceiling",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "graph": {"ops": [{"name":
+                        "a", "kind": "gemm", "flops": 1e24, "bytes":
+                        0}]}, "dataset": {"num_samples": 10}})",
+                    "resource-ceiling"},
+        InvalidCase{"training_needs_dataset",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x"}, "graph": {"ops": [{"name":
+                        "a", "kind": "norm", "shape": {"elements":
+                        8}}]}})",
+                    "dataset-required"},
+        InvalidCase{"collective_needs_bytes",
+                    R"({"format": "mlpsim-graph-v1", "workload":
+                        {"abbrev": "x", "mode": "collective-loop"},
+                        "graph": {"ops": [{"name": "a", "kind":
+                        "norm", "shape": {"elements": 8}}]}})",
+                    "collective-bytes-required"}),
+    [](const ::testing::TestParamInfo<InvalidCase> &info) {
+        return info.param.label;
+    });
+
+// ---- budgets and the file path --------------------------------------
+
+TEST(WlImportBudgets, DocTooLarge)
+{
+    wl::import::ImportOptions opts;
+    opts.max_bytes = 16;
+    wl::import::ImportResult res =
+        wl::import::importWorkload(validDoc(), opts);
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.primaryCode(), "doc-too-large");
+}
+
+TEST(WlImportBudgets, TooManyTokens)
+{
+    wl::import::ImportOptions opts;
+    opts.max_tokens = 4;
+    wl::import::ImportResult res =
+        wl::import::importWorkload(validDoc(), opts);
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.primaryCode(), "too-many-tokens");
+}
+
+TEST(WlImportBudgets, OpCountCeiling)
+{
+    wl::import::ImportOptions opts;
+    opts.max_ops = 1;
+    wl::import::ImportResult res =
+        wl::import::importWorkload(validDoc(), opts);
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.primaryCode(), "resource-ceiling");
+}
+
+TEST(WlImportFile, UnreadableFileIsIoError)
+{
+    wl::import::ImportResult res = wl::import::importWorkloadFile(
+        "/nonexistent/dir/workload.json");
+    ASSERT_FALSE(res.ok);
+    EXPECT_EQ(res.primaryCode(), "io-error");
+}
+
+TEST(WlImportFile, RoundTripsThroughDisk)
+{
+    const fs::path p =
+        fs::temp_directory_path() / "wl_import_test_doc.json";
+    {
+        std::ofstream out(p);
+        out << validDoc();
+    }
+    wl::import::ImportResult res =
+        wl::import::importWorkloadFile(p.string());
+    EXPECT_TRUE(res.ok) << wl::import::renderDiagnostics(p.string(),
+                                                         res);
+    fs::remove(p);
+}
+
+// ---- multi-error accumulation ---------------------------------------
+
+TEST(WlImportDiagnostics, OneBundleCollectsEveryProblem)
+{
+    // Three independent problems: unknown op kind, a bad dim, and an
+    // out-of-range knob. One pass reports all three.
+    const std::string doc = R"({
+  "format": "mlpsim-graph-v1",
+  "workload": {"abbrev": "x"},
+  "graph": {"ops": [
+    {"name": "a", "kind": "gemn", "shape": {"m": 2, "k": 2, "n": 2}},
+    {"name": "b", "kind": "gemm", "shape": {"m": -1, "k": 2, "n": 2}}
+  ]},
+  "dataset": {"num_samples": 10},
+  "calibration": {"comm_overlap": 7}
+})";
+    wl::import::ImportResult res = wl::import::importWorkload(doc);
+    ASSERT_FALSE(res.ok);
+    ASSERT_GE(res.diagnostics.size(), 3u);
+    std::vector<std::string> codes;
+    for (const auto &d : res.diagnostics)
+        codes.push_back(d.code);
+    EXPECT_NE(std::find(codes.begin(), codes.end(), "unknown-op-kind"),
+              codes.end());
+    EXPECT_NE(std::find(codes.begin(), codes.end(),
+                        "non-positive-dim"),
+              codes.end());
+    EXPECT_NE(std::find(codes.begin(), codes.end(), "out-of-range"),
+              codes.end());
+}
+
+TEST(WlImportDiagnostics, BundleTruncatesAtCap)
+{
+    std::string doc = R"({"format": "mlpsim-graph-v1",
+                          "workload": {"abbrev": "x"},
+                          "dataset": {"num_samples": 10},
+                          "graph": {"ops": [)";
+    for (int i = 0; i < 80; ++i) {
+        if (i)
+            doc += ",";
+        doc += R"({"name": "op)" + std::to_string(i) +
+               R"(", "kind": "nope"})";
+    }
+    doc += "]}}";
+    wl::import::ImportResult res = wl::import::importWorkload(doc);
+    ASSERT_FALSE(res.ok);
+    EXPECT_TRUE(res.truncated);
+    EXPECT_EQ(res.diagnostics.size(), wl::import::kMaxDiagnostics);
+    EXPECT_NE(wl::import::renderDiagnostics("f.json", res)
+                  .find("more errors suppressed"),
+              std::string::npos);
+}
+
+TEST(WlImportDiagnostics, UnknownOpKindSuggestsNearest)
+{
+    wl::import::ImportResult res = wl::import::importWorkload(
+        R"({"format": "mlpsim-graph-v1", "workload": {"abbrev":
+            "x"}, "graph": {"ops": [{"name": "a", "kind": "gemn",
+            "shape": {"m": 2, "k": 2, "n": 2}}]}, "dataset":
+            {"num_samples": 10}})");
+    ASSERT_FALSE(res.ok);
+    EXPECT_NE(res.diagnostics[0].message.find("gemm"),
+              std::string::npos)
+        << res.diagnostics[0].message;
+}
+
+// ---- pipeline hint ---------------------------------------------------
+
+TEST(WlImportPipeline, StagesAreAdvisoryAndNotFingerprinted)
+{
+    std::string with = validDoc();
+    with.insert(with.rfind('}'), R"(, "pipeline": {"stages": 4})");
+    wl::import::ImportResult a = wl::import::importWorkload(with);
+    wl::import::ImportResult b =
+        wl::import::importWorkload(validDoc());
+    ASSERT_TRUE(a.ok) << wl::import::renderDiagnostics("with", a);
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(a.spec.pipeline_stages, 4);
+    EXPECT_EQ(b.spec.pipeline_stages, 0);
+    // The hint is advisory: journal entries written before a document
+    // gained its pipeline stanza still replay.
+    EXPECT_EQ(exec::fingerprintOf(a.spec),
+              exec::fingerprintOf(b.spec));
+    // But the exporter preserves it, so re-export round-trips.
+    EXPECT_NE(wl::import::exportWorkload(a.spec).find("\"stages\": 4"),
+              std::string::npos);
+    EXPECT_EQ(wl::import::exportWorkload(b.spec).find("pipeline"),
+              std::string::npos);
+}
+
+// ---- quarantine ------------------------------------------------------
+
+TEST(WlImportQuarantine, CopiesFileAndWritesDiagnostics)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "wl_import_test_quarantine";
+    fs::remove_all(dir);
+    const fs::path bad =
+        fs::temp_directory_path() / "wl_import_bad.json";
+    {
+        std::ofstream out(bad);
+        out << "{\"format\": \"mlpsim-graph-v1\"";
+    }
+    wl::import::ImportResult res =
+        wl::import::importWorkloadFile(bad.string());
+    ASSERT_FALSE(res.ok);
+
+    std::string kept = wl::import::quarantineFile(
+        dir.string(), bad.string(), res);
+    ASSERT_FALSE(kept.empty());
+    EXPECT_TRUE(fs::exists(kept));
+    EXPECT_TRUE(fs::exists(kept + wl::import::kDiagSuffix));
+
+    // The copy is byte-identical and the sidecar names the code.
+    std::ifstream in(kept);
+    std::string copied((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+    EXPECT_EQ(copied, "{\"format\": \"mlpsim-graph-v1\"");
+    std::ifstream din(kept + wl::import::kDiagSuffix);
+    std::string diag((std::istreambuf_iterator<char>(din)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(diag.find(res.primaryCode()), std::string::npos);
+
+    fs::remove_all(dir);
+    fs::remove(bad);
+}
+
+// ---- fuzz smoke ------------------------------------------------------
+
+TEST(WlImportFuzz, DeterministicSmoke)
+{
+    core::Registry reg;
+    std::vector<std::string> corpus;
+    corpus.push_back(
+        wl::import::exportWorkload(reg.all().front().spec()));
+    corpus.push_back(validDoc());
+
+    wl::import::FuzzOptions opts;
+    opts.seed = 42;
+    opts.iterations = 300;
+    wl::import::FuzzReport a = wl::import::fuzzImporter(corpus, opts);
+    EXPECT_TRUE(a.pass) << a.failure;
+    EXPECT_EQ(a.iterations, 300);
+    EXPECT_EQ(a.accepted + a.rejected, 300);
+
+    // Same (seed, corpus) replays bit-exactly.
+    wl::import::FuzzReport b = wl::import::fuzzImporter(corpus, opts);
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.accepted, b.accepted);
+}
+
+TEST(WlImportFuzz, EmptyCorpusFails)
+{
+    wl::import::FuzzReport r = wl::import::fuzzImporter({}, {});
+    EXPECT_FALSE(r.pass);
+}
+
+} // namespace

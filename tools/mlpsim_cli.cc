@@ -22,6 +22,17 @@
  *   mlpsim soak [--seed S] [--ops N] [--chaos fs,net,clock]
  *               [--cycles K] [--clients C] [--jobs N]
  *               [--cache-dir DIR]
+ *   mlpsim workload list
+ *   mlpsim workload validate <file...>
+ *   mlpsim workload export <name> [--out FILE]
+ *   mlpsim workload fuzz [--seed S] [--iterations N]
+ *
+ * run, scaling, schedule, characterize, report and query additionally
+ * accept --workload-file FILE (repeatable): an external
+ * mlpsim-graph-v1 JSON document imported, validated and registered
+ * next to the built-ins (docs/WORKLOAD_IR.md). A rejected file aborts
+ * strict commands with exit code 8; report quarantines it and
+ * degrades instead.
  *
  * Every subcommand additionally accepts --telemetry-dir DIR: the
  * invocation then writes a provenance manifest, metric snapshots
@@ -32,7 +43,8 @@
  * 4 report written but degraded (some runs failed, the cache is busy
  * under a live server, or a soak invariant failed), 5 cache
  * corruption detected by `cache verify`, 6 query rejected by an
- * overloaded server, 7 journal writes lost to a full disk.
+ * overloaded server, 7 journal writes lost to a full disk,
+ * 8 workload file rejected by the importer.
  */
 
 #include <cctype>
@@ -52,6 +64,7 @@
 #include "core/report.h"
 #include "core/suite.h"
 #include "exec/engine.h"
+#include "exec/supervisor.h"
 #include "fault/fault_model.h"
 #include "fault/link_fault.h"
 #include "obs/registry.h"
@@ -67,6 +80,10 @@
 #include "sys/machines.h"
 #include "train/checkpoint.h"
 #include "train/fabric_faults.h"
+#include "wl/import/exporter.h"
+#include "wl/import/fuzz.h"
+#include "wl/import/importer.h"
+#include "wl/import/quarantine.h"
 
 namespace {
 
@@ -80,9 +97,19 @@ constexpr int kDegraded = 4; ///< degraded report, or cache busy
 constexpr int kCorrupt = 5;  ///< cache verify found corruption
 constexpr int kOverloaded = 6; ///< query rejected: server overloaded
 constexpr int kDiskFull = 7; ///< journal writes lost: disk full
+constexpr int kRejected = 8; ///< workload file rejected by the importer
 
 /** Invocation error: wrong arguments rather than wrong values. */
 struct UsageError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * A --workload-file failed validation. Distinct from FatalError so
+ * the importer's structured rejection gets its own exit code (8) —
+ * CI tells "your file is bad" from "your flags are bad".
+ */
+struct RejectError : std::runtime_error {
     using std::runtime_error::runtime_error;
 };
 
@@ -90,6 +117,9 @@ struct UsageError : std::runtime_error {
 struct Args {
     std::vector<std::string> positional;
     std::map<std::string, std::string> flags;
+    /** Every occurrence of each flag, in command-line order — for
+     *  flags like --workload-file that may repeat. */
+    std::map<std::string, std::vector<std::string>> all_flags;
 
     static Args
     parse(int argc, char **argv, int first)
@@ -112,11 +142,21 @@ struct Args {
                     a.flags[key] = argv[++i];
                 else
                     a.flags[key] = "true";
+                a.all_flags[key].push_back(a.flags[key]);
             } else {
                 a.positional.push_back(tok);
             }
         }
         return a;
+    }
+
+    /** All values of a repeatable flag, command-line order. */
+    std::vector<std::string>
+    getAll(const std::string &key) const
+    {
+        auto it = all_flags.find(key);
+        return it == all_flags.end() ? std::vector<std::string>{}
+                                     : it->second;
     }
 
     std::string
@@ -277,6 +317,44 @@ noteConfigDigest(const std::string &label, const exec::Fingerprint &fp)
     t->manifest().config_digests.push_back(label + "=" + hex);
 }
 
+/**
+ * Import every --workload-file strictly: the first rejected file has
+ * its full diagnostic bundle printed to stderr and aborts the command
+ * with RejectError (exit code 8). Used by the commands that cannot
+ * proceed without the workload (run, scaling, schedule, characterize,
+ * query, workload export); report degrades instead — see cmdReport.
+ */
+std::vector<wl::WorkloadSpec>
+importedWorkloads(const Args &args)
+{
+    std::vector<wl::WorkloadSpec> specs;
+    for (const std::string &path : args.getAll("workload-file")) {
+        wl::import::ImportResult res =
+            wl::import::importWorkloadFile(path);
+        if (!res.ok) {
+            std::fprintf(
+                stderr, "%s",
+                wl::import::renderDiagnostics(path, res).c_str());
+            throw RejectError("workload file '" + path +
+                              "' rejected: " +
+                              wl::import::summaryLine(res));
+        }
+        specs.push_back(std::move(res.spec));
+    }
+    return specs;
+}
+
+/** Workload names of a sweep: positionals then imported abbrevs. */
+std::vector<std::string>
+workloadNames(const Args &args,
+              const std::vector<wl::WorkloadSpec> &imported)
+{
+    std::vector<std::string> names = args.positional;
+    for (const wl::WorkloadSpec &s : imported)
+        names.push_back(s.abbrev);
+    return names;
+}
+
 int
 cmdList()
 {
@@ -320,8 +398,18 @@ optionsFrom(const Args &args, const sys::SystemConfig &machine)
 int
 cmdRun(const Args &args)
 {
-    if (args.positional.empty())
-        throw UsageError("run: need a workload name");
+    std::vector<wl::WorkloadSpec> imported = importedWorkloads(args);
+    // With exactly one imported file the name is implied; otherwise
+    // the positional picks among built-ins and imports alike.
+    std::string name;
+    if (!args.positional.empty())
+        name = args.positional[0];
+    else if (imported.size() == 1)
+        name = imported[0].abbrev;
+    else
+        throw UsageError(
+            "run: need a workload name (or exactly one "
+            "--workload-file)");
     sys::SystemConfig machine =
         systemByName(args.get("system", "DSS 8440"));
     if (args.has("degraded-links"))
@@ -329,8 +417,10 @@ cmdRun(const Args &args)
     noteConfigDigest("system:" + machine.name,
                      exec::fingerprintOf(machine));
     core::Suite suite(machine);
+    for (const wl::WorkloadSpec &s : imported)
+        suite.addWorkload(s);
     train::RunOptions opts = optionsFrom(args, machine);
-    auto r = suite.run(args.positional[0], opts);
+    auto r = suite.run(name, opts);
     std::printf("%s on %s, %d GPU(s), %s%s\n", r.workload.c_str(),
                 r.system.c_str(), r.num_gpus,
                 hw::toString(r.precision).c_str(),
@@ -359,7 +449,7 @@ cmdRun(const Args &args)
             sim::fatal("--mttf-hours %g: MTTF must be positive hours",
                        mttf);
         const core::Benchmark *b =
-            suite.registry().find(args.positional[0]);
+            suite.registry().find(name);
         auto ckpt = train::checkpointModelFor(machine, b->spec());
         fault::FaultModel model(
             fault::FaultModelConfig::datacenterProfile(mttf),
@@ -396,7 +486,7 @@ cmdRun(const Args &args)
             sim::fatal("--link-mttf-hours %g: MTTF must be positive "
                        "hours", mttf);
         const core::Benchmark *b =
-            suite.registry().find(args.positional[0]);
+            suite.registry().find(name);
         fault::LinkFaultModel model(
             fault::LinkFaultConfig::datacenterProfile(mttf),
             static_cast<std::uint64_t>(args.getInt("seed", 42)));
@@ -475,16 +565,21 @@ cmdFaults(const Args &args)
 int
 cmdScaling(const Args &args)
 {
-    if (args.positional.empty())
-        throw UsageError("scaling: need workload names");
+    std::vector<wl::WorkloadSpec> imported = importedWorkloads(args);
+    std::vector<std::string> names = workloadNames(args, imported);
+    if (names.empty())
+        throw UsageError(
+            "scaling: need workload names or --workload-file");
     sys::SystemConfig machine =
         systemByName(args.get("system", "DSS 8440"));
     core::Suite suite(machine);
+    for (const wl::WorkloadSpec &s : imported)
+        suite.addWorkload(s);
     std::vector<int> counts;
     for (int n = 1; n <= machine.num_gpus; n *= 2)
         counts.push_back(n);
     exec::Engine engine = makeEngine(args);
-    auto rows = suite.scalingStudy(args.positional, counts, &engine);
+    auto rows = suite.scalingStudy(names, counts, &engine);
     noteConfigDigest("system:" + machine.name,
                      exec::fingerprintOf(machine));
     noteEngine(engine);
@@ -506,14 +601,19 @@ cmdScaling(const Args &args)
 int
 cmdSchedule(const Args &args)
 {
-    if (args.positional.empty())
-        throw UsageError("schedule: need workload names");
+    std::vector<wl::WorkloadSpec> imported = importedWorkloads(args);
+    std::vector<std::string> names = workloadNames(args, imported);
+    if (names.empty())
+        throw UsageError(
+            "schedule: need workload names or --workload-file");
     sys::SystemConfig machine =
         systemByName(args.get("system", "DSS 8440"));
     int gpus = gpusFrom(args, machine, machine.num_gpus);
     core::Suite suite(machine);
+    for (const wl::WorkloadSpec &s : imported)
+        suite.addWorkload(s);
     exec::Engine engine = makeEngine(args);
-    auto jobs = suite.jobSpecs(args.positional, gpus, &engine);
+    auto jobs = suite.jobSpecs(names, gpus, &engine);
     noteConfigDigest("system:" + machine.name,
                      exec::fingerprintOf(machine));
     noteEngine(engine);
@@ -529,11 +629,12 @@ cmdSchedule(const Args &args)
 int
 cmdCharacterize(const Args &args)
 {
+    std::vector<wl::WorkloadSpec> imported = importedWorkloads(args);
     sys::SystemConfig machine =
         systemByName(args.get("system", "C4140 (K)"));
     exec::Engine engine = makeEngine(args);
     auto rep = core::characterize(machine, gpusFrom(args, machine, 1),
-                                  &engine);
+                                  &engine, imported);
     noteConfigDigest("system:" + machine.name,
                      exec::fingerprintOf(machine));
     noteEngine(engine);
@@ -579,9 +680,39 @@ int
 cmdReport(const Args &args)
 {
     std::string path = args.get("out", "mlpsim_report.md");
-    std::printf("running the full study (takes a moment)...\n");
     core::ReportOptions ropts;
     ropts.jobs = jobsFrom(args);
+
+    // Unlike the strict commands, report survives a bad workload
+    // file: the rejection is quarantined next to the journal, listed
+    // in the report's imported section, and degrades the exit code —
+    // a sweep over many files documents its casualties instead of
+    // dying on the first.
+    std::string cache_dir = args.get("cache-dir", "");
+    std::string quarantine_dir = cache_dir.empty()
+                                     ? std::string("mlpsim-quarantine")
+                                     : cache_dir + "/quarantine";
+    bool rejected_any = false;
+    for (const std::string &file : args.getAll("workload-file")) {
+        wl::import::ImportResult res =
+            wl::import::importWorkloadFile(file);
+        if (res.ok) {
+            ropts.imported.push_back(std::move(res.spec));
+            continue;
+        }
+        rejected_any = true;
+        std::fprintf(stderr, "%s",
+                     wl::import::renderDiagnostics(file, res).c_str());
+        std::string kept =
+            wl::import::quarantineFile(quarantine_dir, file, res);
+        if (!kept.empty())
+            std::fprintf(stderr, "mlpsim: quarantined '%s' -> %s\n",
+                         file.c_str(), kept.c_str());
+        ropts.rejected_files.push_back(
+            file + ": " + wl::import::summaryLine(res));
+    }
+
+    std::printf("running the full study (takes a moment)...\n");
     // Capture, not Throw: a failed point degrades its table cell and
     // lands in the report's appendix instead of aborting the study.
     exec::Engine engine = makeEngine(args, exec::ErrorPolicy::Capture);
@@ -600,6 +731,14 @@ cmdReport(const Args &args)
             std::fprintf(stderr, "  %s on %s (%d GPUs): %s: %s\n",
                          e.workload.c_str(), e.system.c_str(),
                          e.num_gpus, e.reason.c_str(), e.what.c_str());
+        return diskFullExit(engine, kDegraded);
+    }
+    if (rejected_any) {
+        std::fprintf(stderr,
+                     "mlpsim: error: report degraded, %zu workload "
+                     "file(s) rejected (quarantined in %s)\n",
+                     ropts.rejected_files.size(),
+                     quarantine_dir.c_str());
         return diskFullExit(engine, kDegraded);
     }
     return diskFullExit(engine, kOk);
@@ -804,16 +943,12 @@ cmdSoak(const Args &args)
     return report.pass ? kOk : kDegraded;
 }
 
-/** Build the JSON run request the query command sends (or, with
- *  --local, evaluates in-process through the same validation). */
+/** The request tail shared by named and inline-graph run requests:
+ *  system, gpus, precision, the optional knobs, closing brace. */
 std::string
-queryRequestLine(const Args &args, const std::string &workload,
-                 const std::string &id)
+queryRequestTail(const Args &args)
 {
-    std::string line = "{\"type\":\"run\",\"id\":\"" +
-                       serve::jsonEscape(id) + "\",\"workload\":\"" +
-                       serve::jsonEscape(workload) +
-                       "\",\"system\":\"" +
+    std::string tail = ",\"system\":\"" +
                        serve::jsonEscape(
                            args.get("system", "DSS 8440")) +
                        "\",\"gpus\":" +
@@ -823,11 +958,45 @@ queryRequestLine(const Args &args, const std::string &workload,
                            args.get("precision", "mixed")) +
                        "\"";
     if (args.has("reference"))
-        line += ",\"reference\":true";
+        tail += ",\"reference\":true";
     double deadline = args.getDouble("deadline-s", 0.0);
     if (deadline > 0.0)
-        line += ",\"deadline_s\":" + serve::jsonDouble(deadline);
-    line += "}";
+        tail += ",\"deadline_s\":" + serve::jsonDouble(deadline);
+    tail += "}";
+    return tail;
+}
+
+/** Build the JSON run request the query command sends (or, with
+ *  --local, evaluates in-process through the same validation). */
+std::string
+queryRequestLine(const Args &args, const std::string &workload,
+                 const std::string &id)
+{
+    return "{\"type\":\"run\",\"id\":\"" + serve::jsonEscape(id) +
+           "\",\"workload\":\"" + serve::jsonEscape(workload) + "\"" +
+           queryRequestTail(args);
+}
+
+/**
+ * As above, but carrying an imported workload inline as a
+ * "workload_graph" object — the server never sees the file, only the
+ * compact export, and re-validates it through the same importer the
+ * CLI used, so a rejection reads identically in both places.
+ */
+std::string
+queryGraphRequestLine(const Args &args, const wl::WorkloadSpec &spec,
+                      const std::string &id)
+{
+    std::string line = "{\"type\":\"run\",\"id\":\"" +
+                       serve::jsonEscape(id) +
+                       "\",\"workload_graph\":" +
+                       wl::import::exportWorkloadLine(spec) +
+                       queryRequestTail(args);
+    if (line.size() > serve::kMaxLineBytes)
+        sim::fatal("query: workload '%s' exports to %zu bytes, over "
+                   "the %zu-byte protocol line limit",
+                   spec.abbrev.c_str(), line.size(),
+                   serve::kMaxLineBytes);
     return line;
 }
 
@@ -950,15 +1119,23 @@ int
 cmdQuery(const Args &args)
 {
     bool want_stats = args.has("stats");
-    if (args.positional.empty() && !want_stats && !args.has("ping"))
-        throw UsageError("query: need workload names (or --stats / "
-                         "--ping)");
+    std::vector<wl::WorkloadSpec> imported = importedWorkloads(args);
+    if (args.positional.empty() && imported.empty() && !want_stats &&
+        !args.has("ping"))
+        throw UsageError("query: need workload names, "
+                         "--workload-file FILE, --stats or --ping");
 
     std::vector<std::string> request_lines;
     for (std::size_t i = 0; i < args.positional.size(); ++i)
         request_lines.push_back(queryRequestLine(
             args, args.positional[i],
             "q" + std::to_string(i + 1)));
+    // Imported workloads travel inline; ids continue the numbering so
+    // output order matches the command line (names, then files).
+    for (std::size_t i = 0; i < imported.size(); ++i)
+        request_lines.push_back(queryGraphRequestLine(
+            args, imported[i],
+            "q" + std::to_string(args.positional.size() + i + 1)));
 
     if (args.has("local")) {
         if (want_stats || args.has("ping"))
@@ -1020,6 +1197,141 @@ cmdQuery(const Args &args)
     return worst;
 }
 
+/**
+ * Workload file toolbox:
+ *
+ *   workload list               describe every built-in
+ *   workload validate <file...> import strictly, print diagnostics
+ *   workload export <name>      write a built-in as mlpsim-graph-v1
+ *   workload fuzz               mutation-fuzz the importer
+ *
+ * `export` then `validate` round-trips by construction; CI leans on
+ * that to pin the canonical form.
+ */
+int
+cmdWorkload(const Args &args)
+{
+    if (args.positional.empty())
+        throw UsageError("workload: need a subcommand (list, "
+                         "validate, export or fuzz)");
+    const std::string &sub = args.positional[0];
+
+    if (sub == "list") {
+        auto mode_token = [](wl::RunMode m) {
+            switch (m) {
+            case wl::RunMode::KernelLoop: return "kernel-loop";
+            case wl::RunMode::CollectiveLoop: return "collective-loop";
+            default: return "training";
+            }
+        };
+        core::Registry reg;
+        std::printf("%-10s %-9s %-15s %4s %10s %10s\n", "workload",
+                    "suite", "mode", "ops", "params(M)", "GB/step");
+        for (const auto &b : reg.all()) {
+            wl::GraphTotals t = b.spec().graph.totals();
+            double step_gb = t.trainBytes() *
+                             b.spec().per_gpu_batch / 1e9;
+            std::printf("%-10s %-9s %-15s %4d %10.1f %10.1f\n",
+                        b.abbrev().c_str(),
+                        wl::toString(b.suite()).c_str(),
+                        mode_token(b.spec().mode),
+                        t.op_count, b.paramCount() / 1e6, step_gb);
+        }
+        std::printf("\n%zu workloads; 'mlpsim workload export "
+                    "<name>' writes any of them as %s.\n",
+                    reg.size(), wl::import::kFormatName);
+        return kOk;
+    }
+
+    if (sub == "validate") {
+        std::vector<std::string> files(args.positional.begin() + 1,
+                                       args.positional.end());
+        for (const std::string &f : args.getAll("workload-file"))
+            files.push_back(f);
+        if (files.empty())
+            throw UsageError("workload validate: need file paths");
+        int rc = kOk;
+        for (const std::string &f : files) {
+            wl::import::ImportResult res =
+                wl::import::importWorkloadFile(f);
+            if (res.ok) {
+                std::printf("%s: OK %s (%zu ops, fingerprint %s)\n",
+                            f.c_str(), res.spec.abbrev.c_str(),
+                            res.spec.graph.size(),
+                            exec::toHex(exec::fingerprintOf(res.spec))
+                                .c_str());
+                continue;
+            }
+            std::fprintf(
+                stderr, "%s",
+                wl::import::renderDiagnostics(f, res).c_str());
+            std::printf("%s: REJECTED (%s)\n", f.c_str(),
+                        wl::import::summaryLine(res).c_str());
+            rc = kRejected;
+        }
+        return rc;
+    }
+
+    if (sub == "export") {
+        if (args.positional.size() < 2)
+            throw UsageError("workload export: need a workload name");
+        const std::string &name = args.positional[1];
+        core::Registry reg;
+        const core::Benchmark *b = reg.find(name);
+        if (!b)
+            sim::fatal("workload export: unknown workload '%s'%s",
+                       name.c_str(),
+                       core::didYouMean(name, reg.names()).c_str());
+        std::string text = wl::import::exportWorkload(b->spec());
+        std::string out = args.get("out", "");
+        if (out.empty()) {
+            std::fputs(text.c_str(), stdout);
+            return kOk;
+        }
+        FILE *f = std::fopen(out.c_str(), "wb");
+        if (!f || std::fwrite(text.data(), 1, text.size(), f) !=
+                      text.size()) {
+            if (f)
+                std::fclose(f);
+            sim::fatal("workload export: cannot write '%s'",
+                       out.c_str());
+        }
+        std::fclose(f);
+        std::printf("wrote %s (%zu bytes)\n", out.c_str(),
+                    text.size());
+        return kOk;
+    }
+
+    if (sub == "fuzz") {
+        wl::import::FuzzOptions fopts;
+        fopts.seed = static_cast<std::uint64_t>(
+            args.getDouble("seed", 1.0));
+        fopts.iterations = args.getInt("iterations", 1000);
+        if (fopts.seed == 0 || fopts.iterations < 1)
+            throw UsageError("workload fuzz: --seed and --iterations "
+                             "must be positive");
+        core::Registry reg;
+        std::vector<std::string> corpus;
+        for (const auto &b : reg.all())
+            corpus.push_back(wl::import::exportWorkload(b.spec()));
+        wl::import::FuzzReport rep =
+            wl::import::fuzzImporter(corpus, fopts);
+        std::printf("fuzz: seed %llu, %d iteration(s), %d accepted, "
+                    "%d rejected, digest %016llx\n",
+                    static_cast<unsigned long long>(fopts.seed),
+                    rep.iterations, rep.accepted, rep.rejected,
+                    static_cast<unsigned long long>(rep.digest));
+        if (!rep.pass) {
+            std::fprintf(stderr, "mlpsim: error: fuzz failed: %s\n",
+                         rep.failure.c_str());
+            return kDegraded;
+        }
+        return kOk;
+    }
+
+    throw UsageError("workload: unknown subcommand '" + sub + "'");
+}
+
 void
 usage()
 {
@@ -1058,7 +1370,16 @@ usage()
         "             [--ping]  (docs/SERVICE.md)\n"
         "  mlpsim soak [--seed S] [--ops N] [--chaos fs,net,clock]\n"
         "             [--cycles K] [--clients C] [--jobs N]\n"
-        "             [--cache-dir DIR]  (docs/CHAOS.md)\n\n"
+        "             [--cache-dir DIR]  (docs/CHAOS.md)\n"
+        "  mlpsim workload list | validate <file...>\n"
+        "             | export <name> [--out FILE]\n"
+        "             | fuzz [--seed S] [--iterations N]\n"
+        "             (docs/WORKLOAD_IR.md)\n\n"
+        "run, scaling, schedule, characterize, report and query also\n"
+        "accept --workload-file FILE (repeatable): an external\n"
+        "mlpsim-graph-v1 document validated and registered next to\n"
+        "the built-ins. report quarantines rejected files; the other\n"
+        "commands abort with exit code 8.\n\n"
         "--system NAME accepts a machine name, 'reference', or the\n"
         "pod grammar pod(<box>,<racks>x<nodes>[,spines=S]) — e.g.\n"
         "--system 'pod(C4140 (M),4x4)' ('mlpsim list' for details).\n\n"
@@ -1070,8 +1391,8 @@ usage()
         "structured log into DIR (docs/OBSERVABILITY.md).\n\n"
         "Exit codes: 0 ok, 2 usage, 3 configuration, 4 degraded\n"
         "report, busy cache or failed soak, 5 corrupt cache,\n"
-        "6 overloaded server, 7 journal writes lost to a full "
-        "disk.\n");
+        "6 overloaded server, 7 journal writes lost to a full disk,\n"
+        "8 workload file rejected by the importer.\n");
 }
 
 } // namespace
@@ -1123,12 +1444,17 @@ main(int argc, char **argv)
             return cmdQuery(args);
         if (cmd == "soak")
             return cmdSoak(args);
+        if (cmd == "workload")
+            return cmdWorkload(args);
         throw UsageError("unknown command '" + cmd + "'");
     } catch (const UsageError &e) {
         std::fprintf(stderr, "mlpsim: error: %s\n", e.what());
         std::fprintf(stderr,
                      "run 'mlpsim' without arguments for usage\n");
         return kUsage;
+    } catch (const RejectError &e) {
+        std::fprintf(stderr, "mlpsim: error: %s\n", e.what());
+        return kRejected;
     } catch (const sim::FatalError &e) {
         std::fprintf(stderr, "mlpsim: error: %s\n", e.what());
         return kConfig;
