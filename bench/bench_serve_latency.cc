@@ -51,7 +51,7 @@ requestPool()
 }
 
 struct Percentiles {
-    double mean = 0, p50 = 0, p95 = 0, max = 0;
+    double mean = 0, p50 = 0, p95 = 0, p99 = 0, max = 0;
 };
 
 Percentiles
@@ -65,9 +65,26 @@ summarize(std::vector<double> ms)
         p.mean += v;
     p.mean /= static_cast<double>(ms.size());
     p.p50 = ms[ms.size() / 2];
-    p.p95 = ms[(ms.size() * 95) / 100];
+    p.p95 = ms[std::min(ms.size() - 1, (ms.size() * 95) / 100)];
+    p.p99 = ms[std::min(ms.size() - 1, (ms.size() * 99) / 100)];
     p.max = ms.back();
     return p;
+}
+
+/** The server's own view: the latency_ms block of statsJson() —
+ *  the same numbers a `stats` request returns over the wire. */
+std::string
+serverLatencyBlock(const serve::ServeCore &core)
+{
+    std::string stats = core.statsJson();
+    std::size_t at = stats.find("\"latency_ms\":");
+    if (at == std::string::npos)
+        return "{}";
+    std::size_t open = stats.find('{', at);
+    std::size_t close = stats.find('}', open);
+    if (open == std::string::npos || close == std::string::npos)
+        return "{}";
+    return stats.substr(open, close - open + 1);
 }
 
 // Wave-scoped latency bookkeeping shared with the emit sink: the
@@ -117,9 +134,10 @@ main()
                 "(transport-free ServeCore)\n"
                 "12 distinct points, 48 requests/wave, warm wave "
                 "repeats the cold wave\n\n");
-    std::printf("%8s %-6s %9s %7s %6s %9s %9s %9s %9s\n", "clients",
-                "phase", "requests", "unique", "hits", "mean(ms)",
-                "p50(ms)", "p95(ms)", "max(ms)");
+    std::printf("%8s %-6s %9s %7s %6s %9s %9s %9s %9s %9s\n",
+                "clients", "phase", "requests", "unique", "hits",
+                "mean(ms)", "p50(ms)", "p95(ms)", "p99(ms)",
+                "max(ms)");
 
     const auto pool = requestPool();
     constexpr int kRequests = 48;
@@ -154,22 +172,24 @@ main()
 
         Percentiles pc = summarize(cold);
         std::printf("%8d %-6s %9d %7llu %6llu %9.3f %9.3f %9.3f "
-                    "%9.3f\n",
+                    "%9.3f %9.3f\n",
                     clients, "cold", kRequests,
                     static_cast<unsigned long long>(
                         mid.unique_runs - before.unique_runs),
                     static_cast<unsigned long long>(
                         mid.cache_hits - before.cache_hits),
-                    pc.mean, pc.p50, pc.p95, pc.max);
+                    pc.mean, pc.p50, pc.p95, pc.p99, pc.max);
         Percentiles pw = summarize(warm);
         std::printf("%8d %-6s %9d %7llu %6llu %9.3f %9.3f %9.3f "
-                    "%9.3f\n",
+                    "%9.3f %9.3f\n",
                     clients, "warm", kRequests,
                     static_cast<unsigned long long>(
                         after.unique_runs - mid.unique_runs),
                     static_cast<unsigned long long>(
                         after.cache_hits - mid.cache_hits),
-                    pw.mean, pw.p50, pw.p95, pw.max);
+                    pw.mean, pw.p50, pw.p95, pw.p99, pw.max);
+        std::printf("%8d %-6s dispatch-to-emit sampler %s\n",
+                    clients, "server", serverLatencyBlock(core).c_str());
     }
 
     std::printf("\nWarm waves resolve from the in-memory cache: the "

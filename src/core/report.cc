@@ -10,6 +10,7 @@
 #include "core/suite.h"
 #include "exec/engine.h"
 #include "fault/fault_model.h"
+#include "obs/attrib/attribution.h"
 #include "obs/span.h"
 #include "sched/naive.h"
 #include "sched/optimal.h"
@@ -369,6 +370,89 @@ appendPodScale(std::ostringstream &os, Suite &suite,
           "layer and the oversubscribed column falls behind.\n\n";
 }
 
+/**
+ * "Where the time goes": critical-path attribution of every MLPerf
+ * workload on the report box and at pod scale. Each point's
+ * iteration decomposes into the four attribution buckets (their sum
+ * is the iteration time; attrib_test pins the invariant), and the
+ * top-3 critical-path spans name the concrete phases behind the
+ * percentages.
+ */
+void
+appendAttribution(std::ostringstream &os, Suite &suite,
+                  exec::Engine &engine)
+{
+    struct Target {
+        sys::SystemConfig system;
+        int gpus;
+    };
+    const std::vector<Target> targets = {
+        {suite.system(), 8},
+        {sys::withPod(sys::c4140M(), 16, 8), 512},
+    };
+
+    os << "## Where the time goes (critical-path attribution)\n\n"
+       << "Every iteration decomposes into exposed compute, exposed "
+          "communication (by fabric tier), pipeline bubble and "
+          "overhead; the buckets provably sum to the iteration time. "
+          "Contributors are the longest spans on the critical path.\n";
+
+    std::vector<exec::RunRequest> batch;
+    for (const Target &t : targets) {
+        for (const auto &name : mlperfNames()) {
+            train::RunOptions ropts;
+            ropts.num_gpus = t.gpus;
+            exec::RunRequest req = suite.request(name, ropts);
+            req.system = t.system;
+            batch.push_back(std::move(req));
+        }
+    }
+    // Copy the batch in: the requests are needed again below to
+    // attribute each result against its own inputs.
+    auto results = engine.run(batch);
+
+    std::size_t i = 0;
+    for (const Target &t : targets) {
+        os << "\n### " << t.system.name << ", " << t.gpus
+           << " GPU(s)\n\n"
+           << "| Benchmark | compute | comm | bubble | overhead | "
+              "top critical-path contributors |\n"
+           << "|---|---|---|---|---|---|\n";
+        for (const auto &name : mlperfNames()) {
+            const exec::RunRequest &req = batch[i];
+            const exec::RunResult &r = results[i];
+            ++i;
+            if (r.error) {
+                os << "| " << name << " | ERROR(" << r.error->reason
+                   << ") | | | | |\n";
+                continue;
+            }
+            obs::attrib::Attribution a =
+                obs::attrib::attributeRun(req, r.train);
+            double denom =
+                a.iteration_s > 0.0 ? a.iteration_s : 1.0;
+            char cells[96];
+            std::snprintf(cells, sizeof(cells),
+                          " %.1f%% | %.1f%% | %.1f%% | %.1f%% |",
+                          100.0 * a.exposed_compute_s / denom,
+                          100.0 * a.exposedCommTotal() / denom,
+                          100.0 * a.bubble_s / denom,
+                          100.0 * a.overhead_s / denom);
+            os << "| " << name << " |" << cells;
+            auto top = obs::attrib::topContributors(a, 3);
+            for (std::size_t k = 0; k < top.size(); ++k) {
+                char share[64];
+                std::snprintf(share, sizeof(share), " %s %.1f%%",
+                              top[k]->name.c_str(),
+                              100.0 * top[k]->duration_s / denom);
+                os << (k ? "," : "") << share;
+            }
+            os << " |\n";
+        }
+    }
+    os << "\n";
+}
+
 void
 appendImported(std::ostringstream &os, Suite &suite,
                exec::Engine &engine, const ReportOptions &opts)
@@ -515,6 +599,9 @@ generateStudyReport(const ReportOptions &opts, exec::Engine &engine)
     if (opts.include_pod_scale)
         section("pod_scale",
                 [&] { appendPodScale(os, suite, engine); });
+    if (opts.include_attribution)
+        section("attribution",
+                [&] { appendAttribution(os, suite, engine); });
     if (!opts.imported.empty() || !opts.rejected_files.empty())
         section("imported",
                 [&] { appendImported(os, suite, engine, opts); });

@@ -43,6 +43,15 @@ struct ReportOptions {
      */
     bool include_degraded_fabric = true;
     /**
+     * "Where the time goes": per-system per-model critical-path
+     * attribution (obs/attrib) — bucket percentages (exposed
+     * compute, exposed comm, bubble, overhead) plus the top-3
+     * critical-path contributors of every point, on the report box
+     * and at pod scale. Pure post-processing of runs the engine
+     * already shares with the other sections.
+     */
+    bool include_attribution = true;
+    /**
      * "Fig. 5 at pod scale": the topology study lifted out of the
      * single box — one workload swept from 8 to 512 GPUs on a
      * 16-rack x 8-node C4140 (M) pod, healthy next to a pod whose

@@ -1,7 +1,9 @@
 #include "prof/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "obs/trace_json.h"
@@ -27,14 +29,24 @@ TraceBuilder::addIterations(const train::TrainResult &result,
         sim::fatal("TraceBuilder: need at least one iteration");
     const auto &it = result.iter;
     double iter_us = it.iteration_s * 1e6;
+    // Per-GPU lanes are data-parallel copies; beyond kMaxGpuLanes the
+    // remainder collapses into one aggregate lane so pod-scale traces
+    // stay bounded.
+    int lanes = std::min(result.num_gpus, kMaxGpuLanes);
+    bool aggregate = result.num_gpus > lanes;
     for (int i = 0; i < iterations; ++i) {
         double base = i * iter_us;
         // Host preprocesses batch i+1 while the GPUs run batch i.
         add("Host", "preprocess", base, it.host_s * 1e6);
         add("H2D", "input copy", base + it.host_s * 1e6 * 0.1,
             it.h2d_s * 1e6);
-        for (int g = 0; g < result.num_gpus; ++g) {
-            std::string track = "GPU" + std::to_string(g);
+        for (int g = 0; g < lanes + (aggregate ? 1 : 0); ++g) {
+            std::string track =
+                g < lanes
+                    ? "GPU" + std::to_string(g)
+                    : "GPU" + std::to_string(lanes) + ".." +
+                          std::to_string(result.num_gpus - 1) + " (x" +
+                          std::to_string(result.num_gpus - lanes) + ")";
             double t = base;
             add(track, "forward", t, it.fwd_s * 1e6);
             t += it.fwd_s * 1e6;
@@ -46,6 +58,32 @@ TraceBuilder::addIterations(const train::TrainResult &result,
                 t += it.exposed_comm_s * 1e6;
             }
             add(track, "optimizer", t, it.optimizer_s * 1e6);
+        }
+    }
+}
+
+void
+TraceBuilder::addAttribution(const obs::attrib::Attribution &a,
+                             int iterations)
+{
+    if (iterations < 1)
+        sim::fatal("TraceBuilder: need at least one iteration");
+    double iter_us = a.iteration_s * 1e6;
+    for (int i = 0; i < iterations; ++i) {
+        double base = i * iter_us;
+        for (const obs::attrib::Span &s : a.spans) {
+            if (s.duration_s <= 0.0)
+                continue;
+            std::string name = s.name;
+            if (s.replicas > 1)
+                name += " (x" + std::to_string(s.replicas) + ")";
+            add(s.lane, name, base + s.start_s * 1e6,
+                s.duration_s * 1e6);
+            if (s.critical) {
+                // Highlighted copy: the longest path, as its own lane.
+                add("CriticalPath", name, base + s.start_s * 1e6,
+                    s.duration_s * 1e6);
+            }
         }
     }
 }
@@ -117,14 +155,36 @@ TraceBuilder::toJson() const
 {
     // Serialised by the shared emitter (obs/trace_json.h) so the
     // modeled trace and the harness self-trace can never diverge in
-    // escaping or event shape.
+    // escaping or event shape. Tracks become numeric tids in
+    // first-appearance order, declared by an "M" metadata prologue so
+    // Perfetto names and sorts the lanes the way they were emitted.
+    constexpr int kPid = 1;
+    std::map<std::string, int> tids;
+    std::vector<std::string> order;
+    for (const TraceEvent &e : events_) {
+        if (tids.emplace(e.track, static_cast<int>(order.size()) + 1)
+                .second)
+            order.push_back(e.track);
+    }
     std::ostringstream os;
-    os << "[\n";
+    os << "[\n  ";
+    obs::appendProcessNameEvent(os, kPid, "mlpsim model");
+    bool more = !events_.empty();
+    os << (more || !order.empty() ? ",\n" : "\n");
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        int tid = static_cast<int>(i) + 1;
+        os << "  ";
+        obs::appendThreadNameEvent(os, kPid, tid, order[i]);
+        os << ",\n  ";
+        obs::appendThreadSortIndexEvent(os, kPid, tid, tid);
+        os << (more || i + 1 < order.size() ? ",\n" : "\n");
+    }
     for (std::size_t i = 0; i < events_.size(); ++i) {
         const TraceEvent &e = events_[i];
         os << "  ";
-        obs::appendTraceEvent(os, e.name, e.track, "model", e.start_us,
-                              e.duration_us, /*pid=*/1);
+        obs::appendTraceEventTid(os, e.name, "model", e.start_us,
+                                 e.duration_us, kPid,
+                                 tids.at(e.track));
         os << (i + 1 < events_.size() ? ",\n" : "\n");
     }
     os << "]\n";

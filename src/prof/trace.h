@@ -14,6 +14,7 @@
 
 #include "fault/fault_model.h"
 #include "fault/link_fault.h"
+#include "obs/attrib/attribution.h"
 #include "train/training_job.h"
 
 namespace mlps::prof {
@@ -39,10 +40,27 @@ class TraceBuilder
     /**
      * Append `iterations` steady-state iterations of a run: host,
      * H2D, and per-GPU fwd/bwd/exposed-collective/optimizer spans,
-     * pipelined one iteration deep.
+     * pipelined one iteration deep. At pod scale the per-GPU lanes
+     * are bounded: the first kMaxGpuLanes replicas get their own
+     * track and the rest collapse into one aggregate lane (they are
+     * data-parallel copies of the same chain), so a 512-GPU trace
+     * stays viewer-sized.
      */
     void addIterations(const train::TrainResult &result,
                        int iterations);
+
+    /** Individual GPU lanes emitted before aggregation kicks in. */
+    static constexpr int kMaxGpuLanes = 8;
+
+    /**
+     * Append `iterations` of an attributed run: one lane per span
+     * graph lane (Host / H2D / GPU chain / Runtime), plus a
+     * "CriticalPath" lane that repeats exactly the spans the
+     * longest-path pass marked critical — the highlighted where-the-
+     * time-goes row on top of the timeline.
+     */
+    void addAttribution(const obs::attrib::Attribution &a,
+                        int iterations);
 
     /**
      * Append a fault trace on a "Faults" track (one sub-track per
@@ -63,7 +81,13 @@ class TraceBuilder
 
     const std::vector<TraceEvent> &events() const { return events_; }
 
-    /** Serialise to the Chrome trace-event JSON array format. */
+    /**
+     * Serialise to the Chrome trace-event JSON array format. Tracks
+     * get stable numeric tids in first-appearance order, declared up
+     * front by "M" metadata events (process_name, thread_name,
+     * thread_sort_index) so lanes sort by emission order in Perfetto
+     * instead of lexically. Byte-deterministic for equal event lists.
+     */
     std::string toJson() const;
 
     /** Write the JSON to a file. @return false on I/O error. */

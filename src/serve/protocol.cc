@@ -260,9 +260,22 @@ parseRequest(const std::string &line, const Catalog &catalog,
         out->kind = ParsedRequest::Kind::Ping;
         return true;
     }
+    if (type == "metrics") {
+        out->kind = ParsedRequest::Kind::Metrics;
+        std::string format = memberString(doc, "format");
+        if (format.empty())
+            format = "json";
+        if (format != "json" && format != "prometheus") {
+            *error = "unknown metrics format '" + format +
+                     "' (expected json or prometheus)";
+            return false;
+        }
+        out->metrics_format = format;
+        return true;
+    }
     if (type != "run") {
         *error = "unknown request type '" + type +
-                 "' (expected run, stats or ping)";
+                 "' (expected run, stats, metrics or ping)";
         return false;
     }
 
@@ -406,6 +419,21 @@ encodeStats(const std::string &id, const std::string &metrics_json)
 }
 
 std::string
+encodeMetrics(const std::string &id, const std::string &format,
+              const std::string &payload)
+{
+    std::string b = "{\"type\":\"metrics\",\"id\":\"" +
+                    jsonEscape(id) + "\",\"format\":\"" +
+                    jsonEscape(format) + "\",";
+    if (format == "prometheus")
+        b += "\"text\":\"" + jsonEscape(payload) + "\"";
+    else
+        b += "\"metrics\":" + payload;
+    b += "}";
+    return b;
+}
+
+std::string
 encodePong(const std::string &id)
 {
     return "{\"type\":\"pong\",\"id\":\"" + jsonEscape(id) + "\"}";
@@ -433,6 +461,8 @@ decodeResponse(const std::string &line, Response *out,
     out->proto = static_cast<int>(memberNumber(doc, "proto", 0));
     out->cache_hit = memberBool(doc, "cache_hit", false);
     out->from_journal = memberBool(doc, "from_journal", false);
+    out->format = memberString(doc, "format");
+    out->metrics_text = memberString(doc, "text");
     if (const Json *r = doc.find("result"); r && r->isObject())
         decodeTrainResult(*r, &out->train);
     if (const Json *m = doc.find("metrics"); m && m->isObject()) {

@@ -13,6 +13,7 @@
  *    "system":"DSS 8440","gpus":2,"precision":"mixed",
  *    "reference":false,"deadline_s":5.0}
  *   {"type":"stats","id":"s1"}
+ *   {"type":"metrics","id":"m1","format":"json"}   (or "prometheus")
  *   {"type":"ping","id":"p1"}
  *
  * Responses:
@@ -25,6 +26,10 @@
  *    "retry_after_s":0.5}   (also status "draining" during shutdown)
  *   {"type":"result","id":"r1","status":"invalid","what":"..."}
  *   {"type":"stats","id":"s1","metrics":{...registry snapshot...}}
+ *   {"type":"metrics","id":"m1","format":"json",
+ *    "metrics":{...mlpsim-metrics-v1 snapshot...}}
+ *   {"type":"metrics","id":"m1","format":"prometheus",
+ *    "text":"...Prometheus exposition text, JSON-escaped..."}
  *   {"type":"pong","id":"p1"}
  *
  * Run requests are validated exactly like the CLI path (unknown
@@ -108,12 +113,14 @@ struct Catalog {
 
 /** One parsed-and-validated client request. */
 struct ParsedRequest {
-    enum class Kind { Run, Stats, Ping };
+    enum class Kind { Run, Stats, Metrics, Ping };
 
     Kind kind = Kind::Ping;
     std::string id;          ///< client correlation id (echoed back)
     exec::RunRequest run;    ///< populated for Kind::Run
     double deadline_s = 0.0; ///< per-request deadline; 0 = none
+    /** Kind::Metrics only: "json" (default) or "prometheus". */
+    std::string metrics_format = "json";
 };
 
 /**
@@ -143,12 +150,21 @@ std::string encodeReject(const std::string &id,
 std::string encodeStats(const std::string &id,
                         const std::string &metrics_json);
 
+/**
+ * Metrics response. `format` is "json" (payload embedded raw, an
+ * mlpsim-metrics-v1 document) or "prometheus" (payload carried as an
+ * escaped JSON string under "text").
+ */
+std::string encodeMetrics(const std::string &id,
+                          const std::string &format,
+                          const std::string &payload);
+
 /** Ping acknowledgement. */
 std::string encodePong(const std::string &id);
 
 /** Client-side view of one decoded response line. */
 struct Response {
-    std::string type;   ///< hello | result | stats | pong
+    std::string type;   ///< hello | result | stats | metrics | pong
     std::string id;
     std::string status; ///< ok | error | invalid | overloaded | draining
     std::string reason; ///< error class, for status "error"
@@ -157,8 +173,10 @@ struct Response {
     int proto = 0;      ///< hello only
     bool cache_hit = false;
     bool from_journal = false;
-    train::TrainResult train; ///< status "ok" only
-    std::string metrics_json; ///< stats only (raw JSON)
+    train::TrainResult train;  ///< status "ok" only
+    std::string metrics_json;  ///< stats / metrics-json (raw JSON)
+    std::string format;        ///< metrics only: json | prometheus
+    std::string metrics_text;  ///< metrics-prometheus exposition text
 };
 
 /** Decode one response line. @return false + error on junk. */

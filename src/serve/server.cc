@@ -94,6 +94,15 @@ ServeCore::handleLine(const std::string &client,
     case ParsedRequest::Kind::Stats:
         emit_(client, encodeStats(req.id, statsJson()));
         return;
+    case ParsedRequest::Kind::Metrics:
+        // Live registry snapshot; works during drain, like stats.
+        emit_(client,
+              encodeMetrics(
+                  req.id, req.metrics_format,
+                  req.metrics_format == "prometheus"
+                      ? obs::MetricRegistry::global().toPrometheus()
+                      : obs::MetricRegistry::global().toJson()));
+        return;
     case ParsedRequest::Kind::Run:
         break;
     }
@@ -111,7 +120,8 @@ ServeCore::handleLine(const std::string &client,
             seq, PendingRun{client, req.id, std::move(req.run),
                             req.deadline_s > 0.0
                                 ? req.deadline_s
-                                : cfg_.default_deadline_s});
+                                : cfg_.default_deadline_s,
+                            std::chrono::steady_clock::now()});
         return;
     case Admission::Outcome::RateLimited:
         emit_(client,
@@ -159,6 +169,11 @@ ServeCore::dispatchBatch()
             batch.push_back(p.run);
         engine_.run(std::move(batch),
                     [&](std::size_t i, const exec::RunResult &r) {
+                        latency_ms_.record(
+                            std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() -
+                                runs[i].submitted)
+                                .count());
                         emit_(runs[i].client,
                               encodeResult(runs[i].id, r));
                     });
@@ -203,7 +218,7 @@ ServeCore::statsJson() const
         "\"engine\":{\"requests\":%llu,\"cache_hits\":%llu,"
         "\"unique_runs\":%llu,\"journal_loaded\":%llu,"
         "\"degraded\":%llu,\"evictions\":%llu,"
-        "\"compactions\":%llu,\"deadline_flags\":%llu}}",
+        "\"compactions\":%llu,\"deadline_flags\":%llu}",
         kProtocolVersion, admission_.pending(),
         static_cast<unsigned long long>(admission_.admitted()),
         static_cast<unsigned long long>(admission_.rejectedRate()),
@@ -220,7 +235,21 @@ ServeCore::statsJson() const
         static_cast<unsigned long long>(s.evictions),
         static_cast<unsigned long long>(s.compactions),
         static_cast<unsigned long long>(s.deadline_flags));
-    return buf;
+    // Request-latency percentiles (host wall clock, hence volatile;
+    // placed after the deterministic counters).
+    std::string out(buf);
+    out += ",\"latency_ms\":{\"count\":" +
+           std::to_string(latency_ms_.count());
+    auto pct = [this](double p) {
+        return latency_ms_.count() > 0
+                   ? sim::jsonDouble(latency_ms_.percentile(p))
+                   : std::string("0");
+    };
+    out += ",\"p50\":" + pct(50.0);
+    out += ",\"p95\":" + pct(95.0);
+    out += ",\"p99\":" + pct(99.0);
+    out += "}}";
+    return out;
 }
 
 // ---- TcpServer ------------------------------------------------------

@@ -33,6 +33,7 @@
 #ifndef MLPSIM_SERVE_SERVER_H
 #define MLPSIM_SERVE_SERVER_H
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -40,9 +41,11 @@
 #include <string>
 
 #include "exec/engine.h"
+#include "obs/registry.h"
 #include "serve/admission.h"
 #include "serve/protocol.h"
 #include "serve/session.h"
+#include "sim/counters.h"
 
 namespace mlps::serve {
 
@@ -117,6 +120,8 @@ class ServeCore
         std::string id;
         exec::RunRequest run;
         double deadline_s = 0.0;
+        /** Host-clock admission instant, for latency sampling. */
+        std::chrono::steady_clock::time_point submitted{};
     };
 
     ServeConfig cfg_;
@@ -129,6 +134,16 @@ class ServeCore
     std::uint64_t served_ = 0;
     std::uint64_t invalid_ = 0;
     std::uint64_t cancelled_ = 0;
+    /**
+     * Admission-to-response latency of served runs, milliseconds
+     * (host wall clock — volatile, never part of deterministic
+     * output; stats reports its p50/p95/p99).
+     */
+    sim::Sampler latency_ms_{"serve.request_latency_ms", true};
+    obs::MetricRegistry::Registration latency_reg_ =
+        obs::MetricRegistry::global().registerSampler(
+            "serve.request_latency_ms", &latency_ms_,
+            obs::Volatility::Volatile);
 };
 
 /** TCP endpoint configuration. */

@@ -15,25 +15,6 @@ namespace {
 /** Fraction of host cores the data-loader worker pool can use. */
 constexpr double kHostPoolEfficiency = 0.88;
 
-/**
- * How well comm/compute overlap survives on each fabric: staged
- * transports involve the CPU and the shared PCIe links, fighting the
- * backward pass they are supposed to hide under. The staged retention
- * is workload-specific (see WorkloadSpec::staged_overlap_retention).
- */
-double
-overlapFabricFactor(net::CollectiveFabric fabric,
-                    const wl::WorkloadSpec &spec)
-{
-    switch (fabric) {
-      case net::CollectiveFabric::NvLink: return 1.0;
-      case net::CollectiveFabric::PcieP2p: return 0.8;
-      case net::CollectiveFabric::HostStaged:
-        return spec.staged_overlap_retention;
-    }
-    return 1.0;
-}
-
 /** Per-GPU driver/runtime busy-polling cost, cores. */
 constexpr double kDriverCoresPerGpu = 0.35;
 
@@ -55,6 +36,51 @@ policyFor(hw::Precision p)
 }
 
 } // namespace
+
+double
+overlapFabricFactor(net::CollectiveFabric fabric,
+                    const wl::WorkloadSpec &spec)
+{
+    switch (fabric) {
+      case net::CollectiveFabric::NvLink: return 1.0;
+      case net::CollectiveFabric::PcieP2p: return 0.8;
+      case net::CollectiveFabric::HostStaged:
+        return spec.staged_overlap_retention;
+    }
+    return 1.0;
+}
+
+double
+gradientBytes(const wl::WorkloadSpec &spec, hw::Precision precision)
+{
+    double params = spec.graph.totals().param_bytes / 4.0;
+    if (spec.fp32_gradients)
+        return params * 4.0;
+    return params * policyFor(precision).gradientBytesPerParam();
+}
+
+net::AllReduceResult
+gradientAllReduce(const sys::SystemConfig &system,
+                  const wl::WorkloadSpec &spec, hw::Precision precision,
+                  int num_gpus)
+{
+    net::AllReduceParams ar_params;
+    ar_params.buckets = spec.gradientBuckets();
+    // Shape-aware: exact flat ring on single boxes, hierarchical
+    // (2D ring / cross-rack tree) on pod topologies.
+    return net::autoHierarchicalAllReduce(
+        system.topo, system.gpuSubset(num_gpus),
+        gradientBytes(spec, precision), ar_params);
+}
+
+net::AllReduceResult
+collectiveLoopAllReduce(const sys::SystemConfig &system,
+                        const wl::WorkloadSpec &spec, int num_gpus)
+{
+    return net::autoHierarchicalAllReduce(system.topo,
+                                          system.gpuSubset(num_gpus),
+                                          spec.collective_bytes);
+}
 
 Trainer::Trainer(const sys::SystemConfig &system) : system_(system)
 {
@@ -279,16 +305,8 @@ Trainer::runTraining(const wl::WorkloadSpec &spec, const RunOptions &opts,
     res.fabric = system_.topo.collectiveFabric(system_.gpuSubset(n));
     net::AllReduceResult ar;
     if (n > 1) {
-        double grad_bytes = spec.fp32_gradients
-                                ? params * 4.0
-                                : params * policy.gradientBytesPerParam();
-        net::AllReduceParams ar_params;
-        ar_params.buckets = spec.gradientBuckets();
-        // Shape-aware: exact flat ring on single boxes, hierarchical
-        // (2D ring / cross-rack tree) on pod topologies.
-        ar = net::autoHierarchicalAllReduce(system_.topo,
-                                            system_.gpuSubset(n),
-                                            grad_bytes, ar_params);
+        double grad_bytes = gradientBytes(spec, opts.precision);
+        ar = gradientAllReduce(system_, spec, opts.precision, n);
         it.comm_s = ar.seconds;
         it.reroutes = ar.reroutes;
         double overlap =
@@ -452,9 +470,7 @@ Trainer::runCollectiveLoop(const wl::WorkloadSpec &spec,
     IterationBreakdown &it = res.iter;
     net::AllReduceResult ar;
     if (n > 1) {
-        ar = net::autoHierarchicalAllReduce(system_.topo,
-                                            system_.gpuSubset(n),
-                                            spec.collective_bytes);
+        ar = collectiveLoopAllReduce(system_, spec, n);
         it.comm_s = ar.seconds;
         it.exposed_comm_s = ar.seconds;
         it.reroutes = ar.reroutes;

@@ -22,6 +22,7 @@
 #ifndef MLPSIM_TRAIN_TRAINER_H
 #define MLPSIM_TRAIN_TRAINER_H
 
+#include "net/allreduce.h"
 #include "prof/kernel_profiler.h"
 #include "sys/system_config.h"
 #include "train/precision_policy.h"
@@ -92,6 +93,40 @@ class Trainer
 
     sys::SystemConfig system_;
 };
+
+/**
+ * How well comm/compute overlap survives on a fabric: staged
+ * transports involve the CPU and the shared PCIe links, fighting the
+ * backward pass they are supposed to hide under. The staged retention
+ * is workload-specific (WorkloadSpec::staged_overlap_retention).
+ */
+double overlapFabricFactor(net::CollectiveFabric fabric,
+                           const wl::WorkloadSpec &spec);
+
+/** Gradient payload one replica contributes to the all-reduce, bytes. */
+double gradientBytes(const wl::WorkloadSpec &spec,
+                     hw::Precision precision);
+
+/**
+ * The exact gradient all-reduce runTraining models at num_gpus
+ * replicas: same payload, same bucket count, same shape-aware
+ * hierarchical schedule. Shared with the attribution layer
+ * (obs/attrib) so its per-tier byte split cannot drift from the
+ * trainer's. Requires num_gpus > 1.
+ */
+net::AllReduceResult gradientAllReduce(const sys::SystemConfig &system,
+                                       const wl::WorkloadSpec &spec,
+                                       hw::Precision precision,
+                                       int num_gpus);
+
+/**
+ * The collective-loop all-reduce (RunMode::CollectiveLoop) at
+ * num_gpus > 1 participants: default schedule over the workload's
+ * collective payload.
+ */
+net::AllReduceResult
+collectiveLoopAllReduce(const sys::SystemConfig &system,
+                        const wl::WorkloadSpec &spec, int num_gpus);
 
 } // namespace mlps::train
 

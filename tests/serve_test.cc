@@ -572,6 +572,101 @@ TEST(ServeCore, StatsReportCountsTheTraffic)
         doc.find("engine")->find("unique_runs")->number, 1.0);
 }
 
+// Satellite: the stats latency block's JSON shape is pinned — count
+// plus p50/p95/p99 — and survives an encode/decode round trip.
+TEST(ServeCore, StatsLatencyPercentilesPinTheJsonShape)
+{
+    Collector out;
+    serve::ServeCore core(coreConfig(), out.sink());
+    core.clientConnected("c1");
+
+    // Before any served run: present, zeroed.
+    core.handleLine("c1", "{\"type\":\"stats\",\"id\":\"s0\"}", 0.0);
+    const serve::Response *s0 = out.byId("s0");
+    ASSERT_TRUE(s0);
+    serve::Json doc;
+    std::string err;
+    ASSERT_TRUE(serve::Json::parse(s0->metrics_json, &doc, &err))
+        << err << ": " << s0->metrics_json;
+    const serve::Json *lat = doc.find("latency_ms");
+    ASSERT_TRUE(lat && lat->isObject());
+    EXPECT_DOUBLE_EQ(lat->find("count")->number, 0.0);
+    EXPECT_DOUBLE_EQ(lat->find("p50")->number, 0.0);
+    EXPECT_DOUBLE_EQ(lat->find("p95")->number, 0.0);
+    EXPECT_DOUBLE_EQ(lat->find("p99")->number, 0.0);
+
+    // After served runs: count matches, percentiles ordered.
+    core.handleLine("c1", runLine("a", 1), 0.0);
+    core.handleLine("c1", runLine("b", 2), 0.0);
+    core.dispatchBatch();
+    core.handleLine("c1", "{\"type\":\"stats\",\"id\":\"s1\"}", 0.0);
+    const serve::Response *s1 = out.byId("s1");
+    ASSERT_TRUE(s1);
+    serve::Json doc1;
+    ASSERT_TRUE(serve::Json::parse(s1->metrics_json, &doc1, &err))
+        << err;
+    lat = doc1.find("latency_ms");
+    ASSERT_TRUE(lat && lat->isObject());
+    EXPECT_DOUBLE_EQ(lat->find("count")->number, 2.0);
+    double p50 = lat->find("p50")->number;
+    double p95 = lat->find("p95")->number;
+    double p99 = lat->find("p99")->number;
+    EXPECT_GE(p50, 0.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+}
+
+// Tentpole surface 4: the metrics verb streams the registry snapshot
+// over the wire, in both formats, and works while draining.
+TEST(ServeCore, MetricsVerbStreamsRegistrySnapshot)
+{
+    Collector out;
+    serve::ServeCore core(coreConfig(), out.sink());
+    core.clientConnected("c1");
+    core.handleLine("c1", runLine("a", 1), 0.0);
+    core.dispatchBatch();
+
+    core.handleLine("c1", "{\"type\":\"metrics\",\"id\":\"m1\"}", 0.0);
+    const serve::Response *json_r = out.byId("m1");
+    ASSERT_TRUE(json_r);
+    EXPECT_EQ(json_r->type, "metrics");
+    EXPECT_EQ(json_r->format, "json");
+    serve::Json doc;
+    std::string err;
+    ASSERT_TRUE(serve::Json::parse(json_r->metrics_json, &doc, &err))
+        << err << ": " << json_r->metrics_json;
+    EXPECT_EQ(doc.find("schema")->str, "mlpsim-metrics-v1");
+
+    core.handleLine(
+        "c1",
+        "{\"type\":\"metrics\",\"id\":\"m2\","
+        "\"format\":\"prometheus\"}",
+        0.0);
+    const serve::Response *prom_r = out.byId("m2");
+    ASSERT_TRUE(prom_r);
+    EXPECT_EQ(prom_r->format, "prometheus");
+    EXPECT_NE(prom_r->metrics_text.find("mlpsim_"),
+              std::string::npos);
+
+    // Unknown formats cost one invalid line, never a snapshot.
+    core.handleLine(
+        "c1",
+        "{\"type\":\"metrics\",\"id\":\"m3\",\"format\":\"xml\"}",
+        0.0);
+    const serve::Response *bad = out.byId("m3");
+    ASSERT_TRUE(bad);
+    EXPECT_EQ(bad->status, "invalid");
+    EXPECT_NE(bad->what.find("expected json or prometheus"),
+              std::string::npos);
+
+    // Still served during drain, like stats.
+    core.beginDrain();
+    core.handleLine("c1", "{\"type\":\"metrics\",\"id\":\"m4\"}", 0.0);
+    const serve::Response *drained = out.byId("m4");
+    ASSERT_TRUE(drained);
+    EXPECT_EQ(drained->type, "metrics");
+}
+
 // ---- client helpers -------------------------------------------------
 
 TEST(ServeClient, ParsesEndpoints)

@@ -7,8 +7,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 
 #include "models/zoo.h"
+#include "obs/attrib/attribution.h"
 #include "obs/trace_json.h"
 #include "prof/trace.h"
 #include "sim/logger.h"
@@ -29,10 +31,44 @@ TEST(Trace, AddAndSerialize)
     std::string json = t.toJson();
     EXPECT_NE(json.find("\"forward\""), std::string::npos);
     EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
-    EXPECT_NE(json.find("\"tid\": \"GPU0\""), std::string::npos);
+    // Spans carry a numeric tid; the track name lives in the
+    // thread_name metadata event.
+    EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+    EXPECT_EQ(json.find("\"tid\": \"GPU0\""), std::string::npos);
     // Valid array delimiters.
     EXPECT_EQ(json.front(), '[');
     EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(Trace, MetadataPrologueNamesAndSortsTracks)
+{
+    prof::TraceBuilder t;
+    t.add("Host", "preprocess", 0.0, 1.0);
+    t.add("GPU0", "forward", 0.0, 2.0);
+    t.add("Host", "preprocess", 5.0, 1.0);
+    std::string json = t.toJson();
+    std::string error;
+    ASSERT_TRUE(obs::jsonValid(json, &error)) << error;
+
+    // One process_name, one thread_name + sort_index per track.
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    // First-appearance order: Host is tid 1, GPU0 tid 2 — and the
+    // sort index pins that order in the viewer.
+    std::size_t host_meta = json.find(
+        "\"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, "
+        "\"args\": {\"name\": \"Host\"}");
+    std::size_t gpu_meta = json.find(
+        "\"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 2, "
+        "\"args\": {\"name\": \"GPU0\"}");
+    EXPECT_NE(host_meta, std::string::npos);
+    EXPECT_NE(gpu_meta, std::string::npos);
+    EXPECT_LT(host_meta, gpu_meta);
+    EXPECT_NE(json.find("\"thread_sort_index\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\": {\"sort_index\": 1}"),
+              std::string::npos);
+
+    // Re-serialising is byte-identical (deterministic tid assignment).
+    EXPECT_EQ(json, t.toJson());
 }
 
 TEST(Trace, EscapesQuotes)
@@ -129,6 +165,89 @@ TEST(Trace, SpansStayInsideIterationBudget)
     double horizon = iters * r.iter.iteration_s * 1e6 * 1.001;
     for (const auto &e : t.events())
         EXPECT_LE(e.start_us + e.duration_us, horizon) << e.name;
+}
+
+// Satellite: a 512-GPU pod trace must stay viewer-sized. Per-GPU
+// lanes are bounded at kMaxGpuLanes plus one aggregate lane; every
+// span lands on a declared track; fault/reroute markers survive the
+// hierarchical-collective path.
+TEST(Trace, PodScaleTraceStaysBounded)
+{
+    sys::SystemConfig pod = sys::withPod(sys::c4140M(), 16, 8);
+    ASSERT_EQ(pod.num_gpus, 512);
+    train::Trainer trainer(pod);
+    auto spec = *models::findWorkload("MLPf_Res50_MX");
+    train::RunOptions opts;
+    opts.num_gpus = 512;
+    auto r = trainer.run(spec, opts);
+
+    prof::TraceBuilder t;
+    int iters = 3;
+    t.addIterations(r, iters);
+
+    // Bounded: lanes don't scale with GPU count. At most host + H2D +
+    // kMaxGpuLanes + 1 aggregate lane, <= 6 spans per lane per iter.
+    std::size_t max_events = static_cast<std::size_t>(iters) *
+                             (2 + (prof::TraceBuilder::kMaxGpuLanes + 1) * 6);
+    EXPECT_LE(t.events().size(), max_events);
+
+    // Every span lands on a declared track.
+    std::set<std::string> declared{"Host", "H2D"};
+    for (int g = 0; g < prof::TraceBuilder::kMaxGpuLanes; ++g)
+        declared.insert("GPU" + std::to_string(g));
+    declared.insert("GPU8..511 (x504)");
+    int aggregate = 0;
+    for (const auto &e : t.events()) {
+        EXPECT_TRUE(declared.count(e.track)) << e.track;
+        aggregate += e.track == "GPU8..511 (x504)";
+    }
+    EXPECT_GT(aggregate, 0);
+
+    // Fault and reroute markers survive the hierarchical path.
+    fault::LinkFaultModel model(
+        fault::LinkFaultConfig::datacenterProfile(1.0), 7);
+    auto faults = model.generate(24 * 3600.0, pod.topo);
+    ASSERT_FALSE(faults.empty());
+    t.addLinkFaultTrace(faults, pod.topo);
+    int fabric = 0, reroutes = 0;
+    for (const auto &e : t.events()) {
+        fabric += e.track.rfind("Fabric", 0) == 0;
+        reroutes += e.name == "reroute";
+    }
+    EXPECT_GT(fabric, 0);
+    EXPECT_GT(reroutes, 0);
+
+    std::string error;
+    EXPECT_TRUE(obs::jsonValid(t.toJson(), &error)) << error;
+}
+
+// Attribution lanes: every span of the graph renders, and critical
+// spans are duplicated onto the highlighted CriticalPath lane.
+TEST(Trace, AttributionLanesHighlightCriticalPath)
+{
+    sys::SystemConfig k = sys::c4140K();
+    train::Trainer trainer(k);
+    auto spec = *models::findWorkload("MLPf_GNMT_Py");
+    train::RunOptions opts;
+    opts.num_gpus = 4;
+    auto r = trainer.run(spec, opts);
+    auto a = obs::attrib::attributeRun(k, spec, opts, r);
+
+    prof::TraceBuilder t;
+    t.addAttribution(a, 2);
+    int critical = 0, gpu_chain = 0;
+    for (const auto &e : t.events()) {
+        critical += e.track == "CriticalPath";
+        gpu_chain += e.track == "GPU[0..4)";
+    }
+    // Two iterations: the critical lane repeats the critical spans.
+    EXPECT_EQ(critical % 2, 0);
+    EXPECT_GT(critical, 0);
+    EXPECT_GT(gpu_chain, 0);
+    EXPECT_THROW(t.addAttribution(a, 0), FatalError);
+
+    std::string error;
+    EXPECT_TRUE(obs::jsonValid(t.toJson(), &error)) << error;
 }
 
 TEST(Trace, LinkFaultTracksAndRerouteMarkers)

@@ -9,6 +9,8 @@
  *   mlpsim schedule [--gpus N] [--system NAME] [--jobs N] <workload...>
  *   mlpsim characterize [--system NAME] [--jobs N]
  *   mlpsim trace <workload> [--system NAME] [--gpus N] [--out FILE]
+ *   mlpsim explain <workload> [--system NAME] [--gpus N] [--json]
+ *                             [--jobs N] [--cache-dir DIR] [...]
  *   mlpsim faults <workload> [--mttf-hours H] [--link-mttf-hours H]
  *                            [--seed S] [...]
  *   mlpsim report [--out FILE] [--jobs N] [--cache-dir DIR]
@@ -27,7 +29,7 @@
  *   mlpsim workload export <name> [--out FILE]
  *   mlpsim workload fuzz [--seed S] [--iterations N]
  *
- * run, scaling, schedule, characterize, report and query additionally
+ * run, scaling, schedule, characterize, explain, report and query
  * accept --workload-file FILE (repeatable): an external
  * mlpsim-graph-v1 JSON document imported, validated and registered
  * next to the built-ins (docs/WORKLOAD_IR.md). A rejected file aborts
@@ -67,6 +69,7 @@
 #include "exec/supervisor.h"
 #include "fault/fault_model.h"
 #include "fault/link_fault.h"
+#include "obs/attrib/attribution.h"
 #include "obs/registry.h"
 #include "obs/span.h"
 #include "obs/telemetry.h"
@@ -674,6 +677,120 @@ cmdTrace(const Args &args)
                 "ui.perfetto.dev)\n", trace.events().size(),
                 path.c_str());
     return 0;
+}
+
+/**
+ * `mlpsim explain`: run one point through the engine, attribute its
+ * iteration into the causal span graph, and print where the time
+ * goes. Everything written to stdout is a pure function of the run
+ * request, so the output is byte-identical across --jobs, journal
+ * warmth and reruns (the engine summary, which is volatile, goes to
+ * stderr).
+ */
+int
+cmdExplain(const Args &args)
+{
+    std::vector<wl::WorkloadSpec> imported = importedWorkloads(args);
+    std::string name;
+    if (!args.positional.empty())
+        name = args.positional[0];
+    else if (imported.size() == 1)
+        name = imported[0].abbrev;
+    else
+        throw UsageError(
+            "explain: need a workload name (or exactly one "
+            "--workload-file)");
+    sys::SystemConfig machine =
+        systemByName(args.get("system", "DSS 8440"));
+    noteConfigDigest("system:" + machine.name,
+                     exec::fingerprintOf(machine));
+    core::Suite suite(machine);
+    for (const wl::WorkloadSpec &s : imported)
+        suite.addWorkload(s);
+    exec::Engine engine = makeEngine(args);
+    exec::RunRequest req =
+        suite.request(name, optionsFrom(args, machine));
+    exec::RunResult res = engine.runOne(req);
+    noteEngine(engine);
+    obs::attrib::Attribution a =
+        obs::attrib::attributeRun(req, res.train);
+
+    if (args.has("trace")) {
+        int iters = args.getInt("iterations", 4);
+        prof::TraceBuilder tb;
+        tb.addIterations(res.train, iters);
+        tb.addAttribution(a, iters);
+        std::string path = args.get("trace", "mlpsim_explain.json");
+        if (!tb.writeFile(path))
+            sim::fatal("explain: cannot write '%s'", path.c_str());
+        std::fprintf(stderr,
+                     "wrote %zu events to %s (open in "
+                     "chrome://tracing or ui.perfetto.dev)\n",
+                     tb.events().size(), path.c_str());
+    }
+
+    std::string json = obs::attrib::toJson(a);
+    if (args.has("out")) {
+        std::string out = args.get("out", "");
+        FILE *f = std::fopen(out.c_str(), "wb");
+        if (!f || std::fwrite(json.data(), 1, json.size(), f) !=
+                      json.size()) {
+            if (f)
+                std::fclose(f);
+            sim::fatal("explain: cannot write '%s'", out.c_str());
+        }
+        std::fclose(f);
+        std::fprintf(stderr, "wrote %s (%zu bytes)\n", out.c_str(),
+                     json.size());
+    }
+    if (args.has("json")) {
+        std::printf("%s\n", json.c_str());
+        std::fprintf(stderr, "%s\n", engine.summary().c_str());
+        return diskFullExit(engine, kOk);
+    }
+
+    double it = a.iteration_s;
+    double denom = it > 0.0 ? it : 1.0;
+    std::printf("%s on %s, %d GPU(s), %s%s — %s via %s\n",
+                a.workload.c_str(), a.system.c_str(), a.num_gpus,
+                hw::toString(a.precision).c_str(),
+                a.reference_code ? " (reference code)" : "",
+                a.mode == wl::RunMode::Training ? "training"
+                : a.mode == wl::RunMode::KernelLoop
+                    ? "kernel loop"
+                    : "collective loop",
+                net::toString(a.fabric).c_str());
+    std::printf("  iteration    %10.3f ms  (gated by %s)\n", it * 1e3,
+                a.gated_by.c_str());
+    std::printf("  where the time goes:\n");
+    std::printf("    %-18s %5.1f%%  %10.3f ms\n", "exposed compute",
+                100.0 * a.exposed_compute_s / denom,
+                a.exposed_compute_s * 1e3);
+    std::printf("    %-18s %5.1f%%  %10.3f ms\n", "exposed comm",
+                100.0 * a.exposedCommTotal() / denom,
+                a.exposedCommTotal() * 1e3);
+    for (int t = 0; t < net::kNumFabricTiers; ++t)
+        if (a.exposed_comm_s[t] > 0.0)
+            std::printf("      %-16s %5.1f%%  %10.3f ms\n",
+                        net::toString(static_cast<net::FabricTier>(t))
+                            .c_str(),
+                        100.0 * a.exposed_comm_s[t] / denom,
+                        a.exposed_comm_s[t] * 1e3);
+    std::printf("    %-18s %5.1f%%  %10.3f ms\n", "bubble",
+                100.0 * a.bubble_s / denom, a.bubble_s * 1e3);
+    std::printf("    %-18s %5.1f%%  %10.3f ms\n", "overhead",
+                100.0 * a.overhead_s / denom, a.overhead_s * 1e3);
+    auto top = obs::attrib::topContributors(a, 3);
+    std::printf("  critical path (%zu span(s); top %zu):\n",
+                a.critical_path.size(), top.size());
+    for (std::size_t i = 0; i < top.size(); ++i)
+        std::printf("    %zu. %-28s %-16s %10.3f ms  %5.1f%%\n",
+                    i + 1, top[i]->name.c_str(),
+                    obs::attrib::toString(top[i]->bucket),
+                    top[i]->duration_s * 1e3,
+                    100.0 * top[i]->duration_s / denom);
+    std::fprintf(stderr, "%s\n", engine.summary().c_str());
+    return diskFullExit(engine, kOk);
 }
 
 int
@@ -1351,6 +1468,14 @@ usage()
         "             [--cache-dir DIR]\n"
         "  mlpsim trace <workload> [--system NAME] [--gpus N]\n"
         "             [--iterations K] [--out FILE]\n"
+        "  mlpsim explain <workload> [--system NAME] [--gpus N]\n"
+        "             [--precision P] [--reference] [--jobs N]\n"
+        "             [--cache-dir DIR] [--json] [--out FILE]\n"
+        "             [--trace FILE [--iterations K]]\n"
+        "             (attribute one run's iteration time into\n"
+        "             exposed compute / per-tier comm / bubble /\n"
+        "             overhead; byte-identical across --jobs and\n"
+        "             journal warmth)\n"
         "  mlpsim report [--out FILE] [--jobs N] [--cache-dir DIR]\n"
         "  mlpsim cache stats|verify|clear --cache-dir DIR\n"
         "  mlpsim faults [--system NAME] [--gpus N] [--mttf-hours H]\n"
@@ -1375,7 +1500,8 @@ usage()
         "             | export <name> [--out FILE]\n"
         "             | fuzz [--seed S] [--iterations N]\n"
         "             (docs/WORKLOAD_IR.md)\n\n"
-        "run, scaling, schedule, characterize, report and query also\n"
+        "run, scaling, schedule, characterize, explain, report and\n"
+        "query also\n"
         "accept --workload-file FILE (repeatable): an external\n"
         "mlpsim-graph-v1 document validated and registered next to\n"
         "the built-ins. report quarantines rejected files; the other\n"
@@ -1432,6 +1558,8 @@ main(int argc, char **argv)
             return cmdCharacterize(args);
         if (cmd == "trace")
             return cmdTrace(args);
+        if (cmd == "explain")
+            return cmdExplain(args);
         if (cmd == "report")
             return cmdReport(args);
         if (cmd == "cache")
